@@ -1,0 +1,84 @@
+// Benchmark P5 (see DESIGN.md): end-to-end Preference SQL latency for the
+// paper's §6.1 queries (parse -> hard selection -> BMO -> BUT ONLY),
+// against the synthetic used-car and trips catalogs.
+
+#include <benchmark/benchmark.h>
+
+#include "prefdb.h"
+
+namespace {
+
+using namespace prefdb;        // NOLINT — benchmark driver
+using psql::Catalog;
+using psql::ExecuteQuery;
+using psql::Parse;
+
+Catalog MakeCatalog(size_t n) {
+  Catalog catalog;
+  catalog.Register("car", GenerateCars(n, 2002));
+  catalog.Register("trips", GenerateTrips(n, 2002));
+  return catalog;
+}
+
+const char* kUsedCarQuery =
+    "SELECT * FROM car WHERE make = 'Opel' "
+    "PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND "
+    "price AROUND 40000 AND HIGHEST(horsepower)) "
+    "CASCADE color = 'red' CASCADE LOWEST(mileage);";
+
+const char* kTripsQuery =
+    "SELECT * FROM trips "
+    "PREFERRING start_date AROUND 57 AND duration AROUND 14 "
+    "BUT ONLY DISTANCE(start_date) <= 10 AND DISTANCE(duration) <= 4";
+
+const char* kParetoQuery =
+    "SELECT oid, price, mileage FROM car "
+    "PREFERRING LOWEST(price) AND LOWEST(mileage) AND HIGHEST(horsepower)";
+
+void BM_parse_only(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = Parse(kUsedCarQuery);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_parse_only);
+
+void RunQuery(benchmark::State& state, const char* sql) {
+  Catalog catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto res = ExecuteQuery(sql, catalog);
+    result_size = res.relation.size();
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["result"] = static_cast<double>(result_size);
+}
+
+void BM_used_car_query(benchmark::State& state) {
+  RunQuery(state, kUsedCarQuery);
+}
+void BM_trips_but_only(benchmark::State& state) {
+  RunQuery(state, kTripsQuery);
+}
+void BM_pareto_triple(benchmark::State& state) {
+  RunQuery(state, kParetoQuery);
+}
+
+BENCHMARK(BM_used_car_query)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_trips_but_only)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_pareto_triple)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// Hard-selection-only baseline: what a conventional exact-match engine
+// does; the gap to the preference queries is the price of cooperation.
+void BM_exact_match_baseline(benchmark::State& state) {
+  RunQuery(state, "SELECT * FROM car WHERE make = 'Opel' AND color = 'red'");
+}
+BENCHMARK(BM_exact_match_baseline)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

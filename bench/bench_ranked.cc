@@ -1,0 +1,69 @@
+// Benchmark P6 (see DESIGN.md): the ranked "k-best" query model (§6.2) vs
+// BMO evaluation for rank(F) chains, plus Pareto-vs-rank(F) evaluation
+// cost — quantifying the paper's remark that numerical accumulation
+// usually produces chains where BMO returns a single object.
+
+#include <benchmark/benchmark.h>
+
+#include "prefdb.h"
+
+namespace {
+
+using namespace prefdb;  // NOLINT — benchmark driver
+
+std::shared_ptr<RankPreference> CarUtility() {
+  return std::static_pointer_cast<RankPreference>(
+      std::const_pointer_cast<Preference>(RankWeightedSum(
+          {-1.0, -0.2, 50.0},
+          {Highest("price"), Highest("mileage"), Highest("horsepower")})));
+}
+
+void BM_topk(benchmark::State& state) {
+  Relation cars = GenerateCars(static_cast<size_t>(state.range(0)), 7);
+  auto rank = CarUtility();
+  const size_t k = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    RankedResult res = TopK(cars, *rank, k);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_topk)
+    ->ArgsProduct({{10000, 100000}, {1, 10, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_rankf_bmo(benchmark::State& state) {
+  // BMO on the rank(F) chain: returns (almost always) one object.
+  Relation cars = GenerateCars(static_cast<size_t>(state.range(0)), 7);
+  PrefPtr rank = RankWeightedSum(
+      {-1.0, -0.2, 50.0},
+      {Highest("price"), Highest("mileage"), Highest("horsepower")});
+  size_t result_size = 0;
+  for (auto _ : state) {
+    Relation res = Bmo(cars, rank);
+    result_size = res.size();
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["result"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_rankf_bmo)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_pareto_bmo_same_attrs(benchmark::State& state) {
+  // The Pareto counterpart over the same attributes: a real choice set.
+  Relation cars = GenerateCars(static_cast<size_t>(state.range(0)), 7);
+  PrefPtr p = Pareto(
+      {Lowest("price"), Lowest("mileage"), Highest("horsepower")});
+  size_t result_size = 0;
+  for (auto _ : state) {
+    Relation res = Bmo(cars, p);
+    result_size = res.size();
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["result"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_pareto_bmo_same_attrs)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment harness L4/P4 (see DESIGN.md): measures the filter-effect
+// results of §5.5 — the Prop 13 result-size inequalities and the automatic
+// 'AND/OR'-like behavior of '&' vs '(x)' — on the synthetic used-car
+// database, printing the size tables the analysis predicts.
+
+#include <cstdio>
+
+#include "prefdb.h"
+
+namespace {
+
+using namespace prefdb;  // NOLINT — experiment driver
+
+size_t SizeOver(const Relation& r, const PrefPtr& p,
+                const std::vector<std::string>& attrs) {
+  return Bmo(r, p).DistinctProjections(attrs).size();
+}
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "VIOLATED", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "prefdb reproduction harness: filter effects (Prop 13, section 5.5)\n");
+
+  for (size_t n : {200, 1000, 5000}) {
+    Relation cars = GenerateCars(n, 1234 + n);
+    PrefPtr p1 = Lowest("price");
+    PrefPtr p2 = Lowest("mileage");
+    PrefPtr p3 = Highest("horsepower");
+    std::vector<std::string> a12 = {"price", "mileage"};
+
+    size_t s_p1 = SizeOver(cars, p1, a12);
+    size_t s_and12 = SizeOver(cars, Prioritized(p1, p2), a12);
+    size_t s_and21 = SizeOver(cars, Prioritized(p2, p1), a12);
+    size_t s_or = SizeOver(cars, Pareto(p1, p2), a12);
+
+    std::printf("\n--- cars n=%zu ---\n", n);
+    std::printf("  size(P1)        = %zu   (P1 = LOWEST(price))\n", s_p1);
+    std::printf("  size(P1 & P2)   = %zu   ('AND'-like: stronger filter)\n",
+                s_and12);
+    std::printf("  size(P2 & P1)   = %zu\n", s_and21);
+    std::printf("  size(P1 (x) P2) = %zu   ('OR'-like: weaker filter)\n",
+                s_or);
+    Check(s_and12 <= s_p1, "Prop 13c: size(P1&P2) <= size(P1)");
+    Check(s_or >= s_and12, "Prop 13d: size(P1(x)P2) >= size(P1&P2)");
+    Check(s_or >= s_and21, "Prop 13d: size(P1(x)P2) >= size(P2&P1)");
+
+    // Three-way Pareto: still no flooding, never empty.
+    size_t s3 = ResultSize(cars, Pareto({p1, p2, p3}));
+    std::printf("  size(P1 (x) P2 (x) P3) = %zu of %zu cars\n", s3, n);
+    Check(s3 >= 1, "BMO avoids the empty-result effect");
+    Check(s3 < n / 2, "BMO avoids the flooding effect");
+  }
+
+  // Prop 13a/b on range-disjoint pieces and intersections.
+  std::printf("\n--- Prop 13a/b on synthetic slices ---\n");
+  Relation r(Schema{{"x", ValueType::kInt}});
+  for (int v = 0; v < 12; ++v) r.Add({Value(v % 7)});
+  PrefPtr u1 = Subset(Lowest("x"), {Tuple({Value(0)}), Tuple({Value(1)}),
+                                    Tuple({Value(2)})});
+  PrefPtr u2 = Subset(Highest("x"), {Tuple({Value(5)}), Tuple({Value(6)})});
+  PrefPtr uni = DisjointUnion(u1, u2);
+  Check(ResultSize(r, uni) <= ResultSize(r, u1),
+        "Prop 13a: size(P1+P2) <= size(P1)");
+  Check(ResultSize(r, uni) <= ResultSize(r, u2),
+        "Prop 13a: size(P1+P2) <= size(P2)");
+  PrefPtr i1 = Around("x", 2);
+  PrefPtr i2 = Lowest("x");
+  PrefPtr isect = Intersection(i1, i2);
+  Check(ResultSize(r, isect) >= ResultSize(r, i1),
+        "Prop 13b: size(P1<>P2) >= size(P1)");
+  Check(ResultSize(r, isect) >= ResultSize(r, i2),
+        "Prop 13b: size(P1<>P2) >= size(P2)");
+
+  std::printf("\n%s (%d violations)\n",
+              g_failures == 0 ? "ALL FILTER-EFFECT PREDICTIONS HOLD"
+                              : "FILTER-EFFECT VIOLATIONS",
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

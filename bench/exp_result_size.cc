@@ -1,0 +1,131 @@
+// Experiment harness P3 (see DESIGN.md): BMO result sizes as a function of
+// n, d and data correlation, plus the §6.1/[KFH01] claim that typical
+// Pareto result sizes on e-shopping workloads range "from a few to a few
+// dozens". The absolute numbers depend on the synthetic data; the *shape*
+// (adaptive filter, growth with d, anti-correlated >> correlated) is the
+// reproduced result.
+
+#include <cstdio>
+
+#include "prefdb.h"
+
+namespace {
+
+using namespace prefdb;  // NOLINT — experiment driver
+
+PrefPtr SkylinePref(size_t d) {
+  std::vector<PrefPtr> prefs;
+  for (size_t i = 0; i < d; ++i) {
+    prefs.push_back(Highest("d" + std::to_string(i)));
+  }
+  return Pareto(prefs);
+}
+
+int g_failures = 0;
+void Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("prefdb reproduction harness: BMO result sizes (P3)\n");
+
+  std::printf("\n--- skyline size vs n, d, correlation ---\n");
+  std::printf("%12s %4s %6s %14s %14s %14s\n", "", "d", "n", "correlated",
+              "independent", "anti-corr.");
+  size_t indep_d2_small = 0, indep_d5_small = 0;
+  size_t anti_big = 0, corr_big = 0;
+  for (size_t d : {2, 3, 5}) {
+    for (size_t n : {1000, 10000}) {
+      size_t sizes[3];
+      int i = 0;
+      for (Correlation corr :
+           {Correlation::kCorrelated, Correlation::kIndependent,
+            Correlation::kAntiCorrelated}) {
+        Relation r = GenerateVectors(n, d, corr, 42 + d);
+        sizes[i++] = ResultSize(r, SkylinePref(d));
+      }
+      std::printf("%12s %4zu %6zu %14zu %14zu %14zu\n", "skyline", d, n,
+                  sizes[0], sizes[1], sizes[2]);
+      if (d == 2 && n == 1000) indep_d2_small = sizes[1];
+      if (d == 5 && n == 1000) indep_d5_small = sizes[1];
+      if (d == 3 && n == 10000) {
+        corr_big = sizes[0];
+        anti_big = sizes[2];
+      }
+    }
+  }
+  Check(indep_d5_small > indep_d2_small,
+        "result size grows with dimensionality d");
+  Check(anti_big > corr_big,
+        "anti-correlated data yields far larger results than correlated");
+
+  std::printf("\n--- e-shopping Pareto queries on the car database "
+              "([KFH01] claim: a few to a few dozens) ---\n");
+  struct Query {
+    const char* label;
+    PrefPtr pref;
+    // Typical customer queries carry AROUND targets / categorical wishes;
+    // the open-ended all-extremal skyline is the known blow-up contrast
+    // case ([BKS01]) and is exempt from the "few dozens" band.
+    bool typical;
+  };
+  const Query queries[] = {
+      {"price+mileage", Pareto(Lowest("price"), Lowest("mileage")), true},
+      {"price+mileage+power (skyline)",
+       Pareto({Lowest("price"), Lowest("mileage"), Highest("horsepower")}),
+       false},
+      {"around-price + color",
+       Pareto(Around("price", 9000), Pos("color", {"red", "blue"})), true},
+      {"category-else + economy",
+       Pareto(PosPos("category", {"cabriolet"}, {"roadster"}),
+              Highest("fuel_economy")),
+       true},
+      {"full wish list",
+       Pareto({Around("price", 12000), Lowest("mileage"),
+               Around("horsepower", 120), Highest("year")}),
+       true},
+  };
+  std::printf("%32s %8s %8s %8s\n", "query", "n=2k", "n=10k", "n=50k");
+  bool band_ok = true;
+  size_t skyline_50k = 0, typical_max = 0;
+  for (const Query& q : queries) {
+    std::printf("%32s", q.label);
+    for (size_t n : {2000, 10000, 50000}) {
+      Relation cars = GenerateCars(n, 9000 + n);
+      size_t size = ResultSize(cars, q.pref);
+      std::printf(" %8zu", size);
+      if (q.typical) {
+        typical_max = std::max(typical_max, size);
+        if (size < 1 || size > 100) band_ok = false;
+      } else if (n == 50000) {
+        skyline_50k = size;
+      }
+    }
+    std::printf("\n");
+  }
+  Check(band_ok,
+        "typical (targeted) Pareto queries stay in the 'few to ~dozens' "
+        "band (<=100)");
+  Check(skyline_50k > typical_max,
+        "open-ended all-extremal skyline floods in comparison — the case "
+        "targeted wishes avoid");
+
+  std::printf("\n--- adaptive filter: size is driven by data quality, "
+              "not volume ---\n");
+  PrefPtr p = Pareto(Lowest("price"), Lowest("mileage"));
+  for (size_t n : {1000, 4000, 16000, 64000}) {
+    Relation cars = GenerateCars(n, 777);
+    std::printf("  n=%6zu  ->  size=%zu\n", n, ResultSize(cars, p));
+  }
+  std::printf("  (sizes stay flat-ish while n grows 64x — BMO adapts to "
+              "quality)\n");
+
+  std::printf("\n%s (%d mismatches)\n",
+              g_failures == 0 ? "RESULT-SIZE SHAPE REPRODUCED"
+                              : "SHAPE MISMATCHES",
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Marketplace: the §7 roadmap features working together — a persistent
+// preference repository, preference mining from a click log, two-party
+// e-negotiation over the Pareto frontier, and the query optimizer's
+// EXPLAIN output.
+//
+//   $ ./build/examples/marketplace
+
+#include <cstdio>
+#include <random>
+
+#include "prefdb.h"
+
+using namespace prefdb;  // NOLINT — example code
+
+int main() {
+  Relation market = GenerateCars(3000, 42);
+
+  // --- 1. A returning customer's profile lives in the repository ---
+  PreferenceRepository repo;
+  repo.Store("julia.colors", Neg("color", {"gray"}));
+  repo.Store("julia.budget", Around("price", 11000));
+  repo.Store("julia.wishes",
+             Prioritized(Neg("color", {"gray"}),
+                         Pareto(Around("price", 11000), Lowest("mileage"))));
+  std::printf("Repository (%zu entries):\n%s\n", repo.size(),
+              repo.ToText().c_str());
+  PrefPtr julia = repo.Get("julia.wishes");
+  std::printf("Julia's best matches: %zu offers\n\n",
+              Bmo(market, julia).size());
+
+  // --- 2. Mine a new visitor's preference from their click behavior ---
+  // Simulated sessions: the visitor always picks the car with the best
+  // fuel economy among the shown subset.
+  std::mt19937_64 rng(7);
+  std::vector<mining::LogEntry> log;
+  for (int session = 0; session < 40; ++session) {
+    std::vector<size_t> rows;
+    for (int i = 0; i < 10; ++i) rows.push_back(rng() % market.size());
+    Relation shown = market.SelectRows(rows);
+    size_t best = 0;
+    size_t fe = *shown.schema().IndexOf("fuel_economy");
+    for (size_t i = 1; i < shown.size(); ++i) {
+      if (*shown.at(i)[fe].numeric() > *shown.at(best)[fe].numeric()) {
+        best = i;
+      }
+    }
+    log.push_back({std::move(shown), {best}});
+  }
+  mining::MiningResult mined = mining::MinePreferences(log);
+  std::printf("Mined from %zu sessions:\n", log.size());
+  for (const auto& m : mined.attributes) {
+    std::printf("  %-14s %-28s (%s)\n", m.attribute.c_str(),
+                m.preference->ToString().c_str(), m.evidence.c_str());
+  }
+
+  // --- 3. Buyer vs dealer: e-negotiation over the frontier ---
+  PrefPtr buyer = Pareto(Lowest("price"), Lowest("mileage"));
+  PrefPtr dealer = Highest("commission");
+  NegotiationAnalysis analysis = AnalyzeNegotiation(market, buyer, dealer);
+  std::printf("\nNegotiation table (%zu offers on the Pareto frontier):\n",
+              analysis.pareto_frontier.size());
+  std::printf("  consensus: %zu, buyer-favored: %zu, dealer-favored: %zu, "
+              "middle ground: %zu\n",
+              analysis.consensus.size(), analysis.party1_favored.size(),
+              analysis.party2_favored.size(), analysis.middle_ground.size());
+  std::printf("Fairest proposals (regret buyer/dealer = better-than levels "
+              "behind each party's favorite):\n");
+  for (const CompromiseProposal& p :
+       SuggestCompromises(market, buyer, dealer, 3)) {
+    std::printf("  regret %zu/%zu: %s\n", p.regret1, p.regret2,
+                market.at(p.row).ToString().c_str());
+  }
+
+  // --- 4. The optimizer explains itself through Preference SQL ---
+  psql::Catalog catalog;
+  catalog.Register("car", market);
+  auto res = psql::ExecuteQuery(
+      "EXPLAIN SELECT oid, price, mileage FROM car "
+      "PREFERRING LOWEST(price) AND LOWEST(price) AND LOWEST(mileage)",
+      catalog);
+  std::printf("\nEXPLAIN output:\n%s", res.plan_details.c_str());
+  std::printf("pipeline: %s\n", res.plan.c_str());
+  return 0;
+}

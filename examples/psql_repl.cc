@@ -1,0 +1,58 @@
+// Interactive Preference SQL shell over the synthetic marketplace.
+//
+//   $ ./build/examples/psql_repl
+//   prefdb> SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage);
+//   prefdb> EXPLAIN SELECT * FROM car SKYLINE OF price MIN, mileage MIN;
+//   prefdb> \tables        -- list catalog tables
+//   prefdb> \quit
+//
+// Reads statements from stdin (also works non-interactively via a pipe).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "prefdb.h"
+
+using namespace prefdb;  // NOLINT — example code
+
+int main() {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(5000, 2002));
+  catalog.Register("trips", GenerateTrips(2000, 2002));
+
+  std::printf("prefdb Preference SQL shell. Tables: car (5000 rows), trips "
+              "(2000 rows).\n");
+  std::printf("Try: SELECT oid, price, mileage FROM car PREFERRING "
+              "LOWEST(price) AND LOWEST(mileage);\n");
+  std::printf("     \\tables, \\quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("prefdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      for (const auto& name : catalog.TableNames()) {
+        std::printf("  %s (%zu rows)\n", name.c_str(),
+                    catalog.Get(name).size());
+      }
+      continue;
+    }
+    try {
+      psql::QueryResult res = psql::ExecuteQuery(line, catalog);
+      if (!res.plan_details.empty()) {
+        std::printf("%s", res.plan_details.c_str());
+      }
+      std::printf("%s", res.relation.ToString(20).c_str());
+      std::printf("(%zu rows)  [%s]\n", res.relation.size(),
+                  res.plan.c_str());
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

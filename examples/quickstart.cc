@@ -1,0 +1,59 @@
+// Quickstart: build a preference, run a BMO query, inspect the result.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the core API in five minutes: relations, base preferences,
+// Pareto/prioritized accumulation, σ[P](R), and the better-than graph.
+
+#include <cstdio>
+
+#include "prefdb.h"
+
+using namespace prefdb;  // NOLINT — example code
+
+int main() {
+  // 1. A database set R (Def. 14): a small hotel table.
+  Relation hotels(Schema{{"name", ValueType::kString},
+                         {"price", ValueType::kInt},
+                         {"stars", ValueType::kInt},
+                         {"beach_distance", ValueType::kInt}});
+  hotels.Add({"Alpha", 120, 4, 900});
+  hotels.Add({"Beach Belle", 150, 3, 50});
+  hotels.Add({"Cheap Charm", 60, 2, 1200});
+  hotels.Add({"Dune", 95, 4, 300});
+  hotels.Add({"Exquisite", 340, 5, 100});
+  std::printf("The hotel database:\n%s\n", hotels.ToString().c_str());
+
+  // 2. Wishes as preferences (strict partial orders, Def. 1):
+  PrefPtr cheap = Lowest("price");
+  PrefPtr close = Around("beach_distance", 100);  // ~100m is perfect
+  PrefPtr good = Highest("stars");
+
+  // 3. Equally important wishes combine by Pareto accumulation (Def. 8);
+  //    '&' would prioritize instead (Def. 9).
+  PrefPtr wish = Pareto({cheap, close, good});
+  std::printf("Preference term: %s\n\n", wish->ToString().c_str());
+
+  // 4. The BMO query sigma[P](R) returns the best matches only (Def. 15) —
+  //    never empty, never flooding.
+  Relation best = Bmo(hotels, wish);
+  std::printf("Best matches only:\n%s\n", best.ToString().c_str());
+
+  // 5. Why? The better-than graph (Def. 2) shows the dominance structure.
+  BetterThanGraph graph(hotels, wish);
+  std::printf("Better-than levels (projections onto the wish attributes):\n%s",
+              graph.ToText().c_str());
+
+  // 6. The same query through Preference SQL:
+  psql::Catalog catalog;
+  catalog.Register("hotels", hotels);
+  auto res = psql::ExecuteQuery(
+      "SELECT name, price FROM hotels "
+      "PREFERRING LOWEST(price) AND beach_distance AROUND 100 AND "
+      "HIGHEST(stars)",
+      catalog);
+  std::printf("\nPreference SQL gives the same winners:\n%s",
+              res.relation.ToString().c_str());
+  std::printf("\nplan: %s\n", res.plan.c_str());
+  return 0;
+}

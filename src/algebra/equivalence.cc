@@ -1,0 +1,113 @@
+#include "algebra/equivalence.h"
+
+namespace prefdb {
+
+EquivalenceResult CheckEquivalent(const PrefPtr& p1, const PrefPtr& p2,
+                                  const Schema& schema,
+                                  const std::vector<Tuple>& sample) {
+  EquivalenceResult res;
+  if (!SameAttributeSet(p1->attributes(), p2->attributes())) {
+    res.equivalent = false;
+    res.counterexample = "attribute sets differ: " + p1->ToString() + " vs " +
+                         p2->ToString();
+    return res;
+  }
+  LessFn l1 = p1->Bind(schema);
+  LessFn l2 = p2->Bind(schema);
+  for (const Tuple& x : sample) {
+    for (const Tuple& y : sample) {
+      bool a = l1(x, y);
+      bool b = l2(x, y);
+      if (a != b) {
+        res.equivalent = false;
+        res.counterexample = "x=" + x.ToString() + " y=" + y.ToString() +
+                             ": lhs says " + (a ? "x<y" : "not x<y") +
+                             ", rhs says " + (b ? "x<y" : "not x<y");
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+EquivalenceResult CheckEquivalent(const PrefPtr& p1, const PrefPtr& p2,
+                                  const Relation& r) {
+  return CheckEquivalent(p1, p2, r.schema(), r.tuples());
+}
+
+std::string CheckStrictPartialOrder(const PrefPtr& p, const Schema& schema,
+                                    const std::vector<Tuple>& sample) {
+  LessFn less = p->Bind(schema);
+  const size_t n = sample.size();
+  // Irreflexivity.
+  for (size_t i = 0; i < n; ++i) {
+    if (less(sample[i], sample[i])) {
+      return "irreflexivity violated at " + sample[i].ToString();
+    }
+  }
+  // Asymmetry (implied by irreflexivity + transitivity, but checking it
+  // directly yields better counterexamples).
+  std::vector<std::vector<bool>> m(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      m[i][j] = less(sample[i], sample[j]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (m[i][j] && m[j][i]) {
+        return "asymmetry violated between " + sample[i].ToString() + " and " +
+               sample[j].ToString();
+      }
+    }
+  }
+  // Transitivity.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!m[i][j]) continue;
+      for (size_t k = 0; k < n; ++k) {
+        if (m[j][k] && !m[i][k]) {
+          return "transitivity violated: " + sample[i].ToString() + " < " +
+                 sample[j].ToString() + " < " + sample[k].ToString() +
+                 " but not " + sample[i].ToString() + " < " +
+                 sample[k].ToString();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+bool IsChainOn(const PrefPtr& p, const Schema& schema,
+               const std::vector<Tuple>& sample) {
+  LessFn less = p->Bind(schema);
+  EqFn eq = p->BindEquality(schema);
+  for (const Tuple& x : sample) {
+    for (const Tuple& y : sample) {
+      if (eq(x, y)) continue;
+      if (!less(x, y) && !less(y, x)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Tuple> CrossProduct(const std::vector<std::vector<Value>>& doms) {
+  std::vector<Tuple> out;
+  if (doms.empty()) return out;
+  size_t total = 1;
+  for (const auto& d : doms) total *= d.size();
+  out.reserve(total);
+  std::vector<size_t> idx(doms.size(), 0);
+  for (size_t c = 0; c < total; ++c) {
+    Tuple t;
+    for (size_t i = 0; i < doms.size(); ++i) t.Append(doms[i][idx[i]]);
+    out.push_back(std::move(t));
+    for (size_t i = doms.size(); i-- > 0;) {
+      if (++idx[i] < doms[i].size()) break;
+      idx[i] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,57 @@
+// Semantic equivalence of preference terms (Kießling Def. 13):
+// P1 ≡ P2 iff A1 = A2 and <P1 and <P2 agree on all of dom(A1).
+//
+// Over infinite domains equivalence is checked on a finite witness sample;
+// the law suite uses exhaustively enumerated finite domains, making the
+// check exact there.
+
+#ifndef PREFDB_ALGEBRA_EQUIVALENCE_H_
+#define PREFDB_ALGEBRA_EQUIVALENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+#include "relation/relation.h"
+
+namespace prefdb {
+
+/// Result of an equivalence check; on failure carries a human-readable
+/// counterexample for diagnostics.
+struct EquivalenceResult {
+  bool equivalent = true;
+  std::string counterexample;
+
+  explicit operator bool() const { return equivalent; }
+};
+
+/// Checks P1 ≡ P2 over the given tuple sample (interpreted as dom(A)):
+/// attribute sets must be equal as sets and the bound orders must agree on
+/// every ordered pair of sample tuples.
+EquivalenceResult CheckEquivalent(const PrefPtr& p1, const PrefPtr& p2,
+                                  const Schema& schema,
+                                  const std::vector<Tuple>& sample);
+
+/// Convenience overload over a relation's tuples.
+EquivalenceResult CheckEquivalent(const PrefPtr& p1, const PrefPtr& p2,
+                                  const Relation& r);
+
+/// Verifies the strict-partial-order axioms (Def. 1) of a bound preference
+/// on a sample: irreflexivity, transitivity, and (implied) asymmetry.
+/// Returns a failure description or empty string if all axioms hold.
+std::string CheckStrictPartialOrder(const PrefPtr& p, const Schema& schema,
+                                    const std::vector<Tuple>& sample);
+
+/// True iff the preference is total (a chain, Def. 3a) on the sample:
+/// every pair of tuples differing on P's attributes is ordered.
+bool IsChainOn(const PrefPtr& p, const Schema& schema,
+               const std::vector<Tuple>& sample);
+
+/// Builds the full cross-product sample dom(A1) x ... x dom(Ak) from
+/// per-attribute candidate value lists (for exhaustive law checking on
+/// small domains).
+std::vector<Tuple> CrossProduct(const std::vector<std::vector<Value>>& doms);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ALGEBRA_EQUIVALENCE_H_

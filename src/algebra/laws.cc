@@ -1,0 +1,104 @@
+#include "algebra/laws.h"
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+
+std::vector<LawInstance> InstantiateGenericLaws(const LawInputs& in) {
+  std::vector<LawInstance> laws;
+  const PrefPtr& p = in.p;
+  const PrefPtr& q = in.q;
+  const PrefPtr& r = in.r;
+  const PrefPtr& d1 = in.d1;
+  const PrefPtr& d2 = in.d2;
+  const PrefPtr& d3 = in.d3;
+  const PrefPtr a = AntiChain(in.attrs_a);
+  auto add = [&laws](std::string id, std::string stmt, PrefPtr lhs,
+                     PrefPtr rhs) {
+    laws.push_back({std::move(id), std::move(stmt), std::move(lhs),
+                    std::move(rhs)});
+  };
+
+  // --- Proposition 2: commutativity / associativity.
+  add("Prop2b.pareto-comm", "P1 (x) P2 == P2 (x) P1", Pareto(d1, d2),
+      Pareto(d2, d1));
+  add("Prop2b.pareto-comm-shared", "P (x) Q == Q (x) P (shared attrs)",
+      Pareto(p, q), Pareto(q, p));
+  add("Prop2b.pareto-assoc", "(P1 (x) P2) (x) P3 == P1 (x) (P2 (x) P3)",
+      Pareto(Pareto(d1, d2), d3), Pareto(d1, Pareto(d2, d3)));
+  add("Prop2c.prior-assoc", "(P1 & P2) & P3 == P1 & (P2 & P3)",
+      Prioritized(Prioritized(d1, d2), d3),
+      Prioritized(d1, Prioritized(d2, d3)));
+  add("Prop2d.isect-comm", "P1 <> P2 == P2 <> P1", Intersection(p, q),
+      Intersection(q, p));
+  add("Prop2d.isect-assoc", "(P1 <> P2) <> P3 == P1 <> (P2 <> P3)",
+      Intersection(Intersection(p, q), r), Intersection(p, Intersection(q, r)));
+  if (in.u1 && in.u2 && in.u3) {
+    add("Prop2e.union-comm", "P1 + P2 == P2 + P1", DisjointUnion(in.u1, in.u2),
+        DisjointUnion(in.u2, in.u1));
+    add("Prop2e.union-assoc", "(P1 + P2) + P3 == P1 + (P2 + P3)",
+        DisjointUnion(DisjointUnion(in.u1, in.u2), in.u3),
+        DisjointUnion(in.u1, DisjointUnion(in.u2, in.u3)));
+  }
+
+  // --- Proposition 3: further laws.
+  add("Prop3a.antichain-selfdual", "(S<->)^d == S<->", Dual(a), a);
+  add("Prop3b.dual-involution", "(P^d)^d == P", Dual(Dual(p)), p);
+  add("Prop3f.isect-idem", "P <> P == P", Intersection(p, p), p);
+  add("Prop3g.isect-dual", "P <> P^d == A<->", Intersection(p, Dual(p)), a);
+  add("Prop3g.isect-antichain", "P <> A<-> == A<->", Intersection(p, a), a);
+  add("Prop3i.prior-idem", "P & P == P", Prioritized(p, p), p);
+  add("Prop3i.prior-dual", "P & P^d == P", Prioritized(p, Dual(p)), p);
+  add("Prop3j.prior-antichain-right", "P & A<-> == P", Prioritized(p, a), p);
+  add("Prop3k.prior-antichain-left", "A<-> & P == A<->", Prioritized(a, p), a);
+  add("Prop3l.pareto-idem", "P (x) P == P", Pareto(p, p), p);
+  add("Prop3m.antichain-pareto", "A<-> (x) P == A<-> & P (same attrs)",
+      Pareto(a, p), Prioritized(a, p));
+  add("Prop3n.pareto-antichain", "P (x) A<-> == A<->", Pareto(p, a), a);
+  add("Prop3n.pareto-dual", "P (x) P^d == A<->", Pareto(p, Dual(p)), a);
+
+  // --- Proposition 4: discrimination theorem.
+  add("Prop4a.prior-shared", "P1 & P2 == P1 (same attrs)", Prioritized(p, q),
+      p);
+  add("Prop4b.prior-decompose",
+      "P1 & P2 == P1 + (A1<-> & P2) (disjoint attrs)", Prioritized(d1, d2),
+      DisjointUnion(d1, Prioritized(AntiChain(d1->attributes()), d2)));
+
+  // --- Proposition 5: non-discrimination theorem.
+  add("Prop5.nondiscrimination",
+      "P1 (x) P2 == (P1 & P2) <> (P2 & P1) (disjoint attrs)", Pareto(d1, d2),
+      Intersection(Prioritized(d1, d2), Prioritized(d2, d1)));
+  add("Prop5.nondiscrimination-shared",
+      "P1 (x) P2 == (P1 & P2) <> (P2 & P1) (shared attrs)", Pareto(p, q),
+      Intersection(Prioritized(p, q), Prioritized(q, p)));
+
+  // --- Proposition 6: '<>' is a sub-constructor of '(x)'.
+  add("Prop6.pareto-is-isect", "P1 (x) P2 == P1 <> P2 (same attrs)",
+      Pareto(p, q), Intersection(p, q));
+
+  return laws;
+}
+
+std::vector<LawInstance> SpecialLawInstances(
+    const std::string& attribute, const std::vector<Value>& values) {
+  std::vector<LawInstance> laws;
+  PrefPtr pos = Pos(attribute, values);
+  PrefPtr neg = Neg(attribute, values);
+  PrefPtr low = Lowest(attribute);
+  PrefPtr high = Highest(attribute);
+  PrefPtr a = AntiChain(attribute);
+  laws.push_back({"Prop3a.antichain-selfdual", "(S<->)^d == S<->", Dual(a), a});
+  laws.push_back(
+      {"Prop3d.highest-dual-lowest", "HIGHEST == LOWEST^d", high, Dual(low)});
+  laws.push_back(
+      {"Prop3d.lowest-dual-highest", "LOWEST == HIGHEST^d", low, Dual(high)});
+  laws.push_back({"Prop3e.pos-dual-neg", "POS^d == NEG (same set)", Dual(pos),
+                  neg});
+  laws.push_back({"Prop3e.neg-dual-pos", "NEG^d == POS (same set)", Dual(neg),
+                  pos});
+  return laws;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,60 @@
+// The preference-algebra law registry (Kießling §4, Props 2-6).
+//
+// Each law is a named template that, instantiated with concrete component
+// preferences, yields a (lhs, rhs) pair of preference terms claimed to be
+// equivalent (Def. 13). The test suite and the `exp_algebra_laws`
+// reproduction harness instantiate every law with randomized components
+// over exhaustively enumerated finite domains and check equivalence.
+
+#ifndef PREFDB_ALGEBRA_LAWS_H_
+#define PREFDB_ALGEBRA_LAWS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+/// Component preferences a law template draws from.
+struct LawInputs {
+  /// Attribute set A shared by p, q, r (arbitrary same-attribute terms).
+  std::vector<std::string> attrs_a;
+  PrefPtr p;
+  PrefPtr q;
+  PrefPtr r;
+  /// Pairwise attribute-disjoint preferences (for '&', '(x)' laws).
+  PrefPtr d1;
+  PrefPtr d2;
+  PrefPtr d3;
+  /// Range-disjoint preferences over attrs_a (for '+' laws); see Def. 4.
+  PrefPtr u1;
+  PrefPtr u2;
+  PrefPtr u3;
+};
+
+/// One law instantiated: check lhs ≡ rhs.
+struct LawInstance {
+  std::string id;         // e.g. "Prop2b.pareto-commutative"
+  std::string statement;  // human-readable law statement
+  PrefPtr lhs;
+  PrefPtr rhs;
+};
+
+/// Instantiates every law of Props 2-6 (except those with dedicated
+/// constructors, e.g. Prop 3d/e which need POS/NEG/LOWEST/HIGHEST inputs
+/// and are returned by SpecialLawInstances below).
+std::vector<LawInstance> InstantiateGenericLaws(const LawInputs& in);
+
+/// Laws about specific base constructors:
+///  Prop 3a  (S<->)^d ≡ S<->
+///  Prop 3d  HIGHEST ≡ LOWEST^d
+///  Prop 3e  POS^d ≡ NEG and NEG^d ≡ POS (same value set)
+/// `attribute` names the attribute, `values` the shared POS/NEG value set.
+std::vector<LawInstance> SpecialLawInstances(const std::string& attribute,
+                                             const std::vector<Value>& values);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ALGEBRA_LAWS_H_

@@ -1,0 +1,200 @@
+#include "algebra/simplifier.h"
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+
+namespace {
+
+void Record(std::vector<RewriteStep>* trace, const std::string& rule,
+            const PrefPtr& before, const PrefPtr& after) {
+  if (trace) trace->push_back({rule, before->ToString(), after->ToString()});
+}
+
+// Pushes a dual one level down when a named rewrite exists; returns nullptr
+// if no rule applies.
+PrefPtr PushDual(const PrefPtr& inner) {
+  switch (inner->kind()) {
+    case PreferenceKind::kDual:
+      // (P^d)^d -> P (Prop 3b)
+      return static_cast<const DualPreference&>(*inner).inner();
+    case PreferenceKind::kAntiChain:
+      // (S<->)^d -> S<-> (Prop 3a)
+      return inner;
+    case PreferenceKind::kLowest:
+      // LOWEST^d -> HIGHEST (Prop 3d)
+      return Highest(inner->attributes()[0]);
+    case PreferenceKind::kHighest:
+      return Lowest(inner->attributes()[0]);
+    case PreferenceKind::kPos: {
+      // POS^d -> NEG (Prop 3e)
+      const auto& pos = static_cast<const PosPreference&>(*inner);
+      return Neg(pos.attribute(),
+                 std::vector<Value>(pos.pos_set().begin(),
+                                    pos.pos_set().end()));
+    }
+    case PreferenceKind::kNeg: {
+      const auto& neg = static_cast<const NegPreference&>(*inner);
+      return Pos(neg.attribute(),
+                 std::vector<Value>(neg.neg_set().begin(),
+                                    neg.neg_set().end()));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+// One top-level rewrite attempt; children are already simplified.
+// Returns nullptr if no rule applies at this node.
+PrefPtr RewriteTop(const PrefPtr& p, std::vector<RewriteStep>* trace) {
+  switch (p->kind()) {
+    case PreferenceKind::kDual: {
+      const auto& dual = static_cast<const DualPreference&>(*p);
+      if (PrefPtr pushed = PushDual(dual.inner())) {
+        Record(trace, "Prop3a-e: dual elimination", p, pushed);
+        return pushed;
+      }
+      return nullptr;
+    }
+    case PreferenceKind::kIntersection: {
+      const auto& node = static_cast<const IntersectionPreference&>(*p);
+      const PrefPtr& l = node.left();
+      const PrefPtr& r = node.right();
+      if (l->StructurallyEquals(*r)) {
+        Record(trace, "Prop3f: P <> P -> P", p, l);
+        return l;
+      }
+      if (IsDualOf(l, r)) {
+        PrefPtr a = AntiChain(p->attributes());
+        Record(trace, "Prop3g: P <> P^d -> A<->", p, a);
+        return a;
+      }
+      if (l->kind() == PreferenceKind::kAntiChain ||
+          r->kind() == PreferenceKind::kAntiChain) {
+        PrefPtr a = AntiChain(p->attributes());
+        Record(trace, "Prop3g: P <> A<-> -> A<->", p, a);
+        return a;
+      }
+      return nullptr;
+    }
+    case PreferenceKind::kPrioritized: {
+      const auto& node = static_cast<const PrioritizedPreference&>(*p);
+      const PrefPtr& l = node.left();
+      const PrefPtr& r = node.right();
+      if (l->kind() == PreferenceKind::kAntiChain &&
+          SameAttributeSet(l->attributes(), r->attributes())) {
+        Record(trace, "Prop3k: A<-> & P -> A<->", p, l);
+        return l;
+      }
+      if (r->kind() == PreferenceKind::kAntiChain &&
+          SameAttributeSet(l->attributes(), r->attributes())) {
+        Record(trace, "Prop3j: P & A<-> -> P", p, l);
+        return l;
+      }
+      if (SameAttributeSet(l->attributes(), r->attributes())) {
+        // Subsumes Prop3i (P & P, P & P^d) and Prop4a (P1 & P2 -> P1).
+        Record(trace, "Prop4a: P1 & P2 -> P1 (same attrs)", p, l);
+        return l;
+      }
+      return nullptr;
+    }
+    case PreferenceKind::kPareto: {
+      const auto& node = static_cast<const ParetoPreference&>(*p);
+      const PrefPtr& l = node.left();
+      const PrefPtr& r = node.right();
+      if (l->StructurallyEquals(*r)) {
+        Record(trace, "Prop3l: P (x) P -> P", p, l);
+        return l;
+      }
+      if (IsDualOf(l, r)) {
+        PrefPtr a = AntiChain(p->attributes());
+        Record(trace, "Prop3n: P (x) P^d -> A<->", p, a);
+        return a;
+      }
+      if (SameAttributeSet(l->attributes(), r->attributes())) {
+        if (l->kind() == PreferenceKind::kAntiChain ||
+            r->kind() == PreferenceKind::kAntiChain) {
+          // Prop3m + Prop3k / Prop3n.
+          PrefPtr a = AntiChain(p->attributes());
+          Record(trace, "Prop3m/n: A<-> (x) P -> A<-> (same attrs)", p, a);
+          return a;
+        }
+        PrefPtr isect = Intersection(l, r);
+        Record(trace, "Prop6: P1 (x) P2 -> P1 <> P2 (same attrs)", p, isect);
+        return isect;
+      }
+      return nullptr;
+    }
+    case PreferenceKind::kLinearSum:
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+PrefPtr SimplifyRec(const PrefPtr& p, std::vector<RewriteStep>* trace,
+                    int depth) {
+  if (depth > 64) return p;  // safety valve against rule ping-pong
+  // First simplify children by rebuilding the node when any child changed.
+  PrefPtr cur = p;
+  switch (cur->kind()) {
+    case PreferenceKind::kDual: {
+      const auto& node = static_cast<const DualPreference&>(*cur);
+      PrefPtr c = SimplifyRec(node.inner(), trace, depth + 1);
+      if (c != node.inner()) cur = Dual(c);
+      break;
+    }
+    case PreferenceKind::kPareto: {
+      const auto& node = static_cast<const ParetoPreference&>(*cur);
+      PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
+      PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
+      if (l != node.left() || r != node.right()) cur = Pareto(l, r);
+      break;
+    }
+    case PreferenceKind::kPrioritized: {
+      const auto& node = static_cast<const PrioritizedPreference&>(*cur);
+      PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
+      PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
+      if (l != node.left() || r != node.right()) cur = Prioritized(l, r);
+      break;
+    }
+    case PreferenceKind::kIntersection: {
+      const auto& node = static_cast<const IntersectionPreference&>(*cur);
+      PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
+      PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
+      if (l != node.left() || r != node.right()) cur = Intersection(l, r);
+      break;
+    }
+    case PreferenceKind::kDisjointUnion: {
+      const auto& node = static_cast<const DisjointUnionPreference&>(*cur);
+      PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
+      PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
+      if (l != node.left() || r != node.right()) cur = DisjointUnion(l, r);
+      break;
+    }
+    default:
+      break;  // leaves and other nodes: nothing to rebuild
+  }
+  // Then rewrite this node to a fixpoint.
+  while (PrefPtr next = RewriteTop(cur, trace)) {
+    cur = SimplifyRec(next, trace, depth + 1);
+  }
+  return cur;
+}
+
+}  // namespace
+
+bool IsDualOf(const PrefPtr& p, const PrefPtr& q) {
+  // Compare canonical forms of Dual(p) and q.
+  PrefPtr dual_p = Simplify(Dual(p));
+  PrefPtr canon_q = Simplify(q);
+  return dual_p->StructurallyEquals(*canon_q);
+}
+
+PrefPtr Simplify(const PrefPtr& p, std::vector<RewriteStep>* trace) {
+  return SimplifyRec(p, trace, 0);
+}
+
+}  // namespace prefdb

@@ -1,0 +1,33 @@
+// Term rewriting with the algebraic laws of §4: a preference-query
+// optimizer front-end. Simplify() applies the laws of Props 3, 4a and 6 as
+// left-to-right rewrite rules, bottom-up, until a fixpoint. Every rewrite
+// preserves equivalence (Def. 13), hence by Prop. 7 the BMO answer.
+
+#ifndef PREFDB_ALGEBRA_SIMPLIFIER_H_
+#define PREFDB_ALGEBRA_SIMPLIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+/// One applied rewrite, for EXPLAIN-style traces.
+struct RewriteStep {
+  std::string rule;    // e.g. "Prop3b: (P^d)^d -> P"
+  std::string before;  // term rendering before
+  std::string after;   // term rendering after
+};
+
+/// Rewrites the term to a simpler equivalent form. If `trace` is non-null,
+/// the applied steps are appended.
+PrefPtr Simplify(const PrefPtr& p, std::vector<RewriteStep>* trace = nullptr);
+
+/// True iff q is (after dual-canonicalization) the dual of p — used to
+/// recognize P <> P^d and P (x) P^d patterns.
+bool IsDualOf(const PrefPtr& p, const PrefPtr& q);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ALGEBRA_SIMPLIFIER_H_

@@ -1,0 +1,405 @@
+#include "core/base_preferences.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prefdb {
+
+namespace {
+
+ValueSet ToSet(std::vector<Value> values) {
+  ValueSet out;
+  for (auto& v : values) out.insert(std::move(v));
+  return out;
+}
+
+bool Disjoint(const ValueSet& a, const ValueSet& b) {
+  const ValueSet& small = a.size() <= b.size() ? a : b;
+  const ValueSet& large = a.size() <= b.size() ? b : a;
+  for (const Value& v : small) {
+    if (large.count(v)) return false;
+  }
+  return true;
+}
+
+std::string SetToString(const ValueSet& s) {
+  // Sort for deterministic rendering.
+  std::vector<Value> values(s.begin(), s.end());
+  std::sort(values.begin(), values.end());
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool SameSet(const ValueSet& a, const ValueSet& b) {
+  if (a.size() != b.size()) return false;
+  for (const Value& v : a) {
+    if (!b.count(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// POS
+
+PosPreference::PosPreference(std::string attribute,
+                             std::vector<Value> pos_values)
+    : BasePreference(PreferenceKind::kPos, std::move(attribute)),
+      pos_(ToSet(std::move(pos_values))) {}
+
+bool PosPreference::LessValue(const Value& x, const Value& y) const {
+  // x <P y iff x not in POS-set and y in POS-set (Def. 6a).
+  return !pos_.count(x) && pos_.count(y) > 0;
+}
+
+std::string PosPreference::ToString() const {
+  return "POS(" + attribute() + ", " + SetToString(pos_) + ")";
+}
+
+bool PosPreference::ParamsEqual(const Preference& other) const {
+  return SameSet(pos_, static_cast<const PosPreference&>(other).pos_);
+}
+
+// ---------------------------------------------------------------------------
+// NEG
+
+NegPreference::NegPreference(std::string attribute,
+                             std::vector<Value> neg_values)
+    : BasePreference(PreferenceKind::kNeg, std::move(attribute)),
+      neg_(ToSet(std::move(neg_values))) {}
+
+bool NegPreference::LessValue(const Value& x, const Value& y) const {
+  // x <P y iff y not in NEG-set and x in NEG-set (Def. 6b).
+  return neg_.count(x) > 0 && !neg_.count(y);
+}
+
+std::string NegPreference::ToString() const {
+  return "NEG(" + attribute() + ", " + SetToString(neg_) + ")";
+}
+
+bool NegPreference::ParamsEqual(const Preference& other) const {
+  return SameSet(neg_, static_cast<const NegPreference&>(other).neg_);
+}
+
+// ---------------------------------------------------------------------------
+// POS/NEG
+
+PosNegPreference::PosNegPreference(std::string attribute,
+                                   std::vector<Value> pos_values,
+                                   std::vector<Value> neg_values)
+    : BasePreference(PreferenceKind::kPosNeg, std::move(attribute)),
+      pos_(ToSet(std::move(pos_values))),
+      neg_(ToSet(std::move(neg_values))) {
+  if (!Disjoint(pos_, neg_)) {
+    throw std::invalid_argument(
+        "POS/NEG requires disjoint POS-set and NEG-set");
+  }
+}
+
+bool PosNegPreference::LessValue(const Value& x, const Value& y) const {
+  // (x in NEG and y not in NEG) or
+  // (x neutral and y in POS)                      (Def. 6c).
+  if (neg_.count(x) && !neg_.count(y)) return true;
+  return !neg_.count(x) && !pos_.count(x) && pos_.count(y) > 0;
+}
+
+std::string PosNegPreference::ToString() const {
+  return "POS/NEG(" + attribute() + ", " + SetToString(pos_) + "; " +
+         SetToString(neg_) + ")";
+}
+
+bool PosNegPreference::ParamsEqual(const Preference& other) const {
+  const auto& o = static_cast<const PosNegPreference&>(other);
+  return SameSet(pos_, o.pos_) && SameSet(neg_, o.neg_);
+}
+
+// ---------------------------------------------------------------------------
+// POS/POS
+
+PosPosPreference::PosPosPreference(std::string attribute,
+                                   std::vector<Value> pos1_values,
+                                   std::vector<Value> pos2_values)
+    : BasePreference(PreferenceKind::kPosPos, std::move(attribute)),
+      pos1_(ToSet(std::move(pos1_values))),
+      pos2_(ToSet(std::move(pos2_values))) {
+  if (!Disjoint(pos1_, pos2_)) {
+    throw std::invalid_argument(
+        "POS/POS requires disjoint POS1-set and POS2-set");
+  }
+}
+
+bool PosPosPreference::LessValue(const Value& x, const Value& y) const {
+  // Def. 6d: three disjuncts.
+  bool x_other = !pos1_.count(x) && !pos2_.count(x);
+  if (pos2_.count(x) && pos1_.count(y)) return true;
+  if (x_other && pos2_.count(y)) return true;
+  return x_other && pos1_.count(y) > 0;
+}
+
+std::string PosPosPreference::ToString() const {
+  return "POS/POS(" + attribute() + ", " + SetToString(pos1_) + "; " +
+         SetToString(pos2_) + ")";
+}
+
+bool PosPosPreference::ParamsEqual(const Preference& other) const {
+  const auto& o = static_cast<const PosPosPreference&>(other);
+  return SameSet(pos1_, o.pos1_) && SameSet(pos2_, o.pos2_);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLICIT
+
+ExplicitPreference::ExplicitPreference(std::string attribute,
+                                       std::vector<ExplicitEdge> edges)
+    : BasePreference(PreferenceKind::kExplicit, std::move(attribute)),
+      edges_(std::move(edges)) {
+  for (const auto& e : edges_) {
+    range_.insert(e.worse);
+    range_.insert(e.better);
+  }
+  // Transitive closure by repeated relaxation (graphs are small by design:
+  // "handcrafted" per the paper).
+  for (const auto& e : edges_) {
+    if (e.worse == e.better) {
+      throw std::invalid_argument("EXPLICIT graph has a self-loop on " +
+                                  e.worse.ToString());
+    }
+    closure_.insert({e.worse, e.better});
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::pair<Value, Value>> to_add;
+    for (const auto& ab : closure_) {
+      for (const auto& bc : closure_) {
+        if (ab.second == bc.first) {
+          auto ac = std::make_pair(ab.first, bc.second);
+          if (!closure_.count(ac)) to_add.push_back(ac);
+        }
+      }
+    }
+    for (auto& p : to_add) {
+      closure_.insert(std::move(p));
+      changed = true;
+    }
+  }
+  for (const auto& p : closure_) {
+    if (p.first == p.second) {
+      throw std::invalid_argument("EXPLICIT graph is cyclic through " +
+                                  p.first.ToString());
+    }
+  }
+}
+
+bool ExplicitPreference::LessValue(const Value& x, const Value& y) const {
+  // x <P y iff x <E y, or x outside the graph and y inside (Def. 6e).
+  if (closure_.count({x, y})) return true;
+  return !range_.count(x) && range_.count(y) > 0;
+}
+
+std::string ExplicitPreference::ToString() const {
+  std::string out = "EXPLICIT(" + attribute() + ", {";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + edges_[i].worse.ToString() + " < " +
+           edges_[i].better.ToString() + ")";
+  }
+  out += "})";
+  return out;
+}
+
+bool ExplicitPreference::ParamsEqual(const Preference& other) const {
+  const auto& o = static_cast<const ExplicitPreference&>(other);
+  if (!SameSet(range_, o.range_)) return false;
+  if (closure_.size() != o.closure_.size()) return false;
+  for (const auto& p : closure_) {
+    if (!o.closure_.count(p)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// POS/NEG-GRAPHS (§3.4 super-constructor)
+
+PosNegGraphsPreference::PosNegGraphsPreference(
+    std::string attribute, std::vector<ExplicitEdge> pos_edges,
+    std::vector<Value> pos_nodes, std::vector<ExplicitEdge> neg_edges,
+    std::vector<Value> neg_nodes)
+    : BasePreference(PreferenceKind::kPosNegGraphs, attribute),
+      pos_graph_(std::make_shared<ExplicitPreference>(attribute,
+                                                      std::move(pos_edges))),
+      neg_graph_(std::make_shared<ExplicitPreference>(attribute,
+                                                      std::move(neg_edges))) {
+  pos_range_ = pos_graph_->graph_values();
+  for (auto& v : pos_nodes) pos_range_.insert(std::move(v));
+  neg_range_ = neg_graph_->graph_values();
+  for (auto& v : neg_nodes) neg_range_.insert(std::move(v));
+  if (!Disjoint(pos_range_, neg_range_)) {
+    throw std::invalid_argument(
+        "POS/NEG-GRAPHS requires disjoint POS-graph and NEG-graph values");
+  }
+}
+
+bool PosNegGraphsPreference::LessValue(const Value& x, const Value& y) const {
+  // Class 1 = POS-graph values, class 2 = other values, class 3 =
+  // NEG-graph values; lexicographic by class, then the graph order within
+  // class 1 resp. class 3 ((POS-graph (+) others) (+) NEG-graph).
+  auto klass = [this](const Value& v) {
+    if (pos_range_.count(v)) return 1;
+    if (neg_range_.count(v)) return 3;
+    return 2;
+  };
+  int kx = klass(x), ky = klass(y);
+  if (kx != ky) return kx > ky;
+  // Within a class only the edge closure orders values; isolated nodes
+  // stay unranked against the graph (guard against EXPLICIT's
+  // "outside < inside" rule leaking in).
+  if (kx == 1) {
+    return pos_graph_->graph_values().count(x) > 0 &&
+           pos_graph_->LessValue(x, y);
+  }
+  if (kx == 3) {
+    return neg_graph_->graph_values().count(x) > 0 &&
+           neg_graph_->LessValue(x, y);
+  }
+  return false;
+}
+
+std::string PosNegGraphsPreference::ToString() const {
+  std::string out = "POS/NEG-GRAPHS(" + attribute() + ", pos:";
+  out += SetToString(pos_range_);
+  out += "; neg:";
+  out += SetToString(neg_range_);
+  out += ")";
+  return out;
+}
+
+bool PosNegGraphsPreference::ParamsEqual(const Preference& other) const {
+  const auto& o = static_cast<const PosNegGraphsPreference&>(other);
+  return SameSet(pos_range_, o.pos_range_) &&
+         SameSet(neg_range_, o.neg_range_) &&
+         pos_graph_->StructurallyEquals(*o.pos_graph_) &&
+         neg_graph_->StructurallyEquals(*o.neg_graph_);
+}
+
+PrefPtr PosNegGraphs(std::string attribute,
+                     std::vector<ExplicitEdge> pos_edges,
+                     std::vector<Value> pos_nodes,
+                     std::vector<ExplicitEdge> neg_edges,
+                     std::vector<Value> neg_nodes) {
+  return std::make_shared<PosNegGraphsPreference>(
+      std::move(attribute), std::move(pos_edges), std::move(pos_nodes),
+      std::move(neg_edges), std::move(neg_nodes));
+}
+
+// ---------------------------------------------------------------------------
+// LAYERED
+
+LayeredPreference::LayeredPreference(std::string attribute,
+                                     std::vector<Layer> layers)
+    : BasePreference(PreferenceKind::kLayered, std::move(attribute)),
+      layers_(std::move(layers)) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("LAYERED requires at least one layer");
+  }
+  others_level_ = 0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].is_others) {
+      if (others_level_ != 0) {
+        throw std::invalid_argument("LAYERED allows only one OTHERS layer");
+      }
+      if (!layers_[i].values.empty()) {
+        throw std::invalid_argument("OTHERS layer must not list values");
+      }
+      others_level_ = i + 1;
+      continue;
+    }
+    for (const Value& v : layers_[i].values) {
+      if (!level_.emplace(v, i + 1).second) {
+        throw std::invalid_argument("LAYERED layers must be disjoint; " +
+                                    v.ToString() + " appears twice");
+      }
+    }
+  }
+  if (others_level_ == 0) others_level_ = layers_.size() + 1;
+}
+
+size_t LayeredPreference::LevelOf(const Value& v) const {
+  auto it = level_.find(v);
+  return it == level_.end() ? others_level_ : it->second;
+}
+
+bool LayeredPreference::LessValue(const Value& x, const Value& y) const {
+  return LevelOf(x) > LevelOf(y);
+}
+
+std::string LayeredPreference::ToString() const {
+  std::string out = "LAYERED(" + attribute() + ", [";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (layers_[i].is_others) {
+      out += "OTHERS";
+    } else {
+      out += SetToString(ToSet(layers_[i].values));
+    }
+  }
+  out += "])";
+  return out;
+}
+
+bool LayeredPreference::ParamsEqual(const Preference& other) const {
+  const auto& o = static_cast<const LayeredPreference&>(other);
+  if (layers_.size() != o.layers_.size()) return false;
+  if (others_level_ != o.others_level_) return false;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].is_others != o.layers_[i].is_others) return false;
+    if (!SameSet(ToSet(layers_[i].values), ToSet(o.layers_[i].values))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+PrefPtr Pos(std::string attribute, std::vector<Value> pos_values) {
+  return std::make_shared<PosPreference>(std::move(attribute),
+                                         std::move(pos_values));
+}
+
+PrefPtr Neg(std::string attribute, std::vector<Value> neg_values) {
+  return std::make_shared<NegPreference>(std::move(attribute),
+                                         std::move(neg_values));
+}
+
+PrefPtr PosNeg(std::string attribute, std::vector<Value> pos_values,
+               std::vector<Value> neg_values) {
+  return std::make_shared<PosNegPreference>(
+      std::move(attribute), std::move(pos_values), std::move(neg_values));
+}
+
+PrefPtr PosPos(std::string attribute, std::vector<Value> pos1_values,
+               std::vector<Value> pos2_values) {
+  return std::make_shared<PosPosPreference>(
+      std::move(attribute), std::move(pos1_values), std::move(pos2_values));
+}
+
+PrefPtr Explicit(std::string attribute, std::vector<ExplicitEdge> edges) {
+  return std::make_shared<ExplicitPreference>(std::move(attribute),
+                                              std::move(edges));
+}
+
+PrefPtr Layered(std::string attribute,
+                std::vector<LayeredPreference::Layer> layers) {
+  return std::make_shared<LayeredPreference>(std::move(attribute),
+                                             std::move(layers));
+}
+
+}  // namespace prefdb

@@ -1,0 +1,214 @@
+// Non-numerical base preference constructors (Kießling Def. 6):
+// POS, NEG, POS/NEG, POS/POS, EXPLICIT — plus the LAYERED generalization
+// (an ordered list of disjoint "levels" of values; §3.4 sketches such a
+// super-constructor, and Preference SQL's ELSE clause needs it).
+
+#ifndef PREFDB_CORE_BASE_PREFERENCES_H_
+#define PREFDB_CORE_BASE_PREFERENCES_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+using ValueSet = std::unordered_set<Value, ValueHash>;
+
+/// POS(A, POS-set): desired values are the positive values; any other value
+/// is worse but acceptable (Def. 6a). POS-set values sit at level 1, all
+/// others at level 2.
+class PosPreference : public BasePreference {
+ public:
+  PosPreference(std::string attribute, std::vector<Value> pos_values);
+  const ValueSet& pos_set() const { return pos_; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  ValueSet pos_;
+};
+
+/// NEG(A, NEG-set): disliked values are worse than everything else
+/// (Def. 6b). Non-NEG values are maximal; NEG values sit at level 2.
+class NegPreference : public BasePreference {
+ public:
+  NegPreference(std::string attribute, std::vector<Value> neg_values);
+  const ValueSet& neg_set() const { return neg_; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  ValueSet neg_;
+};
+
+/// POS/NEG(A, POS-set; NEG-set): three levels — favorites, neutral values,
+/// dislikes (Def. 6c). POS-set and NEG-set must be disjoint
+/// (std::invalid_argument otherwise).
+class PosNegPreference : public BasePreference {
+ public:
+  PosNegPreference(std::string attribute, std::vector<Value> pos_values,
+                   std::vector<Value> neg_values);
+  const ValueSet& pos_set() const { return pos_; }
+  const ValueSet& neg_set() const { return neg_; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  ValueSet pos_;
+  ValueSet neg_;
+};
+
+/// POS/POS(A, POS1-set; POS2-set): favorites, second-best alternatives,
+/// then everything else (Def. 6d). The sets must be disjoint.
+class PosPosPreference : public BasePreference {
+ public:
+  PosPosPreference(std::string attribute, std::vector<Value> pos1_values,
+                   std::vector<Value> pos2_values);
+  const ValueSet& pos1_set() const { return pos1_; }
+  const ValueSet& pos2_set() const { return pos2_; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  ValueSet pos1_;
+  ValueSet pos2_;
+};
+
+/// One 'better-than' edge of an EXPLICIT graph: `worse <E better`.
+/// (The paper writes pairs (val_i, val_j) with val_i <E val_j.)
+struct ExplicitEdge {
+  Value worse;
+  Value better;
+};
+
+/// EXPLICIT(A, EXPLICIT-graph): a hand-crafted finite acyclic 'better-than'
+/// graph; values mentioned in the graph are better than all other domain
+/// values (Def. 6e). A cyclic edge list raises std::invalid_argument.
+class ExplicitPreference : public BasePreference {
+ public:
+  ExplicitPreference(std::string attribute, std::vector<ExplicitEdge> edges);
+  const std::vector<ExplicitEdge>& edges() const { return edges_; }
+  /// range(<E): all values mentioned in the graph (Def. 4).
+  const ValueSet& graph_values() const { return range_; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  std::vector<ExplicitEdge> edges_;
+  ValueSet range_;
+  // Transitive closure of <E as a set of (worse, better) pairs.
+  struct PairHash {
+    size_t operator()(const std::pair<Value, Value>& p) const {
+      return p.first.Hash() * 1000003u ^ p.second.Hash();
+    }
+  };
+  std::unordered_set<std::pair<Value, Value>, PairHash> closure_;
+};
+
+/// POS/NEG-GRAPHS(A, POS-graph; NEG-graph): the §3.4 super-constructor of
+/// both POS/NEG and EXPLICIT — two hand-crafted acyclic 'better-than'
+/// graphs assembled by linear sums in analogy to POS/NEG:
+///     (POS-graph (+) other-values<->) (+) NEG-graph
+/// Values in the POS-graph beat everything else (ordered among themselves
+/// by the graph), unmentioned values sit in the middle (mutually
+/// unranked), NEG-graph values are worst (again graph-ordered among
+/// themselves). Isolated values can be added to either graph through the
+/// extra node lists. The two graphs' value sets must be disjoint.
+class PosNegGraphsPreference : public BasePreference {
+ public:
+  PosNegGraphsPreference(std::string attribute,
+                         std::vector<ExplicitEdge> pos_edges,
+                         std::vector<Value> pos_nodes,
+                         std::vector<ExplicitEdge> neg_edges,
+                         std::vector<Value> neg_nodes);
+  const ValueSet& pos_range() const { return pos_range_; }
+  const ValueSet& neg_range() const { return neg_range_; }
+  const ExplicitPreference& pos_graph() const { return *pos_graph_; }
+  const ExplicitPreference& neg_graph() const { return *neg_graph_; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  // Within-class orders (edge closures); class membership is decided by
+  // the range sets which additionally include the isolated nodes.
+  std::shared_ptr<const ExplicitPreference> pos_graph_;
+  std::shared_ptr<const ExplicitPreference> neg_graph_;
+  ValueSet pos_range_;
+  ValueSet neg_range_;
+};
+
+PrefPtr PosNegGraphs(std::string attribute,
+                     std::vector<ExplicitEdge> pos_edges,
+                     std::vector<Value> pos_nodes,
+                     std::vector<ExplicitEdge> neg_edges,
+                     std::vector<Value> neg_nodes);
+
+/// LAYERED(A, [L1, ..., Lk]): values in L1 are best, then L2, ..., then Lk,
+/// then every unmentioned domain value (or, if one layer is marked as the
+/// "others" layer, unmentioned values rank there). Layers must be disjoint.
+/// This is the common super-constructor of POS, POS/POS and POS/NEG: e.g.
+/// POS/NEG = LAYERED([POS-set, OTHERS, NEG-set]).
+class LayeredPreference : public BasePreference {
+ public:
+  /// A layer is either an explicit value set or the distinguished OTHERS
+  /// layer capturing all unmentioned values.
+  struct Layer {
+    std::vector<Value> values;
+    bool is_others = false;
+  };
+  static Layer Others() { return Layer{{}, true}; }
+
+  LayeredPreference(std::string attribute, std::vector<Layer> layers);
+  size_t layer_count() const { return layers_.size(); }
+  const std::vector<Layer>& layers() const { return layers_; }
+  /// 1-based level of a value (lower is better).
+  size_t LevelOf(const Value& v) const;
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  std::vector<Layer> layers_;
+  std::unordered_map<Value, size_t, ValueHash> level_;  // explicit values
+  size_t others_level_;                                 // level of OTHERS
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions (the public construction API).
+
+PrefPtr Pos(std::string attribute, std::vector<Value> pos_values);
+PrefPtr Neg(std::string attribute, std::vector<Value> neg_values);
+PrefPtr PosNeg(std::string attribute, std::vector<Value> pos_values,
+               std::vector<Value> neg_values);
+PrefPtr PosPos(std::string attribute, std::vector<Value> pos1_values,
+               std::vector<Value> pos2_values);
+PrefPtr Explicit(std::string attribute, std::vector<ExplicitEdge> edges);
+PrefPtr Layered(std::string attribute,
+                std::vector<LayeredPreference::Layer> layers);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_CORE_BASE_PREFERENCES_H_

@@ -1,0 +1,465 @@
+#include "core/complex_preferences.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/base_preferences.h"
+
+namespace prefdb {
+
+// ---------------------------------------------------------------------------
+// Pareto (Def. 8)
+
+ParetoPreference::ParetoPreference(PrefPtr left, PrefPtr right)
+    : Preference(PreferenceKind::kPareto,
+                 AttributeUnion(left->attributes(), right->attributes())),
+      left_(std::move(left)),
+      right_(std::move(right)) {}
+
+LessFn ParetoPreference::Bind(const Schema& schema) const {
+  LessFn l1 = left_->Bind(schema);
+  LessFn l2 = right_->Bind(schema);
+  EqFn e1 = left_->BindEquality(schema);
+  EqFn e2 = right_->BindEquality(schema);
+  // x < y iff (x1 <P1 y1 and (x2 <P2 y2 or x2 = y2)) or
+  //           (x2 <P2 y2 and (x1 <P1 y1 or x1 = y1))      (Def. 8)
+  return [l1, l2, e1, e2](const Tuple& x, const Tuple& y) {
+    bool b1 = l1(x, y);
+    bool b2 = l2(x, y);
+    return (b1 && (b2 || e2(x, y))) || (b2 && (b1 || e1(x, y)));
+  };
+}
+
+std::optional<std::vector<ScoreFn>> ParetoPreference::BindSortKeys(
+    const Schema& schema) const {
+  // Sound only when each side reduces to a single numeric key: then the key
+  // sum strictly increases along <P1(x)P2 (each component non-decreasing,
+  // at least one strictly).
+  auto k1 = left_->BindSortKeys(schema);
+  auto k2 = right_->BindSortKeys(schema);
+  if (!k1 || !k2 || k1->size() != 1 || k2->size() != 1) return std::nullopt;
+  ScoreFn a = (*k1)[0], b = (*k2)[0];
+  return std::vector<ScoreFn>{
+      [a, b](const Tuple& t) { return a(t) + b(t); }};
+}
+
+std::string ParetoPreference::ToString() const {
+  return "(" + left_->ToString() + " (x) " + right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Prioritized (Def. 9)
+
+PrioritizedPreference::PrioritizedPreference(PrefPtr more_important,
+                                             PrefPtr less_important)
+    : Preference(PreferenceKind::kPrioritized,
+                 AttributeUnion(more_important->attributes(),
+                                less_important->attributes())),
+      left_(std::move(more_important)),
+      right_(std::move(less_important)) {}
+
+LessFn PrioritizedPreference::Bind(const Schema& schema) const {
+  LessFn l1 = left_->Bind(schema);
+  LessFn l2 = right_->Bind(schema);
+  EqFn e1 = left_->BindEquality(schema);
+  // x < y iff x1 <P1 y1 or (x1 = y1 and x2 <P2 y2)        (Def. 9)
+  return [l1, l2, e1](const Tuple& x, const Tuple& y) {
+    return l1(x, y) || (e1(x, y) && l2(x, y));
+  };
+}
+
+std::optional<std::vector<ScoreFn>> PrioritizedPreference::BindSortKeys(
+    const Schema& schema) const {
+  auto k1 = left_->BindSortKeys(schema);
+  auto k2 = right_->BindSortKeys(schema);
+  if (!k1 || !k2) return std::nullopt;
+  std::vector<ScoreFn> keys = std::move(*k1);
+  for (auto& k : *k2) keys.push_back(std::move(k));
+  return keys;
+}
+
+bool PrioritizedPreference::IsChain() const {
+  if (!left_->IsChain() || !right_->IsChain()) return false;
+  // Prop. 3h assumes composable attribute sets; be conservative.
+  return DisjointAttributeSets(left_->attributes(), right_->attributes()) ||
+         SameAttributeSet(left_->attributes(), right_->attributes());
+}
+
+std::string PrioritizedPreference::ToString() const {
+  return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// rank(F) (Def. 10)
+
+RankPreference::RankPreference(CombineFn combine, std::string function_name,
+                               std::vector<PrefPtr> inputs)
+    : Preference(PreferenceKind::kRankF,
+                 [&inputs] {
+                   if (inputs.empty()) {
+                     throw std::invalid_argument("rank(F) needs inputs");
+                   }
+                   std::vector<std::string> attrs = inputs[0]->attributes();
+                   for (size_t i = 1; i < inputs.size(); ++i) {
+                     attrs = AttributeUnion(attrs, inputs[i]->attributes());
+                   }
+                   return attrs;
+                 }()),
+      combine_(std::move(combine)),
+      name_(std::move(function_name)),
+      inputs_(std::move(inputs)) {
+  if (!combine_) {
+    throw std::invalid_argument("rank(F) requires a combining function");
+  }
+}
+
+ScoreFn RankPreference::BindUtility(const Schema& schema) const {
+  std::vector<ScoreFn> scores;
+  scores.reserve(inputs_.size());
+  for (const auto& p : inputs_) {
+    auto keys = p->BindSortKeys(schema);
+    if (!keys || keys->size() != 1) {
+      throw std::invalid_argument(
+          "rank(F) input is not SCORE-compatible: " + p->ToString());
+    }
+    scores.push_back((*keys)[0]);
+  }
+  CombineFn combine = combine_;
+  return [scores, combine](const Tuple& t) {
+    std::vector<double> s;
+    s.reserve(scores.size());
+    for (const auto& f : scores) s.push_back(f(t));
+    return combine(s);
+  };
+}
+
+LessFn RankPreference::Bind(const Schema& schema) const {
+  ScoreFn utility = BindUtility(schema);
+  // x < y iff F(f1(x1), ..., fn(xn)) < F(f1(y1), ..., fn(yn))  (Def. 10)
+  return [utility](const Tuple& x, const Tuple& y) {
+    return utility(x) < utility(y);
+  };
+}
+
+std::optional<std::vector<ScoreFn>> RankPreference::BindSortKeys(
+    const Schema& schema) const {
+  return std::vector<ScoreFn>{BindUtility(schema)};
+}
+
+std::string RankPreference::ToString() const {
+  std::string out = "rank(" + name_ + ")(";
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += inputs_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool RankPreference::ParamsEqual(const Preference& other) const {
+  return name_ == static_cast<const RankPreference&>(other).name_;
+}
+
+// ---------------------------------------------------------------------------
+// Intersection (Def. 11a)
+
+IntersectionPreference::IntersectionPreference(PrefPtr left, PrefPtr right)
+    : Preference(PreferenceKind::kIntersection,
+                 AttributeUnion(left->attributes(), right->attributes())),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  if (!SameAttributeSet(left_->attributes(), right_->attributes())) {
+    throw std::invalid_argument(
+        "intersection aggregation requires identical attribute sets, got " +
+        left_->ToString() + " vs " + right_->ToString());
+  }
+}
+
+LessFn IntersectionPreference::Bind(const Schema& schema) const {
+  LessFn l1 = left_->Bind(schema);
+  LessFn l2 = right_->Bind(schema);
+  return [l1, l2](const Tuple& x, const Tuple& y) {
+    return l1(x, y) && l2(x, y);
+  };
+}
+
+std::string IntersectionPreference::ToString() const {
+  return "(" + left_->ToString() + " <> " + right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Disjoint union (Def. 11b)
+
+DisjointUnionPreference::DisjointUnionPreference(PrefPtr left, PrefPtr right)
+    : Preference(PreferenceKind::kDisjointUnion,
+                 AttributeUnion(left->attributes(), right->attributes())),
+      left_(std::move(left)),
+      right_(std::move(right)) {}
+
+LessFn DisjointUnionPreference::Bind(const Schema& schema) const {
+  LessFn l1 = left_->Bind(schema);
+  LessFn l2 = right_->Bind(schema);
+  return [l1, l2](const Tuple& x, const Tuple& y) {
+    return l1(x, y) || l2(x, y);
+  };
+}
+
+bool DisjointUnionPreference::ValidateDisjointOn(
+    const Schema& schema, const std::vector<Tuple>& sample) const {
+  // range(<P1) and range(<P2) must not share a value combination (Def. 4).
+  LessFn l1 = left_->Bind(schema);
+  LessFn l2 = right_->Bind(schema);
+  std::vector<bool> in_r1(sample.size(), false), in_r2(sample.size(), false);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = 0; j < sample.size(); ++j) {
+      if (i == j) continue;
+      if (l1(sample[i], sample[j]) || l1(sample[j], sample[i])) {
+        in_r1[i] = true;
+      }
+      if (l2(sample[i], sample[j]) || l2(sample[j], sample[i])) {
+        in_r2[i] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < sample.size(); ++i) {
+    if (in_r1[i] && in_r2[i]) return false;
+  }
+  return true;
+}
+
+std::string DisjointUnionPreference::ToString() const {
+  return "(" + left_->ToString() + " + " + right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Linear sum (Def. 12)
+
+LinearSumPreference::LinearSumPreference(std::string fused_attribute,
+                                         PrefPtr left, PrefPtr right,
+                                         MembershipFn in_left,
+                                         MembershipFn in_right)
+    : BasePreference(PreferenceKind::kLinearSum, std::move(fused_attribute)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      in_left_(std::move(in_left)),
+      in_right_(std::move(in_right)),
+      left_less_(BindValueLess(left_)),
+      right_less_(BindValueLess(right_)) {
+  if (!in_left_ || !in_right_) {
+    throw std::invalid_argument("linear sum requires membership predicates");
+  }
+}
+
+bool LinearSumPreference::LessValue(const Value& x, const Value& y) const {
+  // x < y iff x <P1 y or x <P2 y or (x in dom(A2) and y in dom(A1))
+  // where the component orders only apply within their own domain (Def. 12).
+  bool x1 = in_left_(x), y1 = in_left_(y);
+  bool x2 = in_right_(x), y2 = in_right_(y);
+  if (x1 && y1 && left_less_(x, y)) return true;
+  if (x2 && y2 && right_less_(x, y)) return true;
+  return x2 && y1;
+}
+
+std::string LinearSumPreference::ToString() const {
+  return "(" + left_->ToString() + " (+) " + right_->ToString() + " as " +
+         attribute() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Dual (Def. 3c)
+
+DualPreference::DualPreference(PrefPtr inner)
+    : Preference(PreferenceKind::kDual, inner->attributes()),
+      inner_(std::move(inner)) {}
+
+LessFn DualPreference::Bind(const Schema& schema) const {
+  LessFn less = inner_->Bind(schema);
+  return [less](const Tuple& x, const Tuple& y) { return less(y, x); };
+}
+
+std::optional<std::vector<ScoreFn>> DualPreference::BindSortKeys(
+    const Schema& schema) const {
+  auto keys = inner_->BindSortKeys(schema);
+  if (!keys) return std::nullopt;
+  std::vector<ScoreFn> out;
+  out.reserve(keys->size());
+  for (auto& k : *keys) {
+    out.push_back([k](const Tuple& t) { return -k(t); });
+  }
+  return out;
+}
+
+std::string DualPreference::ToString() const {
+  return inner_->ToString() + "^d";
+}
+
+// ---------------------------------------------------------------------------
+// Subset (Def. 3d)
+
+SubsetPreference::SubsetPreference(PrefPtr inner, std::vector<Tuple> subset)
+    : Preference(PreferenceKind::kSubset, inner->attributes()),
+      inner_(std::move(inner)),
+      subset_(std::move(subset)) {
+  for (const Tuple& t : subset_) {
+    if (t.size() != attributes().size()) {
+      throw std::invalid_argument(
+          "subset tuples must cover exactly the preference's attributes");
+    }
+    member_.insert(t);
+  }
+}
+
+LessFn SubsetPreference::Bind(const Schema& schema) const {
+  LessFn less = inner_->Bind(schema);
+  std::vector<size_t> cols;
+  for (const auto& name : attributes()) {
+    auto idx = schema.IndexOf(name);
+    if (!idx) {
+      throw std::out_of_range("attribute '" + name + "' not found in schema");
+    }
+    cols.push_back(*idx);
+  }
+  auto self =
+      std::static_pointer_cast<const SubsetPreference>(shared_from_this());
+  return [less, cols, self](const Tuple& x, const Tuple& y) {
+    return self->member_.count(x.Project(cols)) &&
+           self->member_.count(y.Project(cols)) && less(x, y);
+  };
+}
+
+std::string SubsetPreference::ToString() const {
+  return inner_->ToString() + "|S(" + std::to_string(subset_.size()) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Anti-chain (Def. 3b)
+
+AntiChainPreference::AntiChainPreference(std::vector<std::string> attributes)
+    : Preference(PreferenceKind::kAntiChain, std::move(attributes)) {}
+
+LessFn AntiChainPreference::Bind(const Schema& schema) const {
+  // Validate that the attributes resolve even though the order is empty.
+  (void)BindEquality(schema);
+  return [](const Tuple&, const Tuple&) { return false; };
+}
+
+std::optional<std::vector<ScoreFn>> AntiChainPreference::BindSortKeys(
+    const Schema& schema) const {
+  (void)schema;
+  return std::vector<ScoreFn>{[](const Tuple&) { return 0.0; }};
+}
+
+std::string AntiChainPreference::ToString() const {
+  std::string out = "ANTICHAIN({";
+  for (size_t i = 0; i < attributes().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes()[i];
+  }
+  out += "})";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+PrefPtr Pareto(PrefPtr left, PrefPtr right) {
+  return std::make_shared<ParetoPreference>(std::move(left), std::move(right));
+}
+
+PrefPtr Pareto(std::vector<PrefPtr> prefs) {
+  if (prefs.empty()) throw std::invalid_argument("Pareto needs >= 1 input");
+  PrefPtr acc = prefs[0];
+  for (size_t i = 1; i < prefs.size(); ++i) acc = Pareto(acc, prefs[i]);
+  return acc;
+}
+
+PrefPtr Prioritized(PrefPtr more_important, PrefPtr less_important) {
+  return std::make_shared<PrioritizedPreference>(std::move(more_important),
+                                                 std::move(less_important));
+}
+
+PrefPtr Prioritized(std::vector<PrefPtr> prefs) {
+  if (prefs.empty()) {
+    throw std::invalid_argument("Prioritized needs >= 1 input");
+  }
+  PrefPtr acc = prefs[0];
+  for (size_t i = 1; i < prefs.size(); ++i) acc = Prioritized(acc, prefs[i]);
+  return acc;
+}
+
+PrefPtr Rank(RankPreference::CombineFn combine, std::string function_name,
+             std::vector<PrefPtr> inputs) {
+  return std::make_shared<RankPreference>(std::move(combine),
+                                          std::move(function_name),
+                                          std::move(inputs));
+}
+
+PrefPtr RankWeightedSum(std::vector<double> weights,
+                        std::vector<PrefPtr> inputs) {
+  if (weights.size() != inputs.size()) {
+    throw std::invalid_argument("weights/inputs arity mismatch");
+  }
+  std::string name = "wsum[";
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (i > 0) name += ",";
+    name += std::to_string(weights[i]);
+  }
+  name += "]";
+  return Rank(
+      [weights](const std::vector<double>& s) {
+        double acc = 0;
+        for (size_t i = 0; i < s.size(); ++i) acc += weights[i] * s[i];
+        return acc;
+      },
+      std::move(name), std::move(inputs));
+}
+
+PrefPtr Intersection(PrefPtr left, PrefPtr right) {
+  return std::make_shared<IntersectionPreference>(std::move(left),
+                                                  std::move(right));
+}
+
+PrefPtr DisjointUnion(PrefPtr left, PrefPtr right) {
+  return std::make_shared<DisjointUnionPreference>(std::move(left),
+                                                   std::move(right));
+}
+
+PrefPtr LinearSum(std::string fused_attribute, PrefPtr left, PrefPtr right,
+                  LinearSumPreference::MembershipFn in_left,
+                  LinearSumPreference::MembershipFn in_right) {
+  return std::make_shared<LinearSumPreference>(
+      std::move(fused_attribute), std::move(left), std::move(right),
+      std::move(in_left), std::move(in_right));
+}
+
+PrefPtr LinearSum(std::string fused_attribute, PrefPtr left, PrefPtr right,
+                  std::vector<Value> left_domain,
+                  std::vector<Value> right_domain) {
+  auto lset = std::make_shared<ValueSet>();
+  auto rset = std::make_shared<ValueSet>();
+  for (auto& v : left_domain) lset->insert(std::move(v));
+  for (auto& v : right_domain) rset->insert(std::move(v));
+  return LinearSum(
+      std::move(fused_attribute), std::move(left), std::move(right),
+      [lset](const Value& v) { return lset->count(v) > 0; },
+      [rset](const Value& v) { return rset->count(v) > 0; });
+}
+
+PrefPtr Dual(PrefPtr inner) {
+  return std::make_shared<DualPreference>(std::move(inner));
+}
+
+PrefPtr Subset(PrefPtr inner, std::vector<Tuple> subset) {
+  return std::make_shared<SubsetPreference>(std::move(inner),
+                                            std::move(subset));
+}
+
+PrefPtr AntiChain(std::vector<std::string> attributes) {
+  return std::make_shared<AntiChainPreference>(std::move(attributes));
+}
+
+PrefPtr AntiChain(std::string attribute) {
+  return AntiChain(std::vector<std::string>{std::move(attribute)});
+}
+
+}  // namespace prefdb

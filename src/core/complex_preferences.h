@@ -1,0 +1,237 @@
+// Complex preference constructors (Kießling Defs. 3, 5, 8-12):
+//   Pareto accumulation        P1 (x) P2        (Def. 8)
+//   Prioritized accumulation   P1 & P2          (Def. 9)
+//   Numerical accumulation     rank(F)(P1..Pn)  (Def. 10)
+//   Intersection aggregation   P1 <>  P2        (Def. 11a)
+//   Disjoint union aggregation P1 + P2          (Def. 11b)
+//   Linear sum aggregation     P1 (+) P2        (Def. 12)
+//   Dual, Subset, Anti-chain                    (Def. 3)
+//
+// Every constructor is closed under strict-partial-order semantics
+// (Proposition 1); the test suite verifies the SPO axioms property-style.
+
+#ifndef PREFDB_CORE_COMPLEX_PREFERENCES_H_
+#define PREFDB_CORE_COMPLEX_PREFERENCES_H_
+
+#include <unordered_set>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+/// Pareto accumulation P1 (x) P2: equally important component preferences;
+/// strict coordinate-wise order (Def. 8). Attribute sets may overlap
+/// (conflicts are a feature, §2). Maximal values form the Pareto-optimal
+/// set.
+class ParetoPreference : public Preference {
+ public:
+  ParetoPreference(PrefPtr left, PrefPtr right);
+  const PrefPtr& left() const { return left_; }
+  const PrefPtr& right() const { return right_; }
+  std::vector<PrefPtr> children() const override { return {left_, right_}; }
+  LessFn Bind(const Schema& schema) const override;
+  std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  PrefPtr left_;
+  PrefPtr right_;
+};
+
+/// Prioritized accumulation P1 & P2: P1 dominates; P2 only breaks ties of
+/// equal P1-attribute values (Def. 9). Strict lexicographic order.
+class PrioritizedPreference : public Preference {
+ public:
+  PrioritizedPreference(PrefPtr more_important, PrefPtr less_important);
+  const PrefPtr& left() const { return left_; }
+  const PrefPtr& right() const { return right_; }
+  std::vector<PrefPtr> children() const override { return {left_, right_}; }
+  LessFn Bind(const Schema& schema) const override;
+  std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const override;
+  /// Prop. 3h: prioritization of chains over disjoint attributes is a chain.
+  bool IsChain() const override;
+  std::string ToString() const override;
+
+ private:
+  PrefPtr left_;
+  PrefPtr right_;
+};
+
+/// Numerical accumulation rank(F)(P1, ..., Pn): combines the scores of
+/// SCORE-compatible inputs through F (Def. 10). By constructor
+/// substitutability (§3.4) any input exposing sort keys of length 1 —
+/// i.e. every numerical base preference — is accepted.
+class RankPreference : public Preference {
+ public:
+  using CombineFn = std::function<double(const std::vector<double>&)>;
+
+  /// `function_name` identifies F for rendering/structural equality.
+  RankPreference(CombineFn combine, std::string function_name,
+                 std::vector<PrefPtr> inputs);
+  const std::vector<PrefPtr>& inputs() const { return inputs_; }
+  const std::string& function_name() const { return name_; }
+  std::vector<PrefPtr> children() const override { return inputs_; }
+  LessFn Bind(const Schema& schema) const override;
+  std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const override;
+  /// The combined utility F(f1(x1), ..., fn(xn)) of a tuple.
+  ScoreFn BindUtility(const Schema& schema) const;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  CombineFn combine_;
+  std::string name_;
+  std::vector<PrefPtr> inputs_;
+};
+
+/// Intersection aggregation P1 <> P2: both must agree (Def. 11a). Requires
+/// identical attribute sets (std::invalid_argument otherwise).
+class IntersectionPreference : public Preference {
+ public:
+  IntersectionPreference(PrefPtr left, PrefPtr right);
+  const PrefPtr& left() const { return left_; }
+  const PrefPtr& right() const { return right_; }
+  std::vector<PrefPtr> children() const override { return {left_, right_}; }
+  LessFn Bind(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  PrefPtr left_;
+  PrefPtr right_;
+};
+
+/// Disjoint union aggregation P1 + P2 (Def. 11b): piecewise assembly of a
+/// preference from order-disjoint pieces. Def. 11b states it for one shared
+/// attribute set; when the attribute sets differ, each side is order-
+/// embedded into the union (exactly the P1* embedding the paper's proof of
+/// Prop. 4b uses).
+/// Precondition (Def. 4): range(<P1) and range(<P2) are disjoint — this is
+/// a *semantic* property the caller must guarantee; the library validates
+/// it on finite relations via ValidateDisjointOn().
+class DisjointUnionPreference : public Preference {
+ public:
+  DisjointUnionPreference(PrefPtr left, PrefPtr right);
+  const PrefPtr& left() const { return left_; }
+  const PrefPtr& right() const { return right_; }
+  std::vector<PrefPtr> children() const override { return {left_, right_}; }
+  LessFn Bind(const Schema& schema) const override;
+  /// Checks the disjoint-ranges precondition over the value combinations of
+  /// a finite tuple sample; returns false if some pair is ordered by both.
+  bool ValidateDisjointOn(const Schema& schema,
+                          const std::vector<Tuple>& sample) const;
+  std::string ToString() const override;
+
+ private:
+  PrefPtr left_;
+  PrefPtr right_;
+};
+
+/// Linear sum aggregation P1 (+) P2 (Def. 12): concatenates two orders over
+/// a fused domain dom(A) = dom(A1) u dom(A2); everything in dom(A1) is
+/// better than everything in dom(A2). The children must be single-attribute
+/// preferences; membership of a value in dom(A1) is decided by the `in_left`
+/// predicate (dom disjointness is the caller's contract).
+class LinearSumPreference : public BasePreference {
+ public:
+  using MembershipFn = std::function<bool(const Value&)>;
+  LinearSumPreference(std::string fused_attribute, PrefPtr left, PrefPtr right,
+                      MembershipFn in_left, MembershipFn in_right);
+  const PrefPtr& left() const { return left_; }
+  const PrefPtr& right() const { return right_; }
+  std::vector<PrefPtr> children() const override { return {left_, right_}; }
+  bool LessValue(const Value& x, const Value& y) const override;
+  std::string ToString() const override;
+
+ private:
+  PrefPtr left_;
+  PrefPtr right_;
+  MembershipFn in_left_;
+  MembershipFn in_right_;
+  std::function<bool(const Value&, const Value&)> left_less_;
+  std::function<bool(const Value&, const Value&)> right_less_;
+};
+
+/// Dual preference P^d: reverses the order (Def. 3c).
+class DualPreference : public Preference {
+ public:
+  explicit DualPreference(PrefPtr inner);
+  const PrefPtr& inner() const { return inner_; }
+  std::vector<PrefPtr> children() const override { return {inner_}; }
+  LessFn Bind(const Schema& schema) const override;
+  std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const override;
+  bool IsChain() const override { return inner_->IsChain(); }
+  std::string ToString() const override;
+
+ private:
+  PrefPtr inner_;
+};
+
+/// Subset preference P|S (Def. 3d): the order of P restricted to a finite
+/// value-combination set S given as tuples over P's attributes. Pairs with
+/// either side outside S are unranked. Database preferences (Def. 14) are
+/// the special case S = R[A]; the evaluator materializes those implicitly,
+/// this class exists for explicit algebraic use.
+class SubsetPreference : public Preference {
+ public:
+  SubsetPreference(PrefPtr inner, std::vector<Tuple> subset);
+  const PrefPtr& inner() const { return inner_; }
+  std::vector<PrefPtr> children() const override { return {inner_}; }
+  LessFn Bind(const Schema& schema) const override;
+  std::string ToString() const override;
+
+ private:
+  PrefPtr inner_;
+  std::vector<Tuple> subset_;
+  std::unordered_set<Tuple, TupleHash> member_;
+};
+
+/// Anti-chain preference S<->= (A, {}) (Def. 3b): no value is better than
+/// any other. The neutral element for '&' on the right (Prop. 3j) and the
+/// grouping device A<-> & P of Def. 16.
+class AntiChainPreference : public Preference {
+ public:
+  explicit AntiChainPreference(std::vector<std::string> attributes);
+  LessFn Bind(const Schema& schema) const override;
+  std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const override;
+  std::string ToString() const override;
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions.
+
+PrefPtr Pareto(PrefPtr left, PrefPtr right);
+/// n-ary Pareto, left-folded: ((P1 (x) P2) (x) P3) ... (associative by
+/// Prop. 2b, so the fold shape does not matter semantically).
+PrefPtr Pareto(std::vector<PrefPtr> prefs);
+PrefPtr Prioritized(PrefPtr more_important, PrefPtr less_important);
+/// n-ary prioritization, left-folded (associative by Prop. 2c).
+PrefPtr Prioritized(std::vector<PrefPtr> prefs);
+PrefPtr Rank(RankPreference::CombineFn combine, std::string function_name,
+             std::vector<PrefPtr> inputs);
+/// rank(F) with F = w1*s1 + ... + wn*sn.
+PrefPtr RankWeightedSum(std::vector<double> weights,
+                        std::vector<PrefPtr> inputs);
+PrefPtr Intersection(PrefPtr left, PrefPtr right);
+PrefPtr DisjointUnion(PrefPtr left, PrefPtr right);
+PrefPtr LinearSum(std::string fused_attribute, PrefPtr left, PrefPtr right,
+                  LinearSumPreference::MembershipFn in_left,
+                  LinearSumPreference::MembershipFn in_right);
+/// Linear sum with finite membership sets.
+PrefPtr LinearSum(std::string fused_attribute, PrefPtr left, PrefPtr right,
+                  std::vector<Value> left_domain,
+                  std::vector<Value> right_domain);
+PrefPtr Dual(PrefPtr inner);
+PrefPtr Subset(PrefPtr inner, std::vector<Tuple> subset);
+PrefPtr AntiChain(std::vector<std::string> attributes);
+PrefPtr AntiChain(std::string attribute);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_CORE_COMPLEX_PREFERENCES_H_

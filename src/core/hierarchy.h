@@ -1,0 +1,72 @@
+// Sub-constructor hierarchy (Kießling §3.4): C1 is a *sub-constructor* of
+// C2 (C1 ≼ C2) when every C1 preference can be written as a C2 preference
+// with specializing constraints. This module provides (a) the static
+// taxonomy, and (b) the witness conversions that rewrite a preference into
+// its super-constructor form — the test suite verifies semantic
+// equivalence (Def. 13) of each conversion, which proves the ≼ claims.
+
+#ifndef PREFDB_CORE_HIERARCHY_H_
+#define PREFDB_CORE_HIERARCHY_H_
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+
+/// True iff `sub` ≼ `super` in the §3.4 taxonomy (reflexive-transitive):
+///   POS ≼ POS/POS ≼ EXPLICIT, POS ≼ POS/NEG, NEG ≼ POS/NEG,
+///   AROUND ≼ BETWEEN ≼ SCORE, LOWEST ≼ SCORE, HIGHEST ≼ SCORE,
+///   INTERSECTION ≼ PARETO, PRIORITIZED ≼ RANK (for chains, see below),
+///   and the LAYERED generalizations POS/POS ≼ LAYERED, POS/NEG ≼ LAYERED,
+///   POS ≼ LAYERED, NEG ≼ LAYERED.
+bool IsSubConstructorOf(PreferenceKind sub, PreferenceKind super);
+
+// --- Witness conversions (each returns a term of the super-constructor
+// --- that is semantically equivalent to the input; see hierarchy_test).
+
+/// POS ≼ POS/POS with POS2-set = {}.
+PrefPtr PosAsPosPos(const PosPreference& p);
+/// POS ≼ POS/NEG with NEG-set = {}.
+PrefPtr PosAsPosNeg(const PosPreference& p);
+/// NEG ≼ POS/NEG with POS-set = {}.
+PrefPtr NegAsPosNeg(const NegPreference& p);
+/// POS/POS ≼ EXPLICIT with EXPLICIT-graph = POS1-set^<-> (+) POS2-set^<->
+/// (every POS2 value is an edge below every POS1 value).
+PrefPtr PosPosAsExplicit(const PosPosPreference& p);
+/// POS/NEG ≼ POS/NEG-GRAPHS with two edgeless graphs (§3.4 remark).
+PrefPtr PosNegAsGraphs(const PosNegPreference& p);
+/// EXPLICIT ≼ POS/NEG-GRAPHS with an empty NEG-graph.
+PrefPtr ExplicitAsGraphs(const ExplicitPreference& p);
+/// POS, NEG, POS/NEG, POS/POS ≼ LAYERED.
+PrefPtr PosAsLayered(const PosPreference& p);
+PrefPtr NegAsLayered(const NegPreference& p);
+PrefPtr PosNegAsLayered(const PosNegPreference& p);
+PrefPtr PosPosAsLayered(const PosPosPreference& p);
+/// AROUND ≼ BETWEEN with low = up = z.
+PrefPtr AroundAsBetween(const AroundPreference& p);
+/// BETWEEN ≼ SCORE with f(x) = -distance(x, [low, up]).
+PrefPtr BetweenAsScore(const BetweenPreference& p);
+/// AROUND ≼ SCORE (composition of the two steps above).
+PrefPtr AroundAsScore(const AroundPreference& p);
+/// LOWEST ≼ SCORE with f(x) = -x; HIGHEST ≼ SCORE with f(x) = x.
+PrefPtr LowestAsScore(const LowestPreference& p);
+PrefPtr HighestAsScore(const HighestPreference& p);
+/// '<>' ≼ '(x)': a same-attribute-set Pareto preference collapses to the
+/// intersection of its components (Prop. 6); conversely any intersection is
+/// the Pareto accumulation of its components over the shared attributes.
+PrefPtr IntersectionAsPareto(const IntersectionPreference& p);
+
+/// '&' ≼ rank(F) on a finite sample: determines a weighted sum
+/// F = K*s1 + s2 that reproduces P1 & P2 on the sample, where both inputs
+/// expose single sort keys, s1 is injective over the sample's P1-attribute
+/// values, and K exceeds the s2 spread divided by the smallest positive s1
+/// gap. Returns nullptr when no such weighting exists on the sample (e.g.
+/// non-injective s1).
+PrefPtr PrioritizedAsRankOnSample(const PrefPtr& p1, const PrefPtr& p2,
+                                  const Schema& schema,
+                                  const std::vector<Tuple>& sample);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_CORE_HIERARCHY_H_

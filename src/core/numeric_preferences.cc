@@ -1,0 +1,164 @@
+#include "core/numeric_preferences.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prefdb {
+
+namespace {
+
+std::string Num(double d) {
+  if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+    return std::to_string(static_cast<int64_t>(d));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<std::vector<ScoreFn>> ScoredBasePreference::BindSortKeys(
+    const Schema& schema) const {
+  auto idx = schema.IndexOf(attribute());
+  if (!idx) {
+    throw std::out_of_range("attribute '" + attribute() +
+                            "' not found in schema " + schema.ToString());
+  }
+  size_t col = *idx;
+  auto self =
+      std::static_pointer_cast<const ScoredBasePreference>(shared_from_this());
+  return std::vector<ScoreFn>{
+      [self, col](const Tuple& t) { return self->ScoreOf(t[col]); }};
+}
+
+// ---------------------------------------------------------------------------
+// AROUND
+
+AroundPreference::AroundPreference(std::string attribute, double target)
+    : ScoredBasePreference(PreferenceKind::kAround, std::move(attribute)),
+      target_(target) {}
+
+double AroundPreference::Distance(const Value& v) const {
+  auto n = v.numeric();
+  if (!n) return std::numeric_limits<double>::infinity();
+  return std::abs(*n - target_);
+}
+
+double AroundPreference::ScoreOf(const Value& v) const {
+  return -Distance(v);
+}
+
+std::string AroundPreference::ToString() const {
+  return "AROUND(" + attribute() + ", " + Num(target_) + ")";
+}
+
+bool AroundPreference::ParamsEqual(const Preference& other) const {
+  return target_ == static_cast<const AroundPreference&>(other).target_;
+}
+
+// ---------------------------------------------------------------------------
+// BETWEEN
+
+BetweenPreference::BetweenPreference(std::string attribute, double low,
+                                     double up)
+    : ScoredBasePreference(PreferenceKind::kBetween, std::move(attribute)),
+      low_(low),
+      up_(up) {
+  if (low > up) {
+    throw std::invalid_argument("BETWEEN requires low <= up");
+  }
+}
+
+double BetweenPreference::Distance(const Value& v) const {
+  auto n = v.numeric();
+  if (!n) return std::numeric_limits<double>::infinity();
+  if (*n < low_) return low_ - *n;
+  if (*n > up_) return *n - up_;
+  return 0.0;
+}
+
+double BetweenPreference::ScoreOf(const Value& v) const {
+  return -Distance(v);
+}
+
+std::string BetweenPreference::ToString() const {
+  return "BETWEEN(" + attribute() + ", [" + Num(low_) + ", " + Num(up_) + "])";
+}
+
+bool BetweenPreference::ParamsEqual(const Preference& other) const {
+  const auto& o = static_cast<const BetweenPreference&>(other);
+  return low_ == o.low_ && up_ == o.up_;
+}
+
+// ---------------------------------------------------------------------------
+// LOWEST / HIGHEST
+
+LowestPreference::LowestPreference(std::string attribute)
+    : ScoredBasePreference(PreferenceKind::kLowest, std::move(attribute)) {}
+
+double LowestPreference::ScoreOf(const Value& v) const {
+  return -NumericOr(v, -kWorst);  // non-numeric -> -(+inf) -> kWorst
+}
+
+std::string LowestPreference::ToString() const {
+  return "LOWEST(" + attribute() + ")";
+}
+
+HighestPreference::HighestPreference(std::string attribute)
+    : ScoredBasePreference(PreferenceKind::kHighest, std::move(attribute)) {}
+
+double HighestPreference::ScoreOf(const Value& v) const {
+  return NumericOr(v, kWorst);
+}
+
+std::string HighestPreference::ToString() const {
+  return "HIGHEST(" + attribute() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// SCORE
+
+ScorePreference::ScorePreference(std::string attribute,
+                                 std::function<double(const Value&)> f,
+                                 std::string function_name)
+    : ScoredBasePreference(PreferenceKind::kScore, std::move(attribute)),
+      f_(std::move(f)),
+      name_(std::move(function_name)) {
+  if (!f_) throw std::invalid_argument("SCORE requires a scoring function");
+}
+
+std::string ScorePreference::ToString() const {
+  return "SCORE(" + attribute() + ", " + name_ + ")";
+}
+
+bool ScorePreference::ParamsEqual(const Preference& other) const {
+  return name_ == static_cast<const ScorePreference&>(other).name_;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+PrefPtr Around(std::string attribute, double target) {
+  return std::make_shared<AroundPreference>(std::move(attribute), target);
+}
+
+PrefPtr Between(std::string attribute, double low, double up) {
+  return std::make_shared<BetweenPreference>(std::move(attribute), low, up);
+}
+
+PrefPtr Lowest(std::string attribute) {
+  return std::make_shared<LowestPreference>(std::move(attribute));
+}
+
+PrefPtr Highest(std::string attribute) {
+  return std::make_shared<HighestPreference>(std::move(attribute));
+}
+
+PrefPtr Score(std::string attribute, std::function<double(const Value&)> f,
+              std::string function_name) {
+  return std::make_shared<ScorePreference>(std::move(attribute), std::move(f),
+                                           std::move(function_name));
+}
+
+}  // namespace prefdb

@@ -1,0 +1,137 @@
+// Numerical base preference constructors (Kießling Def. 7): AROUND,
+// BETWEEN, LOWEST, HIGHEST, SCORE. All of them are order-defined through a
+// numeric utility ("x <P y iff score(x) < score(y)"), which realizes the
+// §3.4 hierarchy AROUND ≼ BETWEEN ≼ SCORE, LOWEST/HIGHEST ≼ SCORE directly
+// in code: every numerical base preference *is a* ScoredBasePreference.
+//
+// Domain convention: values that have no numeric view (NULL, strings in a
+// numeric column) are mapped to -infinity, i.e. they are worse than every
+// numeric value and mutually unranked.
+
+#ifndef PREFDB_CORE_NUMERIC_PREFERENCES_H_
+#define PREFDB_CORE_NUMERIC_PREFERENCES_H_
+
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+/// Common base: a single-attribute preference whose order is induced by a
+/// scoring function f: dom(A) -> R with x <P y iff f(x) < f(y) (Def. 7d).
+class ScoredBasePreference : public BasePreference {
+ public:
+  /// The inducing score of a value; non-numeric values score -infinity
+  /// unless the concrete constructor overrides this.
+  virtual double ScoreOf(const Value& v) const = 0;
+
+  bool LessValue(const Value& x, const Value& y) const override {
+    return ScoreOf(x) < ScoreOf(y);
+  }
+
+  std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const override;
+
+ protected:
+  using BasePreference::BasePreference;
+
+  static double NumericOr(const Value& v, double fallback) {
+    auto n = v.numeric();
+    return n ? *n : fallback;
+  }
+  static constexpr double kWorst = -std::numeric_limits<double>::infinity();
+};
+
+/// AROUND(A, z): prefer values closest to z; ties in distance are unranked
+/// (Def. 7a). Score is -|v - z|.
+class AroundPreference : public ScoredBasePreference {
+ public:
+  AroundPreference(std::string attribute, double target);
+  double target() const { return target_; }
+  /// distance(v, z) = |v - z|; +infinity for non-numeric values.
+  double Distance(const Value& v) const;
+  double ScoreOf(const Value& v) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  double target_;
+};
+
+/// BETWEEN(A, [low, up]): prefer values inside the interval; outside values
+/// rank by distance to the nearest bound (Def. 7b). Requires low <= up.
+class BetweenPreference : public ScoredBasePreference {
+ public:
+  BetweenPreference(std::string attribute, double low, double up);
+  double low() const { return low_; }
+  double up() const { return up_; }
+  /// distance(v, [low, up]) per Def. 7b; +infinity for non-numerics.
+  double Distance(const Value& v) const;
+  double ScoreOf(const Value& v) const override;
+  std::string ToString() const override;
+
+ protected:
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  double low_;
+  double up_;
+};
+
+/// LOWEST(A): the lower the better (Def. 7c); a chain on numeric domains.
+class LowestPreference : public ScoredBasePreference {
+ public:
+  explicit LowestPreference(std::string attribute);
+  double ScoreOf(const Value& v) const override;
+  bool IsChain() const override { return true; }
+  std::string ToString() const override;
+};
+
+/// HIGHEST(A): the higher the better (Def. 7c); a chain on numeric domains.
+class HighestPreference : public ScoredBasePreference {
+ public:
+  explicit HighestPreference(std::string attribute);
+  double ScoreOf(const Value& v) const override;
+  bool IsChain() const override { return true; }
+  std::string ToString() const override;
+};
+
+/// SCORE(A, f): order induced by an arbitrary scoring function (Def. 7d).
+/// Need not be a chain if f is not injective. The name identifies the
+/// function for term rendering and structural equality.
+class ScorePreference : public ScoredBasePreference {
+ public:
+  ScorePreference(std::string attribute, std::function<double(const Value&)> f,
+                  std::string function_name);
+  const std::string& function_name() const { return name_; }
+  double ScoreOf(const Value& v) const override { return f_(v); }
+  std::string ToString() const override;
+
+ protected:
+  /// Structural equality of SCORE terms compares function *names* (C++
+  /// function objects are not comparable); callers must keep names unique
+  /// per distinct function.
+  bool ParamsEqual(const Preference& other) const override;
+
+ private:
+  std::function<double(const Value&)> f_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions.
+
+PrefPtr Around(std::string attribute, double target);
+PrefPtr Between(std::string attribute, double low, double up);
+PrefPtr Lowest(std::string attribute);
+PrefPtr Highest(std::string attribute);
+PrefPtr Score(std::string attribute, std::function<double(const Value&)> f,
+              std::string function_name);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_CORE_NUMERIC_PREFERENCES_H_

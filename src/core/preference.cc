@@ -1,0 +1,142 @@
+#include "core/preference.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prefdb {
+
+const char* PreferenceKindName(PreferenceKind kind) {
+  switch (kind) {
+    case PreferenceKind::kPos: return "POS";
+    case PreferenceKind::kNeg: return "NEG";
+    case PreferenceKind::kPosNeg: return "POS/NEG";
+    case PreferenceKind::kPosPos: return "POS/POS";
+    case PreferenceKind::kExplicit: return "EXPLICIT";
+    case PreferenceKind::kPosNegGraphs: return "POS/NEG-GRAPHS";
+    case PreferenceKind::kLayered: return "LAYERED";
+    case PreferenceKind::kAround: return "AROUND";
+    case PreferenceKind::kBetween: return "BETWEEN";
+    case PreferenceKind::kLowest: return "LOWEST";
+    case PreferenceKind::kHighest: return "HIGHEST";
+    case PreferenceKind::kScore: return "SCORE";
+    case PreferenceKind::kPareto: return "PARETO";
+    case PreferenceKind::kPrioritized: return "PRIORITIZED";
+    case PreferenceKind::kRankF: return "RANK";
+    case PreferenceKind::kIntersection: return "INTERSECTION";
+    case PreferenceKind::kDisjointUnion: return "DISJOINT_UNION";
+    case PreferenceKind::kLinearSum: return "LINEAR_SUM";
+    case PreferenceKind::kDual: return "DUAL";
+    case PreferenceKind::kSubset: return "SUBSET";
+    case PreferenceKind::kAntiChain: return "ANTICHAIN";
+  }
+  return "?";
+}
+
+Preference::Preference(PreferenceKind kind,
+                       std::vector<std::string> attributes)
+    : kind_(kind), attributes_(std::move(attributes)) {
+  if (attributes_.empty()) {
+    throw std::invalid_argument("a preference needs a non-empty attribute set");
+  }
+  // Enforce set semantics: duplicate names collapse.
+  std::vector<std::string> dedup;
+  for (auto& a : attributes_) {
+    if (std::find(dedup.begin(), dedup.end(), a) == dedup.end()) {
+      dedup.push_back(a);
+    }
+  }
+  attributes_ = std::move(dedup);
+}
+
+EqFn Preference::BindEquality(const Schema& schema) const {
+  std::vector<size_t> cols;
+  cols.reserve(attributes_.size());
+  for (const auto& name : attributes_) {
+    auto idx = schema.IndexOf(name);
+    if (!idx) {
+      throw std::out_of_range("attribute '" + name + "' not found in schema " +
+                              schema.ToString());
+    }
+    cols.push_back(*idx);
+  }
+  return [cols](const Tuple& x, const Tuple& y) {
+    for (size_t c : cols) {
+      if (x[c] != y[c]) return false;
+    }
+    return true;
+  };
+}
+
+bool Preference::StructurallyEquals(const Preference& other) const {
+  if (kind_ != other.kind_) return false;
+  if (!SameAttributeSet(attributes_, other.attributes_)) return false;
+  auto a = children();
+  auto b = other.children();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->StructurallyEquals(*b[i])) return false;
+  }
+  return ParamsEqual(other);
+}
+
+BasePreference::BasePreference(PreferenceKind kind, std::string attribute)
+    : Preference(kind, {std::move(attribute)}) {}
+
+LessFn BasePreference::Bind(const Schema& schema) const {
+  auto idx = schema.IndexOf(attribute());
+  if (!idx) {
+    throw std::out_of_range("attribute '" + attribute() +
+                            "' not found in schema " + schema.ToString());
+  }
+  size_t col = *idx;
+  // Capture a shared reference so the bound closure keeps the term alive
+  // even when the caller drops its handle (e.g. `Pos(...)->Bind(s)`).
+  auto self = std::static_pointer_cast<const BasePreference>(shared_from_this());
+  return [self, col](const Tuple& x, const Tuple& y) {
+    return self->LessValue(x[col], y[col]);
+  };
+}
+
+std::function<bool(const Value&, const Value&)> BindValueLess(
+    const PrefPtr& pref) {
+  if (pref->attributes().size() != 1) {
+    throw std::invalid_argument(
+        "BindValueLess requires a single-attribute preference, got " +
+        pref->ToString());
+  }
+  Schema schema({{pref->attributes()[0], ValueType::kString}});
+  LessFn less = pref->Bind(schema);
+  return [pref, less](const Value& x, const Value& y) {
+    return less(Tuple({x}), Tuple({y}));
+  };
+}
+
+std::vector<std::string> AttributeUnion(const std::vector<std::string>& a,
+                                        const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  for (const auto& name : b) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+bool SameAttributeSet(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& name : a) {
+    if (std::find(b.begin(), b.end(), name) == b.end()) return false;
+  }
+  return true;
+}
+
+bool DisjointAttributeSets(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  for (const auto& name : a) {
+    if (std::find(b.begin(), b.end(), name) != b.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace prefdb

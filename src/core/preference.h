@@ -1,0 +1,172 @@
+// The preference model of Kießling, "Foundations of Preferences in Database
+// Systems" (VLDB 2002): preferences P = (A, <P) as strict partial orders
+// over attribute domains (Def. 1), represented as immutable preference
+// terms (Def. 5) that can be bound against a relation schema for
+// evaluation.
+
+#ifndef PREFDB_CORE_PREFERENCE_H_
+#define PREFDB_CORE_PREFERENCE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace prefdb {
+
+/// Constructor tag of a preference-term node (Def. 5 plus the layered
+/// super-constructor §3.4 hints at, used by Preference SQL's ELSE).
+enum class PreferenceKind {
+  // Non-numerical base preferences (Def. 6).
+  kPos,
+  kNeg,
+  kPosNeg,
+  kPosPos,
+  kExplicit,
+  kPosNegGraphs,
+  kLayered,
+  // Numerical base preferences (Def. 7).
+  kAround,
+  kBetween,
+  kLowest,
+  kHighest,
+  kScore,
+  // Accumulating constructors (Defs. 8-10).
+  kPareto,
+  kPrioritized,
+  kRankF,
+  // Aggregating constructors (Defs. 11-12).
+  kIntersection,
+  kDisjointUnion,
+  kLinearSum,
+  // Structural constructors (Def. 3).
+  kDual,
+  kSubset,
+  kAntiChain,
+};
+
+/// Human-readable constructor name ("POS", "PARETO", ...).
+const char* PreferenceKindName(PreferenceKind kind);
+
+class Preference;
+/// Preference terms are immutable DAGs of shared nodes.
+using PrefPtr = std::shared_ptr<const Preference>;
+
+/// A strict-partial-order test bound to a concrete schema:
+/// less(x, y) computes "x <P y", i.e. "y is better than x".
+using LessFn = std::function<bool(const Tuple&, const Tuple&)>;
+/// Equality of two tuples on a preference's attribute set ("x1 = y1" in
+/// Defs. 8/9).
+using EqFn = std::function<bool(const Tuple&, const Tuple&)>;
+/// A numeric utility of a tuple (used for rank(F), SFS presorting and the
+/// ranked query model of §6.2).
+using ScoreFn = std::function<double(const Tuple&)>;
+
+/// Abstract preference term node. A node knows its constructor kind, its
+/// attribute set A, its children, and how to bind itself against a Schema
+/// producing a LessFn. All subclasses guarantee that the bound relation is
+/// a strict partial order (irreflexive + transitive; Proposition 1).
+///
+/// Nodes must be heap-allocated through the factory functions (they derive
+/// from enable_shared_from_this so bound closures keep their node alive).
+class Preference : public std::enable_shared_from_this<Preference> {
+ public:
+  virtual ~Preference() = default;
+
+  PreferenceKind kind() const { return kind_; }
+
+  /// The attribute name set A of P = (A, <P). Order is insertion order of
+  /// construction; semantically a set (paper: "the order of components
+  /// within the Cartesian product is considered irrelevant").
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Child terms (empty for base preferences).
+  virtual std::vector<PrefPtr> children() const { return {}; }
+
+  /// Binds the strict partial order against a schema. All attributes() must
+  /// resolve in the schema; otherwise std::out_of_range is thrown.
+  virtual LessFn Bind(const Schema& schema) const = 0;
+
+  /// Binds equality on this preference's attribute set.
+  EqFn BindEquality(const Schema& schema) const;
+
+  /// Topologically compatible sort keys, when derivable: if a non-empty
+  /// vector of ScoreFns is returned, then x <P y implies keys(x) is
+  /// lexicographically smaller than keys(y), and equal attribute values
+  /// imply equal keys. Used by the sort-filter (SFS-style) BMO algorithm
+  /// and by rank(F). Returns nullopt when no such keys are derivable.
+  virtual std::optional<std::vector<ScoreFn>> BindSortKeys(
+      const Schema& schema) const {
+    (void)schema;
+    return std::nullopt;
+  }
+
+  /// Conservative static chain test (Def. 3a): true only if the term is
+  /// guaranteed to be a total order on every domain. (LOWEST/HIGHEST are
+  /// chains; prioritized accumulation of chains over disjoint attributes is
+  /// a chain, Prop. 3h.)
+  virtual bool IsChain() const { return false; }
+
+  /// Term rendering, e.g. "POS(color, {'yellow'})" or "(P1 (x) P2)".
+  virtual std::string ToString() const = 0;
+
+  /// Structural (syntactic) term equality — not semantic equivalence
+  /// (Def. 13); see algebra/equivalence.h for the latter.
+  bool StructurallyEquals(const Preference& other) const;
+
+ protected:
+  Preference(PreferenceKind kind, std::vector<std::string> attributes);
+
+  /// Node-local structural comparison of parameters, assuming kinds,
+  /// attributes and children already matched.
+  virtual bool ParamsEqual(const Preference& other) const {
+    (void)other;
+    return true;
+  }
+
+ private:
+  PreferenceKind kind_;
+  std::vector<std::string> attributes_;
+};
+
+/// Base class for single-attribute base preferences: the order is defined
+/// value-wise on dom(A).
+class BasePreference : public Preference {
+ public:
+  /// The single attribute name this base preference constrains.
+  const std::string& attribute() const { return attributes()[0]; }
+
+  /// Value-wise strict order: x <P y on dom(A).
+  virtual bool LessValue(const Value& x, const Value& y) const = 0;
+
+  LessFn Bind(const Schema& schema) const override;
+
+ protected:
+  BasePreference(PreferenceKind kind, std::string attribute);
+};
+
+/// Binds a single-attribute preference (not necessarily a BasePreference —
+/// e.g. a dual of one, or a linear sum) to a value-wise order. Throws
+/// std::invalid_argument if the preference has more than one attribute.
+std::function<bool(const Value&, const Value&)> BindValueLess(
+    const PrefPtr& pref);
+
+/// Computes the union of attribute sets preserving first-occurrence order.
+std::vector<std::string> AttributeUnion(
+    const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+/// True iff the two attribute name sets are equal as sets.
+bool SameAttributeSet(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// True iff the attribute sets are disjoint.
+bool DisjointAttributeSets(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_CORE_PREFERENCE_H_

@@ -1,0 +1,125 @@
+#include "datagen/cars.h"
+
+#include <algorithm>
+#include <random>
+
+namespace prefdb {
+
+namespace {
+
+template <typename Rng>
+const char* PickWeighted(Rng& rng,
+                         const std::vector<std::pair<const char*, double>>& w) {
+  double total = 0;
+  for (const auto& [name, weight] : w) total += weight;
+  std::uniform_real_distribution<double> uni(0.0, total);
+  double x = uni(rng);
+  for (const auto& [name, weight] : w) {
+    if (x < weight) return name;
+    x -= weight;
+  }
+  return w.back().first;
+}
+
+}  // namespace
+
+Relation GenerateCars(size_t n, uint64_t seed) {
+  Schema schema({{"oid", ValueType::kInt},
+                 {"make", ValueType::kString},
+                 {"category", ValueType::kString},
+                 {"color", ValueType::kString},
+                 {"transmission", ValueType::kString},
+                 {"price", ValueType::kInt},
+                 {"mileage", ValueType::kInt},
+                 {"horsepower", ValueType::kInt},
+                 {"year", ValueType::kInt},
+                 {"fuel_economy", ValueType::kDouble},
+                 {"insurance_rating", ValueType::kInt},
+                 {"commission", ValueType::kInt}});
+  Relation rel(schema);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 1.0);
+
+  static const std::vector<std::pair<const char*, double>> kMakes = {
+      {"Audi", 2},   {"BMW", 2},   {"VW", 3},     {"Opel", 3},
+      {"Ford", 2},   {"Toyota", 2}, {"Mercedes", 1.5}, {"Fiat", 1.5}};
+  static const std::vector<std::pair<const char*, double>> kCategories = {
+      {"passenger", 5}, {"cabriolet", 1}, {"roadster", 0.7},
+      {"suv", 2},       {"van", 1.2},     {"coupe", 1}};
+  static const std::vector<std::pair<const char*, double>> kColors = {
+      {"black", 3}, {"silver", 3}, {"white", 2.5}, {"gray", 2},
+      {"blue", 2},  {"red", 1.5},  {"green", 0.8}, {"yellow", 0.4}};
+
+  for (size_t i = 0; i < n; ++i) {
+    std::string category = PickWeighted(rng, kCategories);
+    bool sporty = category == "roadster" || category == "coupe" ||
+                  category == "cabriolet";
+    int year = 1992 + static_cast<int>(uni(rng) * 10);  // 1992..2001
+    int horsepower =
+        static_cast<int>((sporty ? 130 : 75) + uni(rng) * (sporty ? 140 : 90));
+    int mileage = std::max(
+        0, static_cast<int>((2002 - year) * 15000 * (0.5 + uni(rng))));
+    // Price: base by horsepower and age, discounted by mileage, plus noise.
+    double price = 2500.0 + horsepower * 95.0 - (2002 - year) * 900.0 -
+                   mileage * 0.04 + noise(rng) * 1500.0;
+    price = std::max(500.0, price);
+    double fuel_economy =  // miles per gallon-ish: big engines drink more
+        std::max(4.0, 42.0 - horsepower * 0.12 + noise(rng) * 3.0);
+    int insurance = std::min(
+        10, std::max(1, static_cast<int>(horsepower / 25 +
+                                         (sporty ? 2 : 0) + uni(rng) * 2)));
+    int commission = static_cast<int>(price * (0.02 + uni(rng) * 0.06));
+    bool automatic = uni(rng) < (sporty ? 0.35 : 0.45);
+
+    Tuple t;
+    t.Append(static_cast<int64_t>(i + 1));
+    t.Append(PickWeighted(rng, kMakes));
+    t.Append(category);
+    t.Append(PickWeighted(rng, kColors));
+    t.Append(automatic ? "automatic" : "manual");
+    t.Append(static_cast<int64_t>(price));
+    t.Append(static_cast<int64_t>(mileage));
+    t.Append(static_cast<int64_t>(horsepower));
+    t.Append(static_cast<int64_t>(year));
+    t.Append(fuel_economy);
+    t.Append(static_cast<int64_t>(insurance));
+    t.Append(static_cast<int64_t>(commission));
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+Relation GenerateTrips(size_t n, uint64_t seed) {
+  Schema schema({{"oid", ValueType::kInt},
+                 {"destination", ValueType::kString},
+                 {"start_date", ValueType::kInt},
+                 {"duration", ValueType::kInt},
+                 {"price", ValueType::kInt},
+                 {"category", ValueType::kString}});
+  Relation rel(schema);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  static const std::vector<std::pair<const char*, double>> kDest = {
+      {"Mallorca", 3}, {"Crete", 2},   {"Tenerife", 2}, {"Rome", 1.5},
+      {"Lisbon", 1},   {"Tunisia", 1}, {"Egypt", 1},    {"Cyprus", 1}};
+  static const std::vector<std::pair<const char*, double>> kCat = {
+      {"beach", 4}, {"city", 2}, {"cruise", 1}, {"adventure", 1}};
+  static const int kDurations[] = {3, 5, 7, 10, 14, 21};
+  for (size_t i = 0; i < n; ++i) {
+    int duration = kDurations[static_cast<size_t>(uni(rng) * 6) % 6];
+    int start = static_cast<int>(uni(rng) * 120);  // a four-month window
+    int price = static_cast<int>(150 + duration * (40 + uni(rng) * 110));
+    Tuple t;
+    t.Append(static_cast<int64_t>(i + 1));
+    t.Append(PickWeighted(rng, kDest));
+    t.Append(static_cast<int64_t>(start));
+    t.Append(static_cast<int64_t>(duration));
+    t.Append(static_cast<int64_t>(price));
+    t.Append(PickWeighted(rng, kCat));
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace prefdb

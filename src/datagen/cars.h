@@ -1,0 +1,29 @@
+// Synthetic used-car and trip databases with realistic attribute
+// distributions — the e-shopping substrate of Kießling §3.3/§6.1.
+// Substitutes for the commercial car databases and real customer query
+// logs the paper's Preference SQL deployments ran against (see DESIGN.md,
+// "Substitutions").
+
+#ifndef PREFDB_DATAGEN_CARS_H_
+#define PREFDB_DATAGEN_CARS_H_
+
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace prefdb {
+
+/// Schema: oid INT, make STRING, category STRING, color STRING,
+/// transmission STRING, price INT, mileage INT, horsepower INT, year INT,
+/// fuel_economy DOUBLE, insurance_rating INT, commission INT.
+/// Price correlates with horsepower and year and anti-correlates with
+/// mileage, as on a real used-car market.
+Relation GenerateCars(size_t n, uint64_t seed);
+
+/// Schema: oid INT, destination STRING, start_date INT (days from epoch of
+/// the query season), duration INT, price INT, category STRING.
+Relation GenerateTrips(size_t n, uint64_t seed);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_DATAGEN_CARS_H_

@@ -1,0 +1,102 @@
+// Randomized preference-term generator: drives property-based tests and
+// the algebra-law reproduction harness (and is handy for fuzzing
+// downstream preference optimizers).
+
+#ifndef PREFDB_DATAGEN_RANDOM_TERMS_H_
+#define PREFDB_DATAGEN_RANDOM_TERMS_H_
+
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+
+/// Generates random preference terms over a fixed attribute with a small
+/// value domain. All generated terms are valid (constructor preconditions
+/// respected), so every output satisfies Proposition 1.
+class RandomTermGen {
+ public:
+  RandomTermGen(std::string attribute, std::vector<Value> domain,
+                uint64_t seed)
+      : attribute_(std::move(attribute)),
+        domain_(std::move(domain)),
+        rng_(seed) {}
+
+  /// A random base preference on the attribute.
+  PrefPtr Base() {
+    switch (rng_() % 8) {
+      case 0: return Pos(attribute_, RandomSubset());
+      case 1: return Neg(attribute_, RandomSubset());
+      case 2: {
+        auto [a, b] = DisjointSubsets();
+        return PosNeg(attribute_, a, b);
+      }
+      case 3: {
+        auto [a, b] = DisjointSubsets();
+        return PosPos(attribute_, a, b);
+      }
+      case 4: return Lowest(attribute_);
+      case 5: return Highest(attribute_);
+      case 6: return Around(attribute_, RandomTargetValue());
+      case 7: {
+        double low = RandomTargetValue();
+        return Between(attribute_, low, low + 3);
+      }
+    }
+    return Lowest(attribute_);
+  }
+
+  /// A random term of bounded depth combining base preferences on the SAME
+  /// attribute (valid input for the same-attribute laws of §4).
+  PrefPtr Term(int depth = 2) {
+    if (depth <= 0) return Base();
+    switch (rng_() % 6) {
+      case 0: return Pareto(Term(depth - 1), Term(depth - 1));
+      case 1: return Prioritized(Term(depth - 1), Term(depth - 1));
+      case 2: return Intersection(Term(depth - 1), Term(depth - 1));
+      case 3: return Dual(Term(depth - 1));
+      case 4: return AntiChain(attribute_);
+      default: return Base();
+    }
+  }
+
+  const std::vector<Value>& domain() const { return domain_; }
+
+ private:
+  std::vector<Value> RandomSubset() {
+    std::vector<Value> out;
+    for (const Value& v : domain_) {
+      if (rng_() % 2 == 0) out.push_back(v);
+    }
+    if (out.empty()) out.push_back(domain_[rng_() % domain_.size()]);
+    return out;
+  }
+
+  std::pair<std::vector<Value>, std::vector<Value>> DisjointSubsets() {
+    std::vector<Value> a, b;
+    for (const Value& v : domain_) {
+      switch (rng_() % 3) {
+        case 0: a.push_back(v); break;
+        case 1: b.push_back(v); break;
+        default: break;
+      }
+    }
+    return {a, b};
+  }
+
+  double RandomTargetValue() {
+    return static_cast<double>(static_cast<int>(rng_() % 9)) - 4.0;
+  }
+
+  std::string attribute_;
+  std::vector<Value> domain_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_DATAGEN_RANDOM_TERMS_H_

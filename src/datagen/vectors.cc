@@ -1,0 +1,60 @@
+#include "datagen/vectors.h"
+
+#include <algorithm>
+#include <random>
+
+namespace prefdb {
+
+const char* CorrelationName(Correlation c) {
+  switch (c) {
+    case Correlation::kIndependent: return "independent";
+    case Correlation::kCorrelated: return "correlated";
+    case Correlation::kAntiCorrelated: return "anti-correlated";
+  }
+  return "?";
+}
+
+Relation GenerateVectors(size_t n, size_t d, Correlation correlation,
+                         uint64_t seed) {
+  Schema schema;
+  for (size_t i = 0; i < d; ++i) {
+    schema.Add({"d" + std::to_string(i), ValueType::kDouble});
+  }
+  Relation rel(schema);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> jitter(0.0, 0.08);
+  auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    switch (correlation) {
+      case Correlation::kIndependent: {
+        for (size_t k = 0; k < d; ++k) t.Append(uni(rng));
+        break;
+      }
+      case Correlation::kCorrelated: {
+        double base = uni(rng);
+        for (size_t k = 0; k < d; ++k) t.Append(clamp01(base + jitter(rng)));
+        break;
+      }
+      case Correlation::kAntiCorrelated: {
+        // Sample a point near the hyperplane sum(x) = 1 with noise: draw a
+        // simplex point via normalized exponentials, then jitter.
+        std::vector<double> e(d);
+        double sum = 0;
+        for (size_t k = 0; k < d; ++k) {
+          e[k] = -std::log(1.0 - uni(rng));
+          sum += e[k];
+        }
+        for (size_t k = 0; k < d; ++k) {
+          t.Append(clamp01(e[k] / sum + jitter(rng)));
+        }
+        break;
+      }
+    }
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace prefdb

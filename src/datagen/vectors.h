@@ -1,0 +1,35 @@
+// Synthetic vector workloads in the convention of the skyline literature
+// ([BKS01], referenced in Kießling §6.1): independent (uniform),
+// correlated and anti-correlated d-dimensional point sets.
+
+#ifndef PREFDB_DATAGEN_VECTORS_H_
+#define PREFDB_DATAGEN_VECTORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relation/relation.h"
+
+namespace prefdb {
+
+enum class Correlation {
+  kIndependent,
+  kCorrelated,
+  kAntiCorrelated,
+};
+
+const char* CorrelationName(Correlation c);
+
+/// Generates n points with d coordinates in [0, 1), attributes named
+/// "d0".."d{d-1}" (DOUBLE), deterministic in `seed`.
+///  kIndependent:    coordinates i.i.d. uniform.
+///  kCorrelated:     coordinates cluster around a shared per-point level —
+///                   points good in one dimension tend to be good in all.
+///  kAntiCorrelated: coordinates sum to ~1 — points good in one dimension
+///                   tend to be bad in the others (large skylines).
+Relation GenerateVectors(size_t n, size_t d, Correlation correlation,
+                         uint64_t seed);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_DATAGEN_VECTORS_H_

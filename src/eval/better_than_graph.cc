@@ -1,0 +1,121 @@
+#include "eval/better_than_graph.h"
+
+#include <algorithm>
+
+#include "eval/bmo.h"
+
+namespace prefdb {
+
+BetterThanGraph::BetterThanGraph(const Relation& r, const PrefPtr& p) {
+  ProjectionIndex proj = BuildProjectionIndex(r, *p);
+  proj_schema_ = proj.proj_schema;
+  values_ = std::move(proj.values);
+  const size_t m = values_.size();
+  LessFn less = p->Bind(proj_schema_);
+
+  dominated_by_.assign(m, std::vector<bool>(m, false));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i != j && less(values_[i], values_[j])) dominated_by_[i][j] = true;
+    }
+  }
+
+  // Transitive reduction: better -> worse edge (j -> i) is a Hasse edge iff
+  // there is no intermediate z with i <P z <P j.
+  reduced_.assign(m, {});
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < m; ++i) {
+      if (!dominated_by_[i][j]) continue;
+      bool immediate = true;
+      for (size_t z = 0; z < m; ++z) {
+        if (z != i && z != j && dominated_by_[i][z] && dominated_by_[z][j]) {
+          immediate = false;
+          break;
+        }
+      }
+      if (immediate) reduced_[j].push_back(i);
+    }
+  }
+
+  // Levels: level(x) = 1 for maximal values; otherwise 1 + max level of its
+  // immediate better neighbors (longest path from a maximal value, Def. 2).
+  level_.assign(m, 0);
+  // Kahn-style: process nodes in order of resolved predecessors.
+  std::vector<size_t> better_count(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (dominated_by_[i][j]) ++better_count[i];  // j better than i
+    }
+  }
+  // Immediate better predecessors of each node in the Hasse diagram.
+  std::vector<std::vector<size_t>> better_of(m);
+  std::vector<size_t> pending(m, 0);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i : reduced_[j]) {
+      better_of[i].push_back(j);
+    }
+  }
+  for (size_t i = 0; i < m; ++i) pending[i] = better_of[i].size();
+  std::vector<size_t> queue;
+  for (size_t i = 0; i < m; ++i) {
+    if (pending[i] == 0) {
+      level_[i] = 1;
+      maximal_.push_back(i);
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    size_t j = queue.back();
+    queue.pop_back();
+    for (size_t i : reduced_[j]) {
+      level_[i] = std::max(level_[i], level_[j] + 1);
+      if (--pending[i] == 0) queue.push_back(i);
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    max_level_ = std::max(max_level_, level_[i]);
+    if (reduced_[i].empty()) minimal_.push_back(i);
+  }
+}
+
+std::vector<Tuple> BetterThanGraph::ValuesAtLevel(size_t level) const {
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (level_[i] == level) out.push_back(values_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string BetterThanGraph::ToText() const {
+  std::string out;
+  for (size_t lvl = 1; lvl <= max_level_; ++lvl) {
+    out += "Level " + std::to_string(lvl) + ":";
+    for (const Tuple& t : ValuesAtLevel(lvl)) {
+      out += " " + (t.size() == 1 ? t[0].ToString() : t.ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string BetterThanGraph::ToDot(const std::string& name) const {
+  auto node_label = [this](size_t i) {
+    const Tuple& t = values_[i];
+    return t.size() == 1 ? t[0].ToString() : t.ToString();
+  };
+  std::string out = "digraph " + name + " {\n  rankdir=TB;\n";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" + node_label(i) +
+           "\\nL" + std::to_string(level_[i]) + "\"];\n";
+  }
+  for (size_t j = 0; j < values_.size(); ++j) {
+    for (size_t i : reduced_[j]) {
+      out += "  n" + std::to_string(j) + " -> n" + std::to_string(i) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace prefdb

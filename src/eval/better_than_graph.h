@@ -1,0 +1,69 @@
+// 'Better-than' graphs (Kießling Def. 2): the Hasse diagram of a database
+// preference (P)_R, with level numbers, maximal/minimal sets and render
+// helpers. Used to reproduce the paper's example figures mechanically.
+
+#ifndef PREFDB_EVAL_BETTER_THAN_GRAPH_H_
+#define PREFDB_EVAL_BETTER_THAN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+#include "relation/relation.h"
+
+namespace prefdb {
+
+/// The Hasse diagram of (P)_R over the distinct projections R[A].
+class BetterThanGraph {
+ public:
+  /// Builds the graph by exhaustive better-than tests (the paper's method
+  /// in Examples 2-4), followed by a transitive reduction.
+  BetterThanGraph(const Relation& r, const PrefPtr& p);
+
+  size_t size() const { return values_.size(); }
+  const std::vector<Tuple>& values() const { return values_; }
+  const Schema& projection_schema() const { return proj_schema_; }
+
+  /// 1-based level of node i: 1 + length of the longest path from a
+  /// maximal value down to it (Def. 2).
+  size_t LevelOf(size_t i) const { return level_[i]; }
+  size_t max_level() const { return max_level_; }
+
+  /// Immediate Hasse successors of node i (the nodes directly *worse*
+  /// than i; i is their predecessor in the paper's drawing).
+  const std::vector<size_t>& WorseNeighbors(size_t i) const {
+    return reduced_[i];
+  }
+
+  /// True iff values_[i] <P values_[j] (j better), via the full dominance
+  /// relation (not just Hasse edges).
+  bool IsWorse(size_t i, size_t j) const { return dominated_by_[i][j]; }
+
+  /// Node indices of max(P_R) / minimal elements.
+  const std::vector<size_t>& maximal() const { return maximal_; }
+  const std::vector<size_t>& minimal() const { return minimal_; }
+
+  /// Values at the given 1-based level, deterministically sorted.
+  std::vector<Tuple> ValuesAtLevel(size_t level) const;
+
+  /// "Level 1: a b\nLevel 2: c\n" rendering (matches the paper's figures).
+  std::string ToText() const;
+
+  /// Graphviz DOT rendering of the Hasse diagram (edges point from better
+  /// to worse).
+  std::string ToDot(const std::string& name = "better_than") const;
+
+ private:
+  Schema proj_schema_;
+  std::vector<Tuple> values_;
+  std::vector<std::vector<bool>> dominated_by_;   // [worse][better]
+  std::vector<std::vector<size_t>> reduced_;      // Hasse: better -> worse
+  std::vector<size_t> level_;
+  size_t max_level_ = 0;
+  std::vector<size_t> maximal_;
+  std::vector<size_t> minimal_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EVAL_BETTER_THAN_GRAPH_H_

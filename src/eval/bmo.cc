@@ -1,0 +1,384 @@
+#include "eval/bmo.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/numeric_preferences.h"
+#include "eval/decomposition.h"
+
+namespace prefdb {
+
+const char* BmoAlgorithmName(BmoAlgorithm algo) {
+  switch (algo) {
+    case BmoAlgorithm::kAuto: return "auto";
+    case BmoAlgorithm::kNaive: return "naive";
+    case BmoAlgorithm::kBlockNestedLoop: return "bnl";
+    case BmoAlgorithm::kSortFilter: return "sfs";
+    case BmoAlgorithm::kDivideConquer: return "dc";
+    case BmoAlgorithm::kDecomposition: return "decomposition";
+  }
+  return "?";
+}
+
+ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p) {
+  ProjectionIndex out;
+  std::vector<size_t> cols = r.ResolveColumns(p.attributes());
+  out.proj_schema = r.schema().Project(p.attributes());
+  out.row_to_value.reserve(r.size());
+  std::unordered_map<Tuple, size_t, TupleHash> ids;
+  for (const Tuple& t : r.tuples()) {
+    Tuple proj = t.Project(cols);
+    auto [it, inserted] = ids.emplace(std::move(proj), out.values.size());
+    if (inserted) out.values.push_back(it->first);
+    out.row_to_value.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<bool> MaximaNaive(const std::vector<Tuple>& values,
+                              const LessFn& less) {
+  const size_t m = values.size();
+  std::vector<bool> maximal(m, true);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i != j && less(values[i], values[j])) {
+        maximal[i] = false;
+        break;
+      }
+    }
+  }
+  return maximal;
+}
+
+std::vector<bool> MaximaBnl(const std::vector<Tuple>& values,
+                            const LessFn& less) {
+  const size_t m = values.size();
+  std::vector<bool> maximal(m, false);
+  std::vector<size_t> window;
+  for (size_t i = 0; i < m; ++i) {
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      size_t cand = window[w];
+      if (!dominated && less(values[i], values[cand])) {
+        dominated = true;
+        // The rest of the window cannot be dominated by i (asymmetry +
+        // transitivity would contradict their mutual incomparability), so
+        // keep everything from here on.
+        for (; w < window.size(); ++w) window[keep++] = window[w];
+        break;
+      }
+      if (less(values[cand], values[i])) continue;  // evict cand
+      window[keep++] = cand;
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(i);
+  }
+  for (size_t idx : window) maximal[idx] = true;
+  return maximal;
+}
+
+std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
+                                   const LessFn& less,
+                                   const std::vector<ScoreFn>& keys) {
+  const size_t m = values.size();
+  std::vector<std::vector<double>> key_vals(m);
+  for (size_t i = 0; i < m; ++i) {
+    key_vals[i].reserve(keys.size());
+    for (const auto& k : keys) key_vals[i].push_back(k(values[i]));
+  }
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  // Descending lexicographic: dominators come strictly before dominatees.
+  std::sort(order.begin(), order.end(), [&key_vals](size_t a, size_t b) {
+    return key_vals[b] < key_vals[a];
+  });
+  std::vector<bool> maximal(m, false);
+  std::vector<size_t> window;
+  for (size_t i : order) {
+    bool dominated = false;
+    for (size_t w : window) {
+      if (less(values[i], values[w])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) window.push_back(i);
+  }
+  for (size_t idx : window) maximal[idx] = true;
+  return maximal;
+}
+
+namespace {
+
+// KLP75 base case: 2-d maxima by a plane sweep.
+void Maxima2D(const std::vector<std::vector<double>>& scores,
+              std::vector<size_t>& idx, std::vector<bool>& maximal) {
+  std::sort(idx.begin(), idx.end(), [&scores](size_t a, size_t b) {
+    if (scores[a][0] != scores[b][0]) return scores[a][0] > scores[b][0];
+    return scores[a][1] > scores[b][1];
+  });
+  double best1 = -std::numeric_limits<double>::infinity();
+  for (size_t i : idx) {
+    if (scores[i][1] > best1) {
+      maximal[i] = true;
+      best1 = scores[i][1];
+    }
+  }
+}
+
+bool DominatesFrom(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t from) {
+  // a dominates b in dims [from, d): a >= b everywhere, a > b somewhere.
+  bool strict = false;
+  for (size_t k = from; k < a.size(); ++k) {
+    if (a[k] < b[k]) return false;
+    if (a[k] > b[k]) strict = true;
+  }
+  return strict;
+}
+
+void MaximaDcRec(const std::vector<std::vector<double>>& scores,
+                 std::vector<size_t> idx, std::vector<bool>& maximal) {
+  const size_t d = scores.empty() ? 0 : scores[0].size();
+  if (idx.size() <= 8) {
+    for (size_t i : idx) {
+      bool dominated = false;
+      for (size_t j : idx) {
+        if (i != j && DominatesFrom(scores[j], scores[i], 0)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) maximal[i] = true;
+    }
+    return;
+  }
+  if (d == 2) {
+    Maxima2D(scores, idx, maximal);
+    return;
+  }
+  // Split by the median of dim 0.
+  std::vector<size_t> sorted = idx;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end(), [&scores](size_t a, size_t b) {
+                     return scores[a][0] > scores[b][0];
+                   });
+  double median = scores[sorted[sorted.size() / 2]][0];
+  std::vector<size_t> upper, lower;
+  for (size_t i : idx) {
+    (scores[i][0] > median ? upper : lower).push_back(i);
+  }
+  if (upper.empty() || lower.empty()) {
+    // Degenerate split (many equal dim-0 values): dominance within the
+    // block is decided by the remaining dims plus exact dim-0 ties;
+    // fall back to the quadratic check for this block.
+    for (size_t i : idx) {
+      bool dominated = false;
+      for (size_t j : idx) {
+        if (i != j && DominatesFrom(scores[j], scores[i], 0)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) maximal[i] = true;
+    }
+    return;
+  }
+  std::vector<bool> upper_max(maximal.size(), false);
+  std::vector<bool> lower_max(maximal.size(), false);
+  MaximaDcRec(scores, upper, upper_max);
+  MaximaDcRec(scores, lower, lower_max);
+  // "Marriage" step: a lower maximum survives unless some upper maximum
+  // weakly dominates it in dims 1..d-1 (dim 0 is already strictly larger).
+  std::vector<size_t> upper_maxima;
+  for (size_t i : upper) {
+    if (upper_max[i]) {
+      maximal[i] = true;
+      upper_maxima.push_back(i);
+    }
+  }
+  for (size_t i : lower) {
+    if (!lower_max[i]) continue;
+    bool dominated = false;
+    for (size_t j : upper_maxima) {
+      bool geq = true;
+      for (size_t k = 1; k < d; ++k) {
+        if (scores[j][k] < scores[i][k]) {
+          geq = false;
+          break;
+        }
+      }
+      if (geq) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal[i] = true;
+  }
+}
+
+}  // namespace
+
+std::vector<bool> MaximaDivideConquer(
+    const std::vector<std::vector<double>>& scores) {
+  std::vector<bool> maximal(scores.size(), false);
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  if (scores.empty()) return maximal;
+  if (scores[0].size() < 2) {
+    // 1-d: maxima are the rows attaining the maximum score.
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& s : scores) best = std::max(best, s[0]);
+    for (size_t i = 0; i < scores.size(); ++i) {
+      maximal[i] = scores[i][0] == best;
+    }
+    return maximal;
+  }
+  MaximaDcRec(scores, idx, maximal);
+  return maximal;
+}
+
+bool CanUseDivideConquer(const PrefPtr& p, std::vector<PrefPtr>* leaves) {
+  switch (p->kind()) {
+    case PreferenceKind::kPareto: {
+      auto kids = p->children();
+      return CanUseDivideConquer(kids[0], leaves) &&
+             CanUseDivideConquer(kids[1], leaves);
+    }
+    case PreferenceKind::kLowest:
+    case PreferenceKind::kHighest: {
+      // Leaf attributes must be pairwise distinct for score dominance to
+      // coincide with Def. 8.
+      for (const auto& seen : *leaves) {
+        if (seen->attributes()[0] == p->attributes()[0]) return false;
+      }
+      leaves->push_back(p);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+std::vector<bool> ComputeMaxima(const ProjectionIndex& proj, const PrefPtr& p,
+                                BmoAlgorithm algo) {
+  if (algo == BmoAlgorithm::kAuto) {
+    std::vector<PrefPtr> leaves;
+    if (CanUseDivideConquer(p, &leaves)) {
+      algo = BmoAlgorithm::kDivideConquer;
+    } else if (p->BindSortKeys(proj.proj_schema)) {
+      algo = BmoAlgorithm::kSortFilter;
+    } else {
+      algo = BmoAlgorithm::kBlockNestedLoop;
+    }
+  }
+  switch (algo) {
+    case BmoAlgorithm::kNaive:
+      return MaximaNaive(proj.values, p->Bind(proj.proj_schema));
+    case BmoAlgorithm::kBlockNestedLoop:
+      return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+    case BmoAlgorithm::kSortFilter: {
+      auto keys = p->BindSortKeys(proj.proj_schema);
+      if (!keys) return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+      return MaximaSortFilter(proj.values, p->Bind(proj.proj_schema), *keys);
+    }
+    case BmoAlgorithm::kDivideConquer: {
+      std::vector<PrefPtr> leaves;
+      if (!CanUseDivideConquer(p, &leaves)) {
+        return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+      }
+      std::vector<ScoreFn> fns;
+      for (const auto& leaf : leaves) {
+        fns.push_back((*leaf->BindSortKeys(proj.proj_schema))[0]);
+      }
+      std::vector<std::vector<double>> scores(proj.values.size());
+      for (size_t i = 0; i < proj.values.size(); ++i) {
+        scores[i].reserve(fns.size());
+        for (const auto& f : fns) scores[i].push_back(f(proj.values[i]));
+      }
+      return MaximaDivideConquer(scores);
+    }
+    case BmoAlgorithm::kDecomposition:
+    case BmoAlgorithm::kAuto:
+      break;  // handled by caller / unreachable
+  }
+  return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+}
+
+}  // namespace
+
+std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
+                               const BmoOptions& options) {
+  if (r.empty()) return {};
+  if (options.algorithm == BmoAlgorithm::kDecomposition) {
+    return BmoDecompositionIndices(r, p);
+  }
+  ProjectionIndex proj = BuildProjectionIndex(r, *p);
+  std::vector<bool> maximal = ComputeMaxima(proj, p, options.algorithm);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (maximal[proj.row_to_value[i]]) rows.push_back(i);
+  }
+  return rows;
+}
+
+Relation Bmo(const Relation& r, const PrefPtr& p, const BmoOptions& options) {
+  return r.SelectRows(BmoIndices(r, p, options));
+}
+
+std::vector<size_t> BmoGroupByIndices(
+    const Relation& r, const PrefPtr& p,
+    const std::vector<std::string>& group_attrs, const BmoOptions& options) {
+  if (r.empty()) return {};
+  std::vector<size_t> group_cols = r.ResolveColumns(group_attrs);
+  auto groups = r.GroupIndicesBy(group_cols);
+  std::vector<size_t> out;
+  for (const auto& [key, rows] : groups) {
+    Relation group = r.SelectRows(rows);
+    for (size_t local : BmoIndices(group, p, options)) {
+      out.push_back(rows[local]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Relation BmoGroupBy(const Relation& r, const PrefPtr& p,
+                    const std::vector<std::string>& group_attrs,
+                    const BmoOptions& options) {
+  return r.SelectRows(BmoGroupByIndices(r, p, group_attrs, options));
+}
+
+size_t ResultSize(const Relation& r, const PrefPtr& p,
+                  const BmoOptions& options) {
+  Relation result = Bmo(r, p, options);
+  return result.DistinctProjections(p->attributes()).size();
+}
+
+bool IsPerfectMatch(const Tuple& t, const Relation& r, const PrefPtr& p,
+                    const std::vector<Tuple>& universe) {
+  std::vector<size_t> cols = r.ResolveColumns(p->attributes());
+  Schema proj_schema = r.schema().Project(p->attributes());
+  LessFn less = p->Bind(proj_schema);
+  Tuple proj = t.Project(cols);
+  // Perfect match: t[A] in max(P) over the whole domain (Def. 14b), and t
+  // must of course be in R.
+  bool in_r = false;
+  for (const Tuple& row : r.tuples()) {
+    if (row == t) {
+      in_r = true;
+      break;
+    }
+  }
+  if (!in_r) return false;
+  for (const Tuple& v : universe) {
+    if (less(proj, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,108 @@
+// BMO ("Best Matches Only") preference query evaluation (Kießling §5):
+//   σ[P](R)            = { t in R | t[A] in max(P_R) }          (Def. 15)
+//   σ[P groupby A](R)  = σ[A<-> & P](R)                          (Def. 16)
+//
+// Algorithms:
+//   kNaive           exhaustive O(m^2) better-than tests over distinct
+//                    projections (the paper's baseline, §5.1)
+//   kBlockNestedLoop BNL window algorithm [BKS01], generalized to arbitrary
+//                    strict partial orders
+//   kSortFilter      SFS-style: presort by topologically compatible sort
+//                    keys (Preference::BindSortKeys), then a one-sided
+//                    window scan; falls back to BNL when no keys exist
+//   kDivideConquer   the maxima algorithm of [KLP75]; applies to Pareto
+//                    combinations of LOWEST/HIGHEST chains (the 'SKYLINE
+//                    OF' fragment, §6.1); falls back to BNL otherwise
+//   kDecomposition   divide & conquer via the decomposition theorems
+//                    Props 8-12 (see eval/decomposition.h)
+//   kAuto            picks per term: decomposition for '&' trees with a
+//                    chain head, D&C for skyline fragments, SFS when sort
+//                    keys exist, BNL otherwise.
+
+#ifndef PREFDB_EVAL_BMO_H_
+#define PREFDB_EVAL_BMO_H_
+
+#include <vector>
+
+#include "core/preference.h"
+#include "relation/relation.h"
+
+namespace prefdb {
+
+enum class BmoAlgorithm {
+  kAuto,
+  kNaive,
+  kBlockNestedLoop,
+  kSortFilter,
+  kDivideConquer,
+  kDecomposition,
+};
+
+const char* BmoAlgorithmName(BmoAlgorithm algo);
+
+struct BmoOptions {
+  BmoAlgorithm algorithm = BmoAlgorithm::kAuto;
+};
+
+/// Evaluates σ[P](R); preserves input row order and duplicates (a tuple
+/// qualifies iff its projection onto P's attributes is maximal).
+Relation Bmo(const Relation& r, const PrefPtr& p, const BmoOptions& options = {});
+
+/// Same, returning the qualifying row indices sorted ascending.
+std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
+                               const BmoOptions& options = {});
+
+/// Evaluates σ[P groupby A](R) (Def. 16): grouping by equal A-values, then
+/// BMO per group.
+Relation BmoGroupBy(const Relation& r, const PrefPtr& p,
+                    const std::vector<std::string>& group_attrs,
+                    const BmoOptions& options = {});
+std::vector<size_t> BmoGroupByIndices(const Relation& r, const PrefPtr& p,
+                                      const std::vector<std::string>& group_attrs,
+                                      const BmoOptions& options = {});
+
+/// size(P, R) = card(π_A(σ[P](R))) (Def. 18): the number of distinct
+/// best-matching value combinations.
+size_t ResultSize(const Relation& r, const PrefPtr& p,
+                  const BmoOptions& options = {});
+
+/// True iff tuple t is a *perfect match* for P in R (Def. 14b): its
+/// projection is maximal in the full domain order, i.e. no conceivable
+/// value combination beats it. Checked over the candidate universe
+/// `universe` (pass domain enumerations for exact semantics).
+bool IsPerfectMatch(const Tuple& t, const Relation& r, const PrefPtr& p,
+                    const std::vector<Tuple>& universe);
+
+// --- Internals shared by the algorithm implementations and benchmarks. ---
+
+/// Distinct projections of R onto P's attributes plus row mapping.
+struct ProjectionIndex {
+  Schema proj_schema;                 // schema of the projected columns
+  std::vector<Tuple> values;          // distinct projections ("R[A]")
+  std::vector<size_t> row_to_value;   // row index -> values index
+};
+
+ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p);
+
+/// Maximal-value flags over a distinct-value set under a bound order.
+std::vector<bool> MaximaNaive(const std::vector<Tuple>& values,
+                              const LessFn& less);
+std::vector<bool> MaximaBnl(const std::vector<Tuple>& values,
+                            const LessFn& less);
+std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
+                                   const LessFn& less,
+                                   const std::vector<ScoreFn>& keys);
+/// [KLP75] divide & conquer over numeric score vectors; `scores[i]` is the
+/// to-maximize vector of values[i]. Exact iff the preference order equals
+/// coordinatewise score dominance (see CanUseDivideConquer).
+std::vector<bool> MaximaDivideConquer(
+    const std::vector<std::vector<double>>& scores);
+
+/// True when `p` is a Pareto tree over LOWEST/HIGHEST leaves with pairwise
+/// distinct attributes — the fragment where score-vector dominance
+/// coincides with Def. 8 (injective leaf scores). Fills `leaves`.
+bool CanUseDivideConquer(const PrefPtr& p, std::vector<PrefPtr>* leaves);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EVAL_BMO_H_

@@ -1,0 +1,86 @@
+#include "eval/negotiation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/complex_preferences.h"
+#include "eval/better_than_graph.h"
+#include "eval/bmo.h"
+
+namespace prefdb {
+
+namespace {
+
+std::vector<size_t> Difference(const std::vector<size_t>& a,
+                               const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// Levels of every row of R under a preference's better-than graph.
+std::vector<size_t> RowLevels(const Relation& r, const PrefPtr& p) {
+  BetterThanGraph graph(r, p);
+  ProjectionIndex proj = BuildProjectionIndex(r, *p);
+  // Map graph node values back to projection ids (same distinct set, but
+  // possibly different order — match by tuple).
+  std::unordered_map<Tuple, size_t, TupleHash> level_of;
+  for (size_t i = 0; i < graph.size(); ++i) {
+    level_of[graph.values()[i]] = graph.LevelOf(i);
+  }
+  std::vector<size_t> out(r.size());
+  for (size_t row = 0; row < r.size(); ++row) {
+    out[row] = level_of[proj.values[proj.row_to_value[row]]];
+  }
+  return out;
+}
+
+}  // namespace
+
+NegotiationAnalysis AnalyzeNegotiation(const Relation& r, const PrefPtr& p1,
+                                       const PrefPtr& p2) {
+  NegotiationAnalysis out;
+  out.pareto_frontier = BmoIndices(r, Pareto(p1, p2));
+  std::vector<size_t> best1 = BmoIndices(r, p1);
+  std::vector<size_t> best2 = BmoIndices(r, p2);
+  out.consensus = Relation::IndexIntersect(best1, best2);
+  std::vector<size_t> frontier_and_1 =
+      Relation::IndexIntersect(out.pareto_frontier, best1);
+  std::vector<size_t> frontier_and_2 =
+      Relation::IndexIntersect(out.pareto_frontier, best2);
+  out.party1_favored = Difference(frontier_and_1, best2);
+  out.party2_favored = Difference(frontier_and_2, best1);
+  out.middle_ground = Difference(
+      Difference(out.pareto_frontier, best1), best2);
+  return out;
+}
+
+bool CompromiseProposal::operator<(const CompromiseProposal& other) const {
+  size_t max_a = std::max(regret1, regret2);
+  size_t max_b = std::max(other.regret1, other.regret2);
+  if (max_a != max_b) return max_a < max_b;
+  size_t sum_a = regret1 + regret2;
+  size_t sum_b = other.regret1 + other.regret2;
+  if (sum_a != sum_b) return sum_a < sum_b;
+  return row < other.row;
+}
+
+std::vector<CompromiseProposal> SuggestCompromises(const Relation& r,
+                                                   const PrefPtr& p1,
+                                                   const PrefPtr& p2,
+                                                   size_t k) {
+  std::vector<size_t> frontier = BmoIndices(r, Pareto(p1, p2));
+  std::vector<size_t> levels1 = RowLevels(r, p1);
+  std::vector<size_t> levels2 = RowLevels(r, p2);
+  std::vector<CompromiseProposal> proposals;
+  proposals.reserve(frontier.size());
+  for (size_t row : frontier) {
+    proposals.push_back({row, levels1[row] - 1, levels2[row] - 1});
+  }
+  std::sort(proposals.begin(), proposals.end());
+  if (k > 0 && proposals.size() > k) proposals.resize(k);
+  return proposals;
+}
+
+}  // namespace prefdb

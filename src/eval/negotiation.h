@@ -1,0 +1,61 @@
+// E-negotiation support (the paper's §7 outlook: "the conflict tolerance
+// of our preference model forms the basis for research concerned with
+// e-negotiations and e-haggling"; §4.1: "unranked values are a natural
+// reservoir to negotiate compromises").
+//
+// Given two parties' preferences P1 and P2 over a database set R, the
+// negotiation table is the Pareto frontier sigma[P1 (x) P2](R). This
+// module classifies it and ranks compromises by a fairness measure based
+// on each party's better-than levels (Def. 2): a candidate's *regret* for
+// a party is its level in that party's better-than graph minus 1 (0 =
+// that party's best available choice).
+
+#ifndef PREFDB_EVAL_NEGOTIATION_H_
+#define PREFDB_EVAL_NEGOTIATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+#include "relation/relation.h"
+
+namespace prefdb {
+
+/// Classification of the negotiation table (all vectors hold row indices
+/// into R, sorted ascending).
+struct NegotiationAnalysis {
+  /// Rows best for BOTH parties individually — sign immediately.
+  std::vector<size_t> consensus;
+  /// The full negotiation table sigma[P1 (x) P2](R).
+  std::vector<size_t> pareto_frontier;
+  /// Frontier rows best for party 1 but not for party 2 / vice versa.
+  std::vector<size_t> party1_favored;
+  std::vector<size_t> party2_favored;
+  /// Frontier rows best for NEITHER party alone: the compromise reservoir
+  /// (these enter the frontier through the YY term of Prop 12).
+  std::vector<size_t> middle_ground;
+};
+
+NegotiationAnalysis AnalyzeNegotiation(const Relation& r, const PrefPtr& p1,
+                                       const PrefPtr& p2);
+
+/// One ranked compromise proposal.
+struct CompromiseProposal {
+  size_t row;            // index into R
+  size_t regret1;        // level of the row under P1, minus 1
+  size_t regret2;        // level of the row under P2, minus 1
+  /// Fairness key: minimize max(regret1, regret2), tie-break on the sum,
+  /// then on row order. 0/0 means a consensus row.
+  bool operator<(const CompromiseProposal& other) const;
+};
+
+/// Ranks the Pareto frontier by fairness and returns the top k proposals
+/// (k = 0 returns the whole frontier ranked).
+std::vector<CompromiseProposal> SuggestCompromises(const Relation& r,
+                                                   const PrefPtr& p1,
+                                                   const PrefPtr& p2,
+                                                   size_t k);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EVAL_NEGOTIATION_H_

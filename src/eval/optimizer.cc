@@ -1,0 +1,85 @@
+#include "eval/optimizer.h"
+
+#include "core/complex_preferences.h"
+
+namespace prefdb {
+
+namespace {
+
+// Heuristic thresholds: below this size every algorithm finishes in
+// microseconds and BNL's simplicity wins.
+constexpr size_t kSmallInput = 512;
+
+bool PrioritizedChainHead(const PrefPtr& p) {
+  if (p->kind() != PreferenceKind::kPrioritized) return false;
+  auto kids = p->children();
+  return kids[0]->IsChain() &&
+         DisjointAttributeSets(kids[0]->attributes(), kids[1]->attributes());
+}
+
+}  // namespace
+
+AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p) {
+  const size_t n = r.size();
+  if (n <= kSmallInput) {
+    return {BmoAlgorithm::kBlockNestedLoop,
+            "input below " + std::to_string(kSmallInput) +
+                " rows: window scan wins on constants"};
+  }
+  std::vector<PrefPtr> leaves;
+  if (CanUseDivideConquer(p, &leaves)) {
+    return {BmoAlgorithm::kDivideConquer,
+            "skyline fragment over " + std::to_string(leaves.size()) +
+                " LOWEST/HIGHEST chains: KLP75 divide & conquer"};
+  }
+  if (PrioritizedChainHead(p)) {
+    return {BmoAlgorithm::kDecomposition,
+            "prioritized with a chain head: Prop 11 cascade evaluation"};
+  }
+  bool has_keys = false;
+  try {
+    has_keys = p->BindSortKeys(r.schema().Project(p->attributes()))
+                   .has_value();
+  } catch (const std::out_of_range&) {
+    has_keys = false;
+  }
+  if (has_keys) {
+    return {BmoAlgorithm::kSortFilter,
+            "topologically compatible sort keys exist: presort + one-sided "
+            "window (SFS)"};
+  }
+  return {BmoAlgorithm::kBlockNestedLoop,
+          "no exploitable structure: generic BNL window scan"};
+}
+
+std::string OptimizedQuery::Explain() const {
+  std::string out = "preference: " + original->ToString() + "\n";
+  if (!rewrites.empty()) {
+    out += "rewrites:\n";
+    for (const RewriteStep& step : rewrites) {
+      out += "  " + step.rule + ": " + step.before + " -> " + step.after +
+             "\n";
+    }
+    out += "simplified: " + simplified->ToString() + "\n";
+  } else {
+    out += "rewrites: (none)\n";
+  }
+  out += "algorithm: " + std::string(BmoAlgorithmName(choice.algorithm)) +
+         " -- " + choice.rationale + "\n";
+  return out;
+}
+
+OptimizedQuery Optimize(const Relation& r, const PrefPtr& p) {
+  OptimizedQuery out;
+  out.original = p;
+  out.simplified = Simplify(p, &out.rewrites);
+  out.choice = ChooseAlgorithm(r, out.simplified);
+  return out;
+}
+
+Relation BmoOptimized(const Relation& r, const PrefPtr& p) {
+  OptimizedQuery plan = Optimize(r, p);
+  return Bmo(r, plan.simplified, {plan.choice.algorithm});
+}
+
+}  // namespace prefdb

@@ -1,0 +1,57 @@
+// A preference query optimizer front-end (the paper's §7 outlook:
+// "heuristic transformations ..., cost-based optimization to choose
+// between direct implementations of the Pareto operator and divide &
+// conquer algorithms exploiting the decomposition principles").
+//
+// Pipeline: algebraic simplification (Props 3/4a/6 rewrites, which
+// preserve the BMO answer by Prop 7) -> cost-based algorithm choice using
+// cheap statistics of R -> EXPLAIN-style report.
+
+#ifndef PREFDB_EVAL_OPTIMIZER_H_
+#define PREFDB_EVAL_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/simplifier.h"
+#include "eval/bmo.h"
+
+namespace prefdb {
+
+/// The algorithm decision plus a human-readable justification.
+struct AlgorithmChoice {
+  BmoAlgorithm algorithm = BmoAlgorithm::kBlockNestedLoop;
+  std::string rationale;
+};
+
+/// Chooses an evaluation algorithm for σ[P](R) from term structure and
+/// relation statistics (cardinality, attribute count):
+///  - skyline fragment (Pareto of LOWEST/HIGHEST on distinct attributes)
+///    and large n  -> divide & conquer [KLP75]
+///  - prioritized with chain head over disjoint attributes -> the
+///    decomposition evaluator (Prop 11 cascade)
+///  - derivable sort keys and large n -> sort-filter
+///  - otherwise -> BNL (small inputs: naive is fine too, BNL never loses)
+AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p);
+
+/// A fully optimized query: simplified term, rewrite trace, chosen
+/// algorithm.
+struct OptimizedQuery {
+  PrefPtr original;
+  PrefPtr simplified;
+  std::vector<RewriteStep> rewrites;
+  AlgorithmChoice choice;
+
+  /// Multi-line EXPLAIN text.
+  std::string Explain() const;
+};
+
+OptimizedQuery Optimize(const Relation& r, const PrefPtr& p);
+
+/// Optimizes and evaluates in one step (equivalent to Bmo() by Prop 7,
+/// validated in optimizer_test).
+Relation BmoOptimized(const Relation& r, const PrefPtr& p);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EVAL_OPTIMIZER_H_

@@ -1,0 +1,38 @@
+// Quality functions LEVEL and DISTANCE (Kießling §6.1): supervise required
+// quality levels in BUT ONLY clauses and power query explanation.
+//
+// LEVEL(v) is the intrinsic level of a value under a non-numerical base
+// preference (Def. 6: POS has levels 1-2, POS/NEG 1-3, ...); DISTANCE(v)
+// is the continuous distance of Def. 7 for AROUND/BETWEEN.
+
+#ifndef PREFDB_EVAL_QUALITY_H_
+#define PREFDB_EVAL_QUALITY_H_
+
+#include <optional>
+
+#include "core/base_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+
+/// Intrinsic 1-based level of a value under a non-numerical base
+/// preference (lower is better):
+///   POS: 1 if in POS-set else 2;  NEG: 1 if not in NEG-set else 2;
+///   POS/NEG: 1 / 2 / 3;  POS/POS: 1 / 2 / 3;  LAYERED: layer index;
+///   EXPLICIT: longest-path level within the graph, other values one level
+///   below the deepest graph value.
+/// Throws std::invalid_argument for preferences without level semantics.
+size_t IntrinsicLevel(const Preference& p, const Value& v);
+
+/// distance(v, z) resp. distance(v, [low, up]) of Def. 7a/b. Throws
+/// std::invalid_argument unless p is AROUND or BETWEEN.
+double QualityDistance(const Preference& p, const Value& v);
+
+/// Searches a preference term for a base preference on the given attribute
+/// (used to resolve LEVEL(attr) / DISTANCE(attr) in BUT ONLY clauses).
+/// Returns nullptr if none exists.
+PrefPtr FindBasePreference(const PrefPtr& term, const std::string& attribute);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EVAL_QUALITY_H_

@@ -1,0 +1,46 @@
+#include "eval/ranked.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace prefdb {
+
+namespace {
+
+RankedResult TopKByUtility(const Relation& r, const ScoreFn& utility,
+                           size_t k) {
+  std::vector<double> scores;
+  scores.reserve(r.size());
+  for (const Tuple& t : r.tuples()) scores.push_back(utility(t));
+  std::vector<size_t> order(r.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  if (k > 0 && k < order.size()) order.resize(k);
+  RankedResult out;
+  out.relation = Relation(r.schema());
+  for (size_t i : order) {
+    out.relation.Add(r.at(i));
+    out.utilities.push_back(scores[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RankedResult TopK(const Relation& r, const RankPreference& rank, size_t k) {
+  return TopKByUtility(r, rank.BindUtility(r.schema()), k);
+}
+
+RankedResult TopK(const Relation& r, const PrefPtr& p, size_t k) {
+  auto keys = p->BindSortKeys(r.schema());
+  if (!keys || keys->size() != 1) {
+    throw std::invalid_argument(
+        "TopK requires a single-utility preference, got " + p->ToString());
+  }
+  return TopKByUtility(r, (*keys)[0], k);
+}
+
+}  // namespace prefdb

@@ -1,0 +1,34 @@
+// The ranked ("k-best") query model of Kießling §6.2: rank(F) preferences
+// usually form chains, so BMO would return a single best object; instead,
+// multi-feature and full-text engines return the top k objects by the
+// combined utility. This module provides that retrieval mode.
+
+#ifndef PREFDB_EVAL_RANKED_H_
+#define PREFDB_EVAL_RANKED_H_
+
+#include <vector>
+
+#include "core/complex_preferences.h"
+#include "relation/relation.h"
+
+namespace prefdb {
+
+/// Result of a k-best query: rows in descending utility order, with the
+/// utilities aligned 1:1.
+struct RankedResult {
+  Relation relation;
+  std::vector<double> utilities;
+};
+
+/// Top k rows of R by the rank(F) combined utility (ties broken by input
+/// order, deterministic). k = 0 returns everything ranked.
+RankedResult TopK(const Relation& r, const RankPreference& rank, size_t k);
+
+/// Top k rows by any preference exposing a single sort key (every
+/// numerical base preference qualifies by the §3.4 hierarchy). Throws
+/// std::invalid_argument when no single-key utility is derivable.
+RankedResult TopK(const Relation& r, const PrefPtr& p, size_t k);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EVAL_RANKED_H_

@@ -1,0 +1,73 @@
+// Preference mining from query logs (the paper's §7 outlook: "preference
+// mining from query log files").
+//
+// Input: a click log — query result sets together with the rows the user
+// actually chose. Output: a mined preference per attribute plus the
+// composed Pareto term, using the paper's own constructors:
+//
+//   categorical attribute: values chosen significantly more often than
+//     offered -> POS-set; values offered but (almost) never chosen while
+//     alternatives existed -> NEG-set; both -> POS/NEG.
+//   numeric attribute: chosen values at the low end -> LOWEST, at the
+//     high end -> HIGHEST, tightly clustered in the middle -> AROUND(mean
+//     of the chosen values); otherwise no evidence.
+//
+// The miner is deliberately simple and transparent — it demonstrates the
+// feasibility of the roadmap item on the paper's own model, not a
+// state-of-the-art learning method (see DESIGN.md).
+
+#ifndef PREFDB_MINING_MINER_H_
+#define PREFDB_MINING_MINER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+#include "relation/relation.h"
+
+namespace prefdb::mining {
+
+/// One logged interaction: the rows the user saw and the subset they chose.
+struct LogEntry {
+  Relation shown;
+  std::vector<size_t> chosen;  // row indices into `shown`
+};
+
+struct MinerOptions {
+  /// A categorical value joins the POS-set when
+  /// P(chosen | value) >= pos_lift * P(chosen overall).
+  double pos_lift = 2.0;
+  /// A categorical value joins the NEG-set when it was offered at least
+  /// `min_support` times and its pick rate is below neg_drop * overall.
+  double neg_drop = 0.25;
+  size_t min_support = 5;
+  /// Numeric: mean percentile below -> LOWEST; above (1-x) -> HIGHEST.
+  double extremal_percentile = 0.2;
+  /// Numeric: chosen std-dev below this fraction of the population
+  /// std-dev counts as "clustered" -> AROUND.
+  double cluster_ratio = 0.5;
+};
+
+/// Evidence mined for one attribute (null preference = no evidence).
+struct MinedAttribute {
+  std::string attribute;
+  PrefPtr preference;        // POS/NEG/POS-NEG/LOWEST/HIGHEST/AROUND
+  std::string evidence;      // human-readable justification
+};
+
+struct MiningResult {
+  std::vector<MinedAttribute> attributes;
+  /// Pareto accumulation of all mined attribute preferences (nullptr when
+  /// nothing was mined).
+  PrefPtr combined;
+};
+
+/// Mines preferences from a log. All entries must share one schema
+/// (std::invalid_argument otherwise).
+MiningResult MinePreferences(const std::vector<LogEntry>& log,
+                             const MinerOptions& options = {});
+
+}  // namespace prefdb::mining
+
+#endif  // PREFDB_MINING_MINER_H_

@@ -1,0 +1,96 @@
+// AST of Preference SQL statements: SELECT ... FROM ... [WHERE hard]
+// [PREFERRING soft [CASCADE soft]*] [BUT ONLY quality] [LIMIT n].
+//
+// WHERE expresses the hard constraints of the exact-match world; PREFERRING
+// the soft constraints evaluated under the BMO model (Kießling §6.1).
+
+#ifndef PREFDB_PSQL_AST_H_
+#define PREFDB_PSQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace prefdb::psql {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpText(CompareOp op);
+
+/// Hard-constraint condition tree (WHERE clause).
+struct Condition {
+  enum class Kind { kCompare, kInList, kAnd, kOr, kNot };
+  Kind kind;
+  // kCompare / kInList:
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  std::vector<Value> list;
+  bool negated = false;  // NOT IN
+  // kAnd / kOr / kNot:
+  std::vector<std::shared_ptr<Condition>> children;
+
+  std::string ToString() const;
+};
+using ConditionPtr = std::shared_ptr<Condition>;
+
+/// Soft-constraint preference expression (PREFERRING clause).
+///   AND       -> Pareto accumulation (kPareto)
+///   PRIOR TO  -> prioritized accumulation (kPrior)
+///   ELSE      -> layered alternatives (kCondLayers)
+struct PrefExpr {
+  enum class Kind {
+    kLowest,      // LOWEST(attr)
+    kHighest,     // HIGHEST(attr)
+    kAround,      // attr AROUND v
+    kBetween,     // attr BETWEEN lo AND hi
+    kCondLayers,  // cond (ELSE cond)* — single condition = POS/NEG/IN atom
+    kPareto,      // children joined by AND
+    kPrior,       // children joined by PRIOR TO
+  };
+  Kind kind;
+  std::string attribute;  // for the base kinds
+  double low = 0;         // AROUND target / BETWEEN low
+  double high = 0;        // BETWEEN high
+  std::vector<Condition> layers;  // kCondLayers: one condition per layer
+  std::vector<std::shared_ptr<PrefExpr>> children;
+
+  std::string ToString() const;
+};
+using PrefExprPtr = std::shared_ptr<PrefExpr>;
+
+/// BUT ONLY quality condition over LEVEL(attr) / DISTANCE(attr) (§6.1).
+struct QualityCondition {
+  enum class Kind { kLevel, kDistance, kAnd, kOr };
+  Kind kind;
+  std::string attribute;
+  CompareOp op = CompareOp::kLe;
+  double threshold = 0;
+  std::vector<std::shared_ptr<QualityCondition>> children;
+
+  std::string ToString() const;
+};
+using QualityConditionPtr = std::shared_ptr<QualityCondition>;
+
+/// A full SELECT statement.
+struct SelectStatement {
+  /// EXPLAIN prefix: report the optimizer's plan alongside the result.
+  bool explain = false;
+  std::vector<std::string> select_list;  // empty means '*'
+  std::string table;
+  ConditionPtr where;                   // may be null
+  std::vector<PrefExprPtr> preferring;  // PREFERRING + CASCADE chain
+  /// GROUPING attrs (Def. 16): evaluate the preference per group of
+  /// equal values of these attributes.
+  std::vector<std::string> grouping;
+  QualityConditionPtr but_only;         // may be null
+  size_t limit = 0;                     // 0 means no LIMIT
+
+  std::string ToString() const;
+};
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_AST_H_

@@ -1,0 +1,38 @@
+#include "psql/catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prefdb::psql {
+
+void Catalog::Register(const std::string& name, Relation relation) {
+  tables_.insert_or_assign(name, std::move(relation));
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const Relation& Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    std::string known;
+    for (const auto& n : TableNames()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("unknown table '" + name + "' (known: " + known +
+                            ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, rel] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace prefdb::psql

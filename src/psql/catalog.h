@@ -1,0 +1,34 @@
+// A named-relation catalog: the "database" Preference SQL statements run
+// against.
+
+#ifndef PREFDB_PSQL_CATALOG_H_
+#define PREFDB_PSQL_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace prefdb::psql {
+
+class Catalog {
+ public:
+  /// Registers (or replaces) a relation under a case-sensitive name.
+  void Register(const std::string& name, Relation relation);
+
+  bool Has(const std::string& name) const;
+
+  /// Looks up a relation; throws std::out_of_range with the list of known
+  /// tables when the name is unknown.
+  const Relation& Get(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, Relation> tables_;
+};
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_CATALOG_H_

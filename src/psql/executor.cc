@@ -1,0 +1,77 @@
+#include "psql/executor.h"
+
+#include "eval/optimizer.h"
+#include "psql/translator.h"
+
+namespace prefdb::psql {
+
+QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
+                    const BmoOptions& options) {
+  const Relation& table = catalog.Get(stmt.table);
+  QueryResult result;
+  std::string plan = "scan(" + stmt.table + ")";
+
+  // Hard selection (exact-match world).
+  Relation current = table;
+  if (stmt.where) {
+    current = current.Filter(CompileCondition(*stmt.where, table.schema()));
+    plan += " -> where[" + stmt.where->ToString() + "]";
+  }
+
+  // Soft selection (BMO world).
+  PrefPtr preference = TranslatePreferenceChain(stmt.preferring);
+  if (preference && !stmt.grouping.empty()) {
+    // Def. 16: sigma[P groupby A](R) == sigma[A<-> & P](R).
+    result.preference_term = preference->ToString();
+    current = BmoGroupBy(current, preference, stmt.grouping, options);
+    plan += " -> bmo_groupby[" + result.preference_term + "]";
+  } else if (preference) {
+    result.preference_term = preference->ToString();
+    if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
+      // Route through the optimizer: algebraic rewrites (Prop 7 preserves
+      // the answer) + cost-based algorithm choice.
+      OptimizedQuery optimized = Optimize(current, preference);
+      if (stmt.explain) result.plan_details = optimized.Explain();
+      current = Bmo(current, optimized.simplified,
+                    {optimized.choice.algorithm});
+      plan += " -> bmo[" + optimized.simplified->ToString() + ", " +
+              BmoAlgorithmName(optimized.choice.algorithm) + "]";
+    } else {
+      current = Bmo(current, preference, options);
+      plan += " -> bmo[" + result.preference_term + ", " +
+              BmoAlgorithmName(options.algorithm) + "]";
+    }
+  }
+
+  // Quality supervision.
+  if (stmt.but_only) {
+    current = current.Filter(CompileQualityCondition(
+        *stmt.but_only, preference, current.schema()));
+    plan += " -> but_only[" + stmt.but_only->ToString() + "]";
+  }
+
+  // Projection.
+  if (!stmt.select_list.empty()) {
+    current = current.Project(stmt.select_list);
+    plan += " -> project";
+  }
+
+  // LIMIT.
+  if (stmt.limit > 0 && current.size() > stmt.limit) {
+    std::vector<size_t> head(stmt.limit);
+    for (size_t i = 0; i < stmt.limit; ++i) head[i] = i;
+    current = current.SelectRows(head);
+    plan += " -> limit " + std::to_string(stmt.limit);
+  }
+
+  result.relation = std::move(current);
+  result.plan = std::move(plan);
+  return result;
+}
+
+QueryResult ExecuteQuery(const std::string& sql, const Catalog& catalog,
+                         const BmoOptions& options) {
+  return Execute(Parse(sql), catalog, options);
+}
+
+}  // namespace prefdb::psql

@@ -1,0 +1,38 @@
+// End-to-end Preference SQL execution: parse -> hard selection (WHERE) ->
+// BMO preference evaluation (PREFERRING/CASCADE) -> quality filter
+// (BUT ONLY) -> projection -> LIMIT.
+
+#ifndef PREFDB_PSQL_EXECUTOR_H_
+#define PREFDB_PSQL_EXECUTOR_H_
+
+#include <string>
+
+#include "eval/bmo.h"
+#include "psql/catalog.h"
+#include "psql/parser.h"
+
+namespace prefdb::psql {
+
+struct QueryResult {
+  Relation relation;
+  /// The preference term the PREFERRING clause translated to ("" if none).
+  std::string preference_term;
+  /// EXPLAIN-style plan summary.
+  std::string plan;
+  /// Optimizer report (rewrites + algorithm rationale); filled for
+  /// EXPLAIN queries.
+  std::string plan_details;
+};
+
+/// Executes an already-parsed statement.
+QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
+                    const BmoOptions& options = {});
+
+/// Parses and executes. Throws SyntaxError / std::out_of_range /
+/// std::invalid_argument on bad queries.
+QueryResult ExecuteQuery(const std::string& sql, const Catalog& catalog,
+                         const BmoOptions& options = {});
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_EXECUTOR_H_

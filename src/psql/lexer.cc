@@ -1,0 +1,106 @@
+#include "psql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace prefdb::psql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = std::toupper(static_cast<unsigned char>(c));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // SQL line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string text = input.substr(start, i - start);
+      tokens.push_back(
+          {TokenType::kIdentifier, text, Upper(text), 0, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      char* end = nullptr;
+      double value = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        throw SyntaxError("malformed number '" + text + "'", start);
+      }
+      tokens.push_back({TokenType::kNumber, text, text, value, start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) throw SyntaxError("unterminated string literal", start);
+      tokens.push_back({TokenType::kString, text, text, 0, start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = input.substr(i, 2);
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+      tokens.push_back({TokenType::kSymbol, two, two, 0, start});
+      i += 2;
+      continue;
+    }
+    if (std::string("()*,;=<>+-").find(c) != std::string::npos) {
+      std::string text(1, c);
+      tokens.push_back({TokenType::kSymbol, text, text, 0, start});
+      ++i;
+      continue;
+    }
+    throw SyntaxError(std::string("unexpected character '") + c + "'", start);
+  }
+  tokens.push_back({TokenType::kEnd, "", "", 0, n});
+  return tokens;
+}
+
+}  // namespace prefdb::psql

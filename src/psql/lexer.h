@@ -1,0 +1,33 @@
+// Lexer for Preference SQL (Kießling §6.1 / [KiK01] syntax).
+
+#ifndef PREFDB_PSQL_LEXER_H_
+#define PREFDB_PSQL_LEXER_H_
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "psql/token.h"
+
+namespace prefdb::psql {
+
+/// Raised by the lexer and parser on malformed queries; carries the byte
+/// offset of the offending position.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+  size_t position() const { return position_; }
+
+ private:
+  size_t position_;
+};
+
+/// Tokenizes a Preference SQL text. The trailing token is always kEnd.
+std::vector<Token> Tokenize(const std::string& input);
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_LEXER_H_

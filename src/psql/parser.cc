@@ -1,0 +1,556 @@
+#include "psql/parser.h"
+
+#include <cmath>
+
+#include "relation/date.h"
+
+namespace prefdb::psql {
+
+namespace {
+
+std::string NumText(double d) {
+  if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+    return std::to_string(static_cast<int64_t>(d));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : tokens_(Tokenize(sql)) {}
+
+  SelectStatement ParseStatement() {
+    SelectStatement stmt;
+    if (AcceptKeyword("EXPLAIN")) stmt.explain = true;
+    ExpectKeyword("SELECT");
+    stmt.select_list = ParseSelectList();
+    ExpectKeyword("FROM");
+    stmt.table = ExpectIdentifier("table name");
+    if (AcceptKeyword("WHERE")) stmt.where = ParseCondition();
+    if (AcceptKeyword("PREFERRING")) {
+      stmt.preferring.push_back(ParsePreference());
+      while (AcceptKeyword("CASCADE")) {
+        stmt.preferring.push_back(ParsePreference());
+      }
+    } else if (AcceptKeyword("SKYLINE")) {
+      // The 'SKYLINE OF' clause of [BKS01] (§6.1): a restricted Pareto
+      // accumulation of LOWEST/HIGHEST chains.
+      ExpectKeyword("OF");
+      stmt.preferring.push_back(ParseSkylineOf());
+    }
+    if (AcceptKeyword("GROUPING")) {
+      // Def. 16: sigma[P groupby A](R); the preference is evaluated
+      // independently within groups of equal A-values.
+      stmt.grouping.push_back(ExpectIdentifier("grouping attribute"));
+      while (AcceptSymbol(",")) {
+        stmt.grouping.push_back(ExpectIdentifier("grouping attribute"));
+      }
+      if (stmt.preferring.empty()) {
+        throw SyntaxError("GROUPING requires a PREFERRING clause",
+                          Cur().position);
+      }
+    }
+    if (AcceptKeyword("BUT")) {
+      ExpectKeyword("ONLY");
+      stmt.but_only = ParseQualityCondition();
+    }
+    if (AcceptKeyword("LIMIT")) {
+      stmt.limit = static_cast<size_t>(ExpectNumber("LIMIT count"));
+    }
+    AcceptSymbol(";");
+    if (!Cur().Is(TokenType::kEnd)) {
+      throw SyntaxError("trailing input after statement: '" + Cur().text + "'",
+                        Cur().position);
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return tokens_[std::min(i, tokens_.size() - 1)];
+  }
+  void Advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      throw SyntaxError("expected " + kw + ", got '" + Cur().text + "'",
+                        Cur().position);
+    }
+  }
+  bool AcceptSymbol(const std::string& s) {
+    if (Cur().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) {
+      throw SyntaxError("expected '" + s + "', got '" + Cur().text + "'",
+                        Cur().position);
+    }
+  }
+  std::string ExpectIdentifier(const std::string& what) {
+    if (!Cur().Is(TokenType::kIdentifier)) {
+      throw SyntaxError("expected " + what + ", got '" + Cur().text + "'",
+                        Cur().position);
+    }
+    std::string text = Cur().text;
+    Advance();
+    return text;
+  }
+  double ExpectNumber(const std::string& what) {
+    bool neg = false;
+    if (Cur().IsSymbol("-")) {
+      neg = true;
+      Advance();
+    }
+    // Date literals ('2001/11/23') act as numbers via their day ordinal
+    // ("AROUND preferences ... are also applicable to other ordered SQL
+    // types like Date", Def. 7a).
+    if (!neg && Cur().Is(TokenType::kString)) {
+      if (auto days = ParseDateOrdinal(Cur().text)) {
+        Advance();
+        return static_cast<double>(*days);
+      }
+      throw SyntaxError("expected " + what + ", got string '" + Cur().text +
+                        "' (not a YYYY/MM/DD date)", Cur().position);
+    }
+    if (!Cur().Is(TokenType::kNumber)) {
+      throw SyntaxError("expected " + what + ", got '" + Cur().text + "'",
+                        Cur().position);
+    }
+    double v = Cur().number;
+    Advance();
+    return neg ? -v : v;
+  }
+
+  PrefExprPtr ParseSkylineOf() {
+    PrefExprPtr acc;
+    do {
+      std::string attr = ExpectIdentifier("skyline attribute");
+      auto node = std::make_shared<PrefExpr>();
+      if (AcceptKeyword("MIN")) {
+        node->kind = PrefExpr::Kind::kLowest;
+      } else if (AcceptKeyword("MAX")) {
+        node->kind = PrefExpr::Kind::kHighest;
+      } else {
+        throw SyntaxError("expected MIN or MAX after skyline attribute",
+                          Cur().position);
+      }
+      node->attribute = attr;
+      if (!acc) {
+        acc = node;
+      } else {
+        auto pareto = std::make_shared<PrefExpr>();
+        pareto->kind = PrefExpr::Kind::kPareto;
+        pareto->children = {acc, node};
+        acc = pareto;
+      }
+    } while (AcceptSymbol(","));
+    return acc;
+  }
+
+  Value ParseLiteral() {
+    if (Cur().IsSymbol("-")) {
+      Advance();
+      if (!Cur().Is(TokenType::kNumber)) {
+        throw SyntaxError("expected a number after '-'", Cur().position);
+      }
+      Value v = ParseLiteral();
+      if (v.is_int()) return Value(-v.as_int());
+      return Value(-v.as_double());
+    }
+    if (Cur().Is(TokenType::kString)) {
+      Value v(Cur().text);
+      Advance();
+      return v;
+    }
+    if (Cur().Is(TokenType::kNumber)) {
+      double d = Cur().number;
+      bool integral = d == std::floor(d) &&
+                      Cur().text.find('.') == std::string::npos &&
+                      Cur().text.find('e') == std::string::npos &&
+                      Cur().text.find('E') == std::string::npos;
+      Advance();
+      if (integral) return Value(static_cast<int64_t>(d));
+      return Value(d);
+    }
+    if (Cur().IsKeyword("NULL")) {
+      Advance();
+      return Value();
+    }
+    throw SyntaxError("expected a literal, got '" + Cur().text + "'",
+                      Cur().position);
+  }
+
+  std::vector<std::string> ParseSelectList() {
+    std::vector<std::string> list;
+    if (AcceptSymbol("*")) return list;
+    list.push_back(ExpectIdentifier("column name"));
+    while (AcceptSymbol(",")) {
+      list.push_back(ExpectIdentifier("column name"));
+    }
+    return list;
+  }
+
+  std::vector<Value> ParseLiteralList() {
+    ExpectSymbol("(");
+    std::vector<Value> values;
+    values.push_back(ParseLiteral());
+    while (AcceptSymbol(",")) values.push_back(ParseLiteral());
+    ExpectSymbol(")");
+    return values;
+  }
+
+  CompareOp ParseCompareOp() {
+    static const std::pair<const char*, CompareOp> kOps[] = {
+        {"=", CompareOp::kEq},  {"<>", CompareOp::kNe}, {"!=", CompareOp::kNe},
+        {"<=", CompareOp::kLe}, {">=", CompareOp::kGe}, {"<", CompareOp::kLt},
+        {">", CompareOp::kGt}};
+    for (const auto& [text, op] : kOps) {
+      if (Cur().IsSymbol(text)) {
+        Advance();
+        return op;
+      }
+    }
+    throw SyntaxError("expected a comparison operator, got '" + Cur().text +
+                      "'", Cur().position);
+  }
+
+  // --- WHERE ---
+
+  ConditionPtr ParseCondition() {
+    ConditionPtr left = ParseAndCondition();
+    while (AcceptKeyword("OR")) {
+      auto node = std::make_shared<Condition>();
+      node->kind = Condition::Kind::kOr;
+      node->children = {left, ParseAndCondition()};
+      left = node;
+    }
+    return left;
+  }
+
+  ConditionPtr ParseAndCondition() {
+    ConditionPtr left = ParseNotCondition();
+    while (AcceptKeyword("AND")) {
+      auto node = std::make_shared<Condition>();
+      node->kind = Condition::Kind::kAnd;
+      node->children = {left, ParseNotCondition()};
+      left = node;
+    }
+    return left;
+  }
+
+  ConditionPtr ParseNotCondition() {
+    if (AcceptKeyword("NOT")) {
+      auto node = std::make_shared<Condition>();
+      node->kind = Condition::Kind::kNot;
+      node->children = {ParseNotCondition()};
+      return node;
+    }
+    if (AcceptSymbol("(")) {
+      ConditionPtr inner = ParseCondition();
+      ExpectSymbol(")");
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  ConditionPtr ParseComparison() {
+    auto node = std::make_shared<Condition>();
+    node->attribute = ExpectIdentifier("attribute name");
+    if (AcceptKeyword("NOT")) {
+      ExpectKeyword("IN");
+      node->kind = Condition::Kind::kInList;
+      node->negated = true;
+      node->list = ParseLiteralList();
+      return node;
+    }
+    if (AcceptKeyword("IN")) {
+      node->kind = Condition::Kind::kInList;
+      node->list = ParseLiteralList();
+      return node;
+    }
+    node->kind = Condition::Kind::kCompare;
+    node->op = ParseCompareOp();
+    node->value = ParseLiteral();
+    return node;
+  }
+
+  // --- PREFERRING ---
+
+  PrefExprPtr ParsePreference() {
+    PrefExprPtr left = ParsePareto();
+    if (AcceptKeyword("PRIOR")) {
+      ExpectKeyword("TO");
+      PrefExprPtr right = ParsePreference();
+      auto node = std::make_shared<PrefExpr>();
+      node->kind = PrefExpr::Kind::kPrior;
+      node->children = {left, right};
+      return node;
+    }
+    return left;
+  }
+
+  PrefExprPtr ParsePareto() {
+    PrefExprPtr left = ParsePrefAtom();
+    while (Cur().IsKeyword("AND")) {
+      Advance();
+      PrefExprPtr right = ParsePrefAtom();
+      auto node = std::make_shared<PrefExpr>();
+      node->kind = PrefExpr::Kind::kPareto;
+      node->children = {left, right};
+      left = node;
+    }
+    return left;
+  }
+
+  PrefExprPtr ParsePrefAtom() {
+    if (AcceptSymbol("(")) {
+      PrefExprPtr inner = ParsePreference();
+      ExpectSymbol(")");
+      return inner;
+    }
+    if (Cur().IsKeyword("LOWEST") || Cur().IsKeyword("HIGHEST")) {
+      bool lowest = Cur().IsKeyword("LOWEST");
+      Advance();
+      ExpectSymbol("(");
+      std::string attr = ExpectIdentifier("attribute name");
+      ExpectSymbol(")");
+      auto node = std::make_shared<PrefExpr>();
+      node->kind = lowest ? PrefExpr::Kind::kLowest : PrefExpr::Kind::kHighest;
+      node->attribute = attr;
+      return node;
+    }
+    std::string attr = ExpectIdentifier("attribute name");
+    if (AcceptKeyword("AROUND")) {
+      auto node = std::make_shared<PrefExpr>();
+      node->kind = PrefExpr::Kind::kAround;
+      node->attribute = attr;
+      node->low = ExpectNumber("AROUND target");
+      return node;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      auto node = std::make_shared<PrefExpr>();
+      node->kind = PrefExpr::Kind::kBetween;
+      node->attribute = attr;
+      node->low = ExpectNumber("BETWEEN low bound");
+      ExpectKeyword("AND");
+      node->high = ExpectNumber("BETWEEN high bound");
+      if (node->low > node->high) {
+        throw SyntaxError("BETWEEN bounds out of order", Cur().position);
+      }
+      return node;
+    }
+    // Condition atom chainable with ELSE.
+    auto node = std::make_shared<PrefExpr>();
+    node->kind = PrefExpr::Kind::kCondLayers;
+    node->layers.push_back(ParseCondAtom(attr));
+    while (AcceptKeyword("ELSE")) {
+      std::string attr2 = ExpectIdentifier("attribute name");
+      node->layers.push_back(ParseCondAtom(attr2));
+    }
+    return node;
+  }
+
+  Condition ParseCondAtom(const std::string& attr) {
+    Condition cond;
+    cond.attribute = attr;
+    if (AcceptKeyword("NOT")) {
+      ExpectKeyword("IN");
+      cond.kind = Condition::Kind::kInList;
+      cond.negated = true;
+      cond.list = ParseLiteralList();
+      return cond;
+    }
+    if (AcceptKeyword("IN")) {
+      cond.kind = Condition::Kind::kInList;
+      cond.list = ParseLiteralList();
+      return cond;
+    }
+    cond.kind = Condition::Kind::kCompare;
+    cond.op = ParseCompareOp();
+    if (cond.op != CompareOp::kEq && cond.op != CompareOp::kNe) {
+      throw SyntaxError(
+          "preference condition atoms support =, <>, IN, NOT IN",
+          Cur().position);
+    }
+    cond.value = ParseLiteral();
+    return cond;
+  }
+
+  // --- BUT ONLY ---
+
+  QualityConditionPtr ParseQualityCondition() {
+    QualityConditionPtr left = ParseQualityAnd();
+    while (AcceptKeyword("OR")) {
+      auto node = std::make_shared<QualityCondition>();
+      node->kind = QualityCondition::Kind::kOr;
+      node->children = {left, ParseQualityAnd()};
+      left = node;
+    }
+    return left;
+  }
+
+  QualityConditionPtr ParseQualityAnd() {
+    QualityConditionPtr left = ParseQualityAtom();
+    while (AcceptKeyword("AND")) {
+      auto node = std::make_shared<QualityCondition>();
+      node->kind = QualityCondition::Kind::kAnd;
+      node->children = {left, ParseQualityAtom()};
+      left = node;
+    }
+    return left;
+  }
+
+  QualityConditionPtr ParseQualityAtom() {
+    if (AcceptSymbol("(")) {
+      QualityConditionPtr inner = ParseQualityCondition();
+      ExpectSymbol(")");
+      return inner;
+    }
+    auto node = std::make_shared<QualityCondition>();
+    if (AcceptKeyword("LEVEL")) {
+      node->kind = QualityCondition::Kind::kLevel;
+    } else if (AcceptKeyword("DISTANCE")) {
+      node->kind = QualityCondition::Kind::kDistance;
+    } else {
+      throw SyntaxError("expected LEVEL or DISTANCE, got '" + Cur().text + "'",
+                        Cur().position);
+    }
+    ExpectSymbol("(");
+    node->attribute = ExpectIdentifier("attribute name");
+    ExpectSymbol(")");
+    node->op = ParseCompareOp();
+    node->threshold = ExpectNumber("quality threshold");
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* CompareOpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Condition::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return attribute + " " + CompareOpText(op) + " " + value.ToString();
+    case Kind::kInList: {
+      std::string out = attribute + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+    case Kind::kNot:
+      return "NOT " + children[0]->ToString();
+  }
+  return "?";
+}
+
+std::string PrefExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLowest:
+      return "LOWEST(" + attribute + ")";
+    case Kind::kHighest:
+      return "HIGHEST(" + attribute + ")";
+    case Kind::kAround:
+      return attribute + " AROUND " + NumText(low);
+    case Kind::kBetween:
+      return attribute + " BETWEEN " + NumText(low) + " AND " + NumText(high);
+    case Kind::kCondLayers: {
+      std::string out;
+      for (size_t i = 0; i < layers.size(); ++i) {
+        if (i > 0) out += " ELSE ";
+        out += layers[i].ToString();
+      }
+      return out;
+    }
+    case Kind::kPareto:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case Kind::kPrior:
+      return "(" + children[0]->ToString() + " PRIOR TO " +
+             children[1]->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string QualityCondition::ToString() const {
+  switch (kind) {
+    case Kind::kLevel:
+      return "LEVEL(" + attribute + ") " + CompareOpText(op) + " " +
+             NumText(threshold);
+    case Kind::kDistance:
+      return "DISTANCE(" + attribute + ") " + CompareOpText(op) + " " +
+             NumText(threshold);
+    case Kind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+  }
+  return "?";
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = explain ? "EXPLAIN SELECT " : "SELECT ";
+  if (select_list.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select_list[i];
+    }
+  }
+  out += " FROM " + table;
+  if (where) out += " WHERE " + where->ToString();
+  for (size_t i = 0; i < preferring.size(); ++i) {
+    out += (i == 0 ? " PREFERRING " : " CASCADE ") + preferring[i]->ToString();
+  }
+  for (size_t i = 0; i < grouping.size(); ++i) {
+    out += (i == 0 ? " GROUPING " : ", ") + grouping[i];
+  }
+  if (but_only) out += " BUT ONLY " + but_only->ToString();
+  if (limit > 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+SelectStatement Parse(const std::string& sql) {
+  return Parser(sql).ParseStatement();
+}
+
+}  // namespace prefdb::psql

@@ -1,0 +1,42 @@
+// Recursive-descent parser for Preference SQL.
+//
+// Grammar (keywords case-insensitive):
+//   statement  := SELECT select_list FROM ident [WHERE cond]
+//                 [PREFERRING pref (CASCADE pref)*] [BUT ONLY qcond]
+//                 [LIMIT number] [';']
+//   select_list:= '*' | ident (',' ident)*
+//   cond       := and_cond (OR and_cond)*
+//   and_cond   := not_cond (AND not_cond)*
+//   not_cond   := NOT not_cond | '(' cond ')' | comparison
+//   comparison := ident (= | <> | != | < | <= | > | >=) literal
+//              |  ident [NOT] IN '(' literal (',' literal)* ')'
+//   pref       := pareto (PRIOR TO pref)?
+//   pareto     := atom (AND atom)*
+//   atom       := '(' pref ')'
+//              |  LOWEST '(' ident ')' | HIGHEST '(' ident ')'
+//              |  ident AROUND literal
+//              |  ident BETWEEN literal AND literal
+//              |  condatom (ELSE condatom)*
+//   condatom   := ident (= literal | <> literal | [NOT] IN '(' ... ')')
+//   qcond      := qand (OR qand)* ; qand := qatom (AND qatom)*
+//   qatom      := (LEVEL | DISTANCE) '(' ident ')' relop number
+//              |  '(' qcond ')'
+//
+// Note on BETWEEN: the AND inside BETWEEN binds to the interval, as in SQL.
+
+#ifndef PREFDB_PSQL_PARSER_H_
+#define PREFDB_PSQL_PARSER_H_
+
+#include <string>
+
+#include "psql/ast.h"
+#include "psql/lexer.h"
+
+namespace prefdb::psql {
+
+/// Parses one statement; throws SyntaxError on malformed input.
+SelectStatement Parse(const std::string& sql);
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_PARSER_H_

@@ -1,0 +1,37 @@
+// Token model for the Preference SQL lexer.
+
+#ifndef PREFDB_PSQL_TOKEN_H_
+#define PREFDB_PSQL_TOKEN_H_
+
+#include <string>
+
+namespace prefdb::psql {
+
+enum class TokenType {
+  kIdentifier,   // table, attribute or unquoted word (keywords classified
+                 // by the parser, case-insensitively)
+  kString,       // 'text'
+  kNumber,       // 42, 3.5, -7
+  kSymbol,       // ( ) , ; * = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // raw text (uppercased for identifiers' `upper`)
+  std::string upper;   // uppercase of text for keyword matching
+  double number = 0;   // valid for kNumber
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kIdentifier && upper == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_TOKEN_H_

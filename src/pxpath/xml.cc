@@ -1,0 +1,210 @@
+#include "pxpath/xml.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace prefdb::pxpath {
+
+std::vector<XmlNodePtr> XmlNode::ChildrenNamed(const std::string& tag) const {
+  std::vector<XmlNodePtr> out;
+  for (const auto& child : children) {
+    if (child->name == tag) out.push_back(child);
+  }
+  return out;
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& input) : in_(input) {}
+
+  XmlNodePtr ParseDocument() {
+    SkipWhitespaceAndMisc();
+    XmlNodePtr root = ParseElement();
+    SkipWhitespaceAndMisc();
+    if (pos_ != in_.size()) Fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw std::invalid_argument("XML error at offset " + std::to_string(pos_) +
+                                ": " + message);
+  }
+
+  char Cur() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+  bool StartsWith(const std::string& s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipWs() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+  void SkipWhitespaceAndMisc() {
+    while (true) {
+      SkipWs();
+      if (StartsWith("<?")) {  // declaration / PI: skip to ?>
+        size_t end = in_.find("?>", pos_);
+        if (end == std::string::npos) Fail("unterminated <? ... ?>");
+        pos_ = end + 2;
+        continue;
+      }
+      if (StartsWith("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        if (end == std::string::npos) Fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '_' || in_[pos_] == '-' || in_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a name");
+    return in_.substr(start, pos_ - start);
+  }
+
+  static std::string Unescape(const std::string& s) {
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out += s[i];
+        continue;
+      }
+      if (s.compare(i, 4, "&lt;") == 0) { out += '<'; i += 3; }
+      else if (s.compare(i, 4, "&gt;") == 0) { out += '>'; i += 3; }
+      else if (s.compare(i, 5, "&amp;") == 0) { out += '&'; i += 4; }
+      else if (s.compare(i, 6, "&quot;") == 0) { out += '"'; i += 5; }
+      else if (s.compare(i, 6, "&apos;") == 0) { out += '\''; i += 5; }
+      else out += s[i];
+    }
+    return out;
+  }
+
+  XmlNodePtr ParseElement() {
+    if (Cur() != '<') Fail("expected '<'");
+    ++pos_;
+    auto node = std::make_shared<XmlNode>();
+    node->name = ParseName();
+    // Attributes.
+    while (true) {
+      SkipWs();
+      if (StartsWith("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (Cur() == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key = ParseName();
+      SkipWs();
+      if (Cur() != '=') Fail("expected '=' after attribute name");
+      ++pos_;
+      SkipWs();
+      char quote = Cur();
+      if (quote != '"' && quote != '\'') Fail("expected a quoted value");
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != quote) ++pos_;
+      if (pos_ == in_.size()) Fail("unterminated attribute value");
+      node->attributes[key] = Unescape(in_.substr(start, pos_ - start));
+      ++pos_;
+    }
+    // Content.
+    while (true) {
+      if (pos_ >= in_.size()) Fail("unterminated element <" + node->name + ">");
+      if (StartsWith("</")) {
+        pos_ += 2;
+        std::string closing = ParseName();
+        if (closing != node->name) {
+          Fail("mismatched closing tag </" + closing + "> for <" +
+               node->name + ">");
+        }
+        SkipWs();
+        if (Cur() != '>') Fail("expected '>'");
+        ++pos_;
+        return node;
+      }
+      if (StartsWith("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        if (end == std::string::npos) Fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (Cur() == '<') {
+        node->children.push_back(ParseElement());
+        continue;
+      }
+      size_t start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != '<') ++pos_;
+      std::string text = Unescape(in_.substr(start, pos_ - start));
+      // Trim pure-whitespace runs.
+      bool all_ws = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_ws = false;
+          break;
+        }
+      }
+      if (!all_ws) node->text += text;
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+XmlNodePtr ParseXml(const std::string& input) {
+  return XmlParser(input).ParseDocument();
+}
+
+std::string ToXml(const XmlNode& node, size_t indent) {
+  std::string pad(indent, ' ');
+  std::string out = pad + "<" + node.name;
+  for (const auto& [key, value] : node.attributes) {
+    out += " " + key + "=\"" + Escape(value) + "\"";
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!node.text.empty()) out += Escape(node.text);
+  if (!node.children.empty()) {
+    out += "\n";
+    for (const auto& child : node.children) {
+      out += ToXml(*child, indent + 2);
+    }
+    out += pad;
+  }
+  out += "</" + node.name + ">\n";
+  return out;
+}
+
+}  // namespace prefdb::pxpath

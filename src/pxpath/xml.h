@@ -1,0 +1,44 @@
+// Minimal XML document model + parser: the substrate for Preference XPATH
+// (Kießling §6.1, [KHF01]). Supports elements, attributes and text —
+// enough for attribute-rich e-commerce catalogs (no namespaces, CDATA or
+// processing instructions).
+
+#ifndef PREFDB_PXPATH_XML_H_
+#define PREFDB_PXPATH_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prefdb::pxpath {
+
+struct XmlNode;
+using XmlNodePtr = std::shared_ptr<XmlNode>;
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;  // ordered for determinism
+  std::vector<XmlNodePtr> children;
+  std::string text;  // concatenated character data
+
+  /// Attribute accessor; returns empty string when absent.
+  std::string Attr(const std::string& key) const {
+    auto it = attributes.find(key);
+    return it == attributes.end() ? "" : it->second;
+  }
+
+  /// Child elements with the given tag name.
+  std::vector<XmlNodePtr> ChildrenNamed(const std::string& tag) const;
+};
+
+/// Parses an XML document; returns the root element. Throws
+/// std::invalid_argument on malformed input (with offset info).
+XmlNodePtr ParseXml(const std::string& input);
+
+/// Serializes a node tree (2-space indent).
+std::string ToXml(const XmlNode& node, size_t indent = 0);
+
+}  // namespace prefdb::pxpath
+
+#endif  // PREFDB_PXPATH_XML_H_

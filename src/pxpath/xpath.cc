@@ -1,0 +1,507 @@
+#include "pxpath/xpath.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "eval/bmo.h"
+
+namespace prefdb::pxpath {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer for the query string.
+
+struct Tok {
+  enum Type { kName, kAttr, kString, kNumber, kSym, kEnd } type = kEnd;
+  std::string text;
+  double number = 0;
+  size_t pos = 0;
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = std::tolower(static_cast<unsigned char>(c));
+  return s;
+}
+
+std::vector<Tok> Lex(const std::string& in) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  auto fail = [&](const std::string& m) {
+    throw std::invalid_argument("Preference XPATH error at offset " +
+                                std::to_string(i) + ": " + m);
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (in.compare(i, 2, "#[") == 0) {
+      out.push_back({Tok::kSym, "#[", 0, start});
+      i += 2;
+      continue;
+    }
+    if (in.compare(i, 2, "]#") == 0) {
+      out.push_back({Tok::kSym, "]#", 0, start});
+      i += 2;
+      continue;
+    }
+    if (in.compare(i, 2, "<>") == 0 || in.compare(i, 2, "!=") == 0) {
+      out.push_back({Tok::kSym, "<>", 0, start});
+      i += 2;
+      continue;
+    }
+    if (c == '@') {
+      ++i;
+      size_t s = i;
+      while (i < in.size() && (std::isalnum(static_cast<unsigned char>(in[i])) ||
+                               in[i] == '_' || in[i] == '-')) {
+        ++i;
+      }
+      if (i == s) fail("expected attribute name after '@'");
+      out.push_back({Tok::kAttr, in.substr(s, i - s), 0, start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < in.size() && (std::isalnum(static_cast<unsigned char>(in[i])) ||
+                               in[i] == '_' || in[i] == '-')) {
+        ++i;
+      }
+      out.push_back({Tok::kName, in.substr(start, i - start), 0, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      while (i < in.size() && (std::isdigit(static_cast<unsigned char>(in[i])) ||
+                               in[i] == '.')) {
+        ++i;
+      }
+      std::string text = in.substr(start, i - start);
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') fail("malformed number " + text);
+      out.push_back({Tok::kNumber, text, v, start});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      size_t s = i;
+      while (i < in.size() && in[i] != quote) ++i;
+      if (i == in.size()) fail("unterminated string literal");
+      out.push_back({Tok::kString, in.substr(s, i - s), 0, start});
+      ++i;
+      continue;
+    }
+    if (std::string("/[]()=,<>").find(c) != std::string::npos) {
+      out.push_back({Tok::kSym, std::string(1, c), 0, start});
+      ++i;
+      continue;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+  out.push_back({Tok::kEnd, "", 0, in.size()});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hard predicate AST (inside [...]).
+
+struct HardPred {
+  enum Kind { kCompare, kAnd, kOr, kNot } kind = kCompare;
+  std::string attribute;
+  std::string op;  // = <> < <= > >=
+  Value value;
+  std::vector<std::shared_ptr<HardPred>> children;
+};
+using HardPredPtr = std::shared_ptr<HardPred>;
+
+// One step of the location path.
+struct Step {
+  std::string nodetest;
+  bool descendant = false;  // '//name': descendant-or-self search
+  std::vector<HardPredPtr> predicates;
+  std::vector<PrefPtr> preferences;
+};
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+class QueryParser {
+ public:
+  explicit QueryParser(const std::string& query) : toks_(Lex(query)) {}
+
+  std::vector<Step> ParsePath() {
+    std::vector<Step> steps;
+    while (Cur().type != Tok::kEnd) {
+      Expect("/");
+      Step step;
+      if (CurIsSym("/")) {  // '//' descendant axis
+        Advance();
+        step.descendant = true;
+      }
+      if (Cur().type != Tok::kName) Fail("expected a node test");
+      step.nodetest = Cur().text;
+      Advance();
+      while (true) {
+        if (CurIsSym("[")) {
+          Advance();
+          step.predicates.push_back(ParseHardOr());
+          Expect("]");
+        } else if (CurIsSym("#[")) {
+          Advance();
+          step.preferences.push_back(ParsePreference());
+          Expect("]#");
+        } else {
+          break;
+        }
+      }
+      steps.push_back(std::move(step));
+    }
+    if (steps.empty()) Fail("empty location path");
+    return steps;
+  }
+
+ private:
+  const Tok& Cur() const { return toks_[pos_]; }
+  void Advance() { if (pos_ + 1 < toks_.size()) ++pos_; }
+  bool CurIsSym(const std::string& s) const {
+    return Cur().type == Tok::kSym && Cur().text == s;
+  }
+  bool CurIsName(const std::string& lower_name) const {
+    return Cur().type == Tok::kName && Lower(Cur().text) == lower_name;
+  }
+  void Expect(const std::string& sym) {
+    if (!CurIsSym(sym)) Fail("expected '" + sym + "'");
+    Advance();
+  }
+  [[noreturn]] void Fail(const std::string& m) const {
+    throw std::invalid_argument("Preference XPATH error at offset " +
+                                std::to_string(Cur().pos) + ": " + m +
+                                " (got '" + Cur().text + "')");
+  }
+
+  Value ParseLiteral() {
+    if (Cur().type == Tok::kString) {
+      Value v(Cur().text);
+      Advance();
+      return v;
+    }
+    if (Cur().type == Tok::kNumber) {
+      double d = Cur().number;
+      bool integral = Cur().text.find('.') == std::string::npos;
+      Advance();
+      return integral ? Value(static_cast<int64_t>(d)) : Value(d);
+    }
+    Fail("expected a literal");
+  }
+
+  // --- hard predicates ---
+
+  HardPredPtr ParseHardOr() {
+    HardPredPtr left = ParseHardAnd();
+    while (CurIsName("or")) {
+      Advance();
+      auto node = std::make_shared<HardPred>();
+      node->kind = HardPred::kOr;
+      node->children = {left, ParseHardAnd()};
+      left = node;
+    }
+    return left;
+  }
+
+  HardPredPtr ParseHardAnd() {
+    HardPredPtr left = ParseHardAtom();
+    while (CurIsName("and")) {
+      Advance();
+      auto node = std::make_shared<HardPred>();
+      node->kind = HardPred::kAnd;
+      node->children = {left, ParseHardAtom()};
+      left = node;
+    }
+    return left;
+  }
+
+  HardPredPtr ParseHardAtom() {
+    if (CurIsName("not")) {
+      Advance();
+      auto node = std::make_shared<HardPred>();
+      node->kind = HardPred::kNot;
+      node->children = {ParseHardAtom()};
+      return node;
+    }
+    if (CurIsSym("(")) {
+      Advance();
+      HardPredPtr inner = ParseHardOr();
+      Expect(")");
+      return inner;
+    }
+    if (Cur().type != Tok::kAttr) Fail("expected '@attribute'");
+    auto node = std::make_shared<HardPred>();
+    node->kind = HardPred::kCompare;
+    node->attribute = Cur().text;
+    Advance();
+    if (CurIsSym("=") || CurIsSym("<>")) {
+      node->op = Cur().text;
+      Advance();
+    } else if (CurIsSym("<") || CurIsSym(">")) {
+      node->op = Cur().text;
+      Advance();
+      if (CurIsSym("=")) {
+        node->op += "=";
+        Advance();
+      }
+    } else {
+      Fail("expected a comparison operator");
+    }
+    node->value = ParseLiteral();
+    return node;
+  }
+
+  // --- soft preferences ---
+
+  PrefPtr ParsePreference() {
+    PrefPtr left = ParsePareto();
+    if (CurIsName("prior")) {
+      Advance();
+      if (!CurIsName("to")) Fail("expected 'to' after 'prior'");
+      Advance();
+      return Prioritized(left, ParsePreference());
+    }
+    return left;
+  }
+
+  PrefPtr ParsePareto() {
+    PrefPtr left = ParsePrefAtom();
+    while (CurIsName("and")) {
+      Advance();
+      left = Pareto(left, ParsePrefAtom());
+    }
+    return left;
+  }
+
+  PrefPtr ParsePrefAtom() {
+    if (!CurIsSym("(")) Fail("expected '(' to open an attribute test");
+    // Lookahead: "(@attr)" is an attribute test, otherwise a group.
+    if (toks_[pos_ + 1].type != Tok::kAttr) {
+      Advance();
+      PrefPtr inner = ParsePreference();
+      Expect(")");
+      return inner;
+    }
+    Advance();
+    std::string attr = Cur().text;
+    Advance();
+    Expect(")");
+    if (CurIsName("highest")) {
+      Advance();
+      return Highest(attr);
+    }
+    if (CurIsName("lowest")) {
+      Advance();
+      return Lowest(attr);
+    }
+    if (CurIsName("around")) {
+      Advance();
+      if (Cur().type != Tok::kNumber) Fail("expected AROUND target number");
+      double z = Cur().number;
+      Advance();
+      return Around(attr, z);
+    }
+    if (CurIsName("between")) {
+      Advance();
+      if (Cur().type != Tok::kNumber) Fail("expected BETWEEN low bound");
+      double lo = Cur().number;
+      Advance();
+      if (!CurIsName("and")) Fail("expected 'and' inside between");
+      Advance();
+      if (Cur().type != Tok::kNumber) Fail("expected BETWEEN high bound");
+      double hi = Cur().number;
+      Advance();
+      return Between(attr, lo, hi);
+    }
+    if (CurIsName("in")) {
+      Advance();
+      Expect("(");
+      std::vector<Value> values;
+      values.push_back(ParseLiteral());
+      while (CurIsSym(",")) {
+        Advance();
+        values.push_back(ParseLiteral());
+      }
+      Expect(")");
+      return Pos(attr, std::move(values));
+    }
+    if (CurIsSym("=")) {
+      Advance();
+      return Pos(attr, {ParseLiteral()});
+    }
+    if (CurIsSym("<>")) {
+      Advance();
+      return Neg(attr, {ParseLiteral()});
+    }
+    Fail("expected a preference operator (highest, lowest, around, between, "
+         "in, =, <>)");
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+
+Value AttrToValue(const std::string& raw, bool numeric) {
+  if (raw.empty()) return Value();
+  if (numeric) {
+    char* end = nullptr;
+    double d = std::strtod(raw.c_str(), &end);
+    if (end != nullptr && *end == '\0') {
+      if (d == static_cast<int64_t>(d)) return Value(static_cast<int64_t>(d));
+      return Value(d);
+    }
+    return Value();  // should not happen: `numeric` was pre-checked
+  }
+  return Value(raw);
+}
+
+bool AttrIsNumeric(const std::vector<XmlNodePtr>& nodes,
+                   const std::string& attr) {
+  bool any = false;
+  for (const auto& node : nodes) {
+    std::string raw = node->Attr(attr);
+    if (raw.empty()) continue;
+    any = true;
+    char* end = nullptr;
+    std::strtod(raw.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+  }
+  return any;
+}
+
+bool EvalHardPred(const HardPred& pred, const XmlNode& node) {
+  switch (pred.kind) {
+    case HardPred::kAnd:
+      return EvalHardPred(*pred.children[0], node) &&
+             EvalHardPred(*pred.children[1], node);
+    case HardPred::kOr:
+      return EvalHardPred(*pred.children[0], node) ||
+             EvalHardPred(*pred.children[1], node);
+    case HardPred::kNot:
+      return !EvalHardPred(*pred.children[0], node);
+    case HardPred::kCompare: {
+      std::string raw = node.Attr(pred.attribute);
+      Value lhs;
+      if (pred.value.is_numeric()) {
+        char* end = nullptr;
+        double d = std::strtod(raw.c_str(), &end);
+        lhs = (!raw.empty() && end != nullptr && *end == '\0') ? Value(d)
+                                                               : Value();
+      } else {
+        lhs = Value(raw);
+      }
+      if (pred.op == "=") return lhs == pred.value;
+      if (pred.op == "<>") return lhs != pred.value;
+      if (pred.op == "<") return lhs < pred.value;
+      if (pred.op == "<=") return lhs <= pred.value;
+      if (pred.op == ">") return lhs > pred.value;
+      if (pred.op == ">=") return lhs >= pred.value;
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Relation NodesToRelation(const std::vector<XmlNodePtr>& nodes,
+                         const std::vector<std::string>& attribute_names) {
+  Schema schema;
+  std::vector<bool> numeric;
+  for (const auto& attr : attribute_names) {
+    bool is_num = AttrIsNumeric(nodes, attr);
+    numeric.push_back(is_num);
+    schema.Add({attr, is_num ? ValueType::kDouble : ValueType::kString});
+  }
+  Relation rel(schema);
+  for (const auto& node : nodes) {
+    Tuple t;
+    for (size_t i = 0; i < attribute_names.size(); ++i) {
+      t.Append(AttrToValue(node->Attr(attribute_names[i]), numeric[i]));
+    }
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+namespace {
+
+void CollectDescendants(const XmlNodePtr& node, const std::string& tag,
+                        std::vector<XmlNodePtr>* out) {
+  if (node->name == tag) out->push_back(node);
+  for (const auto& child : node->children) {
+    CollectDescendants(child, tag, out);
+  }
+}
+
+}  // namespace
+
+XPathResult EvalPreferenceXPath(const XmlNodePtr& root,
+                                const std::string& query) {
+  std::vector<Step> steps = QueryParser(query).ParsePath();
+  XPathResult result;
+  std::vector<XmlNodePtr> current;
+  // The first step matches the document root element by name ('/name') or
+  // any matching node in the tree ('//name').
+  if (root) {
+    if (steps[0].descendant) {
+      CollectDescendants(root, steps[0].nodetest, &current);
+    } else if (root->name == steps[0].nodetest) {
+      current.push_back(root);
+    }
+  }
+  for (size_t s = 0; s < steps.size(); ++s) {
+    const Step& step = steps[s];
+    if (s > 0) {
+      std::vector<XmlNodePtr> next;
+      for (const auto& node : current) {
+        if (step.descendant) {
+          for (const auto& child : node->children) {
+            CollectDescendants(child, step.nodetest, &next);
+          }
+        } else {
+          for (const auto& child : node->ChildrenNamed(step.nodetest)) {
+            next.push_back(child);
+          }
+        }
+      }
+      current = std::move(next);
+    }
+    for (const auto& pred : step.predicates) {
+      std::vector<XmlNodePtr> kept;
+      for (const auto& node : current) {
+        if (EvalHardPred(*pred, *node)) kept.push_back(node);
+      }
+      current = std::move(kept);
+    }
+    for (const auto& pref : step.preferences) {
+      result.preference_term = pref->ToString();
+      if (current.empty()) continue;
+      Relation rel = NodesToRelation(current, pref->attributes());
+      std::vector<size_t> winners = BmoIndices(rel, pref);
+      std::vector<XmlNodePtr> kept;
+      kept.reserve(winners.size());
+      for (size_t idx : winners) kept.push_back(current[idx]);
+      current = std::move(kept);
+    }
+  }
+  result.nodes = std::move(current);
+  return result;
+}
+
+}  // namespace prefdb::pxpath

@@ -1,0 +1,49 @@
+// Preference XPATH (Kießling §6.1, [KHF01]): XPATH location paths where
+// each step may carry hard predicates "[...]" and soft preference
+// selections "#[...]#" evaluated under the BMO model:
+//
+//   /CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#
+//   /CARS/CAR #[(@color) in ("black","white") prior to (@price) around 10000]#
+//             #[(@mileage) lowest]#
+//
+// Upgraded production (paper): LocationStep: axis nodetest (predicate |
+// preference)*. Supported preference operators on attribute tests
+// (@attr): highest, lowest, around N, between N and N, in ("..",..),
+// = / <> literals, combined with `and` (Pareto) and `prior to`
+// (prioritization). Hard predicates support @attr comparisons combined
+// with and/or/not. Successive #[..]# blocks cascade (prioritized), like
+// Preference SQL's CASCADE.
+
+#ifndef PREFDB_PXPATH_XPATH_H_
+#define PREFDB_PXPATH_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+#include "pxpath/xml.h"
+#include "relation/relation.h"
+
+namespace prefdb::pxpath {
+
+/// Result of one query: the matching nodes in document order plus the
+/// translated preference term of the last soft step (for EXPLAIN).
+struct XPathResult {
+  std::vector<XmlNodePtr> nodes;
+  std::string preference_term;
+};
+
+/// Evaluates a Preference XPATH query against a document root. Throws
+/// std::invalid_argument on syntax errors.
+XPathResult EvalPreferenceXPath(const XmlNodePtr& root,
+                                const std::string& query);
+
+/// Converts a node set into a relation over the given attribute names;
+/// attribute strings that parse as numbers become DOUBLE columns
+/// (attribute-rich XML convention of [KHF01]). Exposed for testing.
+Relation NodesToRelation(const std::vector<XmlNodePtr>& nodes,
+                         const std::vector<std::string>& attribute_names);
+
+}  // namespace prefdb::pxpath
+
+#endif  // PREFDB_PXPATH_XPATH_H_

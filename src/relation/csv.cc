@@ -1,0 +1,135 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prefdb {
+
+namespace {
+
+// Splits one CSV record (no trailing newline) into raw fields.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+Relation ReadCsv(const std::string& csv_text, const Schema& schema) {
+  std::istringstream in(csv_text);
+  std::string line;
+  Relation rel(schema);
+  bool header = true;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (header) {
+      if (fields.size() != schema.size()) {
+        throw std::invalid_argument("CSV header arity mismatch");
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] != schema.at(i).name) {
+          throw std::invalid_argument("CSV header column '" + fields[i] +
+                                      "' does not match schema attribute '" +
+                                      schema.at(i).name + "'");
+        }
+      }
+      header = false;
+      continue;
+    }
+    if (fields.size() != schema.size()) {
+      throw std::invalid_argument("CSV row " + std::to_string(lineno) +
+                                  " arity mismatch");
+    }
+    Tuple t;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto v = ParseValue(fields[i], schema.at(i).type);
+      if (!v) {
+        throw std::invalid_argument("CSV row " + std::to_string(lineno) +
+                                    ": cannot parse '" + fields[i] + "' as " +
+                                    ValueTypeName(schema.at(i).type));
+      }
+      t.Append(std::move(*v));
+    }
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+Relation ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsv(buf.str(), schema);
+}
+
+std::string WriteCsv(const Relation& rel) {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  const Schema& schema = rel.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i) out += ',';
+    out += escape(schema.at(i).name);
+  }
+  out += '\n';
+  for (const Tuple& t : rel.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) out += ',';
+      const Value& v = t[i];
+      if (v.is_null()) {
+        // empty field
+      } else if (v.is_string()) {
+        out += escape(v.as_string());
+      } else if (v.is_int()) {
+        out += std::to_string(v.as_int());
+      } else {
+        std::ostringstream num;
+        num << v.as_double();
+        out += num.str();
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,27 @@
+// Minimal CSV import/export so example applications can ship datasets.
+
+#ifndef PREFDB_RELATION_CSV_H_
+#define PREFDB_RELATION_CSV_H_
+
+#include <string>
+
+#include "relation/relation.h"
+
+namespace prefdb {
+
+/// Parses CSV text into a relation using the given schema; the first line
+/// must be a header whose column names match the schema order. Fields are
+/// comma-separated; double quotes delimit fields containing commas; "" is
+/// an escaped quote. Malformed rows raise std::invalid_argument.
+Relation ReadCsv(const std::string& csv_text, const Schema& schema);
+
+/// Reads a CSV file from disk. Throws std::runtime_error if unreadable.
+Relation ReadCsvFile(const std::string& path, const Schema& schema);
+
+/// Serializes a relation to CSV (header + rows; strings unquoted unless
+/// they contain a comma/quote/newline).
+std::string WriteCsv(const Relation& rel);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_RELATION_CSV_H_

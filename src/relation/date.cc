@@ -1,0 +1,68 @@
+#include "relation/date.h"
+
+#include <cstdio>
+
+namespace prefdb {
+
+namespace {
+
+// Days-from-civil (Howard Hinnant's public-domain algorithm).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                             // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                  // [1, 12]
+  *y = yy + (*m <= 2);
+}
+
+bool ValidDate(int64_t y, unsigned m, unsigned d) {
+  if (m < 1 || m > 12 || d < 1) return false;
+  static const unsigned kDays[] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+  unsigned max_d = kDays[m - 1];
+  bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+  if (m == 2 && leap) max_d = 29;
+  return d <= max_d;
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseDateOrdinal(const std::string& text) {
+  long long y = 0;
+  unsigned m = 0, d = 0;
+  char sep1 = 0, sep2 = 0;
+  char tail = 0;
+  int fields = std::sscanf(text.c_str(), "%lld%c%u%c%u%c", &y, &sep1, &m,
+                           &sep2, &d, &tail);
+  if (fields != 5) return std::nullopt;
+  if ((sep1 != '/' && sep1 != '-') || sep1 != sep2) return std::nullopt;
+  if (!ValidDate(y, m, d)) return std::nullopt;
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDateOrdinal(int64_t days) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld/%02u/%02u", static_cast<long long>(y),
+                m, d);
+  return buf;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,25 @@
+// Date <-> ordinal conversion: the paper notes (Def. 7a) that AROUND and
+// friends apply "to other ordered SQL types like Date". prefdb stores
+// dates as integer day ordinals (days since 1970-01-01); these helpers
+// convert the 'YYYY/MM/DD' literals Preference SQL queries use.
+
+#ifndef PREFDB_RELATION_DATE_H_
+#define PREFDB_RELATION_DATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace prefdb {
+
+/// Parses 'YYYY/MM/DD' or 'YYYY-MM-DD' into days since 1970-01-01
+/// (proleptic Gregorian). Returns nullopt on malformed text or an invalid
+/// calendar date.
+std::optional<int64_t> ParseDateOrdinal(const std::string& text);
+
+/// Renders a day ordinal back as 'YYYY/MM/DD'.
+std::string FormatDateOrdinal(int64_t days);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_RELATION_DATE_H_

@@ -1,0 +1,173 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace prefdb {
+
+void Relation::Add(Tuple t) {
+  if (t.size() != schema_.size()) {
+    throw std::invalid_argument("tuple arity " + std::to_string(t.size()) +
+                                " does not match schema " +
+                                schema_.ToString());
+  }
+  tuples_.push_back(std::move(t));
+}
+
+std::vector<size_t> Relation::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    auto idx = schema_.IndexOf(name);
+    if (!idx) {
+      throw std::out_of_range("unknown attribute '" + name + "' in schema " +
+                              schema_.ToString());
+    }
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Relation Relation::Project(const std::vector<std::string>& names) const {
+  std::vector<size_t> cols = ResolveColumns(names);
+  Relation out(schema_.Project(names));
+  for (const Tuple& t : tuples_) out.Add(t.Project(cols));
+  return out;
+}
+
+Relation Relation::Filter(
+    const std::function<bool(const Tuple&)>& pred) const {
+  Relation out(schema_);
+  for (const Tuple& t : tuples_) {
+    if (pred(t)) out.Add(t);
+  }
+  return out;
+}
+
+Relation Relation::Distinct() const {
+  Relation out(schema_);
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& t : tuples_) {
+    if (seen.insert(t).second) out.Add(t);
+  }
+  return out;
+}
+
+std::vector<Tuple> Relation::DistinctProjections(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> cols = ResolveColumns(names);
+  std::vector<Tuple> out;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& t : tuples_) {
+    Tuple proj = t.Project(cols);
+    if (seen.insert(proj).second) out.push_back(std::move(proj));
+  }
+  return out;
+}
+
+Relation Relation::Sorted(const std::vector<std::string>& names) const {
+  std::vector<size_t> cols;
+  if (names.empty()) {
+    for (size_t i = 0; i < schema_.size(); ++i) cols.push_back(i);
+  } else {
+    cols = ResolveColumns(names);
+  }
+  Relation out = *this;
+  std::stable_sort(out.tuples_.begin(), out.tuples_.end(),
+                   [&cols](const Tuple& a, const Tuple& b) {
+                     for (size_t c : cols) {
+                       if (a[c] < b[c]) return true;
+                       if (b[c] < a[c]) return false;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+std::unordered_map<Tuple, std::vector<size_t>, TupleHash>
+Relation::GroupIndicesBy(const std::vector<size_t>& cols) const {
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> groups;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    groups[tuples_[i].Project(cols)].push_back(i);
+  }
+  return groups;
+}
+
+Relation Relation::SelectRows(const std::vector<size_t>& row_indices) const {
+  Relation out(schema_);
+  for (size_t i : row_indices) out.Add(tuples_[i]);
+  return out;
+}
+
+std::vector<size_t> Relation::IndexIntersect(const std::vector<size_t>& a,
+                                             const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<size_t> Relation::IndexUnion(const std::vector<size_t>& a,
+                                         const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool Relation::SameRows(const Relation& other) const {
+  if (schema_ != other.schema_ || size() != other.size()) return false;
+  std::unordered_map<Tuple, int, TupleHash> counts;
+  for (const Tuple& t : tuples_) counts[t]++;
+  for (const Tuple& t : other.tuples_) {
+    auto it = counts.find(t);
+    if (it == counts.end() || it->second == 0) return false;
+    it->second--;
+  }
+  return true;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  // Compute column widths.
+  std::vector<std::string> headers;
+  std::vector<size_t> widths;
+  for (const auto& attr : schema_.attributes()) {
+    headers.push_back(attr.name);
+    widths.push_back(attr.name.size());
+  }
+  size_t shown = std::min(max_rows, tuples_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t i = 0; i < shown; ++i) {
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      std::string s = tuples_[i][c].ToString();
+      cells[i].push_back(s);
+      widths[c] = std::max(widths[c], s.size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out += (c ? " | " : "| ") + pad(headers[c], widths[c]);
+  }
+  out += " |\n";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out += (c ? "-+-" : "+-") + std::string(widths[c], '-');
+  }
+  out += "-+\n";
+  for (size_t i = 0; i < shown; ++i) {
+    for (size_t c = 0; c < headers.size(); ++c) {
+      out += (c ? " | " : "| ") + pad(cells[i][c], widths[c]);
+    }
+    out += " |\n";
+  }
+  if (shown < tuples_.size()) {
+    out += "... (" + std::to_string(tuples_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,94 @@
+// In-memory relations ("database sets R" of Kießling §5.1) with the
+// relational operations preference evaluation needs: projection, selection,
+// distinct, sorting, grouping, set operations by row identity.
+
+#ifndef PREFDB_RELATION_RELATION_H_
+#define PREFDB_RELATION_RELATION_H_
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace prefdb {
+
+/// A database set R: a schema plus a bag (duplicates allowed) of tuples.
+/// Under the closed world assumption this captures "the currently valid
+/// state of the real world" (§5.1) against which preference queries do
+/// their match-making.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& at(size_t i) const { return tuples_[i]; }
+
+  /// Appends a row; the arity must match the schema.
+  void Add(Tuple t);
+  void Add(std::initializer_list<Value> values) { Add(Tuple(values)); }
+
+  /// Resolves attribute names to column indices; throws std::out_of_range
+  /// on an unknown attribute (programming error in a query plan).
+  std::vector<size_t> ResolveColumns(
+      const std::vector<std::string>& names) const;
+
+  /// Projection π_names(R) as a new relation (bag semantics).
+  Relation Project(const std::vector<std::string>& names) const;
+
+  /// Hard selection σ_pred(R).
+  Relation Filter(const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Duplicate elimination over whole rows.
+  Relation Distinct() const;
+
+  /// The distinct projections R[A] of Def. 14(a), as raw tuples.
+  std::vector<Tuple> DistinctProjections(
+      const std::vector<std::string>& names) const;
+
+  /// Deterministic sort by the Value total order over the given columns
+  /// (all columns if empty).
+  Relation Sorted(const std::vector<std::string>& names = {}) const;
+
+  /// Groups row indices by equal values of the given columns. The map key
+  /// is the group's projection tuple. Used by σ[P groupby A](R) (Def. 16).
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> GroupIndicesBy(
+      const std::vector<size_t>& cols) const;
+
+  /// Builds a relation from a subset of row indices of this relation.
+  Relation SelectRows(const std::vector<size_t>& row_indices) const;
+
+  /// Set-like helpers over row-index vectors (sorted ascending).
+  static std::vector<size_t> IndexIntersect(const std::vector<size_t>& a,
+                                            const std::vector<size_t>& b);
+  static std::vector<size_t> IndexUnion(const std::vector<size_t>& a,
+                                        const std::vector<size_t>& b);
+
+  bool operator==(const Relation& other) const {
+    return schema_ == other.schema_ && tuples_ == other.tuples_;
+  }
+
+  /// Multiset equality of rows ignoring order (for test assertions).
+  bool SameRows(const Relation& other) const;
+
+  /// ASCII table rendering.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_RELATION_RELATION_H_

@@ -1,0 +1,38 @@
+#include "relation/schema.h"
+
+namespace prefdb {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t Schema::Add(Attribute attr) {
+  if (auto idx = IndexOf(attr.name)) return *idx;
+  attributes_.push_back(std::move(attr));
+  return attributes_.size() - 1;
+}
+
+Schema Schema::Project(const std::vector<std::string>& names) const {
+  Schema out;
+  for (const auto& name : names) {
+    if (auto idx = IndexOf(name)) out.Add(attributes_[*idx]);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace prefdb

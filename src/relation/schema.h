@@ -1,0 +1,69 @@
+// Relation schemas: named, typed attribute lists (the "A = {A1:t1, ...}"
+// of Kießling Def. 1 / §5.1).
+
+#ifndef PREFDB_RELATION_SCHEMA_H_
+#define PREFDB_RELATION_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace prefdb {
+
+/// A single attribute: name plus domain type.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of uniquely named attributes. Attribute lookup is by
+/// case-sensitive name.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Attribute> attrs)
+      : attributes_(attrs) {}
+  explicit Schema(std::vector<Attribute> attrs)
+      : attributes_(std::move(attrs)) {}
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& at(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute with the given name, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// True iff an attribute with this name exists.
+  bool Has(const std::string& name) const { return IndexOf(name).has_value(); }
+
+  /// Appends an attribute; returns its index. Duplicate names are rejected
+  /// (returns existing index without modification).
+  size_t Add(Attribute attr);
+
+  /// Sub-schema by attribute names (projection schema). Unknown names are
+  /// skipped.
+  Schema Project(const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// "(name:TYPE, ...)" rendering for messages and EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_RELATION_SCHEMA_H_

@@ -1,0 +1,61 @@
+// Tuples: fixed-arity value vectors aligned with a Schema.
+
+#ifndef PREFDB_RELATION_TUPLE_H_
+#define PREFDB_RELATION_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace prefdb {
+
+/// A tuple is a positional vector of Values; the meaning of positions is
+/// given by the Relation's Schema. Tuples are plain data.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Projection t[A]: picks the given column indices, in order.
+  Tuple Project(const std::vector<size_t>& indices) const {
+    Tuple out;
+    out.values_.reserve(indices.size());
+    for (size_t idx : indices) out.values_.push_back(values_[idx]);
+    return out;
+  }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Lexicographic order over the Value total order (for deterministic
+  /// sorting only; unrelated to preference orders).
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// "(v1, v2, ...)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_RELATION_TUPLE_H_

@@ -1,0 +1,109 @@
+#include "relation/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace prefdb {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return *numeric() == *other.numeric();
+  }
+  return rep_ == other.rep_;
+}
+
+bool Value::operator<(const Value& other) const {
+  // Rank by broad class first: NULL < numeric < string.
+  auto klass = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ka = klass(*this), kb = klass(other);
+  if (ka != kb) return ka < kb;
+  if (ka == 0) return false;  // NULL == NULL
+  if (ka == 1) {
+    // Consistent with operator==: numerically equal int/double are
+    // equivalent, never ordered.
+    return *numeric() < *other.numeric();
+  }
+  return as_string() < other.as_string();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[64];
+      double d = as_double();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%g", d);
+      }
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      double d = *numeric();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      // Integral doubles hash like the integer so == implies equal hashes.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d)) ^ 0x517cc1b7;
+      }
+      return std::hash<double>{}(d) ^ 0x517cc1b7;
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(as_string()) ^ 0x2545f491;
+  }
+  return 0;
+}
+
+std::optional<Value> ParseValue(const std::string& text, ValueType type) {
+  if (text.empty()) return Value();
+  switch (type) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return std::nullopt;
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') return std::nullopt;
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(text);
+  }
+  return std::nullopt;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,105 @@
+// prefdb — reproduction of W. Kießling, "Foundations of Preferences in
+// Database Systems" (VLDB 2002).
+//
+// Dynamically typed value: the element of an attribute domain dom(A).
+
+#ifndef PREFDB_RELATION_VALUE_H_
+#define PREFDB_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace prefdb {
+
+/// Runtime type tag of a Value.
+enum class ValueType {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Returns a human-readable name ("NULL", "INT", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed database value. Values are the elements of the
+/// attribute domains dom(A) over which preferences (strict partial orders)
+/// are declared. A Value is small, copyable and totally ordered (the total
+/// order is only used for deterministic sorting/hashing; preference
+/// "better-than" orders are independent of it).
+class Value {
+ public:
+  /// Constructs the NULL value.
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}          // NOLINT: implicit by design
+  Value(int v) : rep_(int64_t{v}) {}     // NOLINT
+  Value(double v) : rep_(v) {}           // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return rep_.index() == 0; }
+  bool is_int() const { return rep_.index() == 1; }
+  bool is_double() const { return rep_.index() == 2; }
+  bool is_string() const { return rep_.index() == 3; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Underlying accessors; behaviour is undefined if the type mismatches.
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: ints widen to double; non-numerics yield nullopt.
+  /// Numerical base preferences (AROUND, BETWEEN, LOWEST, HIGHEST, SCORE)
+  /// operate on this view.
+  std::optional<double> numeric() const {
+    if (is_int()) return static_cast<double>(as_int());
+    if (is_double()) return as_double();
+    return std::nullopt;
+  }
+
+  /// Equality is the "x1 = y1" of Defs. 8/9: same type (modulo int/double
+  /// numeric widening) and same content. NULL equals NULL.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for sorting and map keys: NULL < numerics < strings;
+  /// numerics compare by numeric value, ints before doubles on ties.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// SQL-literal-ish rendering: NULL, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Stable hash consistent with operator== (numeric widening included).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Parses a string into the given type ("" parses to NULL). Returns nullopt
+/// on malformed numeric input.
+std::optional<Value> ParseValue(const std::string& text, ValueType type);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_RELATION_VALUE_H_

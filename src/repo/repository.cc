@@ -1,0 +1,108 @@
+#include "repo/repository.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "repo/serializer.h"
+
+namespace prefdb {
+
+namespace {
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void PreferenceRepository::Store(const std::string& name,
+                                 const PrefPtr& pref) {
+  if (!ValidName(name)) {
+    throw std::invalid_argument("invalid repository entry name '" + name +
+                                "'");
+  }
+  if (!pref) throw std::invalid_argument("cannot store a null preference");
+  if (!IsSerializable(pref)) {
+    throw std::invalid_argument(
+        "preference is not serializable (contains opaque functions): " +
+        pref->ToString());
+  }
+  entries_.insert_or_assign(name, pref);
+}
+
+PrefPtr PreferenceRepository::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> PreferenceRepository::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, pref] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string PreferenceRepository::ToText() const {
+  std::string out = "# prefdb preference repository\n";
+  for (const auto& [name, pref] : entries_) {
+    out += name + " = " + SerializePreference(pref) + "\n";
+  }
+  return out;
+}
+
+PreferenceRepository PreferenceRepository::FromText(const std::string& text) {
+  PreferenceRepository repo;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("repository line " + std::to_string(lineno) +
+                                  ": missing '='");
+    }
+    std::string name = line.substr(begin, eq - begin);
+    size_t name_end = name.find_last_not_of(" \t");
+    name = name.substr(0, name_end + 1);
+    try {
+      repo.Store(name, ParsePreferenceTerm(line.substr(eq + 1)));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("repository line " + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+  }
+  return repo;
+}
+
+void PreferenceRepository::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write repository file: " + path);
+  out << ToText();
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+PreferenceRepository PreferenceRepository::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read repository file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromText(buf.str());
+}
+
+}  // namespace prefdb

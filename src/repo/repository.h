@@ -1,0 +1,57 @@
+// Persistent preference repository (the §7 roadmap item): a named store of
+// preference terms with a human-readable on-disk format, enabling
+// personalized query composition — users save their wish lists, e-shops
+// recall and combine them.
+//
+// File format, one entry per line (comments with '#'):
+//   julia_colors = NEG(color, {'gray'})
+//   julia_wishes = PRIOR(NEG(color, {'gray'}), LOWEST(price))
+
+#ifndef PREFDB_REPO_REPOSITORY_H_
+#define PREFDB_REPO_REPOSITORY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+class PreferenceRepository {
+ public:
+  /// Stores (or replaces) a term under a name. Names must be non-empty
+  /// identifiers ([A-Za-z0-9_.-]+); the term must be serializable
+  /// (std::invalid_argument otherwise, so a repository can always be
+  /// persisted).
+  void Store(const std::string& name, const PrefPtr& pref);
+
+  /// Looks a term up; nullptr when absent.
+  PrefPtr Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return entries_.count(name) > 0; }
+  bool Remove(const std::string& name) { return entries_.erase(name) > 0; }
+  size_t size() const { return entries_.size(); }
+
+  /// Sorted entry names.
+  std::vector<std::string> Names() const;
+
+  /// Serializes the whole repository to the line-based text format.
+  std::string ToText() const;
+
+  /// Parses a repository from text; throws std::invalid_argument with the
+  /// offending line number on malformed entries.
+  static PreferenceRepository FromText(const std::string& text);
+
+  /// File convenience wrappers; throw std::runtime_error on I/O failure.
+  void SaveToFile(const std::string& path) const;
+  static PreferenceRepository LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, PrefPtr> entries_;  // ordered for stable output
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_REPO_REPOSITORY_H_

@@ -1,0 +1,456 @@
+#include "repo/serializer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+
+namespace {
+
+std::string NumText(double d) {
+  if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+    return std::to_string(static_cast<int64_t>(d));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+std::string ValueText(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(v.as_int());
+    case ValueType::kDouble:
+      return NumText(v.as_double()) +
+             (v.as_double() == std::floor(v.as_double()) ? ".0" : "");
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.as_string()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      return out + "'";
+    }
+  }
+  return "NULL";
+}
+
+std::string SetText(const ValueSet& set) {
+  std::vector<Value> values(set.begin(), set.end());
+  std::sort(values.begin(), values.end());
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ValueText(values[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string SerializePreference(const PrefPtr& pref) {
+  switch (pref->kind()) {
+    case PreferenceKind::kPos: {
+      const auto& p = static_cast<const PosPreference&>(*pref);
+      return "POS(" + p.attribute() + ", " + SetText(p.pos_set()) + ")";
+    }
+    case PreferenceKind::kNeg: {
+      const auto& p = static_cast<const NegPreference&>(*pref);
+      return "NEG(" + p.attribute() + ", " + SetText(p.neg_set()) + ")";
+    }
+    case PreferenceKind::kPosNeg: {
+      const auto& p = static_cast<const PosNegPreference&>(*pref);
+      return "POSNEG(" + p.attribute() + ", " + SetText(p.pos_set()) + ", " +
+             SetText(p.neg_set()) + ")";
+    }
+    case PreferenceKind::kPosPos: {
+      const auto& p = static_cast<const PosPosPreference&>(*pref);
+      return "POSPOS(" + p.attribute() + ", " + SetText(p.pos1_set()) +
+             ", " + SetText(p.pos2_set()) + ")";
+    }
+    case PreferenceKind::kExplicit: {
+      const auto& p = static_cast<const ExplicitPreference&>(*pref);
+      // Serialize the original edge list (closure is reconstructed).
+      std::vector<std::pair<Value, Value>> edges;
+      for (const auto& e : p.edges()) edges.push_back({e.worse, e.better});
+      std::sort(edges.begin(), edges.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first < b.first) return true;
+                  if (b.first < a.first) return false;
+                  return a.second < b.second;
+                });
+      std::string out = "EXPLICIT(" + p.attribute() + ", {";
+      for (size_t i = 0; i < edges.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "(" + ValueText(edges[i].first) + ", " +
+               ValueText(edges[i].second) + ")";
+      }
+      return out + "})";
+    }
+    case PreferenceKind::kPosNegGraphs: {
+      const auto& p = static_cast<const PosNegGraphsPreference&>(*pref);
+      auto side = [](const ExplicitPreference& graph, const ValueSet& range) {
+        std::vector<std::pair<Value, Value>> edges;
+        for (const auto& e : graph.edges()) edges.push_back({e.worse, e.better});
+        std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+          if (a.first < b.first) return true;
+          if (b.first < a.first) return false;
+          return a.second < b.second;
+        });
+        std::string out = "{";
+        for (size_t i = 0; i < edges.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += "(" + ValueText(edges[i].first) + ", " +
+                 ValueText(edges[i].second) + ")";
+        }
+        out += "}, ";
+        // Isolated nodes: range values not in the edge graph.
+        ValueSet isolated;
+        for (const Value& v : range) {
+          if (!graph.graph_values().count(v)) isolated.insert(v);
+        }
+        out += SetText(isolated);
+        return out;
+      };
+      return "GRAPHS(" + p.attribute() + ", " +
+             side(p.pos_graph(), p.pos_range()) + ", " +
+             side(p.neg_graph(), p.neg_range()) + ")";
+    }
+    case PreferenceKind::kLayered: {
+      const auto* p = dynamic_cast<const LayeredPreference*>(pref.get());
+      if (p == nullptr) {
+        throw std::invalid_argument(
+            "condition-layered preferences are not serializable: " +
+            pref->ToString());
+      }
+      std::string out = "LAYERED(" + p->attribute() + ", [";
+      const auto& layers = p->layers();
+      for (size_t i = 0; i < layers.size(); ++i) {
+        if (i > 0) out += ", ";
+        if (layers[i].is_others) {
+          out += "OTHERS";
+        } else {
+          ValueSet set(layers[i].values.begin(), layers[i].values.end());
+          out += SetText(set);
+        }
+      }
+      return out + "])";
+    }
+    case PreferenceKind::kAround: {
+      const auto& p = static_cast<const AroundPreference&>(*pref);
+      return "AROUND(" + p.attribute() + ", " + NumText(p.target()) + ")";
+    }
+    case PreferenceKind::kBetween: {
+      const auto& p = static_cast<const BetweenPreference&>(*pref);
+      return "BETWEEN(" + p.attribute() + ", " + NumText(p.low()) + ", " +
+             NumText(p.up()) + ")";
+    }
+    case PreferenceKind::kLowest:
+      return "LOWEST(" + pref->attributes()[0] + ")";
+    case PreferenceKind::kHighest:
+      return "HIGHEST(" + pref->attributes()[0] + ")";
+    case PreferenceKind::kPareto: {
+      auto kids = pref->children();
+      return "PARETO(" + SerializePreference(kids[0]) + ", " +
+             SerializePreference(kids[1]) + ")";
+    }
+    case PreferenceKind::kPrioritized: {
+      auto kids = pref->children();
+      return "PRIOR(" + SerializePreference(kids[0]) + ", " +
+             SerializePreference(kids[1]) + ")";
+    }
+    case PreferenceKind::kIntersection: {
+      auto kids = pref->children();
+      return "ISECT(" + SerializePreference(kids[0]) + ", " +
+             SerializePreference(kids[1]) + ")";
+    }
+    case PreferenceKind::kDisjointUnion: {
+      auto kids = pref->children();
+      return "UNION(" + SerializePreference(kids[0]) + ", " +
+             SerializePreference(kids[1]) + ")";
+    }
+    case PreferenceKind::kDual:
+      return "DUAL(" + SerializePreference(pref->children()[0]) + ")";
+    case PreferenceKind::kAntiChain: {
+      std::string out = "ANTICHAIN(";
+      const auto& attrs = pref->attributes();
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += attrs[i];
+      }
+      return out + ")";
+    }
+    case PreferenceKind::kScore:
+    case PreferenceKind::kRankF:
+    case PreferenceKind::kLinearSum:
+    case PreferenceKind::kSubset:
+      throw std::invalid_argument(
+          std::string(PreferenceKindName(pref->kind())) +
+          " preferences wrap opaque functions and are not serializable: " +
+          pref->ToString());
+  }
+  throw std::invalid_argument("unknown preference kind");
+}
+
+bool IsSerializable(const PrefPtr& pref) {
+  switch (pref->kind()) {
+    case PreferenceKind::kScore:
+    case PreferenceKind::kRankF:
+    case PreferenceKind::kLinearSum:
+    case PreferenceKind::kSubset:
+      return false;
+    case PreferenceKind::kLayered:
+      if (dynamic_cast<const LayeredPreference*>(pref.get()) == nullptr) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : pref->children()) {
+    if (!IsSerializable(child)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Recursive-descent parser for the serialization format.
+class TermParser {
+ public:
+  explicit TermParser(const std::string& text) : in_(text) {}
+
+  PrefPtr Parse() {
+    PrefPtr p = ParseTerm();
+    SkipWs();
+    if (pos_ != in_.size()) Fail("trailing input");
+    return p;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& m) const {
+    throw std::invalid_argument("preference parse error at offset " +
+                                std::to_string(pos_) + ": " + m);
+  }
+
+  void SkipWs() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Cur() {
+    SkipWs();
+    return pos_ < in_.size() ? in_[pos_] : '\0';
+  }
+  void Expect(char c) {
+    if (Cur() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool Accept(char c) {
+    if (Cur() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseName() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '_' || in_[pos_] == '/')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a name");
+    return in_.substr(start, pos_ - start);
+  }
+
+  double ParseNumber() {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < in_.size() && (in_[pos_] == '-' || in_[pos_] == '+')) ++pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E' ||
+            ((in_[pos_] == '-' || in_[pos_] == '+') && pos_ > start &&
+             (in_[pos_ - 1] == 'e' || in_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    std::string text = in_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0') {
+      Fail("malformed number '" + text + "'");
+    }
+    return v;
+  }
+
+  Value ParseValue() {
+    char c = Cur();
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < in_.size()) {
+        if (in_[pos_] == '\'') {
+          if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '\'') {
+            out += '\'';
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          return Value(out);
+        }
+        out += in_[pos_++];
+      }
+      Fail("unterminated string");
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string name = ParseName();
+      if (name == "NULL") return Value();
+      Fail("unexpected word '" + name + "' (expected a value)");
+    }
+    size_t before = pos_;
+    double d = ParseNumber();
+    std::string text = in_.substr(before, pos_ - before);
+    bool integral = text.find('.') == std::string::npos &&
+                    text.find('e') == std::string::npos &&
+                    text.find('E') == std::string::npos;
+    if (integral) return Value(static_cast<int64_t>(d));
+    return Value(d);
+  }
+
+  std::vector<Value> ParseValueSet() {
+    Expect('{');
+    std::vector<Value> out;
+    if (Accept('}')) return out;
+    out.push_back(ParseValue());
+    while (Accept(',')) out.push_back(ParseValue());
+    Expect('}');
+    return out;
+  }
+
+  std::vector<ExplicitEdge> ParseEdgeList() {
+    Expect('{');
+    std::vector<ExplicitEdge> edges;
+    if (Accept('}')) return edges;
+    do {
+      Expect('(');
+      Value worse = ParseValue();
+      Expect(',');
+      Value better = ParseValue();
+      Expect(')');
+      edges.push_back({worse, better});
+    } while (Accept(','));
+    Expect('}');
+    return edges;
+  }
+
+  PrefPtr ParseTerm() {
+    std::string ctor = ParseName();
+    Expect('(');
+    PrefPtr result;
+    if (ctor == "POS" || ctor == "NEG") {
+      std::string attr = ParseName();
+      Expect(',');
+      auto set = ParseValueSet();
+      result = ctor == "POS" ? Pos(attr, set) : Neg(attr, set);
+    } else if (ctor == "POSNEG" || ctor == "POSPOS" ||
+               ctor == "POS/NEG" || ctor == "POS/POS") {
+      std::string attr = ParseName();
+      Expect(',');
+      auto a = ParseValueSet();
+      Expect(',');
+      auto b = ParseValueSet();
+      result = (ctor == "POSNEG" || ctor == "POS/NEG") ? PosNeg(attr, a, b)
+                                                       : PosPos(attr, a, b);
+    } else if (ctor == "EXPLICIT") {
+      std::string attr = ParseName();
+      Expect(',');
+      result = Explicit(attr, ParseEdgeList());
+    } else if (ctor == "GRAPHS") {
+      std::string attr = ParseName();
+      Expect(',');
+      auto pos_edges = ParseEdgeList();
+      Expect(',');
+      auto pos_nodes = ParseValueSet();
+      Expect(',');
+      auto neg_edges = ParseEdgeList();
+      Expect(',');
+      auto neg_nodes = ParseValueSet();
+      result = PosNegGraphs(attr, std::move(pos_edges), std::move(pos_nodes),
+                            std::move(neg_edges), std::move(neg_nodes));
+    } else if (ctor == "LAYERED") {
+      std::string attr = ParseName();
+      Expect(',');
+      Expect('[');
+      std::vector<LayeredPreference::Layer> layers;
+      do {
+        if (Cur() == '{') {
+          layers.push_back({ParseValueSet(), false});
+        } else {
+          std::string word = ParseName();
+          if (word != "OTHERS") Fail("expected a value set or OTHERS");
+          layers.push_back(LayeredPreference::Others());
+        }
+      } while (Accept(','));
+      Expect(']');
+      result = Layered(attr, std::move(layers));
+    } else if (ctor == "AROUND") {
+      std::string attr = ParseName();
+      Expect(',');
+      result = Around(attr, ParseNumber());
+    } else if (ctor == "BETWEEN") {
+      std::string attr = ParseName();
+      Expect(',');
+      double low = ParseNumber();
+      Expect(',');
+      result = Between(attr, low, ParseNumber());
+    } else if (ctor == "LOWEST") {
+      result = Lowest(ParseName());
+    } else if (ctor == "HIGHEST") {
+      result = Highest(ParseName());
+    } else if (ctor == "ANTICHAIN") {
+      std::vector<std::string> attrs;
+      attrs.push_back(ParseName());
+      while (Accept(',')) attrs.push_back(ParseName());
+      result = AntiChain(attrs);
+    } else if (ctor == "DUAL") {
+      result = Dual(ParseTerm());
+    } else if (ctor == "PARETO" || ctor == "PRIOR" || ctor == "ISECT" ||
+               ctor == "UNION") {
+      PrefPtr left = ParseTerm();
+      Expect(',');
+      PrefPtr right = ParseTerm();
+      if (ctor == "PARETO") result = Pareto(left, right);
+      else if (ctor == "PRIOR") result = Prioritized(left, right);
+      else if (ctor == "ISECT") result = Intersection(left, right);
+      else result = DisjointUnion(left, right);
+    } else {
+      Fail("unknown constructor '" + ctor + "'");
+    }
+    Expect(')');
+    return result;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+PrefPtr ParsePreferenceTerm(const std::string& text) {
+  return TermParser(text).Parse();
+}
+
+}  // namespace prefdb

@@ -1,0 +1,40 @@
+// Textual serialization of preference terms — the storage format of the
+// persistent preference repository (the paper's §7 outlook: "a persistent
+// preference repository"). Round-trip safe for every declarative
+// constructor:
+//
+//   POS(color, {'yellow', 'green'})
+//   POSNEG(color, {'blue'}, {'gray', 'red'})
+//   EXPLICIT(color, {('green', 'yellow'), ('yellow', 'white')})
+//   LAYERED(color, [{'gold'}, OTHERS, {'gray'}])
+//   AROUND(price, 40000)   BETWEEN(price, 10, 20)
+//   LOWEST(price)          HIGHEST(power)
+//   PARETO(t1, t2)  PRIOR(t1, t2)  ISECT(t1, t2)  UNION(t1, t2)
+//   DUAL(t)  ANTICHAIN(a1, a2, ...)
+//
+// Preferences wrapping opaque C++ functions (SCORE, rank(F), linear sums,
+// subset restrictions, condition-layered terms) are not serializable;
+// SerializePreference throws std::invalid_argument for those.
+
+#ifndef PREFDB_REPO_SERIALIZER_H_
+#define PREFDB_REPO_SERIALIZER_H_
+
+#include <string>
+
+#include "core/preference.h"
+
+namespace prefdb {
+
+/// Serializes a term into the canonical text format above.
+std::string SerializePreference(const PrefPtr& pref);
+
+/// Parses a term back. Throws std::invalid_argument with position info on
+/// malformed input.
+PrefPtr ParsePreferenceTerm(const std::string& text);
+
+/// True iff the term contains only serializable constructors.
+bool IsSerializable(const PrefPtr& pref);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_REPO_SERIALIZER_H_

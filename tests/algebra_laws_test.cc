@@ -1,0 +1,194 @@
+// Verification of the preference algebra (§4): every law of Props 2-6 is
+// instantiated with randomized component preferences over exhaustively
+// enumerated finite domains and checked for semantic equivalence (Def. 13).
+
+#include "algebra/laws.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::RandomPreferenceGen;
+
+std::vector<Value> SmallDomain() {
+  return {Value(-2), Value(0), Value(1), Value(3)};
+}
+
+// Builds the LawInputs for one random round: p/q/r share attribute "a";
+// d1/d2/d3 live on disjoint attributes a/b/c; u1/u2/u3 are range-disjoint
+// subset preferences on "a".
+struct LawSetup {
+  LawInputs inputs;
+  Relation dom1;  // dom(a)
+  Relation dom3;  // dom(a) x dom(b) x dom(c)
+};
+
+LawSetup MakeLawSetup(uint64_t seed) {
+  LawSetup s;
+  RandomPreferenceGen ga("a", SmallDomain(), seed);
+  RandomPreferenceGen gb("b", SmallDomain(), seed + 101);
+  RandomPreferenceGen gc("c", SmallDomain(), seed + 202);
+  s.inputs.attrs_a = {"a"};
+  s.inputs.p = ga.Term(2);
+  s.inputs.q = ga.Term(2);
+  s.inputs.r = ga.Term(2);
+  s.inputs.d1 = ga.Term(1);
+  s.inputs.d2 = gb.Term(1);
+  s.inputs.d3 = gc.Term(1);
+  // Range-disjoint pieces on "a": subset preferences over disjoint slices.
+  std::vector<Value> dom = SmallDomain();
+  s.inputs.u1 = Subset(ga.Term(1), {Tuple({dom[0]}), Tuple({dom[1]})});
+  s.inputs.u2 = Subset(ga.Term(1), {Tuple({dom[2]})});
+  s.inputs.u3 = Subset(ga.Term(1), {Tuple({dom[3]})});
+
+  s.dom1 = Relation(Schema{{"a", ValueType::kInt}});
+  for (const Value& v : dom) s.dom1.Add({v});
+  s.dom3 = Relation(Schema{{"a", ValueType::kInt},
+                           {"b", ValueType::kInt},
+                           {"c", ValueType::kInt}});
+  for (const Value& va : dom) {
+    for (const Value& vb : dom) {
+      for (const Value& vc : dom) s.dom3.Add({va, vb, vc});
+    }
+  }
+  return s;
+}
+
+class AlgebraLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgebraLawsTest, AllGenericLawsHold) {
+  LawSetup s = MakeLawSetup(GetParam());
+  for (const LawInstance& law : InstantiateGenericLaws(s.inputs)) {
+    // Pick the widest domain that covers the law's attributes.
+    const Relation& dom =
+        law.lhs->attributes().size() == 1 ? s.dom1 : s.dom3;
+    auto res = CheckEquivalent(law.lhs, law.rhs, dom);
+    EXPECT_TRUE(res.equivalent)
+        << law.id << " (" << law.statement << ")\n lhs: "
+        << law.lhs->ToString() << "\n rhs: " << law.rhs->ToString()
+        << "\n counterexample: " << res.counterexample;
+  }
+}
+
+TEST_P(AlgebraLawsTest, SpecialBaseConstructorLawsHold) {
+  LawSetup s = MakeLawSetup(GetParam());
+  std::vector<Value> set = {Value(0), Value(3)};
+  for (const LawInstance& law : SpecialLawInstances("a", set)) {
+    auto res = CheckEquivalent(law.lhs, law.rhs, s.dom1);
+    EXPECT_TRUE(res.equivalent)
+        << law.id << ": " << res.counterexample;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLawsTest,
+                         ::testing::Values(7, 11, 17, 23, 31, 41, 59, 73));
+
+// --- Targeted law tests with human-checkable instances ---
+
+TEST(LawDetailTest, Prop3cDualOfLinearSum) {
+  // (P1 (+) P2)^d == P2^d (+) P1^d.
+  std::vector<Value> dom_l = {Value(1), Value(2)};
+  std::vector<Value> dom_r = {Value(10), Value(20)};
+  PrefPtr lhs = Dual(LinearSum("v", Lowest("a"), Highest("b"), dom_l, dom_r));
+  PrefPtr rhs = LinearSum("v", Dual(Highest("b")), Dual(Lowest("a")), dom_r,
+                          dom_l);
+  Relation dom(Schema{{"v", ValueType::kInt}});
+  for (int v : {1, 2, 10, 20, 99}) dom.Add({Value(v)});
+  auto res = CheckEquivalent(lhs, rhs, dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(LawDetailTest, Prop3hPrioritizedChains) {
+  Relation dom(Schema{{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  for (int a : {1, 2, 3}) {
+    for (int b : {1, 2, 3}) dom.Add({Value(a), Value(b)});
+  }
+  PrefPtr p = Prioritized(Lowest("a"), Highest("b"));
+  EXPECT_TRUE(IsChainOn(p, dom.schema(), dom.tuples()));
+  PrefPtr q = Prioritized(Highest("b"), Lowest("a"));
+  EXPECT_TRUE(IsChainOn(q, dom.schema(), dom.tuples()));
+}
+
+TEST(LawDetailTest, Prop4aSharedAttributesDiscrimination) {
+  // P1 & P2 == P1 when both are on the same attribute set — P2 is
+  // completely dominated.
+  PrefPtr p1 = Pos("a", {Value(1)});
+  PrefPtr p2 = Lowest("a");
+  Relation dom(Schema{{"a", ValueType::kInt}});
+  for (int v : {0, 1, 2, 3}) dom.Add({Value(v)});
+  auto res = CheckEquivalent(Prioritized(p1, p2), p1, dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(LawDetailTest, Prop5NonDiscriminationConcrete) {
+  // Example 7's algebraic heart on a small concrete domain.
+  PrefPtr p1 = Lowest("price");
+  PrefPtr p2 = Lowest("mileage");
+  Relation dom(
+      Schema{{"price", ValueType::kInt}, {"mileage", ValueType::kInt}});
+  for (int p : {1, 2, 3}) {
+    for (int m : {1, 2, 3}) dom.Add({Value(p), Value(m)});
+  }
+  PrefPtr lhs = Pareto(p1, p2);
+  PrefPtr rhs = Intersection(Prioritized(p1, p2), Prioritized(p2, p1));
+  auto res = CheckEquivalent(lhs, rhs, dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(LawDetailTest, Prop6SameAttributeParetoIsIntersection) {
+  PrefPtr p1 = Pos("c", {"x", "y"});
+  PrefPtr p2 = Neg("c", {"y", "z"});
+  Relation dom(Schema{{"c", ValueType::kString}});
+  for (const char* v : {"x", "y", "z", "w"}) dom.Add({Value(v)});
+  auto res = CheckEquivalent(Pareto(p1, p2), Intersection(p1, p2), dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(LawDetailTest, ParetoDualGivesFullAntiChain) {
+  // P (x) P^d == A<-> — "unranked values are a natural reservoir to
+  // negotiate compromises" (§4.1).
+  PrefPtr p = Lowest("a");
+  Relation dom(Schema{{"a", ValueType::kInt}});
+  for (int v : {3, 6, 9}) dom.Add({Value(v)});
+  auto res = CheckEquivalent(Pareto(p, Dual(p)), AntiChain("a"), dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(LawDetailTest, NumericalAccumulationCommutesForSymmetricF) {
+  // §4.1: "for numerical accumulation the existence of such algebraic laws
+  // depends on the mathematical properties of F" — symmetric F commutes.
+  PrefPtr a = Highest("x");
+  PrefPtr b = Lowest("y");
+  PrefPtr lhs = RankWeightedSum({1.0, 1.0}, {a, b});
+  PrefPtr rhs = RankWeightedSum({1.0, 1.0}, {b, a});
+  Relation dom(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  for (int x : {0, 1, 2}) {
+    for (int y : {0, 1, 2}) dom.Add({Value(x), Value(y)});
+  }
+  auto res = CheckEquivalent(lhs, rhs, dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(LawDetailTest, EquivalenceRejectsDifferentAttributeSets) {
+  auto res = CheckEquivalent(Lowest("a"), Lowest("b"),
+                             Relation(Schema{{"a", ValueType::kInt},
+                                             {"b", ValueType::kInt}}));
+  EXPECT_FALSE(res.equivalent);
+}
+
+TEST(LawDetailTest, EquivalenceFindsCounterexample) {
+  Relation dom(Schema{{"a", ValueType::kInt}});
+  for (int v : {1, 2}) dom.Add({Value(v)});
+  auto res = CheckEquivalent(Lowest("a"), Highest("a"), dom);
+  EXPECT_FALSE(res.equivalent);
+  EXPECT_FALSE(res.counterexample.empty());
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,251 @@
+// Unit tests for the non-numerical base preference constructors (Def. 6).
+
+#include "core/base_preferences.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::StringRelation;
+
+const Schema kColorSchema({{"color", ValueType::kString}});
+
+bool Less(const PrefPtr& p, const Value& x, const Value& y) {
+  return p->Bind(kColorSchema)(Tuple({x}), Tuple({y}));
+}
+
+// --- POS (Def. 6a) ---
+
+TEST(PosTest, NonPosIsWorseThanPos) {
+  PrefPtr p = Pos("color", {"yellow", "green"});
+  EXPECT_TRUE(Less(p, "red", "yellow"));
+  EXPECT_TRUE(Less(p, "red", "green"));
+  EXPECT_FALSE(Less(p, "yellow", "red"));
+}
+
+TEST(PosTest, PosValuesMutuallyUnranked) {
+  PrefPtr p = Pos("color", {"yellow", "green"});
+  EXPECT_FALSE(Less(p, "yellow", "green"));
+  EXPECT_FALSE(Less(p, "green", "yellow"));
+}
+
+TEST(PosTest, OtherValuesMutuallyUnranked) {
+  PrefPtr p = Pos("color", {"yellow"});
+  EXPECT_FALSE(Less(p, "red", "blue"));
+  EXPECT_FALSE(Less(p, "blue", "red"));
+}
+
+TEST(PosTest, IsStrictPartialOrder) {
+  PrefPtr p = Pos("color", {"yellow", "green"});
+  Relation dom = StringRelation("color",
+                                {"yellow", "green", "red", "blue", "black"});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+TEST(PosTest, ToStringMentionsConstructorAndSet) {
+  EXPECT_EQ(Pos("color", {"yellow"})->ToString(),
+            "POS(color, {'yellow'})");
+}
+
+// --- NEG (Def. 6b) ---
+
+TEST(NegTest, NegValuesAreWorse) {
+  PrefPtr p = Neg("color", {"gray"});
+  EXPECT_TRUE(Less(p, "gray", "red"));
+  EXPECT_FALSE(Less(p, "red", "gray"));
+  EXPECT_FALSE(Less(p, "red", "blue"));
+}
+
+TEST(NegTest, NegValuesMutuallyUnranked) {
+  PrefPtr p = Neg("color", {"gray", "brown"});
+  EXPECT_FALSE(Less(p, "gray", "brown"));
+  EXPECT_FALSE(Less(p, "brown", "gray"));
+}
+
+TEST(NegTest, IsStrictPartialOrder) {
+  PrefPtr p = Neg("color", {"gray", "brown"});
+  Relation dom = StringRelation("color", {"gray", "brown", "red", "blue"});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- POS/NEG (Def. 6c) ---
+
+TEST(PosNegTest, ThreeLevelStructure) {
+  PrefPtr p = PosNeg("color", {"yellow"}, {"gray"});
+  EXPECT_TRUE(Less(p, "red", "yellow"));    // neutral < pos
+  EXPECT_TRUE(Less(p, "gray", "red"));      // neg < neutral
+  EXPECT_TRUE(Less(p, "gray", "yellow"));   // neg < pos (transitive closure)
+  EXPECT_FALSE(Less(p, "yellow", "gray"));
+  EXPECT_FALSE(Less(p, "red", "blue"));     // neutrals unranked
+}
+
+TEST(PosNegTest, RejectsOverlappingSets) {
+  EXPECT_THROW(PosNeg("color", {"red"}, {"red"}), std::invalid_argument);
+}
+
+TEST(PosNegTest, IsStrictPartialOrder) {
+  PrefPtr p = PosNeg("color", {"yellow", "blue"}, {"gray", "brown"});
+  Relation dom = StringRelation(
+      "color", {"yellow", "blue", "gray", "brown", "red", "white"});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- POS/POS (Def. 6d) ---
+
+TEST(PosPosTest, FavoritesBeatAlternativesBeatOthers) {
+  PrefPtr p = PosPos("category", {"cabriolet"}, {"roadster"});
+  Schema s({{"category", ValueType::kString}});
+  auto less = p->Bind(s);
+  auto lt = [&](const char* a, const char* b) {
+    return less(Tuple({Value(a)}), Tuple({Value(b)}));
+  };
+  EXPECT_TRUE(lt("roadster", "cabriolet"));
+  EXPECT_TRUE(lt("van", "roadster"));
+  EXPECT_TRUE(lt("van", "cabriolet"));
+  EXPECT_FALSE(lt("cabriolet", "roadster"));
+  EXPECT_FALSE(lt("van", "suv"));
+}
+
+TEST(PosPosTest, RejectsOverlappingSets) {
+  EXPECT_THROW(PosPos("c", {"x"}, {"x"}), std::invalid_argument);
+}
+
+TEST(PosPosTest, IsStrictPartialOrder) {
+  PrefPtr p = PosPos("color", {"yellow"}, {"green", "blue"});
+  Relation dom =
+      StringRelation("color", {"yellow", "green", "blue", "red", "black"});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- EXPLICIT (Def. 6e) ---
+
+PrefPtr Example1Explicit() {
+  // Example 1 of the paper: {(green, yellow), (green, red), (yellow, white)}.
+  return Explicit("color", {{Value("green"), Value("yellow")},
+                            {Value("green"), Value("red")},
+                            {Value("yellow"), Value("white")}});
+}
+
+TEST(ExplicitTest, DirectEdgesHold) {
+  PrefPtr p = Example1Explicit();
+  EXPECT_TRUE(Less(p, "green", "yellow"));
+  EXPECT_TRUE(Less(p, "green", "red"));
+  EXPECT_TRUE(Less(p, "yellow", "white"));
+}
+
+TEST(ExplicitTest, TransitiveClosureHolds) {
+  PrefPtr p = Example1Explicit();
+  EXPECT_TRUE(Less(p, "green", "white"));  // green < yellow < white
+}
+
+TEST(ExplicitTest, GraphValuesBeatOutsideValues) {
+  PrefPtr p = Example1Explicit();
+  EXPECT_TRUE(Less(p, "brown", "green"));
+  EXPECT_TRUE(Less(p, "black", "white"));
+  EXPECT_FALSE(Less(p, "green", "brown"));
+}
+
+TEST(ExplicitTest, OutsideValuesMutuallyUnranked) {
+  PrefPtr p = Example1Explicit();
+  EXPECT_FALSE(Less(p, "brown", "black"));
+  EXPECT_FALSE(Less(p, "black", "brown"));
+}
+
+TEST(ExplicitTest, MaximalValuesUnranked) {
+  PrefPtr p = Example1Explicit();
+  EXPECT_FALSE(Less(p, "white", "red"));
+  EXPECT_FALSE(Less(p, "red", "white"));
+}
+
+TEST(ExplicitTest, RejectsCycles) {
+  EXPECT_THROW(Explicit("c", {{Value("a"), Value("b")},
+                              {Value("b"), Value("c")},
+                              {Value("c"), Value("a")}}),
+               std::invalid_argument);
+  EXPECT_THROW(Explicit("c", {{Value("a"), Value("a")}}),
+               std::invalid_argument);
+}
+
+TEST(ExplicitTest, IsStrictPartialOrder) {
+  PrefPtr p = Example1Explicit();
+  Relation dom = StringRelation(
+      "color", {"white", "red", "yellow", "green", "brown", "black"});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- LAYERED ---
+
+TEST(LayeredTest, LevelsOrderValues) {
+  PrefPtr p = Layered("color", {LayeredPreference::Layer{{Value("gold")}, false},
+                                LayeredPreference::Layer{{Value("silver")}, false},
+                                LayeredPreference::Others()});
+  EXPECT_TRUE(Less(p, "silver", "gold"));
+  EXPECT_TRUE(Less(p, "bronze", "silver"));
+  EXPECT_TRUE(Less(p, "bronze", "gold"));
+  EXPECT_FALSE(Less(p, "gold", "silver"));
+}
+
+TEST(LayeredTest, OthersLayerCanRankAboveExplicitLayer) {
+  // NEG as layered: OTHERS first, then the dislikes.
+  PrefPtr p = Layered("color", {LayeredPreference::Others(),
+                                LayeredPreference::Layer{{Value("gray")}, false}});
+  EXPECT_TRUE(Less(p, "gray", "red"));
+  EXPECT_FALSE(Less(p, "red", "gray"));
+}
+
+TEST(LayeredTest, RejectsDuplicateValuesAcrossLayers) {
+  EXPECT_THROW(
+      Layered("c", {LayeredPreference::Layer{{Value("x")}, false},
+                    LayeredPreference::Layer{{Value("x")}, false}}),
+      std::invalid_argument);
+}
+
+TEST(LayeredTest, RejectsTwoOthersLayers) {
+  EXPECT_THROW(Layered("c", {LayeredPreference::Others(),
+                             LayeredPreference::Others()}),
+               std::invalid_argument);
+}
+
+TEST(LayeredTest, LevelOfReportsLayers) {
+  auto p = std::make_shared<LayeredPreference>(
+      "c", std::vector<LayeredPreference::Layer>{
+               LayeredPreference::Layer{{Value("a")}, false},
+               LayeredPreference::Others(),
+               LayeredPreference::Layer{{Value("z")}, false}});
+  EXPECT_EQ(p->LevelOf(Value("a")), 1u);
+  EXPECT_EQ(p->LevelOf(Value("m")), 2u);
+  EXPECT_EQ(p->LevelOf(Value("z")), 3u);
+}
+
+// --- Structural equality ---
+
+TEST(StructuralEqualityTest, SameConstructorAndParams) {
+  EXPECT_TRUE(Pos("c", {"a", "b"})->StructurallyEquals(
+      *Pos("c", {"b", "a"})));  // sets, not lists
+  EXPECT_FALSE(Pos("c", {"a"})->StructurallyEquals(*Pos("c", {"b"})));
+  EXPECT_FALSE(Pos("c", {"a"})->StructurallyEquals(*Neg("c", {"a"})));
+  EXPECT_FALSE(Pos("c", {"a"})->StructurallyEquals(*Pos("d", {"a"})));
+}
+
+TEST(StructuralEqualityTest, PosNegComparesBothSets) {
+  EXPECT_TRUE(PosNeg("c", {"a"}, {"z"})->StructurallyEquals(
+      *PosNeg("c", {"a"}, {"z"})));
+  EXPECT_FALSE(PosNeg("c", {"a"}, {"z"})->StructurallyEquals(
+      *PosNeg("c", {"a"}, {"y"})));
+}
+
+TEST(AttributeSetTest, PreferenceRequiresAttribute) {
+  EXPECT_THROW(AntiChain(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(BindTest, UnknownAttributeThrows) {
+  PrefPtr p = Pos("shade", {"x"});
+  EXPECT_THROW(p->Bind(kColorSchema), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,112 @@
+// Tests for the better-than graph (Hasse diagram) construction (Def. 2).
+
+#include "eval/better_than_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::IntRelation;
+using ::prefdb::testing::StringRelation;
+
+TEST(GraphTest, ChainFormsOneNodePerLevel) {
+  Relation r = IntRelation("x", {3, 1, 2});
+  BetterThanGraph g(r, Highest("x"));
+  EXPECT_EQ(g.max_level(), 3u);
+  EXPECT_EQ(g.ValuesAtLevel(1), (std::vector<Tuple>{Tuple({3})}));
+  EXPECT_EQ(g.ValuesAtLevel(2), (std::vector<Tuple>{Tuple({2})}));
+  EXPECT_EQ(g.ValuesAtLevel(3), (std::vector<Tuple>{Tuple({1})}));
+}
+
+TEST(GraphTest, AntiChainIsFlat) {
+  Relation r = IntRelation("x", {1, 2, 3});
+  BetterThanGraph g(r, AntiChain("x"));
+  EXPECT_EQ(g.max_level(), 1u);
+  EXPECT_EQ(g.maximal().size(), 3u);
+  EXPECT_EQ(g.minimal().size(), 3u);
+}
+
+TEST(GraphTest, TransitiveReductionDropsImpliedEdges) {
+  // 1 < 2 < 3 under HIGHEST: the Hasse diagram has no edge 3 -> 1.
+  Relation r = IntRelation("x", {1, 2, 3});
+  BetterThanGraph g(r, Highest("x"));
+  size_t edges = 0;
+  for (size_t i = 0; i < g.size(); ++i) edges += g.WorseNeighbors(i).size();
+  EXPECT_EQ(edges, 2u);  // 3->2, 2->1 only
+}
+
+TEST(GraphTest, DominanceMatrixKeepsFullRelation) {
+  Relation r = IntRelation("x", {1, 2, 3});
+  BetterThanGraph g(r, Highest("x"));
+  // Find node indices.
+  auto find = [&g](int v) {
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (g.values()[i][0] == Value(v)) return i;
+    }
+    return size_t{999};
+  };
+  EXPECT_TRUE(g.IsWorse(find(1), find(3)));  // implied edge still queryable
+  EXPECT_FALSE(g.IsWorse(find(3), find(1)));
+}
+
+TEST(GraphTest, LevelIsLongestPathNotShortest) {
+  // Diamond with a long tail: a value reachable from a maximal via 1 and
+  // via 3 edges gets the level of the longest path.
+  PrefPtr p = Explicit("c", {{Value("d"), Value("b")},
+                             {Value("b"), Value("a")},
+                             {Value("d"), Value("c")},
+                             {Value("c"), Value("b")}});
+  Relation r = StringRelation("c", {"a", "b", "c", "d"});
+  BetterThanGraph g(r, p);
+  // a (L1) > b (L2) > c (L3) > d (L4); also b -> d directly.
+  EXPECT_EQ(g.max_level(), 4u);
+  EXPECT_EQ(g.ValuesAtLevel(4), (std::vector<Tuple>{Tuple({Value("d")})}));
+}
+
+TEST(GraphTest, DuplicateRowsCollapseToOneNode) {
+  Relation r = IntRelation("x", {5, 5, 7});
+  BetterThanGraph g(r, Highest("x"));
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(GraphTest, ToTextRendersLevels) {
+  Relation r = IntRelation("x", {1, 2});
+  BetterThanGraph g(r, Highest("x"));
+  EXPECT_EQ(g.ToText(), "Level 1: 2\nLevel 2: 1\n");
+}
+
+TEST(GraphTest, ToDotProducesDigraph) {
+  Relation r = IntRelation("x", {1, 2});
+  BetterThanGraph g(r, Highest("x"));
+  std::string dot = g.ToDot("g");
+  EXPECT_NE(dot.find("digraph g {"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(GraphTest, MultiAttributeNodesRenderAsTuples) {
+  Relation r(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  r.Add({1, 2});
+  r.Add({2, 1});
+  BetterThanGraph g(r, Pareto(Highest("x"), Highest("y")));
+  EXPECT_EQ(g.max_level(), 1u);
+  EXPECT_NE(g.ToText().find("(1, 2)"), std::string::npos);
+}
+
+TEST(GraphTest, MaximalAndMinimalSetsForPareto) {
+  Relation r(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  r.Add({2, 2});
+  r.Add({1, 1});
+  r.Add({0, 3});
+  BetterThanGraph g(r, Pareto(Highest("x"), Highest("y")));
+  EXPECT_EQ(g.maximal().size(), 2u);  // (2,2), (0,3)
+  EXPECT_EQ(g.minimal().size(), 2u);  // (1,1), (0,3): (0,3) is isolated
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,195 @@
+// Tests for the BMO query model (Defs. 14-16): declarative semantics,
+// duplicates, groupby, result size, perfect matches.
+
+#include "eval/bmo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::IntRelation;
+
+TEST(BmoTest, EmptyRelationGivesEmptyResult) {
+  Relation r(Schema{{"x", ValueType::kInt}});
+  EXPECT_TRUE(Bmo(r, Lowest("x")).empty());
+  EXPECT_TRUE(BmoIndices(r, Lowest("x")).empty());
+}
+
+TEST(BmoTest, SingleRowIsAlwaysBest) {
+  Relation r = IntRelation("x", {42});
+  EXPECT_EQ(Bmo(r, Lowest("x")).size(), 1u);
+  EXPECT_EQ(Bmo(r, Around("x", 0)).size(), 1u);
+}
+
+TEST(BmoTest, NeverEmptyOnNonEmptyInput) {
+  // The empty-result effect is impossible under BMO (§5.1).
+  Relation r = IntRelation("x", {5, 9, 13});
+  for (const PrefPtr& p :
+       {Lowest("x"), Highest("x"), Around("x", 100), Pos("x", {Value(777)}),
+        Neg("x", {Value(5), Value(9), Value(13)})}) {
+    EXPECT_GE(Bmo(r, p).size(), 1u) << p->ToString();
+  }
+}
+
+TEST(BmoTest, QueryRelaxationIsImplicit) {
+  // POS with no feasible favorite falls back to "any other value".
+  Relation r = IntRelation("x", {1, 2, 3});
+  Relation best = Bmo(r, Pos("x", {Value(99)}));
+  EXPECT_EQ(best.size(), 3u);
+}
+
+TEST(BmoTest, DuplicateProjectionsAllQualify) {
+  // sigma[P](R) keeps every tuple whose projection is maximal (Def. 15).
+  Schema s({{"x", ValueType::kInt}, {"tag", ValueType::kString}});
+  Relation r(s);
+  r.Add({1, "a"});
+  r.Add({1, "b"});
+  r.Add({2, "c"});
+  Relation best = Bmo(r, Lowest("x"));
+  EXPECT_EQ(best.size(), 2u);  // both x=1 rows
+}
+
+TEST(BmoTest, PreservesInputRowOrder) {
+  Relation r = IntRelation("x", {3, 1, 2, 1});
+  std::vector<size_t> idx = BmoIndices(r, Lowest("x"));
+  EXPECT_EQ(idx, (std::vector<size_t>{1, 3}));
+}
+
+TEST(BmoTest, ExtraAttributesAreCarriedThrough) {
+  Schema s({{"price", ValueType::kInt}, {"name", ValueType::kString}});
+  Relation r(s);
+  r.Add({100, "cheap"});
+  r.Add({500, "pricey"});
+  Relation best = Bmo(r, Lowest("price"));
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best.at(0)[1], Value("cheap"));
+}
+
+TEST(BmoTest, Prop7EquivalentPreferencesSameResult) {
+  Relation r = IntRelation("x", {-3, -1, 0, 2, 5});
+  // LOWEST == HIGHEST^d (Prop 3d) must give identical BMO answers (Prop 7).
+  Relation a = Bmo(r, Lowest("x"));
+  Relation b = Bmo(r, Dual(Highest("x")));
+  EXPECT_TRUE(a.SameRows(b));
+}
+
+TEST(BmoTest, AntiChainReturnsEverything) {
+  Relation r = IntRelation("x", {1, 2, 3});
+  EXPECT_EQ(Bmo(r, AntiChain("x")).size(), 3u);
+}
+
+TEST(BmoGroupByTest, GroupsEvaluateIndependently) {
+  Schema s({{"make", ValueType::kString}, {"price", ValueType::kInt}});
+  Relation r(s);
+  r.Add({"Audi", 40000});
+  r.Add({"Audi", 30000});
+  r.Add({"BMW", 50000});
+  r.Add({"BMW", 45000});
+  Relation best = BmoGroupBy(r, Lowest("price"), {"make"});
+  Relation expected(s);
+  expected.Add({"Audi", 30000});
+  expected.Add({"BMW", 45000});
+  EXPECT_TRUE(best.SameRows(expected));
+}
+
+TEST(BmoGroupByTest, EquivalentToAntiChainPrioritization) {
+  // Def. 16: sigma[P groupby A](R) := sigma[A<-> & P](R).
+  Schema s({{"make", ValueType::kString}, {"price", ValueType::kInt}});
+  Relation r(s);
+  r.Add({"Audi", 40000});
+  r.Add({"Audi", 30000});
+  r.Add({"BMW", 50000});
+  Relation a = BmoGroupBy(r, Lowest("price"), {"make"});
+  Relation b = Bmo(r, Prioritized(AntiChain("make"), Lowest("price")));
+  EXPECT_TRUE(a.SameRows(b));
+}
+
+TEST(BmoGroupByTest, EmptyInput) {
+  Schema s({{"make", ValueType::kString}, {"price", ValueType::kInt}});
+  EXPECT_TRUE(BmoGroupBy(Relation(s), Lowest("price"), {"make"}).empty());
+}
+
+TEST(ResultSizeTest, CountsDistinctValueCombinations) {
+  Schema s({{"x", ValueType::kInt}, {"tag", ValueType::kString}});
+  Relation r(s);
+  r.Add({1, "a"});
+  r.Add({1, "b"});  // same projection x=1
+  r.Add({2, "c"});
+  EXPECT_EQ(ResultSize(r, Lowest("x")), 1u);
+  EXPECT_EQ(ResultSize(r, AntiChain("x")), 2u);
+}
+
+TEST(ResultSizeTest, BoundsFromDef18) {
+  Relation r = IntRelation("x", {1, 2, 3, 4});
+  for (const PrefPtr& p : {Lowest("x"), Around("x", 2), AntiChain("x")}) {
+    size_t size = ResultSize(r, p);
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 4u);
+  }
+}
+
+TEST(PerfectMatchTest, RequiresMembershipAndDomainMaximality) {
+  Relation r = IntRelation("x", {3, 7});
+  std::vector<Tuple> universe;
+  for (int v = 0; v <= 10; ++v) universe.push_back(Tuple({Value(v)}));
+  PrefPtr p = Around("x", 7);
+  EXPECT_TRUE(IsPerfectMatch(Tuple({Value(7)}), r, p, universe));
+  EXPECT_FALSE(IsPerfectMatch(Tuple({Value(3)}), r, p, universe));  // not max
+  EXPECT_FALSE(
+      IsPerfectMatch(Tuple({Value(5)}), r, p, universe));  // not in R
+}
+
+TEST(PerfectMatchTest, BmoMayContainNoPerfectMatch) {
+  // max(P_R) vs max(P): best available need not be a dream object.
+  Relation r = IntRelation("x", {3, 5});
+  std::vector<Tuple> universe;
+  for (int v = 0; v <= 10; ++v) universe.push_back(Tuple({Value(v)}));
+  PrefPtr p = Around("x", 9);
+  Relation best = Bmo(r, p);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best.at(0)[0], Value(5));
+  EXPECT_FALSE(IsPerfectMatch(best.at(0), r, p, universe));
+}
+
+TEST(ProjectionIndexTest, DeduplicatesAndMapsRows) {
+  Relation r = IntRelation("x", {1, 2, 1, 3, 2});
+  ProjectionIndex idx = BuildProjectionIndex(r, *Lowest("x"));
+  EXPECT_EQ(idx.values.size(), 3u);
+  EXPECT_EQ(idx.row_to_value[0], idx.row_to_value[2]);
+  EXPECT_EQ(idx.row_to_value[1], idx.row_to_value[4]);
+  EXPECT_NE(idx.row_to_value[0], idx.row_to_value[3]);
+}
+
+TEST(BmoOnStringsTest, PosPreferenceSelectsFavoritesPresent) {
+  Relation r = ::prefdb::testing::StringRelation(
+      "color", {"red", "yellow", "blue", "yellow"});
+  Relation best = Bmo(r, Pos("color", {"yellow", "green"}));
+  EXPECT_EQ(best.size(), 2u);
+  for (const Tuple& t : best.tuples()) {
+    EXPECT_EQ(t[0], Value("yellow"));
+  }
+}
+
+TEST(BmoMultiAttributeTest, ParetoOverThreeAttributes) {
+  Schema s({{"a", ValueType::kInt},
+            {"b", ValueType::kInt},
+            {"c", ValueType::kInt}});
+  Relation r(s);
+  r.Add({1, 1, 1});
+  r.Add({2, 2, 2});  // dominates (1,1,1) under HIGHEST everywhere
+  r.Add({3, 0, 3});
+  Relation best = Bmo(r, Pareto({Highest("a"), Highest("b"), Highest("c")}));
+  Relation expected(s);
+  expected.Add({2, 2, 2});
+  expected.Add({3, 0, 3});
+  EXPECT_TRUE(best.SameRows(expected));
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,345 @@
+// Unit tests for the complex preference constructors (Defs. 3, 8-12).
+
+#include "core/complex_preferences.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "core/base_preferences.h"
+#include "core/numeric_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+const Schema kXY({{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+
+Relation XYRelation(const std::vector<std::pair<int, int>>& points) {
+  Relation rel(kXY);
+  for (auto [x, y] : points) rel.Add({Value(x), Value(y)});
+  return rel;
+}
+
+// --- Pareto (Def. 8) ---
+
+TEST(ParetoTest, StrictDominanceInBothComponents) {
+  PrefPtr p = Pareto(Highest("x"), Highest("y"));
+  auto less = p->Bind(kXY);
+  EXPECT_TRUE(less(Tuple({Value(1), Value(1)}), Tuple({Value(2), Value(2)})));
+}
+
+TEST(ParetoTest, DominanceWithOneEqualComponent) {
+  PrefPtr p = Pareto(Highest("x"), Highest("y"));
+  auto less = p->Bind(kXY);
+  EXPECT_TRUE(less(Tuple({Value(1), Value(2)}), Tuple({Value(2), Value(2)})));
+  EXPECT_TRUE(less(Tuple({Value(2), Value(1)}), Tuple({Value(2), Value(3)})));
+}
+
+TEST(ParetoTest, TradeoffsAreUnranked) {
+  PrefPtr p = Pareto(Highest("x"), Highest("y"));
+  auto less = p->Bind(kXY);
+  Tuple a({Value(1), Value(5)});
+  Tuple b({Value(5), Value(1)});
+  EXPECT_FALSE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+}
+
+TEST(ParetoTest, AttributeSetIsUnion) {
+  PrefPtr p = Pareto(Highest("x"), Highest("y"));
+  EXPECT_TRUE(SameAttributeSet(p->attributes(), {"x", "y"}));
+}
+
+TEST(ParetoTest, SharedAttributeAccumulation) {
+  // Example 3 shape: two preferences on the same attribute.
+  PrefPtr p5 = Pos("color", {"green", "yellow"});
+  PrefPtr p6 = Neg("color", {"red", "green", "blue", "purple"});
+  PrefPtr p7 = Pareto(p5, p6);
+  EXPECT_TRUE(SameAttributeSet(p7->attributes(), {"color"}));
+  Schema s({{"color", ValueType::kString}});
+  auto less = p7->Bind(s);
+  // yellow is liked by P5 and not disliked by P6: beats red (disliked,
+  // non-POS).
+  EXPECT_TRUE(less(Tuple({Value("red")}), Tuple({Value("yellow")})));
+  // green: liked by P5 but disliked by P6 -> conflict -> unranked vs black.
+  EXPECT_FALSE(less(Tuple({Value("green")}), Tuple({Value("black")})));
+  EXPECT_FALSE(less(Tuple({Value("black")}), Tuple({Value("green")})));
+}
+
+TEST(ParetoTest, IsStrictPartialOrderOnRandomDomains) {
+  Relation dom = XYRelation({{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {0, 2}});
+  PrefPtr p = Pareto(Around("x", 1), Lowest("y"));
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+TEST(ParetoTest, NaryFoldsLeft) {
+  PrefPtr p = Pareto({Highest("x"), Highest("y"), Lowest("x")});
+  EXPECT_EQ(p->kind(), PreferenceKind::kPareto);
+  EXPECT_TRUE(SameAttributeSet(p->attributes(), {"x", "y"}));
+  EXPECT_THROW(Pareto(std::vector<PrefPtr>{}), std::invalid_argument);
+}
+
+// --- Prioritized (Def. 9) ---
+
+TEST(PrioritizedTest, FirstComponentDominates) {
+  PrefPtr p = Prioritized(Highest("x"), Highest("y"));
+  auto less = p->Bind(kXY);
+  // Better x wins regardless of y.
+  EXPECT_TRUE(less(Tuple({Value(1), Value(9)}), Tuple({Value(2), Value(0)})));
+}
+
+TEST(PrioritizedTest, SecondBreaksTiesOfEqualFirstValues) {
+  PrefPtr p = Prioritized(Highest("x"), Highest("y"));
+  auto less = p->Bind(kXY);
+  EXPECT_TRUE(less(Tuple({Value(2), Value(1)}), Tuple({Value(2), Value(5)})));
+  EXPECT_FALSE(less(Tuple({Value(2), Value(5)}), Tuple({Value(2), Value(1)})));
+}
+
+TEST(PrioritizedTest, UnrankedFirstComponentBlocksSecond) {
+  // P1 = AROUND leaves -5 / 5 unranked; the second preference must NOT
+  // decide then (x1 must be *equal*).
+  PrefPtr p = Prioritized(Around("x", 0), Highest("y"));
+  auto less = p->Bind(kXY);
+  EXPECT_FALSE(less(Tuple({Value(-5), Value(0)}), Tuple({Value(5), Value(9)})));
+}
+
+TEST(PrioritizedTest, ChainOfChainsIsChain) {
+  // Prop 3h.
+  PrefPtr p = Prioritized(Lowest("x"), Highest("y"));
+  EXPECT_TRUE(p->IsChain());
+  Relation dom = XYRelation({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_TRUE(IsChainOn(p, dom.schema(), dom.tuples()));
+}
+
+TEST(PrioritizedTest, NonChainComponentBreaksChain) {
+  EXPECT_FALSE(Prioritized(Around("x", 0), Highest("y"))->IsChain());
+}
+
+TEST(PrioritizedTest, IsStrictPartialOrder) {
+  Relation dom = XYRelation({{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}});
+  PrefPtr p = Prioritized(Around("x", 1), Lowest("y"));
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- rank(F) (Def. 10) ---
+
+TEST(RankTest, CombinedScoreOrders) {
+  PrefPtr p = RankWeightedSum({1.0, 2.0}, {Highest("x"), Highest("y")});
+  auto less = p->Bind(kXY);
+  // F = x + 2y: (3, 0) -> 3 vs (0, 2) -> 4.
+  EXPECT_TRUE(less(Tuple({Value(3), Value(0)}), Tuple({Value(0), Value(2)})));
+}
+
+TEST(RankTest, EqualCombinedScoreUnranked) {
+  PrefPtr p = RankWeightedSum({1.0, 1.0}, {Highest("x"), Highest("y")});
+  auto less = p->Bind(kXY);
+  EXPECT_FALSE(less(Tuple({Value(1), Value(2)}), Tuple({Value(2), Value(1)})));
+  EXPECT_FALSE(less(Tuple({Value(2), Value(1)}), Tuple({Value(1), Value(2)})));
+}
+
+TEST(RankTest, AcceptsSubConstructorInputs) {
+  // Constructor substitutability (§3.4): AROUND and HIGHEST are valid
+  // rank(F) inputs because they are SCORE sub-constructors.
+  PrefPtr p = RankWeightedSum({1.0, 1.0}, {Around("x", 0), Highest("y")});
+  auto less = p->Bind(kXY);
+  EXPECT_TRUE(less(Tuple({Value(5), Value(0)}), Tuple({Value(0), Value(0)})));
+}
+
+TEST(RankTest, RejectsNonScorableInput) {
+  PrefPtr p = Rank([](const std::vector<double>& s) { return s[0]; }, "id",
+                   {Pos("x", {Value(1)})});
+  EXPECT_THROW(p->Bind(kXY), std::invalid_argument);
+}
+
+TEST(RankTest, RejectsEmptyInputsOrNullF) {
+  EXPECT_THROW(Rank([](const std::vector<double>&) { return 0.0; }, "f", {}),
+               std::invalid_argument);
+  EXPECT_THROW(Rank(nullptr, "f", {Highest("x")}), std::invalid_argument);
+  EXPECT_THROW(RankWeightedSum({1.0}, {Highest("x"), Highest("y")}),
+               std::invalid_argument);
+}
+
+TEST(RankTest, IsStrictPartialOrder) {
+  PrefPtr p = RankWeightedSum({1.0, -1.0}, {Highest("x"), Highest("y")});
+  Relation dom = XYRelation({{0, 0}, {1, 1}, {2, 0}, {0, 2}});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- Intersection (Def. 11a) ---
+
+TEST(IntersectionTest, RequiresSameAttributeSet) {
+  EXPECT_THROW(Intersection(Highest("x"), Highest("y")),
+               std::invalid_argument);
+}
+
+TEST(IntersectionTest, BothOrdersMustAgree) {
+  PrefPtr p = Intersection(Around("x", 0), Lowest("x"));
+  Schema s({{"x", ValueType::kInt}});
+  auto less = p->Bind(s);
+  // around 0 says -1 better than -3; lowest says -3 better: disagree.
+  EXPECT_FALSE(less(Tuple({Value(-3)}), Tuple({Value(-1)})));
+  EXPECT_FALSE(less(Tuple({Value(-1)}), Tuple({Value(-3)})));
+  // 3 -> 1: around agrees (closer), lowest agrees (lower).
+  EXPECT_TRUE(less(Tuple({Value(3)}), Tuple({Value(1)})));
+}
+
+// --- Disjoint union (Def. 11b) ---
+
+TEST(DisjointUnionTest, CombinesOrderDisjointPieces) {
+  // Two subset preferences on disjoint value sets.
+  PrefPtr low = Subset(Lowest("x"), {Tuple({Value(1)}), Tuple({Value(2)})});
+  PrefPtr high = Subset(Highest("x"), {Tuple({Value(8)}), Tuple({Value(9)})});
+  PrefPtr u = DisjointUnion(low, high);
+  Schema s({{"x", ValueType::kInt}});
+  auto less = u->Bind(s);
+  EXPECT_TRUE(less(Tuple({Value(2)}), Tuple({Value(1)})));   // from P1
+  EXPECT_TRUE(less(Tuple({Value(8)}), Tuple({Value(9)})));   // from P2
+  EXPECT_FALSE(less(Tuple({Value(1)}), Tuple({Value(9)})));  // across: none
+}
+
+TEST(DisjointUnionTest, ValidateDisjointDetectsOverlap) {
+  Schema s({{"x", ValueType::kInt}});
+  std::vector<Tuple> sample = {Tuple({Value(1)}), Tuple({Value(2)}),
+                               Tuple({Value(3)})};
+  auto ok = std::make_shared<DisjointUnionPreference>(
+      Subset(Lowest("x"), {sample[0], sample[1]}),
+      Subset(Highest("x"), {sample[2]}));
+  EXPECT_TRUE(ok->ValidateDisjointOn(s, sample));
+  auto bad = std::make_shared<DisjointUnionPreference>(Lowest("x"),
+                                                       Highest("x"));
+  EXPECT_FALSE(bad->ValidateDisjointOn(s, sample));
+}
+
+// --- Linear sum (Def. 12) ---
+
+TEST(LinearSumTest, LeftDomainBeatsRightDomain) {
+  PrefPtr p = LinearSum("v", Lowest("a"), Highest("b"),
+                        {Value(1), Value(2)}, {Value(10), Value(20)});
+  Schema s({{"v", ValueType::kInt}});
+  auto less = p->Bind(s);
+  EXPECT_TRUE(less(Tuple({Value(10)}), Tuple({Value(1)})));  // dom2 < dom1
+  EXPECT_TRUE(less(Tuple({Value(2)}), Tuple({Value(1)})));   // within P1
+  EXPECT_TRUE(less(Tuple({Value(10)}), Tuple({Value(20)}))); // within P2
+  EXPECT_FALSE(less(Tuple({Value(1)}), Tuple({Value(10)})));
+}
+
+TEST(LinearSumTest, ExpressesPosConstructor) {
+  // POS = POS-set<-> (+) other-values<-> (§3.3.2).
+  std::vector<Value> pos = {Value("a"), Value("b")};
+  PrefPtr linear = LinearSum(
+      "c", AntiChain("c1"), AntiChain("c2"),
+      [](const Value& v) { return v == Value("a") || v == Value("b"); },
+      [](const Value& v) { return !(v == Value("a") || v == Value("b")); });
+  // Compare against POS on a common schema: rename linear's attribute.
+  Schema s({{"c", ValueType::kString}});
+  auto linear_less = linear->Bind(s);
+  auto pos_less = Pos("c", pos)->Bind(s);
+  for (const char* x : {"a", "b", "z", "q"}) {
+    for (const char* y : {"a", "b", "z", "q"}) {
+      EXPECT_EQ(linear_less(Tuple({Value(x)}), Tuple({Value(y)})),
+                pos_less(Tuple({Value(x)}), Tuple({Value(y)})))
+          << x << " vs " << y;
+    }
+  }
+}
+
+TEST(LinearSumTest, IsStrictPartialOrder) {
+  PrefPtr p = LinearSum("v", Lowest("a"), Highest("b"),
+                        {Value(1), Value(2), Value(3)},
+                        {Value(10), Value(20)});
+  Relation dom = ::prefdb::testing::IntRelation("v", {1, 2, 3, 10, 20, 99});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- Dual (Def. 3c) ---
+
+TEST(DualTest, ReversesOrder) {
+  PrefPtr p = Dual(Highest("x"));
+  Schema s({{"x", ValueType::kInt}});
+  auto less = p->Bind(s);
+  EXPECT_TRUE(less(Tuple({Value(5)}), Tuple({Value(1)})));
+  EXPECT_FALSE(less(Tuple({Value(1)}), Tuple({Value(5)})));
+}
+
+TEST(DualTest, KeepsAttributesAndChainness) {
+  PrefPtr p = Dual(Lowest("price"));
+  EXPECT_TRUE(SameAttributeSet(p->attributes(), {"price"}));
+  EXPECT_TRUE(p->IsChain());
+}
+
+// --- Subset (Def. 3d) ---
+
+TEST(SubsetTest, RestrictsOrderToMembers) {
+  PrefPtr p = Subset(Lowest("x"), {Tuple({Value(1)}), Tuple({Value(2)})});
+  Schema s({{"x", ValueType::kInt}});
+  auto less = p->Bind(s);
+  EXPECT_TRUE(less(Tuple({Value(2)}), Tuple({Value(1)})));
+  EXPECT_FALSE(less(Tuple({Value(3)}), Tuple({Value(1)})));  // 3 not in S
+  EXPECT_FALSE(less(Tuple({Value(2)}), Tuple({Value(0)})));  // 0 not in S
+}
+
+TEST(SubsetTest, RejectsArityMismatch) {
+  EXPECT_THROW(Subset(Lowest("x"), {Tuple({Value(1), Value(2)})}),
+               std::invalid_argument);
+}
+
+// --- Anti-chain (Def. 3b) ---
+
+TEST(AntiChainTest, NothingIsBetter) {
+  PrefPtr p = AntiChain("x");
+  Schema s({{"x", ValueType::kInt}});
+  auto less = p->Bind(s);
+  EXPECT_FALSE(less(Tuple({Value(1)}), Tuple({Value(2)})));
+  EXPECT_FALSE(less(Tuple({Value(2)}), Tuple({Value(1)})));
+}
+
+TEST(AntiChainTest, MultiAttribute) {
+  PrefPtr p = AntiChain(std::vector<std::string>{"x", "y"});
+  EXPECT_TRUE(SameAttributeSet(p->attributes(), {"x", "y"}));
+  auto less = p->Bind(kXY);
+  EXPECT_FALSE(less(Tuple({Value(0), Value(0)}), Tuple({Value(1), Value(1)})));
+}
+
+// --- Sort keys of complex terms ---
+
+TEST(ComplexSortKeysTest, ParetoOfSingleKeysComposes) {
+  PrefPtr p = Pareto(Highest("x"), Lowest("y"));
+  auto keys = p->BindSortKeys(kXY);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(keys->size(), 1u);
+}
+
+TEST(ComplexSortKeysTest, PrioritizedConcatenatesKeys) {
+  PrefPtr p = Prioritized(Highest("x"), Lowest("y"));
+  auto keys = p->BindSortKeys(kXY);
+  ASSERT_TRUE(keys.has_value());
+  EXPECT_EQ(keys->size(), 2u);
+}
+
+TEST(ComplexSortKeysTest, NonScorableYieldsNullopt) {
+  PrefPtr p = Pareto(Pos("x", {Value(1)}), Highest("y"));
+  EXPECT_FALSE(p->BindSortKeys(kXY).has_value());
+}
+
+TEST(ComplexSortKeysTest, KeysAreTopologicallyCompatible) {
+  PrefPtr p = Prioritized(Around("x", 1), Pareto(Highest("y"), Lowest("y")));
+  // Pareto(Highest, Lowest) on same attr: conflict everywhere, but keys
+  // must still satisfy the implication vacuously or correctly.
+  auto keys = p->BindSortKeys(kXY);
+  ASSERT_TRUE(keys.has_value());
+  auto less = p->Bind(kXY);
+  Relation dom = XYRelation({{0, 0}, {0, 1}, {1, 0}, {2, 1}, {1, 2}});
+  for (const Tuple& a : dom.tuples()) {
+    for (const Tuple& b : dom.tuples()) {
+      if (!less(a, b)) continue;
+      std::vector<double> ka, kb;
+      for (const auto& k : *keys) {
+        ka.push_back(k(a));
+        kb.push_back(k(b));
+      }
+      EXPECT_LT(ka, kb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prefdb

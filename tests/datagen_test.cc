@@ -1,0 +1,109 @@
+// Tests for the workload generators.
+
+#include "datagen/cars.h"
+#include "datagen/vectors.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "eval/bmo.h"
+
+namespace prefdb {
+namespace {
+
+TEST(VectorGenTest, ShapeAndDeterminism) {
+  Relation a = GenerateVectors(100, 3, Correlation::kIndependent, 42);
+  Relation b = GenerateVectors(100, 3, Correlation::kIndependent, 42);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.schema().size(), 3u);
+  EXPECT_TRUE(a == b);
+  Relation c = GenerateVectors(100, 3, Correlation::kIndependent, 43);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(VectorGenTest, ValuesInUnitRange) {
+  for (Correlation corr : {Correlation::kIndependent, Correlation::kCorrelated,
+                           Correlation::kAntiCorrelated}) {
+    Relation r = GenerateVectors(200, 4, corr, 7);
+    for (const Tuple& t : r.tuples()) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(*t[i].numeric(), 0.0) << CorrelationName(corr);
+        EXPECT_LE(*t[i].numeric(), 1.0) << CorrelationName(corr);
+      }
+    }
+  }
+}
+
+TEST(VectorGenTest, AntiCorrelatedHasLargerSkylineThanCorrelated) {
+  // The hallmark of the [BKS01] workloads.
+  PrefPtr skyline = Pareto({Highest("d0"), Highest("d1"), Highest("d2")});
+  Relation anti = GenerateVectors(800, 3, Correlation::kAntiCorrelated, 11);
+  Relation corr = GenerateVectors(800, 3, Correlation::kCorrelated, 11);
+  EXPECT_GT(ResultSize(anti, skyline), ResultSize(corr, skyline));
+}
+
+TEST(CarGenTest, SchemaAndDeterminism) {
+  Relation a = GenerateCars(50, 5);
+  Relation b = GenerateCars(50, 5);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_TRUE(a.schema().Has("price"));
+  EXPECT_TRUE(a.schema().Has("mileage"));
+  EXPECT_TRUE(a.schema().Has("commission"));
+}
+
+TEST(CarGenTest, RealisticValueRanges) {
+  Relation cars = GenerateCars(300, 9);
+  for (const Tuple& t : cars.tuples()) {
+    int64_t price = t[*cars.schema().IndexOf("price")].as_int();
+    int64_t year = t[*cars.schema().IndexOf("year")].as_int();
+    int64_t hp = t[*cars.schema().IndexOf("horsepower")].as_int();
+    int64_t rating = t[*cars.schema().IndexOf("insurance_rating")].as_int();
+    EXPECT_GE(price, 500);
+    EXPECT_GE(year, 1992);
+    EXPECT_LE(year, 2001);
+    EXPECT_GE(hp, 75);
+    EXPECT_GE(rating, 1);
+    EXPECT_LE(rating, 10);
+  }
+}
+
+TEST(CarGenTest, PriceCorrelatesWithHorsepower) {
+  Relation cars = GenerateCars(2000, 13);
+  size_t price_col = *cars.schema().IndexOf("price");
+  size_t hp_col = *cars.schema().IndexOf("horsepower");
+  double sum_p = 0, sum_h = 0;
+  for (const Tuple& t : cars.tuples()) {
+    sum_p += *t[price_col].numeric();
+    sum_h += *t[hp_col].numeric();
+  }
+  double mean_p = sum_p / cars.size(), mean_h = sum_h / cars.size();
+  double cov = 0, var_p = 0, var_h = 0;
+  for (const Tuple& t : cars.tuples()) {
+    double dp = *t[price_col].numeric() - mean_p;
+    double dh = *t[hp_col].numeric() - mean_h;
+    cov += dp * dh;
+    var_p += dp * dp;
+    var_h += dh * dh;
+  }
+  double corr = cov / std::sqrt(var_p * var_h);
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(TripGenTest, SchemaAndRanges) {
+  Relation trips = GenerateTrips(100, 3);
+  EXPECT_EQ(trips.size(), 100u);
+  for (const Tuple& t : trips.tuples()) {
+    int64_t duration = t[*trips.schema().IndexOf("duration")].as_int();
+    EXPECT_GE(duration, 3);
+    EXPECT_LE(duration, 21);
+    int64_t start = t[*trips.schema().IndexOf("start_date")].as_int();
+    EXPECT_GE(start, 0);
+    EXPECT_LE(start, 120);
+  }
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,269 @@
+// Tests for the remaining extensions: the POS/NEG-GRAPHS super-constructor
+// (§3.4 remark), date ordinals, and the SKYLINE OF / date-literal additions
+// to Preference SQL.
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "core/hierarchy.h"
+#include "datagen/cars.h"
+#include "eval/bmo.h"
+#include "psql/executor.h"
+#include "relation/date.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::StringRelation;
+
+// --- POS/NEG-GRAPHS ---
+
+Relation ColorDomain() {
+  return StringRelation("c", {"a", "b", "m", "n", "x", "y"});
+}
+
+TEST(GraphsPreferenceTest, ClassOrderingHolds) {
+  // pos graph: b < a; neg graph: y < x (x better); m, n unmentioned.
+  PrefPtr p = PosNegGraphs("c", {{Value("b"), Value("a")}}, {},
+                           {{Value("y"), Value("x")}}, {});
+  Schema s({{"c", ValueType::kString}});
+  auto less = p->Bind(s);
+  auto lt = [&](const char* u, const char* v) {
+    return less(Tuple({Value(u)}), Tuple({Value(v)}));
+  };
+  EXPECT_TRUE(lt("b", "a"));   // within pos graph
+  EXPECT_TRUE(lt("y", "x"));   // within neg graph
+  EXPECT_TRUE(lt("m", "a"));   // other < pos
+  EXPECT_TRUE(lt("m", "b"));   // other < pos (even the pos graph's minimum)
+  EXPECT_TRUE(lt("x", "m"));   // neg < other
+  EXPECT_TRUE(lt("y", "a"));   // neg < pos (transitive)
+  EXPECT_FALSE(lt("m", "n"));  // others unranked
+  EXPECT_FALSE(lt("a", "b"));
+}
+
+TEST(GraphsPreferenceTest, IsolatedNodesUnrankedWithinClass) {
+  PrefPtr p = PosNegGraphs("c", {{Value("b"), Value("a")}}, {Value("m")},
+                           {}, {});
+  Schema s({{"c", ValueType::kString}});
+  auto less = p->Bind(s);
+  // m joined the pos class but has no edges: unranked vs a and b.
+  EXPECT_FALSE(less(Tuple({Value("m")}), Tuple({Value("a")})));
+  EXPECT_FALSE(less(Tuple({Value("a")}), Tuple({Value("m")})));
+  // but m still beats unmentioned values.
+  EXPECT_TRUE(less(Tuple({Value("n")}), Tuple({Value("m")})));
+}
+
+TEST(GraphsPreferenceTest, RejectsOverlappingClasses) {
+  EXPECT_THROW(
+      PosNegGraphs("c", {}, {Value("a")}, {}, {Value("a")}),
+      std::invalid_argument);
+}
+
+TEST(GraphsPreferenceTest, IsStrictPartialOrder) {
+  PrefPtr p = PosNegGraphs("c", {{Value("b"), Value("a")}}, {Value("m")},
+                           {{Value("y"), Value("x")}}, {Value("n")});
+  Relation dom = ColorDomain();
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+TEST(GraphsPreferenceTest, PosNegIsSubConstructor) {
+  // POS/NEG == GRAPHS with edgeless graphs (witness conversion).
+  PosNegPreference pn("c", {Value("a"), Value("b")}, {Value("x")});
+  auto res = CheckEquivalent(PosNeg("c", {"a", "b"}, {"x"}),
+                             PosNegAsGraphs(pn), ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+  EXPECT_TRUE(IsSubConstructorOf(PreferenceKind::kPosNeg,
+                                 PreferenceKind::kPosNegGraphs));
+}
+
+TEST(GraphsPreferenceTest, ExplicitIsSubConstructor) {
+  ExplicitPreference e("c", {{Value("b"), Value("a")},
+                             {Value("m"), Value("b")}});
+  auto res = CheckEquivalent(
+      Explicit("c", {{Value("b"), Value("a")}, {Value("m"), Value("b")}}),
+      ExplicitAsGraphs(e), ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+  EXPECT_TRUE(IsSubConstructorOf(PreferenceKind::kExplicit,
+                                 PreferenceKind::kPosNegGraphs));
+  // And transitively POS ≼ GRAPHS.
+  EXPECT_TRUE(IsSubConstructorOf(PreferenceKind::kPos,
+                                 PreferenceKind::kPosNegGraphs));
+}
+
+// --- Date ordinals ---
+
+TEST(DateTest, KnownOrdinals) {
+  EXPECT_EQ(*ParseDateOrdinal("1970/01/01"), 0);
+  EXPECT_EQ(*ParseDateOrdinal("1970/01/02"), 1);
+  EXPECT_EQ(*ParseDateOrdinal("1969/12/31"), -1);
+  EXPECT_EQ(*ParseDateOrdinal("2001/11/23"), 11649);
+  EXPECT_EQ(*ParseDateOrdinal("2001-11-23"), 11649);
+}
+
+TEST(DateTest, RoundTrip) {
+  for (const char* text : {"1970/01/01", "2001/11/23", "1999/02/28",
+                           "2000/02/29", "1944/06/06"}) {
+    auto days = ParseDateOrdinal(text);
+    ASSERT_TRUE(days.has_value()) << text;
+    EXPECT_EQ(FormatDateOrdinal(*days), text);
+  }
+}
+
+TEST(DateTest, RejectsGarbageAndInvalidDates) {
+  EXPECT_FALSE(ParseDateOrdinal("hello").has_value());
+  EXPECT_FALSE(ParseDateOrdinal("2001/13/01").has_value());
+  EXPECT_FALSE(ParseDateOrdinal("2001/02/30").has_value());
+  EXPECT_FALSE(ParseDateOrdinal("2001/11/23x").has_value());
+  EXPECT_FALSE(ParseDateOrdinal("2001/11-23").has_value());
+  EXPECT_FALSE(ParseDateOrdinal("1900/02/29").has_value());  // not a leap year
+}
+
+// --- Preference SQL extensions ---
+
+TEST(PsqlExtensionTest, SkylineOfClause) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(300, 12));
+  auto skyline = psql::ExecuteQuery(
+      "SELECT * FROM car SKYLINE OF price MIN, mileage MIN", catalog);
+  auto preferring = psql::ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)",
+      catalog);
+  EXPECT_TRUE(skyline.relation.SameRows(preferring.relation));
+}
+
+TEST(PsqlExtensionTest, SkylineOfMinMaxMixed) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(300, 13));
+  auto res = psql::ExecuteQuery(
+      "SELECT * FROM car SKYLINE OF price MIN, horsepower MAX, mileage MIN",
+      catalog);
+  EXPECT_GE(res.relation.size(), 1u);
+  EXPECT_NE(res.preference_term.find("HIGHEST(horsepower)"),
+            std::string::npos);
+}
+
+TEST(PsqlExtensionTest, SkylineOfSyntaxErrors) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(10, 14));
+  EXPECT_THROW(
+      psql::ExecuteQuery("SELECT * FROM car SKYLINE price MIN", catalog),
+      psql::SyntaxError);
+  EXPECT_THROW(
+      psql::ExecuteQuery("SELECT * FROM car SKYLINE OF price", catalog),
+      psql::SyntaxError);
+}
+
+TEST(PsqlExtensionTest, DateLiteralInAround) {
+  // The paper's trips query with its original date literal: start_date is
+  // stored as a day ordinal.
+  Schema s({{"destination", ValueType::kString},
+            {"start_date", ValueType::kInt}});
+  Relation trips(s);
+  trips.Add({"Crete", *ParseDateOrdinal("2001/11/21")});
+  trips.Add({"Rome", *ParseDateOrdinal("2001/11/25")});
+  trips.Add({"Oslo", *ParseDateOrdinal("2001/07/01")});
+  psql::Catalog catalog;
+  catalog.Register("trips", trips);
+  auto res = psql::ExecuteQuery(
+      "SELECT * FROM trips PREFERRING start_date AROUND '2001/11/23'",
+      catalog);
+  // Crete and Rome are both 2 days away; Oslo is far off.
+  EXPECT_EQ(res.relation.size(), 2u);
+}
+
+TEST(PsqlExtensionTest, DateLiteralInBetween) {
+  Schema s({{"start_date", ValueType::kInt}});
+  Relation trips(s);
+  trips.Add({*ParseDateOrdinal("2001/11/10")});
+  trips.Add({*ParseDateOrdinal("2001/12/24")});
+  psql::Catalog catalog;
+  catalog.Register("trips", trips);
+  auto res = psql::ExecuteQuery(
+      "SELECT * FROM trips PREFERRING start_date BETWEEN '2001/11/01' AND "
+      "'2001/11/30'",
+      catalog);
+  ASSERT_EQ(res.relation.size(), 1u);
+  EXPECT_EQ(res.relation.at(0)[0], Value(*ParseDateOrdinal("2001/11/10")));
+}
+
+TEST(PsqlExtensionTest, NonDateStringWhereNumberExpectedThrows) {
+  psql::Catalog catalog;
+  catalog.Register("t", Relation(Schema{{"x", ValueType::kInt}}));
+  EXPECT_THROW(
+      psql::ExecuteQuery("SELECT * FROM t PREFERRING x AROUND 'soon'",
+                         catalog),
+      psql::SyntaxError);
+}
+
+TEST(PsqlExtensionTest, ExplainReportsOptimizerPlan) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(2000, 15));
+  auto res = psql::ExecuteQuery(
+      "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) AND "
+      "LOWEST(mileage)",
+      catalog);
+  EXPECT_NE(res.plan_details.find("algorithm:"), std::string::npos);
+  EXPECT_NE(res.plan_details.find("preference:"), std::string::npos);
+  // EXPLAIN still executes: the result is the normal BMO answer.
+  auto plain = psql::ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)",
+      catalog);
+  EXPECT_TRUE(res.relation.SameRows(plain.relation));
+}
+
+TEST(PsqlExtensionTest, ExplainShowsRewrites) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(1000, 16));
+  // LOWEST(price) AND HIGHEST(price) is P (x) P^d == A<-> (Prop 3n).
+  auto res = psql::ExecuteQuery(
+      "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) AND "
+      "HIGHEST(price)",
+      catalog);
+  EXPECT_NE(res.plan_details.find("Prop"), std::string::npos);
+  EXPECT_EQ(res.relation.size(), 1000u);  // anti-chain keeps everything
+}
+
+TEST(PsqlExtensionTest, GroupingClauseMatchesDef16) {
+  Schema s({{"make", ValueType::kString}, {"price", ValueType::kInt}});
+  Relation cars(s);
+  cars.Add({"Audi", 40000});
+  cars.Add({"Audi", 30000});
+  cars.Add({"BMW", 50000});
+  cars.Add({"BMW", 45000});
+  psql::Catalog catalog;
+  catalog.Register("car", cars);
+  auto grouped = psql::ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make", catalog);
+  Relation expected(s);
+  expected.Add({"Audi", 30000});
+  expected.Add({"BMW", 45000});
+  EXPECT_TRUE(grouped.relation.SameRows(expected))
+      << grouped.relation.ToString();
+  // Equals sigma[A<-> & P](R) evaluated through the core API (Def. 16).
+  Relation core = Bmo(cars, Prioritized(AntiChain("make"), Lowest("price")));
+  EXPECT_TRUE(grouped.relation.SameRows(core));
+}
+
+TEST(PsqlExtensionTest, GroupingRequiresPreferring) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(10, 17));
+  EXPECT_THROW(
+      psql::ExecuteQuery("SELECT * FROM car GROUPING make", catalog),
+      psql::SyntaxError);
+}
+
+TEST(PsqlExtensionTest, GroupingMultipleAttributes) {
+  psql::Catalog catalog;
+  catalog.Register("car", GenerateCars(400, 18));
+  auto res = psql::ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make, category",
+      catalog);
+  // One cheapest offer (possibly tied) per (make, category) group.
+  Relation core = BmoGroupBy(catalog.Get("car"), Lowest("price"),
+                             {"make", "category"});
+  EXPECT_TRUE(res.relation.SameRows(core));
+}
+
+}  // namespace
+}  // namespace prefdb

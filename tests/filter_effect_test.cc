@@ -1,0 +1,133 @@
+// Verification of the filter-effect results (§5.5): the Prop 13 result-size
+// inequalities and the automatic 'AND/OR'-like behavior of Pareto vs
+// prioritized accumulation.
+
+#include <gtest/gtest.h>
+
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "datagen/cars.h"
+#include "eval/bmo.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::RandomPreferenceGen;
+
+Relation RandomXY(uint64_t seed, size_t n = 80) {
+  std::mt19937_64 rng(seed);
+  Relation r(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  for (size_t i = 0; i < n; ++i) {
+    r.Add({Value(static_cast<int>(rng() % 9) - 4),
+           Value(static_cast<int>(rng() % 9) - 4)});
+  }
+  return r;
+}
+
+class FilterEffectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterEffectPropertyTest, Prop13aUnionIsStrongerThanPieces) {
+  Relation r = RandomXY(GetParam());
+  RandomPreferenceGen gen("x", {Value(-4), Value(-2), Value(0), Value(2)},
+                          GetParam());
+  PrefPtr u1 = Subset(gen.Term(1), {Tuple({Value(-4)}), Tuple({Value(-2)})});
+  PrefPtr u2 = Subset(gen.Term(1), {Tuple({Value(0)}), Tuple({Value(2)})});
+  PrefPtr u = DisjointUnion(u1, u2);
+  EXPECT_LE(ResultSize(r, u), ResultSize(r, u1));
+  EXPECT_LE(ResultSize(r, u), ResultSize(r, u2));
+}
+
+TEST_P(FilterEffectPropertyTest, Prop13bIntersectionIsWeakerThanPieces) {
+  Relation r = RandomXY(GetParam() + 1);
+  RandomPreferenceGen gen("x", {Value(-4), Value(-2), Value(0), Value(2)},
+                          GetParam() + 1);
+  PrefPtr p1 = gen.Term(1);
+  PrefPtr p2 = gen.Term(1);
+  PrefPtr isect = Intersection(p1, p2);
+  EXPECT_GE(ResultSize(r, isect), ResultSize(r, p1));
+  EXPECT_GE(ResultSize(r, isect), ResultSize(r, p2));
+}
+
+// Def. 19 compares preferences "given A and R": result sizes are taken
+// over a COMMON attribute set (the paper's Prop 13 proof projects both
+// sides onto A = A1 ∪ A2).
+size_t SizeOver(const Relation& r, const PrefPtr& p,
+                const std::vector<std::string>& attrs) {
+  return Bmo(r, p).DistinctProjections(attrs).size();
+}
+
+TEST_P(FilterEffectPropertyTest, Prop13cPrioritizationStrengthens) {
+  Relation r = RandomXY(GetParam() + 2);
+  RandomPreferenceGen gx("x", {Value(-4), Value(-2), Value(0), Value(2)},
+                         GetParam() + 2);
+  RandomPreferenceGen gy("y", {Value(-4), Value(-2), Value(0), Value(2)},
+                         GetParam() + 3);
+  PrefPtr p1 = gx.Term(1);
+  PrefPtr p2 = gy.Term(1);
+  std::vector<std::string> attrs = {"x", "y"};
+  EXPECT_LE(SizeOver(r, Prioritized(p1, p2), attrs), SizeOver(r, p1, attrs));
+}
+
+TEST_P(FilterEffectPropertyTest, Prop13dParetoWeakensVsPrioritization) {
+  Relation r = RandomXY(GetParam() + 4);
+  RandomPreferenceGen gx("x", {Value(-4), Value(-2), Value(0), Value(2)},
+                         GetParam() + 4);
+  RandomPreferenceGen gy("y", {Value(-4), Value(-2), Value(0), Value(2)},
+                         GetParam() + 5);
+  PrefPtr p1 = gx.Term(1);
+  PrefPtr p2 = gy.Term(1);
+  size_t pareto = ResultSize(r, Pareto(p1, p2));
+  EXPECT_GE(pareto, ResultSize(r, Prioritized(p1, p2)));
+  EXPECT_GE(pareto, ResultSize(r, Prioritized(p2, p1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterEffectPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80));
+
+TEST(FilterEffectTest, AndOrInterpretationChain) {
+  // §5.5: P1&P2 ⇛ P1 ⇛ nothing weaker... and P1&P2 ⇛ P1(x)P2: the full
+  // chain on a concrete car database.
+  Relation cars = GenerateCars(500, 99);
+  PrefPtr p1 = Lowest("price");
+  PrefPtr p2 = Lowest("mileage");
+  size_t s_p1 = ResultSize(cars, p1);
+  size_t s_and = ResultSize(cars, Prioritized(p1, p2));
+  size_t s_or = ResultSize(cars, Pareto(p1, p2));
+  EXPECT_LE(s_and, s_p1);   // '&' resembles AND: stronger filter
+  EXPECT_GE(s_or, s_and);   // '(x)' resembles OR: weaker filter
+}
+
+TEST(FilterEffectTest, BmoAvoidsEmptyResultAndFlooding) {
+  Relation cars = GenerateCars(2000, 5);
+  // A wish that matches nothing exactly: BMO still answers (no empty
+  // result) and does not flood (result far below the full set).
+  PrefPtr wish = Pareto(
+      {Around("price", 1), Around("mileage", 1), Highest("horsepower")});
+  Relation best = Bmo(cars, wish);
+  EXPECT_GE(best.size(), 1u);
+  EXPECT_LT(best.size(), cars.size() / 4);
+}
+
+TEST(FilterEffectTest, ResultSizeOneForChains) {
+  Relation cars = GenerateCars(300, 17);
+  // A chain preference has exactly one best value combination.
+  EXPECT_EQ(ResultSize(cars, Lowest("price")), 1u);
+  EXPECT_EQ(ResultSize(cars, Prioritized(Lowest("price"), Lowest("mileage"))),
+            1u);
+}
+
+TEST(FilterEffectTest, StrongerThanIsPartialOrderSpotCheck) {
+  // 'stronger than' (Def. 19) is reflexive and transitive on examples.
+  Relation r = RandomXY(123);
+  PrefPtr p1 = Lowest("x");
+  PrefPtr p2 = Lowest("y");
+  size_t a = ResultSize(r, Prioritized(p1, p2));
+  size_t b = ResultSize(r, p1);
+  size_t c = ResultSize(r, Pareto(p1, p2));
+  EXPECT_LE(a, b);
+  EXPECT_LE(a, c);
+}
+
+}  // namespace
+}  // namespace prefdb

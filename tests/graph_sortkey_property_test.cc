@@ -1,0 +1,134 @@
+// Property tests tying together the better-than graph, sort keys and BMO
+// over randomized preference terms:
+//   (1) BindSortKeys contract: x <P y implies keys(x) <lex keys(y), and
+//       equal attribute values imply equal keys;
+//   (2) graph levels respect dominance (x <P y => level(x) > level(y));
+//   (3) Hasse edges are a transitive reduction (no implied edges);
+//   (4) the graph's level-1 set equals the BMO answer.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/complex_preferences.h"
+#include "datagen/random_terms.h"
+#include "eval/better_than_graph.h"
+#include "eval/bmo.h"
+
+namespace prefdb {
+namespace {
+
+Relation RandomXY(uint64_t seed, size_t n = 40) {
+  std::mt19937_64 rng(seed);
+  Relation r(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  for (size_t i = 0; i < n; ++i) {
+    r.Add({Value(static_cast<int>(rng() % 7) - 3),
+           Value(static_cast<int>(rng() % 7) - 3)});
+  }
+  return r;
+}
+
+PrefPtr RandomTwoAttrTerm(uint64_t seed, int round) {
+  RandomTermGen gx("x", {Value(-3), Value(-1), Value(0), Value(2)}, seed);
+  RandomTermGen gy("y", {Value(-3), Value(-1), Value(0), Value(2)},
+                   seed + 99);
+  switch (round % 3) {
+    case 0: return Pareto(gx.Term(2), gy.Term(1));
+    case 1: return Prioritized(gx.Term(1), gy.Term(2));
+    default: return Prioritized(Pareto(gx.Term(1), gy.Term(1)), gx.Term(1));
+  }
+}
+
+class GraphSortKeyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphSortKeyPropertyTest, SortKeysAreTopologicallyCompatible) {
+  Relation r = RandomXY(GetParam());
+  for (int round = 0; round < 9; ++round) {
+    PrefPtr p = RandomTwoAttrTerm(GetParam() + round, round);
+    auto keys = p->BindSortKeys(r.schema());
+    if (!keys) continue;
+    auto less = p->Bind(r.schema());
+    auto eq = p->BindEquality(r.schema());
+    auto key_vec = [&keys](const Tuple& t) {
+      std::vector<double> out;
+      for (const auto& k : *keys) out.push_back(k(t));
+      return out;
+    };
+    for (const Tuple& a : r.tuples()) {
+      for (const Tuple& b : r.tuples()) {
+        if (less(a, b)) {
+          EXPECT_LT(key_vec(a), key_vec(b)) << p->ToString();
+        }
+        if (eq(a, b)) {
+          EXPECT_EQ(key_vec(a), key_vec(b)) << p->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GraphSortKeyPropertyTest, GraphLevelsRespectDominance) {
+  Relation r = RandomXY(GetParam() + 1000);
+  for (int round = 0; round < 6; ++round) {
+    PrefPtr p = RandomTwoAttrTerm(GetParam() + 1000 + round, round);
+    BetterThanGraph g(r, p);
+    for (size_t i = 0; i < g.size(); ++i) {
+      for (size_t j = 0; j < g.size(); ++j) {
+        if (g.IsWorse(i, j)) {
+          EXPECT_GT(g.LevelOf(i), g.LevelOf(j)) << p->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GraphSortKeyPropertyTest, HasseEdgesAreIrreducible) {
+  Relation r = RandomXY(GetParam() + 2000, 25);
+  for (int round = 0; round < 5; ++round) {
+    PrefPtr p = RandomTwoAttrTerm(GetParam() + 2000 + round, round);
+    BetterThanGraph g(r, p);
+    for (size_t better = 0; better < g.size(); ++better) {
+      for (size_t worse : g.WorseNeighbors(better)) {
+        // The edge better -> worse must have no intermediate z.
+        for (size_t z = 0; z < g.size(); ++z) {
+          if (z == better || z == worse) continue;
+          EXPECT_FALSE(g.IsWorse(worse, z) && g.IsWorse(z, better))
+              << "implied edge survived reduction in " << p->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GraphSortKeyPropertyTest, LevelOneEqualsBmoAnswer) {
+  Relation r = RandomXY(GetParam() + 3000);
+  for (int round = 0; round < 6; ++round) {
+    PrefPtr p = RandomTwoAttrTerm(GetParam() + 3000 + round, round);
+    BetterThanGraph g(r, p);
+    std::vector<Tuple> level1 = g.ValuesAtLevel(1);
+    std::sort(level1.begin(), level1.end());
+    Relation best = Bmo(r, p);
+    std::vector<Tuple> projections =
+        best.DistinctProjections(p->attributes());
+    std::sort(projections.begin(), projections.end());
+    EXPECT_EQ(level1, projections) << p->ToString();
+  }
+}
+
+TEST_P(GraphSortKeyPropertyTest, MaximaAgreeAcrossGraphAndEvaluator) {
+  Relation r = RandomXY(GetParam() + 4000);
+  for (int round = 0; round < 6; ++round) {
+    PrefPtr p = RandomTwoAttrTerm(GetParam() + 4000 + round, round);
+    BetterThanGraph g(r, p);
+    EXPECT_EQ(g.maximal().size(), g.ValuesAtLevel(1).size()) << p->ToString();
+    EXPECT_EQ(g.ValuesAtLevel(1).size(),
+              Bmo(r, p).DistinctProjections(p->attributes()).size())
+        << p->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphSortKeyPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace prefdb

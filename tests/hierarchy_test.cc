@@ -1,0 +1,180 @@
+// Verification of the §3.4 sub-constructor hierarchy: the taxonomy edges
+// and the semantic equivalence of every witness conversion.
+
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+TEST(TaxonomyTest, DirectAndTransitiveEdges) {
+  using K = PreferenceKind;
+  EXPECT_TRUE(IsSubConstructorOf(K::kPos, K::kPosPos));
+  EXPECT_TRUE(IsSubConstructorOf(K::kPos, K::kPosNeg));
+  EXPECT_TRUE(IsSubConstructorOf(K::kNeg, K::kPosNeg));
+  EXPECT_TRUE(IsSubConstructorOf(K::kPosPos, K::kExplicit));
+  EXPECT_TRUE(IsSubConstructorOf(K::kPos, K::kExplicit));  // transitive
+  EXPECT_TRUE(IsSubConstructorOf(K::kAround, K::kBetween));
+  EXPECT_TRUE(IsSubConstructorOf(K::kBetween, K::kScore));
+  EXPECT_TRUE(IsSubConstructorOf(K::kAround, K::kScore));  // transitive
+  EXPECT_TRUE(IsSubConstructorOf(K::kLowest, K::kScore));
+  EXPECT_TRUE(IsSubConstructorOf(K::kHighest, K::kScore));
+  EXPECT_TRUE(IsSubConstructorOf(K::kIntersection, K::kPareto));
+  EXPECT_TRUE(IsSubConstructorOf(K::kPrioritized, K::kRankF));
+  EXPECT_TRUE(IsSubConstructorOf(K::kScore, K::kScore));  // reflexive
+}
+
+TEST(TaxonomyTest, NonEdges) {
+  using K = PreferenceKind;
+  EXPECT_FALSE(IsSubConstructorOf(K::kExplicit, K::kPos));
+  EXPECT_FALSE(IsSubConstructorOf(K::kScore, K::kAround));
+  EXPECT_FALSE(IsSubConstructorOf(K::kPos, K::kScore));
+  EXPECT_FALSE(IsSubConstructorOf(K::kPareto, K::kIntersection));
+  EXPECT_FALSE(IsSubConstructorOf(K::kPosNeg, K::kPosPos));
+}
+
+// --- Witness conversions: semantic equivalence on exhaustive domains ---
+
+Relation ColorDomain() {
+  Relation rel(Schema{{"c", ValueType::kString}});
+  for (const char* v : {"a", "b", "m", "n", "x", "y"}) rel.Add({Value(v)});
+  return rel;
+}
+
+Relation NumDomain() {
+  Relation rel(Schema{{"x", ValueType::kInt}});
+  for (int v : {-6, -3, -1, 0, 1, 2, 4, 7}) rel.Add({Value(v)});
+  return rel;
+}
+
+TEST(WitnessTest, PosAsPosPos) {
+  PosPreference p("c", {Value("a"), Value("b")});
+  auto res = CheckEquivalent(Pos("c", {"a", "b"}), PosAsPosPos(p),
+                             ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, PosAsPosNeg) {
+  PosPreference p("c", {Value("a")});
+  auto res = CheckEquivalent(Pos("c", {"a"}), PosAsPosNeg(p), ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, NegAsPosNeg) {
+  NegPreference p("c", {Value("x"), Value("y")});
+  auto res = CheckEquivalent(Neg("c", {"x", "y"}), NegAsPosNeg(p),
+                             ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, PosPosAsExplicit) {
+  PosPosPreference p("c", {Value("a"), Value("b")}, {Value("m")});
+  auto res = CheckEquivalent(PosPos("c", {"a", "b"}, {"m"}),
+                             PosPosAsExplicit(p), ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, LayeredGeneralizations) {
+  {
+    PosPreference p("c", {Value("a")});
+    auto res =
+        CheckEquivalent(Pos("c", {"a"}), PosAsLayered(p), ColorDomain());
+    EXPECT_TRUE(res.equivalent) << "POS: " << res.counterexample;
+  }
+  {
+    NegPreference p("c", {Value("x")});
+    auto res =
+        CheckEquivalent(Neg("c", {"x"}), NegAsLayered(p), ColorDomain());
+    EXPECT_TRUE(res.equivalent) << "NEG: " << res.counterexample;
+  }
+  {
+    PosNegPreference p("c", {Value("a")}, {Value("x")});
+    auto res = CheckEquivalent(PosNeg("c", {"a"}, {"x"}), PosNegAsLayered(p),
+                               ColorDomain());
+    EXPECT_TRUE(res.equivalent) << "POS/NEG: " << res.counterexample;
+  }
+  {
+    PosPosPreference p("c", {Value("a")}, {Value("m")});
+    auto res = CheckEquivalent(PosPos("c", {"a"}, {"m"}), PosPosAsLayered(p),
+                               ColorDomain());
+    EXPECT_TRUE(res.equivalent) << "POS/POS: " << res.counterexample;
+  }
+}
+
+TEST(WitnessTest, AroundAsBetween) {
+  AroundPreference p("x", 1);
+  auto res = CheckEquivalent(Around("x", 1), AroundAsBetween(p), NumDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, BetweenAsScore) {
+  BetweenPreference p("x", -1, 2);
+  auto res =
+      CheckEquivalent(Between("x", -1, 2), BetweenAsScore(p), NumDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, AroundAsScore) {
+  AroundPreference p("x", 2);
+  auto res = CheckEquivalent(Around("x", 2), AroundAsScore(p), NumDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, LowestHighestAsScore) {
+  LowestPreference low("x");
+  HighestPreference high("x");
+  EXPECT_TRUE(
+      CheckEquivalent(Lowest("x"), LowestAsScore(low), NumDomain()).equivalent);
+  EXPECT_TRUE(CheckEquivalent(Highest("x"), HighestAsScore(high), NumDomain())
+                  .equivalent);
+}
+
+TEST(WitnessTest, IntersectionAsPareto) {
+  // Prop 6 read backwards: any intersection is a same-attribute Pareto.
+  auto isect = std::make_shared<IntersectionPreference>(Pos("c", {"a"}),
+                                                        Neg("c", {"x"}));
+  auto res = CheckEquivalent(isect, IntersectionAsPareto(*isect),
+                             ColorDomain());
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, PrioritizedAsRankOnSample) {
+  // '&' ≼ rank(F) with a properly weighted F (§3.4 closing remark),
+  // demonstrated on a finite sample with injective first score.
+  Relation dom(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  for (int x : {1, 2, 3}) {
+    for (int y : {10, 20, 30}) dom.Add({Value(x), Value(y)});
+  }
+  PrefPtr p1 = Lowest("x");
+  PrefPtr p2 = Highest("y");
+  PrefPtr rank = PrioritizedAsRankOnSample(p1, p2, dom.schema(), dom.tuples());
+  ASSERT_NE(rank, nullptr);
+  auto res = CheckEquivalent(Prioritized(p1, p2), rank, dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(WitnessTest, PrioritizedAsRankRejectsNonInjectiveFirstScore) {
+  Relation dom(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  // AROUND 0 scores -5 and 5 equally, but the values differ -> no F.
+  for (int x : {-5, 0, 5}) {
+    for (int y : {1, 2}) dom.Add({Value(x), Value(y)});
+  }
+  PrefPtr rank = PrioritizedAsRankOnSample(Around("x", 0), Highest("y"),
+                                           dom.schema(), dom.tuples());
+  EXPECT_EQ(rank, nullptr);
+}
+
+TEST(WitnessTest, PrioritizedAsRankRejectsNonScorableInput) {
+  Relation dom(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  dom.Add({Value(1), Value(2)});
+  PrefPtr rank = PrioritizedAsRankOnSample(Pos("x", {Value(1)}), Highest("y"),
+                                           dom.schema(), dom.tuples());
+  EXPECT_EQ(rank, nullptr);
+}
+
+}  // namespace
+}  // namespace prefdb

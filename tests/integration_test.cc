@@ -1,0 +1,185 @@
+// Cross-module integration tests: the full preference-engineering pipeline
+// (Example 6 end to end), Preference SQL over generated data, consistency
+// between the language front-ends and the core API.
+
+#include <gtest/gtest.h>
+
+#include "prefdb.h"
+
+namespace prefdb {
+namespace {
+
+// Example 6 as a full scenario against a concrete car database.
+class PreferenceEngineeringScenario : public ::testing::Test {
+ protected:
+  PreferenceEngineeringScenario()
+      : cars_(Schema{{"Category", ValueType::kString},
+                     {"Transmission", ValueType::kString},
+                     {"Horsepower", ValueType::kInt},
+                     {"Price", ValueType::kInt},
+                     {"Color", ValueType::kString},
+                     {"Year_of_construction", ValueType::kInt},
+                     {"Commission", ValueType::kInt}}) {
+    cars_.Add({"cabriolet", "manual", 110, 28000, "yellow", 1998, 900});
+    cars_.Add({"roadster", "automatic", 105, 26000, "blue", 1999, 1100});
+    cars_.Add({"passenger", "automatic", 100, 18000, "gray", 2000, 700});
+    cars_.Add({"cabriolet", "automatic", 95, 31000, "red", 1997, 1500});
+    cars_.Add({"suv", "manual", 150, 35000, "black", 2001, 2000});
+  }
+
+  PrefPtr Q1() const {
+    PrefPtr p1 = PosPos("Category", {"cabriolet"}, {"roadster"});
+    PrefPtr p2 = Pos("Transmission", {"automatic"});
+    PrefPtr p3 = Around("Horsepower", 100);
+    PrefPtr p4 = Lowest("Price");
+    PrefPtr p5 = Neg("Color", {"gray"});
+    return Prioritized(p5, Prioritized(Pareto({p1, p2, p3}), p4));
+  }
+
+  Relation cars_;
+};
+
+TEST_F(PreferenceEngineeringScenario, JuliaQ1PicksNonGrayCabriolets) {
+  Relation best = Bmo(cars_, Q1());
+  ASSERT_GE(best.size(), 1u);
+  for (const Tuple& t : best.tuples()) {
+    EXPECT_NE(t[4], Value("gray"));  // P5 is the most important preference
+  }
+}
+
+TEST_F(PreferenceEngineeringScenario, MichaelQ2AddsVendorPreferences) {
+  PrefPtr q2 = Prioritized(
+      Prioritized(Q1(), Highest("Year_of_construction")),
+      Highest("Commission"));
+  EXPECT_EQ(q2->attributes().size(), 7u);
+  Relation best = Bmo(cars_, q2);
+  EXPECT_GE(best.size(), 1u);
+  // Q2 refines Q1: its winners must be a subset of Q1's winners
+  // (prioritization only breaks ties downwards, Prop 13c).
+  Relation q1_best = Bmo(cars_, Q1());
+  for (const Tuple& t : best.tuples()) {
+    bool found = false;
+    for (const Tuple& u : q1_best.tuples()) {
+      if (t == u) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(PreferenceEngineeringScenario, ConflictingPreferencesDontFail) {
+  // Julia likes yellow (implicitly, not gray); Leslie dislikes red AND
+  // gray but loves blue: P5 (x) P8 (x) P4 must still be a valid SPO and
+  // produce answers.
+  PrefPtr p4 = Lowest("Price");
+  PrefPtr p5 = Neg("Color", {"gray"});
+  PrefPtr p8 = PosNeg("Color", {"blue"}, {"gray", "red"});
+  PrefPtr p1 = PosPos("Category", {"cabriolet"}, {"roadster"});
+  PrefPtr p2 = Pos("Transmission", {"automatic"});
+  PrefPtr p3 = Around("Horsepower", 100);
+  PrefPtr q1_star = Prioritized(Pareto({p5, p8, p4}), Pareto({p1, p2, p3}));
+  EXPECT_EQ(CheckStrictPartialOrder(q1_star, cars_.schema(), cars_.tuples()),
+            "");
+  Relation best = Bmo(cars_, q1_star);
+  EXPECT_GE(best.size(), 1u);
+  // The blue roadster should win: favorite color, cheap, and a POS2
+  // category.
+  bool has_blue = false;
+  for (const Tuple& t : best.tuples()) {
+    if (t[4] == Value("blue")) has_blue = true;
+  }
+  EXPECT_TRUE(has_blue) << best.ToString();
+}
+
+TEST(SqlVsCoreTest, SqlAndCoreApiAgree) {
+  Relation cars = GenerateCars(400, 21);
+  psql::Catalog catalog;
+  catalog.Register("cars", cars);
+  psql::QueryResult sql = psql::ExecuteQuery(
+      "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)",
+      catalog);
+  Relation core = Bmo(cars, Pareto(Lowest("price"), Lowest("mileage")));
+  EXPECT_TRUE(sql.relation.SameRows(core));
+}
+
+TEST(SqlVsCoreTest, CascadeEqualsPrioritizedTerm) {
+  Relation cars = GenerateCars(300, 22);
+  psql::Catalog catalog;
+  catalog.Register("cars", cars);
+  psql::QueryResult sql = psql::ExecuteQuery(
+      "SELECT * FROM cars PREFERRING color = 'red' CASCADE LOWEST(price)",
+      catalog);
+  Relation core =
+      Bmo(cars, Prioritized(Pos("color", {"red"}), Lowest("price")));
+  EXPECT_TRUE(sql.relation.SameRows(core));
+}
+
+TEST(XPathVsCoreTest, XPathAndCoreApiAgree) {
+  // Build an XML catalog mirroring a relation and compare result sets.
+  std::string xml = "<CARS>";
+  Relation cars = GenerateCars(60, 23);
+  size_t price = *cars.schema().IndexOf("price");
+  size_t mileage = *cars.schema().IndexOf("mileage");
+  for (size_t i = 0; i < cars.size(); ++i) {
+    xml += "<CAR id=\"" + std::to_string(i) + "\" price=\"" +
+           std::to_string(cars.at(i)[price].as_int()) + "\" mileage=\"" +
+           std::to_string(cars.at(i)[mileage].as_int()) + "\"/>";
+  }
+  xml += "</CARS>";
+  pxpath::XPathResult xres = pxpath::EvalPreferenceXPath(
+      pxpath::ParseXml(xml),
+      "/CARS/CAR #[(@price) lowest and (@mileage) lowest]#");
+  Relation core = Bmo(cars.Project({"price", "mileage"}),
+                      Pareto(Lowest("price"), Lowest("mileage")));
+  EXPECT_EQ(xres.nodes.size(), core.size());
+}
+
+TEST(SimplifierIntegrationTest, RewrittenQueryGivesSameBmoAnswer) {
+  // Prop 7 in action through the optimizer: Simplify preserves answers.
+  Relation cars = GenerateCars(250, 31);
+  PrefPtr messy = Prioritized(
+      Pareto(Dual(Dual(Lowest("price"))), Lowest("price")),
+      Prioritized(AntiChain(std::vector<std::string>{"price"}),
+                  Highest("horsepower")));
+  PrefPtr clean = Simplify(messy);
+  EXPECT_TRUE(Bmo(cars, messy).SameRows(Bmo(cars, clean)));
+}
+
+TEST(CsvIntegrationTest, QueryOverCsvData) {
+  Schema s({{"name", ValueType::kString},
+            {"price", ValueType::kInt},
+            {"rating", ValueType::kDouble}});
+  Relation hotels = ReadCsv(
+      "name,price,rating\n"
+      "Alpha,120,4.2\n"
+      "Beach,95,3.9\n"
+      "Crown,210,4.8\n"
+      "Dune,95,4.5\n",
+      s);
+  Relation best = Bmo(hotels, Pareto(Lowest("price"), Highest("rating")));
+  // Dune dominates Beach (same price, better rating); Crown is best
+  // rating; Alpha dominated by Dune.
+  Relation expected(s);
+  expected.Add({"Crown", 210, 4.8});
+  expected.Add({"Dune", 95, 4.5});
+  EXPECT_TRUE(best.SameRows(expected)) << best.ToString();
+}
+
+TEST(RankedIntegrationTest, TopKOverSqlResult) {
+  Relation cars = GenerateCars(200, 41);
+  psql::Catalog catalog;
+  catalog.Register("cars", cars);
+  psql::QueryResult hard = psql::ExecuteQuery(
+      "SELECT * FROM cars WHERE category = 'passenger'", catalog);
+  RankedResult ranked =
+      TopK(hard.relation, RankWeightedSum({-1.0, -0.1},
+                                          {Highest("price"),
+                                           Highest("mileage")}),
+           5);
+  EXPECT_LE(ranked.relation.size(), 5u);
+  for (size_t i = 1; i < ranked.utilities.size(); ++i) {
+    EXPECT_GE(ranked.utilities[i - 1], ranked.utilities[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prefdb

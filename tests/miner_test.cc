@@ -1,0 +1,164 @@
+// Tests for preference mining from query logs (mining/miner.h): synthetic
+// logs generated from a *known* preference must let the miner recover the
+// constructor structure.
+
+#include "mining/miner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/numeric_preferences.h"
+#include "eval/bmo.h"
+
+namespace prefdb::mining {
+namespace {
+
+Schema CarSchema() {
+  return Schema({{"color", ValueType::kString},
+                 {"price", ValueType::kInt},
+                 {"year", ValueType::kInt}});
+}
+
+// Builds a log where a simulated user with the given row-chooser clicks
+// one row per session.
+template <typename Chooser>
+std::vector<LogEntry> MakeLog(size_t sessions, uint64_t seed,
+                              Chooser choose) {
+  std::mt19937_64 rng(seed);
+  static const char* kColors[] = {"red", "blue", "gray", "black", "white"};
+  std::vector<LogEntry> log;
+  for (size_t s = 0; s < sessions; ++s) {
+    Relation shown(CarSchema());
+    for (int i = 0; i < 12; ++i) {
+      shown.Add({Value(kColors[rng() % 5]),
+                 Value(static_cast<int64_t>(5000 + rng() % 20000)),
+                 Value(static_cast<int64_t>(1992 + rng() % 10))});
+    }
+    LogEntry entry{shown, {choose(shown, rng)}};
+    log.push_back(std::move(entry));
+  }
+  return log;
+}
+
+size_t PickCheapest(const Relation& shown, std::mt19937_64&) {
+  size_t best = 0;
+  for (size_t i = 1; i < shown.size(); ++i) {
+    if (shown.at(i)[1] < shown.at(best)[1]) best = i;
+  }
+  return best;
+}
+
+TEST(MinerTest, RecoversLowestFromCheapskateClicks) {
+  auto log = MakeLog(60, 1, PickCheapest);
+  MiningResult result = MinePreferences(log);
+  const MinedAttribute* price = nullptr;
+  for (const auto& m : result.attributes) {
+    if (m.attribute == "price") price = &m;
+  }
+  ASSERT_NE(price, nullptr);
+  EXPECT_EQ(price->preference->kind(), PreferenceKind::kLowest);
+}
+
+TEST(MinerTest, RecoversHighestFromNewestClicks) {
+  auto log = MakeLog(60, 2, [](const Relation& shown, std::mt19937_64&) {
+    size_t best = 0;
+    for (size_t i = 1; i < shown.size(); ++i) {
+      if (shown.at(best)[2] < shown.at(i)[2]) best = i;
+    }
+    return best;
+  });
+  MiningResult result = MinePreferences(log);
+  const MinedAttribute* year = nullptr;
+  for (const auto& m : result.attributes) {
+    if (m.attribute == "year") year = &m;
+  }
+  ASSERT_NE(year, nullptr);
+  EXPECT_EQ(year->preference->kind(), PreferenceKind::kHighest);
+}
+
+TEST(MinerTest, RecoversPosSetFromColorFans) {
+  // The user picks a red car whenever one is shown, else random.
+  auto log = MakeLog(120, 3, [](const Relation& shown, std::mt19937_64& rng) {
+    for (size_t i = 0; i < shown.size(); ++i) {
+      if (shown.at(i)[0] == Value("red")) return i;
+    }
+    return static_cast<size_t>(rng() % shown.size());
+  });
+  MiningResult result = MinePreferences(log);
+  const MinedAttribute* color = nullptr;
+  for (const auto& m : result.attributes) {
+    if (m.attribute == "color") color = &m;
+  }
+  ASSERT_NE(color, nullptr);
+  ASSERT_TRUE(color->preference->kind() == PreferenceKind::kPos ||
+              color->preference->kind() == PreferenceKind::kPosNeg)
+      << color->preference->ToString();
+  // 'red' must be in the favored set.
+  Schema s({{"color", ValueType::kString}});
+  auto less = color->preference->Bind(s);
+  EXPECT_TRUE(less(Tuple({Value("blue")}), Tuple({Value("red")})));
+}
+
+TEST(MinerTest, RecoversAroundFromTargetedClicks) {
+  // The user always picks the car closest to 12000.
+  auto log = MakeLog(80, 4, [](const Relation& shown, std::mt19937_64&) {
+    size_t best = 0;
+    auto dist = [&shown](size_t i) {
+      return std::abs(*shown.at(i)[1].numeric() - 12000.0);
+    };
+    for (size_t i = 1; i < shown.size(); ++i) {
+      if (dist(i) < dist(best)) best = i;
+    }
+    return best;
+  });
+  MiningResult result = MinePreferences(log);
+  const MinedAttribute* price = nullptr;
+  for (const auto& m : result.attributes) {
+    if (m.attribute == "price") price = &m;
+  }
+  ASSERT_NE(price, nullptr);
+  ASSERT_EQ(price->preference->kind(), PreferenceKind::kAround);
+  double target =
+      static_cast<const prefdb::AroundPreference&>(*price->preference).target();
+  EXPECT_NEAR(target, 12000.0, 2500.0);
+}
+
+TEST(MinerTest, RandomClicksYieldNoNumericEvidence) {
+  auto log = MakeLog(80, 5, [](const Relation& shown, std::mt19937_64& rng) {
+    return static_cast<size_t>(rng() % shown.size());
+  });
+  MiningResult result = MinePreferences(log);
+  for (const auto& m : result.attributes) {
+    EXPECT_NE(m.attribute, "price") << m.preference->ToString();
+    EXPECT_NE(m.attribute, "year") << m.preference->ToString();
+  }
+}
+
+TEST(MinerTest, CombinedTermIsUsableForBmo) {
+  auto log = MakeLog(60, 6, PickCheapest);
+  MiningResult result = MinePreferences(log);
+  ASSERT_NE(result.combined, nullptr);
+  Relation catalog = log[0].shown;
+  Relation best = Bmo(catalog, result.combined);
+  EXPECT_GE(best.size(), 1u);
+}
+
+TEST(MinerTest, EmptyLogYieldsNothing) {
+  MiningResult result = MinePreferences({});
+  EXPECT_TRUE(result.attributes.empty());
+  EXPECT_EQ(result.combined, nullptr);
+}
+
+TEST(MinerTest, ValidatesInput) {
+  Relation a(CarSchema());
+  a.Add({Value("red"), Value(1), Value(1999)});
+  Relation b(Schema{{"other", ValueType::kInt}});
+  b.Add({Value(1)});
+  EXPECT_THROW(MinePreferences({{a, {0}}, {b, {0}}}), std::invalid_argument);
+  EXPECT_THROW(MinePreferences({{a, {5}}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prefdb::mining

@@ -1,0 +1,104 @@
+// Tests for the e-negotiation module (eval/negotiation.h).
+
+#include "eval/negotiation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "datagen/cars.h"
+#include "eval/bmo.h"
+
+namespace prefdb {
+namespace {
+
+// A price/quality trade-off: buyer wants cheap, seller wants expensive.
+Relation Offers() {
+  Relation r(Schema{{"price", ValueType::kInt}});
+  r.Add({100});
+  r.Add({200});
+  r.Add({300});
+  return r;
+}
+
+TEST(NegotiationTest, OpposedChainsMakeEverythingNegotiable) {
+  // P (x) P^d == A<-> (Prop 3n): the full set is the frontier; the middle
+  // row is the compromise reservoir.
+  NegotiationAnalysis a =
+      AnalyzeNegotiation(Offers(), Lowest("price"), Highest("price"));
+  EXPECT_EQ(a.pareto_frontier, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(a.consensus, (std::vector<size_t>{}));
+  EXPECT_EQ(a.party1_favored, (std::vector<size_t>{0}));
+  EXPECT_EQ(a.party2_favored, (std::vector<size_t>{2}));
+  EXPECT_EQ(a.middle_ground, (std::vector<size_t>{1}));
+}
+
+TEST(NegotiationTest, AlignedPreferencesGiveConsensus) {
+  NegotiationAnalysis a =
+      AnalyzeNegotiation(Offers(), Lowest("price"), Lowest("price"));
+  EXPECT_EQ(a.consensus, (std::vector<size_t>{0}));
+  EXPECT_EQ(a.pareto_frontier, (std::vector<size_t>{0}));
+  EXPECT_TRUE(a.middle_ground.empty());
+}
+
+TEST(NegotiationTest, FairestCompromiseBalancesRegrets) {
+  std::vector<CompromiseProposal> proposals =
+      SuggestCompromises(Offers(), Lowest("price"), Highest("price"), 1);
+  ASSERT_EQ(proposals.size(), 1u);
+  // 200 is level 2 for both parties: regret (1, 1) beats (0, 2) and (2, 0)
+  // under the min-max fairness key.
+  EXPECT_EQ(proposals[0].row, 1u);
+  EXPECT_EQ(proposals[0].regret1, 1u);
+  EXPECT_EQ(proposals[0].regret2, 1u);
+}
+
+TEST(NegotiationTest, ConsensusRowRanksFirst) {
+  Relation r(Schema{{"price", ValueType::kInt}, {"rating", ValueType::kInt}});
+  r.Add({100, 5});  // cheap AND great: consensus
+  r.Add({100, 1});
+  r.Add({900, 5});
+  std::vector<CompromiseProposal> proposals =
+      SuggestCompromises(r, Lowest("price"), Highest("rating"), 0);
+  ASSERT_FALSE(proposals.empty());
+  EXPECT_EQ(proposals[0].row, 0u);
+  EXPECT_EQ(proposals[0].regret1, 0u);
+  EXPECT_EQ(proposals[0].regret2, 0u);
+}
+
+TEST(NegotiationTest, TwoPartyCarScenario) {
+  // Julia (customer): cheap, low mileage. Michael (vendor): commission.
+  Relation market = GenerateCars(800, 3003);
+  PrefPtr julia = Pareto(Lowest("price"), Lowest("mileage"));
+  PrefPtr michael = Highest("commission");
+  NegotiationAnalysis a = AnalyzeNegotiation(market, julia, michael);
+  // The frontier partitions into the four disjoint classes.
+  size_t covered = a.consensus.size() + a.party1_favored.size() +
+                   a.party2_favored.size() + a.middle_ground.size();
+  EXPECT_EQ(covered, a.pareto_frontier.size());
+  // All classes are within the frontier.
+  for (const auto* cls :
+       {&a.party1_favored, &a.party2_favored, &a.middle_ground}) {
+    for (size_t row : *cls) {
+      EXPECT_TRUE(std::binary_search(a.pareto_frontier.begin(),
+                                     a.pareto_frontier.end(), row));
+    }
+  }
+  // Proposals come sorted by the fairness key.
+  std::vector<CompromiseProposal> proposals =
+      SuggestCompromises(market, julia, michael, 10);
+  for (size_t i = 1; i < proposals.size(); ++i) {
+    EXPECT_FALSE(proposals[i] < proposals[i - 1]);
+  }
+}
+
+TEST(NegotiationTest, ProposalsCoverWholeFrontierWhenKZero) {
+  Relation market = GenerateCars(200, 8);
+  PrefPtr p1 = Lowest("price");
+  PrefPtr p2 = Lowest("mileage");
+  std::vector<CompromiseProposal> proposals =
+      SuggestCompromises(market, p1, p2, 0);
+  EXPECT_EQ(proposals.size(), BmoIndices(market, Pareto(p1, p2)).size());
+}
+
+}  // namespace
+}  // namespace prefdb

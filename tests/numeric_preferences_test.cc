@@ -1,0 +1,180 @@
+// Unit tests for the numerical base preference constructors (Def. 7).
+
+#include "core/numeric_preferences.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::IntRelation;
+
+const Schema kIntSchema({{"x", ValueType::kInt}});
+
+bool Less(const PrefPtr& p, Value a, Value b) {
+  return p->Bind(kIntSchema)(Tuple({a}), Tuple({b}));
+}
+
+// --- AROUND (Def. 7a) ---
+
+TEST(AroundTest, CloserIsBetter) {
+  PrefPtr p = Around("x", 100);
+  EXPECT_TRUE(Less(p, 50, 90));
+  EXPECT_TRUE(Less(p, 200, 120));
+  EXPECT_FALSE(Less(p, 100, 90));
+}
+
+TEST(AroundTest, ExactTargetIsMaximal) {
+  PrefPtr p = Around("x", 100);
+  EXPECT_TRUE(Less(p, 99, 100));
+  EXPECT_FALSE(Less(p, 100, 99));
+}
+
+TEST(AroundTest, EqualDistanceUnranked) {
+  // The paper calls this out explicitly: distance ties are unranked.
+  PrefPtr p = Around("x", 0);
+  EXPECT_FALSE(Less(p, -5, 5));
+  EXPECT_FALSE(Less(p, 5, -5));
+}
+
+TEST(AroundTest, DistanceFunction) {
+  AroundPreference p("x", 40000);
+  EXPECT_EQ(p.Distance(Value(35000)), 5000);
+  EXPECT_EQ(p.Distance(Value(40000)), 0);
+  EXPECT_TRUE(std::isinf(p.Distance(Value("n/a"))));
+}
+
+TEST(AroundTest, NonNumericIsWorstAndMutuallyUnranked) {
+  PrefPtr p = Around("x", 0);
+  EXPECT_TRUE(Less(p, Value("a"), Value(1000000)));
+  EXPECT_FALSE(Less(p, Value("a"), Value("b")));
+}
+
+TEST(AroundTest, IsStrictPartialOrder) {
+  Relation dom = IntRelation("x", {-10, -5, 0, 3, 5, 7, 10, 100});
+  EXPECT_EQ(CheckStrictPartialOrder(Around("x", 3), dom.schema(),
+                                    dom.tuples()),
+            "");
+}
+
+// --- BETWEEN (Def. 7b) ---
+
+TEST(BetweenTest, InsideIntervalIsMaximalAndTied) {
+  PrefPtr p = Between("x", 10, 20);
+  EXPECT_FALSE(Less(p, 12, 18));
+  EXPECT_FALSE(Less(p, 18, 12));
+  EXPECT_TRUE(Less(p, 25, 15));
+}
+
+TEST(BetweenTest, DistanceToNearestBound) {
+  BetweenPreference p("x", 10, 20);
+  EXPECT_EQ(p.Distance(Value(7)), 3);
+  EXPECT_EQ(p.Distance(Value(26)), 6);
+  EXPECT_EQ(p.Distance(Value(15)), 0);
+}
+
+TEST(BetweenTest, SymmetricDistancesUnranked) {
+  PrefPtr p = Between("x", 10, 20);
+  EXPECT_FALSE(Less(p, 7, 23));  // both distance 3
+  EXPECT_FALSE(Less(p, 23, 7));
+}
+
+TEST(BetweenTest, RejectsInvertedBounds) {
+  EXPECT_THROW(Between("x", 20, 10), std::invalid_argument);
+}
+
+TEST(BetweenTest, DegenerateIntervalBehavesLikeAround) {
+  // AROUND ≼ BETWEEN with low = up (§3.4).
+  Relation dom = IntRelation("x", {-4, -1, 0, 1, 2, 5, 9});
+  auto eq = CheckEquivalent(Around("x", 1), Between("x", 1, 1), dom);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+// --- LOWEST / HIGHEST (Def. 7c) ---
+
+TEST(LowestTest, LowerIsBetter) {
+  PrefPtr p = Lowest("x");
+  EXPECT_TRUE(Less(p, 10, 5));
+  EXPECT_FALSE(Less(p, 5, 10));
+}
+
+TEST(HighestTest, HigherIsBetter) {
+  PrefPtr p = Highest("x");
+  EXPECT_TRUE(Less(p, 5, 10));
+  EXPECT_FALSE(Less(p, 10, 5));
+}
+
+TEST(LowestHighestTest, AreChains) {
+  EXPECT_TRUE(Lowest("x")->IsChain());
+  EXPECT_TRUE(Highest("x")->IsChain());
+  Relation dom = IntRelation("x", {1, 2, 3, 7, 9});
+  EXPECT_TRUE(IsChainOn(Lowest("x"), dom.schema(), dom.tuples()));
+  EXPECT_TRUE(IsChainOn(Highest("x"), dom.schema(), dom.tuples()));
+}
+
+TEST(LowestHighestTest, AroundIsNotAChain) {
+  EXPECT_FALSE(Around("x", 0)->IsChain());
+  Relation dom = IntRelation("x", {-5, 5});
+  EXPECT_FALSE(IsChainOn(Around("x", 0), dom.schema(), dom.tuples()));
+}
+
+// --- SCORE (Def. 7d) ---
+
+TEST(ScoreTest, OrderInducedByFunction) {
+  PrefPtr p = Score(
+      "x", [](const Value& v) { return -*v.numeric(); }, "neg");
+  EXPECT_TRUE(Less(p, 10, 5));  // behaves like LOWEST
+}
+
+TEST(ScoreTest, NonInjectiveScoreLeavesTies) {
+  // f(x) = |x| is not one-to-one; P need not be a chain (paper remark).
+  PrefPtr p = Score(
+      "x", [](const Value& v) { return std::abs(*v.numeric()); }, "abs");
+  EXPECT_FALSE(Less(p, -3, 3));
+  EXPECT_TRUE(Less(p, 2, -3));
+}
+
+TEST(ScoreTest, RequiresFunction) {
+  EXPECT_THROW(Score("x", nullptr, "none"), std::invalid_argument);
+}
+
+TEST(ScoreTest, IsStrictPartialOrder) {
+  PrefPtr p = Score(
+      "x", [](const Value& v) { return std::fmod(*v.numeric(), 3.0); },
+      "mod3");
+  Relation dom = IntRelation("x", {0, 1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "");
+}
+
+// --- Sort keys (BindSortKeys contract) ---
+
+TEST(SortKeysTest, LessImpliesStrictKeyIncrease) {
+  for (const PrefPtr& p :
+       {Around("x", 3), Between("x", 0, 4), Lowest("x"), Highest("x")}) {
+    auto keys = p->BindSortKeys(kIntSchema);
+    ASSERT_TRUE(keys.has_value()) << p->ToString();
+    ASSERT_EQ(keys->size(), 1u);
+    auto less = p->Bind(kIntSchema);
+    Relation dom = IntRelation("x", {-7, -2, 0, 1, 3, 8});
+    for (const Tuple& a : dom.tuples()) {
+      for (const Tuple& b : dom.tuples()) {
+        if (less(a, b)) {
+          EXPECT_LT((*keys)[0](a), (*keys)[0](b)) << p->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ToStringTest, NumericRenderings) {
+  EXPECT_EQ(Around("hp", 100)->ToString(), "AROUND(hp, 100)");
+  EXPECT_EQ(Between("p", 10, 20)->ToString(), "BETWEEN(p, [10, 20])");
+  EXPECT_EQ(Lowest("price")->ToString(), "LOWEST(price)");
+  EXPECT_EQ(Highest("power")->ToString(), "HIGHEST(power)");
+}
+
+}  // namespace
+}  // namespace prefdb

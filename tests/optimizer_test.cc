@@ -1,0 +1,100 @@
+// Tests for the preference query optimizer (eval/optimizer.h): rewrites
+// preserve answers (Prop 7), the algorithm chooser picks the predicted
+// structure-exploiting plans, EXPLAIN reports them.
+
+#include "eval/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "datagen/cars.h"
+#include "datagen/random_terms.h"
+#include "datagen/vectors.h"
+
+namespace prefdb {
+namespace {
+
+TEST(ChooserTest, SmallInputsUseBnl) {
+  Relation r = GenerateCars(100, 1);
+  AlgorithmChoice c = ChooseAlgorithm(r, Lowest("price"));
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
+}
+
+TEST(ChooserTest, SkylineFragmentUsesDivideConquer) {
+  Relation r = GenerateVectors(5000, 3, Correlation::kIndependent, 1);
+  PrefPtr p = Pareto({Highest("d0"), Highest("d1"), Lowest("d2")});
+  AlgorithmChoice c = ChooseAlgorithm(r, p);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kDivideConquer);
+  EXPECT_NE(c.rationale.find("KLP75"), std::string::npos);
+}
+
+TEST(ChooserTest, ChainHeadPrioritizationUsesDecomposition) {
+  Relation r = GenerateCars(5000, 2);
+  PrefPtr p = Prioritized(Lowest("price"), Pos("color", {"red"}));
+  AlgorithmChoice c = ChooseAlgorithm(r, p);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kDecomposition);
+}
+
+TEST(ChooserTest, SortKeysEnableSfs) {
+  Relation r = GenerateCars(5000, 3);
+  // AROUND leaves break the skyline fragment but still have sort keys.
+  PrefPtr p = Pareto(Around("price", 10000), Lowest("mileage"));
+  AlgorithmChoice c = ChooseAlgorithm(r, p);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kSortFilter);
+}
+
+TEST(ChooserTest, UnstructuredTermsFallBackToBnl) {
+  Relation r = GenerateCars(5000, 4);
+  PrefPtr p = Pareto(Pos("color", {"red"}), Pos("make", {"Audi"}));
+  AlgorithmChoice c = ChooseAlgorithm(r, p);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
+}
+
+TEST(OptimizeTest, RewritesAreReportedAndSound) {
+  Relation r = GenerateCars(2000, 5);
+  PrefPtr messy = Pareto(Dual(Dual(Lowest("price"))), Lowest("price"));
+  OptimizedQuery q = Optimize(r, messy);
+  EXPECT_FALSE(q.rewrites.empty());
+  EXPECT_TRUE(q.simplified->StructurallyEquals(*Lowest("price")));
+  EXPECT_TRUE(Bmo(r, messy).SameRows(BmoOptimized(r, messy)));
+}
+
+TEST(OptimizeTest, ExplainMentionsEverything) {
+  Relation r = GenerateCars(2000, 5);
+  OptimizedQuery q =
+      Optimize(r, Pareto(Dual(Highest("price")), Lowest("mileage")));
+  std::string text = q.Explain();
+  EXPECT_NE(text.find("preference:"), std::string::npos);
+  EXPECT_NE(text.find("algorithm:"), std::string::npos);
+  EXPECT_NE(text.find("rewrites"), std::string::npos);
+}
+
+class OptimizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerPropertyTest, OptimizedAnswerEqualsDirectAnswer) {
+  RandomTermGen gx("price", {Value(1000), Value(2000), Value(4000)},
+                   GetParam());
+  RandomTermGen gy("mileage", {Value(10), Value(20), Value(40)},
+                   GetParam() + 5);
+  Relation cars = GenerateCars(700, GetParam());
+  for (int round = 0; round < 8; ++round) {
+    PrefPtr p;
+    switch (round % 4) {
+      case 0: p = Pareto(gx.Term(1), gy.Term(1)); break;
+      case 1: p = Prioritized(gx.Term(1), gy.Term(1)); break;
+      case 2: p = Pareto(gx.Term(2), gy.Term(1)); break;
+      default: p = Prioritized(Pareto(gx.Term(1), gy.Term(1)), gx.Term(1));
+    }
+    EXPECT_TRUE(Bmo(cars, p, {BmoAlgorithm::kNaive})
+                    .SameRows(BmoOptimized(cars, p)))
+        << p->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,203 @@
+// End-to-end Preference SQL execution tests, including the paper's §6.1
+// queries against concrete catalogs.
+
+#include "psql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/cars.h"
+
+namespace prefdb::psql {
+namespace {
+
+Catalog CarCatalog() {
+  Schema s({{"make", ValueType::kString},
+            {"category", ValueType::kString},
+            {"color", ValueType::kString},
+            {"price", ValueType::kInt},
+            {"power", ValueType::kInt},
+            {"mileage", ValueType::kInt}});
+  Relation car(s);
+  car.Add({"Opel", "roadster", "red", 38000, 140, 30000});
+  car.Add({"Opel", "coupe", "red", 41000, 150, 60000});
+  car.Add({"Opel", "passenger", "blue", 39500, 90, 20000});
+  car.Add({"Opel", "roadster", "black", 45000, 170, 80000});
+  car.Add({"BMW", "roadster", "red", 40000, 190, 10000});
+  Catalog catalog;
+  catalog.Register("car", car);
+  return catalog;
+}
+
+TEST(ExecutorTest, HardSelectionOnly) {
+  QueryResult res =
+      ExecuteQuery("SELECT * FROM car WHERE make = 'BMW'", CarCatalog());
+  ASSERT_EQ(res.relation.size(), 1u);
+  EXPECT_EQ(res.relation.at(0)[0], Value("BMW"));
+}
+
+TEST(ExecutorTest, ProjectionAndLimit) {
+  QueryResult res = ExecuteQuery(
+      "SELECT make, price FROM car LIMIT 2", CarCatalog());
+  EXPECT_EQ(res.relation.size(), 2u);
+  EXPECT_EQ(res.relation.schema().size(), 2u);
+}
+
+TEST(ExecutorTest, UnknownTableThrows) {
+  EXPECT_THROW(ExecuteQuery("SELECT * FROM nothing", CarCatalog()),
+               std::out_of_range);
+}
+
+TEST(ExecutorTest, UnknownAttributeThrows) {
+  EXPECT_THROW(
+      ExecuteQuery("SELECT * FROM car WHERE wheels = 4", CarCatalog()),
+      std::out_of_range);
+}
+
+TEST(ExecutorTest, PreferringSoftSelection) {
+  QueryResult res = ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price)", CarCatalog());
+  ASSERT_EQ(res.relation.size(), 1u);
+  EXPECT_EQ(res.relation.at(0)[3], Value(38000));
+  EXPECT_FALSE(res.preference_term.empty());
+}
+
+TEST(ExecutorTest, PaperUsedCarQuery) {
+  // The §6.1 flagship query: hard make filter, Pareto block with an ELSE
+  // layer, then two CASCADE levels.
+  QueryResult res = ExecuteQuery(
+      "SELECT * FROM car WHERE make = 'Opel' "
+      "PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND "
+      "price AROUND 40000 AND HIGHEST(power)) "
+      "CASCADE color = 'red' CASCADE LOWEST(mileage);",
+      CarCatalog());
+  // BMW is filtered out by the hard constraint.
+  for (const Tuple& t : res.relation.tuples()) {
+    EXPECT_EQ(t[0], Value("Opel"));
+  }
+  ASSERT_GE(res.relation.size(), 1u);
+  // The red roadster at 38000/140hp: level-1 category, price distance
+  // 2000, beats the black roadster (distance 5000, dominated on price...)
+  // exact Pareto reasoning aside, the result must be non-empty and contain
+  // only Pareto-optimal Opels; spot-check the winner set.
+  bool has_red_roadster = false;
+  for (const Tuple& t : res.relation.tuples()) {
+    if (t[1] == Value("roadster") && t[2] == Value("red")) {
+      has_red_roadster = true;
+    }
+  }
+  EXPECT_TRUE(has_red_roadster) << res.relation.ToString();
+}
+
+TEST(ExecutorTest, EmptyResultImpossibleWithoutHardConstraints) {
+  // A wish nothing matches exactly still returns the best alternatives.
+  QueryResult res = ExecuteQuery(
+      "SELECT * FROM car PREFERRING color = 'neon'", CarCatalog());
+  EXPECT_EQ(res.relation.size(), 5u);  // everything is equally acceptable
+}
+
+TEST(ExecutorTest, TripsButOnlyQuery) {
+  Schema s({{"destination", ValueType::kString},
+            {"start_date", ValueType::kInt},
+            {"duration", ValueType::kInt}});
+  Relation trips(s);
+  trips.Add({"Crete", 55, 14});     // distance 2 from target 57, dur 0
+  trips.Add({"Rome", 40, 14});      // date too far -> filtered by BUT ONLY
+  trips.Add({"Mallorca", 57, 21});  // duration too far
+  Catalog catalog;
+  catalog.Register("trips", trips);
+  QueryResult res = ExecuteQuery(
+      "SELECT * FROM trips "
+      "PREFERRING start_date AROUND 57 AND duration AROUND 14 "
+      "BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2",
+      catalog);
+  ASSERT_EQ(res.relation.size(), 1u);
+  EXPECT_EQ(res.relation.at(0)[0], Value("Crete"));
+}
+
+TEST(ExecutorTest, ButOnlyCanYieldEmptyResult) {
+  // Quality supervision may reject everything — unlike BMO itself.
+  Schema s({{"x", ValueType::kInt}});
+  Relation t(s);
+  t.Add({100});
+  Catalog catalog;
+  catalog.Register("t", t);
+  QueryResult res = ExecuteQuery(
+      "SELECT * FROM t PREFERRING x AROUND 0 BUT ONLY DISTANCE(x) <= 5",
+      catalog);
+  EXPECT_TRUE(res.relation.empty());
+}
+
+TEST(ExecutorTest, ButOnlyLevelFiltering) {
+  QueryResult res = ExecuteQuery(
+      "SELECT * FROM car WHERE category = 'passenger' "
+      "PREFERRING color = 'red' BUT ONLY LEVEL(color) <= 1",
+      CarCatalog());
+  // The only passenger is blue: BMO keeps it (best available), but the
+  // LEVEL guard rejects it.
+  EXPECT_TRUE(res.relation.empty());
+}
+
+TEST(ExecutorTest, ButOnlyWithoutPreferringThrows) {
+  EXPECT_THROW(
+      ExecuteQuery("SELECT * FROM car BUT ONLY LEVEL(color) <= 1",
+                   CarCatalog()),
+      std::invalid_argument);
+}
+
+TEST(ExecutorTest, ButOnlyOnAttributeWithoutBasePreferenceThrows) {
+  EXPECT_THROW(
+      ExecuteQuery("SELECT * FROM car PREFERRING LOWEST(price) "
+                   "BUT ONLY LEVEL(color) <= 1",
+                   CarCatalog()),
+      std::invalid_argument);
+}
+
+TEST(ExecutorTest, PlanStringDescribesPipeline) {
+  QueryResult res = ExecuteQuery(
+      "SELECT make FROM car WHERE price < 50000 PREFERRING LOWEST(price) "
+      "LIMIT 1",
+      CarCatalog());
+  EXPECT_NE(res.plan.find("scan(car)"), std::string::npos);
+  EXPECT_NE(res.plan.find("where"), std::string::npos);
+  EXPECT_NE(res.plan.find("bmo"), std::string::npos);
+  EXPECT_NE(res.plan.find("project"), std::string::npos);
+}
+
+TEST(ExecutorTest, CascadeOrderMatters) {
+  Catalog catalog = CarCatalog();
+  QueryResult color_first = ExecuteQuery(
+      "SELECT * FROM car PREFERRING color = 'red' CASCADE LOWEST(price)",
+      catalog);
+  QueryResult price_first = ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) CASCADE color = 'red'",
+      catalog);
+  // color-first: best red with lowest price = red roadster at 38000.
+  ASSERT_EQ(color_first.relation.size(), 1u);
+  EXPECT_EQ(color_first.relation.at(0)[3], Value(38000));
+  // price-first: global lowest price 38000 happens to be red too, but the
+  // two plans are different pipelines — both single results here.
+  ASSERT_EQ(price_first.relation.size(), 1u);
+}
+
+TEST(ExecutorTest, WorksOnGeneratedCarDatabase) {
+  Catalog catalog;
+  catalog.Register("cars", GenerateCars(500, 42));
+  QueryResult res = ExecuteQuery(
+      "SELECT oid, price, mileage FROM cars "
+      "PREFERRING LOWEST(price) AND LOWEST(mileage)",
+      catalog);
+  EXPECT_GE(res.relation.size(), 1u);
+  EXPECT_LT(res.relation.size(), 100u);
+}
+
+TEST(CatalogTest, RegisterAndListTables) {
+  Catalog catalog;
+  catalog.Register("a", Relation(Schema{{"x", ValueType::kInt}}));
+  catalog.Register("b", Relation(Schema{{"y", ValueType::kInt}}));
+  EXPECT_TRUE(catalog.Has("a"));
+  EXPECT_FALSE(catalog.Has("c"));
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace prefdb::psql

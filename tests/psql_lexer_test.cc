@@ -1,0 +1,85 @@
+// Tests for the Preference SQL lexer.
+
+#include "psql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace prefdb::psql {
+namespace {
+
+TEST(LexerTest, TokenizesKeywordsCaseInsensitively) {
+  auto toks = Tokenize("select FROM Preferring");
+  ASSERT_EQ(toks.size(), 4u);  // incl. end
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(toks[1].IsKeyword("FROM"));
+  EXPECT_TRUE(toks[2].IsKeyword("PREFERRING"));
+  EXPECT_TRUE(toks[3].Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, PreservesIdentifierCase) {
+  auto toks = Tokenize("Price");
+  EXPECT_EQ(toks[0].text, "Price");
+  EXPECT_EQ(toks[0].upper, "PRICE");
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = Tokenize("42 3.5 1e3");
+  EXPECT_EQ(toks[0].number, 42.0);
+  EXPECT_EQ(toks[1].number, 3.5);
+  EXPECT_EQ(toks[2].number, 1000.0);
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto toks = Tokenize("'red' 'O''Brien'");
+  EXPECT_EQ(toks[0].text, "red");
+  EXPECT_EQ(toks[1].text, "O'Brien");
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(Tokenize("'abc"), SyntaxError);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto toks = Tokenize("<> != <= >= < > =");
+  EXPECT_TRUE(toks[0].IsSymbol("<>"));
+  EXPECT_TRUE(toks[1].IsSymbol("!="));
+  EXPECT_TRUE(toks[2].IsSymbol("<="));
+  EXPECT_TRUE(toks[3].IsSymbol(">="));
+  EXPECT_TRUE(toks[4].IsSymbol("<"));
+  EXPECT_TRUE(toks[5].IsSymbol(">"));
+  EXPECT_TRUE(toks[6].IsSymbol("="));
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto toks = Tokenize("SELECT -- comment here\n *");
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(toks[1].IsSymbol("*"));
+}
+
+TEST(LexerTest, PunctuationAndPositions) {
+  auto toks = Tokenize("(a, b);");
+  EXPECT_TRUE(toks[0].IsSymbol("("));
+  EXPECT_TRUE(toks[2].IsSymbol(","));
+  EXPECT_TRUE(toks[4].IsSymbol(")"));
+  EXPECT_TRUE(toks[5].IsSymbol(";"));
+  EXPECT_EQ(toks[0].position, 0u);
+  EXPECT_EQ(toks[1].position, 1u);
+}
+
+TEST(LexerTest, UnexpectedCharacterThrowsWithOffset) {
+  try {
+    Tokenize("SELECT $");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    EXPECT_EQ(e.position(), 7u);
+  }
+}
+
+TEST(LexerTest, EmptyInputYieldsEndToken) {
+  auto toks = Tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_TRUE(toks[0].Is(TokenType::kEnd));
+}
+
+}  // namespace
+}  // namespace prefdb::psql

@@ -1,0 +1,203 @@
+// Tests for the Preference SQL parser and AST, including the paper's two
+// §6.1 sample queries.
+
+#include "psql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "psql/translator.h"
+
+namespace prefdb::psql {
+namespace {
+
+TEST(ParserTest, MinimalSelect) {
+  SelectStatement stmt = Parse("SELECT * FROM car");
+  EXPECT_TRUE(stmt.select_list.empty());
+  EXPECT_EQ(stmt.table, "car");
+  EXPECT_EQ(stmt.where, nullptr);
+  EXPECT_TRUE(stmt.preferring.empty());
+}
+
+TEST(ParserTest, SelectListAndLimit) {
+  SelectStatement stmt = Parse("SELECT make, price FROM car LIMIT 5;");
+  EXPECT_EQ(stmt.select_list, (std::vector<std::string>{"make", "price"}));
+  EXPECT_EQ(stmt.limit, 5u);
+}
+
+TEST(ParserTest, WhereConditionTree) {
+  SelectStatement stmt =
+      Parse("SELECT * FROM car WHERE make = 'Opel' AND (price < 10000 OR "
+            "NOT mileage >= 100000)");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->kind, Condition::Kind::kAnd);
+  EXPECT_EQ(stmt.where->ToString(),
+            "(make = 'Opel' AND (price < 10000 OR NOT mileage >= 100000))");
+}
+
+TEST(ParserTest, WhereInAndNotIn) {
+  SelectStatement stmt =
+      Parse("SELECT * FROM car WHERE color IN ('red','blue') AND make NOT IN "
+            "('Fiat')");
+  EXPECT_EQ(stmt.where->children[0]->kind, Condition::Kind::kInList);
+  EXPECT_FALSE(stmt.where->children[0]->negated);
+  EXPECT_TRUE(stmt.where->children[1]->negated);
+}
+
+TEST(ParserTest, PreferringParetoAndAtoms) {
+  SelectStatement stmt =
+      Parse("SELECT * FROM car PREFERRING price AROUND 40000 AND "
+            "HIGHEST(power)");
+  ASSERT_EQ(stmt.preferring.size(), 1u);
+  EXPECT_EQ(stmt.preferring[0]->kind, PrefExpr::Kind::kPareto);
+}
+
+TEST(ParserTest, PriorToIsRightNested) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING color = 'red' PRIOR TO LOWEST(price) "
+      "PRIOR TO LOWEST(mileage)");
+  const PrefExpr& top = *stmt.preferring[0];
+  EXPECT_EQ(top.kind, PrefExpr::Kind::kPrior);
+  EXPECT_EQ(top.children[1]->kind, PrefExpr::Kind::kPrior);
+}
+
+TEST(ParserTest, BetweenConsumesInnerAnd) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING price BETWEEN 10000 AND 20000 AND "
+      "LOWEST(mileage)");
+  const PrefExpr& top = *stmt.preferring[0];
+  ASSERT_EQ(top.kind, PrefExpr::Kind::kPareto);
+  EXPECT_EQ(top.children[0]->kind, PrefExpr::Kind::kBetween);
+  EXPECT_EQ(top.children[0]->low, 10000.0);
+  EXPECT_EQ(top.children[0]->high, 20000.0);
+  EXPECT_EQ(top.children[1]->kind, PrefExpr::Kind::kLowest);
+}
+
+TEST(ParserTest, ElseChains) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING category = 'roadster' ELSE category <> "
+      "'passenger'");
+  const PrefExpr& top = *stmt.preferring[0];
+  ASSERT_EQ(top.kind, PrefExpr::Kind::kCondLayers);
+  ASSERT_EQ(top.layers.size(), 2u);
+  EXPECT_EQ(top.layers[0].op, CompareOp::kEq);
+  EXPECT_EQ(top.layers[1].op, CompareOp::kNe);
+}
+
+TEST(ParserTest, CascadeChain) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING HIGHEST(power) CASCADE color = 'red' "
+      "CASCADE LOWEST(mileage)");
+  EXPECT_EQ(stmt.preferring.size(), 3u);
+}
+
+TEST(ParserTest, PaperQueryOne) {
+  // The §6.1 used-car query, with the date literal as a number (dates map
+  // to ordinals in this engine).
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car WHERE make = 'Opel' "
+      "PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND "
+      "price AROUND 40000 AND HIGHEST(power)) "
+      "CASCADE color = 'red' CASCADE LOWEST(mileage);");
+  EXPECT_EQ(stmt.table, "car");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.preferring.size(), 3u);
+  EXPECT_EQ(stmt.preferring[0]->kind, PrefExpr::Kind::kPareto);
+}
+
+TEST(ParserTest, PaperQueryTwoButOnly) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM trips "
+      "PREFERRING start_date AROUND 57 AND duration AROUND 14 "
+      "BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2");
+  ASSERT_NE(stmt.but_only, nullptr);
+  EXPECT_EQ(stmt.but_only->kind, QualityCondition::Kind::kAnd);
+  EXPECT_EQ(stmt.but_only->children[0]->kind,
+            QualityCondition::Kind::kDistance);
+  EXPECT_EQ(stmt.but_only->children[0]->threshold, 2.0);
+}
+
+TEST(ParserTest, ButOnlyLevel) {
+  SelectStatement stmt =
+      Parse("SELECT * FROM car PREFERRING color = 'red' "
+            "BUT ONLY LEVEL(color) <= 1");
+  EXPECT_EQ(stmt.but_only->kind, QualityCondition::Kind::kLevel);
+}
+
+TEST(ParserTest, ToStringRoundTripsThroughParser) {
+  const char* sql =
+      "SELECT make FROM car WHERE price < 30000 PREFERRING price AROUND "
+      "20000 AND HIGHEST(power) CASCADE LOWEST(mileage) BUT ONLY "
+      "DISTANCE(price) <= 5000 LIMIT 10";
+  SelectStatement stmt = Parse(sql);
+  SelectStatement again = Parse(stmt.ToString());
+  EXPECT_EQ(stmt.ToString(), again.ToString());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_THROW(Parse("SELECT"), SyntaxError);
+  EXPECT_THROW(Parse("SELECT * car"), SyntaxError);
+  EXPECT_THROW(Parse("SELECT * FROM car PREFERRING"), SyntaxError);
+  EXPECT_THROW(Parse("SELECT * FROM car PREFERRING price AROUND"),
+               SyntaxError);
+  EXPECT_THROW(Parse("SELECT * FROM car BUT price"), SyntaxError);
+  EXPECT_THROW(Parse("SELECT * FROM car trailing"), SyntaxError);
+  EXPECT_THROW(Parse("SELECT * FROM car PREFERRING price BETWEEN 30 AND 10"),
+               SyntaxError);
+  EXPECT_THROW(Parse("SELECT * FROM car PREFERRING price < 10"), SyntaxError);
+}
+
+TEST(ParserTest, NegativeNumbersInPreferences) {
+  SelectStatement stmt =
+      Parse("SELECT * FROM t PREFERRING x AROUND -5");
+  EXPECT_EQ(stmt.preferring[0]->low, -5.0);
+}
+
+// --- Translation ---
+
+TEST(TranslatorTest, AtomsBecomePaperConstructors) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING color = 'red' AND make IN ('A','B') AND "
+      "color <> 'gray' AND price AROUND 1 AND LOWEST(mileage)");
+  PrefPtr p = TranslatePreferenceChain(stmt.preferring);
+  std::string term = p->ToString();
+  EXPECT_NE(term.find("POS(color"), std::string::npos);
+  EXPECT_NE(term.find("POS(make"), std::string::npos);
+  EXPECT_NE(term.find("NEG(color"), std::string::npos);
+  EXPECT_NE(term.find("AROUND(price, 1)"), std::string::npos);
+  EXPECT_NE(term.find("LOWEST(mileage)"), std::string::npos);
+}
+
+TEST(TranslatorTest, CascadeBecomesPrioritization) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING HIGHEST(power) CASCADE LOWEST(price)");
+  PrefPtr p = TranslatePreferenceChain(stmt.preferring);
+  EXPECT_EQ(p->kind(), PreferenceKind::kPrioritized);
+}
+
+TEST(TranslatorTest, ElseBecomesLayeredPreference) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING category = 'roadster' ELSE category <> "
+      "'passenger'");
+  PrefPtr p = TranslatePreference(*stmt.preferring[0]);
+  EXPECT_EQ(p->kind(), PreferenceKind::kLayered);
+  // Semantics: roadster best, any non-passenger second, passenger last.
+  Schema s({{"category", ValueType::kString}});
+  auto less = p->Bind(s);
+  EXPECT_TRUE(less(Tuple({Value("suv")}), Tuple({Value("roadster")})));
+  EXPECT_TRUE(less(Tuple({Value("passenger")}), Tuple({Value("suv")})));
+  EXPECT_FALSE(less(Tuple({Value("roadster")}), Tuple({Value("suv")})));
+}
+
+TEST(TranslatorTest, ElseAcrossAttributesRejected) {
+  SelectStatement stmt = Parse(
+      "SELECT * FROM car PREFERRING category = 'a' ELSE color = 'b'");
+  EXPECT_THROW(TranslatePreference(*stmt.preferring[0]),
+               std::invalid_argument);
+}
+
+TEST(TranslatorTest, EmptyChainGivesNull) {
+  EXPECT_EQ(TranslatePreferenceChain({}), nullptr);
+}
+
+}  // namespace
+}  // namespace prefdb::psql

@@ -1,0 +1,183 @@
+// Tests for the mini XML model and Preference XPATH (§6.1, [KHF01]),
+// including the paper's two sample queries Q1 and Q2.
+
+#include "pxpath/xpath.h"
+
+#include <gtest/gtest.h>
+
+namespace prefdb::pxpath {
+namespace {
+
+const char* kCarsXml = R"(<?xml version="1.0"?>
+<CARS>
+  <CAR id="1" color="black" price="9500"  mileage="60000" fuel_economy="30" horsepower="100"/>
+  <CAR id="2" color="white" price="10500" mileage="30000" fuel_economy="28" horsepower="120"/>
+  <CAR id="3" color="red"   price="10000" mileage="45000" fuel_economy="34" horsepower="100"/>
+  <CAR id="4" color="black" price="15000" mileage="20000" fuel_economy="34" horsepower="150"/>
+  <CAR id="5" color="blue"  price="8000"  mileage="90000" fuel_economy="22" horsepower="90"/>
+</CARS>)";
+
+XmlNodePtr CarsDoc() { return ParseXml(kCarsXml); }
+
+// --- XML model ---
+
+TEST(XmlTest, ParsesElementsAndAttributes) {
+  XmlNodePtr root = CarsDoc();
+  EXPECT_EQ(root->name, "CARS");
+  ASSERT_EQ(root->children.size(), 5u);
+  EXPECT_EQ(root->children[0]->Attr("color"), "black");
+  EXPECT_EQ(root->children[1]->Attr("price"), "10500");
+  EXPECT_EQ(root->children[0]->Attr("missing"), "");
+}
+
+TEST(XmlTest, ParsesNestedElementsAndText) {
+  XmlNodePtr root = ParseXml("<a><b x='1'>hello &amp; bye</b><b x='2'/></a>");
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->text, "hello & bye");
+  EXPECT_EQ(root->ChildrenNamed("b").size(), 2u);
+}
+
+TEST(XmlTest, RejectsMalformedInput) {
+  EXPECT_THROW(ParseXml("<a><b></a>"), std::invalid_argument);
+  EXPECT_THROW(ParseXml("<a"), std::invalid_argument);
+  EXPECT_THROW(ParseXml("<a></a><b/>"), std::invalid_argument);
+}
+
+TEST(XmlTest, SerializationRoundTrip) {
+  XmlNodePtr root = CarsDoc();
+  XmlNodePtr again = ParseXml(ToXml(*root));
+  EXPECT_EQ(again->children.size(), root->children.size());
+  EXPECT_EQ(again->children[2]->Attr("color"), "red");
+}
+
+// --- NodesToRelation ---
+
+TEST(NodesToRelationTest, NumericAttributesBecomeNumericColumns) {
+  XmlNodePtr root = CarsDoc();
+  Relation rel = NodesToRelation(root->children, {"color", "price"});
+  EXPECT_EQ(rel.schema().at(0).type, ValueType::kString);
+  EXPECT_EQ(rel.schema().at(1).type, ValueType::kDouble);
+  EXPECT_EQ(rel.size(), 5u);
+  EXPECT_EQ(rel.at(0)[1], Value(9500));
+}
+
+// --- Preference XPATH queries ---
+
+TEST(XPathTest, PlainPathSelectsAllCars) {
+  XPathResult res = EvalPreferenceXPath(CarsDoc(), "/CARS/CAR");
+  EXPECT_EQ(res.nodes.size(), 5u);
+}
+
+TEST(XPathTest, HardPredicateFilters) {
+  XPathResult res =
+      EvalPreferenceXPath(CarsDoc(), "/CARS/CAR[@color = \"black\"]");
+  EXPECT_EQ(res.nodes.size(), 2u);
+}
+
+TEST(XPathTest, HardPredicateComparisonsAndBoolean) {
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(), "/CARS/CAR[@price <= 10000 and @color <> \"blue\"]");
+  ASSERT_EQ(res.nodes.size(), 2u);  // ids 1, 3
+}
+
+TEST(XPathTest, PaperQueryQ1TwoHighestPareto) {
+  // Q1: /CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(),
+      "/CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#");
+  // Pareto optima: id 4 (34, 150) dominates id 3 (34, 100)? Equal fuel 34,
+  // higher hp -> yes dominates. id 2 (28,120) dominated by 4. id 1 (30,100)
+  // dominated by 4. id 5 dominated. So only id 4.
+  ASSERT_EQ(res.nodes.size(), 1u);
+  EXPECT_EQ(res.nodes[0]->Attr("id"), "4");
+  EXPECT_NE(res.preference_term.find("HIGHEST"), std::string::npos);
+}
+
+TEST(XPathTest, PaperQueryQ2PriorToAndCascade) {
+  // Q2: color in ("black","white") prior to price around 10000, then a
+  // second soft step on mileage.
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(),
+      "/CARS/CAR #[(@color) in (\"black\", \"white\") prior to (@price) "
+      "around 10000]# #[(@mileage) lowest]#");
+  // Step 1 favorites: black/white cars {1, 2, 4}; among them price around
+  // 10000: distances 500, 500, 5000 -> {1, 2}. Cascade lowest mileage:
+  // 60000 vs 30000 -> id 2.
+  ASSERT_EQ(res.nodes.size(), 1u);
+  EXPECT_EQ(res.nodes[0]->Attr("id"), "2");
+}
+
+TEST(XPathTest, AroundPreference) {
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(), "/CARS/CAR #[(@price) around 9900]#");
+  ASSERT_EQ(res.nodes.size(), 1u);
+  EXPECT_EQ(res.nodes[0]->Attr("id"), "3");  // 10000, distance 100
+}
+
+TEST(XPathTest, BetweenPreference) {
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(), "/CARS/CAR #[(@price) between 9000 and 10000]#");
+  // In-interval: ids 1 (9500) and 3 (10000) tie at distance 0.
+  EXPECT_EQ(res.nodes.size(), 2u);
+}
+
+TEST(XPathTest, NegAndEqualityAtoms) {
+  XPathResult res1 = EvalPreferenceXPath(
+      CarsDoc(), "/CARS/CAR #[(@color) = \"red\"]#");
+  ASSERT_EQ(res1.nodes.size(), 1u);
+  EXPECT_EQ(res1.nodes[0]->Attr("id"), "3");
+  XPathResult res2 = EvalPreferenceXPath(
+      CarsDoc(), "/CARS/CAR #[(@color) <> \"black\"]#");
+  EXPECT_EQ(res2.nodes.size(), 3u);
+}
+
+TEST(XPathTest, SoftSelectionOnEmptyNodeSetStaysEmpty) {
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(), "/CARS/CAR[@price > 99999] #[(@price) lowest]#");
+  EXPECT_TRUE(res.nodes.empty());
+}
+
+TEST(XPathTest, GroupedPreferenceParentheses) {
+  XPathResult res = EvalPreferenceXPath(
+      CarsDoc(),
+      "/CARS/CAR #[((@fuel_economy) highest) and ((@horsepower) highest)]#");
+  EXPECT_EQ(res.nodes.size(), 1u);
+}
+
+TEST(XPathTest, SyntaxErrors) {
+  EXPECT_THROW(EvalPreferenceXPath(CarsDoc(), ""), std::invalid_argument);
+  EXPECT_THROW(EvalPreferenceXPath(CarsDoc(), "/CARS/CAR #[(@x) sideways]#"),
+               std::invalid_argument);
+  EXPECT_THROW(EvalPreferenceXPath(CarsDoc(), "/CARS/CAR #[(@x) highest"),
+               std::invalid_argument);
+  EXPECT_THROW(EvalPreferenceXPath(CarsDoc(), "/CARS/CAR[@x ~ 1]"),
+               std::invalid_argument);
+}
+
+TEST(XPathTest, RootNameMismatchGivesEmpty) {
+  XPathResult res = EvalPreferenceXPath(CarsDoc(), "/GARAGE/CAR");
+  EXPECT_TRUE(res.nodes.empty());
+}
+
+TEST(XPathTest, DescendantAxisFindsNestedNodes) {
+  XmlNodePtr root = ParseXml(
+      "<SHOP><LOT><CAR id='1' price='5'/></LOT>"
+      "<CAR id='2' price='3'/>"
+      "<LOT><LOT><CAR id='3' price='9'/></LOT></LOT></SHOP>");
+  XPathResult all = EvalPreferenceXPath(root, "//CAR");
+  EXPECT_EQ(all.nodes.size(), 3u);
+  XPathResult best = EvalPreferenceXPath(root, "//CAR #[(@price) lowest]#");
+  ASSERT_EQ(best.nodes.size(), 1u);
+  EXPECT_EQ(best.nodes[0]->Attr("id"), "2");
+}
+
+TEST(XPathTest, DescendantAxisMidPath) {
+  XmlNodePtr root = ParseXml(
+      "<SHOP><LOT><CAR id='1'/></LOT><LOT><BOX><CAR id='2'/></BOX></LOT>"
+      "</SHOP>");
+  XPathResult res = EvalPreferenceXPath(root, "/SHOP//CAR");
+  EXPECT_EQ(res.nodes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace prefdb::pxpath

@@ -1,0 +1,91 @@
+// Tests for the LEVEL / DISTANCE quality functions (§6.1).
+
+#include "eval/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/complex_preferences.h"
+
+namespace prefdb {
+namespace {
+
+TEST(LevelTest, PosLevels) {
+  PrefPtr p = Pos("c", {"a", "b"});
+  EXPECT_EQ(IntrinsicLevel(*p, Value("a")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("z")), 2u);
+}
+
+TEST(LevelTest, NegLevels) {
+  PrefPtr p = Neg("c", {"x"});
+  EXPECT_EQ(IntrinsicLevel(*p, Value("a")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("x")), 2u);
+}
+
+TEST(LevelTest, PosNegLevels) {
+  PrefPtr p = PosNeg("c", {"a"}, {"x"});
+  EXPECT_EQ(IntrinsicLevel(*p, Value("a")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("m")), 2u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("x")), 3u);
+}
+
+TEST(LevelTest, PosPosLevels) {
+  PrefPtr p = PosPos("c", {"a"}, {"b"});
+  EXPECT_EQ(IntrinsicLevel(*p, Value("a")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("b")), 2u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("q")), 3u);
+}
+
+TEST(LevelTest, ExplicitLevelsMatchExample1) {
+  PrefPtr p = Explicit("c", {{Value("green"), Value("yellow")},
+                             {Value("green"), Value("red")},
+                             {Value("yellow"), Value("white")}});
+  EXPECT_EQ(IntrinsicLevel(*p, Value("white")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("red")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("yellow")), 2u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("green")), 3u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("brown")), 4u);
+}
+
+TEST(LevelTest, LayeredLevels) {
+  PrefPtr p = Layered("c", {LayeredPreference::Layer{{Value("a")}, false},
+                            LayeredPreference::Others()});
+  EXPECT_EQ(IntrinsicLevel(*p, Value("a")), 1u);
+  EXPECT_EQ(IntrinsicLevel(*p, Value("q")), 2u);
+}
+
+TEST(LevelTest, UndefinedForNumericConstructors) {
+  EXPECT_THROW(IntrinsicLevel(*Lowest("x"), Value(1)), std::invalid_argument);
+  EXPECT_THROW(IntrinsicLevel(*Around("x", 0), Value(1)),
+               std::invalid_argument);
+}
+
+TEST(DistanceTest, AroundAndBetween) {
+  EXPECT_EQ(QualityDistance(*Around("x", 14), Value(16)), 2.0);
+  EXPECT_EQ(QualityDistance(*Between("x", 10, 20), Value(7)), 3.0);
+  EXPECT_EQ(QualityDistance(*Between("x", 10, 20), Value(15)), 0.0);
+}
+
+TEST(DistanceTest, UndefinedForNonDistanceConstructors) {
+  EXPECT_THROW(QualityDistance(*Lowest("x"), Value(1)),
+               std::invalid_argument);
+  EXPECT_THROW(QualityDistance(*Pos("c", {"a"}), Value("a")),
+               std::invalid_argument);
+}
+
+TEST(FindBaseTest, LocatesBasePreferenceInComplexTerm) {
+  PrefPtr term = Prioritized(Pareto(Around("price", 100), Lowest("mileage")),
+                             Pos("color", {"red"}));
+  PrefPtr found = FindBasePreference(term, "price");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind(), PreferenceKind::kAround);
+  EXPECT_EQ(FindBasePreference(term, "color")->kind(), PreferenceKind::kPos);
+  EXPECT_EQ(FindBasePreference(term, "weight"), nullptr);
+}
+
+TEST(FindBaseTest, ReturnsLeafItself) {
+  PrefPtr p = Around("x", 3);
+  EXPECT_EQ(FindBasePreference(p, "x"), p);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,79 @@
+// Tests for the k-best ranked query model (§6.2).
+
+#include "eval/ranked.h"
+
+#include <gtest/gtest.h>
+
+#include "core/numeric_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::IntRelation;
+
+Relation XY() {
+  Relation r(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  r.Add({1, 9});
+  r.Add({5, 5});
+  r.Add({9, 1});
+  r.Add({9, 9});
+  return r;
+}
+
+TEST(TopKTest, OrdersByCombinedUtilityDescending) {
+  auto rank = std::make_shared<RankPreference>(
+      [](const std::vector<double>& s) { return s[0] + s[1]; }, "sum",
+      std::vector<PrefPtr>{Highest("x"), Highest("y")});
+  RankedResult res = TopK(XY(), *rank, 2);
+  ASSERT_EQ(res.relation.size(), 2u);
+  EXPECT_EQ(res.relation.at(0), Tuple({9, 9}));
+  EXPECT_EQ(res.utilities[0], 18.0);
+  EXPECT_EQ(res.utilities[1], 10.0);
+}
+
+TEST(TopKTest, KZeroReturnsFullRanking) {
+  auto rank = std::make_shared<RankPreference>(
+      [](const std::vector<double>& s) { return s[0]; }, "first",
+      std::vector<PrefPtr>{Highest("x")});
+  RankedResult res = TopK(XY(), *rank, 0);
+  EXPECT_EQ(res.relation.size(), 4u);
+  EXPECT_GE(res.utilities[0], res.utilities[3]);
+}
+
+TEST(TopKTest, KLargerThanInputReturnsAll) {
+  RankedResult res = TopK(IntRelation("x", {3, 1}), Highest("x"), 10);
+  EXPECT_EQ(res.relation.size(), 2u);
+}
+
+TEST(TopKTest, StableTieBreakByInputOrder) {
+  Relation r = IntRelation("x", {5, 5, 5});
+  RankedResult res = TopK(r, Highest("x"), 2);
+  EXPECT_EQ(res.relation.size(), 2u);
+  EXPECT_EQ(res.utilities[0], res.utilities[1]);
+}
+
+TEST(TopKTest, WorksWithAnySingleKeyPreference) {
+  // AROUND is a SCORE sub-constructor, so it ranks directly.
+  RankedResult res = TopK(IntRelation("x", {1, 7, 10}), Around("x", 8), 1);
+  ASSERT_EQ(res.relation.size(), 1u);
+  EXPECT_EQ(res.relation.at(0)[0], Value(7));
+}
+
+TEST(TopKTest, RejectsNonScorablePreference) {
+  EXPECT_THROW(
+      TopK(XY(), Pareto(Pos("x", {Value(1)}), Highest("y")), 1),
+      std::invalid_argument);
+}
+
+TEST(TopKTest, KBestVsBmoOnChain) {
+  // §6.2: for a chain, BMO returns exactly one best object — "definitely
+  // too small a set to choose from"; k-best returns k.
+  Relation r = IntRelation("x", {4, 8, 15, 16, 23});
+  RankedResult res = TopK(r, Highest("x"), 3);
+  EXPECT_EQ(res.relation.size(), 3u);
+  EXPECT_EQ(res.relation.at(0)[0], Value(23));
+}
+
+}  // namespace
+}  // namespace prefdb

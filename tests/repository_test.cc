@@ -1,0 +1,112 @@
+// Tests for the persistent preference repository (repo/repository.h).
+
+#include "repo/repository.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+
+namespace prefdb {
+namespace {
+
+PreferenceRepository JuliaRepo() {
+  PreferenceRepository repo;
+  repo.Store("julia_colors", Neg("color", {"gray"}));
+  repo.Store("julia_category", PosPos("category", {"cabriolet"},
+                                      {"roadster"}));
+  repo.Store("julia_wishes",
+             Prioritized(Neg("color", {"gray"}), Lowest("price")));
+  return repo;
+}
+
+TEST(RepositoryTest, StoreGetRemove) {
+  PreferenceRepository repo = JuliaRepo();
+  EXPECT_EQ(repo.size(), 3u);
+  ASSERT_NE(repo.Get("julia_colors"), nullptr);
+  EXPECT_EQ(repo.Get("julia_colors")->kind(), PreferenceKind::kNeg);
+  EXPECT_EQ(repo.Get("unknown"), nullptr);
+  EXPECT_TRUE(repo.Remove("julia_colors"));
+  EXPECT_FALSE(repo.Remove("julia_colors"));
+  EXPECT_EQ(repo.size(), 2u);
+}
+
+TEST(RepositoryTest, StoreReplaces) {
+  PreferenceRepository repo;
+  repo.Store("p", Lowest("x"));
+  repo.Store("p", Highest("x"));
+  EXPECT_EQ(repo.Get("p")->kind(), PreferenceKind::kHighest);
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(RepositoryTest, NamesAreSorted) {
+  PreferenceRepository repo = JuliaRepo();
+  EXPECT_EQ(repo.Names(),
+            (std::vector<std::string>{"julia_category", "julia_colors",
+                                      "julia_wishes"}));
+}
+
+TEST(RepositoryTest, RejectsBadNamesAndOpaqueTerms) {
+  PreferenceRepository repo;
+  EXPECT_THROW(repo.Store("", Lowest("x")), std::invalid_argument);
+  EXPECT_THROW(repo.Store("has space", Lowest("x")), std::invalid_argument);
+  EXPECT_THROW(repo.Store("p", nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      repo.Store("p", Score("x", [](const Value&) { return 0.0; }, "f")),
+      std::invalid_argument);
+}
+
+TEST(RepositoryTest, TextRoundTrip) {
+  PreferenceRepository repo = JuliaRepo();
+  PreferenceRepository back = PreferenceRepository::FromText(repo.ToText());
+  EXPECT_EQ(back.Names(), repo.Names());
+  for (const std::string& name : repo.Names()) {
+    EXPECT_TRUE(repo.Get(name)->StructurallyEquals(*back.Get(name))) << name;
+  }
+}
+
+TEST(RepositoryTest, FromTextSkipsCommentsAndBlankLines) {
+  PreferenceRepository repo = PreferenceRepository::FromText(
+      "# header comment\n"
+      "\n"
+      "a = LOWEST(price)  # trailing comment\n"
+      "   \t\n"
+      "b = POS(color, {'red'})\n");
+  EXPECT_EQ(repo.size(), 2u);
+  EXPECT_EQ(repo.Get("a")->kind(), PreferenceKind::kLowest);
+}
+
+TEST(RepositoryTest, FromTextReportsLineNumbers) {
+  try {
+    PreferenceRepository::FromText("a = LOWEST(price)\nb = WAT(x)\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(PreferenceRepository::FromText("just words\n"),
+               std::invalid_argument);
+}
+
+TEST(RepositoryTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/prefdb_repo_test.prefs";
+  PreferenceRepository repo = JuliaRepo();
+  repo.SaveToFile(path);
+  PreferenceRepository back = PreferenceRepository::LoadFromFile(path);
+  EXPECT_EQ(back.size(), repo.size());
+  for (const std::string& name : repo.Names()) {
+    EXPECT_TRUE(repo.Get(name)->StructurallyEquals(*back.Get(name))) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RepositoryTest, LoadFromMissingFileThrows) {
+  EXPECT_THROW(
+      PreferenceRepository::LoadFromFile("/nonexistent/dir/file.prefs"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prefdb

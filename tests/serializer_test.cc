@@ -1,0 +1,134 @@
+// Tests for preference-term serialization (repo/serializer.h): round
+// trips for every declarative constructor, error paths for opaque ones.
+
+#include "repo/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "datagen/random_terms.h"
+
+namespace prefdb {
+namespace {
+
+void ExpectRoundTrip(const PrefPtr& p) {
+  std::string text = SerializePreference(p);
+  PrefPtr back = ParsePreferenceTerm(text);
+  EXPECT_TRUE(p->StructurallyEquals(*back))
+      << "original: " << p->ToString() << "\nserialized: " << text
+      << "\nparsed: " << back->ToString();
+  // And serialization is canonical: a second trip yields identical text.
+  EXPECT_EQ(text, SerializePreference(back));
+}
+
+TEST(SerializerTest, BaseConstructorsRoundTrip) {
+  ExpectRoundTrip(Pos("color", {"yellow", "green"}));
+  ExpectRoundTrip(Neg("color", {"gray"}));
+  ExpectRoundTrip(PosNeg("color", {"blue"}, {"gray", "red"}));
+  ExpectRoundTrip(PosPos("category", {"cabriolet"}, {"roadster"}));
+  ExpectRoundTrip(Around("price", 40000));
+  ExpectRoundTrip(Between("price", 10000, 20000));
+  ExpectRoundTrip(Lowest("price"));
+  ExpectRoundTrip(Highest("power"));
+}
+
+TEST(SerializerTest, ValueTypesRoundTrip) {
+  ExpectRoundTrip(Pos("x", {Value(42), Value(-7)}));
+  ExpectRoundTrip(Pos("x", {Value(2.5), Value(-0.125)}));
+  ExpectRoundTrip(Pos("x", {Value("it's"), Value("")}));
+  ExpectRoundTrip(Pos("x", {Value()}));  // NULL
+}
+
+TEST(SerializerTest, ExplicitRoundTrip) {
+  ExpectRoundTrip(Explicit("color", {{Value("green"), Value("yellow")},
+                                     {Value("green"), Value("red")},
+                                     {Value("yellow"), Value("white")}}));
+  ExpectRoundTrip(Explicit("c", {}));
+}
+
+TEST(SerializerTest, PosNegGraphsRoundTrip) {
+  ExpectRoundTrip(PosNegGraphs(
+      "c", {{Value("b"), Value("a")}}, {Value("solo")},
+      {{Value("z"), Value("y")}}, {Value("w")}));
+  ExpectRoundTrip(PosNegGraphs("c", {}, {Value("a")}, {}, {Value("z")}));
+}
+
+TEST(SerializerTest, LayeredRoundTrip) {
+  ExpectRoundTrip(Layered(
+      "c", {LayeredPreference::Layer{{Value("gold")}, false},
+            LayeredPreference::Others(),
+            LayeredPreference::Layer{{Value("mud"), Value("tar")}, false}}));
+}
+
+TEST(SerializerTest, ComplexTermsRoundTrip) {
+  PrefPtr term = Prioritized(
+      Neg("color", {"gray"}),
+      Pareto(Pareto(PosPos("category", {"cabriolet"}, {"roadster"}),
+                    Around("horsepower", 100)),
+             Dual(Lowest("price"))));
+  ExpectRoundTrip(term);
+}
+
+TEST(SerializerTest, AntiChainAndAggregationsRoundTrip) {
+  ExpectRoundTrip(AntiChain(std::vector<std::string>{"a", "b"}));
+  ExpectRoundTrip(Intersection(Pos("c", {"x"}), Neg("c", {"y"})));
+  ExpectRoundTrip(DisjointUnion(Pos("c", {"x"}), Neg("c", {"y"})));
+}
+
+TEST(SerializerTest, ParsedTermIsSemanticallySameToo) {
+  PrefPtr p = Prioritized(Pos("c", {"a"}), Lowest("n"));
+  PrefPtr back = ParsePreferenceTerm(SerializePreference(p));
+  Relation dom(Schema{{"c", ValueType::kString}, {"n", ValueType::kInt}});
+  for (const char* c : {"a", "b"}) {
+    for (int n : {1, 2}) dom.Add({Value(c), Value(n)});
+  }
+  auto res = CheckEquivalent(p, back, dom);
+  EXPECT_TRUE(res.equivalent) << res.counterexample;
+}
+
+TEST(SerializerTest, RandomTermsRoundTrip) {
+  RandomTermGen gen("x", {Value(-2), Value(0), Value(1), Value(3)}, 99);
+  for (int i = 0; i < 40; ++i) {
+    PrefPtr p = gen.Term(3);
+    if (!IsSerializable(p)) continue;
+    ExpectRoundTrip(p);
+  }
+}
+
+TEST(SerializerTest, OpaquePreferencesRejected) {
+  PrefPtr score = Score("x", [](const Value&) { return 0.0; }, "f");
+  EXPECT_FALSE(IsSerializable(score));
+  EXPECT_THROW(SerializePreference(score), std::invalid_argument);
+  PrefPtr rank = RankWeightedSum({1.0}, {Highest("x")});
+  EXPECT_FALSE(IsSerializable(rank));
+  EXPECT_THROW(SerializePreference(rank), std::invalid_argument);
+  PrefPtr sub = Subset(Lowest("x"), {Tuple({Value(1)})});
+  EXPECT_FALSE(IsSerializable(sub));
+  // Nested opaque nodes are detected too.
+  EXPECT_FALSE(IsSerializable(Pareto(Lowest("x"), score)));
+}
+
+TEST(SerializerTest, ParserErrorPaths) {
+  EXPECT_THROW(ParsePreferenceTerm(""), std::invalid_argument);
+  EXPECT_THROW(ParsePreferenceTerm("WAT(x)"), std::invalid_argument);
+  EXPECT_THROW(ParsePreferenceTerm("POS(c, {'a'"), std::invalid_argument);
+  EXPECT_THROW(ParsePreferenceTerm("POS(c, {'a'}) junk"),
+               std::invalid_argument);
+  EXPECT_THROW(ParsePreferenceTerm("BETWEEN(x, 5, 1)"),
+               std::invalid_argument);  // constructor validation fires
+  EXPECT_THROW(ParsePreferenceTerm("PARETO(LOWEST(x))"),
+               std::invalid_argument);
+}
+
+TEST(SerializerTest, AcceptsPaperStyleNames) {
+  PrefPtr p = ParsePreferenceTerm("POS/NEG(c, {'a'}, {'z'})");
+  EXPECT_EQ(p->kind(), PreferenceKind::kPosNeg);
+  PrefPtr q = ParsePreferenceTerm("POS/POS(c, {'a'}, {'m'})");
+  EXPECT_EQ(q->kind(), PreferenceKind::kPosPos);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,148 @@
+// Tests for the algebraic term rewriter (algebra/simplifier.h): every
+// rewrite must preserve semantic equivalence, and the canonical
+// simplifications of Props 3, 4a and 6 must actually fire.
+
+#include "algebra/simplifier.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::RandomPreferenceGen;
+
+TEST(SimplifierTest, DualInvolution) {
+  PrefPtr p = Lowest("x");
+  PrefPtr s = Simplify(Dual(Dual(p)));
+  EXPECT_TRUE(s->StructurallyEquals(*p));
+}
+
+TEST(SimplifierTest, DualOfLowestIsHighest) {
+  PrefPtr s = Simplify(Dual(Lowest("x")));
+  EXPECT_EQ(s->kind(), PreferenceKind::kHighest);
+}
+
+TEST(SimplifierTest, DualOfPosIsNeg) {
+  PrefPtr s = Simplify(Dual(Pos("c", {"a", "b"})));
+  EXPECT_EQ(s->kind(), PreferenceKind::kNeg);
+  EXPECT_TRUE(s->StructurallyEquals(*Neg("c", {"a", "b"})));
+}
+
+TEST(SimplifierTest, DualOfAntiChainIsAntiChain) {
+  PrefPtr s = Simplify(Dual(AntiChain("x")));
+  EXPECT_EQ(s->kind(), PreferenceKind::kAntiChain);
+}
+
+TEST(SimplifierTest, IntersectionIdempotent) {
+  PrefPtr p = Pos("c", {"a"});
+  EXPECT_TRUE(Simplify(Intersection(p, p))->StructurallyEquals(*p));
+}
+
+TEST(SimplifierTest, IntersectionWithDualCollapsesToAntiChain) {
+  PrefPtr p = Lowest("x");
+  PrefPtr s = Simplify(Intersection(p, Dual(p)));
+  EXPECT_EQ(s->kind(), PreferenceKind::kAntiChain);
+}
+
+TEST(SimplifierTest, PrioritizedSameAttributesKeepsLeft) {
+  PrefPtr p = Pos("c", {"a"});
+  PrefPtr q = Neg("c", {"z"});
+  EXPECT_TRUE(Simplify(Prioritized(p, q))->StructurallyEquals(*p));
+}
+
+TEST(SimplifierTest, PrioritizedAntiChainLeftWins) {
+  PrefPtr s = Simplify(Prioritized(AntiChain("x"), Lowest("x")));
+  EXPECT_EQ(s->kind(), PreferenceKind::kAntiChain);
+}
+
+TEST(SimplifierTest, GroupbyShapeIsNotCollapsed) {
+  // A<->(a) & P(b) is the groupby device (Def. 16) — attributes differ, so
+  // Prop 3k must NOT fire.
+  PrefPtr g = Prioritized(AntiChain("a"), Lowest("b"));
+  PrefPtr s = Simplify(g);
+  EXPECT_EQ(s->kind(), PreferenceKind::kPrioritized);
+}
+
+TEST(SimplifierTest, ParetoIdempotent) {
+  PrefPtr p = Around("x", 3);
+  EXPECT_TRUE(Simplify(Pareto(p, p))->StructurallyEquals(*p));
+}
+
+TEST(SimplifierTest, ParetoWithDualIsAntiChain) {
+  PrefPtr s = Simplify(Pareto(Lowest("x"), Highest("x")));
+  // LOWEST and HIGHEST are duals (Prop 3d), so P (x) P^d == A<->.
+  EXPECT_EQ(s->kind(), PreferenceKind::kAntiChain);
+}
+
+TEST(SimplifierTest, SameAttributeParetoBecomesIntersection) {
+  PrefPtr p = Pos("c", {"a"});
+  PrefPtr q = Neg("c", {"b"});
+  PrefPtr s = Simplify(Pareto(p, q));
+  EXPECT_EQ(s->kind(), PreferenceKind::kIntersection);
+}
+
+TEST(SimplifierTest, DisjointAttributeParetoUntouched) {
+  PrefPtr s = Simplify(Pareto(Lowest("x"), Lowest("y")));
+  EXPECT_EQ(s->kind(), PreferenceKind::kPareto);
+}
+
+TEST(SimplifierTest, RewritesNestedTerms) {
+  // ((P^d)^d & A<->) with same attrs -> P.
+  PrefPtr p = Lowest("x");
+  PrefPtr term = Prioritized(Dual(Dual(p)), AntiChain("x"));
+  EXPECT_TRUE(Simplify(term)->StructurallyEquals(*p));
+}
+
+TEST(SimplifierTest, TraceRecordsSteps) {
+  std::vector<RewriteStep> trace;
+  Simplify(Dual(Dual(Lowest("x"))), &trace);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace[0].rule.find("Prop3"), std::string::npos);
+}
+
+TEST(SimplifierTest, IsDualOfRecognizesCanonicalPairs) {
+  EXPECT_TRUE(IsDualOf(Lowest("x"), Highest("x")));
+  EXPECT_TRUE(IsDualOf(Pos("c", {"a"}), Neg("c", {"a"})));
+  EXPECT_FALSE(IsDualOf(Lowest("x"), Lowest("x")));
+}
+
+class SimplifierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifierPropertyTest, SimplifyPreservesEquivalence) {
+  RandomPreferenceGen gen("x", {Value(-2), Value(0), Value(1), Value(3)},
+                          GetParam());
+  Relation dom(Schema{{"x", ValueType::kInt}});
+  for (const Value& v : gen.domain()) dom.Add({v});
+  for (int i = 0; i < 25; ++i) {
+    PrefPtr p = gen.Term(3);
+    PrefPtr s = Simplify(p);
+    auto res = CheckEquivalent(p, s, dom);
+    EXPECT_TRUE(res.equivalent)
+        << "before: " << p->ToString() << "\nafter: " << s->ToString()
+        << "\n" << res.counterexample;
+  }
+}
+
+TEST_P(SimplifierPropertyTest, SimplifyIsIdempotent) {
+  RandomPreferenceGen gen("x", {Value(-2), Value(0), Value(1), Value(3)},
+                          GetParam() + 1000);
+  for (int i = 0; i < 25; ++i) {
+    PrefPtr p = gen.Term(3);
+    PrefPtr once = Simplify(p);
+    PrefPtr twice = Simplify(once);
+    EXPECT_TRUE(once->StructurallyEquals(*twice))
+        << "once: " << once->ToString() << "\ntwice: " << twice->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifierPropertyTest,
+                         ::testing::Values(3, 9, 27, 81, 243));
+
+}  // namespace
+}  // namespace prefdb

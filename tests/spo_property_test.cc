@@ -1,0 +1,117 @@
+// Property-based verification of Proposition 1: *every* preference term
+// defines a strict partial order. Randomized terms over exhaustively
+// checked finite domains, plus parameterized sweeps over constructor
+// combinations.
+
+#include <gtest/gtest.h>
+
+#include "algebra/equivalence.h"
+#include "core/complex_preferences.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+using ::prefdb::testing::RandomPreferenceGen;
+
+std::vector<Value> IntDomain() {
+  return {Value(-4), Value(-2), Value(0), Value(1), Value(3), Value(5)};
+}
+
+Relation DomainRelation(const std::string& attr,
+                        const std::vector<Value>& dom) {
+  Relation rel(Schema{{attr, ValueType::kInt}});
+  for (const Value& v : dom) rel.Add({v});
+  return rel;
+}
+
+class SpoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpoPropertyTest, RandomSameAttributeTermsAreSpo) {
+  RandomPreferenceGen gen("x", IntDomain(), GetParam());
+  Relation dom = DomainRelation("x", gen.domain());
+  for (int i = 0; i < 20; ++i) {
+    PrefPtr p = gen.Term(3);
+    EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "")
+        << "term: " << p->ToString();
+  }
+}
+
+TEST_P(SpoPropertyTest, RandomTwoAttributeAccumulationsAreSpo) {
+  RandomPreferenceGen gen_x("x", IntDomain(), GetParam());
+  RandomPreferenceGen gen_y("y", IntDomain(), GetParam() + 1);
+  Relation dom(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  for (const Value& a : IntDomain()) {
+    for (const Value& b : IntDomain()) dom.Add({a, b});
+  }
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 12; ++i) {
+    PrefPtr px = gen_x.Term(2);
+    PrefPtr py = gen_y.Term(2);
+    PrefPtr p;
+    switch (rng() % 3) {
+      case 0: p = Pareto(px, py); break;
+      case 1: p = Prioritized(px, py); break;
+      default: p = Prioritized(py, Pareto(px, py)); break;
+    }
+    EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "")
+        << "term: " << p->ToString();
+  }
+}
+
+TEST_P(SpoPropertyTest, DualOfRandomTermIsSpo) {
+  RandomPreferenceGen gen("x", IntDomain(), GetParam());
+  Relation dom = DomainRelation("x", gen.domain());
+  for (int i = 0; i < 10; ++i) {
+    PrefPtr p = Dual(gen.Term(2));
+    EXPECT_EQ(CheckStrictPartialOrder(p, dom.schema(), dom.tuples()), "")
+        << "term: " << p->ToString();
+  }
+}
+
+TEST_P(SpoPropertyTest, DualIsOrderReversal) {
+  RandomPreferenceGen gen("x", IntDomain(), GetParam());
+  Relation dom = DomainRelation("x", gen.domain());
+  for (int i = 0; i < 10; ++i) {
+    PrefPtr p = gen.Term(2);
+    auto less = p->Bind(dom.schema());
+    auto dual_less = Dual(p)->Bind(dom.schema());
+    for (const Tuple& a : dom.tuples()) {
+      for (const Tuple& b : dom.tuples()) {
+        EXPECT_EQ(less(a, b), dual_less(b, a));
+      }
+    }
+  }
+}
+
+TEST_P(SpoPropertyTest, ParetoIsMonotoneInBothComponents) {
+  // If x <(x) y then neither component may strictly prefer x over y.
+  RandomPreferenceGen gen_x("x", IntDomain(), GetParam() + 7);
+  RandomPreferenceGen gen_y("y", IntDomain(), GetParam() + 13);
+  Relation dom(Schema{{"x", ValueType::kInt}, {"y", ValueType::kInt}});
+  for (const Value& a : IntDomain()) {
+    for (const Value& b : IntDomain()) dom.Add({a, b});
+  }
+  for (int i = 0; i < 8; ++i) {
+    PrefPtr px = gen_x.Term(1);
+    PrefPtr py = gen_y.Term(1);
+    PrefPtr p = Pareto(px, py);
+    auto less = p->Bind(dom.schema());
+    auto lx = px->Bind(dom.schema());
+    auto ly = py->Bind(dom.schema());
+    for (const Tuple& a : dom.tuples()) {
+      for (const Tuple& b : dom.tuples()) {
+        if (less(a, b)) {
+          EXPECT_FALSE(lx(b, a)) << p->ToString();
+          EXPECT_FALSE(ly(b, a)) << p->ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpoPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,43 @@
+// Shared helpers for the prefdb test suite: quick relation builders and a
+// randomized preference-term generator for property-based tests.
+
+#ifndef PREFDB_TESTS_TEST_SUPPORT_H_
+#define PREFDB_TESTS_TEST_SUPPORT_H_
+
+#include <vector>
+
+#include "datagen/random_terms.h"
+#include "relation/relation.h"
+
+namespace prefdb::testing {
+
+/// Builds a single-INT-column relation.
+inline Relation IntRelation(const std::string& attr,
+                            const std::vector<int64_t>& values) {
+  Relation rel(Schema{{attr, ValueType::kInt}});
+  for (int64_t v : values) rel.Add({Value(v)});
+  return rel;
+}
+
+/// Builds a single-STRING-column relation.
+inline Relation StringRelation(const std::string& attr,
+                               const std::vector<std::string>& values) {
+  Relation rel(Schema{{attr, ValueType::kString}});
+  for (const auto& v : values) rel.Add({Value(v)});
+  return rel;
+}
+
+/// Sorted distinct single-column values of a relation, for set assertions.
+inline std::vector<Value> Column(const Relation& rel, const std::string& attr) {
+  std::vector<Value> out;
+  auto idx = rel.schema().IndexOf(attr);
+  for (const Tuple& t : rel.tuples()) out.push_back(t[*idx]);
+  return out;
+}
+
+/// Alias of the library's random term generator (datagen/random_terms.h).
+using RandomPreferenceGen = ::prefdb::RandomTermGen;
+
+}  // namespace prefdb::testing
+
+#endif  // PREFDB_TESTS_TEST_SUPPORT_H_

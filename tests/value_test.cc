@@ -1,0 +1,117 @@
+// Unit tests for the Value domain element type.
+
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+namespace prefdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntConstructionAndAccess) {
+  Value v(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, DoubleConstructionAndAccess) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_EQ(v.as_double(), 3.5);
+  EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, StringConstructionAndAccess) {
+  Value v("red");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "red");
+  EXPECT_EQ(v.ToString(), "'red'");
+}
+
+TEST(ValueTest, NumericViewWidensInt) {
+  EXPECT_EQ(*Value(7).numeric(), 7.0);
+  EXPECT_EQ(*Value(7.25).numeric(), 7.25);
+  EXPECT_FALSE(Value("x").numeric().has_value());
+  EXPECT_FALSE(Value().numeric().has_value());
+}
+
+TEST(ValueTest, EqualityAcrossIntAndDouble) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_NE(Value(3), Value("3"));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(0));
+}
+
+TEST(ValueTest, EqualHashForEqualNumerics) {
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+}
+
+TEST(ValueTest, TotalOrderClasses) {
+  // NULL < numerics < strings.
+  EXPECT_LT(Value(), Value(-100));
+  EXPECT_LT(Value(5), Value("a"));
+  EXPECT_LT(Value(), Value(""));
+}
+
+TEST(ValueTest, TotalOrderWithinNumerics) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value(-3), Value(-2.5));
+  EXPECT_FALSE(Value(2) < Value(2.0));  // equal numerics tie by value...
+  EXPECT_TRUE(Value(2) < Value(2.0) || Value(2.0) < Value(2) ||
+              Value(2) == Value(2.0));
+}
+
+TEST(ValueTest, TotalOrderStringsLexicographic) {
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_FALSE(Value("pear") < Value("apple"));
+}
+
+TEST(ValueTest, OrderIsIrreflexive) {
+  for (const Value& v :
+       {Value(), Value(1), Value(2.5), Value("x"), Value("")}) {
+    EXPECT_FALSE(v < v) << v.ToString();
+  }
+}
+
+TEST(ValueTest, ParseInt) {
+  auto v = ParseValue("123", ValueType::kInt);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value(123));
+  EXPECT_FALSE(ParseValue("12x", ValueType::kInt).has_value());
+}
+
+TEST(ValueTest, ParseDouble) {
+  auto v = ParseValue("1.25", ValueType::kDouble);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value(1.25));
+  EXPECT_FALSE(ParseValue("abc", ValueType::kDouble).has_value());
+}
+
+TEST(ValueTest, ParseStringAndEmpty) {
+  EXPECT_EQ(*ParseValue("hello", ValueType::kString), Value("hello"));
+  EXPECT_TRUE(ParseValue("", ValueType::kInt)->is_null());
+  EXPECT_TRUE(ParseValue("", ValueType::kString)->is_null());
+}
+
+TEST(ValueTest, NegativeNumbers) {
+  EXPECT_EQ(*ParseValue("-17", ValueType::kInt), Value(-17));
+  EXPECT_EQ(*ParseValue("-2.5", ValueType::kDouble), Value(-2.5));
+}
+
+TEST(ValueTest, IntegralDoubleRendering) {
+  EXPECT_EQ(Value(4.0).ToString(), "4.0");
+}
+
+}  // namespace
+}  // namespace prefdb
