@@ -1,0 +1,135 @@
+// Benchmark: the exec/ parallel partitioned BMO engine vs single-threaded
+// evaluation, sweeping data size N in {10k, 100k, 1M} and worker count.
+// Workloads:
+//   - d-dimensional Pareto skyline (the 'SKYLINE OF' fragment, §6.1);
+//   - an '&'-chain (prioritized cascade of HIGHEST over distinct
+//     attributes), the lexicographic workload of Prop 3h.
+// The tiny N=4096 points exist so CI can smoke-run every benchmark
+// quickly (--benchmark_filter=/4096).
+
+#include <benchmark/benchmark.h>
+
+#include "prefdb.h"
+
+namespace {
+
+using namespace prefdb;  // NOLINT — benchmark driver
+
+PrefPtr SkylinePref(size_t d) {
+  std::vector<PrefPtr> prefs;
+  for (size_t i = 0; i < d; ++i) {
+    prefs.push_back(Highest("d" + std::to_string(i)));
+  }
+  return Pareto(prefs);
+}
+
+PrefPtr PrioritizedChainPref(size_t d) {
+  PrefPtr p = Highest("d" + std::to_string(d - 1));
+  for (size_t i = d - 1; i-- > 0;) {
+    p = Prioritized(Highest("d" + std::to_string(i)), p);
+  }
+  return p;
+}
+
+void RunParallel(benchmark::State& state, const PrefPtr& p, size_t n,
+                 size_t d, size_t num_threads) {
+  Relation r = GenerateVectors(n, d, Correlation::kIndependent, 42);
+  ParallelBmoConfig config;
+  config.num_threads = num_threads;
+  size_t result_size = 0;
+  for (auto _ : state) {
+    std::vector<size_t> rows = ParallelBmoIndices(r, p, config);
+    result_size = rows.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["result"] = static_cast<double>(result_size);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void RunSequential(benchmark::State& state, const PrefPtr& p, size_t n,
+                   size_t d, BmoAlgorithm algo) {
+  Relation r = GenerateVectors(n, d, Correlation::kIndependent, 42);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    std::vector<size_t> rows = BmoIndices(r, p, {algo});
+    result_size = rows.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["result"] = static_cast<double>(result_size);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+// ---- d-dimensional skyline: parallel thread sweep vs sequential BNL. ----
+
+void BM_skyline_parallel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = static_cast<size_t>(state.range(1));
+  const size_t threads = static_cast<size_t>(state.range(2));
+  RunParallel(state, SkylinePref(d), n, d, threads);
+}
+BENCHMARK(BM_skyline_parallel)
+    ->ArgsProduct({{4096, 10000, 100000, 1000000}, {4}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "d", "threads"});
+
+void BM_skyline_bnl_single(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = static_cast<size_t>(state.range(1));
+  RunSequential(state, SkylinePref(d), n, d,
+                BmoAlgorithm::kBlockNestedLoop);
+}
+BENCHMARK(BM_skyline_bnl_single)
+    ->ArgsProduct({{4096, 10000, 100000, 1000000}, {4}})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "d"});
+
+// ---- '&'-chain (prioritized cascade) over distinct attributes. ----
+
+void BM_chain_parallel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = static_cast<size_t>(state.range(1));
+  const size_t threads = static_cast<size_t>(state.range(2));
+  RunParallel(state, PrioritizedChainPref(d), n, d, threads);
+}
+BENCHMARK(BM_chain_parallel)
+    ->ArgsProduct({{4096, 10000, 100000, 1000000}, {4}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "d", "threads"});
+
+void BM_chain_bnl_single(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = static_cast<size_t>(state.range(1));
+  RunSequential(state, PrioritizedChainPref(d), n, d,
+                BmoAlgorithm::kBlockNestedLoop);
+}
+BENCHMARK(BM_chain_bnl_single)
+    ->ArgsProduct({{4096, 10000, 100000, 1000000}, {4}})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "d"});
+
+// ---- End-to-end: kAuto escalation through the public Bmo() entry. ----
+
+void BM_auto_escalation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation r = GenerateVectors(n, 4, Correlation::kIndependent, 42);
+  PrefPtr p = SkylinePref(4);
+  BmoOptions options;  // kAuto: parallel above the distinct-value threshold
+  for (auto _ : state) {
+    std::vector<size_t> rows = BmoIndices(r, p, options);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_auto_escalation)
+    ->Args({4096})
+    ->Args({100000})
+    ->Args({1000000})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("n");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,7 +5,10 @@
 #include <unordered_map>
 
 #include "core/numeric_preferences.h"
+#include "eval/bmo_internal.h"
 #include "eval/decomposition.h"
+#include "exec/parallel_bmo.h"
+#include "exec/thread_pool.h"
 
 namespace prefdb {
 
@@ -17,6 +20,7 @@ const char* BmoAlgorithmName(BmoAlgorithm algo) {
     case BmoAlgorithm::kSortFilter: return "sfs";
     case BmoAlgorithm::kDivideConquer: return "dc";
     case BmoAlgorithm::kDecomposition: return "decomposition";
+    case BmoAlgorithm::kParallel: return "parallel";
   }
   return "?";
 }
@@ -36,9 +40,13 @@ ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p) {
   return out;
 }
 
-std::vector<bool> MaximaNaive(const std::vector<Tuple>& values,
-                              const LessFn& less) {
-  const size_t m = values.size();
+namespace {
+
+// Range-based implementations: partition-parallel callers evaluate
+// contiguous slices of the distinct-value array without copying tuples.
+
+std::vector<bool> MaximaNaiveRange(const Tuple* values, size_t m,
+                                   const LessFn& less) {
   std::vector<bool> maximal(m, true);
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < m; ++j) {
@@ -51,9 +59,8 @@ std::vector<bool> MaximaNaive(const std::vector<Tuple>& values,
   return maximal;
 }
 
-std::vector<bool> MaximaBnl(const std::vector<Tuple>& values,
-                            const LessFn& less) {
-  const size_t m = values.size();
+std::vector<bool> MaximaBnlRange(const Tuple* values, size_t m,
+                                 const LessFn& less) {
   std::vector<bool> maximal(m, false);
   std::vector<size_t> window;
   for (size_t i = 0; i < m; ++i) {
@@ -79,10 +86,9 @@ std::vector<bool> MaximaBnl(const std::vector<Tuple>& values,
   return maximal;
 }
 
-std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
-                                   const LessFn& less,
-                                   const std::vector<ScoreFn>& keys) {
-  const size_t m = values.size();
+std::vector<bool> MaximaSortFilterRange(const Tuple* values, size_t m,
+                                        const LessFn& less,
+                                        const std::vector<ScoreFn>& keys) {
   std::vector<std::vector<double>> key_vals(m);
   for (size_t i = 0; i < m; ++i) {
     key_vals[i].reserve(keys.size());
@@ -108,6 +114,24 @@ std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
   }
   for (size_t idx : window) maximal[idx] = true;
   return maximal;
+}
+
+}  // namespace
+
+std::vector<bool> MaximaNaive(const std::vector<Tuple>& values,
+                              const LessFn& less) {
+  return MaximaNaiveRange(values.data(), values.size(), less);
+}
+
+std::vector<bool> MaximaBnl(const std::vector<Tuple>& values,
+                            const LessFn& less) {
+  return MaximaBnlRange(values.data(), values.size(), less);
+}
+
+std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
+                                   const LessFn& less,
+                                   const std::vector<ScoreFn>& keys) {
+  return MaximaSortFilterRange(values.data(), values.size(), less, keys);
 }
 
 namespace {
@@ -262,54 +286,63 @@ bool CanUseDivideConquer(const PrefPtr& p, std::vector<PrefPtr>* leaves) {
   }
 }
 
-namespace {
+namespace internal {
 
-std::vector<bool> ComputeMaxima(const ProjectionIndex& proj, const PrefPtr& p,
-                                BmoAlgorithm algo) {
+BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p,
+                                   const Schema& proj_schema) {
+  std::vector<PrefPtr> leaves;
+  if (CanUseDivideConquer(p, &leaves)) {
+    return BmoAlgorithm::kDivideConquer;
+  }
+  if (p->BindSortKeys(proj_schema)) {
+    return BmoAlgorithm::kSortFilter;
+  }
+  return BmoAlgorithm::kBlockNestedLoop;
+}
+
+std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
+                                     const PrefPtr& p,
+                                     const Schema& proj_schema,
+                                     BmoAlgorithm algo) {
   if (algo == BmoAlgorithm::kAuto) {
-    std::vector<PrefPtr> leaves;
-    if (CanUseDivideConquer(p, &leaves)) {
-      algo = BmoAlgorithm::kDivideConquer;
-    } else if (p->BindSortKeys(proj.proj_schema)) {
-      algo = BmoAlgorithm::kSortFilter;
-    } else {
-      algo = BmoAlgorithm::kBlockNestedLoop;
-    }
+    algo = ResolveBlockAlgorithm(p, proj_schema);
   }
   switch (algo) {
     case BmoAlgorithm::kNaive:
-      return MaximaNaive(proj.values, p->Bind(proj.proj_schema));
+      return MaximaNaiveRange(values, count, p->Bind(proj_schema));
     case BmoAlgorithm::kBlockNestedLoop:
-      return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+      return MaximaBnlRange(values, count, p->Bind(proj_schema));
     case BmoAlgorithm::kSortFilter: {
-      auto keys = p->BindSortKeys(proj.proj_schema);
-      if (!keys) return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
-      return MaximaSortFilter(proj.values, p->Bind(proj.proj_schema), *keys);
+      auto keys = p->BindSortKeys(proj_schema);
+      if (!keys) return MaximaBnlRange(values, count, p->Bind(proj_schema));
+      return MaximaSortFilterRange(values, count, p->Bind(proj_schema),
+                                   *keys);
     }
     case BmoAlgorithm::kDivideConquer: {
       std::vector<PrefPtr> leaves;
       if (!CanUseDivideConquer(p, &leaves)) {
-        return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+        return MaximaBnlRange(values, count, p->Bind(proj_schema));
       }
       std::vector<ScoreFn> fns;
       for (const auto& leaf : leaves) {
-        fns.push_back((*leaf->BindSortKeys(proj.proj_schema))[0]);
+        fns.push_back((*leaf->BindSortKeys(proj_schema))[0]);
       }
-      std::vector<std::vector<double>> scores(proj.values.size());
-      for (size_t i = 0; i < proj.values.size(); ++i) {
+      std::vector<std::vector<double>> scores(count);
+      for (size_t i = 0; i < count; ++i) {
         scores[i].reserve(fns.size());
-        for (const auto& f : fns) scores[i].push_back(f(proj.values[i]));
+        for (const auto& f : fns) scores[i].push_back(f(values[i]));
       }
       return MaximaDivideConquer(scores);
     }
     case BmoAlgorithm::kDecomposition:
+    case BmoAlgorithm::kParallel:
     case BmoAlgorithm::kAuto:
-      break;  // handled by caller / unreachable
+      break;  // relation-level strategies, dispatched by BmoIndices
   }
-  return MaximaBnl(proj.values, p->Bind(proj.proj_schema));
+  return MaximaBnlRange(values, count, p->Bind(proj_schema));
 }
 
-}  // namespace
+}  // namespace internal
 
 std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
                                const BmoOptions& options) {
@@ -318,7 +351,21 @@ std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
     return BmoDecompositionIndices(r, p);
   }
   ProjectionIndex proj = BuildProjectionIndex(r, *p);
-  std::vector<bool> maximal = ComputeMaxima(proj, p, options.algorithm);
+  BmoAlgorithm algo = options.algorithm;
+  if (algo == BmoAlgorithm::kAuto &&
+      proj.values.size() >= options.parallel_threshold &&
+      ThreadPool::ResolveThreads(options.num_threads) > 1) {
+    algo = BmoAlgorithm::kParallel;
+  }
+  std::vector<bool> maximal;
+  if (algo == BmoAlgorithm::kParallel) {
+    ParallelBmoConfig config;
+    config.num_threads = options.num_threads;
+    maximal = MaximaParallel(proj.values, p, proj.proj_schema, config);
+  } else {
+    maximal =
+        internal::ComputeMaximaBlock(proj.values, p, proj.proj_schema, algo);
+  }
   std::vector<size_t> rows;
   for (size_t i = 0; i < r.size(); ++i) {
     if (maximal[proj.row_to_value[i]]) rows.push_back(i);

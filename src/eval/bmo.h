@@ -15,9 +15,15 @@
 //                    OF' fragment, §6.1); falls back to BNL otherwise
 //   kDecomposition   divide & conquer via the decomposition theorems
 //                    Props 8-12 (see eval/decomposition.h)
-//   kAuto            picks per term: decomposition for '&' trees with a
-//                    chain head, D&C for skyline fragments, SFS when sort
-//                    keys exist, BNL otherwise.
+//   kParallel        partition-and-merge parallel evaluation on a worker
+//                    pool (see exec/parallel_bmo.h); each partition runs
+//                    the auto-resolved sequential algorithm
+//   kAuto            picks per term: parallel above the distinct-value
+//                    threshold when multiple workers exist, else D&C for
+//                    skyline fragments, SFS when sort keys exist, BNL
+//                    otherwise. (kDecomposition is never auto-picked here;
+//                    the cost-based optimizer in eval/optimizer.h chooses
+//                    it for '&' trees with a chain head.)
 
 #ifndef PREFDB_EVAL_BMO_H_
 #define PREFDB_EVAL_BMO_H_
@@ -36,12 +42,18 @@ enum class BmoAlgorithm {
   kSortFilter,
   kDivideConquer,
   kDecomposition,
+  kParallel,
 };
 
 const char* BmoAlgorithmName(BmoAlgorithm algo);
 
 struct BmoOptions {
   BmoAlgorithm algorithm = BmoAlgorithm::kAuto;
+  /// Worker threads for kParallel (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// kAuto escalates to kParallel at/above this many distinct values,
+  /// provided more than one worker is available.
+  size_t parallel_threshold = 32768;
 };
 
 /// Evaluates σ[P](R); preserves input row order and duplicates (a tuple

@@ -1,0 +1,42 @@
+// Internals shared by eval/bmo.cc and the exec/ parallel engine: maxima
+// computation over a block of distinct projected values, with the same
+// per-block algorithm resolution the sequential evaluator uses. Not part
+// of the public API surface.
+
+#ifndef PREFDB_EVAL_BMO_INTERNAL_H_
+#define PREFDB_EVAL_BMO_INTERNAL_H_
+
+#include <vector>
+
+#include "core/preference.h"
+#include "eval/bmo.h"
+
+namespace prefdb::internal {
+
+/// Resolves kAuto for a block of distinct values the way sequential BMO
+/// does: D&C for skyline fragments, SFS when sort keys are derivable, BNL
+/// otherwise. Never returns kAuto, kParallel or kDecomposition.
+BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p, const Schema& proj_schema);
+
+/// Maximal-value flags for the `count` values at `values`, under p bound
+/// against proj_schema. Takes a raw range so partition-parallel callers
+/// can evaluate contiguous slices without copying tuples. kAuto is
+/// resolved via ResolveBlockAlgorithm. kParallel and kDecomposition are
+/// relation-level strategies, not block algorithms; they fall back to BNL
+/// here.
+std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
+                                     const PrefPtr& p,
+                                     const Schema& proj_schema,
+                                     BmoAlgorithm algo);
+
+inline std::vector<bool> ComputeMaximaBlock(const std::vector<Tuple>& values,
+                                            const PrefPtr& p,
+                                            const Schema& proj_schema,
+                                            BmoAlgorithm algo) {
+  return ComputeMaximaBlock(values.data(), values.size(), p, proj_schema,
+                            algo);
+}
+
+}  // namespace prefdb::internal
+
+#endif  // PREFDB_EVAL_BMO_INTERNAL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 #include "core/complex_preferences.h"
 #include "core/numeric_preferences.h"

@@ -1,6 +1,9 @@
 #include "eval/optimizer.h"
 
+#include <stdexcept>
+
 #include "core/complex_preferences.h"
+#include "exec/thread_pool.h"
 
 namespace prefdb {
 
@@ -19,22 +22,36 @@ bool PrioritizedChainHead(const PrefPtr& p) {
 
 }  // namespace
 
-AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p) {
+AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
+                                const BmoOptions& options) {
   const size_t n = r.size();
   if (n <= kSmallInput) {
     return {BmoAlgorithm::kBlockNestedLoop,
             "input below " + std::to_string(kSmallInput) +
                 " rows: window scan wins on constants"};
   }
+  if (PrioritizedChainHead(p)) {
+    return {BmoAlgorithm::kDecomposition,
+            "prioritized with a chain head: Prop 11 cascade evaluation"};
+  }
+  const size_t workers = ThreadPool::ResolveThreads(options.num_threads);
+  // Same nominal threshold as BmoIndices' kAuto path, applied to the only
+  // statistic available here (row count n, an upper bound on the distinct
+  // count BmoIndices tests). On duplicate-heavy data the two entry points
+  // can therefore differ in *choosing* kParallel, but never in results:
+  // the engine degrades to the same sequential block algorithm when too
+  // few distinct values remain to split.
+  if (n >= options.parallel_threshold && workers > 1) {
+    return {BmoAlgorithm::kParallel,
+            std::to_string(n) + " rows, up to " + std::to_string(workers) +
+                " workers: partitioned local maxima + merge window pass "
+                "(sequential when too few distinct values to split)"};
+  }
   std::vector<PrefPtr> leaves;
   if (CanUseDivideConquer(p, &leaves)) {
     return {BmoAlgorithm::kDivideConquer,
             "skyline fragment over " + std::to_string(leaves.size()) +
                 " LOWEST/HIGHEST chains: KLP75 divide & conquer"};
-  }
-  if (PrioritizedChainHead(p)) {
-    return {BmoAlgorithm::kDecomposition,
-            "prioritized with a chain head: Prop 11 cascade evaluation"};
   }
   bool has_keys = false;
   try {
@@ -69,17 +86,21 @@ std::string OptimizedQuery::Explain() const {
   return out;
 }
 
-OptimizedQuery Optimize(const Relation& r, const PrefPtr& p) {
+OptimizedQuery Optimize(const Relation& r, const PrefPtr& p,
+                        const BmoOptions& options) {
   OptimizedQuery out;
   out.original = p;
   out.simplified = Simplify(p, &out.rewrites);
-  out.choice = ChooseAlgorithm(r, out.simplified);
+  out.choice = ChooseAlgorithm(r, out.simplified, options);
   return out;
 }
 
-Relation BmoOptimized(const Relation& r, const PrefPtr& p) {
-  OptimizedQuery plan = Optimize(r, p);
-  return Bmo(r, plan.simplified, {plan.choice.algorithm});
+Relation BmoOptimized(const Relation& r, const PrefPtr& p,
+                      const BmoOptions& options) {
+  OptimizedQuery plan = Optimize(r, p, options);
+  BmoOptions exec_options = options;
+  exec_options.algorithm = plan.choice.algorithm;
+  return Bmo(r, plan.simplified, exec_options);
 }
 
 }  // namespace prefdb

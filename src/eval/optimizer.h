@@ -26,13 +26,18 @@ struct AlgorithmChoice {
 
 /// Chooses an evaluation algorithm for σ[P](R) from term structure and
 /// relation statistics (cardinality, attribute count):
-///  - skyline fragment (Pareto of LOWEST/HIGHEST on distinct attributes)
-///    and large n  -> divide & conquer [KLP75]
 ///  - prioritized with chain head over disjoint attributes -> the
 ///    decomposition evaluator (Prop 11 cascade)
+///  - very large n and multiple workers -> partition-and-merge parallel
+///    evaluation (exec/parallel_bmo.h)
+///  - skyline fragment (Pareto of LOWEST/HIGHEST on distinct attributes)
+///    and large n  -> divide & conquer [KLP75]
 ///  - derivable sort keys and large n -> sort-filter
 ///  - otherwise -> BNL (small inputs: naive is fine too, BNL never loses)
-AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p);
+/// `options` supplies the thread budget and escalation threshold consulted
+/// for the parallel choice.
+AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
+                                const BmoOptions& options = {});
 
 /// A fully optimized query: simplified term, rewrite trace, chosen
 /// algorithm.
@@ -46,11 +51,14 @@ struct OptimizedQuery {
   std::string Explain() const;
 };
 
-OptimizedQuery Optimize(const Relation& r, const PrefPtr& p);
+OptimizedQuery Optimize(const Relation& r, const PrefPtr& p,
+                        const BmoOptions& options = {});
 
 /// Optimizes and evaluates in one step (equivalent to Bmo() by Prop 7,
-/// validated in optimizer_test).
-Relation BmoOptimized(const Relation& r, const PrefPtr& p);
+/// validated in optimizer_test). `options.algorithm` is ignored — the
+/// optimizer picks it — but the thread budget is honored.
+Relation BmoOptimized(const Relation& r, const PrefPtr& p,
+                      const BmoOptions& options = {});
 
 }  // namespace prefdb
 

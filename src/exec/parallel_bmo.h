@@ -1,0 +1,53 @@
+// Parallel partitioned BMO evaluation: split the distinct-value set into P
+// contiguous partitions, compute local maxima per partition on the worker
+// pool, then merge the union of local maxima with one final window pass.
+//
+// Correct for arbitrary strict partial orders:
+//  - local maxima are a superset of global maxima (a globally maximal value
+//    has no dominator anywhere, in particular none in its own partition);
+//  - the merge pass removes every globally dominated candidate: if y <P x
+//    held for any x in the input, walking x's dominator chain within its
+//    partition ends at a local maximum that, by transitivity, still
+//    dominates y.
+
+#ifndef PREFDB_EXEC_PARALLEL_BMO_H_
+#define PREFDB_EXEC_PARALLEL_BMO_H_
+
+#include <vector>
+
+#include "core/preference.h"
+#include "eval/bmo.h"
+#include "relation/relation.h"
+
+namespace prefdb {
+
+struct ParallelBmoConfig {
+  /// Worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Never split below this many distinct values per partition; inputs
+  /// smaller than two partitions run sequentially.
+  size_t min_partition_size = 4096;
+  /// Algorithm run on each partition and on the merge pass. kAuto resolves
+  /// with the sequential heuristics (D&C for skyline fragments, SFS when
+  /// sort keys exist, BNL otherwise).
+  BmoAlgorithm partition_algorithm = BmoAlgorithm::kAuto;
+};
+
+/// Maximal-value flags over a distinct-value set, partition-parallel.
+std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
+                                 const PrefPtr& p, const Schema& proj_schema,
+                                 const ParallelBmoConfig& config = {});
+
+/// σ[P](R) row indices (ascending) evaluated with the parallel engine;
+/// same contract as BmoIndices().
+std::vector<size_t> ParallelBmoIndices(const Relation& r, const PrefPtr& p,
+                                       const ParallelBmoConfig& config = {});
+
+/// σ[P](R) evaluated with the parallel engine; preserves input row order
+/// and duplicates like Bmo().
+Relation ParallelBmo(const Relation& r, const PrefPtr& p,
+                     const ParallelBmoConfig& config = {});
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EXEC_PARALLEL_BMO_H_

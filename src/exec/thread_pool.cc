@@ -1,0 +1,89 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace prefdb {
+
+namespace {
+// The pool (if any) whose WorkerLoop owns the current thread.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
+size_t ThreadPool::ResolveThreads(size_t num_threads) {
+  if (num_threads > 0) return num_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = ResolveThreads(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_current_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& body) {
+  ParallelForChunks(n, size(), min_chunk,
+                    [&body](size_t, size_t begin, size_t end) {
+                      body(begin, end);
+                    });
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, size_t max_chunks, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  min_chunk = std::max<size_t>(1, min_chunk);
+  const size_t chunks = std::min(max_chunks, n / min_chunk);
+  if (chunks <= 1 || OnWorkerThread()) {
+    body(0, 0, n);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    pending.push_back(
+        Submit([&body, c, begin, end] { body(c, begin, end); }));
+  }
+  // Wait for every chunk before get() may rethrow: an early unwind would
+  // free the caller's state while other chunks still run body against it.
+  for (std::future<void>& f : pending) f.wait();
+  for (std::future<void>& f : pending) f.get();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace prefdb

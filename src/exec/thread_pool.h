@@ -1,0 +1,90 @@
+// A reusable fixed-size worker pool — the bottom layer of the exec/
+// subsystem. Parallel operators submit closures and block on the returned
+// futures; a process-wide shared pool amortizes thread creation across
+// queries.
+
+#ifndef PREFDB_EXEC_THREAD_POOL_H_
+#define PREFDB_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace prefdb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues fn on the pool. The returned future rethrows any exception
+  /// fn raises.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using Result = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> out = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return out;
+  }
+
+  /// Splits [0, n) into at most size() balanced chunks of at least
+  /// min_chunk elements, runs body(begin, end) for each on the pool and
+  /// blocks until all chunks finish. Runs inline when one chunk suffices
+  /// or when called from one of this pool's own workers (blocking there
+  /// could deadlock the pool). Exceptions from body propagate to the
+  /// caller.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Same, but caps the chunk count at max_chunks (still at least
+  /// min_chunk elements each) and passes the chunk index:
+  /// body(chunk, begin, end). The building block for partition-parallel
+  /// operators that need per-partition state.
+  void ParallelForChunks(
+      size_t n, size_t max_chunks, size_t min_chunk,
+      const std::function<void(size_t, size_t, size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  /// Blocking on futures of tasks submitted to one's own pool can
+  /// deadlock; parallel operators use this to fall back to inline
+  /// execution.
+  bool OnWorkerThread() const;
+
+  /// The worker count a `num_threads` request resolves to (0 = hardware
+  /// concurrency, always at least 1).
+  static size_t ResolveThreads(size_t num_threads);
+
+  /// Lazily constructed process-wide pool sized to hardware concurrency.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EXEC_THREAD_POOL_H_

@@ -25,6 +25,8 @@
 #include "eval/optimizer.h"
 #include "eval/quality.h"
 #include "eval/ranked.h"
+#include "exec/parallel_bmo.h"
+#include "exec/thread_pool.h"
 #include "mining/miner.h"
 #include "psql/catalog.h"
 #include "psql/executor.h"

@@ -30,10 +30,11 @@ QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
     if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
       // Route through the optimizer: algebraic rewrites (Prop 7 preserves
       // the answer) + cost-based algorithm choice.
-      OptimizedQuery optimized = Optimize(current, preference);
+      OptimizedQuery optimized = Optimize(current, preference, options);
       if (stmt.explain) result.plan_details = optimized.Explain();
-      current = Bmo(current, optimized.simplified,
-                    {optimized.choice.algorithm});
+      BmoOptions exec_options = options;
+      exec_options.algorithm = optimized.choice.algorithm;
+      current = Bmo(current, optimized.simplified, exec_options);
       plan += " -> bmo[" + optimized.simplified->ToString() + ", " +
               BmoAlgorithmName(optimized.choice.algorithm) + "]";
     } else {
