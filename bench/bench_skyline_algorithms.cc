@@ -26,19 +26,54 @@ PrefPtr SkylinePref(size_t d) {
   return Pareto(prefs);
 }
 
-void RunSkyline(benchmark::State& state, BmoAlgorithm algo,
-                Correlation corr) {
+void RunSkyline(benchmark::State& state, BmoAlgorithm algo, Correlation corr,
+                bool vectorize = true) {
   const size_t n = static_cast<size_t>(state.range(0));
   const size_t d = static_cast<size_t>(state.range(1));
   Relation r = GenerateVectors(n, d, corr, 42);
   PrefPtr p = SkylinePref(d);
+  BmoOptions options;
+  options.algorithm = algo;
+  options.vectorize = vectorize;
   size_t result_size = 0;
   for (auto _ : state) {
-    std::vector<size_t> rows = BmoIndices(r, p, {algo});
+    std::vector<size_t> rows = BmoIndices(r, p, options);
     result_size = rows.size();
     benchmark::DoNotOptimize(rows);
   }
   state.counters["skyline"] = static_cast<double>(result_size);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+// Level-based terms (POS/LAYERED under Pareto/prioritization) over a
+// low-cardinality categorical column plus numeric chains: the workload the
+// score table newly opens to SFS (no closure sort keys exist).
+void RunLevelTerm(benchmark::State& state, BmoAlgorithm algo,
+                  bool vectorize) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation r = GenerateVectors(n, 5, Correlation::kAntiCorrelated, 7);
+  // Dict-encode d4 into 8 buckets so POS has categorical structure; the
+  // 4-d Pareto tail keeps windows large enough that presorting matters.
+  Relation cat(Schema{{"d0", ValueType::kDouble},
+                      {"d1", ValueType::kDouble},
+                      {"d2", ValueType::kDouble},
+                      {"d3", ValueType::kDouble},
+                      {"bucket", ValueType::kInt}});
+  for (const Tuple& t : r.tuples()) {
+    cat.Add({t[0], t[1], t[2], t[3],
+             Value(static_cast<int64_t>(*t[4].numeric() * 8) % 8)});
+  }
+  PrefPtr p = Prioritized(
+      Pos("bucket", {Value(0), Value(3)}),
+      Pareto({Highest("d0"), Highest("d1"), Highest("d2"), Highest("d3")}));
+  BmoOptions options;
+  options.algorithm = algo;
+  options.vectorize = vectorize;
+  for (auto _ : state) {
+    std::vector<size_t> rows = BmoIndices(cat, p, options);
+    benchmark::DoNotOptimize(rows);
+  }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
@@ -91,6 +126,41 @@ void BM_auto_anti(benchmark::State& state) {
 }
 BENCHMARK(BM_auto_anti)
     ->ArgsProduct({{1024, 4096, 16384}, {2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+// Vectorized score-table kernels vs the closure-based equivalents, up to
+// N=100k (the headline comparison; tiny N kept for the CI smoke).
+#define VECTOR_VS_CLOSURE(algo_name, algo)                                 \
+  void BM_##algo_name##_closure_anti(benchmark::State& state) {            \
+    RunSkyline(state, algo, Correlation::kAntiCorrelated, false);          \
+  }                                                                        \
+  BENCHMARK(BM_##algo_name##_closure_anti)                                 \
+      ->ArgsProduct({{1024, 16384, 100000}, {2, 4}})                       \
+      ->Unit(benchmark::kMillisecond);                                     \
+  void BM_##algo_name##_vector_anti(benchmark::State& state) {             \
+    RunSkyline(state, algo, Correlation::kAntiCorrelated, true);           \
+  }                                                                        \
+  BENCHMARK(BM_##algo_name##_vector_anti)                                  \
+      ->ArgsProduct({{1024, 16384, 100000}, {2, 4}})                       \
+      ->Unit(benchmark::kMillisecond)
+
+VECTOR_VS_CLOSURE(bnl, BmoAlgorithm::kBlockNestedLoop);
+VECTOR_VS_CLOSURE(sfs, BmoAlgorithm::kSortFilter);
+VECTOR_VS_CLOSURE(dc, BmoAlgorithm::kDivideConquer);
+
+// Level-term workload: closure evaluation has no sort keys (BNL only),
+// the score table compiles levels and presorts.
+void BM_level_closure(benchmark::State& state) {
+  RunLevelTerm(state, BmoAlgorithm::kAuto, false);
+}
+BENCHMARK(BM_level_closure)
+    ->Arg(1024)->Arg(16384)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+void BM_level_vector(benchmark::State& state) {
+  RunLevelTerm(state, BmoAlgorithm::kAuto, true);
+}
+BENCHMARK(BM_level_vector)
+    ->Arg(1024)->Arg(16384)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

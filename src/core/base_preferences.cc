@@ -58,6 +58,10 @@ bool PosPreference::LessValue(const Value& x, const Value& y) const {
   return !pos_.count(x) && pos_.count(y) > 0;
 }
 
+std::optional<size_t> PosPreference::IntrinsicLevelOf(const Value& v) const {
+  return pos_.count(v) ? 1 : 2;
+}
+
 std::string PosPreference::ToString() const {
   return "POS(" + attribute() + ", " + SetToString(pos_) + ")";
 }
@@ -77,6 +81,10 @@ NegPreference::NegPreference(std::string attribute,
 bool NegPreference::LessValue(const Value& x, const Value& y) const {
   // x <P y iff y not in NEG-set and x in NEG-set (Def. 6b).
   return neg_.count(x) > 0 && !neg_.count(y);
+}
+
+std::optional<size_t> NegPreference::IntrinsicLevelOf(const Value& v) const {
+  return neg_.count(v) ? 2 : 1;
 }
 
 std::string NegPreference::ToString() const {
@@ -107,6 +115,13 @@ bool PosNegPreference::LessValue(const Value& x, const Value& y) const {
   // (x neutral and y in POS)                      (Def. 6c).
   if (neg_.count(x) && !neg_.count(y)) return true;
   return !neg_.count(x) && !pos_.count(x) && pos_.count(y) > 0;
+}
+
+std::optional<size_t> PosNegPreference::IntrinsicLevelOf(
+    const Value& v) const {
+  if (pos_.count(v)) return 1;
+  if (neg_.count(v)) return 3;
+  return 2;
 }
 
 std::string PosNegPreference::ToString() const {
@@ -140,6 +155,13 @@ bool PosPosPreference::LessValue(const Value& x, const Value& y) const {
   if (pos2_.count(x) && pos1_.count(y)) return true;
   if (x_other && pos2_.count(y)) return true;
   return x_other && pos1_.count(y) > 0;
+}
+
+std::optional<size_t> PosPosPreference::IntrinsicLevelOf(
+    const Value& v) const {
+  if (pos1_.count(v)) return 1;
+  if (pos2_.count(v)) return 2;
+  return 3;
 }
 
 std::string PosPosPreference::ToString() const {
@@ -195,6 +217,37 @@ ExplicitPreference::ExplicitPreference(std::string attribute,
                                   p.first.ToString());
     }
   }
+  // Levels: longest chain above a value (repeated relaxation over the
+  // closure; graphs are small by design), plus whether the graph order
+  // equals the level order (a weak order).
+  for (const Value& v : range_) level_[v] = 1;
+  bool level_changed = true;
+  size_t guard = 0;
+  while (level_changed && guard++ <= range_.size() + 1) {
+    level_changed = false;
+    for (const auto& p : closure_) {
+      if (level_[p.first] < level_[p.second] + 1) {
+        level_[p.first] = level_[p.second] + 1;
+        level_changed = true;
+      }
+    }
+  }
+  for (const auto& [v, lvl] : level_) deepest_ = std::max(deepest_, lvl);
+  for (const Value& x : range_) {
+    for (const Value& y : range_) {
+      if (x == y) continue;
+      if ((closure_.count({x, y}) > 0) != (level_.at(x) > level_.at(y))) {
+        level_order_ = false;
+        break;
+      }
+    }
+    if (!level_order_) break;
+  }
+}
+
+size_t ExplicitPreference::LevelOf(const Value& v) const {
+  auto it = level_.find(v);
+  return it == level_.end() ? deepest_ + 1 : it->second;
 }
 
 bool ExplicitPreference::LessValue(const Value& x, const Value& y) const {

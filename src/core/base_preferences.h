@@ -25,6 +25,7 @@ class PosPreference : public BasePreference {
   PosPreference(std::string attribute, std::vector<Value> pos_values);
   const ValueSet& pos_set() const { return pos_; }
   bool LessValue(const Value& x, const Value& y) const override;
+  std::optional<size_t> IntrinsicLevelOf(const Value& v) const override;
   std::string ToString() const override;
 
  protected:
@@ -41,6 +42,7 @@ class NegPreference : public BasePreference {
   NegPreference(std::string attribute, std::vector<Value> neg_values);
   const ValueSet& neg_set() const { return neg_; }
   bool LessValue(const Value& x, const Value& y) const override;
+  std::optional<size_t> IntrinsicLevelOf(const Value& v) const override;
   std::string ToString() const override;
 
  protected:
@@ -60,6 +62,7 @@ class PosNegPreference : public BasePreference {
   const ValueSet& pos_set() const { return pos_; }
   const ValueSet& neg_set() const { return neg_; }
   bool LessValue(const Value& x, const Value& y) const override;
+  std::optional<size_t> IntrinsicLevelOf(const Value& v) const override;
   std::string ToString() const override;
 
  protected:
@@ -79,6 +82,7 @@ class PosPosPreference : public BasePreference {
   const ValueSet& pos1_set() const { return pos1_; }
   const ValueSet& pos2_set() const { return pos2_; }
   bool LessValue(const Value& x, const Value& y) const override;
+  std::optional<size_t> IntrinsicLevelOf(const Value& v) const override;
   std::string ToString() const override;
 
  protected:
@@ -105,6 +109,14 @@ class ExplicitPreference : public BasePreference {
   const std::vector<ExplicitEdge>& edges() const { return edges_; }
   /// range(<E): all values mentioned in the graph (Def. 4).
   const ValueSet& graph_values() const { return range_; }
+  /// Intrinsic level: longest chain above a value within the graph;
+  /// values outside the graph sit one level below the deepest value.
+  /// Precomputed at construction (the LEVEL quality function of §6.1).
+  size_t LevelOf(const Value& v) const;
+  /// True iff the graph order coincides with its level order, i.e. the
+  /// graph is a weak order (the score-table compiler's dict-encoding
+  /// precondition). Precomputed at construction.
+  bool IsLevelOrder() const { return level_order_; }
   bool LessValue(const Value& x, const Value& y) const override;
   std::string ToString() const override;
 
@@ -121,6 +133,9 @@ class ExplicitPreference : public BasePreference {
     }
   };
   std::unordered_set<std::pair<Value, Value>, PairHash> closure_;
+  std::unordered_map<Value, size_t, ValueHash> level_;
+  size_t deepest_ = 0;
+  bool level_order_ = true;
 };
 
 /// POS/NEG-GRAPHS(A, POS-graph; NEG-graph): the §3.4 super-constructor of
@@ -185,6 +200,9 @@ class LayeredPreference : public BasePreference {
   /// 1-based level of a value (lower is better).
   size_t LevelOf(const Value& v) const;
   bool LessValue(const Value& x, const Value& y) const override;
+  std::optional<size_t> IntrinsicLevelOf(const Value& v) const override {
+    return LevelOf(v);
+  }
   std::string ToString() const override;
 
  protected:

@@ -143,6 +143,19 @@ class BasePreference : public Preference {
   /// Value-wise strict order: x <P y on dom(A).
   virtual bool LessValue(const Value& x, const Value& y) const = 0;
 
+  /// Intrinsic 1-based level of a value when the order is a layered weak
+  /// order with LessValue(x, y) <=> level(x) > level(y) (lower level =
+  /// better; Def. 6 semantics, the LEVEL quality function of §6.1).
+  /// Implementations must either level *every* value or return nullopt
+  /// unconditionally — callers probe with an arbitrary value to decide
+  /// whether level semantics exist. Subclasses introduced outside core/
+  /// (e.g. Preference SQL's condition-layered ELSE chains) override this
+  /// instead of being downcast by kind tag.
+  virtual std::optional<size_t> IntrinsicLevelOf(const Value& v) const {
+    (void)v;
+    return std::nullopt;
+  }
+
   LessFn Bind(const Schema& schema) const override;
 
  protected:

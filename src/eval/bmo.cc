@@ -1,6 +1,7 @@
 #include "eval/bmo.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <unordered_map>
 
@@ -8,6 +9,7 @@
 #include "eval/bmo_internal.h"
 #include "eval/decomposition.h"
 #include "exec/parallel_bmo.h"
+#include "exec/score_table.h"
 #include "exec/thread_pool.h"
 
 namespace prefdb {
@@ -25,14 +27,16 @@ const char* BmoAlgorithmName(BmoAlgorithm algo) {
   return "?";
 }
 
-ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p) {
+ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p,
+                                     const std::vector<size_t>* rows) {
   ProjectionIndex out;
   std::vector<size_t> cols = r.ResolveColumns(p.attributes());
   out.proj_schema = r.schema().Project(p.attributes());
-  out.row_to_value.reserve(r.size());
+  const size_t n = rows ? rows->size() : r.size();
+  out.row_to_value.reserve(n);
   std::unordered_map<Tuple, size_t, TupleHash> ids;
-  for (const Tuple& t : r.tuples()) {
-    Tuple proj = t.Project(cols);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple proj = r.at(rows ? (*rows)[i] : i).Project(cols);
     auto [it, inserted] = ids.emplace(std::move(proj), out.values.size());
     if (inserted) out.values.push_back(it->first);
     out.row_to_value.push_back(it->second);
@@ -92,11 +96,25 @@ std::vector<bool> MaximaSortFilterRange(const Tuple* values, size_t m,
   std::vector<std::vector<double>> key_vals(m);
   for (size_t i = 0; i < m; ++i) {
     key_vals[i].reserve(keys.size());
-    for (const auto& k : keys) key_vals[i].push_back(k(values[i]));
+    for (const auto& k : keys) {
+      double v = k(values[i]);
+      if (!std::isfinite(v)) {
+        // Non-finite keys void the topological guarantee: NaN makes the
+        // sort comparator inconsistent (UB), and +/-inf absorbs Pareto
+        // key *sums* — the sum ties although a component is strictly
+        // better, so a later key can sort a dominator behind its
+        // dominatee (e.g. LOWEST over non-numeric values scores -inf).
+        // The one-sided window pass is only sound under strict key
+        // compatibility; degrade this block to the BNL window.
+        return MaximaBnlRange(values, m, less);
+      }
+      key_vals[i].push_back(v);
+    }
   }
   std::vector<size_t> order(m);
   std::iota(order.begin(), order.end(), 0);
-  // Descending lexicographic: dominators come strictly before dominatees.
+  // Descending lexicographic: with all-finite keys, dominators come
+  // strictly before dominatees (BindSortKeys' compatibility contract).
   std::sort(order.begin(), order.end(), [&key_vals](size_t a, size_t b) {
     return key_vals[b] < key_vals[a];
   });
@@ -136,41 +154,54 @@ std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
 
 namespace {
 
+// Flat row-major matrix view for the KLP75 recursion: row i is the `d`
+// doubles at data + i * stride (zero-copy over score-table storage).
+struct ScoreMatrix {
+  const double* data;
+  size_t d;
+  size_t stride;
+  const double* row(size_t i) const { return data + i * stride; }
+};
+
 // KLP75 base case: 2-d maxima by a plane sweep.
-void Maxima2D(const std::vector<std::vector<double>>& scores,
-              std::vector<size_t>& idx, std::vector<bool>& maximal) {
+void Maxima2D(const ScoreMatrix& scores, std::vector<size_t>& idx,
+              std::vector<bool>& maximal) {
   std::sort(idx.begin(), idx.end(), [&scores](size_t a, size_t b) {
-    if (scores[a][0] != scores[b][0]) return scores[a][0] > scores[b][0];
-    return scores[a][1] > scores[b][1];
+    if (scores.row(a)[0] != scores.row(b)[0]) {
+      return scores.row(a)[0] > scores.row(b)[0];
+    }
+    return scores.row(a)[1] > scores.row(b)[1];
   });
   double best1 = -std::numeric_limits<double>::infinity();
   for (size_t i : idx) {
-    if (scores[i][1] > best1) {
+    if (scores.row(i)[1] > best1) {
       maximal[i] = true;
-      best1 = scores[i][1];
+      best1 = scores.row(i)[1];
     }
   }
 }
 
-bool DominatesFrom(const std::vector<double>& a, const std::vector<double>& b,
+bool DominatesFrom(const ScoreMatrix& scores, size_t a, size_t b,
                    size_t from) {
   // a dominates b in dims [from, d): a >= b everywhere, a > b somewhere.
+  const double* ra = scores.row(a);
+  const double* rb = scores.row(b);
   bool strict = false;
-  for (size_t k = from; k < a.size(); ++k) {
-    if (a[k] < b[k]) return false;
-    if (a[k] > b[k]) strict = true;
+  for (size_t k = from; k < scores.d; ++k) {
+    if (ra[k] < rb[k]) return false;
+    if (ra[k] > rb[k]) strict = true;
   }
   return strict;
 }
 
-void MaximaDcRec(const std::vector<std::vector<double>>& scores,
-                 std::vector<size_t> idx, std::vector<bool>& maximal) {
-  const size_t d = scores.empty() ? 0 : scores[0].size();
+void MaximaDcRec(const ScoreMatrix& scores, std::vector<size_t> idx,
+                 std::vector<bool>& maximal) {
+  const size_t d = scores.d;
   if (idx.size() <= 8) {
     for (size_t i : idx) {
       bool dominated = false;
       for (size_t j : idx) {
-        if (i != j && DominatesFrom(scores[j], scores[i], 0)) {
+        if (i != j && DominatesFrom(scores, j, i, 0)) {
           dominated = true;
           break;
         }
@@ -187,12 +218,12 @@ void MaximaDcRec(const std::vector<std::vector<double>>& scores,
   std::vector<size_t> sorted = idx;
   std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
                    sorted.end(), [&scores](size_t a, size_t b) {
-                     return scores[a][0] > scores[b][0];
+                     return scores.row(a)[0] > scores.row(b)[0];
                    });
-  double median = scores[sorted[sorted.size() / 2]][0];
+  double median = scores.row(sorted[sorted.size() / 2])[0];
   std::vector<size_t> upper, lower;
   for (size_t i : idx) {
-    (scores[i][0] > median ? upper : lower).push_back(i);
+    (scores.row(i)[0] > median ? upper : lower).push_back(i);
   }
   if (upper.empty() || lower.empty()) {
     // Degenerate split (many equal dim-0 values): dominance within the
@@ -201,7 +232,7 @@ void MaximaDcRec(const std::vector<std::vector<double>>& scores,
     for (size_t i : idx) {
       bool dominated = false;
       for (size_t j : idx) {
-        if (i != j && DominatesFrom(scores[j], scores[i], 0)) {
+        if (i != j && DominatesFrom(scores, j, i, 0)) {
           dominated = true;
           break;
         }
@@ -229,7 +260,7 @@ void MaximaDcRec(const std::vector<std::vector<double>>& scores,
     for (size_t j : upper_maxima) {
       bool geq = true;
       for (size_t k = 1; k < d; ++k) {
-        if (scores[j][k] < scores[i][k]) {
+        if (scores.row(j)[k] < scores.row(i)[k]) {
           geq = false;
           break;
         }
@@ -245,23 +276,34 @@ void MaximaDcRec(const std::vector<std::vector<double>>& scores,
 
 }  // namespace
 
-std::vector<bool> MaximaDivideConquer(
-    const std::vector<std::vector<double>>& scores) {
-  std::vector<bool> maximal(scores.size(), false);
-  std::vector<size_t> idx(scores.size());
-  std::iota(idx.begin(), idx.end(), 0);
-  if (scores.empty()) return maximal;
-  if (scores[0].size() < 2) {
+std::vector<bool> MaximaDivideConquerFlat(const double* scores, size_t n,
+                                          size_t d, size_t stride) {
+  std::vector<bool> maximal(n, false);
+  if (n == 0) return maximal;
+  ScoreMatrix m{scores, d, stride};
+  if (d < 2) {
     // 1-d: maxima are the rows attaining the maximum score.
     double best = -std::numeric_limits<double>::infinity();
-    for (const auto& s : scores) best = std::max(best, s[0]);
-    for (size_t i = 0; i < scores.size(); ++i) {
-      maximal[i] = scores[i][0] == best;
-    }
+    for (size_t i = 0; i < n; ++i) best = std::max(best, m.row(i)[0]);
+    for (size_t i = 0; i < n; ++i) maximal[i] = m.row(i)[0] == best;
     return maximal;
   }
-  MaximaDcRec(scores, idx, maximal);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  MaximaDcRec(m, std::move(idx), maximal);
   return maximal;
+}
+
+std::vector<bool> MaximaDivideConquer(
+    const std::vector<std::vector<double>>& scores) {
+  if (scores.empty()) return {};
+  const size_t d = scores[0].size();
+  if (d == 0) return std::vector<bool>(scores.size(), false);
+  std::vector<double> flat(scores.size() * d);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    std::copy(scores[i].begin(), scores[i].end(), flat.begin() + i * d);
+  }
+  return MaximaDivideConquerFlat(flat.data(), scores.size(), d, d);
 }
 
 bool CanUseDivideConquer(const PrefPtr& p, std::vector<PrefPtr>* leaves) {
@@ -303,7 +345,16 @@ BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p,
 std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
                                      const PrefPtr& p,
                                      const Schema& proj_schema,
-                                     BmoAlgorithm algo) {
+                                     BmoAlgorithm algo, bool vectorize) {
+  if (vectorize) {
+    if (auto table = ScoreTable::Compile(p, proj_schema, values, count)) {
+      // kAuto resolves with the table's data-aware rules (D&C when score
+      // dominance is exact, SFS whenever keys compile — a superset of the
+      // closure path's eligibility); ineligible requests degrade to BNL
+      // inside MaximaRange.
+      return table->MaximaRange(algo, 0, count);
+    }
+  }
   if (algo == BmoAlgorithm::kAuto) {
     algo = ResolveBlockAlgorithm(p, proj_schema);
   }
@@ -361,10 +412,11 @@ std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
   if (algo == BmoAlgorithm::kParallel) {
     ParallelBmoConfig config;
     config.num_threads = options.num_threads;
+    config.vectorize = options.vectorize;
     maximal = MaximaParallel(proj.values, p, proj.proj_schema, config);
   } else {
-    maximal =
-        internal::ComputeMaximaBlock(proj.values, p, proj.proj_schema, algo);
+    maximal = internal::ComputeMaximaBlock(proj.values, p, proj.proj_schema,
+                                           algo, options.vectorize);
   }
   std::vector<size_t> rows;
   for (size_t i = 0; i < r.size(); ++i) {
@@ -377,6 +429,23 @@ Relation Bmo(const Relation& r, const PrefPtr& p, const BmoOptions& options) {
   return r.SelectRows(BmoIndices(r, p, options));
 }
 
+namespace {
+
+// σ[P] row indices for one group, projecting the group's rows in place
+// (no SelectRows deep copy). Appends qualifying *global* row indices.
+void BmoGroupMaxima(const Relation& r, const std::vector<size_t>& rows,
+                    const PrefPtr& p, BmoAlgorithm algo, bool vectorize,
+                    std::vector<size_t>* out) {
+  ProjectionIndex proj = BuildProjectionIndex(r, *p, &rows);
+  std::vector<bool> maximal = internal::ComputeMaximaBlock(
+      proj.values, p, proj.proj_schema, algo, vectorize);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (maximal[proj.row_to_value[i]]) out->push_back(rows[i]);
+  }
+}
+
+}  // namespace
+
 std::vector<size_t> BmoGroupByIndices(
     const Relation& r, const PrefPtr& p,
     const std::vector<std::string>& group_attrs, const BmoOptions& options) {
@@ -384,10 +453,39 @@ std::vector<size_t> BmoGroupByIndices(
   std::vector<size_t> group_cols = r.ResolveColumns(group_attrs);
   auto groups = r.GroupIndicesBy(group_cols);
   std::vector<size_t> out;
-  for (const auto& [key, rows] : groups) {
-    Relation group = r.SelectRows(rows);
-    for (size_t local : BmoIndices(group, p, options)) {
-      out.push_back(rows[local]);
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t threads = ThreadPool::ResolveThreads(options.num_threads);
+  // The decomposition evaluator is relation-level (it cascades through
+  // BmoDecompositionIndices), so it keeps the materializing path; every
+  // block algorithm runs straight off the groups' row lists. Per-group
+  // evaluation never nests kParallel: groups already saturate the pool.
+  if (options.algorithm != BmoAlgorithm::kDecomposition && groups.size() > 1 &&
+      threads > 1 && !pool.OnWorkerThread()) {
+    std::vector<const std::vector<size_t>*> group_rows;
+    group_rows.reserve(groups.size());
+    for (const auto& [key, rows] : groups) group_rows.push_back(&rows);
+    BmoAlgorithm algo = options.algorithm == BmoAlgorithm::kParallel
+                            ? BmoAlgorithm::kAuto
+                            : options.algorithm;
+    std::vector<std::vector<size_t>> results(group_rows.size());
+    pool.ParallelForChunks(
+        group_rows.size(), threads, 1,
+        [&](size_t, size_t begin, size_t end) {
+          for (size_t g = begin; g < end; ++g) {
+            BmoGroupMaxima(r, *group_rows[g], p, algo, options.vectorize,
+                           &results[g]);
+          }
+        });
+    for (const auto& rows : results) {
+      out.insert(out.end(), rows.begin(), rows.end());
+    }
+  } else {
+    for (const auto& [key, rows] : groups) {
+      Relation group = r.SelectRows(rows);
+      for (size_t local : BmoIndices(group, p, options)) {
+        out.push_back(rows[local]);
+      }
     }
   }
   std::sort(out.begin(), out.end());

@@ -54,6 +54,11 @@ struct BmoOptions {
   /// kAuto escalates to kParallel at/above this many distinct values,
   /// provided more than one worker is available.
   size_t parallel_threshold = 32768;
+  /// Compile the term into the vectorized score-table kernels
+  /// (exec/score_table.h) when possible; terms that do not compile fall
+  /// back to the closure path regardless. Off = always closures (the
+  /// baseline for equivalence tests and benchmarks).
+  bool vectorize = true;
 };
 
 /// Evaluates σ[P](R); preserves input row order and duplicates (a tuple
@@ -87,14 +92,17 @@ bool IsPerfectMatch(const Tuple& t, const Relation& r, const PrefPtr& p,
 
 // --- Internals shared by the algorithm implementations and benchmarks. ---
 
-/// Distinct projections of R onto P's attributes plus row mapping.
+/// Distinct projections of R onto P's attributes plus row mapping. When
+/// `rows` is given, only that row subset is indexed (row_to_value then
+/// maps positions within `rows`), used by per-group evaluation.
 struct ProjectionIndex {
   Schema proj_schema;                 // schema of the projected columns
   std::vector<Tuple> values;          // distinct projections ("R[A]")
   std::vector<size_t> row_to_value;   // row index -> values index
 };
 
-ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p);
+ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p,
+                                     const std::vector<size_t>* rows = nullptr);
 
 /// Maximal-value flags over a distinct-value set under a bound order.
 std::vector<bool> MaximaNaive(const std::vector<Tuple>& values,
@@ -109,6 +117,12 @@ std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
 /// coordinatewise score dominance (see CanUseDivideConquer).
 std::vector<bool> MaximaDivideConquer(
     const std::vector<std::vector<double>>& scores);
+
+/// Same, over a flat row-major matrix: row i is the `d` doubles at
+/// `scores + i * stride`. The zero-copy entry point for the vectorized
+/// score-table kernels (exec/score_table.h).
+std::vector<bool> MaximaDivideConquerFlat(const double* scores, size_t n,
+                                          size_t d, size_t stride);
 
 /// True when `p` is a Pareto tree over LOWEST/HIGHEST leaves with pairwise
 /// distinct attributes — the fragment where score-vector dominance

@@ -21,20 +21,22 @@ BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p, const Schema& proj_schema);
 /// Maximal-value flags for the `count` values at `values`, under p bound
 /// against proj_schema. Takes a raw range so partition-parallel callers
 /// can evaluate contiguous slices without copying tuples. kAuto is
-/// resolved via ResolveBlockAlgorithm. kParallel and kDecomposition are
-/// relation-level strategies, not block algorithms; they fall back to BNL
-/// here.
+/// resolved via ResolveBlockAlgorithm (or the score table's data-aware
+/// resolution when the term compiles and `vectorize` is set). kParallel
+/// and kDecomposition are relation-level strategies, not block
+/// algorithms; they fall back to BNL here.
 std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
                                      const PrefPtr& p,
                                      const Schema& proj_schema,
-                                     BmoAlgorithm algo);
+                                     BmoAlgorithm algo, bool vectorize = true);
 
 inline std::vector<bool> ComputeMaximaBlock(const std::vector<Tuple>& values,
                                             const PrefPtr& p,
                                             const Schema& proj_schema,
-                                            BmoAlgorithm algo) {
+                                            BmoAlgorithm algo,
+                                            bool vectorize = true) {
   return ComputeMaximaBlock(values.data(), values.size(), p, proj_schema,
-                            algo);
+                            algo, vectorize);
 }
 
 }  // namespace prefdb::internal

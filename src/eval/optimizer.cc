@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/complex_preferences.h"
+#include "exec/score_table.h"
 #include "exec/thread_pool.h"
 
 namespace prefdb {
@@ -64,6 +65,14 @@ AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
     return {BmoAlgorithm::kSortFilter,
             "topologically compatible sort keys exist: presort + one-sided "
             "window (SFS)"};
+  }
+  // The score-table compiler widens SFS eligibility beyond closure sort
+  // keys: level-based (weak-order) leaves always yield a compiled key, so
+  // layered/pos-neg terms and their accumulations presort too.
+  if (options.vectorize && ScoreTable::HasStaticSortKeys(p)) {
+    return {BmoAlgorithm::kSortFilter,
+            "term compiles to score-table kernels with sort keys: "
+            "vectorized presort + one-sided window (SFS)"};
   }
   return {BmoAlgorithm::kBlockNestedLoop,
           "no exploitable structure: generic BNL window scan"};

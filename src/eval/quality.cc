@@ -1,71 +1,20 @@
 #include "eval/quality.h"
 
 #include <stdexcept>
-#include <unordered_map>
 
 namespace prefdb {
 
-namespace {
-
-// Levels of an EXPLICIT preference: longest chain above a value within the
-// graph; values outside the graph sit one level below the deepest value.
-size_t ExplicitLevel(const ExplicitPreference& p, const Value& v) {
-  const ValueSet& range = p.graph_values();
-  std::vector<Value> nodes(range.begin(), range.end());
-  std::unordered_map<Value, size_t, ValueHash> level;
-  size_t deepest = 0;
-  // Longest-path DP by repeated relaxation (graphs are tiny).
-  bool changed = true;
-  for (const Value& n : nodes) level[n] = 1;
-  size_t guard = 0;
-  while (changed && guard++ <= nodes.size() + 1) {
-    changed = false;
-    for (const Value& worse : nodes) {
-      for (const Value& better : nodes) {
-        if (p.LessValue(worse, better) && level[worse] < level[better] + 1) {
-          level[worse] = level[better] + 1;
-          changed = true;
-        }
-      }
-    }
-  }
-  for (const Value& n : nodes) deepest = std::max(deepest, level[n]);
-  auto it = level.find(v);
-  if (it != level.end()) return it->second;
-  return deepest + 1;
-}
-
-}  // namespace
-
 size_t IntrinsicLevel(const Preference& p, const Value& v) {
-  switch (p.kind()) {
-    case PreferenceKind::kPos: {
-      const auto& pos = static_cast<const PosPreference&>(p);
-      return pos.pos_set().count(v) ? 1 : 2;
-    }
-    case PreferenceKind::kNeg: {
-      const auto& neg = static_cast<const NegPreference&>(p);
-      return neg.neg_set().count(v) ? 2 : 1;
-    }
-    case PreferenceKind::kPosNeg: {
-      const auto& pn = static_cast<const PosNegPreference&>(p);
-      if (pn.pos_set().count(v)) return 1;
-      if (pn.neg_set().count(v)) return 3;
-      return 2;
-    }
-    case PreferenceKind::kPosPos: {
-      const auto& pp = static_cast<const PosPosPreference&>(p);
-      if (pp.pos1_set().count(v)) return 1;
-      if (pp.pos2_set().count(v)) return 2;
-      return 3;
-    }
-    case PreferenceKind::kLayered:
-      return static_cast<const LayeredPreference&>(p).LevelOf(v);
-    case PreferenceKind::kExplicit:
-      return ExplicitLevel(static_cast<const ExplicitPreference&>(p), v);
-    default:
-      throw std::invalid_argument("LEVEL is undefined for " + p.ToString());
+  // dynamic_cast, not kind-tag downcasts: subclasses outside core/ may
+  // share a kind (Preference SQL's condition-layered ELSE chains reuse
+  // kLayered) and level themselves through the BasePreference virtual.
+  if (const auto* e = dynamic_cast<const ExplicitPreference*>(&p)) {
+    return e->LevelOf(v);
   }
+  if (const auto* base = dynamic_cast<const BasePreference*>(&p)) {
+    if (auto level = base->IntrinsicLevelOf(v)) return *level;
+  }
+  throw std::invalid_argument("LEVEL is undefined for " + p.ToString());
 }
 
 double QualityDistance(const Preference& p, const Value& v) {

@@ -1,8 +1,10 @@
 #include "exec/parallel_bmo.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "eval/bmo_internal.h"
+#include "exec/score_table.h"
 #include "exec/thread_pool.h"
 
 namespace prefdb {
@@ -50,9 +52,17 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   std::vector<bool> maximal(m, false);
   if (m == 0) return maximal;
 
+  // Compile once; every partition and merge round shares the immutable
+  // table (reads only, no synchronization needed).
+  std::optional<ScoreTable> table;
+  if (config.vectorize) {
+    table = ScoreTable::Compile(p, proj_schema, values.data(), m);
+  }
+
   BmoAlgorithm algo = config.partition_algorithm;
   if (algo == BmoAlgorithm::kAuto) {
-    algo = internal::ResolveBlockAlgorithm(p, proj_schema);
+    algo = table ? table->ResolveAlgorithm()
+                 : internal::ResolveBlockAlgorithm(p, proj_schema);
   }
 
   ThreadPool& pool = ThreadPool::Shared();
@@ -62,7 +72,9 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   if (parts <= 1 || pool.OnWorkerThread()) {
     // Too small to split, or already on a pool worker (where blocking on
     // further pool tasks could deadlock): evaluate sequentially.
-    return internal::ComputeMaximaBlock(values, p, proj_schema, algo);
+    if (table) return table->MaximaRange(algo, 0, m);
+    return internal::ComputeMaximaBlock(values, p, proj_schema, algo,
+                                        /*vectorize=*/false);
   }
 
   // Phase 1: local maxima per contiguous partition, in parallel. Each
@@ -70,10 +82,13 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   std::vector<std::vector<size_t>> local(parts);
   pool.ParallelForChunks(
       m, parts, min_part,
-      [&values, &p, &proj_schema, &local, algo](size_t c, size_t begin,
-                                                size_t end) {
-        std::vector<bool> flags = internal::ComputeMaximaBlock(
-            values.data() + begin, end - begin, p, proj_schema, algo);
+      [&values, &p, &proj_schema, &local, &table, algo](size_t c, size_t begin,
+                                                        size_t end) {
+        std::vector<bool> flags =
+            table ? table->MaximaRange(algo, begin, end)
+                  : internal::ComputeMaximaBlock(values.data() + begin,
+                                                 end - begin, p, proj_schema,
+                                                 algo, /*vectorize=*/false);
         for (size_t i = begin; i < end; ++i) {
           if (flags[i - begin]) local[c].push_back(i);
         }
@@ -92,7 +107,7 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
     std::vector<std::vector<size_t>> next(pairs + lists.size() % 2);
     pool.ParallelForChunks(
         pairs, pairs, 1,
-        [&values, &p, &proj_schema, &lists, &next, algo](
+        [&values, &p, &proj_schema, &lists, &next, &table, algo](
             size_t, size_t begin, size_t end) {
           for (size_t k = begin; k < end; ++k) {
             const std::vector<size_t>& a = lists[2 * k];
@@ -103,14 +118,21 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
               cand.reserve(a.size() + b.size());
               cand.insert(cand.end(), a.begin(), a.end());
               cand.insert(cand.end(), b.begin(), b.end());
-              std::vector<Tuple> cand_values;
-              cand_values.reserve(cand.size());
-              for (size_t i : cand) cand_values.push_back(values[i]);
-              std::vector<bool> flags = internal::ComputeMaximaBlock(
-                  cand_values, p, proj_schema, algo);
+              std::vector<bool> flags;
+              if (table) {
+                flags = table->MaximaSubset(algo, cand);
+              } else {
+                std::vector<Tuple> cand_values;
+                cand_values.reserve(cand.size());
+                for (size_t i : cand) cand_values.push_back(values[i]);
+                flags = internal::ComputeMaximaBlock(
+                    cand_values, p, proj_schema, algo, /*vectorize=*/false);
+              }
               for (size_t i = 0; i < cand.size(); ++i) {
                 if (flags[i]) next[k].push_back(cand[i]);
               }
+            } else if (table) {
+              next[k] = table->MergeAntichains(a, b);
             } else {
               next[k] =
                   MergeAntichains(values, p->Bind(proj_schema), a, b);

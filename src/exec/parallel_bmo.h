@@ -31,6 +31,11 @@ struct ParallelBmoConfig {
   /// with the sequential heuristics (D&C for skyline fragments, SFS when
   /// sort keys exist, BNL otherwise).
   BmoAlgorithm partition_algorithm = BmoAlgorithm::kAuto;
+  /// Compile the term once into a shared immutable score table
+  /// (exec/score_table.h); all partitions and merge rounds then run the
+  /// vectorized kernels over it. Non-compilable terms use the closure
+  /// path regardless.
+  bool vectorize = true;
 };
 
 /// Maximal-value flags over a distinct-value set, partition-parallel.

@@ -1,0 +1,785 @@
+#include "exec/score_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "eval/quality.h"
+
+namespace prefdb {
+
+namespace {
+
+bool IsScoredLeafKind(PreferenceKind k) {
+  switch (k) {
+    case PreferenceKind::kAround:
+    case PreferenceKind::kBetween:
+    case PreferenceKind::kLowest:
+    case PreferenceKind::kHighest:
+    case PreferenceKind::kScore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLevelLeafKind(PreferenceKind k) {
+  switch (k) {
+    case PreferenceKind::kPos:
+    case PreferenceKind::kNeg:
+    case PreferenceKind::kPosNeg:
+    case PreferenceKind::kPosPos:
+    case PreferenceKind::kLayered:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Number of sort keys Preference::BindSortKeys would return, derived
+// statically; nullopt when no keys are derivable. rank(F) requires its
+// inputs to reduce to exactly one closure key (Def. 10 SCORE
+// compatibility), so this mirrors the closure rules, not the wider
+// score-table ones.
+std::optional<size_t> ClosureKeyCount(const PrefPtr& p) {
+  switch (p->kind()) {
+    case PreferenceKind::kAntiChain:
+      return 1;
+    case PreferenceKind::kDual:
+      return ClosureKeyCount(p->children()[0]);
+    case PreferenceKind::kRankF: {
+      for (const auto& in : p->children()) {
+        auto n = ClosureKeyCount(in);
+        if (!n || *n != 1) return std::nullopt;
+      }
+      return 1;
+    }
+    case PreferenceKind::kPareto: {
+      auto kids = p->children();
+      auto l = ClosureKeyCount(kids[0]);
+      auto r = ClosureKeyCount(kids[1]);
+      if (l && r && *l == 1 && *r == 1) return 1;
+      return std::nullopt;
+    }
+    case PreferenceKind::kPrioritized: {
+      auto kids = p->children();
+      auto l = ClosureKeyCount(kids[0]);
+      auto r = ClosureKeyCount(kids[1]);
+      if (l && r) return *l + *r;
+      return std::nullopt;
+    }
+    default:
+      return IsScoredLeafKind(p->kind()) ? std::optional<size_t>(1)
+                                         : std::nullopt;
+  }
+}
+
+// A leaf already stripped of DUAL wrappers. All class checks are
+// dynamic_casts, never kind-tag downcasts: subclasses defined outside
+// core/ may share a kind without the expected layout and must fall back
+// to the closure path (or, for level kinds, opt in via the
+// BasePreference::IntrinsicLevelOf contract).
+bool CompilableLeaf(const PrefPtr& p) {
+  if (IsScoredLeafKind(p->kind())) {
+    return dynamic_cast<const ScoredBasePreference*>(p.get()) != nullptr;
+  }
+  if (IsLevelLeafKind(p->kind())) {
+    // Probe the level contract (all-or-none per class).
+    const auto* base = dynamic_cast<const BasePreference*>(p.get());
+    return base && base->IntrinsicLevelOf(Value()).has_value();
+  }
+  switch (p->kind()) {
+    case PreferenceKind::kAntiChain:
+      return true;
+    case PreferenceKind::kExplicit: {
+      // EXPLICIT dict-encodes as a level column only when the graph order
+      // *is* its level order (precomputed at construction). Values
+      // outside the graph sit below the deepest level and are consistent
+      // automatically.
+      const auto* e = dynamic_cast<const ExplicitPreference*>(p.get());
+      return e && e->IsLevelOrder();
+    }
+    case PreferenceKind::kRankF: {
+      if (!dynamic_cast<const RankPreference*>(p.get())) return false;
+      for (const auto& in : p->children()) {
+        auto n = ClosureKeyCount(in);
+        if (!n || *n != 1) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool CompilableRec(const PrefPtr& p0, bool dual) {
+  PrefPtr p = p0;
+  while (p->kind() == PreferenceKind::kDual) {
+    dual = !dual;
+    p = p->children()[0];
+  }
+  if (p->kind() == PreferenceKind::kPareto ||
+      p->kind() == PreferenceKind::kPrioritized) {
+    if (dual) return false;  // DUAL of an accumulation: closure path
+    auto kids = p->children();
+    return CompilableRec(kids[0], false) && CompilableRec(kids[1], false);
+  }
+  return CompilableLeaf(p);
+}
+
+// Key count of the *compiled* table (every compilable leaf yields one key).
+std::optional<size_t> TableKeyCount(const PrefPtr& p0) {
+  PrefPtr p = p0;
+  while (p->kind() == PreferenceKind::kDual) p = p->children()[0];
+  switch (p->kind()) {
+    case PreferenceKind::kPareto: {
+      auto kids = p->children();
+      auto l = TableKeyCount(kids[0]);
+      auto r = TableKeyCount(kids[1]);
+      if (l && r && *l == 1 && *r == 1) return 1;
+      return std::nullopt;
+    }
+    case PreferenceKind::kPrioritized: {
+      auto kids = p->children();
+      auto l = TableKeyCount(kids[0]);
+      auto r = TableKeyCount(kids[1]);
+      if (l && r) return *l + *r;
+      return std::nullopt;
+    }
+    default:
+      return 1;
+  }
+}
+
+size_t ResolveColumnOrThrow(const Schema& schema, const std::string& name) {
+  auto idx = schema.IndexOf(name);
+  if (!idx) {
+    throw std::out_of_range("attribute '" + name + "' not found in schema " +
+                            schema.ToString());
+  }
+  return *idx;
+}
+
+}  // namespace
+
+bool ScoreTable::CompilableTerm(const PrefPtr& p) {
+  return CompilableRec(p, false);
+}
+
+bool ScoreTable::HasStaticSortKeys(const PrefPtr& p) {
+  return CompilableTerm(p) && TableKeyCount(p).has_value();
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+namespace {
+
+// Per-column materialization state, assembled row-major afterwards.
+struct ColumnData {
+  std::vector<double> scores;
+  std::vector<uint32_t> ids;
+  bool use_ids = false;
+};
+
+}  // namespace
+
+std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
+                                              const Schema& proj_schema,
+                                              const Tuple* values,
+                                              size_t count) {
+  if (!CompilableTerm(p)) return std::nullopt;
+
+  ScoreTable table;
+  table.rows_ = count;
+  std::vector<ColumnData> columns;
+  bool has_pareto = false;
+  bool has_prio = false;
+
+  // Detects score ties across distinct equality classes (and NaN scores,
+  // which compare unequal to themselves): such columns need the id test.
+  // Sort-based: one double sort beats per-row hashing by a wide margin.
+  auto finish_column = [&columns]() {
+    ColumnData& col = columns.back();
+    const size_t n = col.scores.size();
+    for (double s : col.scores) {
+      if (std::isnan(s)) {
+        col.use_ids = true;
+        return;  // also keeps NaN out of the sort comparator below
+      }
+    }
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&col](uint32_t a, uint32_t b) {
+                return col.scores[a] < col.scores[b];
+              });
+    for (size_t i = 1; i < n; ++i) {
+      if (col.scores[order[i - 1]] == col.scores[order[i]] &&
+          col.ids[order[i - 1]] != col.ids[order[i]]) {
+        col.use_ids = true;
+        return;
+      }
+    }
+  };
+
+  // Materializes a leaf: equality-class ids by sorting row indices under a
+  // total order whose ties coincide with value equality (Value::operator<
+  // resp. Tuple::operator<), scores computed once per run. O(m log m)
+  // cheap comparisons instead of per-row Value hashing.
+  auto build_leaf = [&](const std::function<bool(size_t, size_t)>& row_less,
+                        const std::function<bool(size_t, size_t)>& row_eq,
+                        const std::function<double(size_t)>& score_of_row) {
+    columns.emplace_back();
+    ColumnData& out = columns.back();
+    out.scores.resize(count);
+    out.ids.resize(count);
+    std::vector<uint32_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), row_less);
+    uint32_t next_id = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0 && row_eq(order[i - 1], order[i])) {
+        out.ids[order[i]] = out.ids[order[i - 1]];
+        out.scores[order[i]] = out.scores[order[i - 1]];
+      } else {
+        out.ids[order[i]] = next_id++;
+        out.scores[order[i]] = score_of_row(order[i]);
+      }
+    }
+    finish_column();
+    return static_cast<int>(columns.size() - 1);
+  };
+
+  // NaN data values break Value::operator<'s strict weak ordering (and
+  // are each their own equality class while tying against everything), so
+  // such columns take the hash-dict path instead of the sort path.
+  auto value_is_nan = [](const Value& v) {
+    return v.is_double() && std::isnan(v.as_double());
+  };
+
+  auto build_value_leaf =
+      [&](size_t col, const std::function<double(const Value&)>& score_of) {
+        bool has_nan_value = false;
+        bool all_numeric = true;
+        for (size_t r = 0; r < count; ++r) {
+          const Value& v = values[r][col];
+          if (value_is_nan(v)) {
+            has_nan_value = true;
+            break;
+          }
+          all_numeric = all_numeric && v.is_numeric();
+        }
+        if (all_numeric && !has_nan_value) {
+          // Numeric fast path: one widened-double gather, then the sort
+          // runs over raw doubles (numeric equality == value equality by
+          // the int/double widening rule of Value::operator==).
+          std::vector<double> nums(count);
+          for (size_t r = 0; r < count; ++r) {
+            nums[r] = *values[r][col].numeric();
+          }
+          return build_leaf(
+              [&nums](size_t a, size_t b) { return nums[a] < nums[b]; },
+              [&nums](size_t a, size_t b) { return nums[a] == nums[b]; },
+              [values, col, &score_of](size_t r) {
+                return score_of(values[r][col]);
+              });
+        }
+        if (has_nan_value) {
+          columns.emplace_back();
+          ColumnData& out = columns.back();
+          out.scores.resize(count);
+          out.ids.resize(count);
+          std::unordered_map<Value, uint32_t, ValueHash> dict;
+          std::vector<double> score_of_id;
+          for (size_t r = 0; r < count; ++r) {
+            const Value& v = values[r][col];
+            auto [it, inserted] =
+                dict.emplace(v, static_cast<uint32_t>(dict.size()));
+            if (inserted) score_of_id.push_back(score_of(v));
+            out.ids[r] = it->second;
+            out.scores[r] = score_of_id[it->second];
+          }
+          finish_column();
+          return static_cast<int>(columns.size() - 1);
+        }
+        return build_leaf(
+            [values, col](size_t a, size_t b) {
+              return values[a][col] < values[b][col];
+            },
+            [values, col](size_t a, size_t b) {
+              return values[a][col] == values[b][col];
+            },
+            [values, col, &score_of](size_t r) {
+              return score_of(values[r][col]);
+            });
+      };
+
+  // Multi-attribute leaves (anti-chains, rank(F)): equality classes are
+  // value combinations. Per-run score evaluation is sound because the
+  // equality set is the leaf's full attribute union, which is everything
+  // the score may read.
+  auto build_tuple_leaf =
+      [&](const std::vector<size_t>& cols,
+          const std::function<double(const Tuple&)>& score_of_row) {
+        bool has_nan_value = false;
+        for (size_t r = 0; r < count && !has_nan_value; ++r) {
+          for (size_t c : cols) {
+            if (value_is_nan(values[r][c])) {
+              has_nan_value = true;
+              break;
+            }
+          }
+        }
+        if (has_nan_value) {
+          columns.emplace_back();
+          ColumnData& out = columns.back();
+          out.scores.resize(count);
+          out.ids.resize(count);
+          std::unordered_map<Tuple, uint32_t, TupleHash> dict;
+          for (size_t r = 0; r < count; ++r) {
+            Tuple proj = values[r].Project(cols);
+            auto [it, inserted] = dict.emplace(
+                std::move(proj), static_cast<uint32_t>(dict.size()));
+            (void)inserted;
+            out.ids[r] = it->second;
+            out.scores[r] = score_of_row(values[r]);
+          }
+          finish_column();
+          return static_cast<int>(columns.size() - 1);
+        }
+        auto cmp_lt = [values, &cols](size_t a, size_t b) {
+          for (size_t c : cols) {
+            if (values[a][c] < values[b][c]) return true;
+            if (values[b][c] < values[a][c]) return false;
+          }
+          return false;
+        };
+        auto cmp_eq = [values, &cols](size_t a, size_t b) {
+          for (size_t c : cols) {
+            if (values[a][c] != values[b][c]) return false;
+          }
+          return true;
+        };
+        return build_leaf(cmp_lt, cmp_eq, [values, &score_of_row](size_t r) {
+          return score_of_row(values[r]);
+        });
+      };
+
+  // Recursive descriptor build; returns the node index.
+  std::function<int(const PrefPtr&, bool)> build = [&](const PrefPtr& p0,
+                                                       bool dual) -> int {
+    PrefPtr cur = p0;
+    while (cur->kind() == PreferenceKind::kDual) {
+      dual = !dual;
+      cur = cur->children()[0];
+    }
+    if (cur->kind() == PreferenceKind::kPareto ||
+        cur->kind() == PreferenceKind::kPrioritized) {
+      auto kids = cur->children();
+      int l = build(kids[0], false);
+      int r = build(kids[1], false);
+      Node node;
+      node.kind = cur->kind() == PreferenceKind::kPareto
+                      ? Node::Kind::kPareto
+                      : Node::Kind::kPrioritized;
+      (cur->kind() == PreferenceKind::kPareto ? has_pareto : has_prio) = true;
+      node.a = l;
+      node.b = r;
+      table.nodes_.push_back(node);
+      return static_cast<int>(table.nodes_.size() - 1);
+    }
+
+    const double sign = dual ? -1.0 : 1.0;
+    int col = -1;
+    if (IsScoredLeafKind(cur->kind())) {
+      size_t c = ResolveColumnOrThrow(proj_schema, cur->attributes()[0]);
+      const auto* scored = static_cast<const ScoredBasePreference*>(cur.get());
+      bool plain_numeric = true;  // all numeric, no NaN
+      for (size_t r = 0; r < count && plain_numeric; ++r) {
+        const Value& v = values[r][c];
+        plain_numeric = v.is_numeric() && !value_is_nan(v);
+      }
+      if (plain_numeric && (cur->kind() == PreferenceKind::kLowest ||
+                            cur->kind() == PreferenceKind::kHighest)) {
+        // LOWEST/HIGHEST scores are strictly monotone in the value, so on
+        // an all-numeric column score equality *is* value equality: no
+        // sort, no equality ids, column injective by construction.
+        columns.emplace_back();
+        ColumnData& out = columns.back();
+        out.scores.resize(count);
+        out.ids.assign(count, 0);
+        for (size_t r = 0; r < count; ++r) {
+          out.scores[r] = sign * scored->ScoreOf(values[r][c]);
+        }
+        col = static_cast<int>(columns.size() - 1);
+      } else {
+        col = build_value_leaf(c, [scored, sign](const Value& v) {
+          return sign * scored->ScoreOf(v);
+        });
+      }
+    } else if (IsLevelLeafKind(cur->kind()) ||
+               cur->kind() == PreferenceKind::kExplicit) {
+      size_t c = ResolveColumnOrThrow(proj_schema, cur->attributes()[0]);
+      const Preference* raw = cur.get();
+      // Lower level = better, so the uniform "higher score wins" view
+      // negates the level.
+      col = build_value_leaf(c, [raw, sign](const Value& v) {
+        return -sign * static_cast<double>(IntrinsicLevel(*raw, v));
+      });
+    } else if (cur->kind() == PreferenceKind::kAntiChain) {
+      std::vector<size_t> cols;
+      for (const auto& name : cur->attributes()) {
+        cols.push_back(ResolveColumnOrThrow(proj_schema, name));
+      }
+      col = build_tuple_leaf(cols, [](const Tuple&) { return 0.0; });
+    } else {  // kRankF (guaranteed by CompilableTerm)
+      std::vector<size_t> cols;
+      for (const auto& name : cur->attributes()) {
+        cols.push_back(ResolveColumnOrThrow(proj_schema, name));
+      }
+      ScoreFn utility =
+          static_cast<const RankPreference*>(cur.get())->BindUtility(
+              proj_schema);
+      col = build_tuple_leaf(cols, [utility, sign](const Tuple& t) {
+        return sign * utility(t);
+      });
+    }
+    Node node;
+    node.kind = Node::Kind::kLeaf;
+    node.a = col;
+    table.nodes_.push_back(node);
+    return static_cast<int>(table.nodes_.size() - 1);
+  };
+
+  table.root_ = build(p, false);
+  table.cols_ = columns.size();
+  table.mode_ = has_prio ? (has_pareto ? Mode::kGeneral : Mode::kFlatLex)
+                         : Mode::kFlatPareto;
+
+  // Assemble the row-major matrix.
+  table.scores_.resize(count * table.cols_);
+  table.ids_.resize(count * table.cols_);
+  table.use_ids_.resize(table.cols_);
+  for (size_t c = 0; c < table.cols_; ++c) {
+    table.use_ids_[c] = columns[c].use_ids ? 1 : 0;
+    for (size_t r = 0; r < count; ++r) {
+      table.scores_[r * table.cols_ + c] = columns[c].scores[r];
+      table.ids_[r * table.cols_ + c] = columns[c].ids[r];
+    }
+  }
+
+  // Sort keys from the descriptor: leaf -> its column; prioritized ->
+  // concatenation; Pareto -> the sum of two single-column-set keys.
+  std::function<std::optional<std::vector<std::vector<int>>>(int)> keys_of =
+      [&](int n) -> std::optional<std::vector<std::vector<int>>> {
+    const Node& node = table.nodes_[n];
+    if (node.kind == Node::Kind::kLeaf) {
+      return std::vector<std::vector<int>>{{node.a}};
+    }
+    auto l = keys_of(node.a);
+    auto r = keys_of(node.b);
+    if (!l || !r) return std::nullopt;
+    if (node.kind == Node::Kind::kPrioritized) {
+      for (auto& k : *r) l->push_back(std::move(k));
+      return l;
+    }
+    if (l->size() != 1 || r->size() != 1) return std::nullopt;
+    for (int c : (*r)[0]) (*l)[0].push_back(c);
+    return l;
+  };
+  if (auto keys = keys_of(table.root_)) table.sort_keys_ = std::move(*keys);
+
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Dominance tests
+
+bool ScoreTable::ParetoLess(size_t x, size_t y) const {
+  const double* sx = Row(x);
+  const double* sy = Row(y);
+  const uint32_t* ix = Ids(x);
+  const uint32_t* iy = Ids(y);
+  bool strict = false;
+  for (size_t c = 0; c < cols_; ++c) {
+    if (sx[c] < sy[c]) {
+      strict = true;
+      continue;
+    }
+    if (!ColumnEq(c, sx, sy, ix, iy)) return false;
+  }
+  return strict;
+}
+
+bool ScoreTable::LexLess(size_t x, size_t y) const {
+  const double* sx = Row(x);
+  const double* sy = Row(y);
+  const uint32_t* ix = Ids(x);
+  const uint32_t* iy = Ids(y);
+  for (size_t c = 0; c < cols_; ++c) {
+    if (ColumnEq(c, sx, sy, ix, iy)) continue;
+    return sx[c] < sy[c];
+  }
+  return false;
+}
+
+std::pair<bool, bool> ScoreTable::EvalNode(int n, const double* sx,
+                                           const double* sy,
+                                           const uint32_t* ix,
+                                           const uint32_t* iy) const {
+  const Node& node = nodes_[n];
+  if (node.kind == Node::Kind::kLeaf) {
+    size_t c = static_cast<size_t>(node.a);
+    return {sx[c] < sy[c], ColumnEq(c, sx, sy, ix, iy)};
+  }
+  auto [l1, e1] = EvalNode(node.a, sx, sy, ix, iy);
+  auto [l2, e2] = EvalNode(node.b, sx, sy, ix, iy);
+  if (node.kind == Node::Kind::kPareto) {
+    return {(l1 && (l2 || e2)) || (l2 && (l1 || e1)), e1 && e2};
+  }
+  return {l1 || (e1 && l2), e1 && e2};
+}
+
+bool ScoreTable::GeneralLess(size_t x, size_t y) const {
+  return EvalNode(root_, Row(x), Row(y), Ids(x), Ids(y)).first;
+}
+
+bool ScoreTable::Less(size_t x, size_t y) const {
+  switch (mode_) {
+    case Mode::kFlatPareto:
+      return ParetoLess(x, y);
+    case Mode::kFlatLex:
+      return LexLess(x, y);
+    case Mode::kGeneral:
+      return GeneralLess(x, y);
+  }
+  return false;
+}
+
+bool ScoreTable::CanDivideConquer() const {
+  if (mode_ != Mode::kFlatPareto) return false;
+  for (uint8_t u : use_ids_) {
+    if (u) return false;
+  }
+  return true;
+}
+
+BmoAlgorithm ScoreTable::ResolveAlgorithm() const {
+  if (CanDivideConquer()) return BmoAlgorithm::kDivideConquer;
+  if (HasSortKeys()) return BmoAlgorithm::kSortFilter;
+  return BmoAlgorithm::kBlockNestedLoop;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels. Each runs over an explicit row-index list so contiguous
+// partitions and merge candidate sets share one code path; `less` is a
+// mode-specialized predicate over global row indices, inlined per
+// instantiation.
+
+namespace {
+
+template <typename LessPred>
+std::vector<bool> NaiveKernel(const std::vector<size_t>& rows,
+                              const LessPred& less) {
+  const size_t m = rows.size();
+  std::vector<bool> maximal(m, true);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i != j && less(rows[i], rows[j])) {
+        maximal[i] = false;
+        break;
+      }
+    }
+  }
+  return maximal;
+}
+
+template <typename LessPred>
+std::vector<bool> BnlKernel(const std::vector<size_t>& rows,
+                            const LessPred& less) {
+  const size_t m = rows.size();
+  std::vector<bool> maximal(m, false);
+  std::vector<size_t> window;  // positions into `rows`
+  for (size_t i = 0; i < m; ++i) {
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      size_t cand = window[w];
+      if (!dominated && less(rows[i], rows[cand])) {
+        dominated = true;
+        // The rest of the window cannot be dominated by i (asymmetry +
+        // transitivity), keep everything from here on.
+        for (; w < window.size(); ++w) window[keep++] = window[w];
+        break;
+      }
+      if (less(rows[cand], rows[i])) continue;  // evict cand
+      window[keep++] = cand;
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(i);
+  }
+  for (size_t idx : window) maximal[idx] = true;
+  return maximal;
+}
+
+}  // namespace
+
+double ScoreTable::SortKeyValue(size_t row, size_t key) const {
+  double sum = 0.0;
+  const double* s = Row(row);
+  for (int c : sort_keys_[key]) sum += s[c];
+  return sum;
+}
+
+std::vector<bool> ScoreTable::MaximaSubset(
+    BmoAlgorithm algo, const std::vector<size_t>& rows) const {
+  if (algo == BmoAlgorithm::kAuto) algo = ResolveAlgorithm();
+  if (algo == BmoAlgorithm::kSortFilter && !HasSortKeys()) {
+    algo = BmoAlgorithm::kBlockNestedLoop;
+  }
+  if (algo == BmoAlgorithm::kDivideConquer && !CanDivideConquer()) {
+    algo = BmoAlgorithm::kBlockNestedLoop;
+  }
+
+  const size_t m = rows.size();
+  if (algo == BmoAlgorithm::kDivideConquer) {
+    // Gather the candidate rows into one contiguous matrix (a single
+    // allocation) and run the flat KLP75 kernel.
+    std::vector<double> flat(m * cols_);
+    for (size_t i = 0; i < m; ++i) {
+      const double* s = Row(rows[i]);
+      std::copy(s, s + cols_, flat.begin() + i * cols_);
+    }
+    return MaximaDivideConquerFlat(flat.data(), m, cols_, cols_);
+  }
+
+  if (algo == BmoAlgorithm::kSortFilter) {
+    // Presort descending by key vectors, then a one-sided window scan.
+    // Sound only under strict key compatibility (x <P y => keys(x) lex <
+    // keys(y)), which finite keys guarantee; a NaN or +/-inf key value
+    // (unscorable values, -inf-absorbed Pareto sums that tie although a
+    // component is strictly better) voids it, so such blocks degrade to
+    // the exact BNL window below.
+    const size_t nk = sort_keys_.size();
+    std::vector<double> keys(m * nk);
+    bool finite = true;
+    for (size_t i = 0; i < m && finite; ++i) {
+      for (size_t k = 0; k < nk; ++k) {
+        double v = SortKeyValue(rows[i], k);
+        if (!std::isfinite(v)) {
+          finite = false;
+          break;
+        }
+        keys[i * nk + k] = v;
+      }
+    }
+    if (finite) {
+      std::vector<uint32_t> order(m);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&keys, nk](uint32_t a, uint32_t b) {
+                  const double* ka = keys.data() + a * nk;
+                  const double* kb = keys.data() + b * nk;
+                  for (size_t k = 0; k < nk; ++k) {
+                    if (ka[k] != kb[k]) return ka[k] > kb[k];
+                  }
+                  return false;
+                });
+      std::vector<bool> maximal(m, false);
+      std::vector<uint32_t> window;
+      auto scan = [&](auto&& less) {
+        for (uint32_t i : order) {
+          bool dominated = false;
+          for (uint32_t w : window) {
+            if (less(rows[i], rows[w])) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) window.push_back(i);
+        }
+        for (uint32_t idx : window) maximal[idx] = true;
+      };
+      switch (mode_) {
+        case Mode::kFlatPareto:
+          scan([this](size_t x, size_t y) { return ParetoLess(x, y); });
+          break;
+        case Mode::kFlatLex:
+          scan([this](size_t x, size_t y) { return LexLess(x, y); });
+          break;
+        case Mode::kGeneral:
+          scan([this](size_t x, size_t y) { return GeneralLess(x, y); });
+          break;
+      }
+      return maximal;
+    }
+    algo = BmoAlgorithm::kBlockNestedLoop;
+  }
+
+  switch (mode_) {
+    case Mode::kFlatPareto: {
+      auto less = [this](size_t x, size_t y) { return ParetoLess(x, y); };
+      return algo == BmoAlgorithm::kNaive ? NaiveKernel(rows, less)
+                                          : BnlKernel(rows, less);
+    }
+    case Mode::kFlatLex: {
+      auto less = [this](size_t x, size_t y) { return LexLess(x, y); };
+      return algo == BmoAlgorithm::kNaive ? NaiveKernel(rows, less)
+                                          : BnlKernel(rows, less);
+    }
+    case Mode::kGeneral:
+      break;
+  }
+  auto less = [this](size_t x, size_t y) { return GeneralLess(x, y); };
+  return algo == BmoAlgorithm::kNaive ? NaiveKernel(rows, less)
+                                      : BnlKernel(rows, less);
+}
+
+std::vector<bool> ScoreTable::MaximaRange(BmoAlgorithm algo, size_t begin,
+                                          size_t end) const {
+  if (algo == BmoAlgorithm::kAuto) algo = ResolveAlgorithm();
+  if (algo == BmoAlgorithm::kDivideConquer && CanDivideConquer()) {
+    // Contiguous range: run KLP75 directly over the table storage.
+    return MaximaDivideConquerFlat(scores_.data() + begin * cols_,
+                                   end - begin, cols_, cols_);
+  }
+  std::vector<size_t> rows(end - begin);
+  std::iota(rows.begin(), rows.end(), begin);
+  return MaximaSubset(algo, rows);
+}
+
+std::vector<size_t> ScoreTable::MergeAntichains(
+    const std::vector<size_t>& a, const std::vector<size_t>& b) const {
+  std::vector<size_t> out;
+  out.reserve(a.size() + b.size());
+  for (size_t x : a) {
+    bool dominated = false;
+    for (size_t y : b) {
+      if (Less(x, y)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(x);
+  }
+  for (size_t y : b) {
+    bool dominated = false;
+    for (size_t x : a) {
+      if (Less(y, x)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace prefdb

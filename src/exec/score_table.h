@@ -1,0 +1,157 @@
+// Vectorized score-table execution layer: compiles a preference term once
+// against a block of distinct projected values into a flat numeric matrix
+// plus a dominance descriptor, so the BMO inner loops (BNL window, SFS
+// presort + window, KLP75 divide & conquer) run over raw `const double*`
+// rows instead of chasing per-comparison std::function closures and Tuple
+// copies.
+//
+// What compiles (Kießling Defs. 6-9 fragment):
+//  - numerical base preferences (LOWEST/HIGHEST/AROUND/BETWEEN/SCORE,
+//    Def. 7): the leaf's inducing score, raw;
+//  - level-based base preferences (POS/NEG/POS/POS/POS/NEG/LAYERED and
+//    weak-order EXPLICIT graphs, Def. 6): dict-encoded intrinsic levels
+//    (eval/quality.h), negated so "higher score = better" holds uniformly;
+//  - rank(F) (Def. 10): the combined utility as one column;
+//  - anti-chains (Def. 3b): a constant column whose equality classes are
+//    the value combinations (this is what makes `A<-> & P` grouping terms
+//    compile);
+//  - DUAL of any of the above (score negation), and arbitrary nesting of
+//    Pareto (Def. 8) and prioritized (Def. 9) accumulation on top.
+// Everything else (SUBSET, LINEAR_SUM, INTERSECTION, DISJOINT_UNION,
+// non-weak-order EXPLICIT, DUAL of complex terms) does not compile and the
+// caller falls back to the closure-based path.
+//
+// Def. 8/9 equality is *value* equality, not score equality: AROUND(10)
+// scores 5 and 15 identically although the values are incomparable. Each
+// column therefore carries dict-encoded equality classes; columns whose
+// scores are injective on the block skip the id test (score equality
+// suffices), which is also the data-dependent precondition for the
+// divide & conquer kernel (coordinatewise score dominance == Def. 8).
+//
+// The matrix is stored row-major: a dominance test touches every column of
+// exactly two rows, so the two rows' scores are contiguous cache lines.
+
+#ifndef PREFDB_EXEC_SCORE_TABLE_H_
+#define PREFDB_EXEC_SCORE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/preference.h"
+#include "eval/bmo.h"
+
+namespace prefdb {
+
+class ScoreTable {
+ public:
+  /// Static (data-independent) compilability of a term. True iff Compile()
+  /// will succeed for any value block (modulo schema resolution errors,
+  /// which throw from Compile exactly like Preference::Bind would).
+  static bool CompilableTerm(const PrefPtr& p);
+
+  /// Static sort-key derivability: true iff the compiled table will expose
+  /// topologically compatible sort keys (every leaf yields one key;
+  /// prioritization concatenates; Pareto needs single-key sides and sums).
+  /// Strictly wider than Preference::BindSortKeys — level-based leaves are
+  /// weak orders and always yield a key here.
+  static bool HasStaticSortKeys(const PrefPtr& p);
+
+  /// Compiles `p` against the `count` distinct projected values at
+  /// `values`. Returns nullopt for non-compilable terms. Throws
+  /// std::out_of_range when an attribute of `p` does not resolve in
+  /// `proj_schema` (mirroring Preference::Bind).
+  static std::optional<ScoreTable> Compile(const PrefPtr& p,
+                                           const Schema& proj_schema,
+                                           const Tuple* values, size_t count);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Exact strict-partial-order test "x <P y" between two compiled rows;
+  /// agrees with the closure p->Bind(proj_schema) on the block.
+  bool Less(size_t x, size_t y) const;
+
+  /// True when the KLP75 divide & conquer kernel is exact on this block:
+  /// flat Pareto descriptor and every column injective (score ties imply
+  /// equal values), so Def. 8 dominance equals coordinatewise score
+  /// dominance.
+  bool CanDivideConquer() const;
+
+  /// True when topologically compatible sort keys exist for the SFS kernel.
+  bool HasSortKeys() const { return !sort_keys_.empty(); }
+
+  /// Block-algorithm resolution with the same preference order the
+  /// sequential evaluator uses: D&C when exact, else SFS when keys exist,
+  /// else BNL.
+  BmoAlgorithm ResolveAlgorithm() const;
+
+  /// Maximal-row flags for the contiguous row range [begin, end) under the
+  /// chosen kernel (kAuto resolves via ResolveAlgorithm; ineligible
+  /// requests degrade to BNL). Partition-parallel callers share one
+  /// immutable table and evaluate disjoint ranges concurrently.
+  std::vector<bool> MaximaRange(BmoAlgorithm algo, size_t begin,
+                                size_t end) const;
+
+  /// Maximal flags over an arbitrary row subset (the parallel engine's
+  /// divide & conquer merge step). Returned flags align with `rows`.
+  std::vector<bool> MaximaSubset(BmoAlgorithm algo,
+                                 const std::vector<size_t>& rows) const;
+
+  /// Maxima of the union of two antichains by cross-comparison only (the
+  /// parallel engine's pairwise merge).
+  std::vector<size_t> MergeAntichains(const std::vector<size_t>& a,
+                                      const std::vector<size_t>& b) const;
+
+ private:
+  // Dominance descriptor: how compiled columns combine into the order.
+  enum class Mode : uint8_t {
+    kFlatPareto,   // Pareto accumulation of all columns (incl. single leaf)
+    kFlatLex,      // prioritized/lexicographic left-to-right
+    kGeneral,      // arbitrary Pareto/prioritized nesting: program below
+  };
+  struct Node {
+    enum class Kind : uint8_t { kLeaf, kPareto, kPrioritized };
+    Kind kind;
+    int a = -1;  // kLeaf: column index; else: left child node index
+    int b = -1;  // right child node index
+  };
+
+  ScoreTable() = default;
+
+  const double* Row(size_t r) const { return scores_.data() + r * cols_; }
+  const uint32_t* Ids(size_t r) const { return ids_.data() + r * cols_; }
+
+  bool ColumnEq(size_t c, const double* sx, const double* sy,
+                const uint32_t* ix, const uint32_t* iy) const {
+    return use_ids_[c] ? ix[c] == iy[c] : sx[c] == sy[c];
+  }
+  bool ParetoLess(size_t x, size_t y) const;
+  bool LexLess(size_t x, size_t y) const;
+  bool GeneralLess(size_t x, size_t y) const;
+  // (less, eq) of a descriptor subtree on a row pair.
+  std::pair<bool, bool> EvalNode(int node, const double* sx, const double* sy,
+                                 const uint32_t* ix,
+                                 const uint32_t* iy) const;
+
+  double SortKeyValue(size_t row, size_t key) const;
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> scores_;    // row-major rows_ x cols_
+  std::vector<uint32_t> ids_;     // row-major equality-class ids
+  std::vector<uint8_t> use_ids_;  // per column: score ties need the id test
+  Mode mode_ = Mode::kFlatPareto;
+  std::vector<Node> nodes_;  // kGeneral descriptor program
+  int root_ = -1;
+  // Each sort key is the plain sum of the listed columns' scores; keys
+  // compare lexicographically, descending = better first. Soundness of
+  // the SFS kernel requires all key values finite — the kernel checks and
+  // degrades to BNL otherwise (a NaN or +/-inf-absorbed sum can tie or
+  // invert the topological order).
+  std::vector<std::vector<int>> sort_keys_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EXEC_SCORE_TABLE_H_

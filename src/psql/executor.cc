@@ -23,8 +23,24 @@ QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
   if (preference && !stmt.grouping.empty()) {
     // Def. 16: sigma[P groupby A](R) == sigma[A<-> & P](R).
     result.preference_term = preference->ToString();
-    current = BmoGroupBy(current, preference, stmt.grouping, options);
-    plan += " -> bmo_groupby[" + result.preference_term + "]";
+    if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
+      // Same optimizer routing as the ungrouped branch: rewrites preserve
+      // the per-group answer (Prop 7 applies within every group), and
+      // EXPLAIN must report a plan instead of empty details. The chosen
+      // algorithm runs per group and degrades gracefully on small groups.
+      OptimizedQuery optimized = Optimize(current, preference, options);
+      if (stmt.explain) result.plan_details = optimized.Explain();
+      BmoOptions exec_options = options;
+      exec_options.algorithm = optimized.choice.algorithm;
+      current =
+          BmoGroupBy(current, optimized.simplified, stmt.grouping, exec_options);
+      plan += " -> bmo_groupby[" + optimized.simplified->ToString() + ", " +
+              BmoAlgorithmName(optimized.choice.algorithm) + "]";
+    } else {
+      current = BmoGroupBy(current, preference, stmt.grouping, options);
+      plan += " -> bmo_groupby[" + result.preference_term + ", " +
+              BmoAlgorithmName(options.algorithm) + "]";
+    }
   } else if (preference) {
     result.preference_term = preference->ToString();
     if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {

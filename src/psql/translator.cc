@@ -45,6 +45,10 @@ class CondLayeredPreference : public BasePreference {
     return layers_.size() + 1;
   }
 
+  std::optional<size_t> IntrinsicLevelOf(const Value& v) const override {
+    return LevelOf(v);
+  }
+
   bool LessValue(const Value& x, const Value& y) const override {
     return LevelOf(x) > LevelOf(y);
   }

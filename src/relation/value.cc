@@ -1,5 +1,6 @@
 #include "relation/value.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +51,11 @@ std::string Value::ToString() const {
     case ValueType::kDouble: {
       char buf[64];
       double d = as_double();
-      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+      // Range-check before the int64 cast: casting a double outside the
+      // int64 range (1e300, +/-inf) is undefined behavior, so the guard
+      // must short-circuit first. NaN fails the comparison and falls
+      // through to %g too.
+      if (std::abs(d) < 1e15 && d == static_cast<int64_t>(d)) {
         std::snprintf(buf, sizeof(buf), "%.1f", d);
       } else {
         std::snprintf(buf, sizeof(buf), "%g", d);
@@ -90,14 +95,26 @@ std::optional<Value> ParseValue(const std::string& text, ValueType type) {
       return Value();
     case ValueType::kInt: {
       char* end = nullptr;
+      errno = 0;
       long long v = std::strtoll(text.c_str(), &end, 10);
       if (end == nullptr || *end != '\0') return std::nullopt;
+      // strtoll signals out-of-range input by clamping to LLONG_MIN/MAX
+      // and setting ERANGE; silently accepting the clamp would corrupt
+      // ingested data (e.g. "99999999999999999999" -> INT64_MAX).
+      if (errno == ERANGE) return std::nullopt;
       return Value(static_cast<int64_t>(v));
     }
     case ValueType::kDouble: {
       char* end = nullptr;
+      errno = 0;
       double v = std::strtod(text.c_str(), &end);
       if (end == nullptr || *end != '\0') return std::nullopt;
+      // Reject overflow (ERANGE with +/-HUGE_VAL, e.g. "1e999"); keep
+      // ERANGE underflow (denormals like "1e-320"), which strtod reports
+      // with a representable result.
+      if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+        return std::nullopt;
+      }
       return Value(v);
     }
     case ValueType::kString:

@@ -45,11 +45,28 @@ TEST(ChooserTest, SortKeysEnableSfs) {
   EXPECT_EQ(c.algorithm, BmoAlgorithm::kSortFilter);
 }
 
-TEST(ChooserTest, UnstructuredTermsFallBackToBnl) {
+TEST(ChooserTest, LevelTermsCompileToVectorizedSfs) {
+  // POS leaves have no closure sort keys, but they dict-encode as level
+  // columns in the score table, which widens SFS eligibility.
   Relation r = GenerateCars(5000, 4);
   PrefPtr p = Pareto(Pos("color", {"red"}), Pos("make", {"Audi"}));
   AlgorithmChoice c = ChooseAlgorithm(r, p);
-  EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kSortFilter);
+  EXPECT_NE(c.rationale.find("score-table"), std::string::npos);
+}
+
+TEST(ChooserTest, UnstructuredTermsFallBackToBnl) {
+  Relation r = GenerateCars(5000, 4);
+  // With vectorization disabled the same level term has no sort keys.
+  PrefPtr p = Pareto(Pos("color", {"red"}), Pos("make", {"Audi"}));
+  BmoOptions no_vector;
+  no_vector.vectorize = false;
+  EXPECT_EQ(ChooseAlgorithm(r, p, no_vector).algorithm,
+            BmoAlgorithm::kBlockNestedLoop);
+  // Intersection aggregations never compile, vectorized or not.
+  PrefPtr hard = Intersection(Pos("color", {"red"}), Neg("color", {"blue"}));
+  EXPECT_EQ(ChooseAlgorithm(r, hard).algorithm,
+            BmoAlgorithm::kBlockNestedLoop);
 }
 
 TEST(OptimizeTest, RewritesAreReportedAndSound) {

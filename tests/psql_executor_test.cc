@@ -163,6 +163,31 @@ TEST(ExecutorTest, PlanStringDescribesPipeline) {
   EXPECT_NE(res.plan.find("project"), std::string::npos);
 }
 
+TEST(ExecutorTest, ExplainGroupingEmitsPlanDetails) {
+  // Regression: GROUP BY queries used to bypass the optimizer entirely, so
+  // EXPLAIN returned empty plan_details and a plan without an algorithm.
+  QueryResult res = ExecuteQuery(
+      "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) GROUPING make",
+      CarCatalog());
+  EXPECT_FALSE(res.plan_details.empty());
+  EXPECT_NE(res.plan_details.find("algorithm:"), std::string::npos);
+  EXPECT_NE(res.plan.find("bmo_groupby[LOWEST(price), "), std::string::npos);
+  // The answer itself is unchanged: cheapest car per make.
+  ASSERT_EQ(res.relation.size(), 2u);
+}
+
+TEST(ExecutorTest, GroupingAnswerUnchangedByOptimizerRouting) {
+  Catalog catalog = CarCatalog();
+  QueryResult routed = ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make", catalog);
+  BmoOptions forced;  // explicit algorithm: skips the optimizer branch
+  forced.algorithm = BmoAlgorithm::kBlockNestedLoop;
+  QueryResult direct = ExecuteQuery(
+      "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make", catalog,
+      forced);
+  EXPECT_TRUE(routed.relation.SameRows(direct.relation));
+}
+
 TEST(ExecutorTest, CascadeOrderMatters) {
   Catalog catalog = CarCatalog();
   QueryResult color_first = ExecuteQuery(

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace prefdb {
 namespace {
 
@@ -27,6 +30,21 @@ TEST(ValueTest, DoubleConstructionAndAccess) {
   EXPECT_TRUE(v.is_double());
   EXPECT_EQ(v.as_double(), 3.5);
   EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, ToStringHugeDoublesAvoidInt64Cast) {
+  // Regression: the integral-rendering fast path used to cast to int64
+  // *before* the range guard — UB for doubles outside the int64 range.
+  // Exercised under UBSan by the sanitizer CI job.
+  EXPECT_EQ(Value(1e300).ToString(), "1e+300");
+  EXPECT_EQ(Value(-1e300).ToString(), "-1e+300");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).ToString(), "inf");
+  EXPECT_EQ(Value(-std::numeric_limits<double>::infinity()).ToString(),
+            "-inf");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).ToString(),
+            "nan");
+  // Integral doubles inside the guard still render with the ".0" marker.
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
 }
 
 TEST(ValueTest, StringConstructionAndAccess) {
@@ -91,11 +109,33 @@ TEST(ValueTest, ParseInt) {
   EXPECT_FALSE(ParseValue("12x", ValueType::kInt).has_value());
 }
 
+TEST(ValueTest, ParseIntRejectsOutOfRange) {
+  // strtoll clamps out-of-range input to INT64_MAX/MIN with ERANGE;
+  // ingest must reject it, not silently store the clamp.
+  EXPECT_FALSE(ParseValue("99999999999999999999", ValueType::kInt));
+  EXPECT_FALSE(ParseValue("-99999999999999999999", ValueType::kInt));
+  // The actual extremes still parse.
+  EXPECT_EQ(*ParseValue("9223372036854775807", ValueType::kInt),
+            Value(int64_t{9223372036854775807LL}));
+  EXPECT_EQ(*ParseValue("-9223372036854775808", ValueType::kInt),
+            Value(std::numeric_limits<int64_t>::min()));
+}
+
 TEST(ValueTest, ParseDouble) {
   auto v = ParseValue("1.25", ValueType::kDouble);
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, Value(1.25));
   EXPECT_FALSE(ParseValue("abc", ValueType::kDouble).has_value());
+}
+
+TEST(ValueTest, ParseDoubleRejectsOverflowKeepsUnderflow) {
+  EXPECT_FALSE(ParseValue("1e999", ValueType::kDouble));
+  EXPECT_FALSE(ParseValue("-1e999", ValueType::kDouble));
+  // Gradual underflow is representable and accepted.
+  auto denormal = ParseValue("1e-320", ValueType::kDouble);
+  ASSERT_TRUE(denormal.has_value());
+  EXPECT_GT(denormal->as_double(), 0.0);
+  EXPECT_EQ(*ParseValue("1e300", ValueType::kDouble), Value(1e300));
 }
 
 TEST(ValueTest, ParseStringAndEmpty) {
