@@ -9,15 +9,22 @@
 namespace {
 
 using namespace prefdb;        // NOLINT — benchmark driver
-using psql::Catalog;
-using psql::ExecuteQuery;
 using psql::Parse;
 
-Catalog MakeCatalog(size_t n) {
-  Catalog catalog;
-  catalog.Register("car", GenerateCars(n, 2002));
-  catalog.Register("trips", GenerateTrips(n, 2002));
-  return catalog;
+// Cold-execution engine: caches off, so every Execute() measures the full
+// parse -> translate -> optimize -> compile -> execute pipeline (the
+// legacy free-function behavior). bench_engine_cache measures the warm
+// prepared path.
+EngineOptions ColdOptions() {
+  EngineOptions options;
+  options.enable_plan_cache = false;
+  options.enable_exec_cache = false;
+  return options;
+}
+
+void RegisterTables(Engine& engine, size_t n) {
+  engine.RegisterTable("car", GenerateCars(n, 2002));
+  engine.RegisterTable("trips", GenerateTrips(n, 2002));
 }
 
 const char* kUsedCarQuery =
@@ -44,10 +51,11 @@ void BM_parse_only(benchmark::State& state) {
 BENCHMARK(BM_parse_only);
 
 void RunQuery(benchmark::State& state, const char* sql) {
-  Catalog catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  Engine engine(ColdOptions());
+  RegisterTables(engine, static_cast<size_t>(state.range(0)));
   size_t result_size = 0;
   for (auto _ : state) {
-    auto res = ExecuteQuery(sql, catalog);
+    auto res = engine.Execute(sql);
     result_size = res.relation.size();
     benchmark::DoNotOptimize(res);
   }

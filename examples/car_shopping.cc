@@ -55,16 +55,15 @@ int main(int argc, char** argv) {
   Show("Q1* best matches", Bmo(market, q1_star));
 
   // --- The same story through Preference SQL ---
-  psql::Catalog catalog;
-  catalog.Register("car", market);
-  auto res = psql::ExecuteQuery(
+  Engine engine;
+  engine.RegisterTable("car", market);
+  auto res = engine.Execute(
       "SELECT oid, category, color, transmission, horsepower, price "
       "FROM car "
       "PREFERRING color <> 'gray' "
       "CASCADE category = 'cabriolet' ELSE category = 'roadster' AND "
       "transmission = 'automatic' AND horsepower AROUND 100 "
-      "CASCADE LOWEST(price)",
-      catalog);
+      "CASCADE LOWEST(price)");
   std::printf("\nPreference SQL version of Q1:\n  %s\n",
               res.preference_term.c_str());
   Show("Preference SQL result", res.relation);

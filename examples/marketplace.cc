@@ -14,19 +14,25 @@ using namespace prefdb;  // NOLINT — example code
 
 int main() {
   Relation market = GenerateCars(3000, 42);
+  Engine engine;
+  engine.RegisterTable("car", market);
 
-  // --- 1. A returning customer's profile lives in the repository ---
-  PreferenceRepository repo;
-  repo.Store("julia.colors", Neg("color", {"gray"}));
-  repo.Store("julia.budget", Around("price", 11000));
-  repo.Store("julia.wishes",
-             Prioritized(Neg("color", {"gray"}),
-                         Pareto(Around("price", 11000), Lowest("mileage"))));
+  // --- 1. A returning customer's profile lives in the engine's
+  //        repository; stored wishes run through the same plan/score-table
+  //        caches as SQL statements ---
+  engine.StorePreference("julia.colors", Neg("color", {"gray"}));
+  engine.StorePreference("julia.budget", Around("price", 11000));
+  engine.StorePreference(
+      "julia.wishes",
+      Prioritized(Neg("color", {"gray"}),
+                  Pareto(Around("price", 11000), Lowest("mileage"))));
+  PreferenceRepository repo = engine.Repository();
   std::printf("Repository (%zu entries):\n%s\n", repo.size(),
               repo.ToText().c_str());
-  PrefPtr julia = repo.Get("julia.wishes");
-  std::printf("Julia's best matches: %zu offers\n\n",
-              Bmo(market, julia).size());
+  PreparedQuery julia_query = engine.PrepareStored("car", "julia.wishes");
+  std::printf("Julia's best matches: %zu offers (cached plan: %s)\n\n",
+              julia_query.Run().relation.size(),
+              julia_query.normalized_sql().c_str());
 
   // --- 2. Mine a new visitor's preference from their click behavior ---
   // Simulated sessions: the visitor always picks the car with the best
@@ -72,12 +78,9 @@ int main() {
   }
 
   // --- 4. The optimizer explains itself through Preference SQL ---
-  psql::Catalog catalog;
-  catalog.Register("car", market);
-  auto res = psql::ExecuteQuery(
+  auto res = engine.Execute(
       "EXPLAIN SELECT oid, price, mileage FROM car "
-      "PREFERRING LOWEST(price) AND LOWEST(price) AND LOWEST(mileage)",
-      catalog);
+      "PREFERRING LOWEST(price) AND LOWEST(price) AND LOWEST(mileage)");
   std::printf("\nEXPLAIN output:\n%s", res.plan_details.c_str());
   std::printf("pipeline: %s\n", res.plan.c_str());
   return 0;

@@ -1,12 +1,17 @@
-// Interactive Preference SQL shell over the synthetic marketplace.
+// Interactive Preference SQL shell over the synthetic marketplace, backed
+// by the stateful engine: repeated statements hit the plan cache and the
+// compiled score-table cache, and every result reports per-phase timings.
 //
 //   $ ./build/examples/psql_repl
 //   prefdb> SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage);
+//   prefdb> SELECT TOP 5 oid, price FROM car PREFERRING LOWEST(price);
 //   prefdb> EXPLAIN SELECT * FROM car SKYLINE OF price MIN, mileage MIN;
 //   prefdb> \tables        -- list catalog tables
+//   prefdb> \cache         -- plan/exec cache statistics
 //   prefdb> \quit
 //
 // Reads statements from stdin (also works non-interactively via a pipe).
+// Syntax errors are reported with line/column and a caret.
 
 #include <cstdio>
 #include <iostream>
@@ -17,15 +22,17 @@
 using namespace prefdb;  // NOLINT — example code
 
 int main() {
-  psql::Catalog catalog;
-  catalog.Register("car", GenerateCars(5000, 2002));
-  catalog.Register("trips", GenerateTrips(2000, 2002));
+  Engine engine;
+  engine.RegisterTable("car", GenerateCars(5000, 2002));
+  engine.RegisterTable("trips", GenerateTrips(2000, 2002));
 
   std::printf("prefdb Preference SQL shell. Tables: car (5000 rows), trips "
               "(2000 rows).\n");
   std::printf("Try: SELECT oid, price, mileage FROM car PREFERRING "
               "LOWEST(price) AND LOWEST(mileage);\n");
-  std::printf("     \\tables, \\quit\n");
+  std::printf("     SELECT TOP 5 oid, price FROM car PREFERRING "
+              "LOWEST(price);\n");
+  std::printf("     \\tables, \\cache, \\quit\n");
 
   std::string line;
   while (true) {
@@ -35,20 +42,39 @@ int main() {
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
     if (line == "\\tables") {
-      for (const auto& name : catalog.TableNames()) {
-        std::printf("  %s (%zu rows)\n", name.c_str(),
-                    catalog.Get(name).size());
+      for (const auto& name : engine.TableNames()) {
+        std::printf("  %s (%zu rows, version %llu)\n", name.c_str(),
+                    engine.Snapshot(name)->size(),
+                    static_cast<unsigned long long>(
+                        engine.TableVersion(name)));
       }
       continue;
     }
+    if (line == "\\cache") {
+      Engine::CacheStats cs = engine.cache_stats();
+      std::printf("  plan cache: %zu hits / %zu misses\n", cs.plan_hits,
+                  cs.plan_misses);
+      std::printf("  exec cache: %zu hits / %zu misses, %zu invalidations\n",
+                  cs.exec_hits, cs.exec_misses, cs.invalidations);
+      continue;
+    }
     try {
-      psql::QueryResult res = psql::ExecuteQuery(line, catalog);
+      psql::QueryResult res = engine.Execute(line);
       if (!res.plan_details.empty()) {
         std::printf("%s", res.plan_details.c_str());
       }
       std::printf("%s", res.relation.ToString(20).c_str());
-      std::printf("(%zu rows)  [%s]\n", res.relation.size(),
-                  res.plan.c_str());
+      if (!res.utilities.empty()) {
+        std::printf("utilities:");
+        for (size_t i = 0; i < res.utilities.size() && i < 20; ++i) {
+          std::printf(" %.1f", res.utilities[i]);
+        }
+        std::printf("\n");
+      }
+      std::printf("(%zu rows)  [%s]\n", res.relation.size(), res.plan.c_str());
+      std::printf("%s\n", res.stats.ToString().c_str());
+    } catch (const psql::SyntaxError& e) {
+      std::printf("%s\n", psql::FormatSyntaxError(line, e).c_str());
     } catch (const std::exception& e) {
       std::printf("error: %s\n", e.what());
     }

@@ -44,16 +44,24 @@ int main() {
   std::printf("Better-than levels (projections onto the wish attributes):\n%s",
               graph.ToText().c_str());
 
-  // 6. The same query through Preference SQL:
-  psql::Catalog catalog;
-  catalog.Register("hotels", hotels);
-  auto res = psql::ExecuteQuery(
+  // 6. The same query through Preference SQL, served by the stateful
+  //    engine (repeated statements reuse the cached plan + score table):
+  Engine engine;
+  engine.RegisterTable("hotels", hotels);
+  auto res = engine.Execute(
       "SELECT name, price FROM hotels "
       "PREFERRING LOWEST(price) AND beach_distance AROUND 100 AND "
-      "HIGHEST(stars)",
-      catalog);
+      "HIGHEST(stars)");
   std::printf("\nPreference SQL gives the same winners:\n%s",
               res.relation.ToString().c_str());
   std::printf("\nplan: %s\n", res.plan.c_str());
+
+  // 7. Ranked retrieval (§6.2): the k best rows by combined utility
+  //    instead of the Pareto frontier.
+  auto top = engine.Execute(
+      "SELECT TOP 3 name, price FROM hotels "
+      "PREFERRING LOWEST(price) AND beach_distance AROUND 100");
+  std::printf("\nTOP 3 by combined utility:\n%s",
+              top.relation.ToString().c_str());
   return 0;
 }

@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
   // start_date is the day offset within the booking season (a date maps to
   // an ordinal; '2001/11/23' in the paper -> day 57 in our season).
   Relation trips = GenerateTrips(n, 77);
-  psql::Catalog catalog;
-  catalog.Register("trips", trips);
+  Engine engine;
+  engine.RegisterTable("trips", trips);
   std::printf("Trip catalog with %zu offers.\n\n", trips.size());
 
   const char* wish =
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       "PREFERRING start_date AROUND 57 AND duration AROUND 14 "
       "BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2";
   std::printf("Query:\n  %s\n\n", wish);
-  auto res = psql::ExecuteQuery(wish, catalog);
+  auto res = engine.Execute(wish);
   std::printf("plan: %s\n\n", res.plan.c_str());
   if (res.relation.empty()) {
     std::printf("No offer within the quality bounds — BUT ONLY may reject "
@@ -36,14 +36,22 @@ int main(int argc, char** argv) {
   }
 
   // Relax the supervision and rank the alternatives by a combined utility
-  // instead (the ranked query model of section 6.2).
-  std::printf("\nWithout BUT ONLY, ranked by a weighted utility "
-              "(k-best, k = 5):\n");
+  // instead (the ranked query model of section 6.2) — straight from SQL:
+  std::printf("\nWithout BUT ONLY, ranked from SQL (k-best, k = 5):\n");
+  auto sql_ranked = engine.Execute(
+      "SELECT TOP 5 destination, start_date, duration, price FROM trips "
+      "PREFERRING start_date AROUND 57 AND duration AROUND 14");
+  for (size_t i = 0; i < sql_ranked.relation.size(); ++i) {
+    std::printf("  #%zu utility=%8.1f  %s\n", i + 1, sql_ranked.utilities[i],
+                sql_ranked.relation.at(i).ToString().c_str());
+  }
+
+  std::printf("\nAnd with an explicit weighted rank(F) utility:\n");
   Relation pool =
-      psql::ExecuteQuery("SELECT destination, start_date, duration, price "
-                         "FROM trips PREFERRING start_date AROUND 57 AND "
-                         "duration AROUND 14",
-                         catalog)
+      engine
+          .Execute("SELECT destination, start_date, duration, price "
+                   "FROM trips PREFERRING start_date AROUND 57 AND "
+                   "duration AROUND 14")
           .relation;
   // Utility: closeness to the date/duration targets, cheaper is better.
   PrefPtr rank = RankWeightedSum(

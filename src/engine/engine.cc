@@ -1,0 +1,740 @@
+#include "engine/engine.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "eval/bmo_internal.h"
+#include "eval/optimizer.h"
+#include "eval/ranked.h"
+#include "exec/parallel_bmo.h"
+#include "exec/score_table.h"
+#include "psql/translator.h"
+
+namespace prefdb {
+
+namespace engine_internal {
+
+/// Data-independent half of a statement: parsed AST + translated
+/// preference term. Immutable once cached; shared by every PreparedQuery
+/// and exec-cache entry for the statement.
+struct Plan {
+  psql::SelectStatement stmt;
+  PrefPtr preference;  // translated PREFERRING/CASCADE chain; may be null
+  std::string key;     // normalized statement text (plan-cache key)
+  uint64_t parse_ns = 0;
+  uint64_t translate_ns = 0;
+};
+
+/// Data-dependent half: everything derivable from (plan, table snapshot,
+/// options) that repeated Run() calls should not redo — the WHERE row
+/// set, the optimizer decision, the projection index and the compiled
+/// score table. Immutable once built; concurrent Run() calls share it.
+struct Exec {
+  std::string table_name;
+  uint64_t version = 0;
+  std::shared_ptr<const Relation> snapshot;
+  /// True when filtered_rows is a proper subset view; false means "all
+  /// rows" (no identity vector is materialized for WHERE-less statements).
+  bool use_row_subset = false;
+  /// The candidate pool: WHERE survivors — and for ranked queries, the
+  /// BUT ONLY quality bound too (ranking draws from qualifying rows, so
+  /// TOP k fills k whenever k qualifying rows exist).
+  std::vector<size_t> filtered_rows;
+  std::function<bool(const Tuple&)> but_only;  // null when absent
+  std::string preference_term;
+  std::string plan_prefix;   // scan -> where -> bmo/ranked stage
+  std::string plan_details;  // optimizer / ranked EXPLAIN text
+  // BMO block path (ungrouped, non-decomposition): kernel inputs.
+  bool block_path = false;
+  PrefPtr exec_pref;  // term actually evaluated (simplified when routed)
+  BmoAlgorithm exec_algo = BmoAlgorithm::kAuto;
+  ProjectionIndex proj;  // distinct projections over filtered_rows
+  std::optional<ScoreTable> score_table;
+  // BMO fallback path (GROUPING / decomposition): materialized WHERE
+  // result for the relation-level evaluators.
+  std::shared_ptr<const Relation> filtered;
+  bool grouped = false;
+  // Ranked path (§6.2): bound utility + deterministic group order.
+  bool ranked = false;
+  ScoreFn utility;
+  std::vector<std::vector<size_t>> ranked_groups;  // first-occurrence order
+  uint64_t optimize_ns = 0;
+  uint64_t compile_ns = 0;
+};
+
+}  // namespace engine_internal
+
+namespace {
+
+using engine_internal::Exec;
+using engine_internal::Plan;
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point begin, Clock::time_point end) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+// Option fields that change the compiled exec state: algorithm choice
+// inputs and the vectorization switch.
+std::string OptionsSignature(const BmoOptions& o) {
+  return std::to_string(static_cast<int>(o.algorithm)) + ":" +
+         std::to_string(o.num_threads) + ":" +
+         std::to_string(o.parallel_threshold) + ":" +
+         (o.vectorize ? "v" : "c");
+}
+
+std::string TopKText(size_t k) {
+  return k > 0 ? "k=" + std::to_string(k) : "k=all";
+}
+
+// Builds the exec entry for (plan, snapshot, options). Heavy: runs the
+// WHERE filter, the optimizer and the score-table compiler. Called
+// without engine locks; everything it touches is immutable shared state.
+std::shared_ptr<const Exec> BuildExec(const Plan& plan,
+                                      const BmoOptions& options,
+                                      std::shared_ptr<const Relation> snapshot,
+                                      uint64_t version) {
+  const psql::SelectStatement& stmt = plan.stmt;
+  auto exec = std::make_shared<Exec>();
+  exec->table_name = stmt.table;
+  exec->version = version;
+  exec->snapshot = std::move(snapshot);
+  const Relation& table = *exec->snapshot;
+
+  std::string plan_str = "scan(" + stmt.table + ")";
+
+  // Hard selection (exact-match world). Row indices, not a copy; the
+  // WHERE-less case keeps "all rows" implicit instead of materializing an
+  // identity vector per cached entry.
+  Clock::time_point t0 = Clock::now();
+  if (stmt.where) {
+    auto pred = psql::CompileCondition(*stmt.where, table.schema());
+    for (size_t i = 0; i < table.size(); ++i) {
+      if (pred(table.at(i))) exec->filtered_rows.push_back(i);
+    }
+    exec->use_row_subset = true;
+    plan_str += " -> where[" + stmt.where->ToString() + "]";
+  }
+  exec->compile_ns += ElapsedNs(t0, Clock::now());
+
+  const PrefPtr& preference = plan.preference;
+  if (stmt.ranked && !preference) {
+    // Unreachable through the parser; guards hand-built statements.
+    throw std::invalid_argument("TOP/RANKED requires a PREFERRING clause");
+  }
+
+  // Quality supervision predicate (throws without a preference, exactly
+  // like the legacy executor).
+  if (stmt.but_only) {
+    exec->but_only = psql::CompileQualityCondition(*stmt.but_only, preference,
+                                                   table.schema());
+  }
+
+  if (preference && stmt.ranked) {
+    // §6.2 ranked model: descending combined utility instead of BMO.
+    exec->ranked = true;
+    exec->preference_term = preference->ToString();
+    t0 = Clock::now();
+    exec->utility = BindRankedUtility(preference, table.schema());
+    exec->optimize_ns += ElapsedNs(t0, Clock::now());
+    t0 = Clock::now();
+    if (exec->but_only) {
+      // Unlike BMO (where BUT ONLY supervises the best-matches result),
+      // ranking draws from the qualifying pool: TOP k returns k rows
+      // whenever k rows satisfy the quality bound.
+      std::vector<size_t> pool;
+      const size_t n =
+          exec->use_row_subset ? exec->filtered_rows.size() : table.size();
+      for (size_t i = 0; i < n; ++i) {
+        size_t row = exec->use_row_subset ? exec->filtered_rows[i] : i;
+        if (exec->but_only(table.at(row))) pool.push_back(row);
+      }
+      exec->filtered_rows = std::move(pool);
+      exec->use_row_subset = true;
+      plan_str += " -> but_only[" + stmt.but_only->ToString() + "]";
+    }
+    if (!stmt.grouping.empty()) {
+      // Def. 16 grouping under the ranked model: top k per group, groups
+      // in deterministic first-occurrence order of the candidate pool.
+      std::vector<size_t> cols = table.ResolveColumns(stmt.grouping);
+      std::unordered_map<Tuple, size_t, TupleHash> group_of;
+      const size_t n =
+          exec->use_row_subset ? exec->filtered_rows.size() : table.size();
+      for (size_t i = 0; i < n; ++i) {
+        size_t row = exec->use_row_subset ? exec->filtered_rows[i] : i;
+        Tuple key = table.at(row).Project(cols);
+        auto [it, inserted] =
+            group_of.emplace(std::move(key), exec->ranked_groups.size());
+        if (inserted) exec->ranked_groups.emplace_back();
+        exec->ranked_groups[it->second].push_back(row);
+      }
+      plan_str += " -> ranked_groupby[" + exec->preference_term + ", " +
+                  TopKText(stmt.top_k) + "]";
+    } else {
+      plan_str += " -> ranked[" + exec->preference_term + ", " +
+                  TopKText(stmt.top_k) + "]";
+    }
+    exec->compile_ns += ElapsedNs(t0, Clock::now());
+    if (stmt.explain) {
+      exec->plan_details =
+          "preference: " + exec->preference_term + "\n" +
+          "model: ranked (k-best, §6.2); " + TopKText(stmt.top_k) +
+          "\n" +
+          "utility: " +
+          (dynamic_cast<const RankPreference*>(preference.get()) != nullptr
+               ? "rank(F) combined utility"
+               : "derived single sort key") +
+          ", descending; ties broken by input order\n";
+    }
+  } else if (preference) {
+    exec->preference_term = preference->ToString();
+    // Mirror the legacy executor's routing: the optimizer runs for
+    // EXPLAIN or kAuto; an explicit algorithm skips rewrites.
+    PrefPtr exec_pref = preference;
+    BmoAlgorithm algo = options.algorithm;
+    const size_t pool_size =
+        exec->use_row_subset ? exec->filtered_rows.size() : table.size();
+    if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
+      t0 = Clock::now();
+      OptimizedQuery optimized =
+          Optimize(table.schema(), pool_size, preference, options);
+      exec->optimize_ns += ElapsedNs(t0, Clock::now());
+      if (stmt.explain) exec->plan_details = optimized.Explain();
+      exec_pref = optimized.simplified;
+      algo = optimized.choice.algorithm;
+    }
+    exec->exec_pref = exec_pref;
+    exec->exec_algo = algo;
+    plan_str += std::string(stmt.grouping.empty() ? " -> bmo[" : " -> bmo_groupby[") +
+                exec_pref->ToString() + ", " + BmoAlgorithmName(algo) + "]";
+
+    if (stmt.grouping.empty() && algo != BmoAlgorithm::kDecomposition) {
+      // Block path: precompute the distinct-value index and compile the
+      // score table once; Run() then does only the kernel work.
+      exec->block_path = true;
+      t0 = Clock::now();
+      exec->proj = BuildProjectionIndex(
+          table, *exec_pref,
+          exec->use_row_subset ? &exec->filtered_rows : nullptr);
+      if (options.vectorize && !exec->proj.values.empty()) {
+        exec->score_table =
+            ScoreTable::Compile(exec_pref, exec->proj.proj_schema,
+                                exec->proj.values.data(),
+                                exec->proj.values.size());
+      }
+      exec->compile_ns += ElapsedNs(t0, Clock::now());
+    } else {
+      // GROUPING / decomposition run through the relation-level
+      // evaluators; materialize the WHERE result once and share it.
+      t0 = Clock::now();
+      exec->filtered =
+          stmt.where ? std::make_shared<const Relation>(
+                           table.SelectRows(exec->filtered_rows))
+                     : exec->snapshot;
+      exec->grouped = !stmt.grouping.empty();
+      exec->compile_ns += ElapsedNs(t0, Clock::now());
+    }
+  }
+
+  exec->plan_prefix = std::move(plan_str);
+  return exec;
+}
+
+// Executes a compiled plan: kernel work + materialization only. Pure
+// function of immutable shared state — safe to run concurrently.
+psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec,
+                              const BmoOptions& options) {
+  const psql::SelectStatement& stmt = plan.stmt;
+  const Relation& table = *exec.snapshot;
+  psql::QueryResult result;
+  result.preference_term = exec.preference_term;
+  result.plan_details = exec.plan_details;
+  std::string plan_str = exec.plan_prefix;
+
+  Relation current;
+  std::vector<double> utilities;
+  const bool subset = exec.use_row_subset;
+  const size_t pool_size = subset ? exec.filtered_rows.size() : table.size();
+
+  if (exec.ranked) {
+    // WHERE and BUT ONLY were folded into the candidate pool at compile.
+    std::vector<size_t> rows;
+    if (!stmt.grouping.empty()) {
+      for (const auto& group : exec.ranked_groups) {
+        RankedRows rr = TopKRows(table, exec.utility, stmt.top_k, &group);
+        for (size_t i = 0; i < rr.rows.size(); ++i) {
+          rows.push_back(group[rr.rows[i]]);
+          utilities.push_back(rr.utilities[i]);
+        }
+      }
+    } else {
+      RankedRows rr = TopKRows(table, exec.utility, stmt.top_k,
+                               subset ? &exec.filtered_rows : nullptr);
+      for (size_t i = 0; i < rr.rows.size(); ++i) {
+        rows.push_back(subset ? exec.filtered_rows[rr.rows[i]] : rr.rows[i]);
+        utilities.push_back(rr.utilities[i]);
+      }
+    }
+    current = table.SelectRows(rows);
+  } else if (plan.preference) {
+    if (exec.block_path) {
+      const size_t m = exec.proj.values.size();
+      std::vector<size_t> rows;
+      if (m > 0) {
+        std::vector<bool> maximal;
+        if (exec.exec_algo == BmoAlgorithm::kParallel) {
+          ParallelBmoConfig config;
+          config.num_threads = options.num_threads;
+          config.vectorize = options.vectorize;
+          maximal = MaximaParallel(
+              exec.proj.values, exec.exec_pref, exec.proj.proj_schema, config,
+              exec.score_table ? &*exec.score_table : nullptr);
+        } else if (exec.score_table) {
+          maximal = exec.score_table->MaximaRange(exec.exec_algo, 0, m);
+        } else {
+          maximal = internal::ComputeMaximaBlock(
+              exec.proj.values.data(), m, exec.exec_pref,
+              exec.proj.proj_schema, exec.exec_algo, /*vectorize=*/false);
+        }
+        for (size_t i = 0; i < pool_size; ++i) {
+          if (maximal[exec.proj.row_to_value[i]]) {
+            rows.push_back(subset ? exec.filtered_rows[i] : i);
+          }
+        }
+      }
+      current = table.SelectRows(rows);
+    } else {
+      BmoOptions run_options = options;
+      run_options.algorithm = exec.exec_algo;
+      current = exec.grouped
+                    ? BmoGroupBy(*exec.filtered, exec.exec_pref,
+                                 stmt.grouping, run_options)
+                    : Bmo(*exec.filtered, exec.exec_pref, run_options);
+    }
+    if (exec.but_only) {
+      current = current.Filter(exec.but_only);
+      plan_str += " -> but_only[" + stmt.but_only->ToString() + "]";
+    }
+  } else {
+    current = stmt.where ? table.SelectRows(exec.filtered_rows) : table;
+  }
+
+  // Projection.
+  if (!stmt.select_list.empty()) {
+    current = current.Project(stmt.select_list);
+    plan_str += " -> project";
+  }
+
+  // LIMIT.
+  if (stmt.limit > 0 && current.size() > stmt.limit) {
+    std::vector<size_t> head(stmt.limit);
+    std::iota(head.begin(), head.end(), 0);
+    current = current.SelectRows(head);
+    plan_str += " -> limit " + std::to_string(stmt.limit);
+  }
+  if (exec.ranked && utilities.size() > current.size()) {
+    utilities.resize(current.size());
+  }
+
+  result.relation = std::move(current);
+  result.utilities = std::move(utilities);
+  result.plan = std::move(plan_str);
+  return result;
+}
+
+}  // namespace
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (in_string) {
+      out += c;
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;  // SQL line comment
+      pending_space = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += c;
+    if (c == '\'') in_string = true;
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+
+psql::QueryResult PreparedQuery::Run() const { return Run(options_); }
+
+psql::QueryResult PreparedQuery::Run(const BmoOptions& options) const {
+  psql::QueryStats stats;
+  stats.plan_cache_hit = true;  // the prepared plan is already bound
+  return engine_->RunWithStats(*plan_, options, stats, Clock::now());
+}
+
+const psql::SelectStatement& PreparedQuery::statement() const {
+  return plan_->stmt;
+}
+
+const std::string& PreparedQuery::normalized_sql() const { return plan_->key; }
+
+std::string PreparedQuery::preference_term() const {
+  return plan_->preference ? plan_->preference->ToString() : "";
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+Engine::Engine(const psql::Catalog& catalog, EngineOptions options)
+    : options_(std::move(options)), catalog_(catalog) {}
+
+void Engine::RegisterTable(const std::string& name, Relation relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_.Register(name, std::move(relation));
+  InvalidateTable(name);
+}
+
+void Engine::Insert(const std::string& name, Tuple row) {
+  // Copy-on-write: readers keep their snapshot, the catalog swaps in the
+  // appended relation under a bumped version. The O(n) copy runs outside
+  // the engine mutex so concurrent queries never stall behind it; a
+  // version check before the swap restarts the copy if another mutation
+  // won the race.
+  for (;;) {
+    std::shared_ptr<const Relation> snapshot;
+    uint64_t version = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot = catalog_.GetShared(name);  // throws when unknown
+      version = catalog_.Version(name);
+    }
+    Relation next = *snapshot;
+    next.Add(row);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (catalog_.Version(name) != version) continue;  // raced; redo the copy
+    catalog_.Register(name, std::move(next));
+    InvalidateTable(name);
+    return;
+  }
+}
+
+bool Engine::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.Has(name);
+}
+
+std::shared_ptr<const Relation> Engine::Snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.GetShared(name);
+}
+
+uint64_t Engine::TableVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.Version(name);
+}
+
+std::vector<std::string> Engine::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.TableNames();
+}
+
+void Engine::InvalidateTable(const std::string& name) {
+  for (auto it = exec_cache_.begin(); it != exec_cache_.end();) {
+    if (it->second->table_name == name) {
+      it = exec_cache_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
+    const std::string& sql, psql::QueryStats* stats) {
+  std::string key = NormalizeSql(sql);
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++stats_.plan_hits;
+      stats->plan_cache_hit = true;
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<Plan>();
+  Clock::time_point t0 = Clock::now();
+  plan->stmt = psql::Parse(sql);
+  Clock::time_point t1 = Clock::now();
+  plan->preference = psql::TranslatePreferenceChain(plan->stmt.preferring);
+  Clock::time_point t2 = Clock::now();
+  plan->parse_ns = ElapsedNs(t0, t1);
+  plan->translate_ns = ElapsedNs(t1, t2);
+  plan->key = std::move(key);
+  stats->parse_ns = plan->parse_ns;
+  stats->translate_ns = plan->translate_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.plan_misses;
+  if (options_.enable_plan_cache) {
+    // A racing Prepare may have inserted first; the entries are identical.
+    return plan_cache_.emplace(plan->key, plan).first->second;
+  }
+  return plan;
+}
+
+std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
+    const psql::SelectStatement& stmt, psql::QueryStats* stats) {
+  std::string key = stmt.ToString();
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++stats_.plan_hits;
+      stats->plan_cache_hit = true;
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<Plan>();
+  plan->stmt = stmt;
+  Clock::time_point t0 = Clock::now();
+  plan->preference = psql::TranslatePreferenceChain(stmt.preferring);
+  plan->translate_ns = ElapsedNs(t0, Clock::now());
+  plan->key = std::move(key);
+  stats->translate_ns = plan->translate_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.plan_misses;
+  if (options_.enable_plan_cache) {
+    return plan_cache_.emplace(plan->key, plan).first->second;
+  }
+  return plan;
+}
+
+std::shared_ptr<const engine_internal::Exec> Engine::GetOrBuildExec(
+    const engine_internal::Plan& plan, const BmoOptions& options,
+    psql::QueryStats* stats) {
+  std::shared_ptr<const Relation> snapshot;
+  uint64_t version = 0;
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = catalog_.GetShared(plan.stmt.table);  // throws when unknown
+    version = catalog_.Version(plan.stmt.table);
+    if (options_.enable_exec_cache) {
+      key = plan.key + "|" + OptionsSignature(options) + "|v" +
+            std::to_string(version);
+      auto it = exec_cache_.find(key);
+      if (it != exec_cache_.end()) {
+        ++stats_.exec_hits;
+        stats->exec_cache_hit = true;
+        return it->second;
+      }
+    }
+  }
+  // Build outside the lock: compilation may be heavy and must not block
+  // concurrent queries. A racing build of the same key produces an
+  // identical immutable entry; last writer wins.
+  std::shared_ptr<const Exec> exec =
+      BuildExec(plan, options, std::move(snapshot), version);
+  stats->optimize_ns = exec->optimize_ns;
+  stats->compile_ns = exec->compile_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.exec_misses;
+  // Don't cache an entry whose table version was bumped (and invalidated)
+  // while we built: it could never be hit again and would pin the stale
+  // snapshot + score table until the table's next mutation.
+  if (options_.enable_exec_cache &&
+      catalog_.Version(plan.stmt.table) == version) {
+    exec_cache_[key] = exec;
+  }
+  return exec;
+}
+
+psql::QueryResult Engine::RunWithStats(const engine_internal::Plan& plan,
+                                       const BmoOptions& options,
+                                       psql::QueryStats stats,
+                                       std::chrono::steady_clock::time_point t0) {
+  std::shared_ptr<const Exec> exec = GetOrBuildExec(plan, options, &stats);
+  Clock::time_point t1 = Clock::now();
+  psql::QueryResult result = ExecuteExec(plan, *exec, options);
+  Clock::time_point t2 = Clock::now();
+  stats.execute_ns = ElapsedNs(t1, t2);
+  stats.total_ns = ElapsedNs(t0, t2);
+  result.stats = stats;
+  if (plan.stmt.explain) {
+    result.plan_details += "timing: " + stats.ToString() + "\n";
+  }
+  return result;
+}
+
+PreparedQuery Engine::Prepare(const std::string& sql) {
+  return Prepare(sql, options_.bmo);
+}
+
+PreparedQuery Engine::Prepare(const std::string& sql,
+                              const BmoOptions& options) {
+  psql::QueryStats ignored;
+  return PreparedQuery(this, GetOrBuildPlan(sql, &ignored), options);
+}
+
+PreparedQuery Engine::Prepare(const psql::SelectStatement& stmt) {
+  return Prepare(stmt, options_.bmo);
+}
+
+PreparedQuery Engine::Prepare(const psql::SelectStatement& stmt,
+                              const BmoOptions& options) {
+  psql::QueryStats ignored;
+  return PreparedQuery(this, GetOrBuildPlan(stmt, &ignored), options);
+}
+
+psql::QueryResult Engine::Execute(const std::string& sql) {
+  return Execute(sql, options_.bmo);
+}
+
+psql::QueryResult Engine::Execute(const std::string& sql,
+                                  const BmoOptions& options) {
+  Clock::time_point t0 = Clock::now();
+  psql::QueryStats stats;
+  auto plan = GetOrBuildPlan(sql, &stats);
+  return RunWithStats(*plan, options, stats, t0);
+}
+
+psql::QueryResult Engine::Execute(const psql::SelectStatement& stmt) {
+  return Execute(stmt, options_.bmo);
+}
+
+psql::QueryResult Engine::Execute(const psql::SelectStatement& stmt,
+                                  const BmoOptions& options) {
+  Clock::time_point t0 = Clock::now();
+  psql::QueryStats stats;
+  auto plan = GetOrBuildPlan(stmt, &stats);
+  return RunWithStats(*plan, options, stats, t0);
+}
+
+std::shared_ptr<const engine_internal::Plan> Engine::BuildTermPlan(
+    const std::string& table, const PrefPtr& preference, bool ranked,
+    size_t top_k) {
+  if (!preference) {
+    throw std::invalid_argument("a preference term is required");
+  }
+  // Synthetic statement: SELECT * FROM table with the term attached
+  // directly (no SQL rendering exists for every term, e.g. rank(F)).
+  // The "term:"/"ranked:" prefixes cannot collide with SQL plan keys —
+  // such a text would fail to parse before insertion. The key includes
+  // the term's object identity because ToString() is not injective
+  // (SubsetPreference renders only its subset size, rank(F) only its
+  // function name); the cached plan's shared_ptr keeps the object alive,
+  // so its address cannot be reused by a different live term.
+  char identity[32];
+  std::snprintf(identity, sizeof(identity), "%p",
+                static_cast<const void*>(preference.get()));
+  std::string key = (ranked ? "ranked:k=" + std::to_string(top_k) + ":"
+                            : std::string("term:")) +
+                    table + "@" + identity + ":" + preference->ToString();
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++stats_.plan_hits;
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<Plan>();
+  plan->stmt.table = table;
+  plan->stmt.ranked = ranked;
+  plan->stmt.top_k = top_k;
+  plan->preference = preference;
+  plan->key = std::move(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.plan_misses;
+  if (options_.enable_plan_cache) {
+    return plan_cache_.emplace(plan->key, plan).first->second;
+  }
+  return plan;
+}
+
+PreparedQuery Engine::Prepare(const std::string& table,
+                              const PrefPtr& preference) {
+  return Prepare(table, preference, options_.bmo);
+}
+
+PreparedQuery Engine::Prepare(const std::string& table,
+                              const PrefPtr& preference,
+                              const BmoOptions& options) {
+  return PreparedQuery(
+      this, BuildTermPlan(table, preference, /*ranked=*/false, 0), options);
+}
+
+PreparedQuery Engine::PrepareRanked(const std::string& table,
+                                    const PrefPtr& preference, size_t top_k) {
+  return PreparedQuery(
+      this, BuildTermPlan(table, preference, /*ranked=*/true, top_k),
+      options_.bmo);
+}
+
+void Engine::StorePreference(const std::string& name,
+                             const PrefPtr& preference) {
+  std::lock_guard<std::mutex> lock(mu_);
+  repository_.Store(name, preference);
+}
+
+PrefPtr Engine::GetPreference(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repository_.Get(name);
+}
+
+PreparedQuery Engine::PrepareStored(const std::string& table,
+                                    const std::string& name) {
+  PrefPtr preference = GetPreference(name);
+  if (!preference) {
+    throw std::out_of_range("no stored preference named '" + name + "'");
+  }
+  return Prepare(table, preference);
+}
+
+void Engine::LoadRepository(PreferenceRepository repository) {
+  std::lock_guard<std::mutex> lock(mu_);
+  repository_ = std::move(repository);
+}
+
+PreferenceRepository Engine::Repository() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return repository_;
+}
+
+Engine::CacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Engine::ClearCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_cache_.clear();
+  exec_cache_.clear();
+}
+
+}  // namespace prefdb

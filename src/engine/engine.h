@@ -1,0 +1,221 @@
+// The stateful Preference SQL engine: the long-lived query service the
+// paper's serving scenario assumes. Repeated preference queries against
+// the same relations dominate real traffic, so the engine separates the
+// reusable per-statement work from per-call kernel execution:
+//
+//   Engine          owns the Catalog (copy-on-write relation snapshots with
+//                   per-table version counters), the default execution
+//                   options / thread budget, and two caches:
+//                     - plan cache:   normalized statement text ->
+//                                     parsed AST + translated preference
+//                                     term (data-independent);
+//                     - exec cache:   (statement, table version, options) ->
+//                                     optimized term, WHERE row set,
+//                                     projection index and compiled
+//                                     ScoreTable (data-dependent).
+//   PreparedQuery   Engine::Prepare(sql)'s handle on a cached plan;
+//                   Run() does only the BMO kernel work (or the ranked
+//                   sort) plus result materialization on a warm cache.
+//
+// Relation mutation through the engine (RegisterTable / Insert) bumps the
+// table's version, which invalidates dependent exec-cache entries; readers
+// keep their immutable snapshots, so Run() racing a mutation is safe and
+// sees a consistent (old or new) state.
+//
+// Thread-safety: all Engine methods and PreparedQuery::Run() may be called
+// concurrently from multiple threads. Cached state is immutable after
+// construction; the engine's mutex only guards the catalog map and the
+// cache indexes. A PreparedQuery must not outlive its Engine.
+
+#ifndef PREFDB_ENGINE_ENGINE_H_
+#define PREFDB_ENGINE_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/bmo.h"
+#include "psql/catalog.h"
+#include "psql/executor.h"
+#include "psql/parser.h"
+#include "repo/repository.h"
+
+namespace prefdb {
+
+namespace engine_internal {
+struct Plan;
+struct Exec;
+}  // namespace engine_internal
+
+struct EngineOptions {
+  /// Default execution options (algorithm, thread budget, vectorize).
+  BmoOptions bmo;
+  /// Cache parsed + translated plans by normalized statement text.
+  bool enable_plan_cache = true;
+  /// Cache optimized + compiled execution state by (statement, table
+  /// version, options). Disable for cold-execution baselines.
+  bool enable_exec_cache = true;
+};
+
+class Engine;
+
+/// A prepared statement: immutable parsed AST + translated preference
+/// term, bound to an Engine. Run() executes against the current table
+/// version, reusing the engine's compiled score-table state when the
+/// version still matches. Cheap to copy; safe to Run() concurrently.
+class PreparedQuery {
+ public:
+  /// Executes and returns the result. Per-phase stats report only the
+  /// work this call performed (parse/translate are always cached here).
+  psql::QueryResult Run() const;
+
+  /// Same, overriding the execution options for this run (a different
+  /// option signature compiles its own exec-cache entry).
+  psql::QueryResult Run(const BmoOptions& options) const;
+
+  const psql::SelectStatement& statement() const;
+  /// Normalized statement text — the engine's plan-cache key.
+  const std::string& normalized_sql() const;
+  /// The translated preference term ("" when the statement has none).
+  std::string preference_term() const;
+
+ private:
+  friend class Engine;
+  PreparedQuery(Engine* engine, std::shared_ptr<const engine_internal::Plan> plan,
+                BmoOptions options)
+      : engine_(engine), plan_(std::move(plan)), options_(options) {}
+
+  Engine* engine_;
+  std::shared_ptr<const engine_internal::Plan> plan_;
+  BmoOptions options_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Snapshots an existing catalog (cheap: relations are shared
+  /// copy-on-write, no tuple copies).
+  explicit Engine(const psql::Catalog& catalog, EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- table management (mutations bump versions and invalidate caches)
+
+  /// Registers (or replaces) a relation and bumps its version.
+  void RegisterTable(const std::string& name, Relation relation);
+  /// Appends one row (copy-on-write: O(n) on the relation) and bumps the
+  /// version. Throws std::out_of_range on an unknown table.
+  void Insert(const std::string& name, Tuple row);
+  bool HasTable(const std::string& name) const;
+  /// Current immutable snapshot; throws std::out_of_range when unknown.
+  std::shared_ptr<const Relation> Snapshot(const std::string& name) const;
+  /// Monotonic per-table version (0 = no such table).
+  uint64_t TableVersion(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // --- queries
+
+  /// Parses (or fetches from the plan cache) and binds a prepared query.
+  /// Throws psql::SyntaxError on malformed SQL.
+  PreparedQuery Prepare(const std::string& sql);
+  PreparedQuery Prepare(const std::string& sql, const BmoOptions& options);
+  /// Binds an already-parsed statement (keyed by its canonical rendering).
+  PreparedQuery Prepare(const psql::SelectStatement& stmt);
+  PreparedQuery Prepare(const psql::SelectStatement& stmt,
+                        const BmoOptions& options);
+
+  /// Prepare + Run in one call; repeated texts hit the plan cache.
+  psql::QueryResult Execute(const std::string& sql);
+  psql::QueryResult Execute(const std::string& sql, const BmoOptions& options);
+  psql::QueryResult Execute(const psql::SelectStatement& stmt);
+  psql::QueryResult Execute(const psql::SelectStatement& stmt,
+                            const BmoOptions& options);
+
+  // --- programmatic preference queries (the repository layer's path)
+
+  /// Binds σ[P](table) as a prepared BMO query, cached like SQL plans
+  /// (key: table + canonical term). Covers terms with no SQL spelling —
+  /// rank(F), EXPLICIT graphs, repository-stored wish lists.
+  PreparedQuery Prepare(const std::string& table, const PrefPtr& preference);
+  PreparedQuery Prepare(const std::string& table, const PrefPtr& preference,
+                        const BmoOptions& options);
+  /// Binds a ranked (k-best, §6.2) query for any single-utility term
+  /// (rank(F) included). k = 0 ranks everything.
+  PreparedQuery PrepareRanked(const std::string& table,
+                              const PrefPtr& preference, size_t top_k);
+
+  // --- the engine's preference repository (repo/repository.h)
+
+  /// Stores (or replaces) a named preference term. Same contract as
+  /// PreferenceRepository::Store (the term must be serializable).
+  void StorePreference(const std::string& name, const PrefPtr& preference);
+  /// Looks a stored term up; nullptr when absent.
+  PrefPtr GetPreference(const std::string& name) const;
+  /// Prepares σ[P](table) for the stored term `name`; throws
+  /// std::out_of_range when no such preference exists.
+  PreparedQuery PrepareStored(const std::string& table,
+                              const std::string& name);
+  /// Installs a whole repository (e.g. loaded from disk); replaces the
+  /// current store.
+  void LoadRepository(PreferenceRepository repository);
+  /// Snapshot copy of the current store (cheap: terms are shared).
+  PreferenceRepository Repository() const;
+
+  // --- introspection
+
+  struct CacheStats {
+    size_t plan_hits = 0;
+    size_t plan_misses = 0;
+    size_t exec_hits = 0;
+    size_t exec_misses = 0;
+    /// Exec entries dropped by table mutations.
+    size_t invalidations = 0;
+  };
+  CacheStats cache_stats() const;
+  void ClearCaches();
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  friend class PreparedQuery;
+
+  std::shared_ptr<const engine_internal::Plan> GetOrBuildPlan(
+      const std::string& sql, psql::QueryStats* stats);
+  std::shared_ptr<const engine_internal::Plan> GetOrBuildPlan(
+      const psql::SelectStatement& stmt, psql::QueryStats* stats);
+  std::shared_ptr<const engine_internal::Exec> GetOrBuildExec(
+      const engine_internal::Plan& plan, const BmoOptions& options,
+      psql::QueryStats* stats);
+  psql::QueryResult RunWithStats(
+      const engine_internal::Plan& plan, const BmoOptions& options,
+      psql::QueryStats stats, std::chrono::steady_clock::time_point start);
+  /// Drops exec-cache entries for `name`; caller holds mu_.
+  void InvalidateTable(const std::string& name);
+
+  std::shared_ptr<const engine_internal::Plan> BuildTermPlan(
+      const std::string& table, const PrefPtr& preference, bool ranked,
+      size_t top_k);
+
+  EngineOptions options_;
+  mutable std::mutex mu_;
+  psql::Catalog catalog_;
+  PreferenceRepository repository_;
+  std::unordered_map<std::string, std::shared_ptr<const engine_internal::Plan>>
+      plan_cache_;
+  std::unordered_map<std::string, std::shared_ptr<const engine_internal::Exec>>
+      exec_cache_;
+  CacheStats stats_;
+};
+
+/// Collapses insignificant whitespace and comments (outside string
+/// literals) and strips a trailing ';' — the engine's plan-cache key.
+std::string NormalizeSql(const std::string& sql);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ENGINE_ENGINE_H_

@@ -25,7 +25,12 @@ bool PrioritizedChainHead(const PrefPtr& p) {
 
 AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
                                 const BmoOptions& options) {
-  const size_t n = r.size();
+  return ChooseAlgorithm(r.schema(), r.size(), p, options);
+}
+
+AlgorithmChoice ChooseAlgorithm(const Schema& schema, size_t num_rows,
+                                const PrefPtr& p, const BmoOptions& options) {
+  const size_t n = num_rows;
   if (n <= kSmallInput) {
     return {BmoAlgorithm::kBlockNestedLoop,
             "input below " + std::to_string(kSmallInput) +
@@ -56,8 +61,8 @@ AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
   }
   bool has_keys = false;
   try {
-    has_keys = p->BindSortKeys(r.schema().Project(p->attributes()))
-                   .has_value();
+    has_keys =
+        p->BindSortKeys(schema.Project(p->attributes())).has_value();
   } catch (const std::out_of_range&) {
     has_keys = false;
   }
@@ -97,10 +102,15 @@ std::string OptimizedQuery::Explain() const {
 
 OptimizedQuery Optimize(const Relation& r, const PrefPtr& p,
                         const BmoOptions& options) {
+  return Optimize(r.schema(), r.size(), p, options);
+}
+
+OptimizedQuery Optimize(const Schema& schema, size_t num_rows,
+                        const PrefPtr& p, const BmoOptions& options) {
   OptimizedQuery out;
   out.original = p;
   out.simplified = Simplify(p, &out.rewrites);
-  out.choice = ChooseAlgorithm(r, out.simplified, options);
+  out.choice = ChooseAlgorithm(schema, num_rows, out.simplified, options);
   return out;
 }
 

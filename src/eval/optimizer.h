@@ -39,6 +39,13 @@ struct AlgorithmChoice {
 AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
                                 const BmoOptions& options = {});
 
+/// Statistics-only entry point: the choice needs just the schema and the
+/// (filtered) row count, so callers that keep row-index views instead of
+/// materialized relations (engine/engine.h) can plan without a copy.
+AlgorithmChoice ChooseAlgorithm(const Schema& schema, size_t num_rows,
+                                const PrefPtr& p,
+                                const BmoOptions& options = {});
+
 /// A fully optimized query: simplified term, rewrite trace, chosen
 /// algorithm.
 struct OptimizedQuery {
@@ -53,6 +60,10 @@ struct OptimizedQuery {
 
 OptimizedQuery Optimize(const Relation& r, const PrefPtr& p,
                         const BmoOptions& options = {});
+
+/// Statistics-only overload (see ChooseAlgorithm above).
+OptimizedQuery Optimize(const Schema& schema, size_t num_rows,
+                        const PrefPtr& p, const BmoOptions& options = {});
 
 /// Optimizes and evaluates in one step (equivalent to Bmo() by Prop 7,
 /// validated in optimizer_test). `options.algorithm` is ignored — the

@@ -6,41 +6,62 @@
 
 namespace prefdb {
 
-namespace {
+ScoreFn BindRankedUtility(const PrefPtr& p, const Schema& schema) {
+  if (const auto* rank = dynamic_cast<const RankPreference*>(p.get())) {
+    return rank->BindUtility(schema);
+  }
+  auto keys = p->BindSortKeys(schema);
+  if (!keys || keys->size() != 1) {
+    throw std::invalid_argument(
+        "ranked retrieval requires a single-utility preference (rank(F) or "
+        "one derivable sort key), got " +
+        p->ToString());
+  }
+  return (*keys)[0];
+}
 
-RankedResult TopKByUtility(const Relation& r, const ScoreFn& utility,
-                           size_t k) {
+RankedRows TopKRows(const Relation& r, const ScoreFn& utility, size_t k,
+                    const std::vector<size_t>* rows) {
+  const size_t n = rows ? rows->size() : r.size();
   std::vector<double> scores;
-  scores.reserve(r.size());
-  for (const Tuple& t : r.tuples()) scores.push_back(utility(t));
-  std::vector<size_t> order(r.size());
+  scores.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores.push_back(utility(r.at(rows ? (*rows)[i] : i)));
+  }
+  std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
     return scores[a] > scores[b];
   });
   if (k > 0 && k < order.size()) order.resize(k);
-  RankedResult out;
-  out.relation = Relation(r.schema());
+  RankedRows out;
+  out.rows.reserve(order.size());
+  out.utilities.reserve(order.size());
   for (size_t i : order) {
-    out.relation.Add(r.at(i));
+    out.rows.push_back(i);
     out.utilities.push_back(scores[i]);
   }
+  return out;
+}
+
+namespace {
+
+RankedResult Materialize(const Relation& r, const RankedRows& ranked) {
+  RankedResult out;
+  out.relation = Relation(r.schema());
+  for (size_t i : ranked.rows) out.relation.Add(r.at(i));
+  out.utilities = ranked.utilities;
   return out;
 }
 
 }  // namespace
 
 RankedResult TopK(const Relation& r, const RankPreference& rank, size_t k) {
-  return TopKByUtility(r, rank.BindUtility(r.schema()), k);
+  return Materialize(r, TopKRows(r, rank.BindUtility(r.schema()), k));
 }
 
 RankedResult TopK(const Relation& r, const PrefPtr& p, size_t k) {
-  auto keys = p->BindSortKeys(r.schema());
-  if (!keys || keys->size() != 1) {
-    throw std::invalid_argument(
-        "TopK requires a single-utility preference, got " + p->ToString());
-  }
-  return TopKByUtility(r, (*keys)[0], k);
+  return Materialize(r, TopKRows(r, BindRankedUtility(p, r.schema()), k));
 }
 
 }  // namespace prefdb

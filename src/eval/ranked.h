@@ -2,6 +2,9 @@
 // usually form chains, so BMO would return a single best object; instead,
 // multi-feature and full-text engines return the top k objects by the
 // combined utility. This module provides that retrieval mode.
+//
+// Reachable from Preference SQL via `SELECT TOP k ...` / `SELECT RANKED
+// ...` (psql/parser.h), routed here by the engine (engine/engine.h).
 
 #ifndef PREFDB_EVAL_RANKED_H_
 #define PREFDB_EVAL_RANKED_H_
@@ -20,13 +23,33 @@ struct RankedResult {
   std::vector<double> utilities;
 };
 
+/// Row-index form of RankedResult: positions into the queried row set, in
+/// descending utility order (ties broken by input order, deterministic).
+struct RankedRows {
+  std::vector<size_t> rows;
+  std::vector<double> utilities;
+};
+
+/// Derives the single combined utility of `p`: RankPreference's F, or the
+/// single topologically compatible sort key any numerical base preference
+/// (and Pareto combinations thereof) exposes. Throws std::invalid_argument
+/// when no single-key utility is derivable (e.g. prioritized chains).
+ScoreFn BindRankedUtility(const PrefPtr& p, const Schema& schema);
+
+/// Top k of the `count` rows of R listed in `rows` (all rows when `rows`
+/// is null), by `utility`. k = 0 returns everything ranked. The returned
+/// indices are positions into `rows` order (global row indices when `rows`
+/// is null).
+RankedRows TopKRows(const Relation& r, const ScoreFn& utility, size_t k,
+                    const std::vector<size_t>* rows = nullptr);
+
 /// Top k rows of R by the rank(F) combined utility (ties broken by input
 /// order, deterministic). k = 0 returns everything ranked.
 RankedResult TopK(const Relation& r, const RankPreference& rank, size_t k);
 
-/// Top k rows by any preference exposing a single sort key (every
-/// numerical base preference qualifies by the §3.4 hierarchy). Throws
-/// std::invalid_argument when no single-key utility is derivable.
+/// Top k rows by any preference exposing a single utility (see
+/// BindRankedUtility). Throws std::invalid_argument when no single-key
+/// utility is derivable.
 RankedResult TopK(const Relation& r, const PrefPtr& p, size_t k);
 
 }  // namespace prefdb

@@ -48,15 +48,25 @@ std::vector<size_t> MergeAntichains(const std::vector<Tuple>& values,
 std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
                                  const ParallelBmoConfig& config) {
+  return MaximaParallel(values, p, proj_schema, config, nullptr);
+}
+
+std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
+                                 const PrefPtr& p, const Schema& proj_schema,
+                                 const ParallelBmoConfig& config,
+                                 const ScoreTable* precompiled) {
   const size_t m = values.size();
   std::vector<bool> maximal(m, false);
   if (m == 0) return maximal;
 
-  // Compile once; every partition and merge round shares the immutable
-  // table (reads only, no synchronization needed).
-  std::optional<ScoreTable> table;
-  if (config.vectorize) {
-    table = ScoreTable::Compile(p, proj_schema, values.data(), m);
+  // Compile once (unless the caller hands a cached table in); every
+  // partition and merge round shares the immutable table (reads only, no
+  // synchronization needed).
+  std::optional<ScoreTable> local_table;
+  const ScoreTable* table = precompiled;
+  if (table == nullptr && config.vectorize) {
+    local_table = ScoreTable::Compile(p, proj_schema, values.data(), m);
+    if (local_table) table = &*local_table;
   }
 
   BmoAlgorithm algo = config.partition_algorithm;

@@ -21,6 +21,8 @@
 
 namespace prefdb {
 
+class ScoreTable;
+
 struct ParallelBmoConfig {
   /// Worker threads (0 = hardware concurrency).
   size_t num_threads = 0;
@@ -42,6 +44,15 @@ struct ParallelBmoConfig {
 std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
                                  const ParallelBmoConfig& config = {});
+
+/// Same, over a caller-supplied score table already compiled for exactly
+/// these `values` (the engine's per-(relation version, term) cache hands
+/// its table in so repeated runs skip recompilation). `precompiled` may be
+/// null, in which case the table is compiled locally per config.vectorize.
+std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
+                                 const PrefPtr& p, const Schema& proj_schema,
+                                 const ParallelBmoConfig& config,
+                                 const ScoreTable* precompiled);
 
 /// σ[P](R) row indices (ascending) evaluated with the parallel engine;
 /// same contract as BmoIndices().

@@ -18,6 +18,7 @@
 #include "datagen/cars.h"
 #include "datagen/random_terms.h"
 #include "datagen/vectors.h"
+#include "engine/engine.h"
 #include "eval/better_than_graph.h"
 #include "eval/bmo.h"
 #include "eval/decomposition.h"

@@ -78,6 +78,13 @@ using QualityConditionPtr = std::shared_ptr<QualityCondition>;
 struct SelectStatement {
   /// EXPLAIN prefix: report the optimizer's plan alongside the result.
   bool explain = false;
+  /// Ranked (k-best) output model of §6.2: `SELECT TOP k ...` / `SELECT
+  /// RANKED ...` replaces BMO with descending-utility ranking (ties broken
+  /// by input order). Requires a PREFERRING clause with a single derivable
+  /// utility.
+  bool ranked = false;
+  /// TOP k count; 0 with ranked=true means "rank everything".
+  size_t top_k = 0;
   std::vector<std::string> select_list;  // empty means '*'
   std::string table;
   ConditionPtr where;                   // may be null

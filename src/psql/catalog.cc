@@ -6,7 +6,9 @@
 namespace prefdb::psql {
 
 void Catalog::Register(const std::string& name, Relation relation) {
-  tables_.insert_or_assign(name, std::move(relation));
+  Entry& entry = tables_[name];
+  entry.relation = std::make_shared<const Relation>(std::move(relation));
+  ++entry.version;
 }
 
 bool Catalog::Has(const std::string& name) const {
@@ -14,6 +16,11 @@ bool Catalog::Has(const std::string& name) const {
 }
 
 const Relation& Catalog::Get(const std::string& name) const {
+  return *GetShared(name);
+}
+
+std::shared_ptr<const Relation> Catalog::GetShared(
+    const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     std::string known;
@@ -24,13 +31,18 @@ const Relation& Catalog::Get(const std::string& name) const {
     throw std::out_of_range("unknown table '" + name + "' (known: " + known +
                             ")");
   }
-  return it->second;
+  return it->second.relation;
+}
+
+uint64_t Catalog::Version(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.version;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
-  for (const auto& [name, rel] : tables_) names.push_back(name);
+  for (const auto& [name, entry] : tables_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }

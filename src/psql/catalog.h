@@ -1,9 +1,17 @@
 // A named-relation catalog: the "database" Preference SQL statements run
 // against.
+//
+// Relations are stored behind shared_ptr<const Relation> (copy-on-write):
+// Register() swaps in a fresh immutable snapshot and bumps the table's
+// version counter, so readers holding a snapshot are never invalidated
+// mid-read and cache layers (engine/engine.h) can key compiled state by
+// (table, version).
 
 #ifndef PREFDB_PSQL_CATALOG_H_
 #define PREFDB_PSQL_CATALOG_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,19 +22,33 @@ namespace prefdb::psql {
 
 class Catalog {
  public:
-  /// Registers (or replaces) a relation under a case-sensitive name.
+  /// Registers (or replaces) a relation under a case-sensitive name and
+  /// bumps the table's version.
   void Register(const std::string& name, Relation relation);
 
   bool Has(const std::string& name) const;
 
-  /// Looks up a relation; throws std::out_of_range with the list of known
+  /// Looks a relation up; throws std::out_of_range with the list of known
   /// tables when the name is unknown.
   const Relation& Get(const std::string& name) const;
+
+  /// The current immutable snapshot of a table; throws std::out_of_range
+  /// like Get(). The snapshot stays valid (and unchanged) across later
+  /// Register() calls on the same name.
+  std::shared_ptr<const Relation> GetShared(const std::string& name) const;
+
+  /// Monotonically increasing per-table version, bumped by every
+  /// Register() of that name. 0 means "no such table".
+  uint64_t Version(const std::string& name) const;
 
   std::vector<std::string> TableNames() const;
 
  private:
-  std::unordered_map<std::string, Relation> tables_;
+  struct Entry {
+    std::shared_ptr<const Relation> relation;
+    uint64_t version = 0;
+  };
+  std::unordered_map<std::string, Entry> tables_;
 };
 
 }  // namespace prefdb::psql

@@ -1,94 +1,51 @@
 #include "psql/executor.h"
 
-#include "eval/optimizer.h"
-#include "psql/translator.h"
+#include <cstdio>
+
+#include "engine/engine.h"
 
 namespace prefdb::psql {
 
+namespace {
+
+// The deprecated free functions are one-shot: a throwaway Engine with the
+// caches off gives exactly the legacy cold-execution behavior. The catalog
+// copy is cheap (relations are shared copy-on-write snapshots).
+EngineOptions OneShot(const BmoOptions& options) {
+  EngineOptions engine_options;
+  engine_options.bmo = options;
+  engine_options.enable_plan_cache = false;
+  engine_options.enable_exec_cache = false;
+  return engine_options;
+}
+
+}  // namespace
+
+std::string QueryStats::ToString() const {
+  auto ms = [](uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+    return std::string(buf);
+  };
+  std::string out = "parse=" + ms(parse_ns) + "ms translate=" +
+                    ms(translate_ns) + "ms optimize=" + ms(optimize_ns) +
+                    "ms compile=" + ms(compile_ns) + "ms execute=" +
+                    ms(execute_ns) + "ms total=" + ms(total_ns) + "ms";
+  out += std::string(" plan_cache=") + (plan_cache_hit ? "hit" : "miss");
+  out += std::string(" exec_cache=") + (exec_cache_hit ? "hit" : "miss");
+  return out;
+}
+
 QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
                     const BmoOptions& options) {
-  const Relation& table = catalog.Get(stmt.table);
-  QueryResult result;
-  std::string plan = "scan(" + stmt.table + ")";
-
-  // Hard selection (exact-match world).
-  Relation current = table;
-  if (stmt.where) {
-    current = current.Filter(CompileCondition(*stmt.where, table.schema()));
-    plan += " -> where[" + stmt.where->ToString() + "]";
-  }
-
-  // Soft selection (BMO world).
-  PrefPtr preference = TranslatePreferenceChain(stmt.preferring);
-  if (preference && !stmt.grouping.empty()) {
-    // Def. 16: sigma[P groupby A](R) == sigma[A<-> & P](R).
-    result.preference_term = preference->ToString();
-    if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
-      // Same optimizer routing as the ungrouped branch: rewrites preserve
-      // the per-group answer (Prop 7 applies within every group), and
-      // EXPLAIN must report a plan instead of empty details. The chosen
-      // algorithm runs per group and degrades gracefully on small groups.
-      OptimizedQuery optimized = Optimize(current, preference, options);
-      if (stmt.explain) result.plan_details = optimized.Explain();
-      BmoOptions exec_options = options;
-      exec_options.algorithm = optimized.choice.algorithm;
-      current =
-          BmoGroupBy(current, optimized.simplified, stmt.grouping, exec_options);
-      plan += " -> bmo_groupby[" + optimized.simplified->ToString() + ", " +
-              BmoAlgorithmName(optimized.choice.algorithm) + "]";
-    } else {
-      current = BmoGroupBy(current, preference, stmt.grouping, options);
-      plan += " -> bmo_groupby[" + result.preference_term + ", " +
-              BmoAlgorithmName(options.algorithm) + "]";
-    }
-  } else if (preference) {
-    result.preference_term = preference->ToString();
-    if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
-      // Route through the optimizer: algebraic rewrites (Prop 7 preserves
-      // the answer) + cost-based algorithm choice.
-      OptimizedQuery optimized = Optimize(current, preference, options);
-      if (stmt.explain) result.plan_details = optimized.Explain();
-      BmoOptions exec_options = options;
-      exec_options.algorithm = optimized.choice.algorithm;
-      current = Bmo(current, optimized.simplified, exec_options);
-      plan += " -> bmo[" + optimized.simplified->ToString() + ", " +
-              BmoAlgorithmName(optimized.choice.algorithm) + "]";
-    } else {
-      current = Bmo(current, preference, options);
-      plan += " -> bmo[" + result.preference_term + ", " +
-              BmoAlgorithmName(options.algorithm) + "]";
-    }
-  }
-
-  // Quality supervision.
-  if (stmt.but_only) {
-    current = current.Filter(CompileQualityCondition(
-        *stmt.but_only, preference, current.schema()));
-    plan += " -> but_only[" + stmt.but_only->ToString() + "]";
-  }
-
-  // Projection.
-  if (!stmt.select_list.empty()) {
-    current = current.Project(stmt.select_list);
-    plan += " -> project";
-  }
-
-  // LIMIT.
-  if (stmt.limit > 0 && current.size() > stmt.limit) {
-    std::vector<size_t> head(stmt.limit);
-    for (size_t i = 0; i < stmt.limit; ++i) head[i] = i;
-    current = current.SelectRows(head);
-    plan += " -> limit " + std::to_string(stmt.limit);
-  }
-
-  result.relation = std::move(current);
-  result.plan = std::move(plan);
-  return result;
+  Engine engine(catalog, OneShot(options));
+  return engine.Execute(stmt, options);
 }
 
 QueryResult ExecuteQuery(const std::string& sql, const Catalog& catalog,
                          const BmoOptions& options) {
-  return Execute(Parse(sql), catalog, options);
+  Engine engine(catalog, OneShot(options));
+  return engine.Execute(sql, options);
 }
 
 }  // namespace prefdb::psql

@@ -1,17 +1,49 @@
-// End-to-end Preference SQL execution: parse -> hard selection (WHERE) ->
-// BMO preference evaluation (PREFERRING/CASCADE) -> quality filter
-// (BUT ONLY) -> projection -> LIMIT.
+// Preference SQL query results and the legacy stateless entry points.
+//
+// The execution pipeline itself lives in the stateful engine
+// (engine/engine.h): parse -> hard selection (WHERE) -> BMO preference
+// evaluation (PREFERRING/CASCADE) or ranked retrieval (TOP k / RANKED) ->
+// quality filter (BUT ONLY) -> projection -> LIMIT.
+//
+// DEPRECATED: Execute() / ExecuteQuery() below re-parse, re-translate,
+// re-optimize and re-compile on every call. New code should hold a
+// prefdb::Engine and use Engine::Prepare() / Engine::Execute(), which
+// cache plans and compiled score tables across repeated queries. The free
+// functions remain as thin wrappers over a temporary Engine for one-shot
+// callers and existing tests; CI rejects new uses outside this layer.
 
 #ifndef PREFDB_PSQL_EXECUTOR_H_
 #define PREFDB_PSQL_EXECUTOR_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "eval/bmo.h"
 #include "psql/catalog.h"
 #include "psql/parser.h"
 
 namespace prefdb::psql {
+
+/// Per-phase wall-clock counters and cache outcomes for one query
+/// execution. Counters report time spent in *this* call: a phase served
+/// from an engine cache reports 0 ns and sets the corresponding hit flag.
+struct QueryStats {
+  uint64_t parse_ns = 0;
+  uint64_t translate_ns = 0;
+  uint64_t optimize_ns = 0;
+  uint64_t compile_ns = 0;  // WHERE filter + projection index + score table
+  uint64_t execute_ns = 0;  // BMO kernel / ranked sort + materialization
+  uint64_t total_ns = 0;
+  /// Parse+translate served from the engine's plan cache (always true for
+  /// PreparedQuery::Run, which holds its plan).
+  bool plan_cache_hit = false;
+  /// Optimize+compile served from the engine's score-table cache.
+  bool exec_cache_hit = false;
+
+  /// One-line human-readable rendering for the REPL and EXPLAIN.
+  std::string ToString() const;
+};
 
 struct QueryResult {
   Relation relation;
@@ -22,14 +54,21 @@ struct QueryResult {
   /// Optimizer report (rewrites + algorithm rationale); filled for
   /// EXPLAIN queries.
   std::string plan_details;
+  /// Ranked queries (TOP k / RANKED): utilities aligned 1:1 with
+  /// relation's rows, descending. Empty for BMO queries.
+  std::vector<double> utilities;
+  /// Per-phase timing and cache outcomes.
+  QueryStats stats;
 };
 
-/// Executes an already-parsed statement.
+/// DEPRECATED — executes an already-parsed statement through a temporary
+/// Engine. Prefer prefdb::Engine (engine/engine.h).
 QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
                     const BmoOptions& options = {});
 
-/// Parses and executes. Throws SyntaxError / std::out_of_range /
-/// std::invalid_argument on bad queries.
+/// DEPRECATED — parses and executes through a temporary Engine. Throws
+/// SyntaxError / std::out_of_range / std::invalid_argument on bad queries.
+/// Prefer prefdb::Engine (engine/engine.h).
 QueryResult ExecuteQuery(const std::string& sql, const Catalog& catalog,
                          const BmoOptions& options = {});
 

@@ -1,5 +1,6 @@
 #include "psql/lexer.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -21,6 +22,43 @@ std::string Upper(const std::string& s) {
 }
 
 }  // namespace
+
+SourcePosition LocateOffset(const std::string& sql, size_t offset) {
+  SourcePosition pos;
+  offset = std::min(offset, sql.size());
+  for (size_t i = 0; i < offset; ++i) {
+    if (sql[i] == '\n') {
+      ++pos.line;
+      pos.column = 1;
+    } else {
+      ++pos.column;
+    }
+  }
+  return pos;
+}
+
+std::string FormatSyntaxError(const std::string& sql, const SyntaxError& err) {
+  const size_t offset = std::min(err.position(), sql.size());
+  SourcePosition pos = LocateOffset(sql, offset);
+  // The raw what() already carries "(at offset N)"; strip that suffix in
+  // favor of the line/column rendering.
+  std::string message = err.what();
+  size_t suffix = message.rfind(" (at offset ");
+  if (suffix != std::string::npos) message.resize(suffix);
+  size_t line_begin = 0;
+  if (offset > 0) {
+    size_t nl = sql.rfind('\n', offset - 1);
+    if (nl != std::string::npos) line_begin = nl + 1;
+  }
+  size_t line_end = sql.find('\n', offset);
+  if (line_end == std::string::npos) line_end = sql.size();
+  std::string out = "error: " + message + " (line " +
+                    std::to_string(pos.line) + ", column " +
+                    std::to_string(pos.column) + ")\n";
+  out += "  " + sql.substr(line_begin, line_end - line_begin) + "\n";
+  out += "  " + std::string(offset - line_begin, ' ') + "^";
+  return out;
+}
 
 std::vector<Token> Tokenize(const std::string& input) {
   std::vector<Token> tokens;

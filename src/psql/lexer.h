@@ -28,6 +28,22 @@ class SyntaxError : public std::runtime_error {
 /// Tokenizes a Preference SQL text. The trailing token is always kEnd.
 std::vector<Token> Tokenize(const std::string& input);
 
+/// 1-based line/column of a byte offset in `sql` (columns count bytes).
+struct SourcePosition {
+  size_t line = 1;
+  size_t column = 1;
+};
+SourcePosition LocateOffset(const std::string& sql, size_t offset);
+
+/// Renders a syntax error with its source context: the message, the
+/// 1-based line/column, the offending source line, and a caret marking the
+/// column. For REPLs and batch drivers reporting errors to humans.
+///
+///   error: expected FROM, got 'PREFERRING' (line 1, column 15)
+///     SELECT * car PREFERRING LOWEST(price)
+///                  ^
+std::string FormatSyntaxError(const std::string& sql, const SyntaxError& err);
+
 }  // namespace prefdb::psql
 
 #endif  // PREFDB_PSQL_LEXER_H_

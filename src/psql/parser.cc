@@ -25,6 +25,22 @@ class Parser {
     SelectStatement stmt;
     if (AcceptKeyword("EXPLAIN")) stmt.explain = true;
     ExpectKeyword("SELECT");
+    if (AcceptKeyword("TOP")) {
+      // §6.2 ranked model: k best rows by combined utility. The bound
+      // keeps the double -> size_t cast defined; 0 is rejected rather
+      // than silently meaning "everything" (that's what RANKED says).
+      stmt.ranked = true;
+      double k = ExpectNumber("TOP count");
+      if (k < 1 || k != std::floor(k) || k > 1e15) {
+        throw SyntaxError(
+            "TOP count must be a positive integer (use RANKED to rank all "
+            "rows)", Cur().position);
+      }
+      stmt.top_k = static_cast<size_t>(k);
+    } else if (AcceptKeyword("RANKED")) {
+      // Rank everything (TOP 0).
+      stmt.ranked = true;
+    }
     stmt.select_list = ParseSelectList();
     ExpectKeyword("FROM");
     stmt.table = ExpectIdentifier("table name");
@@ -57,7 +73,16 @@ class Parser {
       stmt.but_only = ParseQualityCondition();
     }
     if (AcceptKeyword("LIMIT")) {
-      stmt.limit = static_cast<size_t>(ExpectNumber("LIMIT count"));
+      double limit = ExpectNumber("LIMIT count");
+      if (limit < 0 || limit != std::floor(limit) || limit > 1e15) {
+        throw SyntaxError("LIMIT count must be a non-negative integer",
+                          Cur().position);
+      }
+      stmt.limit = static_cast<size_t>(limit);
+    }
+    if (stmt.ranked && stmt.preferring.empty()) {
+      throw SyntaxError("TOP/RANKED requires a PREFERRING clause",
+                        Cur().position);
     }
     AcceptSymbol(";");
     if (!Cur().Is(TokenType::kEnd)) {
@@ -528,6 +553,9 @@ std::string QualityCondition::ToString() const {
 
 std::string SelectStatement::ToString() const {
   std::string out = explain ? "EXPLAIN SELECT " : "SELECT ";
+  if (ranked) {
+    out += top_k > 0 ? "TOP " + std::to_string(top_k) + " " : "RANKED ";
+  }
   if (select_list.empty()) {
     out += "*";
   } else {

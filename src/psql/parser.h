@@ -1,9 +1,11 @@
 // Recursive-descent parser for Preference SQL.
 //
 // Grammar (keywords case-insensitive):
-//   statement  := SELECT select_list FROM ident [WHERE cond]
-//                 [PREFERRING pref (CASCADE pref)*] [BUT ONLY qcond]
-//                 [LIMIT number] [';']
+//   statement  := SELECT [TOP number | RANKED] select_list FROM ident
+//                 [WHERE cond] [PREFERRING pref (CASCADE pref)*]
+//                 [BUT ONLY qcond] [LIMIT number] [';']
+//                 -- TOP k / RANKED switch to the §6.2 ranked (k-best)
+//                 -- output model and require a PREFERRING clause
 //   select_list:= '*' | ident (',' ident)*
 //   cond       := and_cond (OR and_cond)*
 //   and_cond   := not_cond (AND not_cond)*

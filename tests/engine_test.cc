@@ -1,0 +1,333 @@
+// Stateful engine tests: plan/score-table cache correctness (warm results
+// == cold results), invalidation on mutation, and race-freedom of
+// concurrent PreparedQuery::Run (exercised under ASan in CI; run a TSan
+// build locally for the data-race check).
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "datagen/cars.h"
+#include "eval/ranked.h"
+#include "psql/executor.h"
+
+namespace prefdb {
+namespace {
+
+Relation SmallCars() {
+  Schema s({{"make", ValueType::kString},
+            {"category", ValueType::kString},
+            {"color", ValueType::kString},
+            {"price", ValueType::kInt},
+            {"power", ValueType::kInt},
+            {"mileage", ValueType::kInt}});
+  Relation car(s);
+  car.Add({"Opel", "roadster", "red", 38000, 140, 30000});
+  car.Add({"Opel", "coupe", "red", 41000, 150, 60000});
+  car.Add({"Opel", "passenger", "blue", 39500, 90, 20000});
+  car.Add({"Opel", "roadster", "black", 45000, 170, 80000});
+  car.Add({"BMW", "roadster", "red", 40000, 190, 10000});
+  return car;
+}
+
+// The workload the caches must stay transparent for: a mix of WHERE,
+// Pareto/prioritized/layered terms, grouping, EXPLAIN, skyline and
+// quality supervision.
+const char* kQueries[] = {
+    "SELECT * FROM car PREFERRING LOWEST(price)",
+    "SELECT make, price FROM car WHERE make = 'Opel' "
+    "PREFERRING LOWEST(price) AND LOWEST(mileage)",
+    "SELECT * FROM car PREFERRING (category = 'roadster' ELSE "
+    "category <> 'passenger' AND price AROUND 40000 AND HIGHEST(power)) "
+    "CASCADE color = 'red' CASCADE LOWEST(mileage)",
+    "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make",
+    "SELECT * FROM car SKYLINE OF price MIN, mileage MIN",
+    "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) AND "
+    "LOWEST(mileage)",
+    "SELECT * FROM car PREFERRING price AROUND 40000 "
+    "BUT ONLY DISTANCE(price) <= 2000",
+    "SELECT make FROM car WHERE price < 42000 LIMIT 2",
+};
+
+TEST(EngineTest, RepeatedRunMatchesColdExecution) {
+  Relation car = SmallCars();
+  psql::Catalog catalog;
+  catalog.Register("car", car);
+  Engine engine;
+  engine.RegisterTable("car", car);
+  for (const char* sql : kQueries) {
+    psql::QueryResult cold = psql::ExecuteQuery(sql, catalog);
+    PreparedQuery prepared = engine.Prepare(sql);
+    psql::QueryResult first = prepared.Run();
+    psql::QueryResult second = prepared.Run();  // exec-cache hit
+    psql::QueryResult third = engine.Execute(sql);  // plan-cache hit
+    EXPECT_EQ(first.relation, cold.relation) << sql;
+    EXPECT_EQ(second.relation, cold.relation) << sql;
+    EXPECT_EQ(third.relation, cold.relation) << sql;
+    EXPECT_EQ(first.plan, cold.plan) << sql;
+    EXPECT_EQ(second.plan, cold.plan) << sql;
+    EXPECT_TRUE(second.stats.exec_cache_hit) << sql;
+    EXPECT_TRUE(third.stats.plan_cache_hit) << sql;
+  }
+  Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_GT(stats.exec_hits, 0u);
+  EXPECT_GT(stats.plan_hits, 0u);
+}
+
+TEST(EngineTest, PlanCacheNormalizesWhitespaceAndComments) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  engine.Execute("SELECT * FROM car PREFERRING LOWEST(price)");
+  psql::QueryResult res = engine.Execute(
+      "SELECT   *  FROM car  -- comment\n   PREFERRING LOWEST(price) ;");
+  EXPECT_TRUE(res.stats.plan_cache_hit);
+  EXPECT_EQ(res.relation.size(), 1u);
+}
+
+TEST(EngineTest, StringLiteralsSurviveNormalization) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  // Spaces inside string literals are significant; spaces around are not.
+  psql::QueryResult a =
+      engine.Execute("SELECT * FROM car WHERE make = 'Opel'");
+  psql::QueryResult b =
+      engine.Execute("SELECT * FROM car WHERE make = ' Opel'");
+  EXPECT_EQ(a.relation.size(), 4u);
+  EXPECT_EQ(b.relation.size(), 0u);
+  EXPECT_FALSE(b.stats.plan_cache_hit);
+}
+
+TEST(EngineTest, InsertInvalidatesAndRecomputes) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  PreparedQuery prepared =
+      engine.Prepare("SELECT * FROM car PREFERRING LOWEST(price)");
+  psql::QueryResult before = prepared.Run();
+  ASSERT_EQ(before.relation.size(), 1u);
+  EXPECT_EQ(before.relation.at(0)[3], Value(38000));
+  uint64_t v1 = engine.TableVersion("car");
+
+  // A new cheapest car must evict the cached score table and win.
+  engine.Insert("car", Tuple{"VW", "passenger", "white", 9000, 75, 1000});
+  EXPECT_GT(engine.TableVersion("car"), v1);
+  psql::QueryResult after = prepared.Run();
+  ASSERT_EQ(after.relation.size(), 1u);
+  EXPECT_EQ(after.relation.at(0)[3], Value(9000));
+  EXPECT_FALSE(after.stats.exec_cache_hit);
+  EXPECT_GT(engine.cache_stats().invalidations, 0u);
+
+  // The new state is cached again.
+  psql::QueryResult warm = prepared.Run();
+  EXPECT_TRUE(warm.stats.exec_cache_hit);
+  EXPECT_EQ(warm.relation, after.relation);
+}
+
+TEST(EngineTest, RegisterTableInvalidates) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  PreparedQuery prepared =
+      engine.Prepare("SELECT * FROM car PREFERRING HIGHEST(power)");
+  EXPECT_EQ(prepared.Run().relation.at(0)[4], Value(190));
+  Relation two(SmallCars().schema());
+  two.Add({"Audi", "coupe", "silver", 50000, 300, 500});
+  engine.RegisterTable("car", two);
+  psql::QueryResult res = prepared.Run();
+  ASSERT_EQ(res.relation.size(), 1u);
+  EXPECT_EQ(res.relation.at(0)[4], Value(300));
+}
+
+TEST(EngineTest, MutationDuringPreparedLifetimeIsSnapshotted) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  std::shared_ptr<const Relation> snapshot = engine.Snapshot("car");
+  engine.Insert("car", Tuple{"VW", "passenger", "white", 9000, 75, 1000});
+  // The old snapshot is untouched (copy-on-write).
+  EXPECT_EQ(snapshot->size(), 5u);
+  EXPECT_EQ(engine.Snapshot("car")->size(), 6u);
+}
+
+TEST(EngineTest, ExplicitAlgorithmsShareTheCache) {
+  Engine engine;
+  engine.RegisterTable("car", GenerateCars(800, 11));
+  const char* sql =
+      "SELECT oid, price, mileage FROM car "
+      "PREFERRING LOWEST(price) AND LOWEST(mileage)";
+  BmoOptions bnl;
+  bnl.algorithm = BmoAlgorithm::kBlockNestedLoop;
+  BmoOptions sfs;
+  sfs.algorithm = BmoAlgorithm::kSortFilter;
+  BmoOptions closures;
+  closures.vectorize = false;
+  psql::QueryResult auto_res = engine.Execute(sql);
+  psql::QueryResult bnl_res = engine.Execute(sql, bnl);
+  psql::QueryResult sfs_res = engine.Execute(sql, sfs);
+  psql::QueryResult closure_res = engine.Execute(sql, closures);
+  EXPECT_TRUE(auto_res.relation.SameRows(bnl_res.relation));
+  EXPECT_TRUE(auto_res.relation.SameRows(sfs_res.relation));
+  EXPECT_TRUE(auto_res.relation.SameRows(closure_res.relation));
+  // Distinct option signatures must not collide in the exec cache.
+  EXPECT_TRUE(engine.Execute(sql, bnl).stats.exec_cache_hit);
+  EXPECT_TRUE(engine.Execute(sql, closures).stats.exec_cache_hit);
+}
+
+TEST(EngineTest, ConcurrentRunsOnOnePreparedQuery) {
+  Engine engine;
+  engine.RegisterTable("car", GenerateCars(2000, 23));
+  PreparedQuery prepared = engine.Prepare(
+      "SELECT oid, price, mileage FROM car WHERE price < 30000 "
+      "PREFERRING LOWEST(price) AND LOWEST(mileage)");
+  psql::QueryResult expected = prepared.Run();
+  ASSERT_GE(expected.relation.size(), 1u);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&prepared, &expected, &mismatches] {
+      for (int i = 0; i < 20; ++i) {
+        psql::QueryResult res = prepared.Run();
+        if (!(res.relation == expected.relation)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EngineTest, ConcurrentRunsRacingMutations) {
+  Engine engine;
+  engine.RegisterTable("car", GenerateCars(500, 5));
+  PreparedQuery prepared =
+      engine.Prepare("SELECT * FROM car PREFERRING LOWEST(price)");
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&prepared, &stop, &failures] {
+      while (!stop.load()) {
+        psql::QueryResult res = prepared.Run();
+        // Every run sees a consistent snapshot: non-empty result with a
+        // single minimal price.
+        if (res.relation.empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 25; ++i) {
+    // Schema: oid, make, category, color, transmission, price, mileage,
+    // horsepower, year, fuel_economy, insurance_rating, commission.
+    engine.Insert("car",
+                  Tuple{static_cast<int64_t>(100000 + i), "VW", "suv", "blue",
+                        "manual", 15000 + i, 1000 * i, 90, 1998, 8.0, 3, 300});
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EngineTest, UnknownTableThrowsFromRun) {
+  Engine engine;
+  PreparedQuery prepared = engine.Prepare("SELECT * FROM nothing");
+  EXPECT_THROW(prepared.Run(), std::out_of_range);
+  // Registering the table afterwards makes the same prepared query work.
+  engine.RegisterTable("nothing", SmallCars());
+  EXPECT_EQ(prepared.Run().relation.size(), 5u);
+}
+
+TEST(EngineTest, CachesCanBeDisabled) {
+  EngineOptions options;
+  options.enable_plan_cache = false;
+  options.enable_exec_cache = false;
+  Engine engine(options);
+  engine.RegisterTable("car", SmallCars());
+  const char* sql = "SELECT * FROM car PREFERRING LOWEST(price)";
+  psql::QueryResult a = engine.Execute(sql);
+  psql::QueryResult b = engine.Execute(sql);
+  EXPECT_FALSE(b.stats.plan_cache_hit);
+  EXPECT_FALSE(b.stats.exec_cache_hit);
+  EXPECT_EQ(a.relation, b.relation);
+  Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.plan_hits, 0u);
+  EXPECT_EQ(stats.exec_hits, 0u);
+}
+
+TEST(EngineTest, ExplainCarriesTimingLine) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  psql::QueryResult res = engine.Execute(
+      "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price)");
+  EXPECT_NE(res.plan_details.find("algorithm:"), std::string::npos);
+  EXPECT_NE(res.plan_details.find("timing: parse="), std::string::npos);
+  EXPECT_NE(res.plan_details.find("exec_cache="), std::string::npos);
+  EXPECT_GT(res.stats.total_ns, 0u);
+}
+
+TEST(EngineTest, StoredPreferencesPrepareAndCache) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  engine.StorePreference(
+      "wish", Prioritized(Neg("color", {"black"}), Lowest("price")));
+  PreparedQuery q = engine.PrepareStored("car", "wish");
+  psql::QueryResult res = q.Run();
+  Relation direct = Bmo(*engine.Snapshot("car"), engine.GetPreference("wish"));
+  EXPECT_EQ(res.relation, direct);
+  EXPECT_TRUE(q.Run().stats.exec_cache_hit);
+  // The same (table, term) pair shares the plan entry.
+  engine.PrepareStored("car", "wish");
+  EXPECT_GT(engine.cache_stats().plan_hits, 0u);
+  EXPECT_THROW(engine.PrepareStored("car", "unknown"), std::out_of_range);
+}
+
+TEST(EngineTest, EqualRenderingDistinctTermsDoNotCollide) {
+  // SubsetPreference::ToString renders only the subset SIZE, so two
+  // different subsets of equal size have identical renderings; the term
+  // plan cache must key by object identity, not the rendering.
+  Engine engine;
+  Relation r(Schema{{"x", ValueType::kInt}});
+  for (int i = 0; i < 6; ++i) r.Add({i});
+  engine.RegisterTable("t", r);
+  PrefPtr low = Lowest("x");
+  PrefPtr sub_a = Subset(low, {Tuple{0}, Tuple{1}});
+  PrefPtr sub_b = Subset(low, {Tuple{4}, Tuple{5}});
+  ASSERT_EQ(sub_a->ToString(), sub_b->ToString());
+  Relation res_a = engine.Prepare("t", sub_a).Run().relation;
+  Relation res_b = engine.Prepare("t", sub_b).Run().relation;
+  EXPECT_EQ(res_a, Bmo(r, sub_a));
+  EXPECT_EQ(res_b, Bmo(r, sub_b));
+  EXPECT_FALSE(res_a == res_b);
+}
+
+TEST(EngineTest, ProgrammaticTermsIncludeRankF) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  // rank(F) has no SQL spelling; the programmatic path makes it cacheable.
+  PrefPtr rank = RankWeightedSum(
+      {1.0, 2.0}, {Lowest("price"), Around("mileage", 20000)});
+  PreparedQuery q = engine.PrepareRanked("car", rank, 3);
+  psql::QueryResult res = q.Run();
+  RankedResult direct =
+      TopK(*engine.Snapshot("car"),
+           *std::dynamic_pointer_cast<const RankPreference>(rank), 3);
+  EXPECT_EQ(res.relation, direct.relation);
+  EXPECT_EQ(res.utilities, direct.utilities);
+  EXPECT_TRUE(q.Run().stats.exec_cache_hit);
+}
+
+TEST(EngineTest, DeprecatedWrappersStillMatchEngine) {
+  Relation car = SmallCars();
+  psql::Catalog catalog;
+  catalog.Register("car", car);
+  Engine engine(catalog);
+  for (const char* sql : kQueries) {
+    psql::QueryResult wrapper = psql::ExecuteQuery(sql, catalog);
+    psql::QueryResult direct = engine.Execute(sql);
+    EXPECT_EQ(wrapper.relation, direct.relation) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -81,5 +81,52 @@ TEST(LexerTest, EmptyInputYieldsEndToken) {
   EXPECT_TRUE(toks[0].Is(TokenType::kEnd));
 }
 
+TEST(LexerTest, LocateOffsetCountsLinesAndColumns) {
+  const std::string sql = "SELECT *\nFROM car\nWHERE x = 1";
+  EXPECT_EQ(LocateOffset(sql, 0).line, 1u);
+  EXPECT_EQ(LocateOffset(sql, 0).column, 1u);
+  EXPECT_EQ(LocateOffset(sql, 7).column, 8u);
+  SourcePosition from = LocateOffset(sql, 9);  // 'F' of FROM
+  EXPECT_EQ(from.line, 2u);
+  EXPECT_EQ(from.column, 1u);
+  SourcePosition x = LocateOffset(sql, 24);  // 'x' on line 3
+  EXPECT_EQ(x.line, 3u);
+  EXPECT_EQ(x.column, 7u);
+  // Past-the-end offsets clamp instead of overflowing.
+  EXPECT_EQ(LocateOffset(sql, 10000).line, 3u);
+}
+
+TEST(LexerTest, FormatSyntaxErrorPointsCaretAtOffendingColumn) {
+  const std::string sql = "SELECT $";
+  try {
+    Tokenize(sql);
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    std::string report = FormatSyntaxError(sql, e);
+    EXPECT_NE(report.find("line 1, column 8"), std::string::npos) << report;
+    EXPECT_NE(report.find("SELECT $"), std::string::npos);
+    // Caret sits under the '$' (two-space indent + 7 columns).
+    EXPECT_NE(report.find("\n  " + std::string(7, ' ') + "^"),
+              std::string::npos)
+        << report;
+    // The raw "(at offset N)" suffix is replaced by line/column.
+    EXPECT_EQ(report.find("at offset"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, FormatSyntaxErrorReportsCorrectLineInMultilineInput) {
+  const std::string sql = "SELECT *\nFROM car\nWHERE # = 1";
+  try {
+    Tokenize(sql);
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    std::string report = FormatSyntaxError(sql, e);
+    EXPECT_NE(report.find("line 3, column 7"), std::string::npos) << report;
+    EXPECT_NE(report.find("WHERE # = 1"), std::string::npos);
+    EXPECT_EQ(report.find("SELECT *"), std::string::npos)
+        << "only the offending line is echoed: " << report;
+  }
+}
+
 }  // namespace
 }  // namespace prefdb::psql

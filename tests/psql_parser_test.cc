@@ -199,5 +199,49 @@ TEST(TranslatorTest, EmptyChainGivesNull) {
   EXPECT_EQ(TranslatePreferenceChain({}), nullptr);
 }
 
+TEST(ParserTest, TopKParsesCountAndSelectList) {
+  SelectStatement stmt = Parse(
+      "SELECT TOP 5 make, price FROM car PREFERRING LOWEST(price)");
+  EXPECT_TRUE(stmt.ranked);
+  EXPECT_EQ(stmt.top_k, 5u);
+  EXPECT_EQ(stmt.select_list,
+            (std::vector<std::string>{"make", "price"}));
+}
+
+TEST(ParserTest, RankedKeywordRanksEverything) {
+  SelectStatement stmt =
+      Parse("SELECT RANKED * FROM car PREFERRING HIGHEST(power)");
+  EXPECT_TRUE(stmt.ranked);
+  EXPECT_EQ(stmt.top_k, 0u);
+  EXPECT_TRUE(stmt.select_list.empty());
+}
+
+TEST(ParserTest, TopRequiresPreferring) {
+  EXPECT_THROW(Parse("SELECT TOP 5 * FROM car"), SyntaxError);
+}
+
+TEST(ParserTest, TopWorksWithSkylineOf) {
+  SelectStatement stmt =
+      Parse("SELECT TOP 2 * FROM car SKYLINE OF price MIN, mileage MIN");
+  EXPECT_TRUE(stmt.ranked);
+  EXPECT_EQ(stmt.top_k, 2u);
+  EXPECT_EQ(stmt.preferring.size(), 1u);
+}
+
+TEST(ParserTest, NegativeTopCountRejected) {
+  EXPECT_THROW(Parse("SELECT TOP -1 * FROM car PREFERRING LOWEST(price)"),
+               SyntaxError);
+}
+
+TEST(ParserTest, TopRoundTripsThroughToString) {
+  SelectStatement stmt = Parse(
+      "SELECT TOP 4 * FROM car PREFERRING LOWEST(price) GROUPING make");
+  SelectStatement reparsed = Parse(stmt.ToString());
+  EXPECT_TRUE(reparsed.ranked);
+  EXPECT_EQ(reparsed.top_k, 4u);
+  EXPECT_EQ(reparsed.grouping, stmt.grouping);
+  EXPECT_EQ(reparsed.ToString(), stmt.ToString());
+}
+
 }  // namespace
 }  // namespace prefdb::psql
