@@ -12,6 +12,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "prefdb.h"
 
 namespace {
@@ -147,6 +152,81 @@ BENCHMARK(BM_auto_anti)
 VECTOR_VS_CLOSURE(bnl, BmoAlgorithm::kBlockNestedLoop);
 VECTOR_VS_CLOSURE(sfs, BmoAlgorithm::kSortFilter);
 VECTOR_VS_CLOSURE(dc, BmoAlgorithm::kDivideConquer);
+
+// Kernel-variant families (the CI perf gate tracks these at N=4096, see
+// bench/compare.py): one compiled score table, measuring only the maxima
+// kernel, across the PR 2 row-major pair loops ("rowwise"), the portable
+// batch kernels ("scalar"), forced AVX2, and AVX2 + the L2-tiled BNL
+// window loop. On CPUs without AVX2 the forced-AVX2 variants degrade to
+// the batch scalar kernels (identical numbers, never a crash).
+constexpr size_t kUntiled = std::numeric_limits<size_t>::max();
+
+void RunKernelFamily(benchmark::State& state, BmoAlgorithm algo,
+                     SimdMode simd, size_t tile, Correlation corr) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = static_cast<size_t>(state.range(1));
+  Relation r = GenerateVectors(n, d, corr, 42);
+  PrefPtr p = SkylinePref(d);
+  ProjectionIndex proj = BuildProjectionIndex(r, *p);
+  auto table = ScoreTable::Compile(p, proj.proj_schema, proj.values.data(),
+                                   proj.values.size());
+  KernelPolicy policy{simd, tile};
+  size_t skyline = 0;
+  for (auto _ : state) {
+    std::vector<bool> maximal =
+        table->MaximaRange(algo, 0, proj.values.size(), policy);
+    skyline = static_cast<size_t>(
+        std::count(maximal.begin(), maximal.end(), true));
+    benchmark::DoNotOptimize(maximal);
+  }
+  state.counters["skyline"] = static_cast<double>(skyline);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+#define KERNEL_BENCH(fam, algo, variant, simd, tile, corr_name, corr, args) \
+  void BM_kernel_##fam##_##variant##_##corr_name(benchmark::State& state) { \
+    RunKernelFamily(state, algo, simd, tile, corr);                         \
+  }                                                                         \
+  BENCHMARK(BM_kernel_##fam##_##variant##_##corr_name)                      \
+      ->ArgsProduct(args)                                                   \
+      ->Unit(benchmark::kMillisecond)
+
+#define KERNEL_BNL_ANTI(variant, simd, tile)                             \
+  KERNEL_BENCH(bnl, BmoAlgorithm::kBlockNestedLoop, variant, simd, tile, \
+               anti, Correlation::kAntiCorrelated,                       \
+               (std::vector<std::vector<int64_t>>{{4096, 10000, 100000}, \
+                                                  {2, 4}}))
+KERNEL_BNL_ANTI(rowwise, SimdMode::kOff, kUntiled);
+KERNEL_BNL_ANTI(scalar, SimdMode::kScalar, kUntiled);
+KERNEL_BNL_ANTI(avx2, SimdMode::kAvx2, kUntiled);
+KERNEL_BNL_ANTI(avx2_tiled, SimdMode::kAvx2, 0);
+
+#define KERNEL_BNL_INDEP(variant, simd, tile)                            \
+  KERNEL_BENCH(bnl, BmoAlgorithm::kBlockNestedLoop, variant, simd, tile, \
+               indep, Correlation::kIndependent,                         \
+               (std::vector<std::vector<int64_t>>{                       \
+                   {4096, 10000, 100000, 1000000}, {4}}))
+KERNEL_BNL_INDEP(rowwise, SimdMode::kOff, kUntiled);
+KERNEL_BNL_INDEP(scalar, SimdMode::kScalar, kUntiled);
+KERNEL_BNL_INDEP(avx2, SimdMode::kAvx2, kUntiled);
+KERNEL_BNL_INDEP(avx2_tiled, SimdMode::kAvx2, 0);
+
+#define KERNEL_SFS_ANTI(variant, simd)                                  \
+  KERNEL_BENCH(sfs, BmoAlgorithm::kSortFilter, variant, simd, kUntiled, \
+               anti, Correlation::kAntiCorrelated,                      \
+               (std::vector<std::vector<int64_t>>{{4096, 10000, 100000}, \
+                                                  {4}}))
+KERNEL_SFS_ANTI(rowwise, SimdMode::kOff);
+KERNEL_SFS_ANTI(avx2, SimdMode::kAvx2);
+
+#define KERNEL_DC_INDEP(variant, simd)                                     \
+  KERNEL_BENCH(dc, BmoAlgorithm::kDivideConquer, variant, simd, kUntiled, \
+               indep, Correlation::kIndependent,                           \
+               (std::vector<std::vector<int64_t>>{{4096, 10000, 100000},   \
+                                                  {4}}))
+KERNEL_DC_INDEP(rowwise, SimdMode::kOff);
+KERNEL_DC_INDEP(avx2, SimdMode::kAvx2);
 
 // Level-term workload: closure evaluation has no sort keys (BNL only),
 // the score table compiles levels and presorts.

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare Google Benchmark JSON against baselines.
+
+For every BENCH_*.json in --baseline, the same-named file must exist in
+--current; each tracked family (median aggregate when repetitions were
+used, plain entry otherwise) is compared and the gate fails when a family
+regresses by more than --tolerance, or disappears.
+
+Committed baselines come from a different machine than the CI runner, so
+by default times are *anchored*: each family is normalized by the file's
+anchor family (the first entry matching an --anchor substring, e.g. the
+rowwise/pre-SIMD kernel, or a cold engine run) before comparing. Machine
+speed then cancels out and the gate tracks kernel-relative regressions —
+e.g. "avx2 BNL lost ground against the rowwise baseline". The trade-off:
+a uniform slowdown that hits the anchor equally is invisible; run with
+--absolute on same-machine baselines to catch that instead.
+
+Regenerating baselines: download the bench-compare job's artifact (or run
+`ctest -L bench-smoke` in a Release build) and copy the BENCH_*.json
+files into bench/baselines/.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_families(path):
+    """name -> real_time (ns) for the tracked entries of one JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    benchmarks = data.get("benchmarks", [])
+    medians = [b for b in benchmarks if b.get("aggregate_name") == "median"]
+    entries = medians if medians else [
+        b for b in benchmarks if "aggregate_name" not in b
+    ]
+    families = {}
+    for b in entries:
+        name = b["run_name"] if "run_name" in b else b["name"]
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        families[name] = float(b["real_time"]) * scale
+    return families
+
+
+def pick_anchor(families, anchor_keys):
+    for key in anchor_keys:
+        for name in sorted(families):
+            if key in name:
+                return name
+    return sorted(families)[0] if families else None
+
+
+def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
+                 min_gate_ns):
+    failures = []
+    rows = []
+    if absolute:
+        base_norm, cur_norm = dict(base), dict(cur)
+        anchor = None
+    else:
+        anchor = pick_anchor(base, anchor_keys)
+        if anchor is None:
+            return [f"{name}: baseline file tracks no families"], rows
+        if anchor not in cur:
+            return [f"{name}: anchor family '{anchor}' missing from current run"], rows
+        base_norm = {k: v / base[anchor] for k, v in base.items()}
+        cur_norm = {k: v / cur[anchor] for k, v in cur.items()}
+    for family in sorted(base):
+        if family not in cur:
+            failures.append(f"{name}: tracked family '{family}' missing from current run")
+            continue
+        ratio = cur_norm[family] / base_norm[family] if base_norm[family] > 0 else 1.0
+        status = "ok"
+        if base[family] < min_gate_ns:
+            # Sub-threshold timings are dominated by clock noise; report
+            # but never gate on them.
+            status = "not gated (below min time)"
+            rows.append((family, base[family], cur[family], ratio, status))
+            continue
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {family} regressed {100 * (ratio - 1):.1f}% "
+                f"(tolerance {100 * tolerance:.0f}%)")
+        elif ratio < 1.0 - tolerance:
+            status = "improved"
+        rows.append((family, base[family], cur[family], ratio, status))
+    for family in sorted(set(cur) - set(base)):
+        rows.append((family, None, cur[family], None, "new (not gated)"))
+    if anchor is not None:
+        rows.append((f"[anchor: {anchor}]", base.get(anchor), cur.get(anchor),
+                     None, "normalizer"))
+    return failures, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True, help="directory of committed BENCH_*.json")
+    ap.add_argument("--current", required=True, help="directory of freshly produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative slowdown per family (default 0.15)")
+    ap.add_argument("--anchor", action="append", default=None,
+                    help="substring(s) selecting the per-file anchor family "
+                         "(default: rowwise, then cold)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw times instead of anchor-normalized ones")
+    ap.add_argument("--min-gate-us", type=float, default=50.0,
+                    help="families whose baseline median is below this many "
+                         "microseconds are reported but not gated (default 50)")
+    ap.add_argument("--report-only", action="append", default=[],
+                    help="baseline file name substring(s) to compare and "
+                         "print without failing the gate (trajectory data)")
+    args = ap.parse_args()
+    anchor_keys = args.anchor if args.anchor else ["rowwise", "cold"]
+
+    baseline_dir = pathlib.Path(args.baseline)
+    current_dir = pathlib.Path(args.current)
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {baseline_dir}", file=sys.stderr)
+        return 2
+
+    all_failures = []
+    for base_path in baseline_files:
+        cur_path = current_dir / base_path.name
+        print(f"== {base_path.name} ==")
+        if not cur_path.exists():
+            all_failures.append(f"{base_path.name}: not produced by the current run")
+            print("  MISSING from current run")
+            continue
+        failures, rows = compare_file(base_path.name, load_families(base_path),
+                                      load_families(cur_path), args.tolerance,
+                                      anchor_keys, args.absolute,
+                                      args.min_gate_us * 1e3)
+        for family, b, c, ratio, status in rows:
+            bs = f"{b / 1e6:10.3f}ms" if b is not None else "         —"
+            cs = f"{c / 1e6:10.3f}ms" if c is not None else "         —"
+            rs = f"{ratio:6.3f}x" if ratio is not None else "      —"
+            print(f"  {family:<55} base={bs} cur={cs} rel={rs} {status}")
+        if any(key in base_path.name for key in args.report_only):
+            for f in failures:
+                print(f"  (report-only, not gated) {f}")
+        else:
+            all_failures.extend(failures)
+
+    if all_failures:
+        print("\nPERF GATE FAILED:")
+        for f in all_failures:
+            print(f"  {f}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ struct Exec {
   std::string preference_term;
   std::string plan_prefix;   // scan -> where -> bmo/ranked stage
   std::string plan_details;  // optimizer / ranked EXPLAIN text
+  std::string kernel_variant;  // BMO kernel label (QueryStats.kernel)
   // BMO block path (ungrouped, non-decomposition): kernel inputs.
   bool block_path = false;
   PrefPtr exec_pref;  // term actually evaluated (simplified when routed)
@@ -83,12 +84,13 @@ uint64_t ElapsedNs(Clock::time_point begin, Clock::time_point end) {
 }
 
 // Option fields that change the compiled exec state: algorithm choice
-// inputs and the vectorization switch.
+// inputs, the vectorization switch and the kernel policy.
 std::string OptionsSignature(const BmoOptions& o) {
   return std::to_string(static_cast<int>(o.algorithm)) + ":" +
          std::to_string(o.num_threads) + ":" +
          std::to_string(o.parallel_threshold) + ":" +
-         (o.vectorize ? "v" : "c");
+         (o.vectorize ? "v" : "c") + ":" + SimdModeName(o.simd) + ":" +
+         std::to_string(o.bnl_tile_rows);
 }
 
 std::string TopKText(size_t k) {
@@ -213,9 +215,8 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
     }
     exec->exec_pref = exec_pref;
     exec->exec_algo = algo;
-    plan_str += std::string(stmt.grouping.empty() ? " -> bmo[" : " -> bmo_groupby[") +
-                exec_pref->ToString() + ", " + BmoAlgorithmName(algo) + "]";
 
+    const KernelPolicy policy = KernelPolicy::From(options);
     if (stmt.grouping.empty() && algo != BmoAlgorithm::kDecomposition) {
       // Block path: precompute the distinct-value index and compile the
       // score table once; Run() then does only the kernel work.
@@ -231,6 +232,16 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
                                 exec->proj.values.size());
       }
       exec->compile_ns += ElapsedNs(t0, Clock::now());
+      if (exec->score_table) {
+        const std::string variant = exec->score_table->KernelVariant(
+            algo == BmoAlgorithm::kParallel ? BmoAlgorithm::kAuto : algo,
+            policy);
+        exec->kernel_variant = algo == BmoAlgorithm::kParallel
+                                   ? "parallel+" + variant
+                                   : variant;
+      } else {
+        exec->kernel_variant = "closure";
+      }
     } else {
       // GROUPING / decomposition run through the relation-level
       // evaluators; materialize the WHERE result once and share it.
@@ -241,6 +252,22 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
                      : exec->snapshot;
       exec->grouped = !stmt.grouping.empty();
       exec->compile_ns += ElapsedNs(t0, Clock::now());
+      if (algo == BmoAlgorithm::kDecomposition) {
+        exec->kernel_variant = "closure";  // Prop 11 cascade, closure order
+      } else if (options.vectorize &&
+                 ScoreTable::CompilableTerm(exec_pref)) {
+        const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+        exec->kernel_variant =
+            std::string("per-group[") + (ops ? ops->name : "rowwise") + "]";
+      } else {
+        exec->kernel_variant = "closure";
+      }
+    }
+    plan_str += std::string(stmt.grouping.empty() ? " -> bmo[" : " -> bmo_groupby[") +
+                exec_pref->ToString() + ", " + BmoAlgorithmName(algo) +
+                ", kernel=" + exec->kernel_variant + "]";
+    if (stmt.explain && !exec->plan_details.empty()) {
+      exec->plan_details += "kernel: " + exec->kernel_variant + "\n";
     }
   }
 
@@ -294,11 +321,14 @@ psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec,
           ParallelBmoConfig config;
           config.num_threads = options.num_threads;
           config.vectorize = options.vectorize;
+          config.simd = options.simd;
+          config.bnl_tile_rows = options.bnl_tile_rows;
           maximal = MaximaParallel(
               exec.proj.values, exec.exec_pref, exec.proj.proj_schema, config,
               exec.score_table ? &*exec.score_table : nullptr);
         } else if (exec.score_table) {
-          maximal = exec.score_table->MaximaRange(exec.exec_algo, 0, m);
+          maximal = exec.score_table->MaximaRange(
+              exec.exec_algo, 0, m, KernelPolicy::From(options));
         } else {
           maximal = internal::ComputeMaximaBlock(
               exec.proj.values.data(), m, exec.exec_pref,
@@ -584,6 +614,7 @@ psql::QueryResult Engine::RunWithStats(const engine_internal::Plan& plan,
   Clock::time_point t2 = Clock::now();
   stats.execute_ns = ElapsedNs(t1, t2);
   stats.total_ns = ElapsedNs(t0, t2);
+  stats.kernel = exec->kernel_variant;
   result.stats = stats;
   if (plan.stmt.explain) {
     result.plan_details += "timing: " + stats.ToString() + "\n";

@@ -10,6 +10,7 @@
 #include "eval/decomposition.h"
 #include "exec/parallel_bmo.h"
 #include "exec/score_table.h"
+#include "exec/simd/dominance.h"
 #include "exec/thread_pool.h"
 
 namespace prefdb {
@@ -23,6 +24,16 @@ const char* BmoAlgorithmName(BmoAlgorithm algo) {
     case BmoAlgorithm::kDivideConquer: return "dc";
     case BmoAlgorithm::kDecomposition: return "decomposition";
     case BmoAlgorithm::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto: return "auto";
+    case SimdMode::kOff: return "off";
+    case SimdMode::kScalar: return "scalar";
+    case SimdMode::kAvx2: return "avx2";
   }
   return "?";
 }
@@ -156,12 +167,25 @@ namespace {
 
 // Flat row-major matrix view for the KLP75 recursion: row i is the `d`
 // doubles at data + i * stride (zero-copy over score-table storage).
+// When `kernel` is set, the quadratic base-case blocks run through the
+// batch dominance kernels over `prog` (flat Pareto, score equality only
+// — exactly coordinatewise dominance) with a correspondingly larger
+// cutoff.
 struct ScoreMatrix {
   const double* data;
   size_t d;
   size_t stride;
+  const simd::KernelOps* kernel = nullptr;
+  const simd::DominanceProgram* prog = nullptr;
   const double* row(size_t i) const { return data + i * stride; }
 };
+
+// Quadratic maxima over a small block; maximal[i] is only ever set, so
+// callers can accumulate across disjoint blocks. Self-comparison is
+// harmless (nothing dominates itself), so the batch path scans each row
+// against the whole gathered block.
+void QuadraticBlock(const ScoreMatrix& scores, const std::vector<size_t>& idx,
+                    std::vector<bool>& maximal);
 
 // KLP75 base case: 2-d maxima by a plane sweep.
 void Maxima2D(const ScoreMatrix& scores, std::vector<size_t>& idx,
@@ -194,20 +218,39 @@ bool DominatesFrom(const ScoreMatrix& scores, size_t a, size_t b,
   return strict;
 }
 
+void QuadraticBlock(const ScoreMatrix& scores, const std::vector<size_t>& idx,
+                    std::vector<bool>& maximal) {
+  if (scores.kernel != nullptr && idx.size() >= 2 * simd::kLanes) {
+    simd::RowBlock block(scores.d);
+    for (size_t i : idx) block.Append(scores.row(i), nullptr, i);
+    for (size_t i : idx) {
+      if (!scores.kernel->dominated(*scores.prog, scores.row(i), nullptr,
+                                    block)) {
+        maximal[i] = true;
+      }
+    }
+    return;
+  }
+  for (size_t i : idx) {
+    bool dominated = false;
+    for (size_t j : idx) {
+      if (i != j && DominatesFrom(scores, j, i, 0)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal[i] = true;
+  }
+}
+
 void MaximaDcRec(const ScoreMatrix& scores, std::vector<size_t> idx,
                  std::vector<bool>& maximal) {
   const size_t d = scores.d;
-  if (idx.size() <= 8) {
-    for (size_t i : idx) {
-      bool dominated = false;
-      for (size_t j : idx) {
-        if (i != j && DominatesFrom(scores, j, i, 0)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) maximal[i] = true;
-    }
+  // The batch kernels make a larger quadratic base case cheaper than
+  // further recursion levels.
+  const size_t cutoff = scores.kernel != nullptr ? 32 : 8;
+  if (idx.size() <= cutoff) {
+    QuadraticBlock(scores, idx, maximal);
     return;
   }
   if (d == 2) {
@@ -229,16 +272,7 @@ void MaximaDcRec(const ScoreMatrix& scores, std::vector<size_t> idx,
     // Degenerate split (many equal dim-0 values): dominance within the
     // block is decided by the remaining dims plus exact dim-0 ties;
     // fall back to the quadratic check for this block.
-    for (size_t i : idx) {
-      bool dominated = false;
-      for (size_t j : idx) {
-        if (i != j && DominatesFrom(scores, j, i, 0)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) maximal[i] = true;
-    }
+    QuadraticBlock(scores, idx, maximal);
     return;
   }
   std::vector<bool> upper_max(maximal.size(), false);
@@ -277,10 +311,16 @@ void MaximaDcRec(const ScoreMatrix& scores, std::vector<size_t> idx,
 }  // namespace
 
 std::vector<bool> MaximaDivideConquerFlat(const double* scores, size_t n,
-                                          size_t d, size_t stride) {
+                                          size_t d, size_t stride,
+                                          const simd::KernelOps* kernel) {
   std::vector<bool> maximal(n, false);
   if (n == 0) return maximal;
-  ScoreMatrix m{scores, d, stride};
+  // Coordinatewise dominance == flat Pareto over score-equality columns.
+  simd::DominanceProgram prog;
+  prog.mode = simd::DominanceProgram::Mode::kFlatPareto;
+  prog.cols = d;
+  prog.use_ids.assign(d, 0);
+  ScoreMatrix m{scores, d, stride, kernel, &prog};
   if (d < 2) {
     // 1-d: maxima are the rows attaining the maximum score.
     double best = -std::numeric_limits<double>::infinity();
@@ -345,14 +385,15 @@ BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p,
 std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
                                      const PrefPtr& p,
                                      const Schema& proj_schema,
-                                     BmoAlgorithm algo, bool vectorize) {
+                                     BmoAlgorithm algo, bool vectorize,
+                                     const KernelPolicy& policy) {
   if (vectorize) {
     if (auto table = ScoreTable::Compile(p, proj_schema, values, count)) {
       // kAuto resolves with the table's data-aware rules (D&C when score
       // dominance is exact, SFS whenever keys compile — a superset of the
       // closure path's eligibility); ineligible requests degrade to BNL
       // inside MaximaRange.
-      return table->MaximaRange(algo, 0, count);
+      return table->MaximaRange(algo, 0, count, policy);
     }
   }
   if (algo == BmoAlgorithm::kAuto) {
@@ -413,10 +454,13 @@ std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
     ParallelBmoConfig config;
     config.num_threads = options.num_threads;
     config.vectorize = options.vectorize;
+    config.simd = options.simd;
+    config.bnl_tile_rows = options.bnl_tile_rows;
     maximal = MaximaParallel(proj.values, p, proj.proj_schema, config);
   } else {
     maximal = internal::ComputeMaximaBlock(proj.values, p, proj.proj_schema,
-                                           algo, options.vectorize);
+                                           algo, options.vectorize,
+                                           KernelPolicy::From(options));
   }
   std::vector<size_t> rows;
   for (size_t i = 0; i < r.size(); ++i) {
@@ -435,10 +479,10 @@ namespace {
 // (no SelectRows deep copy). Appends qualifying *global* row indices.
 void BmoGroupMaxima(const Relation& r, const std::vector<size_t>& rows,
                     const PrefPtr& p, BmoAlgorithm algo, bool vectorize,
-                    std::vector<size_t>* out) {
+                    const KernelPolicy& policy, std::vector<size_t>* out) {
   ProjectionIndex proj = BuildProjectionIndex(r, *p, &rows);
   std::vector<bool> maximal = internal::ComputeMaximaBlock(
-      proj.values, p, proj.proj_schema, algo, vectorize);
+      proj.values, p, proj.proj_schema, algo, vectorize, policy);
   for (size_t i = 0; i < rows.size(); ++i) {
     if (maximal[proj.row_to_value[i]]) out->push_back(rows[i]);
   }
@@ -474,7 +518,7 @@ std::vector<size_t> BmoGroupByIndices(
         [&](size_t, size_t begin, size_t end) {
           for (size_t g = begin; g < end; ++g) {
             BmoGroupMaxima(r, *group_rows[g], p, algo, options.vectorize,
-                           &results[g]);
+                           KernelPolicy::From(options), &results[g]);
           }
         });
     for (const auto& rows : results) {

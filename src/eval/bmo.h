@@ -47,6 +47,24 @@ enum class BmoAlgorithm {
 
 const char* BmoAlgorithmName(BmoAlgorithm algo);
 
+/// Which dominance kernel implementation the compiled score-table paths
+/// run (exec/simd/dominance.h). Only meaningful when `vectorize` is on;
+/// the closure path is always scalar.
+enum class SimdMode : uint8_t {
+  /// Runtime dispatch: AVX2 when the build and CPU support it, else the
+  /// portable batch kernels.
+  kAuto,
+  /// The row-major one-pair-per-iteration kernels (the pre-SIMD
+  /// vectorized baseline; benchmarks compare against this).
+  kOff,
+  /// Force the portable 4-lane batch kernels (no AVX2 even if available).
+  kScalar,
+  /// Force AVX2; degrades to kScalar when the build or CPU lacks it.
+  kAvx2,
+};
+
+const char* SimdModeName(SimdMode mode);
+
 struct BmoOptions {
   BmoAlgorithm algorithm = BmoAlgorithm::kAuto;
   /// Worker threads for kParallel (0 = hardware concurrency).
@@ -59,6 +77,14 @@ struct BmoOptions {
   /// back to the closure path regardless. Off = always closures (the
   /// baseline for equivalence tests and benchmarks).
   bool vectorize = true;
+  /// Dominance-kernel implementation for the compiled paths.
+  SimdMode simd = SimdMode::kAuto;
+  /// Tile size (and engagement threshold) for the blocked BNL window
+  /// loop: candidates stream against the window while it holds fewer
+  /// rows than this; beyond it, tiles are reduced to their local maxima
+  /// in cache before touching the global window. 0 = auto-size so the
+  /// window stays L2-resident; >= the input size disables tiling.
+  size_t bnl_tile_rows = 0;
 };
 
 /// Evaluates σ[P](R); preserves input row order and duplicates (a tuple
@@ -118,11 +144,19 @@ std::vector<bool> MaximaSortFilter(const std::vector<Tuple>& values,
 std::vector<bool> MaximaDivideConquer(
     const std::vector<std::vector<double>>& scores);
 
+namespace simd {
+struct KernelOps;
+}  // namespace simd
+
 /// Same, over a flat row-major matrix: row i is the `d` doubles at
 /// `scores + i * stride`. The zero-copy entry point for the vectorized
-/// score-table kernels (exec/score_table.h).
+/// score-table kernels (exec/score_table.h). A non-null `kernel` runs the
+/// quadratic base-case blocks through the batch dominance kernels
+/// (exec/simd/dominance.h) with a correspondingly larger cutoff.
 std::vector<bool> MaximaDivideConquerFlat(const double* scores, size_t n,
-                                          size_t d, size_t stride);
+                                          size_t d, size_t stride,
+                                          const simd::KernelOps* kernel =
+                                              nullptr);
 
 /// True when `p` is a Pareto tree over LOWEST/HIGHEST leaves with pairwise
 /// distinct attributes — the fragment where score-vector dominance

@@ -10,6 +10,7 @@
 
 #include "core/preference.h"
 #include "eval/bmo.h"
+#include "exec/score_table.h"
 
 namespace prefdb::internal {
 
@@ -22,21 +23,24 @@ BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p, const Schema& proj_schema);
 /// against proj_schema. Takes a raw range so partition-parallel callers
 /// can evaluate contiguous slices without copying tuples. kAuto is
 /// resolved via ResolveBlockAlgorithm (or the score table's data-aware
-/// resolution when the term compiles and `vectorize` is set). kParallel
-/// and kDecomposition are relation-level strategies, not block
-/// algorithms; they fall back to BNL here.
+/// resolution when the term compiles and `vectorize` is set). `policy`
+/// picks the batch dominance kernel and BNL tile size for the compiled
+/// paths. kParallel and kDecomposition are relation-level strategies, not
+/// block algorithms; they fall back to BNL here.
 std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
                                      const PrefPtr& p,
                                      const Schema& proj_schema,
-                                     BmoAlgorithm algo, bool vectorize = true);
+                                     BmoAlgorithm algo, bool vectorize = true,
+                                     const KernelPolicy& policy = {});
 
 inline std::vector<bool> ComputeMaximaBlock(const std::vector<Tuple>& values,
                                             const PrefPtr& p,
                                             const Schema& proj_schema,
                                             BmoAlgorithm algo,
-                                            bool vectorize = true) {
+                                            bool vectorize = true,
+                                            const KernelPolicy& policy = {}) {
   return ComputeMaximaBlock(values.data(), values.size(), p, proj_schema,
-                            algo, vectorize);
+                            algo, vectorize, policy);
 }
 
 }  // namespace prefdb::internal

@@ -79,10 +79,11 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   const size_t threads = ThreadPool::ResolveThreads(config.num_threads);
   const size_t min_part = std::max<size_t>(1, config.min_partition_size);
   const size_t parts = std::min(threads, std::max<size_t>(1, m / min_part));
+  const KernelPolicy policy{config.simd, config.bnl_tile_rows};
   if (parts <= 1 || pool.OnWorkerThread()) {
     // Too small to split, or already on a pool worker (where blocking on
     // further pool tasks could deadlock): evaluate sequentially.
-    if (table) return table->MaximaRange(algo, 0, m);
+    if (table) return table->MaximaRange(algo, 0, m, policy);
     return internal::ComputeMaximaBlock(values, p, proj_schema, algo,
                                         /*vectorize=*/false);
   }
@@ -92,10 +93,10 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   std::vector<std::vector<size_t>> local(parts);
   pool.ParallelForChunks(
       m, parts, min_part,
-      [&values, &p, &proj_schema, &local, &table, algo](size_t c, size_t begin,
-                                                        size_t end) {
+      [&values, &p, &proj_schema, &local, &table, &policy, algo](
+          size_t c, size_t begin, size_t end) {
         std::vector<bool> flags =
-            table ? table->MaximaRange(algo, begin, end)
+            table ? table->MaximaRange(algo, begin, end, policy)
                   : internal::ComputeMaximaBlock(values.data() + begin,
                                                  end - begin, p, proj_schema,
                                                  algo, /*vectorize=*/false);
@@ -117,7 +118,7 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
     std::vector<std::vector<size_t>> next(pairs + lists.size() % 2);
     pool.ParallelForChunks(
         pairs, pairs, 1,
-        [&values, &p, &proj_schema, &lists, &next, &table, algo](
+        [&values, &p, &proj_schema, &lists, &next, &table, &policy, algo](
             size_t, size_t begin, size_t end) {
           for (size_t k = begin; k < end; ++k) {
             const std::vector<size_t>& a = lists[2 * k];
@@ -130,7 +131,7 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
               cand.insert(cand.end(), b.begin(), b.end());
               std::vector<bool> flags;
               if (table) {
-                flags = table->MaximaSubset(algo, cand);
+                flags = table->MaximaSubset(algo, cand, policy);
               } else {
                 std::vector<Tuple> cand_values;
                 cand_values.reserve(cand.size());
@@ -142,7 +143,7 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                 if (flags[i]) next[k].push_back(cand[i]);
               }
             } else if (table) {
-              next[k] = table->MergeAntichains(a, b);
+              next[k] = table->MergeAntichains(a, b, policy);
             } else {
               next[k] =
                   MergeAntichains(values, p->Bind(proj_schema), a, b);

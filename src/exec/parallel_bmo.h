@@ -38,6 +38,11 @@ struct ParallelBmoConfig {
   /// vectorized kernels over it. Non-compilable terms use the closure
   /// path regardless.
   bool vectorize = true;
+  /// Batch dominance kernel for the compiled paths (see BmoOptions).
+  SimdMode simd = SimdMode::kAuto;
+  /// BNL tile size per partition (0 = auto L2-sized, see BmoOptions);
+  /// each partition runs the tiled window loop independently.
+  size_t bnl_tile_rows = 0;
 };
 
 /// Maximal-value flags over a distinct-value set, partition-parallel.

@@ -385,15 +385,15 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
       auto kids = cur->children();
       int l = build(kids[0], false);
       int r = build(kids[1], false);
-      Node node;
+      simd::DominanceProgram::Node node;
       node.kind = cur->kind() == PreferenceKind::kPareto
-                      ? Node::Kind::kPareto
-                      : Node::Kind::kPrioritized;
+                      ? simd::DominanceProgram::Node::Kind::kPareto
+                      : simd::DominanceProgram::Node::Kind::kPrioritized;
       (cur->kind() == PreferenceKind::kPareto ? has_pareto : has_prio) = true;
       node.a = l;
       node.b = r;
-      table.nodes_.push_back(node);
-      return static_cast<int>(table.nodes_.size() - 1);
+      table.prog_.nodes.push_back(node);
+      return static_cast<int>(table.prog_.nodes.size() - 1);
     }
 
     const double sign = dual ? -1.0 : 1.0;
@@ -451,24 +451,27 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
         return sign * utility(t);
       });
     }
-    Node node;
-    node.kind = Node::Kind::kLeaf;
+    simd::DominanceProgram::Node node;
+    node.kind = simd::DominanceProgram::Node::Kind::kLeaf;
     node.a = col;
-    table.nodes_.push_back(node);
-    return static_cast<int>(table.nodes_.size() - 1);
+    table.prog_.nodes.push_back(node);
+    return static_cast<int>(table.prog_.nodes.size() - 1);
   };
 
-  table.root_ = build(p, false);
+  table.prog_.root = build(p, false);
   table.cols_ = columns.size();
-  table.mode_ = has_prio ? (has_pareto ? Mode::kGeneral : Mode::kFlatLex)
-                         : Mode::kFlatPareto;
+  table.prog_.cols = table.cols_;
+  table.prog_.mode =
+      has_prio ? (has_pareto ? simd::DominanceProgram::Mode::kGeneral
+                             : simd::DominanceProgram::Mode::kFlatLex)
+               : simd::DominanceProgram::Mode::kFlatPareto;
 
   // Assemble the row-major matrix.
   table.scores_.resize(count * table.cols_);
   table.ids_.resize(count * table.cols_);
-  table.use_ids_.resize(table.cols_);
+  table.prog_.use_ids.resize(table.cols_);
   for (size_t c = 0; c < table.cols_; ++c) {
-    table.use_ids_[c] = columns[c].use_ids ? 1 : 0;
+    table.prog_.use_ids[c] = columns[c].use_ids ? 1 : 0;
     for (size_t r = 0; r < count; ++r) {
       table.scores_[r * table.cols_ + c] = columns[c].scores[r];
       table.ids_[r * table.cols_ + c] = columns[c].ids[r];
@@ -479,14 +482,14 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
   // concatenation; Pareto -> the sum of two single-column-set keys.
   std::function<std::optional<std::vector<std::vector<int>>>(int)> keys_of =
       [&](int n) -> std::optional<std::vector<std::vector<int>>> {
-    const Node& node = table.nodes_[n];
-    if (node.kind == Node::Kind::kLeaf) {
+    const simd::DominanceProgram::Node& node = table.prog_.nodes[n];
+    if (node.kind == simd::DominanceProgram::Node::Kind::kLeaf) {
       return std::vector<std::vector<int>>{{node.a}};
     }
     auto l = keys_of(node.a);
     auto r = keys_of(node.b);
     if (!l || !r) return std::nullopt;
-    if (node.kind == Node::Kind::kPrioritized) {
+    if (node.kind == simd::DominanceProgram::Node::Kind::kPrioritized) {
       for (auto& k : *r) l->push_back(std::move(k));
       return l;
     }
@@ -494,7 +497,9 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
     for (int c : (*r)[0]) (*l)[0].push_back(c);
     return l;
   };
-  if (auto keys = keys_of(table.root_)) table.sort_keys_ = std::move(*keys);
+  if (auto keys = keys_of(table.prog_.root)) {
+    table.sort_keys_ = std::move(*keys);
+  }
 
   return table;
 }
@@ -534,38 +539,38 @@ std::pair<bool, bool> ScoreTable::EvalNode(int n, const double* sx,
                                            const double* sy,
                                            const uint32_t* ix,
                                            const uint32_t* iy) const {
-  const Node& node = nodes_[n];
-  if (node.kind == Node::Kind::kLeaf) {
+  const simd::DominanceProgram::Node& node = prog_.nodes[n];
+  if (node.kind == simd::DominanceProgram::Node::Kind::kLeaf) {
     size_t c = static_cast<size_t>(node.a);
     return {sx[c] < sy[c], ColumnEq(c, sx, sy, ix, iy)};
   }
   auto [l1, e1] = EvalNode(node.a, sx, sy, ix, iy);
   auto [l2, e2] = EvalNode(node.b, sx, sy, ix, iy);
-  if (node.kind == Node::Kind::kPareto) {
+  if (node.kind == simd::DominanceProgram::Node::Kind::kPareto) {
     return {(l1 && (l2 || e2)) || (l2 && (l1 || e1)), e1 && e2};
   }
   return {l1 || (e1 && l2), e1 && e2};
 }
 
 bool ScoreTable::GeneralLess(size_t x, size_t y) const {
-  return EvalNode(root_, Row(x), Row(y), Ids(x), Ids(y)).first;
+  return EvalNode(prog_.root, Row(x), Row(y), Ids(x), Ids(y)).first;
 }
 
 bool ScoreTable::Less(size_t x, size_t y) const {
-  switch (mode_) {
-    case Mode::kFlatPareto:
+  switch (prog_.mode) {
+    case simd::DominanceProgram::Mode::kFlatPareto:
       return ParetoLess(x, y);
-    case Mode::kFlatLex:
+    case simd::DominanceProgram::Mode::kFlatLex:
       return LexLess(x, y);
-    case Mode::kGeneral:
+    case simd::DominanceProgram::Mode::kGeneral:
       return GeneralLess(x, y);
   }
   return false;
 }
 
 bool ScoreTable::CanDivideConquer() const {
-  if (mode_ != Mode::kFlatPareto) return false;
-  for (uint8_t u : use_ids_) {
+  if (prog_.mode != simd::DominanceProgram::Mode::kFlatPareto) return false;
+  for (uint8_t u : prog_.use_ids) {
     if (u) return false;
   }
   return true;
@@ -575,6 +580,25 @@ BmoAlgorithm ScoreTable::ResolveAlgorithm() const {
   if (CanDivideConquer()) return BmoAlgorithm::kDivideConquer;
   if (HasSortKeys()) return BmoAlgorithm::kSortFilter;
   return BmoAlgorithm::kBlockNestedLoop;
+}
+
+BmoAlgorithm ScoreTable::ResolveFor(BmoAlgorithm algo,
+                                    const simd::KernelOps* ops) const {
+  if (algo == BmoAlgorithm::kAuto) {
+    algo = ResolveAlgorithm();
+    // With the batch kernels, the tiled BNL window beats the KLP75
+    // recursion at every measured size (see ChooseAlgorithm).
+    if (algo == BmoAlgorithm::kDivideConquer && ops != nullptr) {
+      algo = BmoAlgorithm::kBlockNestedLoop;
+    }
+  }
+  if (algo == BmoAlgorithm::kSortFilter && !HasSortKeys()) {
+    algo = BmoAlgorithm::kBlockNestedLoop;
+  }
+  if (algo == BmoAlgorithm::kDivideConquer && !CanDivideConquer()) {
+    algo = BmoAlgorithm::kBlockNestedLoop;
+  }
+  return algo;
 }
 
 // ---------------------------------------------------------------------------
@@ -638,15 +662,90 @@ double ScoreTable::SortKeyValue(size_t row, size_t key) const {
   return sum;
 }
 
-std::vector<bool> ScoreTable::MaximaSubset(
-    BmoAlgorithm algo, const std::vector<size_t>& rows) const {
-  if (algo == BmoAlgorithm::kAuto) algo = ResolveAlgorithm();
-  if (algo == BmoAlgorithm::kSortFilter && !HasSortKeys()) {
-    algo = BmoAlgorithm::kBlockNestedLoop;
+size_t ScoreTable::ResolveTileRows(size_t requested) const {
+  if (requested != 0) return std::max(requested, simd::kLanes);
+  // Auto: size the tile so its local window (column-major scores + ids +
+  // payloads) stays within ~256KiB, i.e. comfortably L2-resident, with
+  // bounds that keep tiles worthwhile on narrow and wide tables alike.
+  constexpr size_t kTileBytes = 256 * 1024;
+  const size_t row_bytes =
+      cols_ * (sizeof(double) + sizeof(uint32_t)) + sizeof(size_t);
+  const size_t tile = kTileBytes / std::max<size_t>(1, row_bytes);
+  return std::min<size_t>(16384, std::max<size_t>(1024, tile));
+}
+
+std::vector<bool> ScoreTable::BnlBatch(const simd::KernelOps& ops,
+                                       const std::vector<size_t>& rows,
+                                       size_t tile_rows) const {
+  const size_t m = rows.size();
+  std::vector<bool> maximal(m, false);
+  simd::RowBlock window(cols_);       // global antichain of survivors
+  simd::RowBlock tile_window(cols_);  // per-tile local maxima
+  std::vector<uint64_t> evict;
+  std::vector<uint64_t> merge_evict;
+  std::vector<size_t> survivors;
+  auto words_for = [](size_t n) { return (n + 63) / 64; };
+  // One BNL step of candidate row `pos` against `win`: true iff it
+  // survives (evicting what it dominates). A dominated candidate never
+  // dominates a window entry (antichain + transitivity), so the
+  // early-out scan is exact.
+  auto step = [&](simd::RowBlock& win, size_t pos) {
+    evict.resize(words_for(win.size()));
+    if (ops.scan(prog_, Row(rows[pos]), Ids(rows[pos]), win, evict.data())) {
+      return false;
+    }
+    bool any = false;
+    for (uint64_t w : evict) any = any || w != 0;
+    if (any) win.Evict(evict.data());
+    win.Append(Row(rows[pos]), Ids(rows[pos]), pos);
+    return true;
+  };
+  size_t i = 0;
+  while (i < m) {
+    if (window.size() < tile_rows) {
+      // Window still cache-resident: classic streaming BNL.
+      step(window, i++);
+      continue;
+    }
+    // The window outgrew the tile budget: reduce the next tile to its
+    // local maxima entirely in cache, then antichain-merge the few
+    // survivors into the big window — one window pass per survivor
+    // instead of one per candidate.
+    const size_t t1 = std::min(m, i + tile_rows);
+    tile_window.Clear();
+    for (; i < t1; ++i) step(tile_window, i);
+    // Merge: every tile survivor scans the pre-merge global window once.
+    // Order-independent: a global entry that dominates a survivor cannot
+    // itself be dominated by another survivor (it would transitively
+    // dominate a member of the tile's antichain).
+    merge_evict.assign(words_for(window.size()), 0);
+    survivors.clear();
+    for (size_t w = 0; w < tile_window.size(); ++w) {
+      const size_t pos = tile_window.payload(w);
+      evict.resize(words_for(window.size()));
+      if (ops.scan(prog_, Row(rows[pos]), Ids(rows[pos]), window,
+                   evict.data())) {
+        continue;
+      }
+      for (size_t k = 0; k < evict.size(); ++k) merge_evict[k] |= evict[k];
+      survivors.push_back(pos);
+    }
+    bool any = false;
+    for (uint64_t w : merge_evict) any = any || w != 0;
+    if (any) window.Evict(merge_evict.data());
+    for (size_t pos : survivors) {
+      window.Append(Row(rows[pos]), Ids(rows[pos]), pos);
+    }
   }
-  if (algo == BmoAlgorithm::kDivideConquer && !CanDivideConquer()) {
-    algo = BmoAlgorithm::kBlockNestedLoop;
-  }
+  for (size_t w = 0; w < window.size(); ++w) maximal[window.payload(w)] = true;
+  return maximal;
+}
+
+std::vector<bool> ScoreTable::MaximaSubset(BmoAlgorithm algo,
+                                           const std::vector<size_t>& rows,
+                                           const KernelPolicy& policy) const {
+  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+  algo = ResolveFor(algo, ops);
 
   const size_t m = rows.size();
   if (algo == BmoAlgorithm::kDivideConquer) {
@@ -657,7 +756,7 @@ std::vector<bool> ScoreTable::MaximaSubset(
       const double* s = Row(rows[i]);
       std::copy(s, s + cols_, flat.begin() + i * cols_);
     }
-    return MaximaDivideConquerFlat(flat.data(), m, cols_, cols_);
+    return MaximaDivideConquerFlat(flat.data(), m, cols_, cols_, ops);
   }
 
   if (algo == BmoAlgorithm::kSortFilter) {
@@ -693,6 +792,21 @@ std::vector<bool> ScoreTable::MaximaSubset(
                   return false;
                 });
       std::vector<bool> maximal(m, false);
+      if (ops) {
+        // One-sided batch window scan: the presort guarantees candidates
+        // never evict, so only "is it dominated" is needed.
+        simd::RowBlock window(cols_);
+        for (uint32_t i : order) {
+          if (ops->dominated(prog_, Row(rows[i]), Ids(rows[i]), window)) {
+            continue;
+          }
+          window.Append(Row(rows[i]), Ids(rows[i]), i);
+        }
+        for (size_t w = 0; w < window.size(); ++w) {
+          maximal[window.payload(w)] = true;
+        }
+        return maximal;
+      }
       std::vector<uint32_t> window;
       auto scan = [&](auto&& less) {
         for (uint32_t i : order) {
@@ -707,14 +821,14 @@ std::vector<bool> ScoreTable::MaximaSubset(
         }
         for (uint32_t idx : window) maximal[idx] = true;
       };
-      switch (mode_) {
-        case Mode::kFlatPareto:
+      switch (prog_.mode) {
+        case simd::DominanceProgram::Mode::kFlatPareto:
           scan([this](size_t x, size_t y) { return ParetoLess(x, y); });
           break;
-        case Mode::kFlatLex:
+        case simd::DominanceProgram::Mode::kFlatLex:
           scan([this](size_t x, size_t y) { return LexLess(x, y); });
           break;
-        case Mode::kGeneral:
+        case simd::DominanceProgram::Mode::kGeneral:
           scan([this](size_t x, size_t y) { return GeneralLess(x, y); });
           break;
       }
@@ -723,18 +837,25 @@ std::vector<bool> ScoreTable::MaximaSubset(
     algo = BmoAlgorithm::kBlockNestedLoop;
   }
 
-  switch (mode_) {
-    case Mode::kFlatPareto: {
+  // Everything left degrades to a window scan (kNaive keeps the exact
+  // quadratic baseline); relation-level strategies (kParallel,
+  // kDecomposition) land here too and run the batch BNL like the rest.
+  if (algo != BmoAlgorithm::kNaive && ops) {
+    return BnlBatch(*ops, rows, ResolveTileRows(policy.bnl_tile_rows));
+  }
+
+  switch (prog_.mode) {
+    case simd::DominanceProgram::Mode::kFlatPareto: {
       auto less = [this](size_t x, size_t y) { return ParetoLess(x, y); };
       return algo == BmoAlgorithm::kNaive ? NaiveKernel(rows, less)
                                           : BnlKernel(rows, less);
     }
-    case Mode::kFlatLex: {
+    case simd::DominanceProgram::Mode::kFlatLex: {
       auto less = [this](size_t x, size_t y) { return LexLess(x, y); };
       return algo == BmoAlgorithm::kNaive ? NaiveKernel(rows, less)
                                           : BnlKernel(rows, less);
     }
-    case Mode::kGeneral:
+    case simd::DominanceProgram::Mode::kGeneral:
       break;
   }
   auto less = [this](size_t x, size_t y) { return GeneralLess(x, y); };
@@ -743,22 +864,41 @@ std::vector<bool> ScoreTable::MaximaSubset(
 }
 
 std::vector<bool> ScoreTable::MaximaRange(BmoAlgorithm algo, size_t begin,
-                                          size_t end) const {
-  if (algo == BmoAlgorithm::kAuto) algo = ResolveAlgorithm();
-  if (algo == BmoAlgorithm::kDivideConquer && CanDivideConquer()) {
+                                          size_t end,
+                                          const KernelPolicy& policy) const {
+  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+  algo = ResolveFor(algo, ops);
+  if (algo == BmoAlgorithm::kDivideConquer) {
     // Contiguous range: run KLP75 directly over the table storage.
     return MaximaDivideConquerFlat(scores_.data() + begin * cols_,
-                                   end - begin, cols_, cols_);
+                                   end - begin, cols_, cols_, ops);
   }
   std::vector<size_t> rows(end - begin);
   std::iota(rows.begin(), rows.end(), begin);
-  return MaximaSubset(algo, rows);
+  return MaximaSubset(algo, rows, policy);
 }
 
 std::vector<size_t> ScoreTable::MergeAntichains(
-    const std::vector<size_t>& a, const std::vector<size_t>& b) const {
+    const std::vector<size_t>& a, const std::vector<size_t>& b,
+    const KernelPolicy& policy) const {
   std::vector<size_t> out;
   out.reserve(a.size() + b.size());
+  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+  if (ops && a.size() + b.size() >= 4 * simd::kLanes) {
+    // Gather each side column-major once, then every row of the other
+    // side is a single one-sided batch scan.
+    simd::RowBlock block_a(cols_);
+    simd::RowBlock block_b(cols_);
+    for (size_t x : a) block_a.Append(Row(x), Ids(x), x);
+    for (size_t y : b) block_b.Append(Row(y), Ids(y), y);
+    for (size_t x : a) {
+      if (!ops->dominated(prog_, Row(x), Ids(x), block_b)) out.push_back(x);
+    }
+    for (size_t y : b) {
+      if (!ops->dominated(prog_, Row(y), Ids(y), block_a)) out.push_back(y);
+    }
+    return out;
+  }
   for (size_t x : a) {
     bool dominated = false;
     for (size_t y : b) {
@@ -780,6 +920,29 @@ std::vector<size_t> ScoreTable::MergeAntichains(
     if (!dominated) out.push_back(y);
   }
   return out;
+}
+
+std::string ScoreTable::KernelVariant(BmoAlgorithm algo,
+                                      const KernelPolicy& policy) const {
+  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+  algo = ResolveFor(algo, ops);
+  const std::string impl = ops ? ops->name : "rowwise";
+  switch (algo) {
+    case BmoAlgorithm::kNaive:
+      return "naive[rowwise]";
+    case BmoAlgorithm::kBlockNestedLoop:
+      if (ops) {
+        return "bnl[" + impl + ",tile=" +
+               std::to_string(ResolveTileRows(policy.bnl_tile_rows)) + "]";
+      }
+      return "bnl[rowwise]";
+    case BmoAlgorithm::kSortFilter:
+      return "sfs[" + impl + "]";
+    case BmoAlgorithm::kDivideConquer:
+      return "dc[" + impl + "]";
+    default:
+      return impl;
+  }
 }
 
 }  // namespace prefdb

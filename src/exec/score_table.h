@@ -36,12 +36,31 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/preference.h"
 #include "eval/bmo.h"
+#include "exec/simd/dominance.h"
 
 namespace prefdb {
+
+/// Kernel-implementation knobs the score-table entry points thread down
+/// to the batch dominance layer (exec/simd/dominance.h): which kernel
+/// build runs the inner loops, and the blocked-BNL tile size.
+struct KernelPolicy {
+  SimdMode simd = SimdMode::kAuto;
+  /// Tile size (and engagement threshold) for the blocked BNL window
+  /// loop: the scan streams candidates directly while the window holds
+  /// fewer rows than this, then switches to tile-reduce-then-merge so the
+  /// hot inner loops stay cache-resident. 0 = auto (L2-sized); a value
+  /// >= the input size effectively disables tiling.
+  size_t bnl_tile_rows = 0;
+
+  static KernelPolicy From(const BmoOptions& options) {
+    return {options.simd, options.bnl_tile_rows};
+  }
+};
 
 class ScoreTable {
  public:
@@ -89,34 +108,31 @@ class ScoreTable {
   /// Maximal-row flags for the contiguous row range [begin, end) under the
   /// chosen kernel (kAuto resolves via ResolveAlgorithm; ineligible
   /// requests degrade to BNL). Partition-parallel callers share one
-  /// immutable table and evaluate disjoint ranges concurrently.
-  std::vector<bool> MaximaRange(BmoAlgorithm algo, size_t begin,
-                                size_t end) const;
+  /// immutable table and evaluate disjoint ranges concurrently. `policy`
+  /// selects the batch dominance kernel (scalar/AVX2 dispatch) and the
+  /// tiled-BNL block size; SimdMode::kOff keeps the row-major pair loops.
+  std::vector<bool> MaximaRange(BmoAlgorithm algo, size_t begin, size_t end,
+                                const KernelPolicy& policy = {}) const;
 
   /// Maximal flags over an arbitrary row subset (the parallel engine's
   /// divide & conquer merge step). Returned flags align with `rows`.
   std::vector<bool> MaximaSubset(BmoAlgorithm algo,
-                                 const std::vector<size_t>& rows) const;
+                                 const std::vector<size_t>& rows,
+                                 const KernelPolicy& policy = {}) const;
 
   /// Maxima of the union of two antichains by cross-comparison only (the
   /// parallel engine's pairwise merge).
   std::vector<size_t> MergeAntichains(const std::vector<size_t>& a,
-                                      const std::vector<size_t>& b) const;
+                                      const std::vector<size_t>& b,
+                                      const KernelPolicy& policy = {}) const;
+
+  /// Human-readable label of the kernel variant MaximaRange would run for
+  /// `algo` under `policy` — e.g. "bnl[avx2,tile=8192]", "sfs[scalar]",
+  /// "dc[avx2]", "bnl[rowwise]" — surfaced by EXPLAIN and QueryStats.
+  std::string KernelVariant(BmoAlgorithm algo,
+                            const KernelPolicy& policy = {}) const;
 
  private:
-  // Dominance descriptor: how compiled columns combine into the order.
-  enum class Mode : uint8_t {
-    kFlatPareto,   // Pareto accumulation of all columns (incl. single leaf)
-    kFlatLex,      // prioritized/lexicographic left-to-right
-    kGeneral,      // arbitrary Pareto/prioritized nesting: program below
-  };
-  struct Node {
-    enum class Kind : uint8_t { kLeaf, kPareto, kPrioritized };
-    Kind kind;
-    int a = -1;  // kLeaf: column index; else: left child node index
-    int b = -1;  // right child node index
-  };
-
   ScoreTable() = default;
 
   const double* Row(size_t r) const { return scores_.data() + r * cols_; }
@@ -124,7 +140,7 @@ class ScoreTable {
 
   bool ColumnEq(size_t c, const double* sx, const double* sy,
                 const uint32_t* ix, const uint32_t* iy) const {
-    return use_ids_[c] ? ix[c] == iy[c] : sx[c] == sy[c];
+    return prog_.use_ids[c] ? ix[c] == iy[c] : sx[c] == sy[c];
   }
   bool ParetoLess(size_t x, size_t y) const;
   bool LexLess(size_t x, size_t y) const;
@@ -136,14 +152,31 @@ class ScoreTable {
 
   double SortKeyValue(size_t row, size_t key) const;
 
+  /// Shared resolution for the execution entry points and KernelVariant:
+  /// kAuto via ResolveAlgorithm (preferring the tiled BNL window over
+  /// D&C when batch kernels are active), then the degrade rules (SFS
+  /// without sort keys -> BNL, D&C without exactness -> BNL), so the
+  /// reported variant can never drift from what executes.
+  BmoAlgorithm ResolveFor(BmoAlgorithm algo,
+                          const simd::KernelOps* ops) const;
+
+  /// Blocked/tiled BNL over the batch dominance kernels. Streams
+  /// candidates against the window while it is smaller than `tile_rows`;
+  /// once the window outgrows that budget, each tile is reduced to its
+  /// local maxima in cache and only the survivors antichain-merge into
+  /// the global window. Returned flags align with `rows`.
+  std::vector<bool> BnlBatch(const simd::KernelOps& ops,
+                             const std::vector<size_t>& rows,
+                             size_t tile_rows) const;
+  size_t ResolveTileRows(size_t requested) const;
+
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> scores_;    // row-major rows_ x cols_
-  std::vector<uint32_t> ids_;     // row-major equality-class ids
-  std::vector<uint8_t> use_ids_;  // per column: score ties need the id test
-  Mode mode_ = Mode::kFlatPareto;
-  std::vector<Node> nodes_;  // kGeneral descriptor program
-  int root_ = -1;
+  std::vector<double> scores_;  // row-major rows_ x cols_
+  std::vector<uint32_t> ids_;   // row-major equality-class ids
+  /// Dominance descriptor (mode, per-column id flags, node program),
+  /// shared with the batch kernels.
+  simd::DominanceProgram prog_;
   // Each sort key is the plain sum of the listed columns' scores; keys
   // compare lexicographically, descending = better first. Soundness of
   // the SFS kernel requires all key values finite — the kernel checks and

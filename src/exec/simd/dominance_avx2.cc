@@ -1,0 +1,192 @@
+// AVX2 build of the batch dominance kernels (see dominance.h for the
+// shared structure). This TU is compiled with -mavx2 only under
+// -DPREFDB_SIMD=ON; dominance.cc selects it at runtime via CPU detection,
+// so no AVX2 instruction executes on CPUs without the feature.
+//
+// Lane masks are __m256d vectors of all-ones/all-zero per 64-bit lane;
+// the score comparisons use ordered-quiet predicates so NaN scores
+// compare neither less, greater nor equal — exactly the scalar
+// semantics. Id equality widens a 4x32 integer compare to 4x64 lanes.
+
+#if defined(PREFDB_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <utility>
+
+#include "exec/simd/dominance.h"
+
+namespace prefdb::simd {
+namespace avx2_impl {
+
+namespace {
+
+struct Masks {
+  __m256d lt, gt, eq;
+};
+
+inline __m256d AllOnes() {
+  return _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+}
+
+inline Masks ColumnMasks(double xv, uint32_t xid, bool use_ids,
+                         const double* col, const uint32_t* idcol,
+                         size_t base) {
+  const __m256d xb = _mm256_set1_pd(xv);
+  const __m256d yv = _mm256_loadu_pd(col + base);
+  Masks m;
+  m.lt = _mm256_cmp_pd(xb, yv, _CMP_LT_OQ);
+  m.gt = _mm256_cmp_pd(xb, yv, _CMP_GT_OQ);
+  if (use_ids) {
+    const __m128i yid =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idcol + base));
+    const __m128i eq32 =
+        _mm_cmpeq_epi32(yid, _mm_set1_epi32(static_cast<int>(xid)));
+    m.eq = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(eq32));
+  } else {
+    m.eq = _mm256_cmp_pd(xb, yv, _CMP_EQ_OQ);
+  }
+  return m;
+}
+
+struct NodeMasks {
+  __m256d less_x, less_y, eq;
+};
+
+NodeMasks EvalNode(const DominanceProgram& prog, int idx,
+                   const double* x_scores, const uint32_t* x_ids,
+                   const RowBlock& block, size_t base) {
+  const DominanceProgram::Node& node = prog.nodes[idx];
+  if (node.kind == DominanceProgram::Node::Kind::kLeaf) {
+    const size_t c = static_cast<size_t>(node.a);
+    Masks m = ColumnMasks(x_scores[c], x_ids ? x_ids[c] : 0,
+                          prog.use_ids[c] != 0, block.scores(c), block.ids(c),
+                          base);
+    return {m.lt, m.gt, m.eq};
+  }
+  NodeMasks l = EvalNode(prog, node.a, x_scores, x_ids, block, base);
+  NodeMasks r = EvalNode(prog, node.b, x_scores, x_ids, block, base);
+  if (node.kind == DominanceProgram::Node::Kind::kPareto) {
+    return {_mm256_or_pd(
+                _mm256_and_pd(l.less_x, _mm256_or_pd(r.less_x, r.eq)),
+                _mm256_and_pd(r.less_x, _mm256_or_pd(l.less_x, l.eq))),
+            _mm256_or_pd(
+                _mm256_and_pd(l.less_y, _mm256_or_pd(r.less_y, r.eq)),
+                _mm256_and_pd(r.less_y, _mm256_or_pd(l.less_y, l.eq))),
+            _mm256_and_pd(l.eq, r.eq)};
+  }
+  return {_mm256_or_pd(l.less_x, _mm256_and_pd(l.eq, r.less_x)),
+          _mm256_or_pd(l.less_y, _mm256_and_pd(l.eq, r.less_y)),
+          _mm256_and_pd(l.eq, r.eq)};
+}
+
+template <bool OneSided>
+inline std::pair<unsigned, unsigned> Chunk(const DominanceProgram& prog,
+                                           const double* x_scores,
+                                           const uint32_t* x_ids,
+                                           const RowBlock& block,
+                                           size_t base) {
+  switch (prog.mode) {
+    case DominanceProgram::Mode::kFlatPareto: {
+      __m256d all_le = AllOnes(), any_lt = _mm256_setzero_pd();
+      __m256d all_ge = AllOnes(), any_gt = _mm256_setzero_pd();
+      for (size_t c = 0; c < prog.cols; ++c) {
+        Masks m = ColumnMasks(x_scores[c], x_ids ? x_ids[c] : 0,
+                              prog.use_ids[c] != 0, block.scores(c),
+                              block.ids(c), base);
+        all_le = _mm256_and_pd(all_le, _mm256_or_pd(m.lt, m.eq));
+        any_lt = _mm256_or_pd(any_lt, m.lt);
+        if (!OneSided) {
+          all_ge = _mm256_and_pd(all_ge, _mm256_or_pd(m.gt, m.eq));
+          any_gt = _mm256_or_pd(any_gt, m.gt);
+        }
+        const __m256d open =
+            OneSided ? all_le : _mm256_or_pd(all_le, all_ge);
+        if (_mm256_movemask_pd(open) == 0) break;
+      }
+      const unsigned dominated = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_and_pd(all_le, any_lt)));
+      const unsigned dominates =
+          OneSided ? 0u
+                   : static_cast<unsigned>(_mm256_movemask_pd(
+                         _mm256_and_pd(all_ge, any_gt)));
+      return {dominated, dominates};
+    }
+    case DominanceProgram::Mode::kFlatLex: {
+      const __m256d ones = AllOnes();
+      __m256d decided = _mm256_setzero_pd();
+      __m256d dominated = _mm256_setzero_pd();
+      __m256d dominates = _mm256_setzero_pd();
+      for (size_t c = 0; c < prog.cols; ++c) {
+        Masks m = ColumnMasks(x_scores[c], x_ids ? x_ids[c] : 0,
+                              prog.use_ids[c] != 0, block.scores(c),
+                              block.ids(c), base);
+        const __m256d neq = _mm256_andnot_pd(m.eq, ones);
+        const __m256d newly = _mm256_andnot_pd(decided, neq);
+        dominated = _mm256_or_pd(dominated, _mm256_and_pd(newly, m.lt));
+        if (!OneSided) {
+          dominates = _mm256_or_pd(dominates, _mm256_and_pd(newly, m.gt));
+        }
+        decided = _mm256_or_pd(decided, neq);
+        if (_mm256_movemask_pd(decided) == 0xF) break;
+      }
+      return {static_cast<unsigned>(_mm256_movemask_pd(dominated)),
+              OneSided
+                  ? 0u
+                  : static_cast<unsigned>(_mm256_movemask_pd(dominates))};
+    }
+    case DominanceProgram::Mode::kGeneral:
+      break;
+  }
+  NodeMasks r = EvalNode(prog, prog.root, x_scores, x_ids, block, base);
+  return {static_cast<unsigned>(_mm256_movemask_pd(r.less_x)),
+          OneSided ? 0u
+                   : static_cast<unsigned>(_mm256_movemask_pd(r.less_y))};
+}
+
+constexpr unsigned kLaneMask = (1u << kLanes) - 1;
+
+bool Avx2Scan(const DominanceProgram& prog, const double* x_scores,
+              const uint32_t* x_ids, const RowBlock& block,
+              uint64_t* evict_words) {
+  const size_t n = block.size();
+  for (size_t w = 0; w < (n + 63) / 64; ++w) evict_words[w] = 0;
+  for (size_t base = 0; base < n; base += kLanes) {
+    const unsigned valid =
+        n - base >= kLanes ? kLaneMask : ((1u << (n - base)) - 1);
+    auto [dominated, dominates] =
+        Chunk<false>(prog, x_scores, x_ids, block, base);
+    if (dominated & valid) return true;
+    if (dominates & valid) {
+      evict_words[base / 64] |= static_cast<uint64_t>(dominates & valid)
+                                << (base % 64);
+    }
+  }
+  return false;
+}
+
+bool Avx2Dominated(const DominanceProgram& prog, const double* x_scores,
+                   const uint32_t* x_ids, const RowBlock& block) {
+  const size_t n = block.size();
+  for (size_t base = 0; base < n; base += kLanes) {
+    const unsigned valid =
+        n - base >= kLanes ? kLaneMask : ((1u << (n - base)) - 1);
+    auto [dominated, unused] =
+        Chunk<true>(prog, x_scores, x_ids, block, base);
+    (void)unused;
+    if (dominated & valid) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// `extern` first: a const object at namespace scope would otherwise get
+// internal linkage and never resolve dominance.cc's reference.
+extern const KernelOps kOps;
+const KernelOps kOps{"avx2", &Avx2Scan, &Avx2Dominated};
+
+}  // namespace avx2_impl
+}  // namespace prefdb::simd
+
+#endif  // PREFDB_HAVE_AVX2

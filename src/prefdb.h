@@ -27,6 +27,8 @@
 #include "eval/quality.h"
 #include "eval/ranked.h"
 #include "exec/parallel_bmo.h"
+#include "exec/score_table.h"
+#include "exec/simd/dominance.h"
 #include "exec/thread_pool.h"
 #include "mining/miner.h"
 #include "psql/catalog.h"

@@ -33,6 +33,7 @@ std::string QueryStats::ToString() const {
                     ms(execute_ns) + "ms total=" + ms(total_ns) + "ms";
   out += std::string(" plan_cache=") + (plan_cache_hit ? "hit" : "miss");
   out += std::string(" exec_cache=") + (exec_cache_hit ? "hit" : "miss");
+  if (!kernel.empty()) out += " kernel=" + kernel;
   return out;
 }
 

@@ -40,6 +40,9 @@ struct QueryStats {
   bool plan_cache_hit = false;
   /// Optimize+compile served from the engine's score-table cache.
   bool exec_cache_hit = false;
+  /// Kernel variant the BMO stage runs, e.g. "bnl[avx2,tile=8192]",
+  /// "sfs[scalar]", "closure" (empty for ranked / preference-less plans).
+  std::string kernel;
 
   /// One-line human-readable rendering for the REPL and EXPLAIN.
   std::string ToString() const;

@@ -22,12 +22,21 @@ TEST(ChooserTest, SmallInputsUseBnl) {
   EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
 }
 
-TEST(ChooserTest, SkylineFragmentUsesDivideConquer) {
+TEST(ChooserTest, SkylineFragmentPrefersTiledSimdBnl) {
+  // With the batch dominance kernels active, the tiled SIMD BNL window
+  // beats the KLP75 recursion at every measured size; D&C remains the
+  // pick for the row-wise kernels.
   Relation r = GenerateVectors(5000, 3, Correlation::kIndependent, 1);
   PrefPtr p = Pareto({Highest("d0"), Highest("d1"), Lowest("d2")});
   AlgorithmChoice c = ChooseAlgorithm(r, p);
-  EXPECT_EQ(c.algorithm, BmoAlgorithm::kDivideConquer);
-  EXPECT_NE(c.rationale.find("KLP75"), std::string::npos);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
+  EXPECT_NE(c.rationale.find("SIMD"), std::string::npos);
+
+  BmoOptions rowwise;
+  rowwise.simd = SimdMode::kOff;
+  AlgorithmChoice d = ChooseAlgorithm(r, p, rowwise);
+  EXPECT_EQ(d.algorithm, BmoAlgorithm::kDivideConquer);
+  EXPECT_NE(d.rationale.find("KLP75"), std::string::npos);
 }
 
 TEST(ChooserTest, ChainHeadPrioritizationUsesDecomposition) {

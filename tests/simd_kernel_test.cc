@@ -1,0 +1,251 @@
+// SIMD kernel equivalence suite (exec/simd/dominance.h): the batch
+// scalar and AVX2 dominance kernels and the tiled BNL window loop must
+// return exactly the closure-based answer for every compilable term —
+// randomized across Pareto/prioritized/layered/pos-neg/numeric leaves,
+// including NULL and NaN columns, ragged tails (N not a multiple of the
+// lane width), forced-algorithm paths (BNL/SFS/D&C) and the parallel
+// engine's shared-table merge.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/base_preferences.h"
+#include "core/complex_preferences.h"
+#include "core/numeric_preferences.h"
+#include "datagen/vectors.h"
+#include "eval/bmo.h"
+#include "exec/parallel_bmo.h"
+#include "exec/score_table.h"
+#include "exec/simd/dominance.h"
+#include "test_support.h"
+
+namespace prefdb {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+BmoOptions WithKernel(BmoAlgorithm algo, SimdMode simd,
+                      size_t tile = 0) {
+  BmoOptions options;
+  options.algorithm = algo;
+  options.vectorize = true;
+  options.simd = simd;
+  options.bnl_tile_rows = tile;
+  return options;
+}
+
+BmoOptions Closure(BmoAlgorithm algo = BmoAlgorithm::kBlockNestedLoop) {
+  BmoOptions options;
+  options.algorithm = algo;
+  options.vectorize = false;
+  return options;
+}
+
+// The kernel modes every equivalence check sweeps. kAvx2 degrades to the
+// batch scalar kernels on machines without AVX2, which still exercises
+// the dispatch path.
+std::vector<SimdMode> KernelModes() {
+  return {SimdMode::kOff, SimdMode::kScalar, SimdMode::kAvx2};
+}
+
+// A relation with level-friendly string columns and numeric columns,
+// including NULLs and NaN in the numeric ones.
+Relation MixedRelation(size_t n, uint64_t seed, bool with_nan) {
+  std::mt19937_64 rng(seed);
+  Schema s({{"color", ValueType::kString},
+            {"make", ValueType::kString},
+            {"price", ValueType::kInt},
+            {"score", ValueType::kDouble}});
+  const std::vector<Value> colors = {"red", "blue", "green", "black", ""};
+  const std::vector<Value> makes = {"Audi", "BMW", "Opel"};
+  Relation r(s);
+  for (size_t i = 0; i < n; ++i) {
+    Value color = colors[rng() % colors.size()];
+    Value make = makes[rng() % makes.size()];
+    Value price = rng() % 17 == 0 ? Value() : Value(int64_t(rng() % 50));
+    Value score = rng() % 13 == 0 ? Value() : Value(double(rng() % 40) / 4);
+    if (with_nan && rng() % 11 == 0) score = Value(kNaN);
+    r.Add(Tuple({color, make, price, score}));
+  }
+  return r;
+}
+
+// Random compilable terms over MixedRelation's columns (the fragment the
+// score table compiles; mirrors score_table_test's generator).
+class CompilableTermGen {
+ public:
+  explicit CompilableTermGen(uint64_t seed) : rng_(seed) {}
+
+  PrefPtr Leaf() {
+    switch (rng_() % 8) {
+      case 0: return Pos("color", {"red", "blue"});
+      case 1: return Neg("color", {"black"});
+      case 2: return PosNeg("color", {"red"}, {"green"});
+      case 3: return PosPos("make", {"Audi"}, {"BMW"});
+      case 4:
+        return Layered("color", {{{Value("red")}, false},
+                                 LayeredPreference::Others(),
+                                 {{Value("black")}, false}});
+      case 5: return Lowest("price");
+      case 6: return Around("score", 5.0);
+      default: return Between("price", 10, 30);
+    }
+  }
+
+  PrefPtr Term(int depth) {
+    if (depth <= 0) return Leaf();
+    switch (rng_() % 4) {
+      case 0: return Pareto(Term(depth - 1), Term(depth - 1));
+      case 1: return Prioritized(Term(depth - 1), Term(depth - 1));
+      case 2: return Dual(Leaf());
+      default: return Leaf();
+    }
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+std::vector<size_t> Rows(const Relation& r, const PrefPtr& p,
+                         const BmoOptions& options) {
+  return BmoIndices(r, p, options);
+}
+
+TEST(SimdKernelTest, RandomTermsMatchClosureAcrossKernels) {
+  CompilableTermGen gen(7);
+  for (int round = 0; round < 30; ++round) {
+    Relation r = MixedRelation(300 + 17 * round, 1000 + round,
+                               /*with_nan=*/round % 3 == 0);
+    PrefPtr p = gen.Term(3);
+    std::vector<size_t> expected = Rows(r, p, Closure());
+    for (SimdMode mode : KernelModes()) {
+      EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kBlockNestedLoop, mode)),
+                expected)
+          << "term=" << p->ToString() << " simd=" << SimdModeName(mode);
+      EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kSortFilter, mode)),
+                expected)
+          << "term=" << p->ToString() << " simd=" << SimdModeName(mode);
+    }
+  }
+}
+
+TEST(SimdKernelTest, RaggedTailsEveryResidue) {
+  // N % kLanes covers every residue, including blocks smaller than one
+  // lane chunk and the empty window edge.
+  CompilableTermGen gen(21);
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 9u, 31u, 63u, 65u, 127u}) {
+    Relation r = MixedRelation(n, 99 + n, /*with_nan=*/n % 2 == 0);
+    PrefPtr p = gen.Term(2);
+    std::vector<size_t> expected = Rows(r, p, Closure());
+    for (SimdMode mode : KernelModes()) {
+      EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kBlockNestedLoop, mode)),
+                expected)
+          << "n=" << n << " term=" << p->ToString()
+          << " simd=" << SimdModeName(mode);
+    }
+  }
+}
+
+TEST(SimdKernelTest, TiledEqualsUntiledBnl) {
+  // Tiny tiles force the tile-reduce-then-merge path from the first
+  // window overflow; the result must be identical to the untiled scan
+  // (and to the closure answer).
+  CompilableTermGen gen(5);
+  for (int round = 0; round < 10; ++round) {
+    Relation r = MixedRelation(700, 400 + round, /*with_nan=*/round % 2);
+    PrefPtr p = gen.Term(3);
+    std::vector<size_t> expected = Rows(r, p, Closure());
+    for (SimdMode mode : {SimdMode::kScalar, SimdMode::kAvx2}) {
+      for (size_t tile : {8u, 64u, 100000u}) {
+        EXPECT_EQ(
+            Rows(r, p, WithKernel(BmoAlgorithm::kBlockNestedLoop, mode, tile)),
+            expected)
+            << "term=" << p->ToString() << " simd=" << SimdModeName(mode)
+            << " tile=" << tile;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, SkylineDivideConquerAcrossKernels) {
+  // The D&C base-case blocks run through the batch kernels; the flags
+  // must match the closure answer and the rowwise D&C.
+  for (size_t d : {2u, 3u, 5u}) {
+    Relation r = GenerateVectors(2000, d, Correlation::kAntiCorrelated, 11);
+    std::vector<PrefPtr> prefs;
+    for (size_t i = 0; i < d; ++i) {
+      prefs.push_back(Highest("d" + std::to_string(i)));
+    }
+    PrefPtr p = Pareto(prefs);
+    std::vector<size_t> expected =
+        Rows(r, p, Closure(BmoAlgorithm::kDivideConquer));
+    for (SimdMode mode : KernelModes()) {
+      EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kDivideConquer, mode)),
+                expected)
+          << "d=" << d << " simd=" << SimdModeName(mode);
+    }
+  }
+}
+
+TEST(SimdKernelTest, ParallelSharedTableAcrossKernels) {
+  Relation r = GenerateVectors(20000, 3, Correlation::kIndependent, 3);
+  PrefPtr p = Prioritized(
+      Pareto(Highest("d0"), Highest("d1")), Lowest("d2"));
+  ProjectionIndex proj = BuildProjectionIndex(r, *p);
+  ParallelBmoConfig closure_config;
+  closure_config.vectorize = false;
+  closure_config.min_partition_size = 512;
+  std::vector<bool> expected =
+      MaximaParallel(proj.values, p, proj.proj_schema, closure_config);
+  for (SimdMode mode : KernelModes()) {
+    ParallelBmoConfig config;
+    config.min_partition_size = 512;
+    config.simd = mode;
+    config.bnl_tile_rows = 256;  // exercise tiling inside partitions
+    EXPECT_EQ(MaximaParallel(proj.values, p, proj.proj_schema, config),
+              expected)
+        << "simd=" << SimdModeName(mode);
+  }
+}
+
+TEST(SimdKernelTest, ForcedAvx2DegradesGracefully) {
+  // On machines without AVX2 the forced mode must silently run the batch
+  // scalar kernels; on machines with it, both must agree anyway.
+  Relation r = MixedRelation(500, 77, /*with_nan=*/true);
+  PrefPtr p = Pareto(Lowest("price"), Around("score", 3.0));
+  EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kBlockNestedLoop,
+                                  SimdMode::kAvx2)),
+            Rows(r, p, WithKernel(BmoAlgorithm::kBlockNestedLoop,
+                                  SimdMode::kScalar)));
+  const simd::KernelOps* ops = simd::ResolveKernel(SimdMode::kAuto);
+  ASSERT_NE(ops, nullptr);
+  if (simd::Avx2Available()) {
+    EXPECT_STREQ(ops->name, "avx2");
+  } else {
+    EXPECT_STREQ(ops->name, "scalar");
+  }
+  EXPECT_EQ(simd::ResolveKernel(SimdMode::kOff), nullptr);
+}
+
+TEST(SimdKernelTest, AllNullAndConstantColumns) {
+  // Degenerate blocks: every value NULL (unscorable, -inf fast paths) or
+  // a single equality class per column.
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kDouble}});
+  Relation r(s);
+  for (int i = 0; i < 37; ++i) r.Add(Tuple({Value(), Value(1.5)}));
+  PrefPtr p = Pareto(Lowest("a"), Highest("b"));
+  std::vector<size_t> expected = Rows(r, p, Closure());
+  for (SimdMode mode : KernelModes()) {
+    EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kBlockNestedLoop, mode)),
+              expected);
+    EXPECT_EQ(Rows(r, p, WithKernel(BmoAlgorithm::kSortFilter, mode)),
+              expected);
+  }
+}
+
+}  // namespace
+}  // namespace prefdb
