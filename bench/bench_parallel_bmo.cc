@@ -34,11 +34,11 @@ PrefPtr PrioritizedChainPref(size_t d) {
 void RunParallel(benchmark::State& state, const PrefPtr& p, size_t n,
                  size_t d, size_t num_threads) {
   Relation r = GenerateVectors(n, d, Correlation::kIndependent, 42);
-  ParallelBmoConfig config;
-  config.num_threads = num_threads;
+  PhysicalPlan plan;
+  plan.num_threads = num_threads;
   size_t result_size = 0;
   for (auto _ : state) {
-    std::vector<size_t> rows = ParallelBmoIndices(r, p, config);
+    std::vector<size_t> rows = ParallelBmoIndices(r, p, plan);
     result_size = rows.size();
     benchmark::DoNotOptimize(rows);
   }

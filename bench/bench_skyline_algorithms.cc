@@ -170,11 +170,13 @@ void RunKernelFamily(benchmark::State& state, BmoAlgorithm algo,
   ProjectionIndex proj = BuildProjectionIndex(r, *p);
   auto table = ScoreTable::Compile(p, proj.proj_schema, proj.values.data(),
                                    proj.values.size());
-  KernelPolicy policy{simd, tile};
+  PhysicalPlan plan;
+  plan.simd = simd;
+  plan.bnl_tile_rows = tile;
   size_t skyline = 0;
   for (auto _ : state) {
     std::vector<bool> maximal =
-        table->MaximaRange(algo, 0, proj.values.size(), policy);
+        table->MaximaRange(algo, 0, proj.values.size(), plan);
     skyline = static_cast<size_t>(
         std::count(maximal.begin(), maximal.end(), true));
     benchmark::DoNotOptimize(maximal);

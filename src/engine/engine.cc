@@ -14,6 +14,7 @@
 #include "eval/ranked.h"
 #include "exec/parallel_bmo.h"
 #include "exec/score_table.h"
+#include "exec/thread_pool.h"
 #include "psql/translator.h"
 
 namespace prefdb {
@@ -33,8 +34,9 @@ struct Plan {
 
 /// Data-dependent half: everything derivable from (plan, table snapshot,
 /// options) that repeated Run() calls should not redo — the WHERE row
-/// set, the optimizer decision, the projection index and the compiled
-/// score table. Immutable once built; concurrent Run() calls share it.
+/// set, the PhysicalPlan, the projection index and the compiled score
+/// table (per group for GROUPING statements). Immutable once built;
+/// concurrent Run() calls share it.
 struct Exec {
   std::string table_name;
   uint64_t version = 0;
@@ -51,16 +53,27 @@ struct Exec {
   std::string plan_prefix;   // scan -> where -> bmo/ranked stage
   std::string plan_details;  // optimizer / ranked EXPLAIN text
   std::string kernel_variant;  // BMO kernel label (QueryStats.kernel)
+  PrefPtr exec_pref;  // term actually evaluated (simplified when routed)
+  /// The planned artifact: algorithm, kernel fields, parallel shape,
+  /// statistics and the per-algorithm cost table.
+  PhysicalPlan plan;
   // BMO block path (ungrouped, non-decomposition): kernel inputs.
   bool block_path = false;
-  PrefPtr exec_pref;  // term actually evaluated (simplified when routed)
-  BmoAlgorithm exec_algo = BmoAlgorithm::kAuto;
   ProjectionIndex proj;  // distinct projections over filtered_rows
   std::optional<ScoreTable> score_table;
-  // BMO fallback path (GROUPING / decomposition): materialized WHERE
-  // result for the relation-level evaluators.
-  std::shared_ptr<const Relation> filtered;
+  // GROUPING path (non-decomposition): per-group cached plans + compiled
+  // state, so warm runs do only per-group kernel work.
+  struct GroupExec {
+    std::vector<size_t> rows;  // global row indices of the group
+    ProjectionIndex proj;
+    std::optional<ScoreTable> table;
+    PhysicalPlan plan;
+  };
+  std::vector<GroupExec> groups;
   bool grouped = false;
+  // Decomposition path: materialized WHERE result for the relation-level
+  // cascade evaluator (null otherwise).
+  std::shared_ptr<const Relation> filtered;
   // Ranked path (§6.2): bound utility + deterministic group order.
   bool ranked = false;
   ScoreFn utility;
@@ -97,13 +110,35 @@ std::string TopKText(size_t k) {
   return k > 0 ? "k=" + std::to_string(k) : "k=all";
 }
 
+// Buckets the candidate pool by its projection onto `cols`, groups in
+// first-occurrence order; rows are global indices. Shared by the ranked
+// and BMO GROUPING paths.
+std::vector<std::vector<size_t>> GroupPoolRows(
+    const Relation& table, const std::vector<size_t>& cols, bool subset,
+    const std::vector<size_t>& filtered_rows, size_t pool_size) {
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<Tuple, size_t, TupleHash> group_of;
+  for (size_t i = 0; i < pool_size; ++i) {
+    size_t row = subset ? filtered_rows[i] : i;
+    Tuple key = table.at(row).Project(cols);
+    auto [it, inserted] = group_of.emplace(std::move(key), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(row);
+  }
+  return groups;
+}
+
 // Builds the exec entry for (plan, snapshot, options). Heavy: runs the
-// WHERE filter, the optimizer and the score-table compiler. Called
-// without engine locks; everything it touches is immutable shared state.
+// WHERE filter, the statistics-driven planner and the score-table
+// compiler. Called without engine locks; everything it touches is
+// immutable shared state. `table_stats` is the engine's per-table
+// statistics snapshot (may be null when the plan is explicit and no
+// EXPLAIN is requested).
 std::shared_ptr<const Exec> BuildExec(const Plan& plan,
                                       const BmoOptions& options,
                                       std::shared_ptr<const Relation> snapshot,
-                                      uint64_t version) {
+                                      uint64_t version,
+                                      const TableStats* table_stats) {
   const psql::SelectStatement& stmt = plan.stmt;
   auto exec = std::make_shared<Exec>();
   exec->table_name = stmt.table;
@@ -166,18 +201,11 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
     if (!stmt.grouping.empty()) {
       // Def. 16 grouping under the ranked model: top k per group, groups
       // in deterministic first-occurrence order of the candidate pool.
-      std::vector<size_t> cols = table.ResolveColumns(stmt.grouping);
-      std::unordered_map<Tuple, size_t, TupleHash> group_of;
       const size_t n =
           exec->use_row_subset ? exec->filtered_rows.size() : table.size();
-      for (size_t i = 0; i < n; ++i) {
-        size_t row = exec->use_row_subset ? exec->filtered_rows[i] : i;
-        Tuple key = table.at(row).Project(cols);
-        auto [it, inserted] =
-            group_of.emplace(std::move(key), exec->ranked_groups.size());
-        if (inserted) exec->ranked_groups.emplace_back();
-        exec->ranked_groups[it->second].push_back(row);
-      }
+      exec->ranked_groups =
+          GroupPoolRows(table, table.ResolveColumns(stmt.grouping),
+                        exec->use_row_subset, exec->filtered_rows, n);
       plan_str += " -> ranked_groupby[" + exec->preference_term + ", " +
                   TopKText(stmt.top_k) + "]";
     } else {
@@ -198,26 +226,34 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
     }
   } else if (preference) {
     exec->preference_term = preference->ToString();
-    // Mirror the legacy executor's routing: the optimizer runs for
-    // EXPLAIN or kAuto; an explicit algorithm skips rewrites.
+    // Stage 1 — statistics-level planning. Mirror the legacy routing:
+    // the optimizer runs for EXPLAIN or kAuto (simplify + cost model
+    // over the engine's incremental table statistics); an explicit
+    // algorithm skips rewrites and becomes a pass-through plan.
     PrefPtr exec_pref = preference;
-    BmoAlgorithm algo = options.algorithm;
     const size_t pool_size =
         exec->use_row_subset ? exec->filtered_rows.size() : table.size();
+    PhysicalPlan physical = PhysicalPlan::FromOptions(options);
+    OptimizedQuery optimized;
+    bool costed = false;
     if (stmt.explain || options.algorithm == BmoAlgorithm::kAuto) {
       t0 = Clock::now();
-      OptimizedQuery optimized =
-          Optimize(table.schema(), pool_size, preference, options);
+      TableStats empty;
+      empty.rows = table.size();
+      optimized = Optimize(table_stats != nullptr ? *table_stats : empty,
+                           table.schema(), pool_size, preference, options);
       exec->optimize_ns += ElapsedNs(t0, Clock::now());
-      if (stmt.explain) exec->plan_details = optimized.Explain();
       exec_pref = optimized.simplified;
-      algo = optimized.choice.algorithm;
+      if (options.algorithm == BmoAlgorithm::kAuto) {
+        physical = optimized.plan;
+        costed = true;
+      }
+      if (stmt.explain) exec->plan_details = optimized.Explain();
     }
     exec->exec_pref = exec_pref;
-    exec->exec_algo = algo;
 
-    const KernelPolicy policy = KernelPolicy::From(options);
-    if (stmt.grouping.empty() && algo != BmoAlgorithm::kDecomposition) {
+    if (stmt.grouping.empty() &&
+        physical.algorithm != BmoAlgorithm::kDecomposition) {
       // Block path: precompute the distinct-value index and compile the
       // score table once; Run() then does only the kernel work.
       exec->block_path = true;
@@ -232,31 +268,113 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
                                 exec->proj.values.size());
       }
       exec->compile_ns += ElapsedNs(t0, Clock::now());
+      // Stage 2 — refine the costed plan with measured block statistics
+      // (exact distinct counts, injectivity, the sampled window probe):
+      // the compiled table sees the actual data, so the refined choice
+      // supersedes the estimate-level one.
+      if (costed && exec->score_table) {
+        t0 = Clock::now();
+        PlanScope scope;
+        scope.allow_decomposition = false;
+        TermStats measured =
+            MeasureTermStats(*exec->score_table, exec_pref, pool_size);
+        physical = PlanPhysical(measured, options, scope);
+        exec->optimize_ns += ElapsedNs(t0, Clock::now());
+        if (stmt.explain) {
+          optimized.plan = physical;
+          exec->plan_details = optimized.Explain();
+        }
+      }
+      exec->plan = physical;
       if (exec->score_table) {
         const std::string variant = exec->score_table->KernelVariant(
-            algo == BmoAlgorithm::kParallel ? BmoAlgorithm::kAuto : algo,
-            policy);
-        exec->kernel_variant = algo == BmoAlgorithm::kParallel
+            physical.algorithm == BmoAlgorithm::kParallel
+                ? BmoAlgorithm::kAuto
+                : physical.algorithm,
+            physical);
+        exec->kernel_variant = physical.algorithm == BmoAlgorithm::kParallel
                                    ? "parallel+" + variant
                                    : variant;
       } else {
         exec->kernel_variant = "closure";
       }
-    } else {
-      // GROUPING / decomposition run through the relation-level
-      // evaluators; materialize the WHERE result once and share it.
+    } else if (physical.algorithm == BmoAlgorithm::kDecomposition) {
+      // Decomposition cascade: relation-level evaluator; materialize the
+      // WHERE result once and share it.
       t0 = Clock::now();
       exec->filtered =
           stmt.where ? std::make_shared<const Relation>(
                            table.SelectRows(exec->filtered_rows))
                      : exec->snapshot;
       exec->grouped = !stmt.grouping.empty();
+      exec->plan = physical;
       exec->compile_ns += ElapsedNs(t0, Clock::now());
-      if (algo == BmoAlgorithm::kDecomposition) {
-        exec->kernel_variant = "closure";  // Prop 11 cascade, closure order
-      } else if (options.vectorize &&
-                 ScoreTable::CompilableTerm(exec_pref)) {
-        const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+      exec->kernel_variant = "closure";  // Prop 11 cascade, closure order
+    } else {
+      // GROUPING path: group the candidate pool once and cache one
+      // compiled plan per group (projection index, score table, refined
+      // PhysicalPlan), so warm runs do only per-group kernel work.
+      exec->grouped = true;
+      t0 = Clock::now();
+      for (std::vector<size_t>& rows : GroupPoolRows(
+               table, table.ResolveColumns(stmt.grouping),
+               exec->use_row_subset, exec->filtered_rows, pool_size)) {
+        exec->groups.emplace_back();
+        exec->groups.back().rows = std::move(rows);
+      }
+      PlanScope group_scope;
+      // Multiple groups saturate the pool themselves; a single
+      // (degenerate) group runs inline, so partition-parallelism inside
+      // it stays on the table — the pre-plan behavior for skewed
+      // grouping keys.
+      group_scope.allow_parallel = exec->groups.size() == 1;
+      group_scope.allow_decomposition = false;
+      for (Exec::GroupExec& group : exec->groups) {
+        group.proj = BuildProjectionIndex(table, *exec_pref, &group.rows);
+        if (options.vectorize && !group.proj.values.empty()) {
+          group.table = ScoreTable::Compile(
+              exec_pref, group.proj.proj_schema, group.proj.values.data(),
+              group.proj.values.size());
+        }
+        if (options.algorithm == BmoAlgorithm::kAuto) {
+          TermStats group_stats =
+              group.table
+                  ? MeasureTermStats(*group.table, exec_pref,
+                                     group.rows.size())
+                  : EstimateClosureBlockStats(group.proj.proj_schema,
+                                              group.proj.values.size(),
+                                              group.rows.size(), exec_pref);
+          group.plan = PlanPhysical(group_stats, options, group_scope);
+        } else {
+          group.plan = PhysicalPlan::FromOptions(options);
+          if (group.plan.algorithm == BmoAlgorithm::kParallel &&
+              exec->groups.size() > 1) {
+            group.plan.algorithm = BmoAlgorithm::kAuto;
+          }
+        }
+      }
+      // The grouped statement's estimate is the sum of the per-group
+      // plans actually executed — the stage-1 table-level estimate would
+      // make EXPLAIN's estimated-vs-actual comparison meaningless.
+      if (options.algorithm == BmoAlgorithm::kAuto) {
+        physical.estimated_ns = 0.0;
+        for (const Exec::GroupExec& group : exec->groups) {
+          physical.estimated_ns += group.plan.estimated_ns;
+        }
+        if (stmt.explain) {
+          // The cost table above is the stage-1 table-level view; make
+          // explicit that execution runs one refined plan per group and
+          // that the reported estimate is their sum.
+          exec->plan_details +=
+              "grouping: " + std::to_string(exec->groups.size()) +
+              " group(s), plans refined per group; estimated cost is "
+              "the per-group sum\n";
+        }
+      }
+      exec->plan = physical;
+      exec->compile_ns += ElapsedNs(t0, Clock::now());
+      if (options.vectorize && ScoreTable::CompilableTerm(exec_pref)) {
+        const simd::KernelOps* ops = simd::ResolveKernel(options.simd);
         exec->kernel_variant =
             std::string("per-group[") + (ops ? ops->name : "rowwise") + "]";
       } else {
@@ -264,7 +382,8 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
       }
     }
     plan_str += std::string(stmt.grouping.empty() ? " -> bmo[" : " -> bmo_groupby[") +
-                exec_pref->ToString() + ", " + BmoAlgorithmName(algo) +
+                exec_pref->ToString() + ", " +
+                BmoAlgorithmName(exec->plan.algorithm) +
                 ", kernel=" + exec->kernel_variant + "]";
     if (stmt.explain && !exec->plan_details.empty()) {
       exec->plan_details += "kernel: " + exec->kernel_variant + "\n";
@@ -275,10 +394,10 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
   return exec;
 }
 
-// Executes a compiled plan: kernel work + materialization only. Pure
+// Executes a compiled plan: kernel work + materialization only, steered
+// entirely by the cached PhysicalPlan (per group for GROUPING). Pure
 // function of immutable shared state — safe to run concurrently.
-psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec,
-                              const BmoOptions& options) {
+psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec) {
   const psql::SelectStatement& stmt = plan.stmt;
   const Relation& table = *exec.snapshot;
   psql::QueryResult result;
@@ -316,24 +435,9 @@ psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec,
       const size_t m = exec.proj.values.size();
       std::vector<size_t> rows;
       if (m > 0) {
-        std::vector<bool> maximal;
-        if (exec.exec_algo == BmoAlgorithm::kParallel) {
-          ParallelBmoConfig config;
-          config.num_threads = options.num_threads;
-          config.vectorize = options.vectorize;
-          config.simd = options.simd;
-          config.bnl_tile_rows = options.bnl_tile_rows;
-          maximal = MaximaParallel(
-              exec.proj.values, exec.exec_pref, exec.proj.proj_schema, config,
-              exec.score_table ? &*exec.score_table : nullptr);
-        } else if (exec.score_table) {
-          maximal = exec.score_table->MaximaRange(
-              exec.exec_algo, 0, m, KernelPolicy::From(options));
-        } else {
-          maximal = internal::ComputeMaximaBlock(
-              exec.proj.values.data(), m, exec.exec_pref,
-              exec.proj.proj_schema, exec.exec_algo, /*vectorize=*/false);
-        }
+        std::vector<bool> maximal = internal::ExecuteBlockPlan(
+            exec.proj.values, exec.exec_pref, exec.proj.proj_schema,
+            exec.score_table ? &*exec.score_table : nullptr, exec.plan);
         for (size_t i = 0; i < pool_size; ++i) {
           if (maximal[exec.proj.row_to_value[i]]) {
             rows.push_back(subset ? exec.filtered_rows[i] : i);
@@ -341,13 +445,59 @@ psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec,
         }
       }
       current = table.SelectRows(rows);
-    } else {
-      BmoOptions run_options = options;
-      run_options.algorithm = exec.exec_algo;
+    } else if (exec.filtered) {
+      // Decomposition cascade (grouped or not): relation-level evaluator
+      // over the materialized WHERE result.
+      BmoOptions run_options;
+      run_options.algorithm = BmoAlgorithm::kDecomposition;
+      run_options.num_threads = exec.plan.num_threads;
+      run_options.vectorize = exec.plan.vectorize;
+      run_options.simd = exec.plan.simd;
+      run_options.bnl_tile_rows = exec.plan.bnl_tile_rows;
       current = exec.grouped
                     ? BmoGroupBy(*exec.filtered, exec.exec_pref,
                                  stmt.grouping, run_options)
                     : Bmo(*exec.filtered, exec.exec_pref, run_options);
+    } else {
+      // GROUPING: per-group kernel work over the cached per-group plans
+      // and compiled tables.
+      std::vector<size_t> rows;
+      auto run_group = [&exec](const Exec::GroupExec& group,
+                               std::vector<size_t>* out) {
+        if (group.proj.values.empty()) return;
+        // kParallel only ever reaches here for a single (degenerate)
+        // group, which runs inline — the pool is free for the fan-out.
+        std::vector<bool> maximal = internal::ExecuteBlockPlan(
+            group.proj.values, exec.exec_pref, group.proj.proj_schema,
+            group.table ? &*group.table : nullptr, group.plan);
+        for (size_t i = 0; i < group.rows.size(); ++i) {
+          if (maximal[group.proj.row_to_value[i]]) {
+            out->push_back(group.rows[i]);
+          }
+        }
+      };
+      ThreadPool& pool = ThreadPool::Shared();
+      const size_t threads =
+          ThreadPool::ResolveThreads(exec.plan.num_threads);
+      if (exec.groups.size() > 1 && threads > 1 && !pool.OnWorkerThread()) {
+        std::vector<std::vector<size_t>> results(exec.groups.size());
+        pool.ParallelForChunks(
+            exec.groups.size(), threads, 1,
+            [&exec, &results, &run_group](size_t, size_t begin, size_t end) {
+              for (size_t g = begin; g < end; ++g) {
+                run_group(exec.groups[g], &results[g]);
+              }
+            });
+        for (const auto& group_rows : results) {
+          rows.insert(rows.end(), group_rows.begin(), group_rows.end());
+        }
+      } else {
+        for (const Exec::GroupExec& group : exec.groups) {
+          run_group(group, &rows);
+        }
+      }
+      std::sort(rows.begin(), rows.end());
+      current = table.SelectRows(rows);
     }
     if (exec.but_only) {
       current = current.Filter(exec.but_only);
@@ -438,10 +588,16 @@ std::string PreparedQuery::preference_term() const {
 // ---------------------------------------------------------------------------
 // Engine
 
-Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  plan_cache_.set_capacity(options_.plan_cache_capacity);
+  exec_cache_.set_capacity(options_.exec_cache_capacity);
+}
 
 Engine::Engine(const psql::Catalog& catalog, EngineOptions options)
-    : options_(std::move(options)), catalog_(catalog) {}
+    : options_(std::move(options)), catalog_(catalog) {
+  plan_cache_.set_capacity(options_.plan_cache_capacity);
+  exec_cache_.set_capacity(options_.exec_cache_capacity);
+}
 
 void Engine::RegisterTable(const std::string& name, Relation relation) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -468,7 +624,27 @@ void Engine::Insert(const std::string& name, Tuple row) {
     std::lock_guard<std::mutex> lock(mu_);
     if (catalog_.Version(name) != version) continue;  // raced; redo the copy
     catalog_.Register(name, std::move(next));
-    InvalidateTable(name);
+    // Invalidate dependent exec state, then roll the statistics forward
+    // incrementally (O(columns), no rescan) when we have them for the
+    // superseded version.
+    const uint64_t new_version = catalog_.Version(name);
+    StatsEntry entry;
+    bool stats_fresh = false;
+    if (auto stats_it = stats_cache_.find(name);
+        stats_it != stats_cache_.end() &&
+        stats_it->second.version == version &&
+        stats_it->second.builder != nullptr) {
+      entry = std::move(stats_it->second);
+      stats_fresh = true;
+    }
+    InvalidateTable(name);  // also drops the (now stale) stats entry
+    if (stats_fresh) {
+      entry.builder->AddRow(row);
+      entry.version = new_version;
+      entry.stats =
+          std::make_shared<const TableStats>(entry.builder->Snapshot());
+      stats_cache_[name] = std::move(entry);
+    }
     return;
   }
 }
@@ -495,14 +671,11 @@ std::vector<std::string> Engine::TableNames() const {
 }
 
 void Engine::InvalidateTable(const std::string& name) {
-  for (auto it = exec_cache_.begin(); it != exec_cache_.end();) {
-    if (it->second->table_name == name) {
-      it = exec_cache_.erase(it);
-      ++stats_.invalidations;
-    } else {
-      ++it;
-    }
-  }
+  stats_.invalidations += exec_cache_.EraseIf(
+      [&name](const engine_internal::Exec& exec) {
+        return exec.table_name == name;
+      });
+  stats_cache_.erase(name);
 }
 
 std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
@@ -510,11 +683,10 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
   std::string key = NormalizeSql(sql);
   if (options_.enable_plan_cache) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
+    if (auto cached = plan_cache_.Get(key)) {
       ++stats_.plan_hits;
       stats->plan_cache_hit = true;
-      return it->second;
+      return cached;
     }
   }
   auto plan = std::make_shared<Plan>();
@@ -532,7 +704,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
   ++stats_.plan_misses;
   if (options_.enable_plan_cache) {
     // A racing Prepare may have inserted first; the entries are identical.
-    return plan_cache_.emplace(plan->key, plan).first->second;
+    stats_.plan_evictions += plan_cache_.Put(plan->key, plan);
   }
   return plan;
 }
@@ -542,11 +714,10 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
   std::string key = stmt.ToString();
   if (options_.enable_plan_cache) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
+    if (auto cached = plan_cache_.Get(key)) {
       ++stats_.plan_hits;
       stats->plan_cache_hit = true;
-      return it->second;
+      return cached;
     }
   }
   auto plan = std::make_shared<Plan>();
@@ -559,7 +730,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.plan_misses;
   if (options_.enable_plan_cache) {
-    return plan_cache_.emplace(plan->key, plan).first->second;
+    stats_.plan_evictions += plan_cache_.Put(plan->key, plan);
   }
   return plan;
 }
@@ -577,19 +748,27 @@ std::shared_ptr<const engine_internal::Exec> Engine::GetOrBuildExec(
     if (options_.enable_exec_cache) {
       key = plan.key + "|" + OptionsSignature(options) + "|v" +
             std::to_string(version);
-      auto it = exec_cache_.find(key);
-      if (it != exec_cache_.end()) {
+      if (auto cached = exec_cache_.Get(key)) {
         ++stats_.exec_hits;
         stats->exec_cache_hit = true;
-        return it->second;
+        stats->plan_cache_evictions = stats_.plan_evictions;
+        stats->exec_cache_evictions = stats_.exec_evictions;
+        return cached;
       }
     }
+  }
+  // The statistics-level planner only runs for kAuto or EXPLAIN BMO
+  // statements; skip the per-table stats snapshot otherwise.
+  std::shared_ptr<const TableStats> table_stats;
+  if (plan.preference && !plan.stmt.ranked &&
+      (plan.stmt.explain || options.algorithm == BmoAlgorithm::kAuto)) {
+    table_stats = GetStats(plan.stmt.table, version, snapshot);
   }
   // Build outside the lock: compilation may be heavy and must not block
   // concurrent queries. A racing build of the same key produces an
   // identical immutable entry; last writer wins.
-  std::shared_ptr<const Exec> exec =
-      BuildExec(plan, options, std::move(snapshot), version);
+  std::shared_ptr<const Exec> exec = BuildExec(
+      plan, options, std::move(snapshot), version, table_stats.get());
   stats->optimize_ns = exec->optimize_ns;
   stats->compile_ns = exec->compile_ns;
   std::lock_guard<std::mutex> lock(mu_);
@@ -599,9 +778,44 @@ std::shared_ptr<const engine_internal::Exec> Engine::GetOrBuildExec(
   // snapshot + score table until the table's next mutation.
   if (options_.enable_exec_cache &&
       catalog_.Version(plan.stmt.table) == version) {
-    exec_cache_[key] = exec;
+    stats_.exec_evictions += exec_cache_.Put(key, exec);
   }
+  stats->plan_cache_evictions = stats_.plan_evictions;
+  stats->exec_cache_evictions = stats_.exec_evictions;
   return exec;
+}
+
+std::shared_ptr<const TableStats> Engine::GetStats(
+    const std::string& name, uint64_t version,
+    const std::shared_ptr<const Relation>& snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stats_cache_.find(name);
+    if (it != stats_cache_.end() && it->second.version == version &&
+        it->second.stats != nullptr) {
+      return it->second.stats;
+    }
+  }
+  // Derive outside the lock (full scan of the snapshot), then publish
+  // unless the table moved on while we scanned.
+  auto builder = std::make_shared<TableStatsBuilder>(*snapshot);
+  auto derived = std::make_shared<const TableStats>(builder->Snapshot());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_.Has(name) && catalog_.Version(name) == version) {
+    stats_cache_[name] = StatsEntry{version, std::move(builder), derived};
+  }
+  return derived;
+}
+
+std::shared_ptr<const TableStats> Engine::Stats(const std::string& name) {
+  std::shared_ptr<const Relation> snapshot;
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = catalog_.GetShared(name);  // throws when unknown
+    version = catalog_.Version(name);
+  }
+  return GetStats(name, version, snapshot);
 }
 
 psql::QueryResult Engine::RunWithStats(const engine_internal::Plan& plan,
@@ -610,14 +824,24 @@ psql::QueryResult Engine::RunWithStats(const engine_internal::Plan& plan,
                                        std::chrono::steady_clock::time_point t0) {
   std::shared_ptr<const Exec> exec = GetOrBuildExec(plan, options, &stats);
   Clock::time_point t1 = Clock::now();
-  psql::QueryResult result = ExecuteExec(plan, *exec, options);
+  psql::QueryResult result = ExecuteExec(plan, *exec);
   Clock::time_point t2 = Clock::now();
   stats.execute_ns = ElapsedNs(t1, t2);
   stats.total_ns = ElapsedNs(t0, t2);
   stats.kernel = exec->kernel_variant;
+  stats.estimated_cost_ns = exec->plan.estimated_ns;
+  // Eviction counters were copied under GetOrBuildExec's lock.
   result.stats = stats;
   if (plan.stmt.explain) {
     result.plan_details += "timing: " + stats.ToString() + "\n";
+    if (exec->plan.estimated_ns > 0.0) {
+      char line[96];
+      std::snprintf(line, sizeof(line),
+                    "cost: estimated %.3fms vs actual %.3fms\n",
+                    exec->plan.estimated_ns / 1e6,
+                    static_cast<double>(stats.execute_ns) / 1e6);
+      result.plan_details += line;
+    }
   }
   return result;
 }
@@ -688,10 +912,9 @@ std::shared_ptr<const engine_internal::Plan> Engine::BuildTermPlan(
                     table + "@" + identity + ":" + preference->ToString();
   if (options_.enable_plan_cache) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
+    if (auto cached = plan_cache_.Get(key)) {
       ++stats_.plan_hits;
-      return it->second;
+      return cached;
     }
   }
   auto plan = std::make_shared<Plan>();
@@ -703,7 +926,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::BuildTermPlan(
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.plan_misses;
   if (options_.enable_plan_cache) {
-    return plan_cache_.emplace(plan->key, plan).first->second;
+    stats_.plan_evictions += plan_cache_.Put(plan->key, plan);
   }
   return plan;
 }
@@ -764,8 +987,9 @@ Engine::CacheStats Engine::cache_stats() const {
 
 void Engine::ClearCaches() {
   std::lock_guard<std::mutex> lock(mu_);
-  plan_cache_.clear();
-  exec_cache_.clear();
+  plan_cache_.Clear();
+  exec_cache_.Clear();
+  stats_cache_.clear();
 }
 
 }  // namespace prefdb

@@ -5,14 +5,18 @@
 //
 //   Engine          owns the Catalog (copy-on-write relation snapshots with
 //                   per-table version counters), the default execution
-//                   options / thread budget, and two caches:
+//                   options / thread budget, per-table statistics
+//                   (stats/stats.h, maintained incrementally across
+//                   Insert), and two LRU-bounded caches:
 //                     - plan cache:   normalized statement text ->
 //                                     parsed AST + translated preference
 //                                     term (data-independent);
 //                     - exec cache:   (statement, table version, options) ->
-//                                     optimized term, WHERE row set,
+//                                     the PhysicalPlan, WHERE row set,
 //                                     projection index and compiled
-//                                     ScoreTable (data-dependent).
+//                                     ScoreTable — including per-group
+//                                     plans + compiled state for GROUPING
+//                                     statements (data-dependent).
 //   PreparedQuery   Engine::Prepare(sql)'s handle on a cached plan;
 //                   Run() does only the BMO kernel work (or the ranked
 //                   sort) plus result materialization on a warm cache.
@@ -32,6 +36,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,12 +48,80 @@
 #include "psql/executor.h"
 #include "psql/parser.h"
 #include "repo/repository.h"
+#include "stats/stats.h"
 
 namespace prefdb {
 
 namespace engine_internal {
 struct Plan;
 struct Exec;
+
+/// A string-keyed map with LRU eviction (capacity 0 = unbounded). Not
+/// thread-safe; the engine's mutex guards every access. Get() touches.
+template <typename T>
+class LruMap {
+ public:
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t size() const { return map_.size(); }
+
+  std::shared_ptr<const T> Get(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.value;
+  }
+
+  /// Inserts or replaces; returns how many entries were evicted to make
+  /// room.
+  size_t Put(const std::string& key, std::shared_ptr<const T> value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return 0;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), lru_.begin()});
+    size_t evicted = 0;
+    while (capacity_ != 0 && map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Removes entries matching `pred(value)`; returns how many.
+  template <typename Pred>
+  size_t EraseIf(const Pred& pred) {
+    size_t erased = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(*it->second.value)) {
+        lru_.erase(it->second.lru_it);
+        it = map_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+  void Clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const T> value;
+    std::list<std::string>::iterator lru_it;
+  };
+  size_t capacity_ = 0;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
 }  // namespace engine_internal
 
 struct EngineOptions {
@@ -59,6 +132,11 @@ struct EngineOptions {
   /// Cache optimized + compiled execution state by (statement, table
   /// version, options). Disable for cold-execution baselines.
   bool enable_exec_cache = true;
+  /// LRU entry caps for the two caches (0 = unbounded). Compiled exec
+  /// state pins relation snapshots and score tables, so production
+  /// deployments with open-ended query text should keep this bounded.
+  size_t plan_cache_capacity = 512;
+  size_t exec_cache_capacity = 256;
 };
 
 class Engine;
@@ -175,9 +253,18 @@ class Engine {
     size_t exec_misses = 0;
     /// Exec entries dropped by table mutations.
     size_t invalidations = 0;
+    /// Entries dropped by the LRU bounds (surfaced per query in
+    /// QueryResult.stats).
+    size_t plan_evictions = 0;
+    size_t exec_evictions = 0;
   };
   CacheStats cache_stats() const;
   void ClearCaches();
+
+  /// Current statistics snapshot for `name` (derived on demand, then
+  /// maintained incrementally across Insert). Throws std::out_of_range
+  /// when the table is unknown.
+  std::shared_ptr<const TableStats> Stats(const std::string& name);
 
   const EngineOptions& options() const { return options_; }
 
@@ -194,21 +281,34 @@ class Engine {
   psql::QueryResult RunWithStats(
       const engine_internal::Plan& plan, const BmoOptions& options,
       psql::QueryStats stats, std::chrono::steady_clock::time_point start);
-  /// Drops exec-cache entries for `name`; caller holds mu_.
+  /// Drops exec-cache entries and the stats entry for `name`; caller
+  /// holds mu_.
   void InvalidateTable(const std::string& name);
+  /// Stats for (name, version): served from the per-table entry when
+  /// fresh, else derived from `snapshot` outside the lock.
+  std::shared_ptr<const TableStats> GetStats(
+      const std::string& name, uint64_t version,
+      const std::shared_ptr<const Relation>& snapshot);
 
   std::shared_ptr<const engine_internal::Plan> BuildTermPlan(
       const std::string& table, const PrefPtr& preference, bool ranked,
       size_t top_k);
 
+  /// Incrementally maintained per-table statistics (guarded by mu_; the
+  /// builder's hash sets make Insert-time maintenance O(columns)).
+  struct StatsEntry {
+    uint64_t version = 0;
+    std::shared_ptr<TableStatsBuilder> builder;
+    std::shared_ptr<const TableStats> stats;
+  };
+
   EngineOptions options_;
   mutable std::mutex mu_;
   psql::Catalog catalog_;
   PreferenceRepository repository_;
-  std::unordered_map<std::string, std::shared_ptr<const engine_internal::Plan>>
-      plan_cache_;
-  std::unordered_map<std::string, std::shared_ptr<const engine_internal::Exec>>
-      exec_cache_;
+  engine_internal::LruMap<engine_internal::Plan> plan_cache_;
+  engine_internal::LruMap<engine_internal::Exec> exec_cache_;
+  std::unordered_map<std::string, StatsEntry> stats_cache_;
   CacheStats stats_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "core/numeric_preferences.h"
@@ -385,15 +387,15 @@ BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p,
 std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
                                      const PrefPtr& p,
                                      const Schema& proj_schema,
-                                     BmoAlgorithm algo, bool vectorize,
-                                     const KernelPolicy& policy) {
-  if (vectorize) {
+                                     const PhysicalPlan& plan) {
+  BmoAlgorithm algo = plan.algorithm;
+  if (plan.vectorize) {
     if (auto table = ScoreTable::Compile(p, proj_schema, values, count)) {
       // kAuto resolves with the table's data-aware rules (D&C when score
       // dominance is exact, SFS whenever keys compile — a superset of the
       // closure path's eligibility); ineligible requests degrade to BNL
       // inside MaximaRange.
-      return table->MaximaRange(algo, 0, count, policy);
+      return table->MaximaRange(algo, 0, count, plan);
     }
   }
   if (algo == BmoAlgorithm::kAuto) {
@@ -434,7 +436,48 @@ std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
   return MaximaBnlRange(values, count, p->Bind(proj_schema));
 }
 
+std::vector<bool> ExecuteBlockPlan(const std::vector<Tuple>& values,
+                                   const PrefPtr& p,
+                                   const Schema& proj_schema,
+                                   const ScoreTable* table,
+                                   const PhysicalPlan& plan) {
+  if (plan.algorithm == BmoAlgorithm::kParallel) {
+    return MaximaParallel(values, p, proj_schema, plan, table);
+  }
+  if (table != nullptr) {
+    return table->MaximaRange(plan.algorithm, 0, values.size(), plan);
+  }
+  PhysicalPlan closure_plan = plan;
+  closure_plan.vectorize = false;  // compilation was already attempted
+  return ComputeMaximaBlock(values, p, proj_schema, closure_plan);
+}
+
 }  // namespace internal
+
+namespace {
+
+/// Plans one distinct-value block: measured statistics from the compiled
+/// table when available (exact column distinct counts + the sampled
+/// window probe), a cheap structural estimate otherwise. Relation-level
+/// decomposition is not considered here — the optimizer routes it before
+/// the block is materialized.
+PhysicalPlan PlanBlock(const ProjectionIndex& proj, const PrefPtr& p,
+                       const ScoreTable* table, size_t input_rows,
+                       const BmoOptions& options) {
+  PlanScope scope;
+  scope.allow_decomposition = false;
+  if (options.algorithm != BmoAlgorithm::kAuto) {
+    return PlanPhysical(TermStats{}, options, scope);
+  }
+  TermStats stats =
+      table != nullptr
+          ? MeasureTermStats(*table, p, input_rows)
+          : EstimateClosureBlockStats(proj.proj_schema, proj.values.size(),
+                                      input_rows, p);
+  return PlanPhysical(stats, options, scope);
+}
+
+}  // namespace
 
 std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
                                const BmoOptions& options) {
@@ -443,25 +486,15 @@ std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
     return BmoDecompositionIndices(r, p);
   }
   ProjectionIndex proj = BuildProjectionIndex(r, *p);
-  BmoAlgorithm algo = options.algorithm;
-  if (algo == BmoAlgorithm::kAuto &&
-      proj.values.size() >= options.parallel_threshold &&
-      ThreadPool::ResolveThreads(options.num_threads) > 1) {
-    algo = BmoAlgorithm::kParallel;
+  std::optional<ScoreTable> table;
+  if (options.vectorize && !proj.values.empty()) {
+    table = ScoreTable::Compile(p, proj.proj_schema, proj.values.data(),
+                                proj.values.size());
   }
-  std::vector<bool> maximal;
-  if (algo == BmoAlgorithm::kParallel) {
-    ParallelBmoConfig config;
-    config.num_threads = options.num_threads;
-    config.vectorize = options.vectorize;
-    config.simd = options.simd;
-    config.bnl_tile_rows = options.bnl_tile_rows;
-    maximal = MaximaParallel(proj.values, p, proj.proj_schema, config);
-  } else {
-    maximal = internal::ComputeMaximaBlock(proj.values, p, proj.proj_schema,
-                                           algo, options.vectorize,
-                                           KernelPolicy::From(options));
-  }
+  PhysicalPlan plan =
+      PlanBlock(proj, p, table ? &*table : nullptr, r.size(), options);
+  std::vector<bool> maximal = internal::ExecuteBlockPlan(
+      proj.values, p, proj.proj_schema, table ? &*table : nullptr, plan);
   std::vector<size_t> rows;
   for (size_t i = 0; i < r.size(); ++i) {
     if (maximal[proj.row_to_value[i]]) rows.push_back(i);
@@ -478,11 +511,11 @@ namespace {
 // σ[P] row indices for one group, projecting the group's rows in place
 // (no SelectRows deep copy). Appends qualifying *global* row indices.
 void BmoGroupMaxima(const Relation& r, const std::vector<size_t>& rows,
-                    const PrefPtr& p, BmoAlgorithm algo, bool vectorize,
-                    const KernelPolicy& policy, std::vector<size_t>* out) {
+                    const PrefPtr& p, const PhysicalPlan& plan,
+                    std::vector<size_t>* out) {
   ProjectionIndex proj = BuildProjectionIndex(r, *p, &rows);
-  std::vector<bool> maximal = internal::ComputeMaximaBlock(
-      proj.values, p, proj.proj_schema, algo, vectorize, policy);
+  std::vector<bool> maximal =
+      internal::ComputeMaximaBlock(proj.values, p, proj.proj_schema, plan);
   for (size_t i = 0; i < rows.size(); ++i) {
     if (maximal[proj.row_to_value[i]]) out->push_back(rows[i]);
   }
@@ -509,16 +542,19 @@ std::vector<size_t> BmoGroupByIndices(
     std::vector<const std::vector<size_t>*> group_rows;
     group_rows.reserve(groups.size());
     for (const auto& [key, rows] : groups) group_rows.push_back(&rows);
-    BmoAlgorithm algo = options.algorithm == BmoAlgorithm::kParallel
-                            ? BmoAlgorithm::kAuto
-                            : options.algorithm;
+    // Per-group pass-through plan: the block algorithm resolves
+    // data-aware inside each group (groups already saturate the pool, so
+    // kParallel never nests).
+    PhysicalPlan group_plan = PhysicalPlan::FromOptions(options);
+    if (group_plan.algorithm == BmoAlgorithm::kParallel) {
+      group_plan.algorithm = BmoAlgorithm::kAuto;
+    }
     std::vector<std::vector<size_t>> results(group_rows.size());
     pool.ParallelForChunks(
         group_rows.size(), threads, 1,
         [&](size_t, size_t begin, size_t end) {
           for (size_t g = begin; g < end; ++g) {
-            BmoGroupMaxima(r, *group_rows[g], p, algo, options.vectorize,
-                           KernelPolicy::From(options), &results[g]);
+            BmoGroupMaxima(r, *group_rows[g], p, group_plan, &results[g]);
           }
         });
     for (const auto& rows : results) {

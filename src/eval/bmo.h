@@ -18,12 +18,13 @@
 //   kParallel        partition-and-merge parallel evaluation on a worker
 //                    pool (see exec/parallel_bmo.h); each partition runs
 //                    the auto-resolved sequential algorithm
-//   kAuto            picks per term: parallel above the distinct-value
-//                    threshold when multiple workers exist, else D&C for
-//                    skyline fragments, SFS when sort keys exist, BNL
-//                    otherwise. (kDecomposition is never auto-picked here;
-//                    the cost-based optimizer in eval/optimizer.h chooses
-//                    it for '&' trees with a chain head.)
+//   kAuto            cost-based: the statistics subsystem (stats/stats.h)
+//                    measures the block (distinct counts, injectivity, a
+//                    sampled window probe) and the calibrated cost model
+//                    (eval/physical_plan.h) picks the cheapest eligible
+//                    plan. (kDecomposition is never auto-picked at block
+//                    level; the optimizer in eval/optimizer.h routes it
+//                    before the block is materialized.)
 
 #ifndef PREFDB_EVAL_BMO_H_
 #define PREFDB_EVAL_BMO_H_
@@ -65,12 +66,18 @@ enum class SimdMode : uint8_t {
 
 const char* SimdModeName(SimdMode mode);
 
+/// The caller-facing execution *request*. These knobs are inputs to the
+/// planner: every execution path consumes them only through the
+/// PhysicalPlan (eval/physical_plan.h) the cost model derives from them
+/// (PhysicalPlan::FromOptions for explicit algorithms / pass-through
+/// paths).
 struct BmoOptions {
   BmoAlgorithm algorithm = BmoAlgorithm::kAuto;
   /// Worker threads for kParallel (0 = hardware concurrency).
   size_t num_threads = 0;
-  /// kAuto escalates to kParallel at/above this many distinct values,
-  /// provided more than one worker is available.
+  /// kParallel becomes *eligible* for kAuto at/above this many distinct
+  /// values (the cost model still compares it against the sequential
+  /// plans); set to SIZE_MAX to opt out of auto-parallelism.
   size_t parallel_threshold = 32768;
   /// Compile the term into the vectorized score-table kernels
   /// (exec/score_table.h) when possible; terms that do not compile fall

@@ -1,7 +1,6 @@
 // Internals shared by eval/bmo.cc and the exec/ parallel engine: maxima
-// computation over a block of distinct projected values, with the same
-// per-block algorithm resolution the sequential evaluator uses. Not part
-// of the public API surface.
+// computation over a block of distinct projected values, steered by a
+// PhysicalPlan. Not part of the public API surface.
 
 #ifndef PREFDB_EVAL_BMO_INTERNAL_H_
 #define PREFDB_EVAL_BMO_INTERNAL_H_
@@ -10,7 +9,11 @@
 
 #include "core/preference.h"
 #include "eval/bmo.h"
-#include "exec/score_table.h"
+#include "eval/physical_plan.h"
+
+namespace prefdb {
+class ScoreTable;
+}  // namespace prefdb
 
 namespace prefdb::internal {
 
@@ -20,28 +23,35 @@ namespace prefdb::internal {
 BmoAlgorithm ResolveBlockAlgorithm(const PrefPtr& p, const Schema& proj_schema);
 
 /// Maximal-value flags for the `count` values at `values`, under p bound
-/// against proj_schema. Takes a raw range so partition-parallel callers
-/// can evaluate contiguous slices without copying tuples. kAuto is
-/// resolved via ResolveBlockAlgorithm (or the score table's data-aware
-/// resolution when the term compiles and `vectorize` is set). `policy`
-/// picks the batch dominance kernel and BNL tile size for the compiled
-/// paths. kParallel and kDecomposition are relation-level strategies, not
-/// block algorithms; they fall back to BNL here.
+/// against proj_schema, executing `plan`: its algorithm (kAuto resolves
+/// data-aware per block — via the compiled table when plan.vectorize and
+/// the term compiles, else ResolveBlockAlgorithm), its vectorize switch
+/// and its kernel fields (SIMD mode, BNL tile size). Takes a raw range so
+/// partition-parallel callers can evaluate contiguous slices without
+/// copying tuples. kParallel and kDecomposition are relation-level
+/// strategies, not block algorithms; they fall back to BNL here.
 std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
                                      const PrefPtr& p,
                                      const Schema& proj_schema,
-                                     BmoAlgorithm algo, bool vectorize = true,
-                                     const KernelPolicy& policy = {});
+                                     const PhysicalPlan& plan);
 
 inline std::vector<bool> ComputeMaximaBlock(const std::vector<Tuple>& values,
                                             const PrefPtr& p,
                                             const Schema& proj_schema,
-                                            BmoAlgorithm algo,
-                                            bool vectorize = true,
-                                            const KernelPolicy& policy = {}) {
+                                            const PhysicalPlan& plan) {
   return ComputeMaximaBlock(values.data(), values.size(), p, proj_schema,
-                            algo, vectorize, policy);
+                            plan);
 }
+
+/// Executes a planned block over an (optionally) precompiled table — the
+/// one dispatch every consumer shares: kParallel routes to the
+/// partition-and-merge engine (handing the table in), a compiled table
+/// runs its kernels directly, and a null table falls back to the closure
+/// path without re-attempting compilation.
+std::vector<bool> ExecuteBlockPlan(const std::vector<Tuple>& values,
+                                   const PrefPtr& p, const Schema& proj_schema,
+                                   const ScoreTable* table,
+                                   const PhysicalPlan& plan);
 
 }  // namespace prefdb::internal
 

@@ -1,100 +1,30 @@
 #include "eval/optimizer.h"
 
+#include <functional>
 #include <stdexcept>
 
 #include "core/complex_preferences.h"
-#include "exec/score_table.h"
-#include "exec/thread_pool.h"
 
 namespace prefdb {
 
-namespace {
-
-// Heuristic thresholds: below this size every algorithm finishes in
-// microseconds and BNL's simplicity wins.
-constexpr size_t kSmallInput = 512;
-
-
-bool PrioritizedChainHead(const PrefPtr& p) {
-  if (p->kind() != PreferenceKind::kPrioritized) return false;
-  auto kids = p->children();
-  return kids[0]->IsChain() &&
-         DisjointAttributeSets(kids[0]->attributes(), kids[1]->attributes());
+PhysicalPlan ChooseAlgorithm(const Relation& r, const PrefPtr& p,
+                             const BmoOptions& options) {
+  TableStats stats = TableStats::Derive(r, p->attributes());
+  return ChooseAlgorithm(stats, r.schema(), r.size(), p, options);
 }
 
-}  // namespace
-
-AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
-                                const BmoOptions& options) {
-  return ChooseAlgorithm(r.schema(), r.size(), p, options);
+PhysicalPlan ChooseAlgorithm(const TableStats& stats, const Schema& schema,
+                             size_t pool_rows, const PrefPtr& p,
+                             const BmoOptions& options) {
+  return PlanPhysical(EstimateTermStats(stats, schema, p, pool_rows),
+                      options);
 }
 
-AlgorithmChoice ChooseAlgorithm(const Schema& schema, size_t num_rows,
-                                const PrefPtr& p, const BmoOptions& options) {
-  const size_t n = num_rows;
-  if (n <= kSmallInput) {
-    return {BmoAlgorithm::kBlockNestedLoop,
-            "input below " + std::to_string(kSmallInput) +
-                " rows: window scan wins on constants"};
-  }
-  if (PrioritizedChainHead(p)) {
-    return {BmoAlgorithm::kDecomposition,
-            "prioritized with a chain head: Prop 11 cascade evaluation"};
-  }
-  const size_t workers = ThreadPool::ResolveThreads(options.num_threads);
-  // Same nominal threshold as BmoIndices' kAuto path, applied to the only
-  // statistic available here (row count n, an upper bound on the distinct
-  // count BmoIndices tests). On duplicate-heavy data the two entry points
-  // can therefore differ in *choosing* kParallel, but never in results:
-  // the engine degrades to the same sequential block algorithm when too
-  // few distinct values remain to split.
-  if (n >= options.parallel_threshold && workers > 1) {
-    return {BmoAlgorithm::kParallel,
-            std::to_string(n) + " rows, up to " + std::to_string(workers) +
-                " workers: partitioned local maxima + merge window pass "
-                "(sequential when too few distinct values to split)"};
-  }
-  std::vector<PrefPtr> leaves;
-  if (CanUseDivideConquer(p, &leaves)) {
-    // The batch dominance kernels moved the BNL-vs-D&C crossover past
-    // every measured workload (independent and anti-correlated up to 1M
-    // rows, d <= 6): the tiled SIMD window decides 4 row-pairs per
-    // iteration and stays cache-resident, while the KLP75 recursion pays
-    // per-level allocation and partitioning constants. So D&C remains
-    // the pick only for the row-wise (SimdMode::kOff) kernels.
-    if (options.vectorize && options.simd != SimdMode::kOff &&
-        ScoreTable::CompilableTerm(p)) {
-      return {BmoAlgorithm::kBlockNestedLoop,
-              "skyline fragment over " + std::to_string(leaves.size()) +
-                  " chains: tiled SIMD BNL window beats the KLP75 "
-                  "recursion at every measured size"};
-    }
-    return {BmoAlgorithm::kDivideConquer,
-            "skyline fragment over " + std::to_string(leaves.size()) +
-                " LOWEST/HIGHEST chains: KLP75 divide & conquer"};
-  }
-  bool has_keys = false;
-  try {
-    has_keys =
-        p->BindSortKeys(schema.Project(p->attributes())).has_value();
-  } catch (const std::out_of_range&) {
-    has_keys = false;
-  }
-  if (has_keys) {
-    return {BmoAlgorithm::kSortFilter,
-            "topologically compatible sort keys exist: presort + one-sided "
-            "window (SFS)"};
-  }
-  // The score-table compiler widens SFS eligibility beyond closure sort
-  // keys: level-based (weak-order) leaves always yield a compiled key, so
-  // layered/pos-neg terms and their accumulations presort too.
-  if (options.vectorize && ScoreTable::HasStaticSortKeys(p)) {
-    return {BmoAlgorithm::kSortFilter,
-            "term compiles to score-table kernels with sort keys: "
-            "vectorized presort + one-sided window (SFS)"};
-  }
-  return {BmoAlgorithm::kBlockNestedLoop,
-          "no exploitable structure: generic BNL window scan"};
+PhysicalPlan ChooseAlgorithm(const Schema& schema, size_t num_rows,
+                             const PrefPtr& p, const BmoOptions& options) {
+  TableStats empty;
+  empty.rows = num_rows;
+  return ChooseAlgorithm(empty, schema, num_rows, p, options);
 }
 
 std::string OptimizedQuery::Explain() const {
@@ -109,31 +39,54 @@ std::string OptimizedQuery::Explain() const {
   } else {
     out += "rewrites: (none)\n";
   }
-  out += "algorithm: " + std::string(BmoAlgorithmName(choice.algorithm)) +
-         " -- " + choice.rationale + "\n";
+  out += plan.ExplainCosts();
+  out += "algorithm: " + std::string(BmoAlgorithmName(plan.algorithm)) +
+         " -- " + plan.rationale + "\n";
   return out;
 }
 
+namespace {
+
+OptimizedQuery OptimizeWith(
+    const PrefPtr& p,
+    const std::function<PhysicalPlan(const PrefPtr&)>& choose) {
+  OptimizedQuery out;
+  out.original = p;
+  out.simplified = Simplify(p, &out.rewrites);
+  out.plan = choose(out.simplified);
+  return out;
+}
+
+}  // namespace
+
 OptimizedQuery Optimize(const Relation& r, const PrefPtr& p,
                         const BmoOptions& options) {
-  return Optimize(r.schema(), r.size(), p, options);
+  return OptimizeWith(p, [&](const PrefPtr& simplified) {
+    return ChooseAlgorithm(r, simplified, options);
+  });
+}
+
+OptimizedQuery Optimize(const TableStats& stats, const Schema& schema,
+                        size_t pool_rows, const PrefPtr& p,
+                        const BmoOptions& options) {
+  return OptimizeWith(p, [&](const PrefPtr& simplified) {
+    return ChooseAlgorithm(stats, schema, pool_rows, simplified, options);
+  });
 }
 
 OptimizedQuery Optimize(const Schema& schema, size_t num_rows,
                         const PrefPtr& p, const BmoOptions& options) {
-  OptimizedQuery out;
-  out.original = p;
-  out.simplified = Simplify(p, &out.rewrites);
-  out.choice = ChooseAlgorithm(schema, num_rows, out.simplified, options);
-  return out;
+  return OptimizeWith(p, [&](const PrefPtr& simplified) {
+    return ChooseAlgorithm(schema, num_rows, simplified, options);
+  });
 }
 
 Relation BmoOptimized(const Relation& r, const PrefPtr& p,
                       const BmoOptions& options) {
-  OptimizedQuery plan = Optimize(r, p, options);
+  OptimizedQuery optimized = Optimize(r, p, options);
   BmoOptions exec_options = options;
-  exec_options.algorithm = plan.choice.algorithm;
-  return Bmo(r, plan.simplified, exec_options);
+  exec_options.algorithm = optimized.plan.algorithm;
+  return Bmo(r, optimized.simplified, exec_options);
 }
 
 }  // namespace prefdb

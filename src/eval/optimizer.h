@@ -1,11 +1,14 @@
-// A preference query optimizer front-end (the paper's §7 outlook:
+// The preference query optimizer front-end (the paper's §7 outlook:
 // "heuristic transformations ..., cost-based optimization to choose
 // between direct implementations of the Pareto operator and divide &
 // conquer algorithms exploiting the decomposition principles").
 //
 // Pipeline: algebraic simplification (Props 3/4a/6 rewrites, which
-// preserve the BMO answer by Prop 7) -> cost-based algorithm choice using
-// cheap statistics of R -> EXPLAIN-style report.
+// preserve the BMO answer by Prop 7) -> statistics derivation
+// (stats/stats.h: distinct counts, injectivity, estimated window width)
+// -> the calibrated cost model (eval/physical_plan.h) -> one
+// PhysicalPlan the whole execution pipeline consumes -> EXPLAIN report
+// with the per-algorithm cost table.
 
 #ifndef PREFDB_EVAL_OPTIMIZER_H_
 #define PREFDB_EVAL_OPTIMIZER_H_
@@ -15,59 +18,60 @@
 
 #include "algebra/simplifier.h"
 #include "eval/bmo.h"
+#include "eval/physical_plan.h"
+#include "stats/stats.h"
 
 namespace prefdb {
 
-/// The algorithm decision plus a human-readable justification.
-struct AlgorithmChoice {
-  BmoAlgorithm algorithm = BmoAlgorithm::kBlockNestedLoop;
-  std::string rationale;
-};
+/// Plans σ[P](R) from term structure and relation statistics: derives
+/// TableStats (restricted to P's attributes), estimates TermStats, and
+/// runs the cost model over every eligible algorithm (tiled-SIMD BNL,
+/// SFS, KLP75 D&C, partition-and-merge parallel, Prop 11 decomposition
+/// cascade). `options` supplies the thread budget, kernel fields and the
+/// parallel-eligibility threshold.
+PhysicalPlan ChooseAlgorithm(const Relation& r, const PrefPtr& p,
+                             const BmoOptions& options = {});
 
-/// Chooses an evaluation algorithm for σ[P](R) from term structure and
-/// relation statistics (cardinality, attribute count):
-///  - prioritized with chain head over disjoint attributes -> the
-///    decomposition evaluator (Prop 11 cascade)
-///  - very large n and multiple workers -> partition-and-merge parallel
-///    evaluation (exec/parallel_bmo.h)
-///  - skyline fragment (Pareto of LOWEST/HIGHEST on distinct attributes)
-///    and large n  -> divide & conquer [KLP75]
-///  - derivable sort keys and large n -> sort-filter
-///  - otherwise -> BNL (small inputs: naive is fine too, BNL never loses)
-/// `options` supplies the thread budget and escalation threshold consulted
-/// for the parallel choice.
-AlgorithmChoice ChooseAlgorithm(const Relation& r, const PrefPtr& p,
-                                const BmoOptions& options = {});
+/// Same, over statistics the caller already maintains (the engine's
+/// incremental per-table stats). `pool_rows` is the candidate pool size
+/// (WHERE survivors; pass stats.rows when unfiltered).
+PhysicalPlan ChooseAlgorithm(const TableStats& stats, const Schema& schema,
+                             size_t pool_rows, const PrefPtr& p,
+                             const BmoOptions& options = {});
 
-/// Statistics-only entry point: the choice needs just the schema and the
-/// (filtered) row count, so callers that keep row-index views instead of
-/// materialized relations (engine/engine.h) can plan without a copy.
-AlgorithmChoice ChooseAlgorithm(const Schema& schema, size_t num_rows,
-                                const PrefPtr& p,
-                                const BmoOptions& options = {});
+/// Statistics-free entry point: only the schema and the (filtered) row
+/// count are known, so column distinct counts fall back to worst-case
+/// assumptions. Kept for callers that plan before any scan.
+PhysicalPlan ChooseAlgorithm(const Schema& schema, size_t num_rows,
+                             const PrefPtr& p, const BmoOptions& options = {});
 
-/// A fully optimized query: simplified term, rewrite trace, chosen
-/// algorithm.
+/// A fully optimized query: simplified term, rewrite trace, physical
+/// plan.
 struct OptimizedQuery {
   PrefPtr original;
   PrefPtr simplified;
   std::vector<RewriteStep> rewrites;
-  AlgorithmChoice choice;
+  PhysicalPlan plan;
 
-  /// Multi-line EXPLAIN text.
+  /// Multi-line EXPLAIN text: rewrites, statistics, the per-algorithm
+  /// cost table and the chosen algorithm with its rationale.
   std::string Explain() const;
 };
 
 OptimizedQuery Optimize(const Relation& r, const PrefPtr& p,
                         const BmoOptions& options = {});
 
-/// Statistics-only overload (see ChooseAlgorithm above).
+/// Stats-based overloads (see ChooseAlgorithm above).
+OptimizedQuery Optimize(const TableStats& stats, const Schema& schema,
+                        size_t pool_rows, const PrefPtr& p,
+                        const BmoOptions& options = {});
 OptimizedQuery Optimize(const Schema& schema, size_t num_rows,
                         const PrefPtr& p, const BmoOptions& options = {});
 
 /// Optimizes and evaluates in one step (equivalent to Bmo() by Prop 7,
 /// validated in optimizer_test). `options.algorithm` is ignored — the
-/// optimizer picks it — but the thread budget is honored.
+/// cost model picks it — but the thread budget and kernel fields are
+/// honored.
 Relation BmoOptimized(const Relation& r, const PrefPtr& p,
                       const BmoOptions& options = {});
 

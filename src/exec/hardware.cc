@@ -1,0 +1,54 @@
+#include "exec/hardware.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace prefdb {
+
+namespace {
+
+size_t DetectL2() {
+#if defined(__unix__) && defined(_SC_LEVEL2_CACHE_SIZE)
+  long sc = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (sc > 0) return static_cast<size_t>(sc);
+#endif
+#ifdef __linux__
+  // Some kernels report 0 through sysconf but populate sysfs.
+  if (std::FILE* f = std::fopen(
+          "/sys/devices/system/cpu/cpu0/cache/index2/size", "r")) {
+    long kib = 0;
+    char unit = 0;
+    int got = std::fscanf(f, "%ld%c", &kib, &unit);
+    std::fclose(f);
+    if (got >= 1 && kib > 0) {
+      size_t bytes = static_cast<size_t>(kib);
+      if (got == 2 && (unit == 'K' || unit == 'k')) bytes *= 1024;
+      if (got == 2 && (unit == 'M' || unit == 'm')) bytes *= 1024 * 1024;
+      return bytes;
+    }
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
+size_t DetectedL2CacheBytes() {
+  static const size_t bytes = DetectL2();
+  return bytes;
+}
+
+size_t BnlTileBudgetBytes() {
+  constexpr size_t kFallback = 256 * 1024;  // the tuned PR 4 constant
+  constexpr size_t kMin = 128 * 1024;
+  constexpr size_t kMax = 1024 * 1024;
+  const size_t l2 = DetectedL2CacheBytes();
+  if (l2 == 0) return kFallback;
+  return std::min(kMax, std::max(kMin, l2 / 2));
+}
+
+}  // namespace prefdb

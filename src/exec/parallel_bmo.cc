@@ -47,13 +47,13 @@ std::vector<size_t> MergeAntichains(const std::vector<Tuple>& values,
 
 std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
-                                 const ParallelBmoConfig& config) {
-  return MaximaParallel(values, p, proj_schema, config, nullptr);
+                                 const PhysicalPlan& plan) {
+  return MaximaParallel(values, p, proj_schema, plan, nullptr);
 }
 
 std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
-                                 const ParallelBmoConfig& config,
+                                 const PhysicalPlan& plan,
                                  const ScoreTable* precompiled) {
   const size_t m = values.size();
   std::vector<bool> maximal(m, false);
@@ -64,28 +64,33 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   // synchronization needed).
   std::optional<ScoreTable> local_table;
   const ScoreTable* table = precompiled;
-  if (table == nullptr && config.vectorize) {
+  if (table == nullptr && plan.vectorize) {
     local_table = ScoreTable::Compile(p, proj_schema, values.data(), m);
     if (local_table) table = &*local_table;
   }
 
-  BmoAlgorithm algo = config.partition_algorithm;
+  BmoAlgorithm algo = plan.partition_algorithm;
   if (algo == BmoAlgorithm::kAuto) {
     algo = table ? table->ResolveAlgorithm()
                  : internal::ResolveBlockAlgorithm(p, proj_schema);
   }
 
+  // The closure fallback plan: block evaluation without recompiling the
+  // table that already failed (or was disabled) above.
+  PhysicalPlan closure_plan = plan;
+  closure_plan.vectorize = false;
+  closure_plan.algorithm = algo;
+
   ThreadPool& pool = ThreadPool::Shared();
-  const size_t threads = ThreadPool::ResolveThreads(config.num_threads);
-  const size_t min_part = std::max<size_t>(1, config.min_partition_size);
+  const size_t threads = ThreadPool::ResolveThreads(plan.num_threads);
+  const size_t min_part = std::max<size_t>(1, plan.min_partition_size);
   const size_t parts = std::min(threads, std::max<size_t>(1, m / min_part));
-  const KernelPolicy policy{config.simd, config.bnl_tile_rows};
   if (parts <= 1 || pool.OnWorkerThread()) {
     // Too small to split, or already on a pool worker (where blocking on
     // further pool tasks could deadlock): evaluate sequentially.
-    if (table) return table->MaximaRange(algo, 0, m, policy);
-    return internal::ComputeMaximaBlock(values, p, proj_schema, algo,
-                                        /*vectorize=*/false);
+    if (table) return table->MaximaRange(algo, 0, m, plan);
+    return internal::ComputeMaximaBlock(values, p, proj_schema,
+                                        closure_plan);
   }
 
   // Phase 1: local maxima per contiguous partition, in parallel. Each
@@ -93,13 +98,13 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
   std::vector<std::vector<size_t>> local(parts);
   pool.ParallelForChunks(
       m, parts, min_part,
-      [&values, &p, &proj_schema, &local, &table, &policy, algo](
+      [&values, &p, &proj_schema, &local, &table, &plan, &closure_plan, algo](
           size_t c, size_t begin, size_t end) {
         std::vector<bool> flags =
-            table ? table->MaximaRange(algo, begin, end, policy)
+            table ? table->MaximaRange(algo, begin, end, plan)
                   : internal::ComputeMaximaBlock(values.data() + begin,
                                                  end - begin, p, proj_schema,
-                                                 algo, /*vectorize=*/false);
+                                                 closure_plan);
         for (size_t i = begin; i < end; ++i) {
           if (flags[i - begin]) local[c].push_back(i);
         }
@@ -118,8 +123,8 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
     std::vector<std::vector<size_t>> next(pairs + lists.size() % 2);
     pool.ParallelForChunks(
         pairs, pairs, 1,
-        [&values, &p, &proj_schema, &lists, &next, &table, &policy, algo](
-            size_t, size_t begin, size_t end) {
+        [&values, &p, &proj_schema, &lists, &next, &table, &plan,
+         &closure_plan, algo](size_t, size_t begin, size_t end) {
           for (size_t k = begin; k < end; ++k) {
             const std::vector<size_t>& a = lists[2 * k];
             const std::vector<size_t>& b = lists[2 * k + 1];
@@ -131,19 +136,20 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
               cand.insert(cand.end(), b.begin(), b.end());
               std::vector<bool> flags;
               if (table) {
-                flags = table->MaximaSubset(algo, cand, policy);
+                flags = table->MaximaSubset(algo, cand, plan);
               } else {
                 std::vector<Tuple> cand_values;
                 cand_values.reserve(cand.size());
                 for (size_t i : cand) cand_values.push_back(values[i]);
-                flags = internal::ComputeMaximaBlock(
-                    cand_values, p, proj_schema, algo, /*vectorize=*/false);
+                flags = internal::ComputeMaximaBlock(cand_values, p,
+                                                     proj_schema,
+                                                     closure_plan);
               }
               for (size_t i = 0; i < cand.size(); ++i) {
                 if (flags[i]) next[k].push_back(cand[i]);
               }
             } else if (table) {
-              next[k] = table->MergeAntichains(a, b, policy);
+              next[k] = table->MergeAntichains(a, b, plan);
             } else {
               next[k] =
                   MergeAntichains(values, p->Bind(proj_schema), a, b);
@@ -158,11 +164,11 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
 }
 
 std::vector<size_t> ParallelBmoIndices(const Relation& r, const PrefPtr& p,
-                                       const ParallelBmoConfig& config) {
+                                       const PhysicalPlan& plan) {
   if (r.empty()) return {};
   ProjectionIndex proj = BuildProjectionIndex(r, *p);
   std::vector<bool> maximal =
-      MaximaParallel(proj.values, p, proj.proj_schema, config);
+      MaximaParallel(proj.values, p, proj.proj_schema, plan);
   std::vector<size_t> rows;
   for (size_t i = 0; i < r.size(); ++i) {
     if (maximal[proj.row_to_value[i]]) rows.push_back(i);
@@ -171,8 +177,8 @@ std::vector<size_t> ParallelBmoIndices(const Relation& r, const PrefPtr& p,
 }
 
 Relation ParallelBmo(const Relation& r, const PrefPtr& p,
-                     const ParallelBmoConfig& config) {
-  return r.SelectRows(ParallelBmoIndices(r, p, config));
+                     const PhysicalPlan& plan) {
+  return r.SelectRows(ParallelBmoIndices(r, p, plan));
 }
 
 }  // namespace prefdb

@@ -9,6 +9,11 @@
 //    held for any x in the input, walking x's dominator chain within its
 //    partition ends at a local maximum that, by transitivity, still
 //    dominates y.
+//
+// Execution shape (worker budget, partition floor, per-partition
+// algorithm, kernel fields) comes from the PhysicalPlan
+// (eval/physical_plan.h) — the same planned artifact every other
+// execution path consumes.
 
 #ifndef PREFDB_EXEC_PARALLEL_BMO_H_
 #define PREFDB_EXEC_PARALLEL_BMO_H_
@@ -17,57 +22,39 @@
 
 #include "core/preference.h"
 #include "eval/bmo.h"
+#include "eval/physical_plan.h"
 #include "relation/relation.h"
 
 namespace prefdb {
 
 class ScoreTable;
 
-struct ParallelBmoConfig {
-  /// Worker threads (0 = hardware concurrency).
-  size_t num_threads = 0;
-  /// Never split below this many distinct values per partition; inputs
-  /// smaller than two partitions run sequentially.
-  size_t min_partition_size = 4096;
-  /// Algorithm run on each partition and on the merge pass. kAuto resolves
-  /// with the sequential heuristics (D&C for skyline fragments, SFS when
-  /// sort keys exist, BNL otherwise).
-  BmoAlgorithm partition_algorithm = BmoAlgorithm::kAuto;
-  /// Compile the term once into a shared immutable score table
-  /// (exec/score_table.h); all partitions and merge rounds then run the
-  /// vectorized kernels over it. Non-compilable terms use the closure
-  /// path regardless.
-  bool vectorize = true;
-  /// Batch dominance kernel for the compiled paths (see BmoOptions).
-  SimdMode simd = SimdMode::kAuto;
-  /// BNL tile size per partition (0 = auto L2-sized, see BmoOptions);
-  /// each partition runs the tiled window loop independently.
-  size_t bnl_tile_rows = 0;
-};
-
 /// Maximal-value flags over a distinct-value set, partition-parallel.
+/// Consulted plan fields: num_threads (0 = hardware), min_partition_size
+/// (inputs below two partitions run sequentially), partition_algorithm
+/// (kAuto resolves data-aware), vectorize, simd, bnl_tile_rows.
 std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
-                                 const ParallelBmoConfig& config = {});
+                                 const PhysicalPlan& plan = {});
 
 /// Same, over a caller-supplied score table already compiled for exactly
 /// these `values` (the engine's per-(relation version, term) cache hands
 /// its table in so repeated runs skip recompilation). `precompiled` may be
-/// null, in which case the table is compiled locally per config.vectorize.
+/// null, in which case the table is compiled locally per plan.vectorize.
 std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
-                                 const ParallelBmoConfig& config,
+                                 const PhysicalPlan& plan,
                                  const ScoreTable* precompiled);
 
 /// σ[P](R) row indices (ascending) evaluated with the parallel engine;
 /// same contract as BmoIndices().
 std::vector<size_t> ParallelBmoIndices(const Relation& r, const PrefPtr& p,
-                                       const ParallelBmoConfig& config = {});
+                                       const PhysicalPlan& plan = {});
 
 /// σ[P](R) evaluated with the parallel engine; preserves input row order
 /// and duplicates like Bmo().
 Relation ParallelBmo(const Relation& r, const PrefPtr& p,
-                     const ParallelBmoConfig& config = {});
+                     const PhysicalPlan& plan = {});
 
 }  // namespace prefdb
 

@@ -11,6 +11,7 @@
 #include "core/complex_preferences.h"
 #include "core/numeric_preferences.h"
 #include "eval/quality.h"
+#include "exec/hardware.h"
 
 namespace prefdb {
 
@@ -126,9 +127,11 @@ bool CompilableRec(const PrefPtr& p0, bool dual) {
   }
   if (p->kind() == PreferenceKind::kPareto ||
       p->kind() == PreferenceKind::kPrioritized) {
-    if (dual) return false;  // DUAL of an accumulation: closure path
+    // DUAL distributes over both accumulations (equality per side is
+    // value equality, which dual preserves), so the order flip is pushed
+    // to the leaves at descriptor build time.
     auto kids = p->children();
-    return CompilableRec(kids[0], false) && CompilableRec(kids[1], false);
+    return CompilableRec(kids[0], dual) && CompilableRec(kids[1], dual);
   }
   return CompilableLeaf(p);
 }
@@ -186,6 +189,7 @@ struct ColumnData {
   std::vector<double> scores;
   std::vector<uint32_t> ids;
   bool use_ids = false;
+  uint32_t classes = 0;  // equality classes (0 = injective fast path)
 };
 
 }  // namespace
@@ -253,6 +257,7 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
         out.scores[order[i]] = score_of_row(order[i]);
       }
     }
+    out.classes = next_id;
     finish_column();
     return static_cast<int>(columns.size() - 1);
   };
@@ -306,6 +311,7 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
             out.ids[r] = it->second;
             out.scores[r] = score_of_id[it->second];
           }
+          out.classes = static_cast<uint32_t>(dict.size());
           finish_column();
           return static_cast<int>(columns.size() - 1);
         }
@@ -351,6 +357,7 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
             out.ids[r] = it->second;
             out.scores[r] = score_of_row(values[r]);
           }
+          out.classes = static_cast<uint32_t>(dict.size());
           finish_column();
           return static_cast<int>(columns.size() - 1);
         }
@@ -382,9 +389,11 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
     }
     if (cur->kind() == PreferenceKind::kPareto ||
         cur->kind() == PreferenceKind::kPrioritized) {
+      // A surrounding DUAL distributes over the accumulation: flip the
+      // order of every leaf below instead (score negation).
       auto kids = cur->children();
-      int l = build(kids[0], false);
-      int r = build(kids[1], false);
+      int l = build(kids[0], dual);
+      int r = build(kids[1], dual);
       simd::DominanceProgram::Node node;
       node.kind = cur->kind() == PreferenceKind::kPareto
                       ? simd::DominanceProgram::Node::Kind::kPareto
@@ -470,8 +479,10 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
   table.scores_.resize(count * table.cols_);
   table.ids_.resize(count * table.cols_);
   table.prog_.use_ids.resize(table.cols_);
+  table.col_distinct_.resize(table.cols_);
   for (size_t c = 0; c < table.cols_; ++c) {
     table.prog_.use_ids[c] = columns[c].use_ids ? 1 : 0;
+    table.col_distinct_[c] = columns[c].classes;
     for (size_t r = 0; r < count; ++r) {
       table.scores_[r * table.cols_ + c] = columns[c].scores[r];
       table.ids_[r * table.cols_ + c] = columns[c].ids[r];
@@ -665,12 +676,14 @@ double ScoreTable::SortKeyValue(size_t row, size_t key) const {
 size_t ScoreTable::ResolveTileRows(size_t requested) const {
   if (requested != 0) return std::max(requested, simd::kLanes);
   // Auto: size the tile so its local window (column-major scores + ids +
-  // payloads) stays within ~256KiB, i.e. comfortably L2-resident, with
-  // bounds that keep tiles worthwhile on narrow and wide tables alike.
-  constexpr size_t kTileBytes = 256 * 1024;
+  // payloads) stays L2-resident, using the cache size detected at
+  // runtime (exec/hardware.h; falls back to the tuned 256KiB constant),
+  // with bounds that keep tiles worthwhile on narrow and wide tables
+  // alike.
+  const size_t tile_bytes = BnlTileBudgetBytes();
   const size_t row_bytes =
       cols_ * (sizeof(double) + sizeof(uint32_t)) + sizeof(size_t);
-  const size_t tile = kTileBytes / std::max<size_t>(1, row_bytes);
+  const size_t tile = tile_bytes / std::max<size_t>(1, row_bytes);
   return std::min<size_t>(16384, std::max<size_t>(1024, tile));
 }
 
@@ -743,8 +756,8 @@ std::vector<bool> ScoreTable::BnlBatch(const simd::KernelOps& ops,
 
 std::vector<bool> ScoreTable::MaximaSubset(BmoAlgorithm algo,
                                            const std::vector<size_t>& rows,
-                                           const KernelPolicy& policy) const {
-  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+                                           const PhysicalPlan& plan) const {
+  const simd::KernelOps* ops = simd::ResolveKernel(plan.simd);
   algo = ResolveFor(algo, ops);
 
   const size_t m = rows.size();
@@ -841,7 +854,7 @@ std::vector<bool> ScoreTable::MaximaSubset(BmoAlgorithm algo,
   // quadratic baseline); relation-level strategies (kParallel,
   // kDecomposition) land here too and run the batch BNL like the rest.
   if (algo != BmoAlgorithm::kNaive && ops) {
-    return BnlBatch(*ops, rows, ResolveTileRows(policy.bnl_tile_rows));
+    return BnlBatch(*ops, rows, ResolveTileRows(plan.bnl_tile_rows));
   }
 
   switch (prog_.mode) {
@@ -865,8 +878,8 @@ std::vector<bool> ScoreTable::MaximaSubset(BmoAlgorithm algo,
 
 std::vector<bool> ScoreTable::MaximaRange(BmoAlgorithm algo, size_t begin,
                                           size_t end,
-                                          const KernelPolicy& policy) const {
-  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+                                          const PhysicalPlan& plan) const {
+  const simd::KernelOps* ops = simd::ResolveKernel(plan.simd);
   algo = ResolveFor(algo, ops);
   if (algo == BmoAlgorithm::kDivideConquer) {
     // Contiguous range: run KLP75 directly over the table storage.
@@ -875,15 +888,15 @@ std::vector<bool> ScoreTable::MaximaRange(BmoAlgorithm algo, size_t begin,
   }
   std::vector<size_t> rows(end - begin);
   std::iota(rows.begin(), rows.end(), begin);
-  return MaximaSubset(algo, rows, policy);
+  return MaximaSubset(algo, rows, plan);
 }
 
 std::vector<size_t> ScoreTable::MergeAntichains(
     const std::vector<size_t>& a, const std::vector<size_t>& b,
-    const KernelPolicy& policy) const {
+    const PhysicalPlan& plan) const {
   std::vector<size_t> out;
   out.reserve(a.size() + b.size());
-  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+  const simd::KernelOps* ops = simd::ResolveKernel(plan.simd);
   if (ops && a.size() + b.size() >= 4 * simd::kLanes) {
     // Gather each side column-major once, then every row of the other
     // side is a single one-sided batch scan.
@@ -923,8 +936,8 @@ std::vector<size_t> ScoreTable::MergeAntichains(
 }
 
 std::string ScoreTable::KernelVariant(BmoAlgorithm algo,
-                                      const KernelPolicy& policy) const {
-  const simd::KernelOps* ops = simd::ResolveKernel(policy.simd);
+                                      const PhysicalPlan& plan) const {
+  const simd::KernelOps* ops = simd::ResolveKernel(plan.simd);
   algo = ResolveFor(algo, ops);
   const std::string impl = ops ? ops->name : "rowwise";
   switch (algo) {
@@ -933,7 +946,7 @@ std::string ScoreTable::KernelVariant(BmoAlgorithm algo,
     case BmoAlgorithm::kBlockNestedLoop:
       if (ops) {
         return "bnl[" + impl + ",tile=" +
-               std::to_string(ResolveTileRows(policy.bnl_tile_rows)) + "]";
+               std::to_string(ResolveTileRows(plan.bnl_tile_rows)) + "]";
       }
       return "bnl[rowwise]";
     case BmoAlgorithm::kSortFilter:

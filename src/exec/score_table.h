@@ -15,11 +15,15 @@
 //  - anti-chains (Def. 3b): a constant column whose equality classes are
 //    the value combinations (this is what makes `A<-> & P` grouping terms
 //    compile);
-//  - DUAL of any of the above (score negation), and arbitrary nesting of
-//    Pareto (Def. 8) and prioritized (Def. 9) accumulation on top.
+//  - arbitrary nesting of Pareto (Def. 8) and prioritized (Def. 9)
+//    accumulation on top, and DUAL of any of the above: DUAL distributes
+//    over both accumulations (dual(P ⊗ Q) = dual(P) ⊗ dual(Q), likewise
+//    for &, since equality per side is value equality either way), so the
+//    compiler pushes the order flip down to the leaves, where it is a
+//    score negation on the descriptor.
 // Everything else (SUBSET, LINEAR_SUM, INTERSECTION, DISJOINT_UNION,
-// non-weak-order EXPLICIT, DUAL of complex terms) does not compile and the
-// caller falls back to the closure-based path.
+// non-weak-order EXPLICIT) does not compile and the caller falls back to
+// the closure-based path.
 //
 // Def. 8/9 equality is *value* equality, not score equality: AROUND(10)
 // scores 5 and 15 identically although the values are incomparable. Each
@@ -41,26 +45,10 @@
 
 #include "core/preference.h"
 #include "eval/bmo.h"
+#include "eval/physical_plan.h"
 #include "exec/simd/dominance.h"
 
 namespace prefdb {
-
-/// Kernel-implementation knobs the score-table entry points thread down
-/// to the batch dominance layer (exec/simd/dominance.h): which kernel
-/// build runs the inner loops, and the blocked-BNL tile size.
-struct KernelPolicy {
-  SimdMode simd = SimdMode::kAuto;
-  /// Tile size (and engagement threshold) for the blocked BNL window
-  /// loop: the scan streams candidates directly while the window holds
-  /// fewer rows than this, then switches to tile-reduce-then-merge so the
-  /// hot inner loops stay cache-resident. 0 = auto (L2-sized); a value
-  /// >= the input size effectively disables tiling.
-  size_t bnl_tile_rows = 0;
-
-  static KernelPolicy From(const BmoOptions& options) {
-    return {options.simd, options.bnl_tile_rows};
-  }
-};
 
 class ScoreTable {
  public:
@@ -99,6 +87,18 @@ class ScoreTable {
 
   /// True when topologically compatible sort keys exist for the SFS kernel.
   bool HasSortKeys() const { return !sort_keys_.empty(); }
+  size_t num_sort_keys() const { return sort_keys_.size(); }
+
+  /// Exact per-column equality-class counts on this block, in descriptor
+  /// column order. 0 means "injective by construction" (the numeric
+  /// LOWEST/HIGHEST fast path skips id assignment): every row its own
+  /// class. Feeds MeasureTermStats (stats/stats.h).
+  const std::vector<uint32_t>& column_distinct() const {
+    return col_distinct_;
+  }
+
+  /// The compiled dominance descriptor (shared with the batch kernels).
+  const simd::DominanceProgram& program() const { return prog_; }
 
   /// Block-algorithm resolution with the same preference order the
   /// sequential evaluator uses: D&C when exact, else SFS when keys exist,
@@ -108,29 +108,30 @@ class ScoreTable {
   /// Maximal-row flags for the contiguous row range [begin, end) under the
   /// chosen kernel (kAuto resolves via ResolveAlgorithm; ineligible
   /// requests degrade to BNL). Partition-parallel callers share one
-  /// immutable table and evaluate disjoint ranges concurrently. `policy`
-  /// selects the batch dominance kernel (scalar/AVX2 dispatch) and the
-  /// tiled-BNL block size; SimdMode::kOff keeps the row-major pair loops.
+  /// immutable table and evaluate disjoint ranges concurrently. `plan`
+  /// supplies the kernel fields of the physical plan — the batch
+  /// dominance kernel (scalar/AVX2 dispatch) and the tiled-BNL block
+  /// size; SimdMode::kOff keeps the row-major pair loops.
   std::vector<bool> MaximaRange(BmoAlgorithm algo, size_t begin, size_t end,
-                                const KernelPolicy& policy = {}) const;
+                                const PhysicalPlan& plan = {}) const;
 
   /// Maximal flags over an arbitrary row subset (the parallel engine's
   /// divide & conquer merge step). Returned flags align with `rows`.
   std::vector<bool> MaximaSubset(BmoAlgorithm algo,
                                  const std::vector<size_t>& rows,
-                                 const KernelPolicy& policy = {}) const;
+                                 const PhysicalPlan& plan = {}) const;
 
   /// Maxima of the union of two antichains by cross-comparison only (the
   /// parallel engine's pairwise merge).
   std::vector<size_t> MergeAntichains(const std::vector<size_t>& a,
                                       const std::vector<size_t>& b,
-                                      const KernelPolicy& policy = {}) const;
+                                      const PhysicalPlan& plan = {}) const;
 
   /// Human-readable label of the kernel variant MaximaRange would run for
-  /// `algo` under `policy` — e.g. "bnl[avx2,tile=8192]", "sfs[scalar]",
+  /// `algo` under `plan` — e.g. "bnl[avx2,tile=8192]", "sfs[scalar]",
   /// "dc[avx2]", "bnl[rowwise]" — surfaced by EXPLAIN and QueryStats.
   std::string KernelVariant(BmoAlgorithm algo,
-                            const KernelPolicy& policy = {}) const;
+                            const PhysicalPlan& plan = {}) const;
 
  private:
   ScoreTable() = default;
@@ -174,6 +175,7 @@ class ScoreTable {
   size_t cols_ = 0;
   std::vector<double> scores_;  // row-major rows_ x cols_
   std::vector<uint32_t> ids_;   // row-major equality-class ids
+  std::vector<uint32_t> col_distinct_;  // per-column classes (0 = injective)
   /// Dominance descriptor (mode, per-column id flags, node program),
   /// shared with the batch kernels.
   simd::DominanceProgram prog_;

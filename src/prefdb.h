@@ -24,12 +24,15 @@
 #include "eval/decomposition.h"
 #include "eval/negotiation.h"
 #include "eval/optimizer.h"
+#include "eval/physical_plan.h"
 #include "eval/quality.h"
 #include "eval/ranked.h"
+#include "exec/hardware.h"
 #include "exec/parallel_bmo.h"
 #include "exec/score_table.h"
 #include "exec/simd/dominance.h"
 #include "exec/thread_pool.h"
+#include "stats/stats.h"
 #include "mining/miner.h"
 #include "psql/catalog.h"
 #include "psql/executor.h"

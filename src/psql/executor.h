@@ -40,6 +40,14 @@ struct QueryStats {
   bool plan_cache_hit = false;
   /// Optimize+compile served from the engine's score-table cache.
   bool exec_cache_hit = false;
+  /// The cost model's estimate for the chosen physical plan (0 when the
+  /// plan was not costed: explicit algorithm, ranked, preference-less).
+  /// EXPLAIN prints it next to the measured execute time.
+  double estimated_cost_ns = 0.0;
+  /// Cumulative LRU evictions of the engine's caches at the time of this
+  /// run (see EngineOptions::{plan,exec}_cache_capacity).
+  uint64_t plan_cache_evictions = 0;
+  uint64_t exec_cache_evictions = 0;
   /// Kernel variant the BMO stage runs, e.g. "bnl[avx2,tile=8192]",
   /// "sfs[scalar]", "closure" (empty for ranked / preference-less plans).
   std::string kernel;

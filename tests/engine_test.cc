@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <random>
 #include <thread>
 
 #include "core/base_preferences.h"
@@ -315,6 +316,131 @@ TEST(EngineTest, ProgrammaticTermsIncludeRankF) {
   EXPECT_EQ(res.relation, direct.relation);
   EXPECT_EQ(res.utilities, direct.utilities);
   EXPECT_TRUE(q.Run().stats.exec_cache_hit);
+}
+
+TEST(EngineTest, LruBoundsEvictColdEntries) {
+  EngineOptions options;
+  options.plan_cache_capacity = 4;
+  options.exec_cache_capacity = 2;
+  Engine engine(options);
+  engine.RegisterTable("car", SmallCars());
+  // Eight distinct statements against caps of 4/2 must evict.
+  std::vector<std::string> sqls;
+  for (int limit = 1; limit <= 8; ++limit) {
+    sqls.push_back("SELECT * FROM car PREFERRING LOWEST(price) LIMIT " +
+                   std::to_string(limit));
+  }
+  for (const std::string& sql : sqls) engine.Execute(sql);
+  Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_GE(stats.plan_evictions, 4u);
+  EXPECT_GE(stats.exec_evictions, 6u);
+  // Evicted entries simply rebuild: correctness is unaffected, and the
+  // counters are surfaced per query through QueryResult.stats.
+  psql::QueryResult res = engine.Execute(sqls.front());
+  EXPECT_FALSE(res.stats.exec_cache_hit);
+  EXPECT_EQ(res.relation.size(), 1u);
+  EXPECT_GE(res.stats.exec_cache_evictions, 6u);
+  EXPECT_GE(res.stats.plan_cache_evictions, 4u);
+  // The hot tail survives within the caps: re-running the most recent
+  // statement hits both caches.
+  engine.Execute(sqls.back());
+  EXPECT_TRUE(engine.Execute(sqls.back()).stats.exec_cache_hit);
+}
+
+TEST(EngineTest, UnboundedCapacityNeverEvicts) {
+  EngineOptions options;
+  options.plan_cache_capacity = 0;
+  options.exec_cache_capacity = 0;
+  Engine engine(options);
+  engine.RegisterTable("car", SmallCars());
+  for (int limit = 1; limit <= 20; ++limit) {
+    engine.Execute("SELECT * FROM car LIMIT " + std::to_string(limit));
+  }
+  EXPECT_EQ(engine.cache_stats().plan_evictions, 0u);
+  EXPECT_EQ(engine.cache_stats().exec_evictions, 0u);
+}
+
+TEST(EngineTest, PerGroupCompiledStateIsCachedAndReused) {
+  Engine engine;
+  engine.RegisterTable("car", GenerateCars(2000, 31));
+  PreparedQuery prepared = engine.Prepare(
+      "SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage) "
+      "GROUPING make");
+  psql::QueryResult first = prepared.Run();
+  psql::QueryResult warm = prepared.Run();
+  EXPECT_TRUE(warm.stats.exec_cache_hit);
+  // Warm runs reuse the per-group projection indexes, score tables and
+  // plans: zero compile work, kernel execution only.
+  EXPECT_EQ(warm.stats.compile_ns, 0u);
+  EXPECT_EQ(warm.stats.optimize_ns, 0u);
+  EXPECT_EQ(warm.relation, first.relation);
+  EXPECT_NE(warm.stats.kernel.find("per-group"), std::string::npos);
+  // Reference: the relation-level grouped evaluator.
+  Relation direct = BmoGroupBy(*engine.Snapshot("car"),
+                               Pareto(Lowest("price"), Lowest("mileage")),
+                               {"make"});
+  EXPECT_TRUE(warm.relation.SameRows(direct));
+}
+
+TEST(EngineTest, DegenerateSingleGroupKeepsParallelEligibility) {
+  // A grouping key with one distinct value produces a single group that
+  // runs inline; partition-parallelism inside it must stay available
+  // (explicitly here; kAuto applies the same scope) and stay correct.
+  Schema s({{"g", ValueType::kString},
+            {"a", ValueType::kInt},
+            {"b", ValueType::kInt}});
+  Relation r(s);
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    r.Add({"only", Value(int64_t(rng() % 10000)),
+           Value(int64_t(rng() % 10000))});
+  }
+  Engine engine;
+  engine.RegisterTable("t", r);
+  BmoOptions parallel;
+  parallel.algorithm = BmoAlgorithm::kParallel;
+  parallel.num_threads = 4;
+  psql::QueryResult par = engine.Execute(
+      "SELECT * FROM t PREFERRING LOWEST(a) AND LOWEST(b) GROUPING g",
+      parallel);
+  psql::QueryResult seq = engine.Execute(
+      "SELECT * FROM t PREFERRING LOWEST(a) AND LOWEST(b) GROUPING g");
+  EXPECT_EQ(par.relation, seq.relation);
+  EXPECT_TRUE(par.relation.SameRows(
+      BmoGroupBy(r, Pareto(Lowest("a"), Lowest("b")), {"g"})));
+}
+
+TEST(EngineTest, ExplainReportsEstimatedVersusActualCost) {
+  Engine engine;
+  engine.RegisterTable("car", GenerateCars(1500, 3));
+  psql::QueryResult res = engine.Execute(
+      "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) AND "
+      "LOWEST(mileage)");
+  EXPECT_NE(res.plan_details.find("cost model:"), std::string::npos);
+  EXPECT_NE(res.plan_details.find("<- chosen"), std::string::npos);
+  EXPECT_NE(res.plan_details.find("cost: estimated"), std::string::npos);
+  EXPECT_NE(res.plan_details.find("vs actual"), std::string::npos);
+  EXPECT_GT(res.stats.estimated_cost_ns, 0.0);
+}
+
+TEST(EngineTest, StatsAreMaintainedIncrementallyAcrossInserts) {
+  Engine engine;
+  engine.RegisterTable("car", SmallCars());
+  std::shared_ptr<const TableStats> before = engine.Stats("car");
+  EXPECT_EQ(before->rows, 5u);
+  ASSERT_NE(before->Column("price"), nullptr);
+  const size_t price_distinct = before->Column("price")->distinct;
+  engine.Insert("car", Tuple{"VW", "passenger", "white", 9000, 75, 1000});
+  std::shared_ptr<const TableStats> after = engine.Stats("car");
+  EXPECT_EQ(after->rows, 6u);
+  EXPECT_EQ(after->Column("price")->distinct, price_distinct + 1);
+  // The old snapshot is immutable.
+  EXPECT_EQ(before->rows, 5u);
+  // RegisterTable resets: stats rebuild from the new relation.
+  Relation two(SmallCars().schema());
+  two.Add({"Audi", "coupe", "silver", 50000, 300, 500});
+  engine.RegisterTable("car", two);
+  EXPECT_EQ(engine.Stats("car")->rows, 1u);
 }
 
 TEST(EngineTest, DeprecatedWrappersStillMatchEngine) {

@@ -1,6 +1,7 @@
 // Tests for the preference query optimizer (eval/optimizer.h): rewrites
-// preserve answers (Prop 7), the algorithm chooser picks the predicted
-// structure-exploiting plans, EXPLAIN reports them.
+// preserve answers (Prop 7), the cost model picks the measured-winner
+// plans across statistics regimes, EXPLAIN reports the per-algorithm
+// cost table.
 
 #include "eval/optimizer.h"
 
@@ -18,50 +19,88 @@ namespace {
 
 TEST(ChooserTest, SmallInputsUseBnl) {
   Relation r = GenerateCars(100, 1);
-  AlgorithmChoice c = ChooseAlgorithm(r, Lowest("price"));
+  PhysicalPlan c = ChooseAlgorithm(r, Lowest("price"));
   EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
 }
 
 TEST(ChooserTest, SkylineFragmentPrefersTiledSimdBnl) {
   // With the batch dominance kernels active, the tiled SIMD BNL window
-  // beats the KLP75 recursion at every measured size; D&C remains the
-  // pick for the row-wise kernels.
+  // beats the KLP75 recursion on the estimated windows of every measured
+  // workload; D&C remains the pick for the row-wise kernels.
   Relation r = GenerateVectors(5000, 3, Correlation::kIndependent, 1);
   PrefPtr p = Pareto({Highest("d0"), Highest("d1"), Lowest("d2")});
-  AlgorithmChoice c = ChooseAlgorithm(r, p);
+  PhysicalPlan c = ChooseAlgorithm(r, p);
   EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
   EXPECT_NE(c.rationale.find("SIMD"), std::string::npos);
+  EXPECT_GT(c.estimated_ns, 0.0);
 
   BmoOptions rowwise;
   rowwise.simd = SimdMode::kOff;
-  AlgorithmChoice d = ChooseAlgorithm(r, p, rowwise);
+  PhysicalPlan d = ChooseAlgorithm(r, p, rowwise);
   EXPECT_EQ(d.algorithm, BmoAlgorithm::kDivideConquer);
   EXPECT_NE(d.rationale.find("KLP75"), std::string::npos);
 }
 
-TEST(ChooserTest, ChainHeadPrioritizationUsesDecomposition) {
+TEST(ChooserTest, ChainHeadMakesDecompositionEligible) {
+  // A prioritized chain head is the Prop 11 structure: the cascade is
+  // always *considered* with a cost estimate. With the compiled kernels
+  // the BNL window over the lex descriptor is far cheaper (the window
+  // stays near the head's best block), so the cascade is not chosen —
+  // the cost model's honest correction of the old structural heuristic.
   Relation r = GenerateCars(5000, 2);
   PrefPtr p = Prioritized(Lowest("price"), Pos("color", {"red"}));
-  AlgorithmChoice c = ChooseAlgorithm(r, p);
-  EXPECT_EQ(c.algorithm, BmoAlgorithm::kDecomposition);
+  PhysicalPlan c = ChooseAlgorithm(r, p);
+  bool decomposition_considered = false;
+  for (const AlgorithmCost& cost : c.considered) {
+    if (cost.algorithm == BmoAlgorithm::kDecomposition) {
+      decomposition_considered = cost.eligible && cost.est_ns > 0.0;
+    }
+  }
+  EXPECT_TRUE(decomposition_considered);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
+  // Non-chain heads are not eligible at all.
+  PhysicalPlan d = ChooseAlgorithm(r, Pareto(Lowest("price"), Lowest("mileage")));
+  for (const AlgorithmCost& cost : d.considered) {
+    if (cost.algorithm == BmoAlgorithm::kDecomposition) {
+      EXPECT_FALSE(cost.eligible);
+    }
+  }
 }
 
-TEST(ChooserTest, SortKeysEnableSfs) {
-  Relation r = GenerateCars(5000, 3);
-  // AROUND leaves break the skyline fragment but still have sort keys.
-  PrefPtr p = Pareto(Around("price", 10000), Lowest("mileage"));
-  AlgorithmChoice c = ChooseAlgorithm(r, p);
-  EXPECT_EQ(c.algorithm, BmoAlgorithm::kSortFilter);
+TEST(ChooserTest, SelectiveChainHeadOverClosureTailUsesDecomposition) {
+  // The cascade's winning regime: a selective chain head in front of a
+  // term that only evaluates through closures (non-compilable tail) with
+  // a wide estimated window — sorting once and cascading into the best
+  // block beats paying closure dominance tests across the whole pool.
+  TermStats stats;
+  stats.input_rows = 50000;
+  stats.distinct_values = 50000;
+  stats.dims = 4;
+  stats.compilable = false;
+  stats.chain_head = true;
+  stats.head_distinct = 5;
+  stats.est_window = 130.0;
+  PhysicalPlan plan = PlanPhysical(stats, BmoOptions{});
+  EXPECT_EQ(plan.algorithm, BmoAlgorithm::kDecomposition);
+  EXPECT_NE(plan.rationale.find("Prop 11"), std::string::npos);
 }
 
-TEST(ChooserTest, LevelTermsCompileToVectorizedSfs) {
+TEST(ChooserTest, LevelTermsStayEligibleForVectorizedSfs) {
   // POS leaves have no closure sort keys, but they dict-encode as level
-  // columns in the score table, which widens SFS eligibility.
+  // columns in the score table, which keeps SFS eligible; with the tiny
+  // estimated window of a 2-level x 2-level term, the BNL window is
+  // still the cheaper plan.
   Relation r = GenerateCars(5000, 4);
   PrefPtr p = Pareto(Pos("color", {"red"}), Pos("make", {"Audi"}));
-  AlgorithmChoice c = ChooseAlgorithm(r, p);
-  EXPECT_EQ(c.algorithm, BmoAlgorithm::kSortFilter);
-  EXPECT_NE(c.rationale.find("score-table"), std::string::npos);
+  PhysicalPlan c = ChooseAlgorithm(r, p);
+  bool sfs_eligible = false;
+  for (const AlgorithmCost& cost : c.considered) {
+    if (cost.algorithm == BmoAlgorithm::kSortFilter) {
+      sfs_eligible = cost.eligible;
+    }
+  }
+  EXPECT_TRUE(sfs_eligible);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kBlockNestedLoop);
 }
 
 TEST(ChooserTest, UnstructuredTermsFallBackToBnl) {
@@ -76,6 +115,16 @@ TEST(ChooserTest, UnstructuredTermsFallBackToBnl) {
   PrefPtr hard = Intersection(Pos("color", {"red"}), Neg("color", {"blue"}));
   EXPECT_EQ(ChooseAlgorithm(r, hard).algorithm,
             BmoAlgorithm::kBlockNestedLoop);
+}
+
+TEST(ChooserTest, ExplicitAlgorithmShortCircuitsTheCostModel) {
+  Relation r = GenerateCars(2000, 9);
+  BmoOptions forced;
+  forced.algorithm = BmoAlgorithm::kSortFilter;
+  PhysicalPlan c = ChooseAlgorithm(r, Lowest("price"), forced);
+  EXPECT_EQ(c.algorithm, BmoAlgorithm::kSortFilter);
+  EXPECT_TRUE(c.considered.empty());
+  EXPECT_NE(c.rationale.find("explicitly"), std::string::npos);
 }
 
 TEST(OptimizeTest, RewritesAreReportedAndSound) {
@@ -95,6 +144,12 @@ TEST(OptimizeTest, ExplainMentionsEverything) {
   EXPECT_NE(text.find("preference:"), std::string::npos);
   EXPECT_NE(text.find("algorithm:"), std::string::npos);
   EXPECT_NE(text.find("rewrites"), std::string::npos);
+  // The cost model's comparison table: statistics plus one estimate per
+  // considered algorithm, marking the choice.
+  EXPECT_NE(text.find("stats:"), std::string::npos);
+  EXPECT_NE(text.find("cost model:"), std::string::npos);
+  EXPECT_NE(text.find("<- chosen"), std::string::npos);
+  EXPECT_NE(text.find("est "), std::string::npos);
 }
 
 class OptimizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};

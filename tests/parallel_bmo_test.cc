@@ -33,11 +33,11 @@ PrefPtr SkylinePreference(size_t d) {
 }
 
 // Forces real partitioning even on small inputs / few cores.
-ParallelBmoConfig TinyPartitions(size_t num_threads = 4) {
-  ParallelBmoConfig config;
-  config.num_threads = num_threads;
-  config.min_partition_size = 8;
-  return config;
+PhysicalPlan TinyPartitions(size_t num_threads = 4) {
+  PhysicalPlan plan;
+  plan.num_threads = num_threads;
+  plan.min_partition_size = 8;
+  return plan;
 }
 
 TEST(ThreadPoolTest, ResolveThreadsDefaultsToHardware) {
@@ -84,13 +84,13 @@ TEST(ParallelBmoTest, NestedCallFromSharedPoolWorkerCompletes) {
   PrefPtr p = SkylinePreference(2);
   std::vector<size_t> expected =
       BmoIndices(r, p, {BmoAlgorithm::kBlockNestedLoop});
-  ParallelBmoConfig config;
-  config.num_threads = 4;
-  config.min_partition_size = 8;
+  PhysicalPlan plan;
+  plan.num_threads = 4;
+  plan.min_partition_size = 8;
   // ParallelBmoIndices invoked *from* a Shared-pool worker must fall back
   // to inline evaluation rather than blocking on its own pool.
   auto nested = ThreadPool::Shared().Submit(
-      [&r, &p, &config] { return ParallelBmoIndices(r, p, config); });
+      [&r, &p, &plan] { return ParallelBmoIndices(r, p, plan); });
   EXPECT_EQ(nested.get(), expected);
 }
 
@@ -105,10 +105,10 @@ TEST(ParallelBmoTest, EmptyInputs) {
 
 TEST(ParallelBmoTest, DegeneratePartitionsFewerValuesThanWorkers) {
   Relation r = testing::IntRelation("x", {7, 3, 9, 3, 1});
-  ParallelBmoConfig config;
-  config.num_threads = 16;
-  config.min_partition_size = 1;
-  Relation par = ParallelBmo(r, Lowest("x"), config);
+  PhysicalPlan plan;
+  plan.num_threads = 16;
+  plan.min_partition_size = 1;
+  Relation par = ParallelBmo(r, Lowest("x"), plan);
   EXPECT_TRUE(par.SameRows(Bmo(r, Lowest("x"))));
   EXPECT_EQ(par.size(), 1u);
 }
@@ -181,9 +181,10 @@ TEST(ParallelBmoTest, OptimizerPicksParallelOnHugeInputs) {
   Relation r = GenerateVectors(200000, 2, Correlation::kIndependent, 3);
   BmoOptions options;
   options.num_threads = 8;  // deterministic regardless of host cores
-  AlgorithmChoice c = ChooseAlgorithm(r, SkylinePreference(2), options);
+  PhysicalPlan c = ChooseAlgorithm(r, SkylinePreference(2), options);
   EXPECT_EQ(c.algorithm, BmoAlgorithm::kParallel);
   EXPECT_NE(c.rationale.find("workers"), std::string::npos);
+  EXPECT_GE(c.partitions, 2u);
 }
 
 TEST(ParallelBmoTest, OptimizerHonorsParallelThresholdOptOut) {
@@ -191,16 +192,16 @@ TEST(ParallelBmoTest, OptimizerHonorsParallelThresholdOptOut) {
   BmoOptions options;
   options.num_threads = 8;
   options.parallel_threshold = std::numeric_limits<size_t>::max();
-  AlgorithmChoice c = ChooseAlgorithm(r, SkylinePreference(2), options);
+  PhysicalPlan c = ChooseAlgorithm(r, SkylinePreference(2), options);
   EXPECT_NE(c.algorithm, BmoAlgorithm::kParallel);
 }
 
 TEST(ParallelBmoTest, DuplicatesAndRowOrderPreserved) {
   Relation r = testing::IntRelation("x", {5, 1, 5, 1, 2, 1});
-  ParallelBmoConfig config;
-  config.num_threads = 3;
-  config.min_partition_size = 1;
-  Relation best = ParallelBmo(r, Lowest("x"), config);
+  PhysicalPlan plan;
+  plan.num_threads = 3;
+  plan.min_partition_size = 1;
+  Relation best = ParallelBmo(r, Lowest("x"), plan);
   ASSERT_EQ(best.size(), 3u);
   for (const Tuple& t : best.tuples()) EXPECT_EQ(t[0], Value(int64_t{1}));
 }

@@ -86,10 +86,11 @@ class CompilableTermGen {
 
   PrefPtr Term(int depth) {
     if (depth <= 0) return Leaf();
-    switch (rng_() % 4) {
+    switch (rng_() % 5) {
       case 0: return Pareto(Term(depth - 1), Term(depth - 1));
       case 1: return Prioritized(Term(depth - 1), Term(depth - 1));
       case 2: return Dual(Leaf());
+      case 3: return Dual(Term(depth - 1));  // dual of accumulations too
       default: return Leaf();
     }
   }
@@ -107,9 +108,13 @@ TEST(ScoreTableTest, CompilableTermCoverage) {
       Prioritized(AntiChain("g"), Lowest("a"))));
   EXPECT_TRUE(ScoreTable::CompilableTerm(
       RankWeightedSum({0.5, 0.5}, {Lowest("a"), Highest("b")})));
-  // Dual of an accumulation, intersections, subsets: closure path.
-  EXPECT_FALSE(ScoreTable::CompilableTerm(
+  // Dual of an accumulation compiles via the descriptor-level order
+  // flip (dual distributes over Pareto/prioritized onto the leaves).
+  EXPECT_TRUE(ScoreTable::CompilableTerm(
       Dual(Pareto(Lowest("a"), Lowest("b")))));
+  EXPECT_TRUE(ScoreTable::CompilableTerm(
+      Dual(Prioritized(Pos("a", {"x"}), Dual(Lowest("b"))))));
+  // Intersections, subsets: closure path.
   EXPECT_FALSE(ScoreTable::CompilableTerm(
       Intersection(Pos("a", {"x"}), Neg("a", {"y"}))));
   EXPECT_FALSE(ScoreTable::CompilableTerm(
@@ -258,6 +263,31 @@ TEST(ScoreTableTest, MinusInfKeyPrefixTiesCannotReorderLaterKeys) {
   EXPECT_EQ(BmoIndices(r, p, Vectorized(BmoAlgorithm::kAuto)), expected);
 }
 
+TEST(ScoreTableTest, DualOfAccumulationsMatchClosure) {
+  // The descriptor-level order flip: dual(P (x) Q) = dual(P) (x) dual(Q)
+  // (and likewise for &), compiled as per-leaf score negation. Every
+  // kernel must agree with the closure evaluation of the outer DUAL.
+  Relation r = MixedRelation(400, 77);
+  const std::vector<PrefPtr> terms = {
+      Dual(Pareto(Lowest("price"), Around("score", 5.0))),
+      Dual(Prioritized(Pos("color", {"red"}), Lowest("price"))),
+      Prioritized(Dual(Pareto(Lowest("price"), Pos("color", {"blue"}))),
+                  Highest("score")),
+      Dual(Dual(Pareto(Lowest("price"), Highest("score")))),
+      Dual(Pareto(Dual(Lowest("price")), AntiChain("make"))),
+  };
+  for (const PrefPtr& p : terms) {
+    ASSERT_TRUE(ScoreTable::CompilableTerm(p)) << p->ToString();
+    std::vector<size_t> expected = BmoIndices(r, p, Closure());
+    for (BmoAlgorithm algo :
+         {BmoAlgorithm::kAuto, BmoAlgorithm::kBlockNestedLoop,
+          BmoAlgorithm::kSortFilter, BmoAlgorithm::kDivideConquer}) {
+      EXPECT_EQ(BmoIndices(r, p, Vectorized(algo)), expected)
+          << p->ToString() << " algo=" << BmoAlgorithmName(algo);
+    }
+  }
+}
+
 TEST(ScoreTableTest, GroupingTermsCompileViaAntiChain) {
   // Def. 16 grouping device A<-> & P as one compiled term.
   Relation r = MixedRelation(300, 7);
@@ -311,11 +341,11 @@ TEST(ScoreTableTest, ParallelEngineSharesOneTable) {
                           Pareto(Lowest("price"), Around("score", 4)));
   std::vector<size_t> expected = BmoIndices(r, p, Closure());
   for (bool vectorize : {false, true}) {
-    ParallelBmoConfig config;
-    config.num_threads = 4;
-    config.min_partition_size = 64;
-    config.vectorize = vectorize;
-    EXPECT_EQ(ParallelBmoIndices(r, p, config), expected)
+    PhysicalPlan plan;
+    plan.num_threads = 4;
+    plan.min_partition_size = 64;
+    plan.vectorize = vectorize;
+    EXPECT_EQ(ParallelBmoIndices(r, p, plan), expected)
         << "vectorize=" << vectorize;
   }
 }

@@ -98,10 +98,11 @@ class CompilableTermGen {
 
   PrefPtr Term(int depth) {
     if (depth <= 0) return Leaf();
-    switch (rng_() % 4) {
+    switch (rng_() % 5) {
       case 0: return Pareto(Term(depth - 1), Term(depth - 1));
       case 1: return Prioritized(Term(depth - 1), Term(depth - 1));
       case 2: return Dual(Leaf());
+      case 3: return Dual(Term(depth - 1));  // dual of accumulations too
       default: return Leaf();
     }
   }
@@ -196,17 +197,17 @@ TEST(SimdKernelTest, ParallelSharedTableAcrossKernels) {
   PrefPtr p = Prioritized(
       Pareto(Highest("d0"), Highest("d1")), Lowest("d2"));
   ProjectionIndex proj = BuildProjectionIndex(r, *p);
-  ParallelBmoConfig closure_config;
-  closure_config.vectorize = false;
-  closure_config.min_partition_size = 512;
+  PhysicalPlan closure_plan;
+  closure_plan.vectorize = false;
+  closure_plan.min_partition_size = 512;
   std::vector<bool> expected =
-      MaximaParallel(proj.values, p, proj.proj_schema, closure_config);
+      MaximaParallel(proj.values, p, proj.proj_schema, closure_plan);
   for (SimdMode mode : KernelModes()) {
-    ParallelBmoConfig config;
-    config.min_partition_size = 512;
-    config.simd = mode;
-    config.bnl_tile_rows = 256;  // exercise tiling inside partitions
-    EXPECT_EQ(MaximaParallel(proj.values, p, proj.proj_schema, config),
+    PhysicalPlan plan;
+    plan.min_partition_size = 512;
+    plan.simd = mode;
+    plan.bnl_tile_rows = 256;  // exercise tiling inside partitions
+    EXPECT_EQ(MaximaParallel(proj.values, p, proj.proj_schema, plan),
               expected)
         << "simd=" << SimdModeName(mode);
   }
