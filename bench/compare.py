@@ -54,7 +54,15 @@ def pick_anchor(families, anchor_keys):
 
 def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
                  min_gate_ns):
-    failures = []
+    """Returns (structural_failures, perf_failures, rows).
+
+    Structural failures — a vanished family, a missing anchor, an empty
+    baseline — mean the comparison never happened, so they fail the gate
+    even for --report-only files. Only perf regressions (the thing the
+    comparison measures) are downgradable to report-only.
+    """
+    structural = []
+    perf = []
     rows = []
     if absolute:
         base_norm, cur_norm = dict(base), dict(cur)
@@ -62,14 +70,17 @@ def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
     else:
         anchor = pick_anchor(base, anchor_keys)
         if anchor is None:
-            return [f"{name}: baseline file tracks no families"], rows
+            return [f"{name}: baseline file tracks no families"], perf, rows
         if anchor not in cur:
-            return [f"{name}: anchor family '{anchor}' missing from current run"], rows
+            return ([f"{name}: anchor family '{anchor}' missing from current run"],
+                    perf, rows)
         base_norm = {k: v / base[anchor] for k, v in base.items()}
         cur_norm = {k: v / cur[anchor] for k, v in cur.items()}
     for family in sorted(base):
         if family not in cur:
-            failures.append(f"{name}: tracked family '{family}' missing from current run")
+            structural.append(
+                f"{name}: tracked family '{family}' missing from current run")
+            rows.append((family, base[family], None, None, "VANISHED"))
             continue
         ratio = cur_norm[family] / base_norm[family] if base_norm[family] > 0 else 1.0
         status = "ok"
@@ -81,7 +92,7 @@ def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
             continue
         if ratio > 1.0 + tolerance:
             status = "REGRESSION"
-            failures.append(
+            perf.append(
                 f"{name}: {family} regressed {100 * (ratio - 1):.1f}% "
                 f"(tolerance {100 * tolerance:.0f}%)")
         elif ratio < 1.0 - tolerance:
@@ -92,7 +103,7 @@ def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
     if anchor is not None:
         rows.append((f"[anchor: {anchor}]", base.get(anchor), cur.get(anchor),
                      None, "normalizer"))
-    return failures, rows
+    return structural, perf, rows
 
 
 def main():
@@ -131,20 +142,23 @@ def main():
             all_failures.append(f"{base_path.name}: not produced by the current run")
             print("  MISSING from current run")
             continue
-        failures, rows = compare_file(base_path.name, load_families(base_path),
-                                      load_families(cur_path), args.tolerance,
-                                      anchor_keys, args.absolute,
-                                      args.min_gate_us * 1e3)
+        structural, perf, rows = compare_file(
+            base_path.name, load_families(base_path), load_families(cur_path),
+            args.tolerance, anchor_keys, args.absolute,
+            args.min_gate_us * 1e3)
         for family, b, c, ratio, status in rows:
             bs = f"{b / 1e6:10.3f}ms" if b is not None else "         —"
             cs = f"{c / 1e6:10.3f}ms" if c is not None else "         —"
             rs = f"{ratio:6.3f}x" if ratio is not None else "      —"
             print(f"  {family:<55} base={bs} cur={cs} rel={rs} {status}")
+        # Structural failures (vanished family, missing anchor) always
+        # gate: report-only softens perf verdicts, not absent data.
+        all_failures.extend(structural)
         if any(key in base_path.name for key in args.report_only):
-            for f in failures:
+            for f in perf:
                 print(f"  (report-only, not gated) {f}")
         else:
-            all_failures.extend(failures)
+            all_failures.extend(perf)
 
     if all_failures:
         print("\nPERF GATE FAILED:")

@@ -600,7 +600,7 @@ Engine::Engine(const psql::Catalog& catalog, EngineOptions options)
 }
 
 void Engine::RegisterTable(const std::string& name, Relation relation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   catalog_.Register(name, std::move(relation));
   InvalidateTable(name);
 }
@@ -615,13 +615,13 @@ void Engine::Insert(const std::string& name, Tuple row) {
     std::shared_ptr<const Relation> snapshot;
     uint64_t version = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      auto lock = Lock();
       snapshot = catalog_.GetShared(name);  // throws when unknown
       version = catalog_.Version(name);
     }
     Relation next = *snapshot;
     next.Add(row);
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     if (catalog_.Version(name) != version) continue;  // raced; redo the copy
     catalog_.Register(name, std::move(next));
     // Invalidate dependent exec state, then roll the statistics forward
@@ -650,23 +650,23 @@ void Engine::Insert(const std::string& name, Tuple row) {
 }
 
 bool Engine::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   return catalog_.Has(name);
 }
 
 std::shared_ptr<const Relation> Engine::Snapshot(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   return catalog_.GetShared(name);
 }
 
 uint64_t Engine::TableVersion(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   return catalog_.Version(name);
 }
 
 std::vector<std::string> Engine::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   return catalog_.TableNames();
 }
 
@@ -682,7 +682,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
     const std::string& sql, psql::QueryStats* stats) {
   std::string key = NormalizeSql(sql);
   if (options_.enable_plan_cache) {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     if (auto cached = plan_cache_.Get(key)) {
       ++stats_.plan_hits;
       stats->plan_cache_hit = true;
@@ -700,7 +700,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
   plan->key = std::move(key);
   stats->parse_ns = plan->parse_ns;
   stats->translate_ns = plan->translate_ns;
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   ++stats_.plan_misses;
   if (options_.enable_plan_cache) {
     // A racing Prepare may have inserted first; the entries are identical.
@@ -713,7 +713,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
     const psql::SelectStatement& stmt, psql::QueryStats* stats) {
   std::string key = stmt.ToString();
   if (options_.enable_plan_cache) {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     if (auto cached = plan_cache_.Get(key)) {
       ++stats_.plan_hits;
       stats->plan_cache_hit = true;
@@ -727,7 +727,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::GetOrBuildPlan(
   plan->translate_ns = ElapsedNs(t0, Clock::now());
   plan->key = std::move(key);
   stats->translate_ns = plan->translate_ns;
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   ++stats_.plan_misses;
   if (options_.enable_plan_cache) {
     stats_.plan_evictions += plan_cache_.Put(plan->key, plan);
@@ -742,7 +742,7 @@ std::shared_ptr<const engine_internal::Exec> Engine::GetOrBuildExec(
   uint64_t version = 0;
   std::string key;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     snapshot = catalog_.GetShared(plan.stmt.table);  // throws when unknown
     version = catalog_.Version(plan.stmt.table);
     if (options_.enable_exec_cache) {
@@ -771,7 +771,7 @@ std::shared_ptr<const engine_internal::Exec> Engine::GetOrBuildExec(
       plan, options, std::move(snapshot), version, table_stats.get());
   stats->optimize_ns = exec->optimize_ns;
   stats->compile_ns = exec->compile_ns;
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   ++stats_.exec_misses;
   // Don't cache an entry whose table version was bumped (and invalidated)
   // while we built: it could never be hit again and would pin the stale
@@ -789,7 +789,7 @@ std::shared_ptr<const TableStats> Engine::GetStats(
     const std::string& name, uint64_t version,
     const std::shared_ptr<const Relation>& snapshot) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     auto it = stats_cache_.find(name);
     if (it != stats_cache_.end() && it->second.version == version &&
         it->second.stats != nullptr) {
@@ -800,7 +800,7 @@ std::shared_ptr<const TableStats> Engine::GetStats(
   // unless the table moved on while we scanned.
   auto builder = std::make_shared<TableStatsBuilder>(*snapshot);
   auto derived = std::make_shared<const TableStats>(builder->Snapshot());
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   if (catalog_.Has(name) && catalog_.Version(name) == version) {
     stats_cache_[name] = StatsEntry{version, std::move(builder), derived};
   }
@@ -811,7 +811,7 @@ std::shared_ptr<const TableStats> Engine::Stats(const std::string& name) {
   std::shared_ptr<const Relation> snapshot;
   uint64_t version = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     snapshot = catalog_.GetShared(name);  // throws when unknown
     version = catalog_.Version(name);
   }
@@ -911,7 +911,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::BuildTermPlan(
                             : std::string("term:")) +
                     table + "@" + identity + ":" + preference->ToString();
   if (options_.enable_plan_cache) {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = Lock();
     if (auto cached = plan_cache_.Get(key)) {
       ++stats_.plan_hits;
       return cached;
@@ -923,7 +923,7 @@ std::shared_ptr<const engine_internal::Plan> Engine::BuildTermPlan(
   plan->stmt.top_k = top_k;
   plan->preference = preference;
   plan->key = std::move(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   ++stats_.plan_misses;
   if (options_.enable_plan_cache) {
     stats_.plan_evictions += plan_cache_.Put(plan->key, plan);
@@ -952,12 +952,12 @@ PreparedQuery Engine::PrepareRanked(const std::string& table,
 
 void Engine::StorePreference(const std::string& name,
                              const PrefPtr& preference) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   repository_.Store(name, preference);
 }
 
 PrefPtr Engine::GetPreference(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   return repository_.Get(name);
 }
 
@@ -971,22 +971,35 @@ PreparedQuery Engine::PrepareStored(const std::string& table,
 }
 
 void Engine::LoadRepository(PreferenceRepository repository) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   repository_ = std::move(repository);
 }
 
 PreferenceRepository Engine::Repository() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   return repository_;
 }
 
+std::unique_lock<std::mutex> Engine::Lock() const {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock_contentions_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
+
 Engine::CacheStats Engine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  auto lock = Lock();
+  CacheStats out = stats_;
+  out.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
+  out.lock_contentions = lock_contentions_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void Engine::ClearCaches() {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = Lock();
   plan_cache_.Clear();
   exec_cache_.Clear();
   stats_cache_.clear();

@@ -34,6 +34,7 @@
 #ifndef PREFDB_ENGINE_ENGINE_H_
 #define PREFDB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <list>
@@ -257,6 +258,13 @@ class Engine {
     /// QueryResult.stats).
     size_t plan_evictions = 0;
     size_t exec_evictions = 0;
+    /// Engine-mutex acquisitions, and how many of them had to block
+    /// behind another thread — the serving layer's contention signal.
+    /// The mutex only guards the catalog map and cache indexes (never
+    /// kernel work), so contentions/acquisitions climbing under load
+    /// means the cache lookup path itself has become the bottleneck.
+    uint64_t lock_acquisitions = 0;
+    uint64_t lock_contentions = 0;
   };
   CacheStats cache_stats() const;
   void ClearCaches();
@@ -302,8 +310,14 @@ class Engine {
     std::shared_ptr<const TableStats> stats;
   };
 
+  /// Locks mu_, counting the acquisition and (via a failed try_lock)
+  /// whether it contended. All engine paths lock through this.
+  std::unique_lock<std::mutex> Lock() const;
+
   EngineOptions options_;
   mutable std::mutex mu_;
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
+  mutable std::atomic<uint64_t> lock_contentions_{0};
   psql::Catalog catalog_;
   PreferenceRepository repository_;
   engine_internal::LruMap<engine_internal::Plan> plan_cache_;

@@ -1,0 +1,68 @@
+#include "psql/error.h"
+
+#include <stdexcept>
+
+#include "psql/lexer.h"
+
+namespace prefdb::psql {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kSyntax: return "SYNTAX";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kBadArgument: return "BAD_ARGUMENT";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kOversized: return "OVERSIZED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+std::optional<ErrorCode> ParseErrorCode(const std::string& name) {
+  static const ErrorCode kAll[] = {
+      ErrorCode::kSyntax,      ErrorCode::kNotFound,
+      ErrorCode::kBadArgument, ErrorCode::kOverloaded,
+      ErrorCode::kTimeout,     ErrorCode::kShuttingDown,
+      ErrorCode::kProtocol,    ErrorCode::kOversized,
+      ErrorCode::kInternal,
+  };
+  for (ErrorCode code : kAll) {
+    if (name == ErrorCodeName(code)) return code;
+  }
+  return std::nullopt;
+}
+
+QueryError ClassifyException(const std::exception& error,
+                             const std::string& sql) {
+  if (const auto* syntax = dynamic_cast<const SyntaxError*>(&error)) {
+    return {ErrorCode::kSyntax,
+            sql.empty() ? std::string(syntax->what())
+                        : FormatSyntaxError(sql, *syntax)};
+  }
+  if (dynamic_cast<const std::out_of_range*>(&error) != nullptr) {
+    return {ErrorCode::kNotFound, error.what()};
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&error) != nullptr) {
+    return {ErrorCode::kBadArgument, error.what()};
+  }
+  return {ErrorCode::kInternal, error.what()};
+}
+
+std::string SerializeError(const QueryError& error) {
+  return std::string(ErrorCodeName(error.code)) + "\n" + error.message;
+}
+
+QueryError DeserializeError(const std::string& payload) {
+  size_t nl = payload.find('\n');
+  if (nl != std::string::npos) {
+    if (auto code = ParseErrorCode(payload.substr(0, nl))) {
+      return {*code, payload.substr(nl + 1)};
+    }
+  }
+  return {ErrorCode::kInternal, payload};
+}
+
+}  // namespace prefdb::psql

@@ -1,0 +1,72 @@
+// Structured query-error classification and wire serialization.
+//
+// The execution pipeline reports failures as C++ exceptions (SyntaxError,
+// std::out_of_range for unknown tables/preferences, std::invalid_argument
+// for semantic errors). A server boundary cannot ship exceptions, so this
+// layer maps them onto a small closed error-code vocabulary plus a
+// human-readable message, serialized as
+//
+//   <CODE> '\n' <message>
+//
+// — the payload of the wire protocol's error frames (server/protocol.h).
+// Syntax errors keep their caret-annotated source context
+// (FormatSyntaxError) so a remote client sees the same diagnostic the
+// local REPL prints.
+
+#ifndef PREFDB_PSQL_ERROR_H_
+#define PREFDB_PSQL_ERROR_H_
+
+#include <exception>
+#include <optional>
+#include <string>
+
+namespace prefdb::psql {
+
+/// Closed error vocabulary shared by both ends of the wire. Values are
+/// serialized by name, never by integer, so the enum may be reordered.
+enum class ErrorCode {
+  /// Malformed Preference SQL (lexer/parser); message carries the
+  /// caret-annotated context.
+  kSyntax,
+  /// Unknown table, stored preference, or prepared-statement handle.
+  kNotFound,
+  /// Semantically invalid query or argument (std::invalid_argument).
+  kBadArgument,
+  /// The query was rejected by admission control (queue full).
+  kOverloaded,
+  /// The per-query deadline elapsed before a result was produced.
+  kTimeout,
+  /// The server is shutting down and no longer accepts new work.
+  kShuttingDown,
+  /// Malformed frame, unknown frame type, or an ill-formed payload.
+  kProtocol,
+  /// A frame exceeded the server's size limit.
+  kOversized,
+  /// Anything else that escaped the pipeline (std::exception fallback).
+  kInternal,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+std::optional<ErrorCode> ParseErrorCode(const std::string& name);
+
+/// A classified error: what went wrong, and prose for humans.
+struct QueryError {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+/// Classifies an exception thrown by parsing/translation/execution.
+/// `sql` (when non-empty) lets syntax errors render their caret context.
+QueryError ClassifyException(const std::exception& error,
+                             const std::string& sql = "");
+
+/// "<CODE>\n<message>" — the wire rendering.
+std::string SerializeError(const QueryError& error);
+
+/// Inverse of SerializeError. Unknown codes parse as kInternal with the
+/// full payload preserved in the message (forward compatibility).
+QueryError DeserializeError(const std::string& payload);
+
+}  // namespace prefdb::psql
+
+#endif  // PREFDB_PSQL_ERROR_H_

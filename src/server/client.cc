@@ -1,0 +1,151 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/wire_io.h"
+
+namespace prefdb::server {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw std::runtime_error("invalid server address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    Close();
+    throw std::runtime_error(std::string("connect() failed: ") +
+                             std::strerror(err));
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::SendRawBytes(const std::string& bytes) {
+  if (fd_ < 0) throw std::runtime_error("not connected");
+  if (!WriteFully(fd_, bytes)) throw std::runtime_error("send failed");
+}
+
+Frame Client::ReadResponse() {
+  if (fd_ < 0) throw std::runtime_error("not connected");
+  Frame frame;
+  // Responses are server-sized; accept anything the server can produce.
+  ReadStatus status = ReadFrame(fd_, &frame, UINT32_MAX);
+  if (status != ReadStatus::kOk) {
+    Close();
+    throw std::runtime_error("connection closed by server");
+  }
+  return frame;
+}
+
+ClientResponse Client::Request(const Frame& frame) {
+  SendRawBytes(EncodeFrame(frame));
+  Frame reply = ReadResponse();
+  ClientResponse response;
+  switch (reply.type) {
+    case FrameType::kResult: {
+      auto parsed = ParseResult(reply.payload);
+      if (!parsed) throw std::runtime_error("malformed result frame");
+      response.ok = true;
+      response.relation = std::move(parsed->relation);
+      response.utilities = std::move(parsed->utilities);
+      response.kernel = std::move(parsed->kernel);
+      return response;
+    }
+    case FrameType::kOk:
+      response.ok = true;
+      response.info = std::move(reply.payload);
+      return response;
+    case FrameType::kHandle: {
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long id = std::strtoull(reply.payload.c_str(), &end, 10);
+      if (errno != 0 || end == reply.payload.c_str() || *end != '\0') {
+        throw std::runtime_error("malformed handle frame");
+      }
+      response.ok = true;
+      response.handle = id;
+      return response;
+    }
+    case FrameType::kError:
+      response.ok = false;
+      response.error = psql::DeserializeError(reply.payload);
+      return response;
+    default:
+      throw std::runtime_error("unexpected response frame type");
+  }
+}
+
+ClientResponse Client::RoundTrip(const Frame& frame) {
+  return Request(frame);
+}
+
+ClientResponse Client::Query(const std::string& sql) {
+  return Request(Frame{FrameType::kQuery, sql});
+}
+
+ClientResponse Client::Prepare(const std::string& sql) {
+  return Request(Frame{FrameType::kPrepare, sql});
+}
+
+ClientResponse Client::Run(uint64_t handle) {
+  return Request(Frame{FrameType::kRun, std::to_string(handle)});
+}
+
+ClientResponse Client::Set(const std::string& name, const std::string& value) {
+  return Request(Frame{FrameType::kSet, name + "=" + value});
+}
+
+ClientResponse Client::Insert(const std::string& table, const Tuple& row) {
+  std::string payload = table + "\n";
+  EncodeRow(row, &payload);
+  return Request(Frame{FrameType::kInsert, std::move(payload)});
+}
+
+ClientResponse Client::Ping() {
+  return Request(Frame{FrameType::kPing, ""});
+}
+
+ClientResponse Client::Goodbye() {
+  ClientResponse response = Request(Frame{FrameType::kGoodbye, ""});
+  Close();
+  return response;
+}
+
+}  // namespace prefdb::server

@@ -1,0 +1,82 @@
+// Blocking client for the prefdb wire protocol — the counterpart of
+// server.h, used by the tests, the load driver (bench/bench_server.cc)
+// and example programs. One connection = one server session; the client
+// is strictly request/response and must not be shared across threads
+// without external serialization (drivers open one Client per thread).
+
+#ifndef PREFDB_SERVER_CLIENT_H_
+#define PREFDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psql/error.h"
+#include "relation/relation.h"
+#include "server/protocol.h"
+
+namespace prefdb::server {
+
+/// Outcome of one request. Transport failures (connection reset, a frame
+/// that fails to parse) throw std::runtime_error instead — after that the
+/// connection is unusable. Server-reported errors land here.
+struct ClientResponse {
+  bool ok = false;
+  /// Set when !ok.
+  psql::QueryError error;
+  /// kResult responses: the result set.
+  Relation relation;
+  std::vector<double> utilities;
+  std::string kernel;
+  /// kOk responses: the acknowledgement text ("pong", the SET echo, ...).
+  std::string info;
+  /// kPrepare responses: the prepared-statement handle.
+  uint64_t handle = 0;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects over TCP; throws std::runtime_error on failure.
+  void Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Executes one Preference SQL statement.
+  ClientResponse Query(const std::string& sql);
+  /// Server-side prepared statement; Run() it by handle.
+  ClientResponse Prepare(const std::string& sql);
+  ClientResponse Run(uint64_t handle);
+  /// Session option ("threads", "timeout_ms", "vectorize", "algorithm",
+  /// "simd").
+  ClientResponse Set(const std::string& name, const std::string& value);
+  /// Appends one row to a table.
+  ClientResponse Insert(const std::string& table, const Tuple& row);
+  ClientResponse Ping();
+  /// Polite close: tells the server, waits for the ack, closes the fd.
+  ClientResponse Goodbye();
+
+  /// Test/debug surface: send an arbitrary frame (even a malformed one)
+  /// and read back whatever single frame the server answers.
+  ClientResponse RoundTrip(const Frame& frame);
+  /// Sends raw bytes as-is (for malformed-header tests).
+  void SendRawBytes(const std::string& bytes);
+  /// Reads one response frame; throws on transport error/EOF.
+  Frame ReadResponse();
+
+ private:
+  ClientResponse Request(const Frame& frame);
+
+  int fd_ = -1;
+};
+
+}  // namespace prefdb::server
+
+#endif  // PREFDB_SERVER_CLIENT_H_

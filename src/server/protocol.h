@@ -1,0 +1,127 @@
+// The prefdb wire protocol: length-prefixed frames over a byte stream.
+//
+// Every message — in both directions — is one frame:
+//
+//   uint32  payload length, big-endian (excludes these 5 header bytes)
+//   uint8   frame type (FrameType below)
+//   bytes   payload
+//
+// Requests carry Preference SQL text or small textual commands; responses
+// carry a serialized QueryResult, an acknowledgement, or a serialized
+// QueryError (psql/error.h). The protocol is strictly request/response per
+// session: a client sends one frame and reads exactly one frame back.
+//
+// Result payloads use a self-delimiting text encoding (SerializeResult /
+// ParseResult) that round-trips Values exactly — including NULLs, negative
+// zero aside, non-finite doubles, and strings containing commas, quotes or
+// newlines — so a client-side diff against a local Engine run is byte-safe.
+//
+// This header is socket-free: framing works over any byte sink/source, so
+// the codec is unit-testable and reusable (e.g. for a future unix-domain
+// or in-process transport).
+
+#ifndef PREFDB_SERVER_PROTOCOL_H_
+#define PREFDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psql/executor.h"
+#include "relation/relation.h"
+
+namespace prefdb::server {
+
+/// One byte on the wire. Requests and responses share the enum; the
+/// direction disambiguates.
+enum class FrameType : uint8_t {
+  // --- requests
+  /// Payload: Preference SQL text. Response: kResult or kError.
+  kQuery = 'Q',
+  /// Payload: Preference SQL text. Response: kHandle or kError.
+  kPrepare = 'P',
+  /// Payload: decimal prepared-statement handle. Response: kResult/kError.
+  kRun = 'R',
+  /// Payload: "name=value" session option (see server.h for the
+  /// vocabulary). Response: kOk or kError.
+  kSet = 'S',
+  /// Payload: table name '\n' one encoded row (EncodeRow). Response:
+  /// kOk or kError.
+  kInsert = 'I',
+  /// Payload: empty. Response: kOk ("pong"). Liveness probe.
+  kPing = 'G',
+  /// Payload: empty. The server acknowledges with kOk and closes the
+  /// session.
+  kGoodbye = 'X',
+
+  // --- responses
+  /// Payload: SerializeResult(...).
+  kResult = 'T',
+  /// Payload: UTF-8 acknowledgement text.
+  kOk = 'O',
+  /// Payload: decimal prepared-statement handle.
+  kHandle = 'H',
+  /// Payload: psql::SerializeError(...).
+  kError = 'E',
+};
+
+struct Frame {
+  FrameType type = FrameType::kOk;
+  std::string payload;
+};
+
+/// Frame header size on the wire (4-byte length + 1-byte type).
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Serializes a frame (header + payload) into wire bytes.
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses the 5 header bytes; returns the payload length and writes the
+/// type. The length is unvalidated — callers enforce their own cap.
+uint32_t DecodeFrameHeader(const unsigned char header[kFrameHeaderBytes],
+                           FrameType* type);
+
+// --- value / row / result text encoding -----------------------------------
+//
+//   value := 'N'                          NULL
+//          | 'I' <decimal int64>
+//          | 'D' <%.17g double>           (nan/inf/-inf included)
+//          | 'S' <decimal byte count> ':' <raw bytes>
+//   row   := value (' ' value)* '\n'     (empty rows encode as '\n')
+//
+// The 'S' length prefix makes the encoding self-delimiting, so strings may
+// contain any byte including ' ' and '\n'.
+
+std::string EncodeValue(const Value& value);
+void EncodeRow(const Tuple& row, std::string* out);
+
+/// Parses one encoded row starting at `*pos` (advances past the trailing
+/// '\n'). Returns nullopt on malformed input.
+std::optional<Tuple> DecodeRow(const std::string& data, size_t* pos);
+
+/// QueryResult wire rendering:
+///
+///   schema <name>:<TYPE>(,<name>:<TYPE>)*\n     ("schema \n" if empty)
+///   utilities <%.17g>(,<%.17g>)*\n              ("utilities \n" if none)
+///   kernel <kernel string>\n
+///   rows <decimal count>\n
+///   <count> encoded rows
+///
+/// Timing stats are deliberately not shipped: results must diff bytewise
+/// against a local reference execution.
+std::string SerializeResult(const psql::QueryResult& result);
+
+/// Parsed form of a kResult payload.
+struct WireResult {
+  Relation relation;
+  std::vector<double> utilities;
+  std::string kernel;
+};
+
+/// Inverse of SerializeResult; nullopt on malformed input.
+std::optional<WireResult> ParseResult(const std::string& payload);
+
+}  // namespace prefdb::server
+
+#endif  // PREFDB_SERVER_PROTOCOL_H_

@@ -1,0 +1,612 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "psql/error.h"
+#include "server/protocol.h"
+#include "server/wire_io.h"
+
+namespace prefdb::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Frame ErrorFrame(psql::ErrorCode code, const std::string& message) {
+  return Frame{FrameType::kError,
+               psql::SerializeError(psql::QueryError{code, message})};
+}
+
+Frame ErrorFrame(const psql::QueryError& error) {
+  return Frame{FrameType::kError, psql::SerializeError(error)};
+}
+
+bool IsTimeoutFrame(const Frame& frame) {
+  return frame.type == FrameType::kError &&
+         psql::DeserializeError(frame.payload).code ==
+             psql::ErrorCode::kTimeout;
+}
+
+/// One admitted unit of work. The session thread waits on `done`; a
+/// worker fulfills it. `abandoned` is set by a session that hit its
+/// deadline, letting a worker skip (or discard) the execution.
+struct Job {
+  std::function<Frame()> work;
+  std::promise<Frame> promise;
+  std::future<Frame> done;
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+  std::atomic<bool> abandoned{false};
+};
+
+/// The bounded admission queue. Push never blocks: a full queue is the
+/// backpressure signal (OVERLOADED), not a place to wait.
+class JobQueue {
+ public:
+  enum class PushResult { kAdmitted, kFull, kStopping };
+
+  explicit JobQueue(size_t capacity) : capacity_(capacity) {}
+
+  PushResult TryPush(std::shared_ptr<Job> job, uint64_t* peak_depth) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return PushResult::kStopping;
+      if (jobs_.size() >= capacity_) return PushResult::kFull;
+      jobs_.push_back(std::move(job));
+      if (jobs_.size() > *peak_depth) *peak_depth = jobs_.size();
+    }
+    cv_.notify_one();
+    return PushResult::kAdmitted;
+  }
+
+  /// Blocks for the next job; nullptr once stopping and drained.
+  std::shared_ptr<Job> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+    if (jobs_.empty()) return nullptr;
+    std::shared_ptr<Job> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+  }
+
+  /// Rejects new pushes; workers drain what is queued, then Pop()
+  /// returns nullptr.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stopping_ = false;
+};
+
+struct SessionCtx {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> finished{false};
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Engine* engine;
+  ServerOptions options;
+
+  std::mutex state_mu_;  // guards running_ transitions
+  bool running_ = false;
+  std::atomic<bool> stopping_{false};
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<JobQueue> queue_;
+
+  std::mutex sessions_mu_;
+  std::list<std::unique_ptr<SessionCtx>> sessions_;
+  std::atomic<size_t> active_sessions_{0};
+
+  // --- counters (ServerStats snapshot)
+  std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> queries_error_{0};
+  std::atomic<uint64_t> queries_rejected_overload_{0};
+  std::atomic<uint64_t> queries_timeout_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> peak_queue_depth_{0};
+
+  Impl(Engine* engine_in, ServerOptions options_in)
+      : engine(engine_in), options(std::move(options_in)) {}
+
+  void Start();
+  void Stop();
+  void AcceptLoop();
+  void WorkerLoop();
+  void SessionLoop(SessionCtx* ctx);
+  void ReapFinishedSessions();
+  void NotePeakQueueDepth(uint64_t depth) {
+    uint64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > seen && !peak_queue_depth_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Builds, admits and awaits one query job; writes the response frame.
+  /// `body` runs on a worker thread and must be self-contained (it owns
+  /// copies of everything it touches).
+  void ExecuteAdmitted(int fd, std::function<psql::QueryResult()> body,
+                       const std::string& sql_for_errors,
+                       uint64_t timeout_ms);
+};
+
+void Server::Impl::Start() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (running_) throw std::runtime_error("server already started");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid bind address: " + options.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int err = errno;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(err));
+  }
+  if (listen(listen_fd_, 512) != 0) {
+    int err = errno;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("listen() failed: ") +
+                             std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  // A short receive timeout turns the blocking accept() into a poll so
+  // the loop notices stopping_ without signal games.
+  timeval tv{};
+  tv.tv_usec = 50 * 1000;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  stopping_.store(false);
+  queue_ = std::make_unique<JobQueue>(options.queue_capacity);
+  size_t workers = options.num_workers != 0
+                       ? options.num_workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+}
+
+void Server::Impl::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Unblock every session's next read; in-flight requests still finish
+  // and flush their responses (SHUT_RD leaves the write side open).
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& session : sessions_) shutdown(session->fd, SHUT_RD);
+  }
+  // The accept thread is gone, so only this thread mutates the list now.
+  for (auto& session : sessions_) {
+    if (session->thread.joinable()) session->thread.join();
+    close(session->fd);
+  }
+  sessions_.clear();
+
+  // Sessions have flushed; retire the workers (they drain any abandoned
+  // jobs still queued).
+  queue_->Stop();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void Server::Impl::AcceptLoop() {
+  while (!stopping_.load()) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    int fd =
+        accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        ReapFinishedSessions();
+        continue;
+      }
+      break;  // listen socket gone
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Linux lets accepted sockets inherit the listener's SO_RCVTIMEO
+    // accept-poll timeout; clear it — sessions may idle indefinitely
+    // between requests (Stop() unblocks them via shutdown(SHUT_RD)).
+    timeval forever{};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &forever, sizeof(forever));
+    ReapFinishedSessions();
+    if (active_sessions_.load() >= options.max_sessions) {
+      sessions_rejected_.fetch_add(1);
+      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kOverloaded,
+                                "session limit reached (" +
+                                    std::to_string(options.max_sessions) +
+                                    ")"));
+      close(fd);
+      continue;
+    }
+    sessions_accepted_.fetch_add(1);
+    active_sessions_.fetch_add(1);
+    auto ctx = std::make_unique<SessionCtx>();
+    ctx->fd = fd;
+    SessionCtx* raw = ctx.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(std::move(ctx));
+    }
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
+  }
+}
+
+void Server::Impl::ReapFinishedSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      close((*it)->fd);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::Impl::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job = queue_->Pop();
+    if (job == nullptr) return;
+    Frame response;
+    if (job->abandoned.load()) {
+      // The session already answered TIMEOUT; don't burn a kernel run.
+      response = ErrorFrame(psql::ErrorCode::kTimeout, "abandoned");
+    } else if (job->has_deadline && Clock::now() > job->deadline) {
+      response = ErrorFrame(psql::ErrorCode::kTimeout,
+                            "deadline elapsed while queued");
+    } else {
+      response = job->work();
+    }
+    job->promise.set_value(std::move(response));
+  }
+}
+
+void Server::Impl::ExecuteAdmitted(int fd,
+                                   std::function<psql::QueryResult()> body,
+                                   const std::string& sql_for_errors,
+                                   uint64_t timeout_ms) {
+  auto job = std::make_shared<Job>();
+  job->done = job->promise.get_future();
+  if (timeout_ms > 0) {
+    job->has_deadline = true;
+    job->deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  }
+  uint64_t delay_ms = options.debug_execute_delay_ms;
+  job->work = [body = std::move(body), sql_for_errors, delay_ms]() -> Frame {
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    try {
+      return Frame{FrameType::kResult, SerializeResult(body())};
+    } catch (const std::exception& e) {
+      return ErrorFrame(psql::ClassifyException(e, sql_for_errors));
+    }
+  };
+
+  uint64_t observed_depth = 0;
+  switch (queue_->TryPush(job, &observed_depth)) {
+    case JobQueue::PushResult::kFull:
+      queries_rejected_overload_.fetch_add(1);
+      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kOverloaded,
+                                "admission queue full (" +
+                                    std::to_string(options.queue_capacity) +
+                                    " queued)"));
+      return;
+    case JobQueue::PushResult::kStopping:
+      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kShuttingDown,
+                                "server is shutting down"));
+      return;
+    case JobQueue::PushResult::kAdmitted:
+      break;
+  }
+  NotePeakQueueDepth(observed_depth);
+
+  Frame response;
+  if (!job->has_deadline) {
+    response = job->done.get();
+  } else if (job->done.wait_until(job->deadline) ==
+             std::future_status::ready) {
+    response = job->done.get();
+  } else {
+    job->abandoned.store(true);
+    response = ErrorFrame(
+        psql::ErrorCode::kTimeout,
+        "query exceeded its " + std::to_string(timeout_ms) + "ms deadline");
+  }
+  if (IsTimeoutFrame(response)) {
+    queries_timeout_.fetch_add(1);
+  } else if (response.type == FrameType::kError) {
+    queries_error_.fetch_add(1);
+  } else {
+    queries_ok_.fetch_add(1);
+  }
+  WriteFrame(fd, response);
+}
+
+namespace {
+
+/// Applies one "name=value" SET command to the session state. Returns
+/// an error message, or "" on success.
+std::string ApplySessionOption(const std::string& payload, BmoOptions* bmo,
+                               uint64_t* timeout_ms) {
+  size_t eq = payload.find('=');
+  if (eq == std::string::npos) return "expected name=value, got '" + payload + "'";
+  std::string name = payload.substr(0, eq);
+  std::string value = payload.substr(eq + 1);
+  auto parse_count = [&value](uint64_t* out) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0') return false;
+    *out = v;
+    return true;
+  };
+  if (name == "threads") {
+    uint64_t v = 0;
+    if (!parse_count(&v)) return "threads expects a number";
+    bmo->num_threads = static_cast<size_t>(v);
+    // A session asking for intra-query parallelism also gets kAuto's
+    // parallel plans back (the serving default opts out of them).
+    bmo->parallel_threshold = v > 1 ? 32768 : SIZE_MAX;
+    return "";
+  }
+  if (name == "timeout_ms") {
+    return parse_count(timeout_ms) ? "" : "timeout_ms expects a number";
+  }
+  if (name == "vectorize") {
+    if (value == "on") bmo->vectorize = true;
+    else if (value == "off") bmo->vectorize = false;
+    else return "vectorize expects on|off";
+    return "";
+  }
+  if (name == "algorithm") {
+    if (value == "auto") bmo->algorithm = BmoAlgorithm::kAuto;
+    else if (value == "naive") bmo->algorithm = BmoAlgorithm::kNaive;
+    else if (value == "bnl") bmo->algorithm = BmoAlgorithm::kBlockNestedLoop;
+    else if (value == "sfs") bmo->algorithm = BmoAlgorithm::kSortFilter;
+    else if (value == "dc") bmo->algorithm = BmoAlgorithm::kDivideConquer;
+    else if (value == "parallel") bmo->algorithm = BmoAlgorithm::kParallel;
+    else return "unknown algorithm '" + value + "'";
+    return "";
+  }
+  if (name == "simd") {
+    if (value == "auto") bmo->simd = SimdMode::kAuto;
+    else if (value == "off") bmo->simd = SimdMode::kOff;
+    else if (value == "scalar") bmo->simd = SimdMode::kScalar;
+    else if (value == "avx2") bmo->simd = SimdMode::kAvx2;
+    else return "unknown simd mode '" + value + "'";
+    return "";
+  }
+  return "unknown session option '" + name + "'";
+}
+
+}  // namespace
+
+void Server::Impl::SessionLoop(SessionCtx* ctx) {
+  const int fd = ctx->fd;
+  BmoOptions bmo = options.session_bmo;
+  uint64_t timeout_ms = options.query_timeout_ms;
+  std::unordered_map<uint64_t, PreparedQuery> handles;
+  uint64_t next_handle = 1;
+
+  for (;;) {
+    Frame request;
+    uint32_t oversized_len = 0;
+    ReadStatus status =
+        ReadFrame(fd, &request, options.max_frame_bytes, &oversized_len);
+    if (status == ReadStatus::kClosed || status == ReadStatus::kError) break;
+    if (status == ReadStatus::kOversized) {
+      protocol_errors_.fetch_add(1);
+      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kOversized,
+                                "frame of " + std::to_string(oversized_len) +
+                                    " bytes exceeds the " +
+                                    std::to_string(options.max_frame_bytes) +
+                                    "-byte limit"));
+      break;  // the unread payload cannot be resynchronized cheaply
+    }
+
+    bool goodbye = false;
+    switch (request.type) {
+      case FrameType::kPing:
+        WriteFrame(fd, Frame{FrameType::kOk, "pong"});
+        break;
+      case FrameType::kGoodbye:
+        WriteFrame(fd, Frame{FrameType::kOk, "bye"});
+        goodbye = true;
+        break;
+      case FrameType::kSet: {
+        std::string err =
+            ApplySessionOption(request.payload, &bmo, &timeout_ms);
+        if (err.empty()) {
+          WriteFrame(fd, Frame{FrameType::kOk, request.payload});
+        } else {
+          queries_error_.fetch_add(1);
+          WriteFrame(fd, ErrorFrame(psql::ErrorCode::kBadArgument, err));
+        }
+        break;
+      }
+      case FrameType::kPrepare: {
+        try {
+          PreparedQuery prepared = engine->Prepare(request.payload);
+          uint64_t id = next_handle++;
+          handles.emplace(id, std::move(prepared));
+          WriteFrame(fd, Frame{FrameType::kHandle, std::to_string(id)});
+        } catch (const std::exception& e) {
+          queries_error_.fetch_add(1);
+          WriteFrame(fd,
+                     ErrorFrame(psql::ClassifyException(e, request.payload)));
+        }
+        break;
+      }
+      case FrameType::kQuery: {
+        Engine* eng = engine;
+        std::string sql = request.payload;
+        BmoOptions session_bmo = bmo;
+        ExecuteAdmitted(
+            fd,
+            [eng, sql, session_bmo] { return eng->Execute(sql, session_bmo); },
+            sql, timeout_ms);
+        break;
+      }
+      case FrameType::kRun: {
+        errno = 0;
+        char* end = nullptr;
+        unsigned long long id =
+            std::strtoull(request.payload.c_str(), &end, 10);
+        auto it = (errno == 0 && end != request.payload.c_str() &&
+                   *end == '\0')
+                      ? handles.find(id)
+                      : handles.end();
+        if (it == handles.end()) {
+          queries_error_.fetch_add(1);
+          WriteFrame(fd, ErrorFrame(psql::ErrorCode::kNotFound,
+                                    "no prepared statement with handle '" +
+                                        request.payload + "'"));
+          break;
+        }
+        PreparedQuery prepared = it->second;
+        BmoOptions session_bmo = bmo;
+        ExecuteAdmitted(
+            fd, [prepared, session_bmo] { return prepared.Run(session_bmo); },
+            prepared.normalized_sql(), timeout_ms);
+        break;
+      }
+      case FrameType::kInsert: {
+        size_t nl = request.payload.find('\n');
+        std::optional<Tuple> row;
+        size_t pos = nl == std::string::npos ? 0 : nl + 1;
+        if (nl != std::string::npos) {
+          row = DecodeRow(request.payload, &pos);
+        }
+        if (!row || pos != request.payload.size()) {
+          protocol_errors_.fetch_add(1);
+          WriteFrame(fd, ErrorFrame(psql::ErrorCode::kProtocol,
+                                    "malformed INSERT payload"));
+          break;
+        }
+        Engine* eng = engine;
+        std::string table = request.payload.substr(0, nl);
+        Tuple values = std::move(*row);
+        ExecuteAdmitted(
+            fd,
+            [eng, table, values] {
+              eng->Insert(table, values);
+              psql::QueryResult ack;  // empty result as the acknowledgement
+              return ack;
+            },
+            "", timeout_ms);
+        break;
+      }
+      default:
+        protocol_errors_.fetch_add(1);
+        WriteFrame(fd, ErrorFrame(psql::ErrorCode::kProtocol,
+                                  std::string("unknown frame type '") +
+                                      static_cast<char>(request.type) + "'"));
+        break;
+    }
+    if (goodbye) break;
+  }
+
+  shutdown(fd, SHUT_RDWR);
+  active_sessions_.fetch_sub(1);
+  ctx->finished.store(true);
+}
+
+Server::Server(Engine* engine, ServerOptions options)
+    : impl_(std::make_unique<Impl>(engine, std::move(options))) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() { impl_->Start(); }
+void Server::Stop() { impl_->Stop(); }
+
+bool Server::running() const {
+  std::lock_guard<std::mutex> lock(impl_->state_mu_);
+  return impl_->running_;
+}
+
+uint16_t Server::port() const { return impl_->bound_port_; }
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.sessions_accepted = impl_->sessions_accepted_.load();
+  out.sessions_rejected = impl_->sessions_rejected_.load();
+  out.queries_ok = impl_->queries_ok_.load();
+  out.queries_error = impl_->queries_error_.load();
+  out.queries_rejected_overload = impl_->queries_rejected_overload_.load();
+  out.queries_timeout = impl_->queries_timeout_.load();
+  out.protocol_errors = impl_->protocol_errors_.load();
+  out.peak_queue_depth = impl_->peak_queue_depth_.load();
+  return out;
+}
+
+Engine& Server::engine() { return *impl_->engine; }
+
+}  // namespace prefdb::server

@@ -1,0 +1,131 @@
+// The prefdb preference query server: concurrent serving on the Engine
+// seam. One shared prefdb::Engine (plan/exec caches, COW snapshots) behind
+// a TCP front end speaking the length-prefixed protocol of protocol.h.
+//
+// Architecture (all threads owned by the Server):
+//
+//   accept loop     one thread; admits up to max_sessions concurrent
+//                   connections (beyond that: an OVERLOADED error frame
+//                   and an immediate close).
+//   session threads one blocking thread per connection. A session owns
+//                   its socket, its per-session BmoOptions (mutated by
+//                   SET frames), its prepared-statement handle table, and
+//                   its per-query deadline. Sessions never execute
+//                   queries themselves: execution is admitted into the
+//                   shared worker pool so "thousands of sessions" cannot
+//                   mean thousands of concurrently running kernels.
+//   worker pool     num_workers threads draining a bounded job queue.
+//                   A full queue rejects new queries with OVERLOADED
+//                   (backpressure, not buffering); a query that misses
+//                   its deadline while queued is answered TIMEOUT
+//                   without ever executing, and one that is still
+//                   running at the deadline is answered TIMEOUT while
+//                   the worker's result is discarded on completion.
+//
+// Reads are snapshot-consistent: a query executes against the relation
+// snapshot its exec-cache entry was compiled for, so INSERT frames racing
+// concurrent queries are safe (each query sees a consistent old-or-new
+// state — the Engine's COW contract).
+//
+// Stop() is graceful: stop accepting, unblock session reads, let every
+// in-flight query finish and flush its response, then retire the workers.
+
+#ifndef PREFDB_SERVER_SERVER_H_
+#define PREFDB_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+
+namespace prefdb::server {
+
+struct ServerOptions {
+  /// Bind address. Tests and local serving use the loopback default.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Query-execution workers (0 = hardware concurrency).
+  size_t num_workers = 0;
+  /// Concurrent-connection cap; connections beyond it are turned away
+  /// with an OVERLOADED error frame.
+  size_t max_sessions = 4096;
+  /// Bound on queries admitted but not yet executing. A full queue is
+  /// backpressure: new queries get an OVERLOADED error immediately.
+  size_t queue_capacity = 1024;
+  /// Per-query deadline in milliseconds (0 = none). Sessions may lower
+  /// or raise their own via "SET timeout_ms=<n>".
+  uint64_t query_timeout_ms = 30000;
+  /// Frames larger than this are answered with an OVERSIZED error and
+  /// the connection is closed (the remainder of the stream cannot be
+  /// skipped cheaply).
+  size_t max_frame_bytes = 1 << 20;
+  /// Starting BmoOptions for every session. Workers already provide the
+  /// serving-side parallelism, so per-query kernels default to one
+  /// thread; sessions opt into more via "SET threads=<n>".
+  BmoOptions session_bmo = DefaultSessionBmo();
+  /// Test hook: artificial per-query execution delay (milliseconds),
+  /// applied in the worker before the engine call. Lets admission and
+  /// timeout paths be exercised deterministically.
+  uint64_t debug_execute_delay_ms = 0;
+
+  static BmoOptions DefaultSessionBmo() {
+    BmoOptions bmo;
+    bmo.num_threads = 1;
+    bmo.parallel_threshold = SIZE_MAX;  // workers are the parallelism
+    return bmo;
+  }
+};
+
+/// Monotonic counters, readable while serving. Snapshot semantics.
+struct ServerStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_rejected = 0;
+  /// Queries answered with a result frame.
+  uint64_t queries_ok = 0;
+  /// Queries answered with a classified error frame (syntax etc.).
+  uint64_t queries_error = 0;
+  /// Queries rejected by admission control (bounded queue full).
+  uint64_t queries_rejected_overload = 0;
+  /// Queries answered TIMEOUT (queued past or running past deadline).
+  uint64_t queries_timeout = 0;
+  /// Malformed / unknown / oversized frames seen.
+  uint64_t protocol_errors = 0;
+  /// High-water mark of the admission queue.
+  uint64_t peak_queue_depth = 0;
+};
+
+/// A running server. Start() spawns the threads; Stop() (or destruction)
+/// drains them. The Engine outlives the Server and may also be used
+/// directly by the embedding process while serving.
+class Server {
+ public:
+  Server(Engine* engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns accept/worker threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void Start();
+
+  /// Graceful shutdown: stop accepting, complete and flush every
+  /// admitted query, close all sessions, join all threads. Idempotent.
+  void Stop();
+
+  bool running() const;
+  /// The bound TCP port (valid after Start()).
+  uint16_t port() const;
+  ServerStats stats() const;
+  Engine& engine();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace prefdb::server
+
+#endif  // PREFDB_SERVER_SERVER_H_

@@ -1,0 +1,71 @@
+#include "server/wire_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace prefdb::server {
+
+bool ReadFully(int fd, void* buf, size_t len) {
+  char* out = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t n = recv(fd, out, len, 0);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFully(int fd, const std::string& data) {
+  const char* out = data.data();
+  size_t len = data.size();
+  while (len > 0) {
+    ssize_t n = send(fd, out, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ReadStatus ReadFrame(int fd, Frame* frame, size_t max_payload_bytes,
+                     uint32_t* oversized_len) {
+  unsigned char header[kFrameHeaderBytes];
+  // Distinguish a clean close (EOF before any header byte) from a
+  // truncated frame: peek at the first byte separately.
+  ssize_t n;
+  do {
+    n = recv(fd, header, 1, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) return ReadStatus::kClosed;
+  if (n < 0) return ReadStatus::kError;
+  if (!ReadFully(fd, header + 1, kFrameHeaderBytes - 1)) {
+    return ReadStatus::kError;
+  }
+  uint32_t len = DecodeFrameHeader(header, &frame->type);
+  if (len > max_payload_bytes) {
+    if (oversized_len != nullptr) *oversized_len = len;
+    return ReadStatus::kOversized;
+  }
+  frame->payload.resize(len);
+  if (len > 0 && !ReadFully(fd, frame->payload.data(), len)) {
+    return ReadStatus::kError;
+  }
+  return ReadStatus::kOk;
+}
+
+bool WriteFrame(int fd, const Frame& frame) {
+  return WriteFully(fd, EncodeFrame(frame));
+}
+
+}  // namespace prefdb::server

@@ -1,0 +1,46 @@
+// Blocking socket helpers shared by the server's session loop and the
+// client: full-frame reads/writes over a connected fd, with the frame
+// codec from protocol.h. POSIX sockets only (the library's only platform);
+// no external dependencies.
+
+#ifndef PREFDB_SERVER_WIRE_IO_H_
+#define PREFDB_SERVER_WIRE_IO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace prefdb::server {
+
+/// Outcome of ReadFrame.
+enum class ReadStatus {
+  kOk,
+  /// Clean EOF on a frame boundary (peer closed).
+  kClosed,
+  /// Transport error or EOF mid-frame.
+  kError,
+  /// The declared payload length exceeds the caller's cap. The payload
+  /// was NOT consumed; the stream position is after the header.
+  kOversized,
+};
+
+/// Reads exactly `len` bytes; false on EOF/error.
+bool ReadFully(int fd, void* buf, size_t len);
+
+/// Writes all of `data` (MSG_NOSIGNAL, EINTR-safe); false on error.
+bool WriteFully(int fd, const std::string& data);
+
+/// Reads one frame (header + payload). `max_payload_bytes` caps the
+/// declared length before any payload allocation happens; on kOversized,
+/// `frame->type` holds the frame's type and `oversized_len` (when non-null)
+/// the declared length.
+ReadStatus ReadFrame(int fd, Frame* frame, size_t max_payload_bytes,
+                     uint32_t* oversized_len = nullptr);
+
+/// Encodes and writes one frame; false on transport error.
+bool WriteFrame(int fd, const Frame& frame);
+
+}  // namespace prefdb::server
+
+#endif  // PREFDB_SERVER_WIRE_IO_H_
