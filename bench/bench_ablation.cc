@@ -12,7 +12,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — benchmark driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 
 // (a) Append-only BNL variant: candidates are only checked against, never
 // evicted from, the window; a final pass removes dominated survivors.

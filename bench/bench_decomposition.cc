@@ -10,7 +10,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — benchmark driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 
 void RunCarQuery(benchmark::State& state, const PrefPtr& p,
                  BmoAlgorithm algo) {

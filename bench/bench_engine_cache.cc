@@ -19,7 +19,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — benchmark driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 
 const char* kSkylineQuery =
     "SELECT oid, price, mileage FROM car "

@@ -8,7 +8,7 @@
 
 namespace {
 
-using namespace prefdb;        // NOLINT — benchmark driver
+using namespace prefdb;        // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 using psql::Parse;
 
 // Cold-execution engine: caches off, so every Execute() measures the full

@@ -9,7 +9,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — benchmark driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 
 std::shared_ptr<RankPreference> CarUtility() {
   return std::static_pointer_cast<RankPreference>(

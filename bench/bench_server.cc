@@ -49,7 +49,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — benchmark driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 using Clock = std::chrono::steady_clock;
 
 struct DriverOptions {

@@ -21,7 +21,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — benchmark driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): benchmark driver, brevity wins
 
 PrefPtr SkylinePref(size_t d) {
   std::vector<PrefPtr> prefs;

@@ -20,31 +20,55 @@ Regenerating baselines: download the bench-compare job's artifact (or run
 files into bench/baselines/.
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import pathlib
 import sys
 
+# One table row: (family, baseline ns, current ns, ratio, status). The
+# optional slots go empty for vanished/new families and the anchor line.
+Row = tuple[str, float | None, float | None, float | None, str]
 
-def load_families(path):
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_families(path: pathlib.Path) -> dict[str, float]:
     """name -> real_time (ns) for the tracked entries of one JSON file."""
     with open(path) as f:
         data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top-level JSON is not an object")
     benchmarks = data.get("benchmarks", [])
-    medians = [b for b in benchmarks if b.get("aggregate_name") == "median"]
-    entries = medians if medians else [
-        b for b in benchmarks if "aggregate_name" not in b
-    ]
-    families = {}
-    for b in entries:
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: 'benchmarks' is not a list")
+    entries: list[dict[str, object]] = []
+    medians: list[dict[str, object]] = []
+    for b in benchmarks:
+        if not isinstance(b, dict):
+            raise ValueError(f"{path}: benchmark entry is not an object")
+        if b.get("aggregate_name") == "median":
+            medians.append(b)
+        elif "aggregate_name" not in b:
+            entries.append(b)
+    families: dict[str, float] = {}
+    for b in medians if medians else entries:
         name = b["run_name"] if "run_name" in b else b["name"]
+        if not isinstance(name, str):
+            raise ValueError(f"{path}: benchmark name is not a string")
         unit = b.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        families[name] = float(b["real_time"]) * scale
+        if not isinstance(unit, str) or unit not in _UNIT_TO_NS:
+            raise ValueError(f"{path}: {name}: unknown time unit {unit!r}")
+        real_time = b["real_time"]
+        if not isinstance(real_time, (int, float)):
+            raise ValueError(f"{path}: {name}: non-numeric real_time")
+        families[name] = float(real_time) * _UNIT_TO_NS[unit]
     return families
 
 
-def pick_anchor(families, anchor_keys):
+def pick_anchor(families: dict[str, float],
+                anchor_keys: list[str]) -> str | None:
     for key in anchor_keys:
         for name in sorted(families):
             if key in name:
@@ -52,8 +76,15 @@ def pick_anchor(families, anchor_keys):
     return sorted(families)[0] if families else None
 
 
-def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
-                 min_gate_ns):
+def compare_file(
+    name: str,
+    base: dict[str, float],
+    cur: dict[str, float],
+    tolerance: float,
+    anchor_keys: list[str],
+    absolute: bool,
+    min_gate_ns: float,
+) -> tuple[list[str], list[str], list[Row]]:
     """Returns (structural_failures, perf_failures, rows).
 
     Structural failures — a vanished family, a missing anchor, an empty
@@ -61,9 +92,10 @@ def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
     even for --report-only files. Only perf regressions (the thing the
     comparison measures) are downgradable to report-only.
     """
-    structural = []
-    perf = []
-    rows = []
+    structural: list[str] = []
+    perf: list[str] = []
+    rows: list[Row] = []
+    anchor: str | None
     if absolute:
         base_norm, cur_norm = dict(base), dict(cur)
         anchor = None
@@ -106,7 +138,7 @@ def compare_file(name, base, cur, tolerance, anchor_keys, absolute,
     return structural, perf, rows
 
 
-def main():
+def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--baseline", required=True, help="directory of committed BENCH_*.json")
@@ -125,7 +157,10 @@ def main():
                     help="baseline file name substring(s) to compare and "
                          "print without failing the gate (trajectory data)")
     args = ap.parse_args()
-    anchor_keys = args.anchor if args.anchor else ["rowwise", "cold"]
+    anchor_keys: list[str] = args.anchor if args.anchor else ["rowwise", "cold"]
+    tolerance: float = args.tolerance
+    min_gate_us: float = args.min_gate_us
+    report_only: list[str] = args.report_only
 
     baseline_dir = pathlib.Path(args.baseline)
     current_dir = pathlib.Path(args.current)
@@ -134,7 +169,7 @@ def main():
         print(f"no BENCH_*.json baselines under {baseline_dir}", file=sys.stderr)
         return 2
 
-    all_failures = []
+    all_failures: list[str] = []
     for base_path in baseline_files:
         cur_path = current_dir / base_path.name
         print(f"== {base_path.name} ==")
@@ -144,8 +179,8 @@ def main():
             continue
         structural, perf, rows = compare_file(
             base_path.name, load_families(base_path), load_families(cur_path),
-            args.tolerance, anchor_keys, args.absolute,
-            args.min_gate_us * 1e3)
+            tolerance, anchor_keys, bool(args.absolute),
+            min_gate_us * 1e3)
         for family, b, c, ratio, status in rows:
             bs = f"{b / 1e6:10.3f}ms" if b is not None else "         —"
             cs = f"{c / 1e6:10.3f}ms" if c is not None else "         —"
@@ -154,7 +189,7 @@ def main():
         # Structural failures (vanished family, missing anchor) always
         # gate: report-only softens perf verdicts, not absent data.
         all_failures.extend(structural)
-        if any(key in base_path.name for key in args.report_only):
+        if any(key in base_path.name for key in report_only):
             for f in perf:
                 print(f"  (report-only, not gated) {f}")
         else:

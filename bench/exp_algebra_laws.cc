@@ -10,7 +10,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — experiment driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): experiment driver, brevity wins
 
 std::vector<Value> Domain() {
   return {Value(-2), Value(0), Value(1), Value(3)};

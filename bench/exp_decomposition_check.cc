@@ -10,7 +10,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — experiment driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): experiment driver, brevity wins
 
 Relation RandomXY(uint64_t seed, size_t n) {
   std::mt19937_64 rng(seed);

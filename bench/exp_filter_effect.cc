@@ -9,7 +9,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — experiment driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): experiment driver, brevity wins
 
 size_t SizeOver(const Relation& r, const PrefPtr& p,
                 const std::vector<std::string>& attrs) {

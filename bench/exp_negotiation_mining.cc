@@ -9,7 +9,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — experiment driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): experiment driver, brevity wins
 
 int g_failures = 0;
 void Check(bool ok, const char* what) {

@@ -10,7 +10,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — experiment driver, brevity wins
+using namespace prefdb;  // NOLINT(google-build-using-namespace): experiment driver, brevity wins
 
 int g_failures = 0;
 

@@ -11,7 +11,7 @@
 
 namespace {
 
-using namespace prefdb;  // NOLINT — experiment driver
+using namespace prefdb;  // NOLINT(google-build-using-namespace): experiment driver, brevity wins
 
 PrefPtr SkylinePref(size_t d) {
   std::vector<PrefPtr> prefs;

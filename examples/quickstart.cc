@@ -9,7 +9,7 @@
 
 #include "prefdb.h"
 
-using namespace prefdb;  // NOLINT — example code
+using namespace prefdb;  // NOLINT(google-build-using-namespace): example code, brevity wins
 
 int main() {
   // 1. A database set R (Def. 14): a small hotel table.

@@ -11,7 +11,7 @@
 
 #include "prefdb.h"
 
-using namespace prefdb;  // NOLINT — example code
+using namespace prefdb;  // NOLINT(google-build-using-namespace): example code, brevity wins
 
 namespace {
 

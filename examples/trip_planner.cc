@@ -9,7 +9,7 @@
 
 #include "prefdb.h"
 
-using namespace prefdb;  // NOLINT — example code
+using namespace prefdb;  // NOLINT(google-build-using-namespace): example code, brevity wins
 
 int main(int argc, char** argv) {
   size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;

@@ -8,8 +8,8 @@
 
 #include "prefdb.h"
 
-using namespace prefdb;          // NOLINT — example code
-using namespace prefdb::pxpath;  // NOLINT
+using namespace prefdb;          // NOLINT(google-build-using-namespace): example code, brevity wins
+using namespace prefdb::pxpath;  // NOLINT(google-build-using-namespace): example code, brevity wins
 
 namespace {
 

@@ -1,0 +1,61 @@
+// Standalone corpus-replay driver: supplies main() for the fuzz harnesses
+// when libFuzzer is unavailable (the default gcc build), so every seed
+// corpus is exercised by plain ctest on every platform. Each argument is
+// a corpus file or a directory of corpus files; every file's bytes are
+// fed to LLVMFuzzerTestOneInput. With -DPREFDB_FUZZERS=ON this TU is not
+// linked — libFuzzer provides main() and drives mutation instead.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Deterministic replay order regardless of directory enumeration.
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (ReplayFile(file) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (ReplayFile(arg) != 0) return 1;
+      ++replayed;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 1;
+  }
+  std::printf("replayed %d corpus input(s), no crashes\n", replayed);
+  return 0;
+}

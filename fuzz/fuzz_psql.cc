@@ -1,0 +1,34 @@
+// Fuzz harness for the Preference SQL front end: ParseValue (the typed
+// text-to-Value conversion CSV load and the wire share), the lexer, and
+// the parser. Invariant under test: arbitrary query text either parses or
+// raises SyntaxError — the closed error vocabulary the server boundary
+// depends on (psql/error.h). Any other exception type, crash, or hang
+// escaping Parse() is a bug.
+//
+// Links against libFuzzer under -DPREFDB_FUZZERS=ON; otherwise
+// fuzz/driver_main.cc replays the seed corpus in plain ctest.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "psql/lexer.h"
+#include "psql/parser.h"
+#include "relation/value.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  (void)prefdb::ParseValue(text, prefdb::ValueType::kNull);
+  (void)prefdb::ParseValue(text, prefdb::ValueType::kInt);
+  (void)prefdb::ParseValue(text, prefdb::ValueType::kDouble);
+  (void)prefdb::ParseValue(text, prefdb::ValueType::kString);
+
+  try {
+    (void)prefdb::psql::Tokenize(text);
+    (void)prefdb::psql::Parse(text);
+  } catch (const prefdb::psql::SyntaxError&) {
+    // The one sanctioned failure mode for malformed query text.
+  }
+  return 0;
+}

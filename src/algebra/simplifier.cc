@@ -19,7 +19,7 @@ PrefPtr PushDual(const PrefPtr& inner) {
   switch (inner->kind()) {
     case PreferenceKind::kDual:
       // (P^d)^d -> P (Prop 3b)
-      return static_cast<const DualPreference&>(*inner).inner();
+      return dynamic_cast<const DualPreference&>(*inner).inner();
     case PreferenceKind::kAntiChain:
       // (S<->)^d -> S<-> (Prop 3a)
       return inner;
@@ -30,13 +30,13 @@ PrefPtr PushDual(const PrefPtr& inner) {
       return Lowest(inner->attributes()[0]);
     case PreferenceKind::kPos: {
       // POS^d -> NEG (Prop 3e)
-      const auto& pos = static_cast<const PosPreference&>(*inner);
+      const auto& pos = dynamic_cast<const PosPreference&>(*inner);
       return Neg(pos.attribute(),
                  std::vector<Value>(pos.pos_set().begin(),
                                     pos.pos_set().end()));
     }
     case PreferenceKind::kNeg: {
-      const auto& neg = static_cast<const NegPreference&>(*inner);
+      const auto& neg = dynamic_cast<const NegPreference&>(*inner);
       return Pos(neg.attribute(),
                  std::vector<Value>(neg.neg_set().begin(),
                                     neg.neg_set().end()));
@@ -51,7 +51,7 @@ PrefPtr PushDual(const PrefPtr& inner) {
 PrefPtr RewriteTop(const PrefPtr& p, std::vector<RewriteStep>* trace) {
   switch (p->kind()) {
     case PreferenceKind::kDual: {
-      const auto& dual = static_cast<const DualPreference&>(*p);
+      const auto& dual = dynamic_cast<const DualPreference&>(*p);
       if (PrefPtr pushed = PushDual(dual.inner())) {
         Record(trace, "Prop3a-e: dual elimination", p, pushed);
         return pushed;
@@ -59,7 +59,7 @@ PrefPtr RewriteTop(const PrefPtr& p, std::vector<RewriteStep>* trace) {
       return nullptr;
     }
     case PreferenceKind::kIntersection: {
-      const auto& node = static_cast<const IntersectionPreference&>(*p);
+      const auto& node = dynamic_cast<const IntersectionPreference&>(*p);
       const PrefPtr& l = node.left();
       const PrefPtr& r = node.right();
       if (l->StructurallyEquals(*r)) {
@@ -80,7 +80,7 @@ PrefPtr RewriteTop(const PrefPtr& p, std::vector<RewriteStep>* trace) {
       return nullptr;
     }
     case PreferenceKind::kPrioritized: {
-      const auto& node = static_cast<const PrioritizedPreference&>(*p);
+      const auto& node = dynamic_cast<const PrioritizedPreference&>(*p);
       const PrefPtr& l = node.left();
       const PrefPtr& r = node.right();
       if (l->kind() == PreferenceKind::kAntiChain &&
@@ -101,7 +101,7 @@ PrefPtr RewriteTop(const PrefPtr& p, std::vector<RewriteStep>* trace) {
       return nullptr;
     }
     case PreferenceKind::kPareto: {
-      const auto& node = static_cast<const ParetoPreference&>(*p);
+      const auto& node = dynamic_cast<const ParetoPreference&>(*p);
       const PrefPtr& l = node.left();
       const PrefPtr& r = node.right();
       if (l->StructurallyEquals(*r)) {
@@ -141,34 +141,34 @@ PrefPtr SimplifyRec(const PrefPtr& p, std::vector<RewriteStep>* trace,
   PrefPtr cur = p;
   switch (cur->kind()) {
     case PreferenceKind::kDual: {
-      const auto& node = static_cast<const DualPreference&>(*cur);
+      const auto& node = dynamic_cast<const DualPreference&>(*cur);
       PrefPtr c = SimplifyRec(node.inner(), trace, depth + 1);
       if (c != node.inner()) cur = Dual(c);
       break;
     }
     case PreferenceKind::kPareto: {
-      const auto& node = static_cast<const ParetoPreference&>(*cur);
+      const auto& node = dynamic_cast<const ParetoPreference&>(*cur);
       PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
       PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
       if (l != node.left() || r != node.right()) cur = Pareto(l, r);
       break;
     }
     case PreferenceKind::kPrioritized: {
-      const auto& node = static_cast<const PrioritizedPreference&>(*cur);
+      const auto& node = dynamic_cast<const PrioritizedPreference&>(*cur);
       PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
       PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
       if (l != node.left() || r != node.right()) cur = Prioritized(l, r);
       break;
     }
     case PreferenceKind::kIntersection: {
-      const auto& node = static_cast<const IntersectionPreference&>(*cur);
+      const auto& node = dynamic_cast<const IntersectionPreference&>(*cur);
       PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
       PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
       if (l != node.left() || r != node.right()) cur = Intersection(l, r);
       break;
     }
     case PreferenceKind::kDisjointUnion: {
-      const auto& node = static_cast<const DisjointUnionPreference&>(*cur);
+      const auto& node = dynamic_cast<const DisjointUnionPreference&>(*cur);
       PrefPtr l = SimplifyRec(node.left(), trace, depth + 1);
       PrefPtr r = SimplifyRec(node.right(), trace, depth + 1);
       if (l != node.left() || r != node.right()) cur = DisjointUnion(l, r);

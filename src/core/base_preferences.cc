@@ -67,7 +67,7 @@ std::string PosPreference::ToString() const {
 }
 
 bool PosPreference::ParamsEqual(const Preference& other) const {
-  return SameSet(pos_, static_cast<const PosPreference&>(other).pos_);
+  return SameSet(pos_, dynamic_cast<const PosPreference&>(other).pos_);
 }
 
 // ---------------------------------------------------------------------------
@@ -92,7 +92,7 @@ std::string NegPreference::ToString() const {
 }
 
 bool NegPreference::ParamsEqual(const Preference& other) const {
-  return SameSet(neg_, static_cast<const NegPreference&>(other).neg_);
+  return SameSet(neg_, dynamic_cast<const NegPreference&>(other).neg_);
 }
 
 // ---------------------------------------------------------------------------
@@ -130,7 +130,7 @@ std::string PosNegPreference::ToString() const {
 }
 
 bool PosNegPreference::ParamsEqual(const Preference& other) const {
-  const auto& o = static_cast<const PosNegPreference&>(other);
+  const auto& o = dynamic_cast<const PosNegPreference&>(other);
   return SameSet(pos_, o.pos_) && SameSet(neg_, o.neg_);
 }
 
@@ -170,7 +170,7 @@ std::string PosPosPreference::ToString() const {
 }
 
 bool PosPosPreference::ParamsEqual(const Preference& other) const {
-  const auto& o = static_cast<const PosPosPreference&>(other);
+  const auto& o = dynamic_cast<const PosPosPreference&>(other);
   return SameSet(pos1_, o.pos1_) && SameSet(pos2_, o.pos2_);
 }
 
@@ -268,7 +268,7 @@ std::string ExplicitPreference::ToString() const {
 }
 
 bool ExplicitPreference::ParamsEqual(const Preference& other) const {
-  const auto& o = static_cast<const ExplicitPreference&>(other);
+  const auto& o = dynamic_cast<const ExplicitPreference&>(other);
   if (!SameSet(range_, o.range_)) return false;
   if (closure_.size() != o.closure_.size()) return false;
   for (const auto& p : closure_) {
@@ -334,7 +334,7 @@ std::string PosNegGraphsPreference::ToString() const {
 }
 
 bool PosNegGraphsPreference::ParamsEqual(const Preference& other) const {
-  const auto& o = static_cast<const PosNegGraphsPreference&>(other);
+  const auto& o = dynamic_cast<const PosNegGraphsPreference&>(other);
   return SameSet(pos_range_, o.pos_range_) &&
          SameSet(neg_range_, o.neg_range_) &&
          pos_graph_->StructurallyEquals(*o.pos_graph_) &&
@@ -407,7 +407,7 @@ std::string LayeredPreference::ToString() const {
 }
 
 bool LayeredPreference::ParamsEqual(const Preference& other) const {
-  const auto& o = static_cast<const LayeredPreference&>(other);
+  const auto& o = dynamic_cast<const LayeredPreference&>(other);
   if (layers_.size() != o.layers_.size()) return false;
   if (others_level_ != o.others_level_) return false;
   for (size_t i = 0; i < layers_.size(); ++i) {

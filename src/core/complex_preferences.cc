@@ -157,7 +157,7 @@ std::string RankPreference::ToString() const {
 }
 
 bool RankPreference::ParamsEqual(const Preference& other) const {
-  return name_ == static_cast<const RankPreference&>(other).name_;
+  return name_ == dynamic_cast<const RankPreference&>(other).name_;
 }
 
 // ---------------------------------------------------------------------------

@@ -54,7 +54,7 @@ std::string AroundPreference::ToString() const {
 }
 
 bool AroundPreference::ParamsEqual(const Preference& other) const {
-  return target_ == static_cast<const AroundPreference&>(other).target_;
+  return target_ == dynamic_cast<const AroundPreference&>(other).target_;
 }
 
 // ---------------------------------------------------------------------------
@@ -87,7 +87,7 @@ std::string BetweenPreference::ToString() const {
 }
 
 bool BetweenPreference::ParamsEqual(const Preference& other) const {
-  const auto& o = static_cast<const BetweenPreference&>(other);
+  const auto& o = dynamic_cast<const BetweenPreference&>(other);
   return low_ == o.low_ && up_ == o.up_;
 }
 
@@ -133,7 +133,7 @@ std::string ScorePreference::ToString() const {
 }
 
 bool ScorePreference::ParamsEqual(const Preference& other) const {
-  return name_ == static_cast<const ScorePreference&>(other).name_;
+  return name_ == dynamic_cast<const ScorePreference&>(other).name_;
 }
 
 // ---------------------------------------------------------------------------

@@ -191,7 +191,7 @@ std::vector<size_t> BmoDecompositionIndices(const Relation& r,
     case PreferenceKind::kHighest:
     case PreferenceKind::kScore:
       return ScoredBaseIndices(
-          r, static_cast<const ScoredBasePreference&>(*p));
+          r, dynamic_cast<const ScoredBasePreference&>(*p));
     default:
       return FallbackIndices(r, p);
   }

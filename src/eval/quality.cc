@@ -20,9 +20,9 @@ size_t IntrinsicLevel(const Preference& p, const Value& v) {
 double QualityDistance(const Preference& p, const Value& v) {
   switch (p.kind()) {
     case PreferenceKind::kAround:
-      return static_cast<const AroundPreference&>(p).Distance(v);
+      return dynamic_cast<const AroundPreference&>(p).Distance(v);
     case PreferenceKind::kBetween:
-      return static_cast<const BetweenPreference&>(p).Distance(v);
+      return dynamic_cast<const BetweenPreference&>(p).Distance(v);
     default:
       throw std::invalid_argument("DISTANCE is undefined for " + p.ToString());
   }

@@ -1,0 +1,38 @@
+// NaN-guard float-equality helpers — the only translation unit where
+// kernel/score-table code may compare float/double with ==/!= (enforced
+// by prefdb-lint's prefdb-float-eq rule).
+//
+// Why a dedicated header: IEEE `NaN == NaN` is false, so a raw == in an
+// equality-class or window-key computation silently splits classes (or
+// inverts a topological order) the moment a NaN leaks in — the SFS
+// non-finite-key unsoundness fixed in PR 2 was exactly this. Every
+// comparison below spells out its NaN contract, and every caller names
+// which contract it relies on.
+
+#ifndef PREFDB_EXEC_FLOAT_EQ_H_
+#define PREFDB_EXEC_FLOAT_EQ_H_
+
+#include <cmath>
+
+namespace prefdb::exec {
+
+/// Exact IEEE equality for values the caller has already proven NaN-free
+/// (score-table columns route NaN-bearing data to the dict/id path before
+/// any raw-score comparison; SFS checks finiteness before keying).
+/// Precondition: neither operand is NaN — under that precondition IEEE
+/// equality coincides with equality-class identity.
+inline bool ScoreEqNanFree(double a, double b) { return a == b; }
+
+/// Negation of ScoreEqNanFree, same precondition.
+inline bool ScoreNeqNanFree(double a, double b) { return a != b; }
+
+/// Equality where NaN may appear: all NaNs collapse into one equality
+/// class (reflexive, symmetric, transitive), matching Value::operator=='s
+/// treatment of NULL-derived scores.
+inline bool ScoreEqOrBothNan(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+}  // namespace prefdb::exec
+
+#endif  // PREFDB_EXEC_FLOAT_EQ_H_

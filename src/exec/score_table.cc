@@ -225,7 +225,8 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
                 return col.scores[a] < col.scores[b];
               });
     for (size_t i = 1; i < n; ++i) {
-      if (col.scores[order[i - 1]] == col.scores[order[i]] &&
+      if (exec::ScoreEqNanFree(col.scores[order[i - 1]],
+                               col.scores[order[i]]) &&
           col.ids[order[i - 1]] != col.ids[order[i]]) {
         col.use_ids = true;
         return;
@@ -291,7 +292,9 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
           }
           return build_leaf(
               [&nums](size_t a, size_t b) { return nums[a] < nums[b]; },
-              [&nums](size_t a, size_t b) { return nums[a] == nums[b]; },
+              [&nums](size_t a, size_t b) {
+                return exec::ScoreEqNanFree(nums[a], nums[b]);
+              },
               [values, col, &score_of](size_t r) {
                 return score_of(values[r][col]);
               });
@@ -409,7 +412,7 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
     int col = -1;
     if (IsScoredLeafKind(cur->kind())) {
       size_t c = ResolveColumnOrThrow(proj_schema, cur->attributes()[0]);
-      const auto* scored = static_cast<const ScoredBasePreference*>(cur.get());
+      const auto* scored = dynamic_cast<const ScoredBasePreference*>(cur.get());
       bool plain_numeric = true;  // all numeric, no NaN
       for (size_t r = 0; r < count && plain_numeric; ++r) {
         const Value& v = values[r][c];
@@ -454,7 +457,7 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
         cols.push_back(ResolveColumnOrThrow(proj_schema, name));
       }
       ScoreFn utility =
-          static_cast<const RankPreference*>(cur.get())->BindUtility(
+          dynamic_cast<const RankPreference*>(cur.get())->BindUtility(
               proj_schema);
       col = build_tuple_leaf(cols, [utility, sign](const Tuple& t) {
         return sign * utility(t);
@@ -800,7 +803,10 @@ std::vector<bool> ScoreTable::MaximaSubset(BmoAlgorithm algo,
                   const double* ka = keys.data() + a * nk;
                   const double* kb = keys.data() + b * nk;
                   for (size_t k = 0; k < nk; ++k) {
-                    if (ka[k] != kb[k]) return ka[k] > kb[k];
+                    // Keys were finiteness-checked above (`finite`).
+                    if (exec::ScoreNeqNanFree(ka[k], kb[k])) {
+                      return ka[k] > kb[k];
+                    }
                   }
                   return false;
                 });

@@ -46,6 +46,7 @@
 #include "core/preference.h"
 #include "eval/bmo.h"
 #include "eval/physical_plan.h"
+#include "exec/float_eq.h"
 #include "exec/simd/dominance.h"
 
 namespace prefdb {
@@ -141,7 +142,10 @@ class ScoreTable {
 
   bool ColumnEq(size_t c, const double* sx, const double* sy,
                 const uint32_t* ix, const uint32_t* iy) const {
-    return prog_.use_ids[c] ? ix[c] == iy[c] : sx[c] == sy[c];
+    // NaN-bearing columns always set use_ids, so the raw-score branch
+    // meets ScoreEqNanFree's precondition.
+    return prog_.use_ids[c] ? ix[c] == iy[c]
+                            : exec::ScoreEqNanFree(sx[c], sy[c]);
   }
   bool ParetoLess(size_t x, size_t y) const;
   bool LexLess(size_t x, size_t y) const;

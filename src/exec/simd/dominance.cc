@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/float_eq.h"
+
 namespace prefdb::simd {
 
 // ---------------------------------------------------------------------------
@@ -92,7 +94,10 @@ inline Masks ColumnMasks(double xv, uint32_t xid, bool use_ids,
     const double yv = col[base + l];
     m.lt |= static_cast<unsigned>(xv < yv) << l;
     m.gt |= static_cast<unsigned>(xv > yv) << l;
-    m.eq |= static_cast<unsigned>(use_ids ? xid == idcol[base + l] : xv == yv)
+    // NaN-bearing columns compile with use_ids set, so the raw-score
+    // lane meets ScoreEqNanFree's NaN-free precondition.
+    m.eq |= static_cast<unsigned>(use_ids ? xid == idcol[base + l]
+                                          : exec::ScoreEqNanFree(xv, yv))
             << l;
   }
   return m;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "psql/error.h"
+
 namespace prefdb::psql {
 
 void Catalog::Register(const std::string& name, Relation relation) {
@@ -28,7 +30,7 @@ std::shared_ptr<const Relation> Catalog::GetShared(
       if (!known.empty()) known += ", ";
       known += n;
     }
-    throw std::out_of_range("unknown table '" + name + "' (known: " + known +
+    throw NotFoundError("unknown table '" + name + "' (known: " + known +
                             ")");
   }
   return it->second.relation;

@@ -42,6 +42,9 @@ QueryError ClassifyException(const std::exception& error,
             sql.empty() ? std::string(syntax->what())
                         : FormatSyntaxError(sql, *syntax)};
   }
+  if (dynamic_cast<const ProtocolError*>(&error) != nullptr) {
+    return {ErrorCode::kProtocol, error.what()};
+  }
   if (dynamic_cast<const std::out_of_range*>(&error) != nullptr) {
     return {ErrorCode::kNotFound, error.what()};
   }

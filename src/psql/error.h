@@ -18,9 +18,47 @@
 
 #include <exception>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 namespace prefdb::psql {
+
+// ---------------------------------------------------------------------------
+// The prefdb exception vocabulary. Server and psql code throws these (and
+// SyntaxError from psql/lexer.h) exclusively — prefdb-lint's
+// prefdb-foreign-throw rule rejects any other type — so every throw site
+// maps onto exactly one ErrorCode below and the wire vocabulary stays
+// closed. Each type derives from the std exception its ErrorCode was
+// historically classified from, so pre-existing catch sites and
+// ClassifyException keep working unchanged.
+
+/// Unknown table, stored preference, or prepared-statement handle
+/// (ErrorCode::kNotFound).
+class NotFoundError : public std::out_of_range {
+ public:
+  using std::out_of_range::out_of_range;
+};
+
+/// Semantically invalid query or argument (ErrorCode::kBadArgument).
+class BadArgumentError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Malformed frame, unknown frame type, or ill-formed payload
+/// (ErrorCode::kProtocol).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Server-side operational failure — socket setup, wire I/O, peer
+/// misbehavior observed client-side (ErrorCode::kInternal on the reply
+/// path; typically fatal for the connection).
+class ServerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Closed error vocabulary shared by both ends of the wire. Values are
 /// serialized by name, never by integer, so the enum may be reordered.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "psql/error.h"
+
 #include "core/base_preferences.h"
 #include "core/complex_preferences.h"
 #include "core/numeric_preferences.h"
@@ -34,7 +36,7 @@ class CondLayeredPreference : public BasePreference {
       : BasePreference(PreferenceKind::kLayered, std::move(attribute)),
         layers_(std::move(layers)) {
     if (layers_.empty()) {
-      throw std::invalid_argument("ELSE chain needs at least one condition");
+      throw BadArgumentError("ELSE chain needs at least one condition");
     }
   }
 
@@ -122,7 +124,7 @@ PrefPtr TranslatePreference(const PrefExpr& expr) {
       const std::string& attr = expr.layers[0].attribute;
       for (const Condition& c : expr.layers) {
         if (c.attribute != attr) {
-          throw std::invalid_argument(
+          throw BadArgumentError(
               "ELSE chain must stay on one attribute; got '" + attr +
               "' and '" + c.attribute + "'");
         }
@@ -136,7 +138,7 @@ PrefPtr TranslatePreference(const PrefExpr& expr) {
       return Prioritized(TranslatePreference(*expr.children[0]),
                          TranslatePreference(*expr.children[1]));
   }
-  throw std::invalid_argument("unknown preference expression");
+  throw BadArgumentError("unknown preference expression");
 }
 
 PrefPtr TranslatePreferenceChain(const std::vector<PrefExprPtr>& chain) {
@@ -154,7 +156,7 @@ std::function<bool(const Tuple&)> CompileCondition(const Condition& cond,
     case Condition::Kind::kCompare: {
       auto idx = schema.IndexOf(cond.attribute);
       if (!idx) {
-        throw std::out_of_range("unknown attribute '" + cond.attribute + "'");
+        throw NotFoundError("unknown attribute '" + cond.attribute + "'");
       }
       size_t col = *idx;
       CompareOp op = cond.op;
@@ -166,7 +168,7 @@ std::function<bool(const Tuple&)> CompileCondition(const Condition& cond,
     case Condition::Kind::kInList: {
       auto idx = schema.IndexOf(cond.attribute);
       if (!idx) {
-        throw std::out_of_range("unknown attribute '" + cond.attribute + "'");
+        throw NotFoundError("unknown attribute '" + cond.attribute + "'");
       }
       size_t col = *idx;
       auto set = std::make_shared<ValueSet>();
@@ -192,7 +194,7 @@ std::function<bool(const Tuple&)> CompileCondition(const Condition& cond,
       return [inner](const Tuple& t) { return !inner(t); };
     }
   }
-  throw std::invalid_argument("unknown condition kind");
+  throw BadArgumentError("unknown condition kind");
 }
 
 std::function<bool(const Tuple&)> CompileQualityCondition(
@@ -212,19 +214,19 @@ std::function<bool(const Tuple&)> CompileQualityCondition(
     case QualityCondition::Kind::kLevel:
     case QualityCondition::Kind::kDistance: {
       if (!preference) {
-        throw std::invalid_argument(
+        throw BadArgumentError(
             "BUT ONLY requires a PREFERRING clause to resolve " +
             cond.ToString());
       }
       PrefPtr base = FindBasePreference(preference, cond.attribute);
       if (!base) {
-        throw std::invalid_argument(
+        throw BadArgumentError(
             "no base preference on attribute '" + cond.attribute +
             "' to resolve " + cond.ToString());
       }
       auto idx = schema.IndexOf(cond.attribute);
       if (!idx) {
-        throw std::out_of_range("unknown attribute '" + cond.attribute + "'");
+        throw NotFoundError("unknown attribute '" + cond.attribute + "'");
       }
       size_t col = *idx;
       CompareOp op = cond.op;
@@ -238,7 +240,7 @@ std::function<bool(const Tuple&)> CompileQualityCondition(
       };
     }
   }
-  throw std::invalid_argument("unknown quality condition kind");
+  throw BadArgumentError("unknown quality condition kind");
 }
 
 }  // namespace prefdb::psql

@@ -34,11 +34,11 @@ class Value {
  public:
   /// Constructs the NULL value.
   Value() : rep_(std::monostate{}) {}
-  Value(int64_t v) : rep_(v) {}          // NOLINT: implicit by design
-  Value(int v) : rep_(int64_t{v}) {}     // NOLINT
-  Value(double v) : rep_(v) {}           // NOLINT
-  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
-  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+  Value(int64_t v) : rep_(v) {}          // NOLINT(google-explicit-constructor): implicit by design
+  Value(int v) : rep_(int64_t{v}) {}     // NOLINT(google-explicit-constructor): implicit by design
+  Value(double v) : rep_(v) {}           // NOLINT(google-explicit-constructor): implicit by design
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(google-explicit-constructor): implicit by design
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(google-explicit-constructor): implicit by design
 
   ValueType type() const {
     switch (rep_.index()) {

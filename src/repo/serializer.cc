@@ -60,25 +60,25 @@ std::string SetText(const ValueSet& set) {
 std::string SerializePreference(const PrefPtr& pref) {
   switch (pref->kind()) {
     case PreferenceKind::kPos: {
-      const auto& p = static_cast<const PosPreference&>(*pref);
+      const auto& p = dynamic_cast<const PosPreference&>(*pref);
       return "POS(" + p.attribute() + ", " + SetText(p.pos_set()) + ")";
     }
     case PreferenceKind::kNeg: {
-      const auto& p = static_cast<const NegPreference&>(*pref);
+      const auto& p = dynamic_cast<const NegPreference&>(*pref);
       return "NEG(" + p.attribute() + ", " + SetText(p.neg_set()) + ")";
     }
     case PreferenceKind::kPosNeg: {
-      const auto& p = static_cast<const PosNegPreference&>(*pref);
+      const auto& p = dynamic_cast<const PosNegPreference&>(*pref);
       return "POSNEG(" + p.attribute() + ", " + SetText(p.pos_set()) + ", " +
              SetText(p.neg_set()) + ")";
     }
     case PreferenceKind::kPosPos: {
-      const auto& p = static_cast<const PosPosPreference&>(*pref);
+      const auto& p = dynamic_cast<const PosPosPreference&>(*pref);
       return "POSPOS(" + p.attribute() + ", " + SetText(p.pos1_set()) +
              ", " + SetText(p.pos2_set()) + ")";
     }
     case PreferenceKind::kExplicit: {
-      const auto& p = static_cast<const ExplicitPreference&>(*pref);
+      const auto& p = dynamic_cast<const ExplicitPreference&>(*pref);
       // Serialize the original edge list (closure is reconstructed).
       std::vector<std::pair<Value, Value>> edges;
       for (const auto& e : p.edges()) edges.push_back({e.worse, e.better});
@@ -97,7 +97,7 @@ std::string SerializePreference(const PrefPtr& pref) {
       return out + "})";
     }
     case PreferenceKind::kPosNegGraphs: {
-      const auto& p = static_cast<const PosNegGraphsPreference&>(*pref);
+      const auto& p = dynamic_cast<const PosNegGraphsPreference&>(*pref);
       auto side = [](const ExplicitPreference& graph, const ValueSet& range) {
         std::vector<std::pair<Value, Value>> edges;
         for (const auto& e : graph.edges()) edges.push_back({e.worse, e.better});
@@ -146,11 +146,11 @@ std::string SerializePreference(const PrefPtr& pref) {
       return out + "])";
     }
     case PreferenceKind::kAround: {
-      const auto& p = static_cast<const AroundPreference&>(*pref);
+      const auto& p = dynamic_cast<const AroundPreference&>(*pref);
       return "AROUND(" + p.attribute() + ", " + NumText(p.target()) + ")";
     }
     case PreferenceKind::kBetween: {
-      const auto& p = static_cast<const BetweenPreference&>(*pref);
+      const auto& p = dynamic_cast<const BetweenPreference&>(*pref);
       return "BETWEEN(" + p.attribute() + ", " + NumText(p.low()) + ", " +
              NumText(p.up()) + ")";
     }

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "psql/error.h"
 #include "server/wire_io.h"
 
 namespace prefdb::server {
@@ -32,18 +33,18 @@ Client& Client::operator=(Client&& other) noexcept {
 void Client::Connect(const std::string& host, uint16_t port) {
   Close();
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  if (fd_ < 0) throw psql::ServerError("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     Close();
-    throw std::runtime_error("invalid server address: " + host);
+    throw psql::ServerError("invalid server address: " + host);
   }
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     int err = errno;
     Close();
-    throw std::runtime_error(std::string("connect() failed: ") +
+    throw psql::ServerError(std::string("connect() failed: ") +
                              std::strerror(err));
   }
   int one = 1;
@@ -58,18 +59,18 @@ void Client::Close() {
 }
 
 void Client::SendRawBytes(const std::string& bytes) {
-  if (fd_ < 0) throw std::runtime_error("not connected");
-  if (!WriteFully(fd_, bytes)) throw std::runtime_error("send failed");
+  if (fd_ < 0) throw psql::ServerError("not connected");
+  if (!WriteFully(fd_, bytes)) throw psql::ServerError("send failed");
 }
 
 Frame Client::ReadResponse() {
-  if (fd_ < 0) throw std::runtime_error("not connected");
+  if (fd_ < 0) throw psql::ServerError("not connected");
   Frame frame;
   // Responses are server-sized; accept anything the server can produce.
   ReadStatus status = ReadFrame(fd_, &frame, UINT32_MAX);
   if (status != ReadStatus::kOk) {
     Close();
-    throw std::runtime_error("connection closed by server");
+    throw psql::ServerError("connection closed by server");
   }
   return frame;
 }
@@ -81,7 +82,7 @@ ClientResponse Client::Request(const Frame& frame) {
   switch (reply.type) {
     case FrameType::kResult: {
       auto parsed = ParseResult(reply.payload);
-      if (!parsed) throw std::runtime_error("malformed result frame");
+      if (!parsed) throw psql::ProtocolError("malformed result frame");
       response.ok = true;
       response.relation = std::move(parsed->relation);
       response.utilities = std::move(parsed->utilities);
@@ -97,7 +98,7 @@ ClientResponse Client::Request(const Frame& frame) {
       char* end = nullptr;
       unsigned long long id = std::strtoull(reply.payload.c_str(), &end, 10);
       if (errno != 0 || end == reply.payload.c_str() || *end != '\0') {
-        throw std::runtime_error("malformed handle frame");
+        throw psql::ProtocolError("malformed handle frame");
       }
       response.ok = true;
       response.handle = id;
@@ -108,7 +109,7 @@ ClientResponse Client::Request(const Frame& frame) {
       response.error = psql::DeserializeError(reply.payload);
       return response;
     default:
-      throw std::runtime_error("unexpected response frame type");
+      throw psql::ProtocolError("unexpected response frame type");
   }
 }
 

@@ -142,8 +142,12 @@ std::optional<Value> DecodeValue(const std::string& data, size_t* pos) {
       std::string count_text = data.substr(*pos, colon - *pos);
       unsigned long long count =
           std::strtoull(count_text.c_str(), &parsed_end, 10);
+      // Compare against the remaining bytes, never `colon + 1 + count`:
+      // count comes off the wire and the sum wraps size_t, which would
+      // pass the bounds check and then wrap *pos backwards (infinite
+      // parse loop on a 17-byte frame).
       if (errno != 0 || parsed_end == count_text.c_str() ||
-          *parsed_end != '\0' || colon + 1 + count > data.size()) {
+          *parsed_end != '\0' || count > data.size() - (colon + 1)) {
         return std::nullopt;
       }
       *pos = colon + 1 + count;
@@ -228,6 +232,11 @@ std::optional<WireResult> ParseResult(const std::string& payload) {
     return std::nullopt;
   }
 
+  // Every encoded row costs at least one payload byte ('\n'), so a
+  // declared count beyond the remaining bytes is malformed. Checking
+  // before reserve() keeps a 30-byte frame claiming 2^60 rows from
+  // asking the allocator for petabytes.
+  if (row_count > payload.size() - pos) return std::nullopt;
   std::vector<Tuple> tuples;
   tuples.reserve(row_count);
   for (unsigned long long i = 0; i < row_count; ++i) {

@@ -170,10 +170,10 @@ struct Server::Impl {
 
 void Server::Impl::Start() {
   std::lock_guard<std::mutex> lock(state_mu_);
-  if (running_) throw std::runtime_error("server already started");
+  if (running_) throw psql::ServerError("server already started");
 
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  if (listen_fd_ < 0) throw psql::ServerError("socket() failed");
   int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -183,21 +183,21 @@ void Server::Impl::Start() {
   if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
     close(listen_fd_);
     listen_fd_ = -1;
-    throw std::runtime_error("invalid bind address: " + options.host);
+    throw psql::ServerError("invalid bind address: " + options.host);
   }
   if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     int err = errno;
     close(listen_fd_);
     listen_fd_ = -1;
-    throw std::runtime_error(std::string("bind() failed: ") +
+    throw psql::ServerError(std::string("bind() failed: ") +
                              std::strerror(err));
   }
   if (listen(listen_fd_, 512) != 0) {
     int err = errno;
     close(listen_fd_);
     listen_fd_ = -1;
-    throw std::runtime_error(std::string("listen() failed: ") +
+    throw psql::ServerError(std::string("listen() failed: ") +
                              std::strerror(err));
   }
   socklen_t addr_len = sizeof(addr);
@@ -256,12 +256,9 @@ void Server::Impl::Stop() {
 
 void Server::Impl::AcceptLoop() {
   while (!stopping_.load()) {
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof(peer);
-    int fd =
-        accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    int fd = AcceptClient(listen_fd_);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (fd == kAcceptRetry) {
         ReapFinishedSessions();
         continue;
       }

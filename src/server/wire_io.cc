@@ -68,4 +68,13 @@ bool WriteFrame(int fd, const Frame& frame) {
   return WriteFully(fd, EncodeFrame(frame));
 }
 
+int AcceptClient(int listen_fd) {
+  int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) return fd;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return kAcceptRetry;
+  }
+  return kAcceptClosed;
+}
+
 }  // namespace prefdb::server

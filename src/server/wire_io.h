@@ -41,6 +41,17 @@ ReadStatus ReadFrame(int fd, Frame* frame, size_t max_payload_bytes,
 /// Encodes and writes one frame; false on transport error.
 bool WriteFrame(int fd, const Frame& frame);
 
+/// AcceptClient outcomes below 0. The accept loop polls with SO_RCVTIMEO
+/// on the listener, so kRetry is the steady-state "no client yet" result.
+inline constexpr int kAcceptRetry = -1;   // EAGAIN/EWOULDBLOCK/EINTR
+inline constexpr int kAcceptClosed = -2;  // listener gone; stop accepting
+
+/// Accepts one connection on `listen_fd`. Returns the connected fd
+/// (>= 0), kAcceptRetry when the poll timed out or was interrupted, or
+/// kAcceptClosed on any other error (the listening socket is unusable).
+/// The peer address is discarded — sessions are identified by fd.
+int AcceptClient(int listen_fd);
+
 }  // namespace prefdb::server
 
 #endif  // PREFDB_SERVER_WIRE_IO_H_

@@ -121,7 +121,7 @@ TEST(MinerTest, RecoversAroundFromTargetedClicks) {
   ASSERT_NE(price, nullptr);
   ASSERT_EQ(price->preference->kind(), PreferenceKind::kAround);
   double target =
-      static_cast<const prefdb::AroundPreference&>(*price->preference).target();
+      dynamic_cast<const prefdb::AroundPreference&>(*price->preference).target();
   EXPECT_NEAR(target, 12000.0, 2500.0);
 }
 

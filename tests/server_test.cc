@@ -124,6 +124,33 @@ TEST(ProtocolTest, MalformedResultPayloadsAreRejected) {
           .has_value());
 }
 
+// Regression (found by fuzz/fuzz_protocol.cc): a declared row count far
+// beyond the remaining payload must be rejected before the tuple vector
+// reserves for it — a 40-byte frame claiming 2^64-1 rows asked the
+// allocator for petabytes.
+TEST(ProtocolTest, HugeDeclaredRowCountIsRejectedWithoutAllocating) {
+  EXPECT_FALSE(
+      ParseResult(
+          "schema \nutilities \nkernel k\nrows 18446744073709551615\n")
+          .has_value());
+  EXPECT_FALSE(
+      ParseResult("schema a:INT\nutilities \nkernel k\nrows 1000\nI1\n")
+          .has_value());
+}
+
+// Regression (found by fuzz/fuzz_protocol.cc): an 'S' value whose declared
+// byte count wraps `colon + 1 + count` around size_t used to pass the
+// bounds check and drag the parse position backwards — an infinite loop
+// on a 17-byte frame.
+TEST(ProtocolTest, StringLengthOverflowDoesNotWrapThePosition) {
+  std::string payload = "S18446744073709551615:x\n";
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeRow(payload, &pos).has_value());
+  EXPECT_FALSE(
+      ParseResult("schema s:STRING\nutilities \nkernel k\nrows 1\n" + payload)
+          .has_value());
+}
+
 TEST(ProtocolTest, ErrorCodesRoundTripByName) {
   for (psql::ErrorCode code :
        {psql::ErrorCode::kSyntax, psql::ErrorCode::kNotFound,

@@ -1,0 +1,31 @@
+// prefdb-lint: pretend-path=src/engine/fixture.cc
+// Clean fixture for the Engine-mutex discipline: the try_to_lock-then-
+// block acquisition (the body of Engine::Lock()) is the one sanctioned
+// direct use of mu_; everything else calls Lock() and holds the returned
+// guard.
+
+#include <atomic>
+#include <mutex>
+
+class EngineLike {
+ public:
+  std::unique_lock<std::mutex> Lock() const {
+    // The sanctioned form: try_to_lock first so contention is observable.
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      contentions_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();  // unique_lock, not a bare mutex: RAII still owns it
+    }
+    return lock;
+  }
+
+  int Snapshot() const {
+    auto lock = Lock();
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::atomic<int> contentions_{0};
+  int value_ = 0;
+};

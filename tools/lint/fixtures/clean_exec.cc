@@ -1,0 +1,32 @@
+// prefdb-lint: pretend-path=src/exec/fixture.cc
+// Clean fixture for kernel code: float comparisons routed through the
+// NaN-guard helpers, integer ==/!= untouched, ordering comparisons on
+// doubles untouched (only ==/!= are the NaN trap).
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+// Stand-ins for exec/float_eq.h's helpers.
+inline bool ScoreEqNanFree(double a, double b) noexcept { return !(a < b) && !(b < a); }
+inline bool ScoreEqOrBothNan(double a, double b) noexcept {
+  return ScoreEqNanFree(a, b) || (std::isnan(a) && std::isnan(b));
+}
+
+std::size_t CountTies(const std::vector<double>& scores, double key) {
+  std::size_t ties = 0;
+  for (double s : scores) {
+    if (ScoreEqOrBothNan(s, key)) ++ties;
+  }
+  return ties;
+}
+
+bool Ordered(double a, double b) { return a < b; }  // ordering: allowed
+
+std::size_t CountZeros(const std::vector<int>& ids) {
+  std::size_t zeros = 0;
+  for (int id : ids) {
+    if (id == 0) ++zeros;  // integer equality: allowed
+  }
+  return zeros;
+}

@@ -1,0 +1,47 @@
+// prefdb-lint: pretend-path=src/server/wire_io.cc
+// Clean fixture: everything here is the allowed shape of the patterns
+// the rules ban — raw syscalls inside wire_io.cc itself, throws from the
+// prefdb exception family, dynamic_cast on polymorphic preferences, and
+// a NOLINT that names its check and carries a reason.
+
+#include <mutex>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+
+struct ServerError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct BasePreference {
+  virtual ~BasePreference() = default;
+};
+
+struct LayeredPreference : BasePreference {
+  int layers = 0;
+};
+
+long ReadSome(int fd, char* buf, unsigned long len) {
+  long n = read(fd, buf, len);  // allowed: this IS wire_io.cc
+  if (n < 0) throw ServerError("read failed");
+  return n;
+}
+
+int AcceptOne(int listen_fd) {
+  return accept(listen_fd, nullptr, nullptr);  // allowed here
+}
+
+int ReadLayers(const BasePreference* p) {
+  const auto* layered = dynamic_cast<const LayeredPreference*>(p);
+  return layered != nullptr ? layered->layers : 0;
+}
+
+int GuardedCount(std::mutex& mu, int& counter) {
+  std::lock_guard<std::mutex> lock(mu);  // RAII guard: allowed
+  return counter;
+}
+
+int Truncate(long v) {
+  // NOLINT(bugprone-narrowing-conversions): callers clamp v to int range
+  return static_cast<int>(v);
+}

@@ -1,0 +1,32 @@
+// Negative fixture: prefdb-downcast-preference must fire on every cast
+// below. This is the PR 2 segfault class: a kind-tag static_cast assumed
+// kind() uniquely identified the concrete class, and CondLayeredPreference
+// (kind kLayered, different layout) walked off the object.
+
+struct BasePreference {
+  virtual ~BasePreference() = default;
+  virtual int kind() const = 0;
+};
+
+struct LayeredPreference : BasePreference {
+  int kind() const override { return 1; }
+  int layers = 0;
+};
+
+int ReadLayers(const BasePreference* p) {
+  // LINT-EXPECT: prefdb-downcast-preference
+  const auto* layered = static_cast<const LayeredPreference*>(p);
+  return layered->layers;
+}
+
+int ReadLayersRef(const BasePreference& p) {
+  // LINT-EXPECT: prefdb-downcast-preference
+  const auto& layered = static_cast<const LayeredPreference&>(p);
+  return layered.layers;
+}
+
+int ReadLayersCCast(const BasePreference* p) {
+  // LINT-EXPECT: prefdb-downcast-preference
+  const auto* layered = (const LayeredPreference*)p;
+  return layered->layers;
+}

@@ -1,0 +1,28 @@
+// prefdb-lint: pretend-path=src/exec/fixture.cc
+// Negative fixture: prefdb-float-eq must fire on direct float/double
+// ==/!= in kernel code. NaN != NaN silently splits equality classes
+// (the SFS non-finite-key bug family); every comparison must go through
+// a NaN-guard helper that states its contract.
+
+#include <cstddef>
+#include <vector>
+
+bool SameScore(double a, double b) {
+  // LINT-EXPECT: prefdb-float-eq
+  return a == b;
+}
+
+std::size_t CountTies(const std::vector<double>& scores, double key) {
+  std::size_t ties = 0;
+  for (double s : scores) {
+    // LINT-EXPECT: prefdb-float-eq
+    if (s != key) continue;
+    ++ties;
+  }
+  return ties;
+}
+
+bool IsUnitScore(double score) {
+  // LINT-EXPECT: prefdb-float-eq
+  return score == 1.0;
+}

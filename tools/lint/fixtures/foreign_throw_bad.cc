@@ -1,0 +1,23 @@
+// prefdb-lint: pretend-path=src/psql/fixture.cc
+// Negative fixture: prefdb-foreign-throw must fire on throws of types
+// outside the prefdb exception family. The wire's ErrorCode vocabulary
+// is closed; a stray std::logic_error classifies as kInternal and the
+// client loses the real error class.
+
+#include <stdexcept>
+#include <string>
+
+void RejectTable(const std::string& name) {
+  // LINT-EXPECT: prefdb-foreign-throw
+  throw std::out_of_range("unknown table '" + name + "'");
+}
+
+void RejectArgument(const std::string& what) {
+  // LINT-EXPECT: prefdb-foreign-throw
+  throw std::invalid_argument(what);
+}
+
+void RejectState() {
+  // LINT-EXPECT: prefdb-foreign-throw
+  throw std::runtime_error("bad state");
+}

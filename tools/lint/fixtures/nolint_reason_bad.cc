@@ -1,0 +1,18 @@
+// Negative fixture: prefdb-nolint-reason must fire on suppressions that
+// do not name their check and justify themselves inline. A naked NOLINT
+// is an unbounded, unexplained hole in the gate.
+
+int Widen(long v) {
+  // LINT-EXPECT: prefdb-nolint-reason
+  return static_cast<int>(v);  // NOLINT
+}
+
+int WidenNamedNoReason(long v) {
+  // LINT-EXPECT: prefdb-nolint-reason
+  return static_cast<int>(v);  // NOLINT(bugprone-narrowing-conversions)
+}
+
+int WidenReasonNoName(long v) {
+  // LINT-EXPECT: prefdb-nolint-reason
+  return static_cast<int>(v);  // NOLINT: the callers clamp v
+}

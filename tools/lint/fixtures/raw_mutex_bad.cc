@@ -1,0 +1,28 @@
+// prefdb-lint: pretend-path=src/engine/fixture.cc
+// Negative fixture: prefdb-raw-mutex must fire on the bare lock/unlock
+// pair and on a direct guard over the Engine mutex. An exception between
+// .lock() and .unlock() leaks the mutex, and guards that bypass
+// Engine::Lock() leave the contention counters lying.
+
+#include <mutex>
+
+class Counter {
+ public:
+  void Add(int n) {
+    // LINT-EXPECT: prefdb-raw-mutex
+    mu_.lock();
+    total_ += n;
+    // LINT-EXPECT: prefdb-raw-mutex
+    mu_.unlock();
+  }
+
+  int Snapshot() {
+    // LINT-EXPECT: prefdb-raw-mutex
+    std::unique_lock<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};

@@ -1,0 +1,23 @@
+// prefdb-lint: pretend-path=src/server/fixture.cc
+// Negative fixture: prefdb-raw-syscall-server must fire on each raw
+// transfer syscall. Outside wire_io.cc a bare read/write/accept/send/recv
+// reintroduces the EINTR/short-transfer hazards the helpers exist to
+// contain.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+long ReadSome(int fd, char* buf, unsigned long len) {
+  // LINT-EXPECT: prefdb-raw-syscall-server
+  return read(fd, buf, len);
+}
+
+long SendSome(int fd, const char* buf, unsigned long len) {
+  // LINT-EXPECT: prefdb-raw-syscall-server
+  return send(fd, buf, len, 0);
+}
+
+int AcceptOne(int listen_fd) {
+  // LINT-EXPECT: prefdb-raw-syscall-server
+  return accept(listen_fd, nullptr, nullptr);
+}

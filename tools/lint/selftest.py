@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Self-test for prefdb_lint: every rule must fire where its negative
+fixture says so, and nowhere else; the clean fixtures must be spotless.
+
+Expectations are inline annotations in the fixtures —
+
+    // LINT-EXPECT: <rule>
+
+means "the next line must produce exactly this rule". Any finding
+without a matching expectation, or expectation without a finding, fails.
+Registered as the `lint_selftest` ctest entry so a rule regression (in
+either the AST or the fallback engine) cannot land silently.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+LINTER = HERE / "prefdb_lint.py"
+
+EXPECT_RE = re.compile(r"LINT-EXPECT:\s*([\w-]+)")
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([\w-]+)\]")
+
+
+def expectations(fixture: Path):
+    """(line, rule) pairs; the annotation names the next line."""
+    expected = set()
+    for line_no, text in enumerate(fixture.read_text().splitlines(), 1):
+        m = EXPECT_RE.search(text)
+        if m:
+            expected.add((line_no + 1, m.group(1)))
+    return expected
+
+
+def run_linter(fixture: Path, engine: str):
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--engine", engine, "--root", str(HERE),
+         str(fixture)],
+        capture_output=True, text=True)
+    found = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            found.add((int(m.group(2)), m.group(3)))
+    return proc.returncode, found
+
+
+def main() -> int:
+    engines = ["fallback"]
+    # Probe through the linter's own loader (it handles the distro's
+    # versioned libclang names), not a bare import.
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "import sys; sys.path.insert(0, sys.argv[1]); "
+         "import prefdb_lint; sys.exit(0 if prefdb_lint.ensure_libclang() else 1)",
+         str(HERE)],
+        capture_output=True)
+    if probe.returncode == 0:
+        engines.append("clang")
+
+    failures = []
+    fixtures = sorted(FIXTURES.glob("*.cc"))
+    if not fixtures:
+        print("lint_selftest: no fixtures found", file=sys.stderr)
+        return 2
+    rules_covered = set()
+    for fixture in fixtures:
+        expected = expectations(fixture)
+        rules_covered.update(rule for _, rule in expected)
+        for engine in engines:
+            code, found = run_linter(fixture, engine)
+            label = f"{fixture.name} [{engine}]"
+            if expected and code != 1:
+                failures.append(f"{label}: expected exit 1, got {code}")
+            if not expected and code != 0:
+                failures.append(f"{label}: clean fixture, expected exit 0, "
+                                f"got {code}: {sorted(found)}")
+            for miss in sorted(expected - found):
+                failures.append(f"{label}: line {miss[0]} should flag "
+                                f"{miss[1]} but did not")
+            for extra in sorted(found - expected):
+                failures.append(f"{label}: unexpected finding {extra[1]} "
+                                f"at line {extra[0]}")
+
+    # Every shipped rule needs a negative fixture: a rule nobody can
+    # regress-test is a rule that can rot.
+    lint_source = LINTER.read_text()
+    all_rules = set(re.findall(r'"(prefdb-[\w-]+)"', lint_source))
+    for rule in sorted(all_rules - rules_covered):
+        failures.append(f"rule {rule} has no LINT-EXPECT fixture coverage")
+
+    if failures:
+        print("lint_selftest FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"lint_selftest: {len(fixtures)} fixtures x {engines} ok; "
+          f"{len(rules_covered)} rules covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
