@@ -31,6 +31,23 @@ void CheckRows(const std::string& payload) {
   }
 }
 
+void CheckDelta(const std::string& payload) {
+  auto parsed = prefdb::server::ParseDelta(payload);
+  if (!parsed) return;
+  // Round-trip: a parsed delta must re-serialize to a payload that
+  // parses back to the same shape (the server pushes exactly this).
+  std::string wire = prefdb::server::SerializeDelta(
+      parsed->subscription, parsed->enters.schema(), parsed->version,
+      parsed->resync, parsed->enters.tuples(), parsed->exits.tuples());
+  auto reparsed = prefdb::server::ParseDelta(wire);
+  if (!reparsed) __builtin_trap();
+  if (reparsed->subscription != parsed->subscription) __builtin_trap();
+  if (reparsed->version != parsed->version) __builtin_trap();
+  if (reparsed->resync != parsed->resync) __builtin_trap();
+  if (reparsed->enters.size() != parsed->enters.size()) __builtin_trap();
+  if (reparsed->exits.size() != parsed->exits.size()) __builtin_trap();
+}
+
 void CheckResult(const std::string& payload) {
   auto parsed = prefdb::server::ParseResult(payload);
   if (!parsed) return;
@@ -59,5 +76,6 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string payload(reinterpret_cast<const char*>(data), size);
   CheckRows(payload);
   CheckResult(payload);
+  CheckDelta(payload);
   return 0;
 }

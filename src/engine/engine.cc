@@ -15,6 +15,7 @@
 #include "exec/parallel_bmo.h"
 #include "exec/score_table.h"
 #include "exec/thread_pool.h"
+#include "psql/error.h"
 #include "psql/translator.h"
 
 namespace prefdb {
@@ -74,6 +75,10 @@ struct Exec {
   // Decomposition path: materialized WHERE result for the relation-level
   // cascade evaluator (null otherwise).
   std::shared_ptr<const Relation> filtered;
+  // IVM-refreshed entry (subscribed statements): filtered_rows IS the
+  // maintained result set, so execution is pure row materialization —
+  // no kernel work. Written by Engine::RefreshViewExec on mutation.
+  bool ivm = false;
   // Ranked path (§6.2): bound utility + deterministic group order.
   bool ranked = false;
   ScoreFn utility;
@@ -410,7 +415,10 @@ psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec) {
   const bool subset = exec.use_row_subset;
   const size_t pool_size = subset ? exec.filtered_rows.size() : table.size();
 
-  if (exec.ranked) {
+  if (exec.ivm) {
+    // Maintained view: the result row set is already known exactly.
+    current = table.SelectRows(exec.filtered_rows);
+  } else if (exec.ranked) {
     // WHERE and BUT ONLY were folded into the candidate pool at compile.
     std::vector<size_t> rows;
     if (!stmt.grouping.empty()) {
@@ -599,10 +607,39 @@ Engine::Engine(const psql::Catalog& catalog, EngineOptions options)
   exec_cache_.set_capacity(options_.exec_cache_capacity);
 }
 
+Engine::~Engine() {
+  // Wake every blocked subscriber before members tear down; handles that
+  // still exist see closed() and drain.
+  std::vector<std::shared_ptr<ivm::SubscriptionState>> to_close;
+  {
+    auto lock = Lock();
+    for (auto& [table, slots] : views_) {
+      for (auto& slot : slots) {
+        for (auto& [id, state] : slot->subs) to_close.push_back(state);
+      }
+    }
+    views_.clear();
+  }
+  for (auto& state : to_close) state->Close();
+}
+
 void Engine::RegisterTable(const std::string& name, Relation relation) {
-  auto lock = Lock();
-  catalog_.Register(name, std::move(relation));
-  InvalidateTable(name);
+  // Wholesale replacement has no incremental delta (the schema may even
+  // change): subscriptions on the table end here.
+  std::vector<std::shared_ptr<ivm::SubscriptionState>> to_close;
+  {
+    auto lock = Lock();
+    catalog_.Register(name, std::move(relation));
+    InvalidateTable(name);
+    auto it = views_.find(name);
+    if (it != views_.end()) {
+      for (auto& slot : it->second) {
+        for (auto& [id, state] : slot->subs) to_close.push_back(state);
+      }
+      views_.erase(it);
+    }
+  }
+  for (auto& state : to_close) state->Close();
 }
 
 void Engine::Insert(const std::string& name, Tuple row) {
@@ -645,7 +682,51 @@ void Engine::Insert(const std::string& name, Tuple row) {
           std::make_shared<const TableStats>(entry.builder->Snapshot());
       stats_cache_[name] = std::move(entry);
     }
+    // Maintained views: one batch-kernel pass against each view's
+    // antichain, delta fan-out, and the exec-cache refresh — all inside
+    // this critical section, so subscribers observe the same mutation
+    // order the versions record. The new row's table index is the old
+    // snapshot's size (Add appends).
+    NotifyViewsInsert(name, row, snapshot->size(), new_version);
     return;
+  }
+}
+
+size_t Engine::Delete(const std::string& name,
+                      const std::function<bool(const Tuple&)>& pred) {
+  // Same copy-on-write discipline as Insert: partition + survivor copy
+  // run outside the engine mutex; a version check before the swap
+  // restarts when another mutation won the race.
+  for (;;) {
+    std::shared_ptr<const Relation> snapshot;
+    uint64_t version = 0;
+    {
+      auto lock = Lock();
+      snapshot = catalog_.GetShared(name);  // throws when unknown
+      version = catalog_.Version(name);
+    }
+    std::vector<size_t> deleted;
+    std::vector<size_t> survivors;
+    survivors.reserve(snapshot->size());
+    for (size_t i = 0; i < snapshot->size(); ++i) {
+      if (!pred || pred(snapshot->at(i))) {
+        deleted.push_back(i);
+      } else {
+        survivors.push_back(i);
+      }
+    }
+    if (deleted.empty()) return 0;  // nothing matched: no version bump
+    Relation next = snapshot->SelectRows(survivors);
+    auto lock = Lock();
+    if (catalog_.Version(name) != version) continue;  // raced; redo the scan
+    catalog_.Register(name, std::move(next));
+    const uint64_t new_version = catalog_.Version(name);
+    // Row removal cannot roll TableStats forward (distinct/null counters
+    // are additive only): InvalidateTable drops the entry and the next
+    // Stats() call rescans.
+    InvalidateTable(name);
+    NotifyViewsDelete(name, deleted, new_version);
+    return deleted.size();
   }
 }
 
@@ -822,6 +903,7 @@ psql::QueryResult Engine::RunWithStats(const engine_internal::Plan& plan,
                                        const BmoOptions& options,
                                        psql::QueryStats stats,
                                        std::chrono::steady_clock::time_point t0) {
+  if (plan.stmt.is_delete) return RunDelete(plan, std::move(stats), t0);
   std::shared_ptr<const Exec> exec = GetOrBuildExec(plan, options, &stats);
   Clock::time_point t1 = Clock::now();
   psql::QueryResult result = ExecuteExec(plan, *exec);
@@ -843,6 +925,33 @@ psql::QueryResult Engine::RunWithStats(const engine_internal::Plan& plan,
       result.plan_details += line;
     }
   }
+  return result;
+}
+
+psql::QueryResult Engine::RunDelete(const engine_internal::Plan& plan,
+                                    psql::QueryStats stats,
+                                    std::chrono::steady_clock::time_point t0) {
+  const psql::SelectStatement& stmt = plan.stmt;
+  std::function<bool(const Tuple&)> pred;
+  if (stmt.where) {
+    // Compile against the current schema; DELETE has no cached exec (the
+    // predicate is cheap next to the survivor copy).
+    pred = psql::CompileCondition(*stmt.where, Snapshot(stmt.table)->schema());
+  }
+  Clock::time_point t1 = Clock::now();
+  const size_t removed = Delete(stmt.table, pred);
+  Clock::time_point t2 = Clock::now();
+  psql::QueryResult result;
+  Relation rel{Schema{{"deleted", ValueType::kInt}}};
+  rel.Add(Tuple{Value(static_cast<int64_t>(removed))});
+  result.relation = std::move(rel);
+  result.plan = "delete(" + stmt.table + ")" +
+                (stmt.where ? " -> where[" + stmt.where->ToString() + "]"
+                            : std::string()) +
+                " -> removed " + std::to_string(removed);
+  stats.execute_ns = ElapsedNs(t1, t2);
+  stats.total_ns = ElapsedNs(t0, t2);
+  result.stats = stats;
   return result;
 }
 
@@ -1003,6 +1112,286 @@ void Engine::ClearCaches() {
   plan_cache_.Clear();
   exec_cache_.Clear();
   stats_cache_.clear();
+}
+
+// --- subscriptions / incremental view maintenance
+
+Engine::Subscription Engine::Subscribe(const std::string& sql) {
+  return Subscribe(sql, options_.bmo);
+}
+
+Engine::Subscription Engine::Subscribe(const std::string& sql,
+                                       const BmoOptions& options,
+                                       size_t max_pending_deltas) {
+  psql::QueryStats ignored;
+  auto plan = GetOrBuildPlan(sql, &ignored);
+  const psql::SelectStatement& stmt = plan->stmt;
+  // The maintainable fragment: plain BMO over full rows. Everything else
+  // has no incremental story yet — reject loudly instead of silently
+  // recomputing.
+  if (stmt.is_delete) {
+    throw psql::BadArgumentError("cannot subscribe to DELETE");
+  }
+  if (!plan->preference) {
+    throw psql::BadArgumentError("subscriptions require a PREFERRING clause");
+  }
+  if (stmt.ranked) {
+    throw psql::BadArgumentError(
+        "subscriptions do not support ranked (TOP k) statements");
+  }
+  if (stmt.explain) {
+    throw psql::BadArgumentError("cannot subscribe to EXPLAIN");
+  }
+  if (!stmt.grouping.empty()) {
+    throw psql::BadArgumentError("subscriptions do not support GROUPING");
+  }
+  if (stmt.but_only) {
+    throw psql::BadArgumentError("subscriptions do not support BUT ONLY");
+  }
+  if (stmt.limit > 0) {
+    throw psql::BadArgumentError("subscriptions do not support LIMIT");
+  }
+  if (!stmt.select_list.empty()) {
+    throw psql::BadArgumentError(
+        "subscriptions deliver full rows; use SELECT *");
+  }
+  const size_t max_pending = max_pending_deltas != 0
+                                 ? max_pending_deltas
+                                 : options_.max_pending_deltas;
+  const std::string prefix = plan->key + "|" + OptionsSignature(options);
+  // Copy-on-write style retry: seed the view outside the lock against a
+  // snapshot, install it only if the table version has not moved.
+  for (;;) {
+    std::shared_ptr<const Relation> snapshot;
+    uint64_t version = 0;
+    {
+      auto lock = Lock();
+      snapshot = catalog_.GetShared(stmt.table);  // throws when unknown
+      version = catalog_.Version(stmt.table);
+      for (auto& slot : views_[stmt.table]) {
+        if (slot->exec_key_prefix == prefix) {
+          return AttachSubscriber(*slot, max_pending);
+        }
+      }
+    }
+    std::function<bool(const Tuple&)> where;
+    if (stmt.where) {
+      where = psql::CompileCondition(*stmt.where, snapshot->schema());
+    }
+    auto view = std::make_shared<ivm::MaintainedView>(
+        plan->preference, std::move(where), *snapshot, version, options);
+    auto lock = Lock();
+    if (catalog_.Version(stmt.table) != version) continue;  // raced; reseed
+    auto slot = std::make_shared<ViewSlot>();
+    slot->view = std::move(view);
+    slot->plan = plan;
+    slot->options = options;
+    slot->exec_key_prefix = prefix;
+    views_[stmt.table].push_back(slot);
+    RefreshViewExec(*slot, version);
+    return AttachSubscriber(*slot, max_pending);
+  }
+}
+
+Engine::Subscription Engine::AttachSubscriber(ViewSlot& slot,
+                                              size_t max_pending) {
+  auto state = std::make_shared<ivm::SubscriptionState>(
+      slot.view->schema(), slot.plan->stmt.table,
+      slot.plan->preference->ToString(), max_pending);
+  const uint64_t id = next_subscription_id_++;
+  slot.subs.emplace_back(id, state);
+  // Bootstrap snapshot in the same critical section that registered the
+  // subscriber: every later delta applies to exactly this state. TryPush
+  // (not PushResync) so coalesced_resyncs() counts only real overflows;
+  // it cannot fail — the queue is empty and max_pending >= 1.
+  state->TryPush(slot.view->Resync());
+  return Subscription(this, id, std::move(state));
+}
+
+void Engine::Unsubscribe(uint64_t id) {
+  std::shared_ptr<ivm::SubscriptionState> to_close;
+  {
+    auto lock = Lock();
+    for (auto it = views_.begin(); it != views_.end(); ++it) {
+      auto& slots = it->second;
+      for (size_t s = 0; s < slots.size(); ++s) {
+        auto& subs = slots[s]->subs;
+        for (size_t i = 0; i < subs.size(); ++i) {
+          if (subs[i].first != id) continue;
+          to_close = std::move(subs[i].second);
+          subs.erase(subs.begin() + static_cast<ptrdiff_t>(i));
+          if (subs.empty()) {
+            // The view dies with its last subscriber; the next mutation
+            // falls back to plain invalidation.
+            slots.erase(slots.begin() + static_cast<ptrdiff_t>(s));
+            if (slots.empty()) views_.erase(it);
+          }
+          break;
+        }
+        // Break before either loop re-reads `slots` or advances `it`:
+        // the erase above may have freed both the slot vector and the
+        // map node behind them.
+        if (to_close) break;
+      }
+      if (to_close) break;
+    }
+  }
+  if (to_close) to_close->Close();
+}
+
+size_t Engine::SubscriptionCount() const {
+  auto lock = Lock();
+  size_t n = 0;
+  for (const auto& [table, slots] : views_) {
+    for (const auto& slot : slots) n += slot->subs.size();
+  }
+  return n;
+}
+
+ViewMaintenanceStats Engine::SubscriptionViewStats(uint64_t id) const {
+  auto lock = Lock();
+  for (const auto& [table, slots] : views_) {
+    for (const auto& slot : slots) {
+      for (const auto& [sid, state] : slot->subs) {
+        if (sid == id) return slot->view->maintenance_stats();
+      }
+    }
+  }
+  return {};
+}
+
+void Engine::NotifyViewsInsert(const std::string& name, const Tuple& row,
+                               size_t table_row, uint64_t new_version) {
+  auto it = views_.find(name);
+  if (it == views_.end()) return;
+  for (auto& slot : it->second) {
+    ivm::ViewDelta delta =
+        slot->view->ApplyInsert(row, table_row, new_version);
+    RefreshViewExec(*slot, new_version);
+    DeliverDelta(*slot, delta);
+  }
+}
+
+void Engine::NotifyViewsDelete(const std::string& name,
+                               const std::vector<size_t>& deleted_rows,
+                               uint64_t new_version) {
+  auto it = views_.find(name);
+  if (it == views_.end()) return;
+  for (auto& slot : it->second) {
+    ivm::ViewDelta delta = slot->view->ApplyDelete(deleted_rows, new_version);
+    RefreshViewExec(*slot, new_version);
+    DeliverDelta(*slot, delta);
+  }
+}
+
+void Engine::DeliverDelta(ViewSlot& slot, const ivm::ViewDelta& delta) {
+  if (delta.Empty()) return;
+  for (auto& [id, state] : slot.subs) {
+    if (!state->TryPush(delta)) {
+      // Slow subscriber: coalesce its backlog into one resync snapshot.
+      state->PushResync(slot.view->Resync());
+    }
+  }
+}
+
+void Engine::RefreshViewExec(const ViewSlot& slot, uint64_t version) {
+  if (!options_.enable_exec_cache) return;
+  // The view already knows the exact result row set for the new version:
+  // replace the entry InvalidateTable just dropped instead of leaving the
+  // next Execute() to recompute from scratch.
+  auto exec = std::make_shared<Exec>();
+  const std::string& table = slot.plan->stmt.table;
+  exec->table_name = table;
+  exec->version = version;
+  exec->snapshot = catalog_.GetShared(table);
+  exec->use_row_subset = true;
+  exec->filtered_rows = slot.view->MaximaTableRows();
+  exec->ivm = true;
+  exec->exec_pref = slot.plan->preference;
+  exec->preference_term = slot.plan->preference->ToString();
+  exec->kernel_variant = "ivm-delta";
+  exec->plan_prefix =
+      "scan(" + table + ")" +
+      (slot.plan->stmt.where
+           ? " -> where[" + slot.plan->stmt.where->ToString() + "]"
+           : std::string()) +
+      " -> ivm[" + exec->preference_term + "]";
+  const std::string key =
+      slot.exec_key_prefix + "|v" + std::to_string(version);
+  stats_.exec_evictions += exec_cache_.Put(key, std::move(exec));
+  ++stats_.exec_refreshes;
+}
+
+// --- Subscription handle
+
+Engine::Subscription::Subscription(Subscription&& other) noexcept
+    : engine_(other.engine_), id_(other.id_), state_(std::move(other.state_)) {
+  other.engine_ = nullptr;
+  other.id_ = 0;
+}
+
+Engine::Subscription& Engine::Subscription::operator=(
+    Subscription&& other) noexcept {
+  if (this != &other) {
+    Cancel();
+    engine_ = other.engine_;
+    id_ = other.id_;
+    state_ = std::move(other.state_);
+    other.engine_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Engine::Subscription::~Subscription() { Cancel(); }
+
+void Engine::Subscription::Cancel() {
+  if (engine_ != nullptr) {
+    engine_->Unsubscribe(id_);
+    engine_ = nullptr;
+  }
+  // state_ is kept: queued deltas still drain through Poll().
+}
+
+const Schema& Engine::Subscription::schema() const {
+  static const Schema kEmpty;
+  return state_ ? state_->schema() : kEmpty;
+}
+
+const std::string& Engine::Subscription::table() const {
+  static const std::string kEmpty;
+  return state_ ? state_->table() : kEmpty;
+}
+
+const std::string& Engine::Subscription::preference_term() const {
+  static const std::string kEmpty;
+  return state_ ? state_->term() : kEmpty;
+}
+
+std::optional<ivm::ViewDelta> Engine::Subscription::Poll() {
+  return state_ ? state_->Poll() : std::nullopt;
+}
+
+std::optional<ivm::ViewDelta> Engine::Subscription::WaitFor(
+    std::chrono::milliseconds timeout) {
+  return state_ ? state_->WaitFor(timeout) : std::nullopt;
+}
+
+bool Engine::Subscription::closed() const {
+  return state_ ? state_->closed() : true;
+}
+
+size_t Engine::Subscription::pending() const {
+  return state_ ? state_->pending() : 0;
+}
+
+uint64_t Engine::Subscription::coalesced_resyncs() const {
+  return state_ ? state_->coalesced_resyncs() : 0;
+}
+
+ViewMaintenanceStats Engine::Subscription::view_stats() const {
+  return engine_ != nullptr ? engine_->SubscriptionViewStats(id_)
+                            : ViewMaintenanceStats{};
 }
 
 }  // namespace prefdb

@@ -45,6 +45,9 @@
 #include <vector>
 
 #include "eval/bmo.h"
+#include "ivm/delta.h"
+#include "ivm/maintained_view.h"
+#include "ivm/subscription.h"
 #include "psql/catalog.h"
 #include "psql/executor.h"
 #include "psql/parser.h"
@@ -138,6 +141,10 @@ struct EngineOptions {
   /// deployments with open-ended query text should keep this bounded.
   size_t plan_cache_capacity = 512;
   size_t exec_cache_capacity = 256;
+  /// Default per-subscription delta-queue bound (Engine::Subscribe). A
+  /// subscriber that falls this many deltas behind has its backlog
+  /// coalesced into one resync snapshot instead of buffering unboundedly.
+  size_t max_pending_deltas = 64;
 };
 
 class Engine;
@@ -182,14 +189,28 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  /// Closes every live subscription (blocked consumers wake and observe
+  /// closed()). Subscription handles must not outlive the engine.
+  ~Engine();
 
   // --- table management (mutations bump versions and invalidate caches)
 
-  /// Registers (or replaces) a relation and bumps its version.
+  /// Registers (or replaces) a relation and bumps its version. Replacing
+  /// a table wholesale closes any subscriptions on it (there is no
+  /// incremental delta for "everything changed").
   void RegisterTable(const std::string& name, Relation relation);
   /// Appends one row (copy-on-write: O(n) on the relation) and bumps the
-  /// version. Throws std::out_of_range on an unknown table.
+  /// version. Throws std::out_of_range on an unknown table. Registered
+  /// views are maintained and their subscribers receive deltas under the
+  /// same critical section as the version bump.
   void Insert(const std::string& name, Tuple row);
+  /// Removes every row matching `pred` (null = all rows); returns how
+  /// many were removed. Same copy-on-write/version/invalidation contract
+  /// as Insert; a delete that matches nothing leaves version and caches
+  /// untouched. The SQL surface is `DELETE FROM <table> [WHERE cond]`.
+  /// Throws std::out_of_range on an unknown table.
+  size_t Delete(const std::string& name,
+                const std::function<bool(const Tuple&)>& pred);
   bool HasTable(const std::string& name) const;
   /// Current immutable snapshot; throws std::out_of_range when unknown.
   std::shared_ptr<const Relation> Snapshot(const std::string& name) const;
@@ -214,6 +235,86 @@ class Engine {
   psql::QueryResult Execute(const psql::SelectStatement& stmt);
   psql::QueryResult Execute(const psql::SelectStatement& stmt,
                             const BmoOptions& options);
+
+  // --- continuous queries (incremental view maintenance, src/ivm/)
+
+  /// A live continuous preference query: a move-only RAII handle on a
+  /// maintained view's delta stream. The FIRST delta is always a resync
+  /// snapshot of the current result set, taken in the same critical
+  /// section that registered the subscription — every later delta applies
+  /// to exactly the state the stream has already delivered (snapshot
+  /// consistency). Destruction (or Cancel) unsubscribes. A Subscription
+  /// must not outlive its Engine.
+  class Subscription {
+   public:
+    Subscription() = default;
+    Subscription(Subscription&& other) noexcept;
+    Subscription& operator=(Subscription&& other) noexcept;
+    Subscription(const Subscription&) = delete;
+    Subscription& operator=(const Subscription&) = delete;
+    ~Subscription();
+
+    /// Engine-wide unique subscription id (the server's wire handle).
+    uint64_t id() const { return id_; }
+    bool active() const { return state_ != nullptr; }
+
+    /// Row schema of delivered tuples / subscribed table / canonical term.
+    /// Empty when !active().
+    const Schema& schema() const;
+    const std::string& table() const;
+    const std::string& preference_term() const;
+
+    /// Consumes the next queued delta. Poll never blocks; WaitFor blocks
+    /// until a delta arrives, the subscription closes, or the timeout
+    /// elapses (nullopt on the latter two).
+    std::optional<ivm::ViewDelta> Poll();
+    std::optional<ivm::ViewDelta> WaitFor(std::chrono::milliseconds timeout);
+
+    /// True once cancelled, unsubscribed, or the engine shut down
+    /// (queued deltas still drain through Poll).
+    bool closed() const;
+    size_t pending() const;
+    /// Times the engine coalesced this subscriber's backlog into a
+    /// resync because the queue was full.
+    uint64_t coalesced_resyncs() const;
+    /// Lifetime maintenance counters of the underlying view (shared with
+    /// other subscribers of the same statement).
+    ViewMaintenanceStats view_stats() const;
+
+    /// Detaches from the engine; idempotent. The view is torn down with
+    /// its last subscriber.
+    void Cancel();
+
+   private:
+    friend class Engine;
+    Subscription(Engine* engine, uint64_t id,
+                 std::shared_ptr<ivm::SubscriptionState> state)
+        : engine_(engine), id_(id), state_(std::move(state)) {}
+
+    Engine* engine_ = nullptr;
+    uint64_t id_ = 0;
+    std::shared_ptr<ivm::SubscriptionState> state_;
+  };
+
+  /// Subscribes to a BMO statement (`SELECT * FROM t [WHERE ...]
+  /// PREFERRING ...`): seeds a maintained view (shared with other
+  /// subscribers of the same statement + options), registers the
+  /// subscriber, and delivers the bootstrap resync. Insert/Delete then
+  /// maintain the view incrementally instead of recomputing, and the
+  /// statement's exec-cache entry is refreshed from the view on every
+  /// mutation instead of being invalidated. Throws psql::BadArgumentError
+  /// for statements outside the maintainable fragment (ranked / EXPLAIN /
+  /// GROUPING / BUT ONLY / LIMIT / projections / no PREFERRING), and
+  /// std::out_of_range on an unknown table. `max_pending_deltas` bounds
+  /// this subscriber's queue (0 = EngineOptions default).
+  Subscription Subscribe(const std::string& sql);
+  Subscription Subscribe(const std::string& sql, const BmoOptions& options,
+                         size_t max_pending_deltas = 0);
+  /// Ends subscription `id`; no-op when unknown. Its state closes and
+  /// the view is dropped with its last subscriber.
+  void Unsubscribe(uint64_t id);
+  /// Live subscriptions across all tables.
+  size_t SubscriptionCount() const;
 
   // --- programmatic preference queries (the repository layer's path)
 
@@ -258,6 +359,10 @@ class Engine {
     /// QueryResult.stats).
     size_t plan_evictions = 0;
     size_t exec_evictions = 0;
+    /// Exec entries for subscribed statements refreshed in place from
+    /// their maintained view on mutation — each one is an invalidation
+    /// the delta path turned into a warm hit.
+    size_t exec_refreshes = 0;
     /// Engine-mutex acquisitions, and how many of them had to block
     /// behind another thread — the serving layer's contention signal.
     /// The mutex only guards the catalog map and cache indexes (never
@@ -302,6 +407,38 @@ class Engine {
       const std::string& table, const PrefPtr& preference, bool ranked,
       size_t top_k);
 
+  /// DELETE FROM routing target of RunWithStats: runs Engine::Delete and
+  /// shapes the removed-count result relation.
+  psql::QueryResult RunDelete(const engine_internal::Plan& plan,
+                              psql::QueryStats stats,
+                              std::chrono::steady_clock::time_point start);
+
+  /// One maintained view plus its subscribers; shared by every
+  /// subscription to the same (statement, options signature).
+  struct ViewSlot {
+    std::shared_ptr<ivm::MaintainedView> view;
+    std::shared_ptr<const engine_internal::Plan> plan;
+    BmoOptions options;
+    /// plan key + options signature — the exec-cache key prefix the
+    /// refresh path writes under.
+    std::string exec_key_prefix;
+    std::vector<std::pair<uint64_t, std::shared_ptr<ivm::SubscriptionState>>>
+        subs;
+  };
+
+  /// All called with mu_ held: view maintenance, delta fan-out, and the
+  /// exec-cache refresh run inside the mutation's critical section — the
+  /// delta stream and the version bump are atomic to observers.
+  void NotifyViewsInsert(const std::string& name, const Tuple& row,
+                         size_t table_row, uint64_t new_version);
+  void NotifyViewsDelete(const std::string& name,
+                         const std::vector<size_t>& deleted_rows,
+                         uint64_t new_version);
+  void DeliverDelta(ViewSlot& slot, const ivm::ViewDelta& delta);
+  void RefreshViewExec(const ViewSlot& slot, uint64_t version);
+  Subscription AttachSubscriber(ViewSlot& slot, size_t max_pending);
+  ViewMaintenanceStats SubscriptionViewStats(uint64_t id) const;
+
   /// Incrementally maintained per-table statistics (guarded by mu_; the
   /// builder's hash sets make Insert-time maintenance O(columns)).
   struct StatsEntry {
@@ -324,6 +461,10 @@ class Engine {
   engine_internal::LruMap<engine_internal::Exec> exec_cache_;
   std::unordered_map<std::string, StatsEntry> stats_cache_;
   CacheStats stats_;
+  /// Registered maintained views by table (guarded by mu_).
+  std::unordered_map<std::string, std::vector<std::shared_ptr<ViewSlot>>>
+      views_;
+  uint64_t next_subscription_id_ = 1;
 };
 
 /// Collapses insignificant whitespace and comments (outside string

@@ -424,7 +424,17 @@ std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
       std::vector<std::vector<double>> scores(count);
       for (size_t i = 0; i < count; ++i) {
         scores[i].reserve(fns.size());
-        for (const auto& f : fns) scores[i].push_back(f(values[i]));
+        for (const auto& f : fns) {
+          double v = f(values[i]);
+          if (std::isnan(v)) {
+            // NaN scores break the recursion's sort comparator (UB) and
+            // compare false against everything, so score dominance no
+            // longer coincides with Def. 8 — degrade to the BNL window,
+            // same contract as MaximaSortFilterRange's key guard.
+            return MaximaBnlRange(values, count, p->Bind(proj_schema));
+          }
+          scores[i].push_back(v);
+        }
       }
       return MaximaDivideConquer(scores);
     }

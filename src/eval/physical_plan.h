@@ -136,6 +136,22 @@ struct CostConstants {
   static const CostConstants& Get();
 };
 
+/// Estimated cost of one incremental view-maintenance pass
+/// (ivm/maintained_view.h): a batch-kernel dominance pass of `batch`
+/// touched rows (the inserted row, or the witness orphans of a delete)
+/// against an antichain of `window` rows, plus witness re-assignment for
+/// the dominated remainder. Scales with the *touched* set, not the table.
+double EstimateViewMaintenanceNs(size_t window, size_t batch,
+                                 const CostConstants& c = CostConstants::Get());
+
+/// Estimated cost of reseeding the view from scratch instead: a full
+/// maxima pass over all `rows` live candidates (window `window`). Delete
+/// maintenance compares this against EstimateViewMaintenanceNs and takes
+/// the cheaper path — when most witnesses die at once, orphan maintenance
+/// degenerates to exactly this scan and reseeding is honest about it.
+double EstimateViewReseedNs(size_t rows, size_t window,
+                            const CostConstants& c = CostConstants::Get());
+
 }  // namespace prefdb
 
 #endif  // PREFDB_EVAL_PHYSICAL_PLAN_H_

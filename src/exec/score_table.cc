@@ -582,6 +582,14 @@ bool ScoreTable::Less(size_t x, size_t y) const {
   return false;
 }
 
+size_t ScoreTable::FindDominator(size_t x,
+                                 const std::vector<size_t>& rows) const {
+  for (size_t r : rows) {
+    if (r != x && Less(x, r)) return r;
+  }
+  return static_cast<size_t>(-1);
+}
+
 bool ScoreTable::CanDivideConquer() const {
   if (prog_.mode != simd::DominanceProgram::Mode::kFlatPareto) return false;
   for (uint8_t u : prog_.use_ids) {

@@ -80,6 +80,12 @@ class ScoreTable {
   /// agrees with the closure p->Bind(proj_schema) on the block.
   bool Less(size_t x, size_t y) const;
 
+  /// First row in `rows` that dominates x ("x <P row"), or SIZE_MAX when
+  /// none does — the IVM layer's witness probe (ivm/maintained_view.h):
+  /// a dominated row records one live dominator so deletes only re-scan
+  /// rows whose witness died.
+  size_t FindDominator(size_t x, const std::vector<size_t>& rows) const;
+
   /// True when the KLP75 divide & conquer kernel is exact on this block:
   /// flat Pareto descriptor and every column injective (score ties imply
   /// equal values), so Def. 8 dominance equals coordinatewise score

@@ -1,0 +1,136 @@
+// Incrementally maintained BMO result sets ("continuous preference
+// queries"): the maxima antichain of σ[P](R) kept current under row
+// inserts and deletes instead of recomputed.
+//
+// Kießling's BNL window is already an antichain maintained under
+// *insertion*: a new row either loses against some window member (and is
+// discarded) or enters and evicts the members it dominates. Deletion is
+// what needs extra bookkeeping — "was this dominated row only dominated
+// by rows that are now gone?" — and the classic answer is a *defeated-by
+// witness*: every dominated candidate records ONE live row that dominates
+// it. Because dominance is transitive over a finite set, a row is
+// non-maximal iff some antichain member dominates it, and a witness stays
+// valid as long as it is alive (even after the witness itself leaves the
+// antichain). A delete therefore only re-examines the rows whose witness
+// died ("orphans"); surviving maxima provably stay maximal, so the new
+// antichain is the maxima of (surviving antichain ∪ orphans).
+//
+// Dominance passes reuse the compiled execution layer: when the term
+// compiles, each pass builds a ScoreTable over the touched projections
+// (antichain + batch — NOT the whole table) and runs the SIMD batch
+// kernels; non-compilable terms fall back to the bound closure order.
+// When most witnesses die at once, orphan maintenance degenerates into a
+// full scan — the cost model (EstimateViewMaintenanceNs vs
+// EstimateViewReseedNs, eval/physical_plan.h) prices both and the view
+// reseeds from scratch when that is cheaper.
+//
+// Every mutation returns a ViewDelta (enter/exit row sets). The view is
+// not internally synchronized: the Engine serializes all calls under its
+// catalog lock, which is what makes delta streams snapshot-consistent.
+
+#ifndef PREFDB_IVM_MAINTAINED_VIEW_H_
+#define PREFDB_IVM_MAINTAINED_VIEW_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/preference.h"
+#include "eval/bmo.h"
+#include "eval/physical_plan.h"
+#include "exec/score_table.h"
+#include "ivm/delta.h"
+#include "relation/relation.h"
+#include "stats/stats.h"
+
+namespace prefdb::ivm {
+
+class MaintainedView {
+ public:
+  /// Seeds the view from `snapshot` at table version `version`. `where`
+  /// (nullable) is the query's hard selection; only passing rows are
+  /// candidates. Throws std::out_of_range when a preference attribute
+  /// does not resolve in the snapshot's schema.
+  MaintainedView(PrefPtr preference, std::function<bool(const Tuple&)> where,
+                 const Relation& snapshot, uint64_t version,
+                 const BmoOptions& options = {});
+
+  /// One appended table row (table index = old table size). O(window)
+  /// batch-kernel pass against the antichain.
+  ViewDelta ApplyInsert(const Tuple& row, size_t table_row,
+                        uint64_t new_version);
+
+  /// Deleted pre-delete table row indices, sorted ascending. Re-examines
+  /// only witness orphans (or reseeds when the cost model says a full
+  /// pass is cheaper).
+  ViewDelta ApplyDelete(const std::vector<size_t>& deleted_table_rows,
+                        uint64_t new_version);
+
+  /// Full-state delta: resync=true, enters = current result rows. The
+  /// bootstrap delta of every subscription and the coalesced recovery
+  /// pushed to subscribers that overflow their queue.
+  ViewDelta Resync() const;
+
+  /// Table version the view state reflects.
+  uint64_t version() const { return version_; }
+  /// Candidate rows mirrored (WHERE survivors), and current maxima count.
+  size_t candidates() const { return cands_.size(); }
+  size_t antichain_size() const { return antichain_.size(); }
+  /// Current result rows, in table order.
+  std::vector<Tuple> MaximaRows() const;
+  /// Current-table row indices of the result, ascending — the engine's
+  /// exec-cache refresh path serves subscribed queries from these.
+  std::vector<size_t> MaximaTableRows() const;
+  const Schema& schema() const { return table_schema_; }
+  const ViewMaintenanceStats& maintenance_stats() const { return mstats_; }
+
+ private:
+  static constexpr size_t kMaximal = static_cast<size_t>(-1);
+
+  struct Candidate {
+    Tuple row;         // full table row (result rows are served from here)
+    Tuple proj;        // projection onto the preference's attributes
+    size_t table_row;  // index in the *current* table snapshot
+    size_t witness;    // kMaximal, or index of a live dominating candidate
+  };
+
+  void Seed(const Relation& snapshot);
+  /// Rebuilds antichain + witnesses with a full pass over all live
+  /// candidates.
+  void Reseed();
+  /// Maximal flags over the candidate subset (projections), through the
+  /// compiled batch kernels when the term compiles, else the closure
+  /// order. Returned flags align with `subset`; `table_out` (nullable)
+  /// receives the compiled block for follow-up witness probes.
+  std::vector<bool> MaximaOf(const std::vector<size_t>& subset,
+                             std::optional<ScoreTable>* table_out) const;
+  /// Witness bookkeeping for every subset member: flagged rows become
+  /// kMaximal, dominated rows record one flagged dominator (transitivity
+  /// guarantees one exists among the subset's maxima).
+  void AssignWitnesses(const std::vector<size_t>& subset,
+                       const std::vector<bool>& flags,
+                       const std::optional<ScoreTable>& table);
+  /// Erases dead candidates and remaps witness indices + antichain_ (and
+  /// `aux`, a per-candidate marker vector, when non-null) onto the
+  /// compacted numbering. All witnesses must be live on entry.
+  void Compact(const std::vector<char>& dead, std::vector<char>* aux);
+
+  PrefPtr pref_;
+  Schema table_schema_;
+  Schema proj_schema_;
+  std::vector<size_t> proj_cols_;
+  std::function<bool(const Tuple&)> where_;
+  LessFn less_;             // closure order over projections (always exact)
+  bool compilable_ = false; // ScoreTable::CompilableTerm(pref_)
+  PhysicalPlan plan_;       // kernel knobs for the compiled passes
+
+  uint64_t version_ = 0;
+  std::vector<Candidate> cands_;   // ascending table_row
+  std::vector<size_t> antichain_;  // maximal candidate indices, ascending
+  ViewMaintenanceStats mstats_;
+};
+
+}  // namespace prefdb::ivm
+
+#endif  // PREFDB_IVM_MAINTAINED_VIEW_H_

@@ -32,6 +32,7 @@
 #include "exec/score_table.h"
 #include "exec/simd/dominance.h"
 #include "exec/thread_pool.h"
+#include "ivm/maintained_view.h"
 #include "stats/stats.h"
 #include "mining/miner.h"
 #include "psql/catalog.h"

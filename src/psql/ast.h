@@ -76,6 +76,10 @@ using QualityConditionPtr = std::shared_ptr<QualityCondition>;
 
 /// A full SELECT statement.
 struct SelectStatement {
+  /// `DELETE FROM <table> [WHERE cond]`: a mutation statement sharing this
+  /// AST (only `table` and `where` are meaningful). The engine routes it to
+  /// Engine::Delete instead of the query pipeline.
+  bool is_delete = false;
   /// EXPLAIN prefix: report the optimizer's plan alongside the result.
   bool explain = false;
   /// Ranked (k-best) output model of §6.2: `SELECT TOP k ...` / `SELECT

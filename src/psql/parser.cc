@@ -23,6 +23,22 @@ class Parser {
 
   SelectStatement ParseStatement() {
     SelectStatement stmt;
+    if (AcceptKeyword("DELETE")) {
+      // DELETE FROM <table> [WHERE cond]: reuses the statement AST; every
+      // other clause stays at its default and the engine routes on
+      // is_delete before the query pipeline.
+      stmt.is_delete = true;
+      ExpectKeyword("FROM");
+      stmt.table = ExpectIdentifier("table name");
+      if (AcceptKeyword("WHERE")) stmt.where = ParseCondition();
+      AcceptSymbol(";");
+      if (!Cur().Is(TokenType::kEnd)) {
+        throw SyntaxError(
+            "trailing input after statement: '" + Cur().text + "'",
+            Cur().position);
+      }
+      return stmt;
+    }
     if (AcceptKeyword("EXPLAIN")) stmt.explain = true;
     ExpectKeyword("SELECT");
     if (AcceptKeyword("TOP")) {
@@ -552,6 +568,11 @@ std::string QualityCondition::ToString() const {
 }
 
 std::string SelectStatement::ToString() const {
+  if (is_delete) {
+    std::string out = "DELETE FROM " + table;
+    if (where) out += " WHERE " + where->ToString();
+    return out;
+  }
   std::string out = explain ? "EXPLAIN SELECT " : "SELECT ";
   if (ranked) {
     out += top_k > 0 ? "TOP " + std::to_string(top_k) + " " : "RANKED ";

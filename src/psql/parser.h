@@ -1,7 +1,8 @@
 // Recursive-descent parser for Preference SQL.
 //
 // Grammar (keywords case-insensitive):
-//   statement  := SELECT [TOP number | RANKED] select_list FROM ident
+//   statement  := DELETE FROM ident [WHERE cond] [';']
+//              |  SELECT [TOP number | RANKED] select_list FROM ident
 //                 [WHERE cond] [PREFERRING pref (CASCADE pref)*]
 //                 [BUT ONLY qcond] [LIMIT number] [';']
 //                 -- TOP k / RANKED switch to the §6.2 ranked (k-best)

@@ -19,12 +19,16 @@ namespace prefdb::server {
 
 Client::~Client() { Close(); }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), pending_deltas_(std::move(other.pending_deltas_)) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    pending_deltas_ = std::move(other.pending_deltas_);
     other.fd_ = -1;
   }
   return *this;
@@ -78,6 +82,14 @@ Frame Client::ReadResponse() {
 ClientResponse Client::Request(const Frame& frame) {
   SendRawBytes(EncodeFrame(frame));
   Frame reply = ReadResponse();
+  // Server-initiated pushes may interleave with the response we are
+  // waiting for; stash them (arrival order) and keep reading.
+  while (reply.type == FrameType::kDelta) {
+    auto delta = ParseDelta(reply.payload);
+    if (!delta) throw psql::ProtocolError("malformed delta frame");
+    pending_deltas_.push_back(std::move(*delta));
+    reply = ReadResponse();
+  }
   ClientResponse response;
   switch (reply.type) {
     case FrameType::kResult: {
@@ -137,6 +149,29 @@ ClientResponse Client::Insert(const std::string& table, const Tuple& row) {
   std::string payload = table + "\n";
   EncodeRow(row, &payload);
   return Request(Frame{FrameType::kInsert, std::move(payload)});
+}
+
+ClientResponse Client::Subscribe(const std::string& sql) {
+  return Request(Frame{FrameType::kSubscribe, sql});
+}
+
+std::optional<WireDelta> Client::ReadDelta(uint64_t timeout_ms) {
+  if (!pending_deltas_.empty()) {
+    WireDelta delta = std::move(pending_deltas_.front());
+    pending_deltas_.pop_front();
+    return delta;
+  }
+  if (fd_ < 0) throw psql::ServerError("not connected");
+  if (!WaitReadable(fd_, timeout_ms)) return std::nullopt;
+  Frame frame = ReadResponse();
+  if (frame.type != FrameType::kDelta) {
+    // Nothing is in flight when ReadDelta touches the socket, so any
+    // non-push frame here is a protocol violation.
+    throw psql::ProtocolError("expected a delta frame");
+  }
+  auto delta = ParseDelta(frame.payload);
+  if (!delta) throw psql::ProtocolError("malformed delta frame");
+  return delta;
 }
 
 ClientResponse Client::Ping() {

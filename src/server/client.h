@@ -8,6 +8,8 @@
 #define PREFDB_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,19 @@ class Client {
   ClientResponse Set(const std::string& name, const std::string& value);
   /// Appends one row to a table.
   ClientResponse Insert(const std::string& table, const Tuple& row);
+  /// Opens a continuous query (`SELECT * FROM t [WHERE ...] PREFERRING
+  /// ...`); `handle` in the response is the subscription id stamped on
+  /// every kDelta push. The first delta is a resync snapshot of the
+  /// current result.
+  ClientResponse Subscribe(const std::string& sql);
+  /// Consumes the next delta push (any subscription of this session):
+  /// stashed frames first, else waits up to `timeout_ms` for one on the
+  /// wire. nullopt on timeout; throws on transport error or a malformed
+  /// frame.
+  std::optional<WireDelta> ReadDelta(uint64_t timeout_ms);
+  /// Deltas stashed by interleaved request/response traffic, readable
+  /// without touching the socket.
+  size_t stashed_deltas() const { return pending_deltas_.size(); }
   ClientResponse Ping();
   /// Polite close: tells the server, waits for the ack, closes the fd.
   ClientResponse Goodbye();
@@ -75,6 +90,9 @@ class Client {
   ClientResponse Request(const Frame& frame);
 
   int fd_ = -1;
+  /// kDelta frames that arrived while a request was waiting for its
+  /// response (the server pushes asynchronously); drained by ReadDelta.
+  std::deque<WireDelta> pending_deltas_;
 };
 
 }  // namespace prefdb::server

@@ -249,4 +249,103 @@ std::optional<WireResult> ParseResult(const std::string& payload) {
   return result;
 }
 
+namespace {
+
+std::string EncodeSchemaLine(const Schema& schema) {
+  std::string out = "schema ";
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += schema.at(i).name;
+    out.push_back(':');
+    out += ValueTypeName(schema.at(i).type);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::optional<uint64_t> ParseCount(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(v);
+}
+
+/// Reads "<label> <count>\n" + that many encoded rows. Shares the guards
+/// of ParseResult: count checked against remaining payload bytes BEFORE
+/// reserve (every row costs >= 1 byte), arity checked per row.
+std::optional<std::vector<Tuple>> ParseRowBlock(const std::string& payload,
+                                                size_t* pos,
+                                                const char* label,
+                                                size_t arity) {
+  auto line = TakeLine(payload, pos, label);
+  if (!line) return std::nullopt;
+  auto count = ParseCount(*line);
+  if (!count || *count > payload.size() - *pos) return std::nullopt;
+  std::vector<Tuple> rows;
+  rows.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto row = DecodeRow(payload, pos);
+    if (!row || row->size() != arity) return std::nullopt;
+    rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string SerializeDelta(uint64_t subscription, const Schema& schema,
+                           uint64_t version, bool resync,
+                           const std::vector<Tuple>& enters,
+                           const std::vector<Tuple>& exits) {
+  std::string out = "subscription " + std::to_string(subscription) + "\n";
+  out += "version " + std::to_string(version) + "\n";
+  out += "resync " + std::string(resync ? "1" : "0") + "\n";
+  out += EncodeSchemaLine(schema);
+  out += "enters " + std::to_string(enters.size()) + "\n";
+  for (const Tuple& row : enters) EncodeRow(row, &out);
+  out += "exits " + std::to_string(exits.size()) + "\n";
+  for (const Tuple& row : exits) EncodeRow(row, &out);
+  return out;
+}
+
+std::optional<WireDelta> ParseDelta(const std::string& payload) {
+  size_t pos = 0;
+  auto sub_line = TakeLine(payload, &pos, "subscription ");
+  auto version_line = TakeLine(payload, &pos, "version ");
+  auto resync_line = TakeLine(payload, &pos, "resync ");
+  auto schema_line = TakeLine(payload, &pos, "schema ");
+  if (!sub_line || !version_line || !resync_line || !schema_line) {
+    return std::nullopt;
+  }
+  WireDelta delta;
+  auto sub = ParseCount(*sub_line);
+  auto version = ParseCount(*version_line);
+  if (!sub || !version) return std::nullopt;
+  delta.subscription = *sub;
+  delta.version = *version;
+  if (*resync_line == "1") {
+    delta.resync = true;
+  } else if (*resync_line != "0") {
+    return std::nullopt;
+  }
+  std::vector<Attribute> attrs;
+  for (const std::string& part : SplitCommas(*schema_line)) {
+    size_t colon = part.rfind(':');
+    if (colon == std::string::npos) return std::nullopt;
+    auto type = ParseTypeName(part.substr(colon + 1));
+    if (!type) return std::nullopt;
+    attrs.push_back(Attribute{part.substr(0, colon), *type});
+  }
+  auto enters = ParseRowBlock(payload, &pos, "enters ", attrs.size());
+  if (!enters) return std::nullopt;
+  auto exits = ParseRowBlock(payload, &pos, "exits ", attrs.size());
+  if (!exits) return std::nullopt;
+  if (pos != payload.size()) return std::nullopt;
+  Schema schema(std::move(attrs));
+  delta.enters = Relation(schema, std::move(*enters));
+  delta.exits = Relation(std::move(schema), std::move(*exits));
+  return delta;
+}
+
 }  // namespace prefdb::server

@@ -51,6 +51,14 @@ enum class FrameType : uint8_t {
   kInsert = 'I',
   /// Payload: empty. Response: kOk ("pong"). Liveness probe.
   kPing = 'G',
+  /// Payload: Preference SQL text of a BMO statement. Response: kHandle
+  /// (decimal subscription id) or kError — followed by server-initiated
+  /// kDelta pushes. The ONE exception to strict request/response: after a
+  /// successful subscribe, kDelta frames for that id may arrive
+  /// interleaved before any response frame (each one is whole; the
+  /// framing keeps the stream self-delimiting). The first delta is
+  /// always a resync snapshot of the current result.
+  kSubscribe = 'U',
   /// Payload: empty. The server acknowledges with kOk and closes the
   /// session.
   kGoodbye = 'X',
@@ -64,6 +72,8 @@ enum class FrameType : uint8_t {
   kHandle = 'H',
   /// Payload: psql::SerializeError(...).
   kError = 'E',
+  /// Server-initiated push: SerializeDelta(...) for one subscription.
+  kDelta = 'D',
 };
 
 struct Frame {
@@ -121,6 +131,37 @@ struct WireResult {
 
 /// Inverse of SerializeResult; nullopt on malformed input.
 std::optional<WireResult> ParseResult(const std::string& payload);
+
+/// One kDelta payload: a maintained view's result-set change, addressed
+/// to a subscription. resync=true means "discard your state, `enters` IS
+/// the full current result" (the bootstrap delta, and the coalesced
+/// recovery after the subscriber overflowed its server-side queue).
+///
+///   subscription <decimal id>\n
+///   version <decimal table version>\n
+///   resync <0|1>\n
+///   schema <name>:<TYPE>(,<name>:<TYPE>)*\n      ("schema \n" if empty)
+///   enters <decimal count>\n
+///   <count> encoded rows
+///   exits <decimal count>\n
+///   <count> encoded rows
+struct WireDelta {
+  uint64_t subscription = 0;
+  uint64_t version = 0;
+  bool resync = false;
+  Relation enters;
+  Relation exits;
+};
+
+/// Renders one delta push. `schema` is the subscribed table's row schema
+/// (enters/exits rows are full table rows).
+std::string SerializeDelta(uint64_t subscription, const Schema& schema,
+                           uint64_t version, bool resync,
+                           const std::vector<Tuple>& enters,
+                           const std::vector<Tuple>& exits);
+
+/// Inverse of SerializeDelta; nullopt on malformed input.
+std::optional<WireDelta> ParseDelta(const std::string& payload);
 
 }  // namespace prefdb::server
 

@@ -112,6 +112,11 @@ struct SessionCtx {
   int fd = -1;
   std::thread thread;
   std::atomic<bool> finished{false};
+  /// Serializes all frame writes on `fd`: responses from the session
+  /// thread and kDelta pushes from pusher threads must not interleave.
+  std::mutex write_mu;
+  /// Set at session teardown; tells pusher threads to stop waiting.
+  std::atomic<bool> closing{false};
 };
 
 }  // namespace
@@ -143,6 +148,8 @@ struct Server::Impl {
   std::atomic<uint64_t> queries_timeout_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> peak_queue_depth_{0};
+  std::atomic<uint64_t> subscriptions_opened_{0};
+  std::atomic<uint64_t> deltas_pushed_{0};
 
   Impl(Engine* engine_in, ServerOptions options_in)
       : engine(engine_in), options(std::move(options_in)) {}
@@ -160,12 +167,21 @@ struct Server::Impl {
     }
   }
 
-  /// Builds, admits and awaits one query job; writes the response frame.
-  /// `body` runs on a worker thread and must be self-contained (it owns
-  /// copies of everything it touches).
-  void ExecuteAdmitted(int fd, std::function<psql::QueryResult()> body,
+  /// Builds, admits and awaits one query job; writes the response frame
+  /// under the session's write mutex. `body` runs on a worker thread and
+  /// must be self-contained (it owns copies of everything it touches).
+  void ExecuteAdmitted(SessionCtx* ctx, std::function<psql::QueryResult()> body,
                        const std::string& sql_for_errors,
                        uint64_t timeout_ms);
+
+  /// One per subscription: drains the engine-side delta queue into
+  /// kDelta frames until the subscription closes or the session ends.
+  void PusherLoop(SessionCtx* ctx, Engine::Subscription* sub);
+
+  void WriteLocked(SessionCtx* ctx, const Frame& frame) {
+    std::lock_guard<std::mutex> lock(ctx->write_mu);
+    WriteFrame(ctx->fd, frame);
+  }
 };
 
 void Server::Impl::Start() {
@@ -325,7 +341,30 @@ void Server::Impl::WorkerLoop() {
   }
 }
 
-void Server::Impl::ExecuteAdmitted(int fd,
+void Server::Impl::PusherLoop(SessionCtx* ctx, Engine::Subscription* sub) {
+  for (;;) {
+    if (options.debug_push_delay_ms > 0 && !ctx->closing.load()) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.debug_push_delay_ms));
+    }
+    std::optional<ivm::ViewDelta> delta =
+        sub->WaitFor(std::chrono::milliseconds(250));
+    if (!delta) {
+      // Closed + drained (or just a timeout tick). Check closing last so
+      // a delta queued right before teardown still flushes.
+      if (sub->closed() || ctx->closing.load()) return;
+      continue;
+    }
+    Frame frame{FrameType::kDelta,
+                SerializeDelta(sub->id(), sub->schema(), delta->version,
+                               delta->resync, delta->enters, delta->exits)};
+    std::lock_guard<std::mutex> lock(ctx->write_mu);
+    if (!WriteFrame(ctx->fd, frame)) return;  // client gone; stop pushing
+    deltas_pushed_.fetch_add(1);
+  }
+}
+
+void Server::Impl::ExecuteAdmitted(SessionCtx* ctx,
                                    std::function<psql::QueryResult()> body,
                                    const std::string& sql_for_errors,
                                    uint64_t timeout_ms) {
@@ -351,14 +390,14 @@ void Server::Impl::ExecuteAdmitted(int fd,
   switch (queue_->TryPush(job, &observed_depth)) {
     case JobQueue::PushResult::kFull:
       queries_rejected_overload_.fetch_add(1);
-      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kOverloaded,
-                                "admission queue full (" +
-                                    std::to_string(options.queue_capacity) +
-                                    " queued)"));
+      WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kOverloaded,
+                                  "admission queue full (" +
+                                      std::to_string(options.queue_capacity) +
+                                      " queued)"));
       return;
     case JobQueue::PushResult::kStopping:
-      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kShuttingDown,
-                                "server is shutting down"));
+      WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kShuttingDown,
+                                  "server is shutting down"));
       return;
     case JobQueue::PushResult::kAdmitted:
       break;
@@ -384,7 +423,7 @@ void Server::Impl::ExecuteAdmitted(int fd,
   } else {
     queries_ok_.fetch_add(1);
   }
-  WriteFrame(fd, response);
+  WriteLocked(ctx, response);
 }
 
 namespace {
@@ -392,7 +431,8 @@ namespace {
 /// Applies one "name=value" SET command to the session state. Returns
 /// an error message, or "" on success.
 std::string ApplySessionOption(const std::string& payload, BmoOptions* bmo,
-                               uint64_t* timeout_ms) {
+                               uint64_t* timeout_ms,
+                               size_t* max_pending_deltas) {
   size_t eq = payload.find('=');
   if (eq == std::string::npos) return "expected name=value, got '" + payload + "'";
   std::string name = payload.substr(0, eq);
@@ -416,6 +456,14 @@ std::string ApplySessionOption(const std::string& payload, BmoOptions* bmo,
   }
   if (name == "timeout_ms") {
     return parse_count(timeout_ms) ? "" : "timeout_ms expects a number";
+  }
+  if (name == "max_pending_deltas") {
+    // Applies to subscriptions opened after the SET (a live pusher keeps
+    // the bound it was created with). 0 restores the engine default.
+    uint64_t v = 0;
+    if (!parse_count(&v)) return "max_pending_deltas expects a number";
+    *max_pending_deltas = static_cast<size_t>(v);
+    return "";
   }
   if (name == "vectorize") {
     if (value == "on") bmo->vectorize = true;
@@ -450,8 +498,13 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
   const int fd = ctx->fd;
   BmoOptions bmo = options.session_bmo;
   uint64_t timeout_ms = options.query_timeout_ms;
+  size_t max_pending_deltas = options.max_pending_deltas;
   std::unordered_map<uint64_t, PreparedQuery> handles;
   uint64_t next_handle = 1;
+  // Subscription handles live here (std::list: pusher threads hold
+  // element pointers across push_back); pushers are joined at teardown.
+  std::list<Engine::Subscription> subscriptions;
+  std::vector<std::thread> pushers;
 
   for (;;) {
     Frame request;
@@ -461,31 +514,32 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
     if (status == ReadStatus::kClosed || status == ReadStatus::kError) break;
     if (status == ReadStatus::kOversized) {
       protocol_errors_.fetch_add(1);
-      WriteFrame(fd, ErrorFrame(psql::ErrorCode::kOversized,
-                                "frame of " + std::to_string(oversized_len) +
-                                    " bytes exceeds the " +
-                                    std::to_string(options.max_frame_bytes) +
-                                    "-byte limit"));
+      WriteLocked(ctx,
+                  ErrorFrame(psql::ErrorCode::kOversized,
+                             "frame of " + std::to_string(oversized_len) +
+                                 " bytes exceeds the " +
+                                 std::to_string(options.max_frame_bytes) +
+                                 "-byte limit"));
       break;  // the unread payload cannot be resynchronized cheaply
     }
 
     bool goodbye = false;
     switch (request.type) {
       case FrameType::kPing:
-        WriteFrame(fd, Frame{FrameType::kOk, "pong"});
+        WriteLocked(ctx, Frame{FrameType::kOk, "pong"});
         break;
       case FrameType::kGoodbye:
-        WriteFrame(fd, Frame{FrameType::kOk, "bye"});
+        WriteLocked(ctx, Frame{FrameType::kOk, "bye"});
         goodbye = true;
         break;
       case FrameType::kSet: {
-        std::string err =
-            ApplySessionOption(request.payload, &bmo, &timeout_ms);
+        std::string err = ApplySessionOption(request.payload, &bmo,
+                                             &timeout_ms, &max_pending_deltas);
         if (err.empty()) {
-          WriteFrame(fd, Frame{FrameType::kOk, request.payload});
+          WriteLocked(ctx, Frame{FrameType::kOk, request.payload});
         } else {
           queries_error_.fetch_add(1);
-          WriteFrame(fd, ErrorFrame(psql::ErrorCode::kBadArgument, err));
+          WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kBadArgument, err));
         }
         break;
       }
@@ -494,11 +548,29 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
           PreparedQuery prepared = engine->Prepare(request.payload);
           uint64_t id = next_handle++;
           handles.emplace(id, std::move(prepared));
-          WriteFrame(fd, Frame{FrameType::kHandle, std::to_string(id)});
+          WriteLocked(ctx, Frame{FrameType::kHandle, std::to_string(id)});
         } catch (const std::exception& e) {
           queries_error_.fetch_add(1);
-          WriteFrame(fd,
-                     ErrorFrame(psql::ClassifyException(e, request.payload)));
+          WriteLocked(ctx,
+                      ErrorFrame(psql::ClassifyException(e, request.payload)));
+        }
+        break;
+      }
+      case FrameType::kSubscribe: {
+        try {
+          subscriptions.push_back(
+              engine->Subscribe(request.payload, bmo, max_pending_deltas));
+          Engine::Subscription* sub = &subscriptions.back();
+          subscriptions_opened_.fetch_add(1);
+          // Handle first, then the pusher: the kHandle frame always
+          // precedes the subscription's bootstrap resync delta.
+          WriteLocked(ctx,
+                      Frame{FrameType::kHandle, std::to_string(sub->id())});
+          pushers.emplace_back([this, ctx, sub] { PusherLoop(ctx, sub); });
+        } catch (const std::exception& e) {
+          queries_error_.fetch_add(1);
+          WriteLocked(ctx,
+                      ErrorFrame(psql::ClassifyException(e, request.payload)));
         }
         break;
       }
@@ -507,7 +579,7 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
         std::string sql = request.payload;
         BmoOptions session_bmo = bmo;
         ExecuteAdmitted(
-            fd,
+            ctx,
             [eng, sql, session_bmo] { return eng->Execute(sql, session_bmo); },
             sql, timeout_ms);
         break;
@@ -523,15 +595,15 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
                       : handles.end();
         if (it == handles.end()) {
           queries_error_.fetch_add(1);
-          WriteFrame(fd, ErrorFrame(psql::ErrorCode::kNotFound,
-                                    "no prepared statement with handle '" +
-                                        request.payload + "'"));
+          WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kNotFound,
+                                      "no prepared statement with handle '" +
+                                          request.payload + "'"));
           break;
         }
         PreparedQuery prepared = it->second;
         BmoOptions session_bmo = bmo;
         ExecuteAdmitted(
-            fd, [prepared, session_bmo] { return prepared.Run(session_bmo); },
+            ctx, [prepared, session_bmo] { return prepared.Run(session_bmo); },
             prepared.normalized_sql(), timeout_ms);
         break;
       }
@@ -544,15 +616,15 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
         }
         if (!row || pos != request.payload.size()) {
           protocol_errors_.fetch_add(1);
-          WriteFrame(fd, ErrorFrame(psql::ErrorCode::kProtocol,
-                                    "malformed INSERT payload"));
+          WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kProtocol,
+                                      "malformed INSERT payload"));
           break;
         }
         Engine* eng = engine;
         std::string table = request.payload.substr(0, nl);
         Tuple values = std::move(*row);
         ExecuteAdmitted(
-            fd,
+            ctx,
             [eng, table, values] {
               eng->Insert(table, values);
               psql::QueryResult ack;  // empty result as the acknowledgement
@@ -563,14 +635,22 @@ void Server::Impl::SessionLoop(SessionCtx* ctx) {
       }
       default:
         protocol_errors_.fetch_add(1);
-        WriteFrame(fd, ErrorFrame(psql::ErrorCode::kProtocol,
-                                  std::string("unknown frame type '") +
-                                      static_cast<char>(request.type) + "'"));
+        WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kProtocol,
+                                    std::string("unknown frame type '") +
+                                        static_cast<char>(request.type) + "'"));
         break;
     }
     if (goodbye) break;
   }
 
+  // Teardown order matters: cancel first (closes each subscription's
+  // state, waking its pusher), join the pushers (they flush whatever was
+  // still queued), and only then shut the socket down and mark the
+  // session reapable — the reaper closes fd, which must never race a
+  // pusher's write.
+  ctx->closing.store(true);
+  for (auto& sub : subscriptions) sub.Cancel();
+  for (auto& pusher : pushers) pusher.join();
   shutdown(fd, SHUT_RDWR);
   active_sessions_.fetch_sub(1);
   ctx->finished.store(true);
@@ -601,6 +681,8 @@ ServerStats Server::stats() const {
   out.queries_timeout = impl_->queries_timeout_.load();
   out.protocol_errors = impl_->protocol_errors_.load();
   out.peak_queue_depth = impl_->peak_queue_depth_.load();
+  out.subscriptions_opened = impl_->subscriptions_opened_.load();
+  out.deltas_pushed = impl_->deltas_pushed_.load();
   return out;
 }
 

@@ -21,6 +21,14 @@
 //                   without ever executing, and one that is still
 //                   running at the deadline is answered TIMEOUT while
 //                   the worker's result is discarded on completion.
+//   pusher threads  one per subscription (kSubscribe frame): drains the
+//                   engine-side delta queue and pushes kDelta frames.
+//                   All writes on a session socket serialize through a
+//                   per-session write mutex so pushes never interleave
+//                   with responses. A slow subscriber's backlog is
+//                   coalesced engine-side into one resync snapshot
+//                   (max_pending_deltas), so pushers buffer bounded
+//                   state no matter how far behind the client falls.
 //
 // Reads are snapshot-consistent: a query executes against the relation
 // snapshot its exec-cache entry was compiled for, so INSERT frames racing
@@ -61,6 +69,11 @@ struct ServerOptions {
   /// the connection is closed (the remainder of the stream cannot be
   /// skipped cheaply).
   size_t max_frame_bytes = 1 << 20;
+  /// Per-subscription bound on deltas queued server-side for a slow
+  /// subscriber before the backlog is coalesced into one resync snapshot
+  /// (0 = the engine's EngineOptions::max_pending_deltas default).
+  /// Sessions may override their own via "SET max_pending_deltas=<n>".
+  size_t max_pending_deltas = 0;
   /// Starting BmoOptions for every session. Workers already provide the
   /// serving-side parallelism, so per-query kernels default to one
   /// thread; sessions opt into more via "SET threads=<n>".
@@ -69,6 +82,10 @@ struct ServerOptions {
   /// applied in the worker before the engine call. Lets admission and
   /// timeout paths be exercised deterministically.
   uint64_t debug_execute_delay_ms = 0;
+  /// Test hook: artificial delay (milliseconds) before each pusher-drain
+  /// attempt — simulates a slow subscriber so the engine-side queue
+  /// overflow / coalesced-resync path is exercised deterministically.
+  uint64_t debug_push_delay_ms = 0;
 
   static BmoOptions DefaultSessionBmo() {
     BmoOptions bmo;
@@ -94,6 +111,10 @@ struct ServerStats {
   uint64_t protocol_errors = 0;
   /// High-water mark of the admission queue.
   uint64_t peak_queue_depth = 0;
+  /// Subscriptions accepted (kSubscribe answered with a handle).
+  uint64_t subscriptions_opened = 0;
+  /// kDelta frames pushed to clients (resyncs included).
+  uint64_t deltas_pushed = 0;
 };
 
 /// A running server. Start() spawns the threads; Stop() (or destruction)

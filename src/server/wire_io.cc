@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 
@@ -66,6 +67,18 @@ ReadStatus ReadFrame(int fd, Frame* frame, size_t max_payload_bytes,
 
 bool WriteFrame(int fd, const Frame& frame) {
   return WriteFully(fd, EncodeFrame(frame));
+}
+
+bool WaitReadable(int fd, uint64_t timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    int n = poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (n > 0) return true;   // readable, EOF, or error — caller reads
+    if (n == 0) return false;  // timeout
+    if (errno != EINTR) return true;  // let the read surface the error
+  }
 }
 
 int AcceptClient(int listen_fd) {

@@ -41,6 +41,12 @@ ReadStatus ReadFrame(int fd, Frame* frame, size_t max_payload_bytes,
 /// Encodes and writes one frame; false on transport error.
 bool WriteFrame(int fd, const Frame& frame);
 
+/// Blocks until `fd` is readable or `timeout_ms` elapses (poll-based, so
+/// no partial frame is ever consumed). False on timeout; true when a
+/// read would not block (data, EOF, or socket error — the follow-up
+/// ReadFrame disambiguates).
+bool WaitReadable(int fd, uint64_t timeout_ms);
+
 /// AcceptClient outcomes below 0. The accept loop polls with SO_RCVTIMEO
 /// on the listener, so kRetry is the steady-state "no client yet" result.
 inline constexpr int kAcceptRetry = -1;   // EAGAIN/EWOULDBLOCK/EINTR

@@ -141,6 +141,23 @@ TermStats MeasureTermStats(const ScoreTable& table, const PrefPtr& p,
 /// independent dimensions, clamped to [1, m].
 double WindowClosedForm(size_t m, size_t eff_dims);
 
+/// Lifetime counters of one maintained view (ivm/maintained_view.h):
+/// mutation mix, result-set churn, and how often delete maintenance fell
+/// back to a full reseed. Inputs to EstimateViewMaintenanceNs /
+/// EstimateViewReseedNs (eval/physical_plan.h) and surfaced per
+/// subscription for observability.
+struct ViewMaintenanceStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  /// Rows that entered / left the maintained result set across all
+  /// incremental mutations (resync snapshots are not re-counted).
+  uint64_t enters = 0;
+  uint64_t exits = 0;
+  /// Delete passes where the cost model priced a full reseed below
+  /// witness-orphan maintenance (typically: most witnesses died at once).
+  uint64_t reseeds = 0;
+};
+
 }  // namespace prefdb
 
 #endif  // PREFDB_STATS_STATS_H_

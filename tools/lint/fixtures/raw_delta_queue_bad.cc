@@ -1,0 +1,30 @@
+// prefdb-lint: pretend-path=src/engine/engine.cc
+// Negative fixture for prefdb-raw-delta-queue: engine/server code must
+// not reach into ivm::SubscriptionState's delta deque — every push and
+// drain goes through the API so the bounded-overflow coalescing holds.
+
+#include <cstddef>
+#include <deque>
+
+struct ViewDelta {
+  unsigned version = 0;
+};
+
+struct SubscriptionState {
+  // Even declaring a parallel copy of the queue is a violation.
+  // LINT-EXPECT: prefdb-raw-delta-queue
+  std::deque<ViewDelta> delta_queue_;
+};
+
+void BypassDeliver(SubscriptionState* state, const ViewDelta& delta) {
+  // LINT-EXPECT: prefdb-raw-delta-queue
+  state->delta_queue_.push_back(delta);
+}
+
+std::size_t BypassDrain(SubscriptionState* state) {
+  // LINT-EXPECT: prefdb-raw-delta-queue
+  std::size_t n = state->delta_queue_.size();
+  // LINT-EXPECT: prefdb-raw-delta-queue
+  state->delta_queue_.clear();
+  return n;
+}

@@ -26,6 +26,13 @@ each rule):
       No ==/!= on float/double in kernel/score-table code (src/exec/)
       outside the NaN-guard helpers in exec/float_eq.h, where each
       comparison's NaN contract is spelled out.
+  prefdb-raw-delta-queue
+      No touching a subscription's delta_queue_ outside src/ivm/: the
+      queue's bound, overflow coalescing and close signaling are one
+      invariant owned by ivm::SubscriptionState (TryPush / PushResync /
+      Poll / Close). An engine- or server-side shortcut that pushes or
+      drains the deque directly silently breaks the slow-subscriber
+      resync contract.
   prefdb-nolint-reason
       Every NOLINT must name its check(s) and carry an inline reason:
       "NOLINT(check): reason". All suppressions are counted and listed.
@@ -88,6 +95,7 @@ RULES = (
     "prefdb-raw-syscall-server",
     "prefdb-foreign-throw",
     "prefdb-float-eq",
+    "prefdb-raw-delta-queue",
     "prefdb-nolint-reason",
 )
 
@@ -329,6 +337,26 @@ def in_dir(path: str, prefix: str) -> bool:
     return path.startswith(prefix)
 
 
+def delta_queue_findings(src: SourceFile):
+    """prefdb-raw-delta-queue, shared by both engines: the member name is
+    the syntactic marker (the deque is private to ivm::SubscriptionState,
+    so any spelling of it outside src/ivm/ is a friend-style bypass or a
+    copy of the bookkeeping — both forbidden)."""
+    findings = []
+    path = src.effective_path
+    if in_dir(path, "src/ivm/"):
+        return findings
+    for line_no, text in enumerate(src.lines, 1):
+        for _ in re.finditer(r"\bdelta_queue_\b", text):
+            if not src.is_suppressed("prefdb-raw-delta-queue", line_no):
+                findings.append(Finding(
+                    path, line_no, "prefdb-raw-delta-queue",
+                    "subscription delta queue touched outside src/ivm/; "
+                    "go through ivm::SubscriptionState (TryPush/PushResync/"
+                    "Poll/Close) so the overflow-coalescing contract holds"))
+    return findings
+
+
 def fallback_lint(src: SourceFile):
     findings = []
     path = src.effective_path
@@ -411,6 +439,9 @@ def fallback_lint(src: SourceFile):
                          f"float {m.group(2)} comparison in kernel code; "
                          "route it through a NaN-guard helper "
                          "(exec/float_eq.h)")
+
+    # --- prefdb-raw-delta-queue (whole tree outside src/ivm/)
+    findings.extend(delta_queue_findings(src))
 
     return findings
 
@@ -540,6 +571,10 @@ def clang_lint(src: SourceFile, extra_args):
                     emit(line_no, "prefdb-raw-mutex",
                          "direct guard on the Engine mutex; acquire it via "
                          "Engine::Lock() so the contention counters count it")
+
+    # The delta-queue ownership rule is likewise a member-name marker —
+    # identical in both engines.
+    findings.extend(delta_queue_findings(src))
     return findings
 
 
