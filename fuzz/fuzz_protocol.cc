@@ -66,6 +66,33 @@ void CheckResult(const std::string& payload) {
   }
 }
 
+void CheckTagged(const std::string& payload) {
+  // v2 request-id stripping: never reads past the payload, and a tagged
+  // encode of the stripped remainder reproduces the original body.
+  prefdb::server::Frame frame{prefdb::server::FrameType::kQuery, payload};
+  uint64_t request_id = 0;
+  if (!prefdb::server::DecodeTaggedPayload(&frame, &request_id)) {
+    if (payload.size() >= prefdb::server::kRequestIdBytes) __builtin_trap();
+    return;
+  }
+  std::string wire = prefdb::server::EncodeTaggedFrame(request_id, frame);
+  // Strip the 5-byte header: the body must be the original tagged bytes.
+  if (wire.substr(prefdb::server::kFrameHeaderBytes) != payload) {
+    __builtin_trap();
+  }
+}
+
+void CheckHello(const std::string& payload) {
+  // Version negotiation payloads: an accepted hello must round-trip
+  // through the canonical encoding, and 0 is never a valid version.
+  auto version = prefdb::server::ParseHello(payload);
+  if (!version) return;
+  if (*version == 0) __builtin_trap();
+  auto reparsed =
+      prefdb::server::ParseHello(prefdb::server::EncodeHello(*version));
+  if (!reparsed || *reparsed != *version) __builtin_trap();
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -77,5 +104,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   CheckRows(payload);
   CheckResult(payload);
   CheckDelta(payload);
+  CheckTagged(payload);
+  CheckHello(payload);
   return 0;
 }

@@ -1377,6 +1377,10 @@ std::optional<ivm::ViewDelta> Engine::Subscription::WaitFor(
   return state_ ? state_->WaitFor(timeout) : std::nullopt;
 }
 
+void Engine::Subscription::SetNotifier(std::function<void()> notifier) {
+  if (state_) state_->SetNotifier(std::move(notifier));
+}
+
 bool Engine::Subscription::closed() const {
   return state_ ? state_->closed() : true;
 }

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -269,6 +270,14 @@ class Engine {
     /// elapses (nullopt on the latter two).
     std::optional<ivm::ViewDelta> Poll();
     std::optional<ivm::ViewDelta> WaitFor(std::chrono::milliseconds timeout);
+
+    /// Registers a readiness callback on the underlying delta queue,
+    /// fired after every push and on close — lets an event loop drain
+    /// via Poll() instead of parking a thread in WaitFor. The callback
+    /// runs on the mutating thread (under the engine lock): it must be
+    /// cheap and must not call back into the engine or this handle.
+    /// No-op when !active(); nullptr clears.
+    void SetNotifier(std::function<void()> notifier);
 
     /// True once cancelled, unsubscribed, or the engine shut down
     /// (queued deltas still drain through Poll).

@@ -19,6 +19,7 @@ bool SubscriptionState::TryPush(ViewDelta delta) {
     delta_queue_.push_back(std::move(delta));
   }
   cv_.notify_one();
+  Notify();
   return true;
 }
 
@@ -31,6 +32,7 @@ void SubscriptionState::PushResync(ViewDelta resync) {
     ++coalesced_resyncs_;
   }
   cv_.notify_one();
+  Notify();
 }
 
 void SubscriptionState::Close() {
@@ -39,6 +41,21 @@ void SubscriptionState::Close() {
     closed_ = true;
   }
   cv_.notify_all();
+  Notify();
+}
+
+void SubscriptionState::SetNotifier(std::function<void()> notifier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notifier_ = std::move(notifier);
+}
+
+void SubscriptionState::Notify() {
+  std::function<void()> notifier;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    notifier = notifier_;
+  }
+  if (notifier) notifier();
 }
 
 std::optional<ViewDelta> SubscriptionState::Poll() {

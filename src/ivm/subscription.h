@@ -21,9 +21,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "ivm/delta.h"
 #include "relation/schema.h"
@@ -50,6 +52,15 @@ class SubscriptionState {
   /// report closed. Idempotent.
   void Close();
 
+  /// Registers a readiness callback, invoked after every TryPush,
+  /// PushResync and Close — the hook that lets an event loop drain via
+  /// Poll() instead of parking a thread in WaitFor. The callback runs on
+  /// the producer's thread (typically under the engine lock) outside
+  /// this queue's mutex, so it must be cheap and lock-free toward the
+  /// engine: set a flag, signal an eventfd, nothing more. Pass nullptr
+  /// to clear. Condvar waiters keep working regardless.
+  void SetNotifier(std::function<void()> notifier);
+
   /// Consumer side. Poll never blocks; WaitFor blocks until a delta is
   /// queued, the state closes, or the timeout elapses.
   std::optional<ViewDelta> Poll();
@@ -66,12 +77,17 @@ class SubscriptionState {
   const std::string& term() const { return term_; }
 
  private:
+  /// Copies the notifier under mu_ and invokes it outside (the callback
+  /// may signal an fd; never let it run under the queue mutex).
+  void Notify();
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<ViewDelta> delta_queue_;
   size_t max_pending_;
   bool closed_ = false;
   uint64_t coalesced_resyncs_ = 0;
+  std::function<void()> notifier_;
   const Schema schema_;
   const std::string table_;
   const std::string term_;

@@ -2,24 +2,7 @@
 
 #include <cstdio>
 
-#include "engine/engine.h"
-
 namespace prefdb::psql {
-
-namespace {
-
-// The deprecated free functions are one-shot: a throwaway Engine with the
-// caches off gives exactly the legacy cold-execution behavior. The catalog
-// copy is cheap (relations are shared copy-on-write snapshots).
-EngineOptions OneShot(const BmoOptions& options) {
-  EngineOptions engine_options;
-  engine_options.bmo = options;
-  engine_options.enable_plan_cache = false;
-  engine_options.enable_exec_cache = false;
-  return engine_options;
-}
-
-}  // namespace
 
 std::string QueryStats::ToString() const {
   auto ms = [](uint64_t ns) {
@@ -42,18 +25,6 @@ std::string QueryStats::ToString() const {
   }
   if (!kernel.empty()) out += " kernel=" + kernel;
   return out;
-}
-
-QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
-                    const BmoOptions& options) {
-  Engine engine(catalog, OneShot(options));
-  return engine.Execute(stmt, options);
-}
-
-QueryResult ExecuteQuery(const std::string& sql, const Catalog& catalog,
-                         const BmoOptions& options) {
-  Engine engine(catalog, OneShot(options));
-  return engine.Execute(sql, options);
 }
 
 }  // namespace prefdb::psql

@@ -1,16 +1,14 @@
-// Preference SQL query results and the legacy stateless entry points.
+// Preference SQL query results: the value types every execution entry
+// point returns (Engine::Execute, PreparedQuery::Run, the wire protocol's
+// result frames).
 //
 // The execution pipeline itself lives in the stateful engine
 // (engine/engine.h): parse -> hard selection (WHERE) -> BMO preference
 // evaluation (PREFERRING/CASCADE) or ranked retrieval (TOP k / RANKED) ->
-// quality filter (BUT ONLY) -> projection -> LIMIT.
-//
-// DEPRECATED: Execute() / ExecuteQuery() below re-parse, re-translate,
-// re-optimize and re-compile on every call. New code should hold a
-// prefdb::Engine and use Engine::Prepare() / Engine::Execute(), which
-// cache plans and compiled score tables across repeated queries. The free
-// functions remain as thin wrappers over a temporary Engine for one-shot
-// callers and existing tests; CI rejects new uses outside this layer.
+// quality filter (BUT ONLY) -> projection -> LIMIT. The legacy stateless
+// free functions (Execute / ExecuteQuery) that used to live here
+// re-parsed and re-compiled on every call; they have been removed — hold
+// a prefdb::Engine.
 
 #ifndef PREFDB_PSQL_EXECUTOR_H_
 #define PREFDB_PSQL_EXECUTOR_H_
@@ -19,9 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "eval/bmo.h"
 #include "psql/catalog.h"
-#include "psql/parser.h"
 
 namespace prefdb::psql {
 
@@ -71,17 +67,6 @@ struct QueryResult {
   /// Per-phase timing and cache outcomes.
   QueryStats stats;
 };
-
-/// DEPRECATED — executes an already-parsed statement through a temporary
-/// Engine. Prefer prefdb::Engine (engine/engine.h).
-QueryResult Execute(const SelectStatement& stmt, const Catalog& catalog,
-                    const BmoOptions& options = {});
-
-/// DEPRECATED — parses and executes through a temporary Engine. Throws
-/// SyntaxError / std::out_of_range / std::invalid_argument on bad queries.
-/// Prefer prefdb::Engine (engine/engine.h).
-QueryResult ExecuteQuery(const std::string& sql, const Catalog& catalog,
-                         const BmoOptions& options = {});
 
 }  // namespace prefdb::psql
 

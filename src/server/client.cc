@@ -1,6 +1,7 @@
 #include "server/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -17,10 +18,21 @@
 
 namespace prefdb::server {
 
+/// One outstanding request's landing area, shared between the Client's
+/// routing table and every copy of the request's ResponseFuture.
+struct Client::ResponseFuture::Slot {
+  bool done = false;
+  ClientResponse response;
+};
+
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), pending_deltas_(std::move(other.pending_deltas_)) {
+    : fd_(other.fd_),
+      version_(other.version_),
+      next_request_id_(other.next_request_id_),
+      outstanding_(std::move(other.outstanding_)),
+      pending_deltas_(std::move(other.pending_deltas_)) {
   other.fd_ = -1;
 }
 
@@ -28,13 +40,17 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    version_ = other.version_;
+    next_request_id_ = other.next_request_id_;
+    outstanding_ = std::move(other.outstanding_);
     pending_deltas_ = std::move(other.pending_deltas_);
     other.fd_ = -1;
   }
   return *this;
 }
 
-void Client::Connect(const std::string& host, uint16_t port) {
+void Client::Connect(const std::string& host, uint16_t port,
+                     ConnectOptions options) {
   Close();
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw psql::ServerError("socket() failed");
@@ -53,6 +69,30 @@ void Client::Connect(const std::string& host, uint16_t port) {
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  version_ = kProtocolV1;
+  next_request_id_ = 1;
+  if (options.protocol_version >= kProtocolV2) {
+    // Handshake: offer our version, adopt the server's pick. Both hello
+    // frames are untagged by definition.
+    SendRawBytes(EncodeFrame(
+        Frame{FrameType::kHello, EncodeHello(options.protocol_version)}));
+    Frame reply;
+    if (ReadFrame(fd_, &reply, UINT32_MAX) != ReadStatus::kOk) {
+      Close();
+      throw psql::ServerError("connection closed during version handshake");
+    }
+    if (reply.type != FrameType::kHello) {
+      Close();
+      throw psql::ProtocolError("expected a hello response");
+    }
+    std::optional<uint32_t> negotiated = ParseHello(reply.payload);
+    if (!negotiated || *negotiated > options.protocol_version) {
+      Close();
+      throw psql::ProtocolError("malformed hello response");
+    }
+    version_ = *negotiated;
+  }
 }
 
 void Client::Close() {
@@ -60,6 +100,8 @@ void Client::Close() {
     close(fd_);
     fd_ = -1;
   }
+  outstanding_.clear();
+  version_ = kProtocolV1;
 }
 
 void Client::SendRawBytes(const std::string& bytes) {
@@ -76,20 +118,86 @@ Frame Client::ReadResponse() {
     Close();
     throw psql::ServerError("connection closed by server");
   }
+  if (version_ >= kProtocolV2 && frame.type != FrameType::kHello) {
+    uint64_t request_id = 0;
+    if (!DecodeTaggedPayload(&frame, &request_id)) {
+      throw psql::ProtocolError("v2 response shorter than its request id");
+    }
+  }
   return frame;
 }
 
-ClientResponse Client::Request(const Frame& frame) {
-  SendRawBytes(EncodeFrame(frame));
-  Frame reply = ReadResponse();
-  // Server-initiated pushes may interleave with the response we are
-  // waiting for; stash them (arrival order) and keep reading.
-  while (reply.type == FrameType::kDelta) {
-    auto delta = ParseDelta(reply.payload);
+Client::ResponseFuture Client::Send(const Frame& frame) {
+  if (fd_ < 0) throw psql::ServerError("not connected");
+  if (version_ < kProtocolV2 && !outstanding_.empty()) {
+    // v1 has no request ids: responses are only attributable when at
+    // most one request is in flight.
+    throw psql::ProtocolError(
+        "protocol v1 allows a single in-flight request");
+  }
+  uint64_t request_id = next_request_id_++;
+  std::string wire = version_ >= kProtocolV2
+                         ? EncodeTaggedFrame(request_id, frame)
+                         : EncodeFrame(frame);
+  auto slot = std::make_shared<ResponseFuture::Slot>();
+  outstanding_.emplace(request_id, slot);
+  try {
+    SendRawBytes(wire);
+  } catch (...) {
+    outstanding_.erase(request_id);
+    throw;
+  }
+  return ResponseFuture(this, request_id, std::move(slot));
+}
+
+uint64_t Client::PumpOne() {
+  if (fd_ < 0) throw psql::ServerError("not connected");
+  Frame frame;
+  ReadStatus status = ReadFrame(fd_, &frame, UINT32_MAX);
+  if (status != ReadStatus::kOk) {
+    Close();
+    throw psql::ServerError("connection closed by server");
+  }
+  uint64_t request_id = 0;
+  if (version_ >= kProtocolV2 &&
+      !DecodeTaggedPayload(&frame, &request_id)) {
+    throw psql::ProtocolError("v2 response shorter than its request id");
+  }
+  if (frame.type == FrameType::kDelta) {
+    // Pushes are tagged with their kSubscribe's id, which is not an
+    // outstanding request; the payload's subscription id is the
+    // client-side correlation key.
+    auto delta = ParseDelta(frame.payload);
     if (!delta) throw psql::ProtocolError("malformed delta frame");
     pending_deltas_.push_back(std::move(*delta));
-    reply = ReadResponse();
+    return request_id;
   }
+  auto it = version_ >= kProtocolV2 ? outstanding_.find(request_id)
+                                    : outstanding_.begin();
+  if (it == outstanding_.end()) {
+    throw psql::ProtocolError("response for an unknown request id");
+  }
+  request_id = it->first;
+  std::shared_ptr<ResponseFuture::Slot> slot = it->second;
+  outstanding_.erase(it);
+  slot->response = ParseResponse(std::move(frame));
+  slot->done = true;
+  return request_id;
+}
+
+ClientResponse Client::ResponseFuture::Get() {
+  if (slot_ == nullptr) {
+    throw psql::ServerError("Get() on a default-constructed future");
+  }
+  while (!slot_->done) client_->PumpOne();
+  return slot_->response;
+}
+
+bool Client::ResponseFuture::ready() const {
+  return slot_ != nullptr && slot_->done;
+}
+
+ClientResponse Client::ParseResponse(Frame reply) {
   ClientResponse response;
   switch (reply.type) {
     case FrameType::kResult: {
@@ -125,63 +233,90 @@ ClientResponse Client::Request(const Frame& frame) {
   }
 }
 
-ClientResponse Client::RoundTrip(const Frame& frame) {
-  return Request(frame);
+Client::ResponseFuture Client::SendQuery(const std::string& sql) {
+  return Send(Frame{FrameType::kQuery, sql});
 }
 
-ClientResponse Client::Query(const std::string& sql) {
-  return Request(Frame{FrameType::kQuery, sql});
+Client::ResponseFuture Client::SendPrepare(const std::string& sql) {
+  return Send(Frame{FrameType::kPrepare, sql});
 }
 
-ClientResponse Client::Prepare(const std::string& sql) {
-  return Request(Frame{FrameType::kPrepare, sql});
+Client::ResponseFuture Client::SendRun(uint64_t handle) {
+  return Send(Frame{FrameType::kRun, std::to_string(handle)});
 }
 
-ClientResponse Client::Run(uint64_t handle) {
-  return Request(Frame{FrameType::kRun, std::to_string(handle)});
+Client::ResponseFuture Client::SendSet(const std::string& name,
+                                       const std::string& value) {
+  return Send(Frame{FrameType::kSet, name + "=" + value});
 }
 
-ClientResponse Client::Set(const std::string& name, const std::string& value) {
-  return Request(Frame{FrameType::kSet, name + "=" + value});
-}
-
-ClientResponse Client::Insert(const std::string& table, const Tuple& row) {
+Client::ResponseFuture Client::SendInsert(const std::string& table,
+                                          const Tuple& row) {
   std::string payload = table + "\n";
   EncodeRow(row, &payload);
-  return Request(Frame{FrameType::kInsert, std::move(payload)});
+  return Send(Frame{FrameType::kInsert, std::move(payload)});
 }
 
-ClientResponse Client::Subscribe(const std::string& sql) {
-  return Request(Frame{FrameType::kSubscribe, sql});
+Client::ResponseFuture Client::SendSubscribe(const std::string& sql) {
+  return Send(Frame{FrameType::kSubscribe, sql});
+}
+
+Client::ResponseFuture Client::SendPing() {
+  return Send(Frame{FrameType::kPing, ""});
+}
+
+void Client::Configure(const SessionOptions& options) {
+  for (const auto& [name, value] : options.Serialize()) {
+    ClientResponse response = Set(name, value);
+    if (!response.ok) {
+      throw psql::ServerError("SET " + name + "=" + value +
+                               " rejected: " + response.error.message);
+    }
+  }
 }
 
 std::optional<WireDelta> Client::ReadDelta(uint64_t timeout_ms) {
-  if (!pending_deltas_.empty()) {
-    WireDelta delta = std::move(pending_deltas_.front());
-    pending_deltas_.pop_front();
-    return delta;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!pending_deltas_.empty()) {
+      WireDelta delta = std::move(pending_deltas_.front());
+      pending_deltas_.pop_front();
+      return delta;
+    }
+    if (fd_ < 0) throw psql::ServerError("not connected");
+    auto now = std::chrono::steady_clock::now();
+    int64_t remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    if (remaining < 0) remaining = 0;
+    if (!WaitReadable(fd_, static_cast<uint64_t>(remaining))) {
+      return std::nullopt;
+    }
+    // May resolve an outstanding future instead of yielding a delta —
+    // loop until a push lands or the deadline passes.
+    if (outstanding_.empty() && pending_deltas_.empty()) {
+      // Nothing pipelined is in flight: the next frame must be a push.
+      Frame frame = ReadResponse();
+      if (frame.type != FrameType::kDelta) {
+        throw psql::ProtocolError("expected a delta frame");
+      }
+      auto delta = ParseDelta(frame.payload);
+      if (!delta) throw psql::ProtocolError("malformed delta frame");
+      return delta;
+    }
+    PumpOne();
   }
-  if (fd_ < 0) throw psql::ServerError("not connected");
-  if (!WaitReadable(fd_, timeout_ms)) return std::nullopt;
-  Frame frame = ReadResponse();
-  if (frame.type != FrameType::kDelta) {
-    // Nothing is in flight when ReadDelta touches the socket, so any
-    // non-push frame here is a protocol violation.
-    throw psql::ProtocolError("expected a delta frame");
-  }
-  auto delta = ParseDelta(frame.payload);
-  if (!delta) throw psql::ProtocolError("malformed delta frame");
-  return delta;
-}
-
-ClientResponse Client::Ping() {
-  return Request(Frame{FrameType::kPing, ""});
 }
 
 ClientResponse Client::Goodbye() {
-  ClientResponse response = Request(Frame{FrameType::kGoodbye, ""});
+  ClientResponse response = Send(Frame{FrameType::kGoodbye, ""}).Get();
   Close();
   return response;
+}
+
+ClientResponse Client::RoundTrip(const Frame& frame) {
+  return Send(frame).Get();
 }
 
 }  // namespace prefdb::server

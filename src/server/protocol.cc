@@ -77,6 +77,47 @@ uint32_t DecodeFrameHeader(const unsigned char header[kFrameHeaderBytes],
   return len;
 }
 
+std::string EncodeTaggedFrame(uint64_t request_id, const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + kRequestIdBytes + frame.payload.size());
+  uint32_t len =
+      static_cast<uint32_t>(kRequestIdBytes + frame.payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>(frame.type));
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((request_id >> shift) & 0xff));
+  }
+  out += frame.payload;
+  return out;
+}
+
+bool DecodeTaggedPayload(Frame* frame, uint64_t* request_id) {
+  if (frame->payload.size() < kRequestIdBytes) return false;
+  uint64_t id = 0;
+  for (size_t i = 0; i < kRequestIdBytes; ++i) {
+    id = (id << 8) | static_cast<unsigned char>(frame->payload[i]);
+  }
+  *request_id = id;
+  frame->payload.erase(0, kRequestIdBytes);
+  return true;
+}
+
+std::string EncodeHello(uint32_t version) { return std::to_string(version); }
+
+std::optional<uint32_t> ParseHello(const std::string& payload) {
+  if (payload.empty() || payload.size() > 9) return std::nullopt;
+  uint32_t version = 0;
+  for (char c : payload) {
+    if (c < '0' || c > '9') return std::nullopt;
+    version = version * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (version == 0) return std::nullopt;
+  return version;
+}
+
 std::string EncodeValue(const Value& value) {
   switch (value.type()) {
     case ValueType::kNull:

@@ -8,8 +8,24 @@
 //
 // Requests carry Preference SQL text or small textual commands; responses
 // carry a serialized QueryResult, an acknowledgement, or a serialized
-// QueryError (psql/error.h). The protocol is strictly request/response per
-// session: a client sends one frame and reads exactly one frame back.
+// QueryError (psql/error.h).
+//
+// Two protocol versions share this outer framing:
+//
+//   v1  strictly request/response per session: a client sends one frame
+//       and reads exactly one frame back (kDelta pushes excepted).
+//   v2  pipelined: the first 8 payload bytes of every frame after the
+//       hello exchange are a big-endian client-assigned request id,
+//       echoed on the response, so many requests can be in flight and
+//       responses may arrive out of order. Server-initiated kDelta
+//       pushes carry the id of the kSubscribe that created them.
+//
+// A connection starts in v1. A client upgrades by making its FIRST frame
+// a kHello ('V') whose payload is its highest supported version in
+// decimal; the server replies with a kHello carrying min(client, server)
+// and both sides switch to that version. Clients that never send a hello
+// stay on v1 — the compat shim that keeps old clients and the committed
+// fuzz corpora valid. Hello frames themselves are never id-tagged.
 //
 // Result payloads use a self-delimiting text encoding (SerializeResult /
 // ParseResult) that round-trips Values exactly — including NULLs, negative
@@ -62,6 +78,12 @@ enum class FrameType : uint8_t {
   /// Payload: empty. The server acknowledges with kOk and closes the
   /// session.
   kGoodbye = 'X',
+  /// Version negotiation. Client → server: highest protocol version the
+  /// client speaks, in decimal; must be the FIRST frame on the
+  /// connection (a hello anywhere else is a protocol error). Server →
+  /// client: the negotiated version, min(client, kProtocolV2). Hello
+  /// payloads never carry a request id in either direction.
+  kHello = 'V',
 
   // --- responses
   /// Payload: SerializeResult(...).
@@ -91,6 +113,39 @@ std::string EncodeFrame(const Frame& frame);
 /// type. The length is unvalidated — callers enforce their own cap.
 uint32_t DecodeFrameHeader(const unsigned char header[kFrameHeaderBytes],
                            FrameType* type);
+
+// --- protocol v2: request-id tagging and version negotiation ---------------
+
+/// The two wire protocol versions. v2 adds the request-id prefix; the
+/// outer 5-byte framing is identical, so one byte-stream scanner serves
+/// both.
+inline constexpr uint32_t kProtocolV1 = 1;
+inline constexpr uint32_t kProtocolV2 = 2;
+
+/// Size of the big-endian request id that prefixes every v2 frame
+/// payload (hellos excepted).
+inline constexpr size_t kRequestIdBytes = 8;
+
+/// Request id 0 is reserved: requests must use a nonzero id, and the
+/// server tags frame-level faults (oversized frame, missing id prefix)
+/// with 0 because no request can own them.
+inline constexpr uint64_t kNoRequestId = 0;
+
+/// Serializes a v2 frame: header + 8-byte big-endian `request_id` +
+/// payload.
+std::string EncodeTaggedFrame(uint64_t request_id, const Frame& frame);
+
+/// Strips the leading request id from a v2 frame payload in place.
+/// Returns false (frame untouched) when the payload is shorter than the
+/// id prefix — a protocol error on a v2 connection.
+bool DecodeTaggedPayload(Frame* frame, uint64_t* request_id);
+
+/// Renders a kHello payload (decimal version).
+std::string EncodeHello(uint32_t version);
+
+/// Parses a kHello payload; nullopt on malformed input (empty, non-digit,
+/// zero, or > 9 digits).
+std::optional<uint32_t> ParseHello(const std::string& payload);
 
 // --- value / row / result text encoding -----------------------------------
 //

@@ -9,22 +9,24 @@
 #include <cstring>
 #include <deque>
 #include <functional>
-#include <future>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "psql/error.h"
 #include "server/protocol.h"
+#include "server/session_options.h"
 #include "server/wire_io.h"
 
 namespace prefdb::server {
@@ -48,16 +50,29 @@ bool IsTimeoutFrame(const Frame& frame) {
              psql::ErrorCode::kTimeout;
 }
 
-/// One admitted unit of work. The session thread waits on `done`; a
-/// worker fulfills it. `abandoned` is set by a session that hit its
-/// deadline, letting a worker skip (or discard) the execution.
+/// Renders a response for one connection's negotiated version: v2 frames
+/// carry the request id, v1 frames never do.
+std::string EncodeForVersion(uint32_t version, uint64_t request_id,
+                             const Frame& frame) {
+  return version >= kProtocolV2 ? EncodeTaggedFrame(request_id, frame)
+                                : EncodeFrame(frame);
+}
+
+struct Connection;
+
+/// One admitted unit of work, tagged with its completion route. A worker
+/// produces the response frame and hands it back by (connection,
+/// request_id); `abandoned` is set when the request was already answered
+/// (deadline) or the connection died, letting the worker skip or discard
+/// the execution.
 struct Job {
   std::function<Frame()> work;
-  std::promise<Frame> promise;
-  std::future<Frame> done;
   Clock::time_point deadline{};
   bool has_deadline = false;
+  uint64_t timeout_ms = 0;
   std::atomic<bool> abandoned{false};
+  std::shared_ptr<Connection> conn;
+  uint64_t request_id = 0;
 };
 
 /// The bounded admission queue. Push never blocks: a full queue is the
@@ -108,16 +123,59 @@ class JobQueue {
   bool stopping_ = false;
 };
 
-struct SessionCtx {
+/// Per-connection state. Everything here belongs to the event-loop
+/// thread EXCEPT the block guarded by out_mu (shared with workers) and
+/// deltas_pending (set by subscription notifiers on mutating threads).
+struct Connection {
+  explicit Connection(size_t max_frame_bytes)
+      : assembler(max_frame_bytes) {}
+
+  // --- event-loop-only state
   int fd = -1;
-  std::thread thread;
-  std::atomic<bool> finished{false};
-  /// Serializes all frame writes on `fd`: responses from the session
-  /// thread and kDelta pushes from pusher threads must not interleave.
-  std::mutex write_mu;
-  /// Set at session teardown; tells pusher threads to stop waiting.
-  std::atomic<bool> closing{false};
+  uint64_t id = 0;
+  uint32_t version = kProtocolV1;
+  bool saw_first_frame = false;
+  /// Goodbye acked / stream unframable: stop reading, close once the
+  /// out-buffer flushes.
+  bool draining = false;
+  /// Peer EOF seen: close once in-flight work drains and flushes.
+  bool read_shut = false;
+  bool torn_down = false;
+  bool want_write = false;  // EPOLLOUT armed
+  FrameAssembler assembler;
+  SessionOptions options;
+  std::unordered_map<uint64_t, PreparedQuery> handles;
+  uint64_t next_handle = 1;
+  /// v1 has no wire ids; in-flight jobs get synthetic ones.
+  uint64_t next_internal_id = 1;
+
+  struct Sub {
+    Engine::Subscription handle;
+    /// Echoed on this subscription's kDelta frames (v2 tags pushes with
+    /// the id of the kSubscribe that opened the stream).
+    uint64_t request_id = 0;
+  };
+  std::list<Sub> subscriptions;
+  /// Set by subscription notifiers (mutating threads, under the engine
+  /// lock); cleared by the event loop's delta drain.
+  std::atomic<bool> deltas_pending{false};
+  /// debug_push_delay_ms pacing: no delta drain before this instant.
+  Clock::time_point next_delta_drain{};
+
+  // --- shared with worker threads, guarded by out_mu
+  std::mutex out_mu;
+  /// Torn down: workers drop completions instead of appending.
+  bool closed = false;
+  std::string out_buf;
+  size_t out_off = 0;
+  /// Requests admitted to the worker pool and not yet answered.
+  std::unordered_map<uint64_t, std::shared_ptr<Job>> inflight;
 };
+
+/// epoll_event.data.u64 tags for the two non-connection fds.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeupTag = 1;
+constexpr uint64_t kFirstConnId = 2;
 
 }  // namespace
 
@@ -130,14 +188,22 @@ struct Server::Impl {
   std::atomic<bool> stopping_{false};
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
   uint16_t bound_port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::unique_ptr<JobQueue> queue_;
 
-  std::mutex sessions_mu_;
-  std::list<std::unique_ptr<SessionCtx>> sessions_;
-  std::atomic<size_t> active_sessions_{0};
+  // --- event-loop-only session registry
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = kFirstConnId;
+  bool shutdown_started_ = false;
+
+  /// Connections with fresh worker-completed bytes awaiting a flush;
+  /// workers append ids here and signal the eventfd.
+  std::mutex pending_mu_;
+  std::vector<uint64_t> pending_;
 
   // --- counters (ServerStats snapshot)
   std::atomic<uint64_t> sessions_accepted_{0};
@@ -156,10 +222,42 @@ struct Server::Impl {
 
   void Start();
   void Stop();
-  void AcceptLoop();
+  void EventLoop();
   void WorkerLoop();
-  void SessionLoop(SessionCtx* ctx);
-  void ReapFinishedSessions();
+
+  // --- event-loop internals (loop thread only unless noted)
+  void AcceptReady();
+  void HandleConnEvent(const std::shared_ptr<Connection>& conn,
+                       uint32_t events);
+  void ReadPass(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void AdmitJob(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                std::function<psql::QueryResult()> body,
+                const std::string& sql_for_errors);
+  void HandlePendingSignals();
+  void DrainDeltas(Clock::time_point now);
+  void ExpireDeadlines(Clock::time_point now);
+  int ComputeTimeoutMs(Clock::time_point now);
+  /// Appends one response on the event loop (no signal needed; the loop
+  /// flushes in the same pass).
+  void AppendResponse(const std::shared_ptr<Connection>& conn,
+                      uint64_t request_id, const Frame& frame);
+  enum class FlushResult { kFlushed, kBlocked, kFailed };
+  FlushResult FlushOut(const std::shared_ptr<Connection>& conn);
+  /// Flush + teardown-on-error + close-when-drained, the common tail of
+  /// every event-loop pass over a connection.
+  void FlushAndSettle(const std::shared_ptr<Connection>& conn);
+  void MaybeFinish(const std::shared_ptr<Connection>& conn);
+  /// Cancels subscriptions and abandons in-flight work (goodbye /
+  /// unframable stream): nothing new will be appended after this.
+  void StartDrain(const std::shared_ptr<Connection>& conn);
+  void Teardown(const std::shared_ptr<Connection>& conn);
+
+  /// Worker side: route a completed job's response back to its
+  /// connection. Dropped when the request was already answered or the
+  /// connection is gone.
+  void CompleteJob(const std::shared_ptr<Job>& job, Frame frame);
+
   void NotePeakQueueDepth(uint64_t depth) {
     uint64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
     while (depth > seen && !peak_queue_depth_.compare_exchange_weak(
@@ -167,20 +265,11 @@ struct Server::Impl {
     }
   }
 
-  /// Builds, admits and awaits one query job; writes the response frame
-  /// under the session's write mutex. `body` runs on a worker thread and
-  /// must be self-contained (it owns copies of everything it touches).
-  void ExecuteAdmitted(SessionCtx* ctx, std::function<psql::QueryResult()> body,
-                       const std::string& sql_for_errors,
-                       uint64_t timeout_ms);
-
-  /// One per subscription: drains the engine-side delta queue into
-  /// kDelta frames until the subscription closes or the session ends.
-  void PusherLoop(SessionCtx* ctx, Engine::Subscription* sub);
-
-  void WriteLocked(SessionCtx* ctx, const Frame& frame) {
-    std::lock_guard<std::mutex> lock(ctx->write_mu);
-    WriteFrame(ctx->fd, frame);
+  std::vector<std::shared_ptr<Connection>> SnapshotConns() {
+    std::vector<std::shared_ptr<Connection>> out;
+    out.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) out.push_back(conn);
+    return out;
   }
 };
 
@@ -220,13 +309,29 @@ void Server::Impl::Start() {
   getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   bound_port_ = ntohs(addr.sin_port);
 
-  // A short receive timeout turns the blocking accept() into a poll so
-  // the loop notices stopping_ without signal games.
-  timeval tv{};
-  tv.tv_usec = 50 * 1000;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (!SetNonBlocking(listen_fd_)) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw psql::ServerError("could not set listener non-blocking");
+  }
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = CreateWakeupFd();
+  if (epoll_fd_ < 0 || wakeup_fd_ < 0) {
+    close(listen_fd_);
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wakeup_fd_ >= 0) close(wakeup_fd_);
+    listen_fd_ = epoll_fd_ = wakeup_fd_ = -1;
+    throw psql::ServerError("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered for listener and wakeup
+  ev.data.u64 = kListenerTag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeupTag;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
 
   stopping_.store(false);
+  shutdown_started_ = false;
   queue_ = std::make_unique<JobQueue>(options.queue_capacity);
   size_t workers = options.num_workers != 0
                        ? options.num_workers
@@ -235,7 +340,7 @@ void Server::Impl::Start() {
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { EventLoop(); });
   running_ = true;
 }
 
@@ -246,50 +351,82 @@ void Server::Impl::Stop() {
     running_ = false;
   }
   stopping_.store(true);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  close(listen_fd_);
-  listen_fd_ = -1;
+  SignalWakeup(wakeup_fd_);
+  // The loop finishes the graceful drain: stops accepting, shuts every
+  // connection's read side, flushes every admitted query's response,
+  // then exits once the registry is empty.
+  if (loop_thread_.joinable()) loop_thread_.join();
 
-  // Unblock every session's next read; in-flight requests still finish
-  // and flush their responses (SHUT_RD leaves the write side open).
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto& session : sessions_) shutdown(session->fd, SHUT_RD);
-  }
-  // The accept thread is gone, so only this thread mutates the list now.
-  for (auto& session : sessions_) {
-    if (session->thread.joinable()) session->thread.join();
-    close(session->fd);
-  }
-  sessions_.clear();
-
-  // Sessions have flushed; retire the workers (they drain any abandoned
-  // jobs still queued).
   queue_->Stop();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+
+  if (listen_fd_ >= 0) close(listen_fd_);
+  close(epoll_fd_);
+  close(wakeup_fd_);
+  listen_fd_ = epoll_fd_ = wakeup_fd_ = -1;
 }
 
-void Server::Impl::AcceptLoop() {
-  while (!stopping_.load()) {
-    int fd = AcceptClient(listen_fd_);
-    if (fd < 0) {
-      if (fd == kAcceptRetry) {
-        ReapFinishedSessions();
-        continue;
-      }
-      break;  // listen socket gone
+void Server::Impl::EventLoop() {
+  std::vector<epoll_event> events(128);
+  for (;;) {
+    Clock::time_point now = Clock::now();
+    int timeout_ms = ComputeTimeoutMs(now);
+    int n = epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; unrecoverable
     }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[static_cast<size_t>(i)].data.u64;
+      uint32_t flags = events[static_cast<size_t>(i)].events;
+      if (tag == kListenerTag) {
+        AcceptReady();
+      } else if (tag == kWakeupTag) {
+        DrainWakeup(wakeup_fd_);
+      } else {
+        auto it = conns_.find(tag);
+        if (it != conns_.end()) HandleConnEvent(it->second, flags);
+      }
+    }
+    now = Clock::now();
+    HandlePendingSignals();
+    DrainDeltas(now);
+    ExpireDeadlines(now);
+
+    if (stopping_.load()) {
+      if (!shutdown_started_) {
+        shutdown_started_ = true;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        close(listen_fd_);
+        listen_fd_ = -1;
+        // Shut every read side; in-flight requests still finish and
+        // flush their responses (SHUT_RD leaves the write side open).
+        for (const auto& conn : SnapshotConns()) {
+          shutdown(conn->fd, SHUT_RD);
+          conn->read_shut = true;
+          MaybeFinish(conn);
+        }
+      }
+      if (conns_.empty()) break;
+    }
+  }
+  // Defensive: if the loop broke abnormally, release whatever is left.
+  for (const auto& conn : SnapshotConns()) Teardown(conn);
+}
+
+void Server::Impl::AcceptReady() {
+  for (;;) {
+    int fd = AcceptClient(listen_fd_);
+    if (fd == kAcceptRetry) return;
+    if (fd < 0) return;  // listener gone; the stop path closes it
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    // Linux lets accepted sockets inherit the listener's SO_RCVTIMEO
-    // accept-poll timeout; clear it — sessions may idle indefinitely
-    // between requests (Stop() unblocks them via shutdown(SHUT_RD)).
-    timeval forever{};
-    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &forever, sizeof(forever));
-    ReapFinishedSessions();
-    if (active_sessions_.load() >= options.max_sessions) {
+    if (conns_.size() >= options.max_sessions) {
       sessions_rejected_.fetch_add(1);
+      // Still blocking here (SetNonBlocking comes after admission): a
+      // fresh socket's send buffer always takes this one small frame.
       WriteFrame(fd, ErrorFrame(psql::ErrorCode::kOverloaded,
                                 "session limit reached (" +
                                     std::to_string(options.max_sessions) +
@@ -297,84 +434,297 @@ void Server::Impl::AcceptLoop() {
       close(fd);
       continue;
     }
-    sessions_accepted_.fetch_add(1);
-    active_sessions_.fetch_add(1);
-    auto ctx = std::make_unique<SessionCtx>();
-    ctx->fd = fd;
-    SessionCtx* raw = ctx.get();
-    {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      sessions_.push_back(std::move(ctx));
-    }
-    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
-  }
-}
-
-void Server::Impl::ReapFinishedSessions() {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if ((*it)->finished.load()) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      close((*it)->fd);
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Server::Impl::WorkerLoop() {
-  for (;;) {
-    std::shared_ptr<Job> job = queue_->Pop();
-    if (job == nullptr) return;
-    Frame response;
-    if (job->abandoned.load()) {
-      // The session already answered TIMEOUT; don't burn a kernel run.
-      response = ErrorFrame(psql::ErrorCode::kTimeout, "abandoned");
-    } else if (job->has_deadline && Clock::now() > job->deadline) {
-      response = ErrorFrame(psql::ErrorCode::kTimeout,
-                            "deadline elapsed while queued");
-    } else {
-      response = job->work();
-    }
-    job->promise.set_value(std::move(response));
-  }
-}
-
-void Server::Impl::PusherLoop(SessionCtx* ctx, Engine::Subscription* sub) {
-  for (;;) {
-    if (options.debug_push_delay_ms > 0 && !ctx->closing.load()) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options.debug_push_delay_ms));
-    }
-    std::optional<ivm::ViewDelta> delta =
-        sub->WaitFor(std::chrono::milliseconds(250));
-    if (!delta) {
-      // Closed + drained (or just a timeout tick). Check closing last so
-      // a delta queued right before teardown still flushes.
-      if (sub->closed() || ctx->closing.load()) return;
+    if (!SetNonBlocking(fd)) {
+      close(fd);
       continue;
     }
-    Frame frame{FrameType::kDelta,
-                SerializeDelta(sub->id(), sub->schema(), delta->version,
-                               delta->resync, delta->enters, delta->exits)};
-    std::lock_guard<std::mutex> lock(ctx->write_mu);
-    if (!WriteFrame(ctx->fd, frame)) return;  // client gone; stop pushing
-    deltas_pushed_.fetch_add(1);
+    sessions_accepted_.fetch_add(1);
+    auto conn = std::make_shared<Connection>(options.max_frame_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->options.bmo = options.session_bmo;
+    conn->options.timeout_ms = options.query_timeout_ms;
+    conn->options.max_pending_deltas = options.max_pending_deltas;
+    conns_.emplace(conn->id, conn);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
   }
 }
 
-void Server::Impl::ExecuteAdmitted(SessionCtx* ctx,
-                                   std::function<psql::QueryResult()> body,
-                                   const std::string& sql_for_errors,
-                                   uint64_t timeout_ms) {
+void Server::Impl::HandleConnEvent(const std::shared_ptr<Connection>& conn,
+                                   uint32_t events) {
+  if (conn->torn_down) return;
+  if ((events & EPOLLERR) != 0) {
+    Teardown(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) FlushAndSettle(conn);
+  if (conn->torn_down) return;
+  if ((events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0) ReadPass(conn);
+}
+
+void Server::Impl::ReadPass(const std::shared_ptr<Connection>& conn) {
+  IoStatus status = IoStatus::kWouldBlock;
+  if (!conn->draining && !conn->read_shut) {
+    status = ReadAvailable(conn->fd, &conn->assembler);
+    for (;;) {
+      if (conn->draining || conn->torn_down) break;
+      Frame frame;
+      uint32_t oversized_len = 0;
+      FrameAssembler::Next next = conn->assembler.TryNext(&frame,
+                                                          &oversized_len);
+      if (next == FrameAssembler::Next::kNeedMore) break;
+      if (next == FrameAssembler::Next::kOversized) {
+        protocol_errors_.fetch_add(1);
+        AppendResponse(
+            conn, kNoRequestId,
+            ErrorFrame(psql::ErrorCode::kOversized,
+                       "frame of " + std::to_string(oversized_len) +
+                           " bytes exceeds the " +
+                           std::to_string(options.max_frame_bytes) +
+                           "-byte limit"));
+        StartDrain(conn);  // the unread payload cannot be resynchronized
+        break;
+      }
+      DispatchFrame(conn, std::move(frame));
+    }
+  }
+  if (conn->torn_down) return;
+  if (status == IoStatus::kError) {
+    Teardown(conn);
+    return;
+  }
+  if (status == IoStatus::kClosed) conn->read_shut = true;
+  FlushAndSettle(conn);
+}
+
+void Server::Impl::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                                 Frame frame) {
+  const bool first = !conn->saw_first_frame;
+  conn->saw_first_frame = true;
+
+  if (frame.type == FrameType::kHello) {
+    if (!first) {
+      protocol_errors_.fetch_add(1);
+      AppendResponse(conn, kNoRequestId,
+                     ErrorFrame(psql::ErrorCode::kProtocol,
+                                "hello must be the first frame"));
+      StartDrain(conn);
+      return;
+    }
+    std::optional<uint32_t> requested = ParseHello(frame.payload);
+    if (!requested) {
+      protocol_errors_.fetch_add(1);
+      AppendResponse(conn, kNoRequestId,
+                     ErrorFrame(psql::ErrorCode::kProtocol,
+                                "malformed hello payload"));
+      StartDrain(conn);
+      return;
+    }
+    conn->version = std::min(*requested, kProtocolV2);
+    // The hello response is itself never tagged (the client needs the
+    // negotiated version to know the framing of everything after it).
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->out_buf += EncodeFrame(
+        Frame{FrameType::kHello, EncodeHello(conn->version)});
+    return;
+  }
+
+  uint64_t request_id = kNoRequestId;
+  if (conn->version >= kProtocolV2) {
+    if (!DecodeTaggedPayload(&frame, &request_id)) {
+      protocol_errors_.fetch_add(1);
+      AppendResponse(conn, kNoRequestId,
+                     ErrorFrame(psql::ErrorCode::kProtocol,
+                                "v2 frame shorter than its request id"));
+      StartDrain(conn);
+      return;
+    }
+    if (request_id == kNoRequestId) {
+      protocol_errors_.fetch_add(1);
+      AppendResponse(conn, kNoRequestId,
+                     ErrorFrame(psql::ErrorCode::kProtocol,
+                                "request id must be nonzero"));
+      return;
+    }
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      duplicate = conn->inflight.count(request_id) > 0;
+    }
+    for (const auto& sub : conn->subscriptions) {
+      duplicate = duplicate || sub.request_id == request_id;
+    }
+    if (duplicate) {
+      protocol_errors_.fetch_add(1);
+      AppendResponse(conn, request_id,
+                     ErrorFrame(psql::ErrorCode::kProtocol,
+                                "request id " + std::to_string(request_id) +
+                                    " is already in flight"));
+      return;
+    }
+  } else {
+    request_id = conn->next_internal_id++;
+  }
+
+  switch (frame.type) {
+    case FrameType::kPing:
+      AppendResponse(conn, request_id, Frame{FrameType::kOk, "pong"});
+      break;
+    case FrameType::kGoodbye:
+      AppendResponse(conn, request_id, Frame{FrameType::kOk, "bye"});
+      StartDrain(conn);
+      break;
+    case FrameType::kSet: {
+      std::string err = conn->options.ApplyWire(frame.payload);
+      if (err.empty()) {
+        AppendResponse(conn, request_id,
+                       Frame{FrameType::kOk, frame.payload});
+      } else {
+        queries_error_.fetch_add(1);
+        AppendResponse(conn, request_id,
+                       ErrorFrame(psql::ErrorCode::kBadArgument, err));
+      }
+      break;
+    }
+    case FrameType::kPrepare: {
+      try {
+        PreparedQuery prepared = engine->Prepare(frame.payload);
+        uint64_t id = conn->next_handle++;
+        conn->handles.emplace(id, std::move(prepared));
+        AppendResponse(conn, request_id,
+                       Frame{FrameType::kHandle, std::to_string(id)});
+      } catch (const std::exception& e) {
+        queries_error_.fetch_add(1);
+        AppendResponse(conn, request_id,
+                       ErrorFrame(psql::ClassifyException(e, frame.payload)));
+      }
+      break;
+    }
+    case FrameType::kSubscribe: {
+      try {
+        conn->subscriptions.push_back(Connection::Sub{
+            engine->Subscribe(frame.payload, conn->options.bmo,
+                              conn->options.max_pending_deltas),
+            request_id});
+        Connection::Sub& sub = conn->subscriptions.back();
+        subscriptions_opened_.fetch_add(1);
+        // Handle first, then the notifier: the kHandle frame always
+        // precedes the subscription's bootstrap resync delta (both are
+        // appended by this thread; the bootstrap drains in this pass's
+        // DrainDeltas, after dispatch).
+        AppendResponse(
+            conn, request_id,
+            Frame{FrameType::kHandle, std::to_string(sub.handle.id())});
+        int wakeup_fd = wakeup_fd_;
+        std::shared_ptr<Connection> target = conn;
+        sub.handle.SetNotifier([target, wakeup_fd] {
+          target->deltas_pending.store(true);
+          SignalWakeup(wakeup_fd);
+        });
+        if (options.debug_push_delay_ms > 0) {
+          conn->next_delta_drain =
+              Clock::now() +
+              std::chrono::milliseconds(options.debug_push_delay_ms);
+        }
+        conn->deltas_pending.store(true);  // the bootstrap is queued
+      } catch (const std::exception& e) {
+        queries_error_.fetch_add(1);
+        AppendResponse(conn, request_id,
+                       ErrorFrame(psql::ClassifyException(e, frame.payload)));
+      }
+      break;
+    }
+    case FrameType::kQuery: {
+      Engine* eng = engine;
+      std::string sql = frame.payload;
+      BmoOptions bmo = conn->options.bmo;
+      AdmitJob(
+          conn, request_id,
+          [eng, sql, bmo] { return eng->Execute(sql, bmo); }, sql);
+      break;
+    }
+    case FrameType::kRun: {
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long id = std::strtoull(frame.payload.c_str(), &end, 10);
+      auto it = (errno == 0 && end != frame.payload.c_str() && *end == '\0')
+                    ? conn->handles.find(id)
+                    : conn->handles.end();
+      if (it == conn->handles.end()) {
+        queries_error_.fetch_add(1);
+        AppendResponse(conn, request_id,
+                       ErrorFrame(psql::ErrorCode::kNotFound,
+                                  "no prepared statement with handle '" +
+                                      frame.payload + "'"));
+        break;
+      }
+      PreparedQuery prepared = it->second;
+      BmoOptions bmo = conn->options.bmo;
+      AdmitJob(
+          conn, request_id,
+          [prepared, bmo] { return prepared.Run(bmo); },
+          prepared.normalized_sql());
+      break;
+    }
+    case FrameType::kInsert: {
+      size_t nl = frame.payload.find('\n');
+      std::optional<Tuple> row;
+      size_t pos = nl == std::string::npos ? 0 : nl + 1;
+      if (nl != std::string::npos) {
+        row = DecodeRow(frame.payload, &pos);
+      }
+      if (!row || pos != frame.payload.size()) {
+        protocol_errors_.fetch_add(1);
+        AppendResponse(conn, request_id,
+                       ErrorFrame(psql::ErrorCode::kProtocol,
+                                  "malformed INSERT payload"));
+        break;
+      }
+      Engine* eng = engine;
+      std::string table = frame.payload.substr(0, nl);
+      Tuple values = std::move(*row);
+      AdmitJob(
+          conn, request_id,
+          [eng, table, values] {
+            eng->Insert(table, values);
+            psql::QueryResult ack;  // empty result as the acknowledgement
+            return ack;
+          },
+          "");
+      break;
+    }
+    default:
+      protocol_errors_.fetch_add(1);
+      AppendResponse(conn, request_id,
+                     ErrorFrame(psql::ErrorCode::kProtocol,
+                                std::string("unknown frame type '") +
+                                    static_cast<char>(frame.type) + "'"));
+      break;
+  }
+}
+
+void Server::Impl::AdmitJob(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id,
+                            std::function<psql::QueryResult()> body,
+                            const std::string& sql_for_errors) {
   auto job = std::make_shared<Job>();
-  job->done = job->promise.get_future();
-  if (timeout_ms > 0) {
+  job->conn = conn;
+  job->request_id = request_id;
+  job->timeout_ms = conn->options.timeout_ms;
+  if (job->timeout_ms > 0) {
     job->has_deadline = true;
-    job->deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    job->deadline =
+        Clock::now() + std::chrono::milliseconds(job->timeout_ms);
   }
   uint64_t delay_ms = options.debug_execute_delay_ms;
+  if (!options.debug_delay_substring.empty() &&
+      sql_for_errors.find(options.debug_delay_substring) ==
+          std::string::npos) {
+    delay_ms = 0;
+  }
   job->work = [body = std::move(body), sql_for_errors, delay_ms]() -> Frame {
     if (delay_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
@@ -386,274 +736,289 @@ void Server::Impl::ExecuteAdmitted(SessionCtx* ctx,
     }
   };
 
+  // Register before TryPush: a worker may pop and complete the job
+  // before TryPush even returns, and completion requires the in-flight
+  // entry to route the response.
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->inflight.emplace(request_id, job);
+  }
   uint64_t observed_depth = 0;
   switch (queue_->TryPush(job, &observed_depth)) {
-    case JobQueue::PushResult::kFull:
+    case JobQueue::PushResult::kFull: {
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        conn->inflight.erase(request_id);
+      }
       queries_rejected_overload_.fetch_add(1);
-      WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kOverloaded,
-                                  "admission queue full (" +
-                                      std::to_string(options.queue_capacity) +
-                                      " queued)"));
+      AppendResponse(conn, request_id,
+                     ErrorFrame(psql::ErrorCode::kOverloaded,
+                                "admission queue full (" +
+                                    std::to_string(options.queue_capacity) +
+                                    " queued)"));
       return;
-    case JobQueue::PushResult::kStopping:
-      WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kShuttingDown,
-                                  "server is shutting down"));
+    }
+    case JobQueue::PushResult::kStopping: {
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        conn->inflight.erase(request_id);
+      }
+      AppendResponse(conn, request_id,
+                     ErrorFrame(psql::ErrorCode::kShuttingDown,
+                                "server is shutting down"));
       return;
+    }
     case JobQueue::PushResult::kAdmitted:
       break;
   }
   NotePeakQueueDepth(observed_depth);
-
-  Frame response;
-  if (!job->has_deadline) {
-    response = job->done.get();
-  } else if (job->done.wait_until(job->deadline) ==
-             std::future_status::ready) {
-    response = job->done.get();
-  } else {
-    job->abandoned.store(true);
-    response = ErrorFrame(
-        psql::ErrorCode::kTimeout,
-        "query exceeded its " + std::to_string(timeout_ms) + "ms deadline");
-  }
-  if (IsTimeoutFrame(response)) {
-    queries_timeout_.fetch_add(1);
-  } else if (response.type == FrameType::kError) {
-    queries_error_.fetch_add(1);
-  } else {
-    queries_ok_.fetch_add(1);
-  }
-  WriteLocked(ctx, response);
 }
 
-namespace {
-
-/// Applies one "name=value" SET command to the session state. Returns
-/// an error message, or "" on success.
-std::string ApplySessionOption(const std::string& payload, BmoOptions* bmo,
-                               uint64_t* timeout_ms,
-                               size_t* max_pending_deltas) {
-  size_t eq = payload.find('=');
-  if (eq == std::string::npos) return "expected name=value, got '" + payload + "'";
-  std::string name = payload.substr(0, eq);
-  std::string value = payload.substr(eq + 1);
-  auto parse_count = [&value](uint64_t* out) {
-    errno = 0;
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-    if (errno != 0 || end == value.c_str() || *end != '\0') return false;
-    *out = v;
-    return true;
-  };
-  if (name == "threads") {
-    uint64_t v = 0;
-    if (!parse_count(&v)) return "threads expects a number";
-    bmo->num_threads = static_cast<size_t>(v);
-    // A session asking for intra-query parallelism also gets kAuto's
-    // parallel plans back (the serving default opts out of them).
-    bmo->parallel_threshold = v > 1 ? 32768 : SIZE_MAX;
-    return "";
-  }
-  if (name == "timeout_ms") {
-    return parse_count(timeout_ms) ? "" : "timeout_ms expects a number";
-  }
-  if (name == "max_pending_deltas") {
-    // Applies to subscriptions opened after the SET (a live pusher keeps
-    // the bound it was created with). 0 restores the engine default.
-    uint64_t v = 0;
-    if (!parse_count(&v)) return "max_pending_deltas expects a number";
-    *max_pending_deltas = static_cast<size_t>(v);
-    return "";
-  }
-  if (name == "vectorize") {
-    if (value == "on") bmo->vectorize = true;
-    else if (value == "off") bmo->vectorize = false;
-    else return "vectorize expects on|off";
-    return "";
-  }
-  if (name == "algorithm") {
-    if (value == "auto") bmo->algorithm = BmoAlgorithm::kAuto;
-    else if (value == "naive") bmo->algorithm = BmoAlgorithm::kNaive;
-    else if (value == "bnl") bmo->algorithm = BmoAlgorithm::kBlockNestedLoop;
-    else if (value == "sfs") bmo->algorithm = BmoAlgorithm::kSortFilter;
-    else if (value == "dc") bmo->algorithm = BmoAlgorithm::kDivideConquer;
-    else if (value == "parallel") bmo->algorithm = BmoAlgorithm::kParallel;
-    else return "unknown algorithm '" + value + "'";
-    return "";
-  }
-  if (name == "simd") {
-    if (value == "auto") bmo->simd = SimdMode::kAuto;
-    else if (value == "off") bmo->simd = SimdMode::kOff;
-    else if (value == "scalar") bmo->simd = SimdMode::kScalar;
-    else if (value == "avx2") bmo->simd = SimdMode::kAvx2;
-    else return "unknown simd mode '" + value + "'";
-    return "";
-  }
-  return "unknown session option '" + name + "'";
-}
-
-}  // namespace
-
-void Server::Impl::SessionLoop(SessionCtx* ctx) {
-  const int fd = ctx->fd;
-  BmoOptions bmo = options.session_bmo;
-  uint64_t timeout_ms = options.query_timeout_ms;
-  size_t max_pending_deltas = options.max_pending_deltas;
-  std::unordered_map<uint64_t, PreparedQuery> handles;
-  uint64_t next_handle = 1;
-  // Subscription handles live here (std::list: pusher threads hold
-  // element pointers across push_back); pushers are joined at teardown.
-  std::list<Engine::Subscription> subscriptions;
-  std::vector<std::thread> pushers;
-
+void Server::Impl::WorkerLoop() {
   for (;;) {
-    Frame request;
-    uint32_t oversized_len = 0;
-    ReadStatus status =
-        ReadFrame(fd, &request, options.max_frame_bytes, &oversized_len);
-    if (status == ReadStatus::kClosed || status == ReadStatus::kError) break;
-    if (status == ReadStatus::kOversized) {
-      protocol_errors_.fetch_add(1);
-      WriteLocked(ctx,
-                  ErrorFrame(psql::ErrorCode::kOversized,
-                             "frame of " + std::to_string(oversized_len) +
-                                 " bytes exceeds the " +
-                                 std::to_string(options.max_frame_bytes) +
-                                 "-byte limit"));
-      break;  // the unread payload cannot be resynchronized cheaply
+    std::shared_ptr<Job> job = queue_->Pop();
+    if (job == nullptr) return;
+    if (job->abandoned.load()) {
+      // Already answered (deadline) or the connection died; don't burn
+      // a kernel run.
+      job->conn.reset();
+      continue;
     }
-
-    bool goodbye = false;
-    switch (request.type) {
-      case FrameType::kPing:
-        WriteLocked(ctx, Frame{FrameType::kOk, "pong"});
-        break;
-      case FrameType::kGoodbye:
-        WriteLocked(ctx, Frame{FrameType::kOk, "bye"});
-        goodbye = true;
-        break;
-      case FrameType::kSet: {
-        std::string err = ApplySessionOption(request.payload, &bmo,
-                                             &timeout_ms, &max_pending_deltas);
-        if (err.empty()) {
-          WriteLocked(ctx, Frame{FrameType::kOk, request.payload});
-        } else {
-          queries_error_.fetch_add(1);
-          WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kBadArgument, err));
-        }
-        break;
-      }
-      case FrameType::kPrepare: {
-        try {
-          PreparedQuery prepared = engine->Prepare(request.payload);
-          uint64_t id = next_handle++;
-          handles.emplace(id, std::move(prepared));
-          WriteLocked(ctx, Frame{FrameType::kHandle, std::to_string(id)});
-        } catch (const std::exception& e) {
-          queries_error_.fetch_add(1);
-          WriteLocked(ctx,
-                      ErrorFrame(psql::ClassifyException(e, request.payload)));
-        }
-        break;
-      }
-      case FrameType::kSubscribe: {
-        try {
-          subscriptions.push_back(
-              engine->Subscribe(request.payload, bmo, max_pending_deltas));
-          Engine::Subscription* sub = &subscriptions.back();
-          subscriptions_opened_.fetch_add(1);
-          // Handle first, then the pusher: the kHandle frame always
-          // precedes the subscription's bootstrap resync delta.
-          WriteLocked(ctx,
-                      Frame{FrameType::kHandle, std::to_string(sub->id())});
-          pushers.emplace_back([this, ctx, sub] { PusherLoop(ctx, sub); });
-        } catch (const std::exception& e) {
-          queries_error_.fetch_add(1);
-          WriteLocked(ctx,
-                      ErrorFrame(psql::ClassifyException(e, request.payload)));
-        }
-        break;
-      }
-      case FrameType::kQuery: {
-        Engine* eng = engine;
-        std::string sql = request.payload;
-        BmoOptions session_bmo = bmo;
-        ExecuteAdmitted(
-            ctx,
-            [eng, sql, session_bmo] { return eng->Execute(sql, session_bmo); },
-            sql, timeout_ms);
-        break;
-      }
-      case FrameType::kRun: {
-        errno = 0;
-        char* end = nullptr;
-        unsigned long long id =
-            std::strtoull(request.payload.c_str(), &end, 10);
-        auto it = (errno == 0 && end != request.payload.c_str() &&
-                   *end == '\0')
-                      ? handles.find(id)
-                      : handles.end();
-        if (it == handles.end()) {
-          queries_error_.fetch_add(1);
-          WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kNotFound,
-                                      "no prepared statement with handle '" +
-                                          request.payload + "'"));
-          break;
-        }
-        PreparedQuery prepared = it->second;
-        BmoOptions session_bmo = bmo;
-        ExecuteAdmitted(
-            ctx, [prepared, session_bmo] { return prepared.Run(session_bmo); },
-            prepared.normalized_sql(), timeout_ms);
-        break;
-      }
-      case FrameType::kInsert: {
-        size_t nl = request.payload.find('\n');
-        std::optional<Tuple> row;
-        size_t pos = nl == std::string::npos ? 0 : nl + 1;
-        if (nl != std::string::npos) {
-          row = DecodeRow(request.payload, &pos);
-        }
-        if (!row || pos != request.payload.size()) {
-          protocol_errors_.fetch_add(1);
-          WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kProtocol,
-                                      "malformed INSERT payload"));
-          break;
-        }
-        Engine* eng = engine;
-        std::string table = request.payload.substr(0, nl);
-        Tuple values = std::move(*row);
-        ExecuteAdmitted(
-            ctx,
-            [eng, table, values] {
-              eng->Insert(table, values);
-              psql::QueryResult ack;  // empty result as the acknowledgement
-              return ack;
-            },
-            "", timeout_ms);
-        break;
-      }
-      default:
-        protocol_errors_.fetch_add(1);
-        WriteLocked(ctx, ErrorFrame(psql::ErrorCode::kProtocol,
-                                    std::string("unknown frame type '") +
-                                        static_cast<char>(request.type) + "'"));
-        break;
+    Frame response;
+    if (job->has_deadline && Clock::now() > job->deadline) {
+      response = ErrorFrame(psql::ErrorCode::kTimeout,
+                            "deadline elapsed while queued");
+    } else {
+      response = job->work();
     }
-    if (goodbye) break;
+    CompleteJob(job, std::move(response));
   }
+}
 
-  // Teardown order matters: cancel first (closes each subscription's
-  // state, waking its pusher), join the pushers (they flush whatever was
-  // still queued), and only then shut the socket down and mark the
-  // session reapable — the reaper closes fd, which must never race a
-  // pusher's write.
-  ctx->closing.store(true);
-  for (auto& sub : subscriptions) sub.Cancel();
-  for (auto& pusher : pushers) pusher.join();
-  shutdown(fd, SHUT_RDWR);
-  active_sessions_.fetch_sub(1);
-  ctx->finished.store(true);
+void Server::Impl::CompleteJob(const std::shared_ptr<Job>& job, Frame frame) {
+  std::shared_ptr<Connection> conn = std::move(job->conn);
+  bool appended = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    auto it = conn->inflight.find(job->request_id);
+    // The identity check guards request-id reuse: if this request was
+    // already answered (TIMEOUT) and the client reused the id, the
+    // entry now belongs to a different job.
+    if (!conn->closed && it != conn->inflight.end() && it->second == job) {
+      conn->inflight.erase(it);
+      if (IsTimeoutFrame(frame)) {
+        queries_timeout_.fetch_add(1);
+      } else if (frame.type == FrameType::kError) {
+        queries_error_.fetch_add(1);
+      } else {
+        queries_ok_.fetch_add(1);
+      }
+      conn->out_buf += EncodeForVersion(conn->version, job->request_id, frame);
+      appended = true;
+    }
+  }
+  if (appended) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.push_back(conn->id);
+    }
+    SignalWakeup(wakeup_fd_);
+  }
+}
+
+void Server::Impl::HandlePendingSignals() {
+  std::vector<uint64_t> ready;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ready.swap(pending_);
+  }
+  for (uint64_t id : ready) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    FlushAndSettle(it->second);
+  }
+}
+
+void Server::Impl::DrainDeltas(Clock::time_point now) {
+  for (const auto& conn : SnapshotConns()) {
+    if (conn->torn_down || !conn->deltas_pending.load()) continue;
+    if (options.debug_push_delay_ms > 0 && now < conn->next_delta_drain) {
+      continue;  // paced; ComputeTimeoutMs schedules the retry
+    }
+    // Clear before polling: a push landing mid-drain re-sets the flag
+    // and re-signals, so nothing is lost — at worst one spurious pass.
+    conn->deltas_pending.store(false);
+    bool wrote = false;
+    for (auto& sub : conn->subscriptions) {
+      while (std::optional<ivm::ViewDelta> delta = sub.handle.Poll()) {
+        Frame frame{FrameType::kDelta,
+                    SerializeDelta(sub.handle.id(), sub.handle.schema(),
+                                   delta->version, delta->resync,
+                                   delta->enters, delta->exits)};
+        AppendResponse(conn, sub.request_id, frame);
+        deltas_pushed_.fetch_add(1);
+        wrote = true;
+      }
+    }
+    if (options.debug_push_delay_ms > 0) {
+      conn->next_delta_drain =
+          now + std::chrono::milliseconds(options.debug_push_delay_ms);
+    }
+    if (wrote) FlushAndSettle(conn);
+  }
+}
+
+void Server::Impl::ExpireDeadlines(Clock::time_point now) {
+  for (const auto& conn : SnapshotConns()) {
+    if (conn->torn_down) continue;
+    bool wrote = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      for (auto it = conn->inflight.begin(); it != conn->inflight.end();) {
+        const std::shared_ptr<Job>& job = it->second;
+        if (job->has_deadline && now > job->deadline) {
+          job->abandoned.store(true);
+          conn->out_buf += EncodeForVersion(
+              conn->version, it->first,
+              ErrorFrame(psql::ErrorCode::kTimeout,
+                         "query exceeded its " +
+                             std::to_string(job->timeout_ms) +
+                             "ms deadline"));
+          queries_timeout_.fetch_add(1);
+          it = conn->inflight.erase(it);
+          wrote = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (wrote) FlushAndSettle(conn);
+  }
+}
+
+int Server::Impl::ComputeTimeoutMs(Clock::time_point now) {
+  Clock::time_point next = Clock::time_point::max();
+  for (const auto& [id, conn] : conns_) {
+    if (conn->torn_down) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      for (const auto& [rid, job] : conn->inflight) {
+        if (job->has_deadline && job->deadline < next) next = job->deadline;
+      }
+    }
+    if (conn->deltas_pending.load() && options.debug_push_delay_ms > 0 &&
+        conn->next_delta_drain < next) {
+      next = conn->next_delta_drain;
+    }
+  }
+  if (next == Clock::time_point::max()) {
+    // Nothing scheduled; wake on events only (capped while stopping so
+    // the drain progression is never parked forever).
+    return stopping_.load() ? 50 : -1;
+  }
+  auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - now)
+          .count();
+  if (ms < 0) ms = 0;
+  if (ms > 60000) ms = 60000;
+  return static_cast<int>(ms) + 1;  // round up: never wake before `next`
+}
+
+void Server::Impl::AppendResponse(const std::shared_ptr<Connection>& conn,
+                                  uint64_t request_id, const Frame& frame) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->closed) return;
+  conn->out_buf += EncodeForVersion(conn->version, request_id, frame);
+}
+
+Server::Impl::FlushResult Server::Impl::FlushOut(
+    const std::shared_ptr<Connection>& conn) {
+  IoStatus status;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return FlushResult::kFailed;
+    if (conn->out_off >= conn->out_buf.size()) {
+      status = IoStatus::kOk;
+    } else {
+      status = WriteSome(conn->fd, &conn->out_buf, &conn->out_off);
+    }
+  }
+  if (status == IoStatus::kOk) {
+    if (conn->want_write) {
+      conn->want_write = false;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+      ev.data.u64 = conn->id;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+    return FlushResult::kFlushed;
+  }
+  if (status == IoStatus::kWouldBlock) {
+    if (!conn->want_write) {
+      conn->want_write = true;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP | EPOLLOUT;
+      ev.data.u64 = conn->id;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+    return FlushResult::kBlocked;
+  }
+  return FlushResult::kFailed;
+}
+
+void Server::Impl::FlushAndSettle(const std::shared_ptr<Connection>& conn) {
+  if (conn->torn_down) return;
+  if (FlushOut(conn) == FlushResult::kFailed) {
+    Teardown(conn);
+    return;
+  }
+  MaybeFinish(conn);
+}
+
+void Server::Impl::MaybeFinish(const std::shared_ptr<Connection>& conn) {
+  if (conn->torn_down) return;
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    done = (conn->draining || conn->read_shut) && conn->inflight.empty() &&
+           conn->out_off >= conn->out_buf.size();
+  }
+  if (done) Teardown(conn);
+}
+
+void Server::Impl::StartDrain(const std::shared_ptr<Connection>& conn) {
+  conn->draining = true;
+  for (auto& sub : conn->subscriptions) {
+    sub.handle.SetNotifier(nullptr);
+    sub.handle.Cancel();
+  }
+  conn->subscriptions.clear();
+  conn->deltas_pending.store(false);
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  for (auto& [rid, job] : conn->inflight) job->abandoned.store(true);
+  conn->inflight.clear();
+}
+
+void Server::Impl::Teardown(const std::shared_ptr<Connection>& conn) {
+  if (conn->torn_down) return;
+  conn->torn_down = true;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closed = true;
+    for (auto& [rid, job] : conn->inflight) job->abandoned.store(true);
+    conn->inflight.clear();
+    conn->out_buf.clear();
+    conn->out_off = 0;
+  }
+  for (auto& sub : conn->subscriptions) {
+    sub.handle.SetNotifier(nullptr);
+    sub.handle.Cancel();
+  }
+  conn->subscriptions.clear();
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  shutdown(conn->fd, SHUT_RDWR);
+  close(conn->fd);
+  conns_.erase(conn->id);
 }
 
 Server::Server(Engine* engine, ServerOptions options)

@@ -1,42 +1,59 @@
 // The prefdb preference query server: concurrent serving on the Engine
 // seam. One shared prefdb::Engine (plan/exec caches, COW snapshots) behind
-// a TCP front end speaking the length-prefixed protocol of protocol.h.
+// a TCP front end speaking the length-prefixed protocol of protocol.h —
+// v1 request/response and v2 pipelined (request-id tagged frames,
+// negotiated by a kHello handshake; see protocol.h).
 //
 // Architecture (all threads owned by the Server):
 //
-//   accept loop     one thread; admits up to max_sessions concurrent
-//                   connections (beyond that: an OVERLOADED error frame
-//                   and an immediate close).
-//   session threads one blocking thread per connection. A session owns
-//                   its socket, its per-session BmoOptions (mutated by
-//                   SET frames), its prepared-statement handle table, and
-//                   its per-query deadline. Sessions never execute
-//                   queries themselves: execution is admitted into the
-//                   shared worker pool so "thousands of sessions" cannot
-//                   mean thousands of concurrently running kernels.
-//   worker pool     num_workers threads draining a bounded job queue.
-//                   A full queue rejects new queries with OVERLOADED
+//   event loop      ONE thread multiplexing the listener and every
+//                   connection through edge-triggered epoll. It owns all
+//                   socket I/O: non-blocking reads feed a per-connection
+//                   FrameAssembler (partial-frame reassembly), writes
+//                   drain a per-connection out-buffer (EPOLLOUT armed
+//                   only under backpressure) — so all writes on a
+//                   connection are serialized by construction. Sessions
+//                   (protocol version, SessionOptions, prepared handles,
+//                   subscriptions) are plain event-loop state: no
+//                   per-session thread, no per-session read stack, which
+//                   is what lifts the practical connection count.
+//   worker pool     num_workers threads draining a bounded job queue;
+//                   queries/runs/inserts are admitted here, tagged with
+//                   (connection, request_id). A completion re-checks the
+//                   in-flight table under the connection's out-buffer
+//                   lock, appends the encoded response, and signals the
+//                   loop's eventfd — late results for a request already
+//                   answered (TIMEOUT) or a connection already gone are
+//                   dropped. A full queue rejects with OVERLOADED
 //                   (backpressure, not buffering); a query that misses
 //                   its deadline while queued is answered TIMEOUT
-//                   without ever executing, and one that is still
-//                   running at the deadline is answered TIMEOUT while
-//                   the worker's result is discarded on completion.
-//   pusher threads  one per subscription (kSubscribe frame): drains the
-//                   engine-side delta queue and pushes kDelta frames.
-//                   All writes on a session socket serialize through a
-//                   per-session write mutex so pushes never interleave
-//                   with responses. A slow subscriber's backlog is
-//                   coalesced engine-side into one resync snapshot
-//                   (max_pending_deltas), so pushers buffer bounded
-//                   state no matter how far behind the client falls.
+//                   without ever executing, and one still running at
+//                   the deadline is answered TIMEOUT by the loop's
+//                   deadline timer while the worker's result is
+//                   discarded on completion.
+//   delta push      no pusher threads: each subscription's delta queue
+//                   carries a notifier (ivm::SubscriptionState hook)
+//                   that flags the connection and signals the eventfd;
+//                   the event loop drains via Poll() and appends kDelta
+//                   frames — tagged, on v2, with the request id of the
+//                   kSubscribe that opened the stream — to the same
+//                   out-buffer as responses. A slow subscriber's backlog
+//                   is still coalesced engine-side into one resync
+//                   snapshot (max_pending_deltas).
+//
+// With many requests pipelined on one connection, responses come back in
+// completion order, not request order — the request id is the client's
+// correlation key. v1 connections never tag frames; a v1 client keeps at
+// most one request in flight, so ordering is unobservable there.
 //
 // Reads are snapshot-consistent: a query executes against the relation
 // snapshot its exec-cache entry was compiled for, so INSERT frames racing
 // concurrent queries are safe (each query sees a consistent old-or-new
 // state — the Engine's COW contract).
 //
-// Stop() is graceful: stop accepting, unblock session reads, let every
-// in-flight query finish and flush its response, then retire the workers.
+// Stop() is graceful: stop accepting, shut every connection's read side,
+// let every admitted query finish and flush its response, then retire
+// the workers.
 
 #ifndef PREFDB_SERVER_SERVER_H_
 #define PREFDB_SERVER_SERVER_H_
@@ -82,9 +99,14 @@ struct ServerOptions {
   /// applied in the worker before the engine call. Lets admission and
   /// timeout paths be exercised deterministically.
   uint64_t debug_execute_delay_ms = 0;
-  /// Test hook: artificial delay (milliseconds) before each pusher-drain
-  /// attempt — simulates a slow subscriber so the engine-side queue
-  /// overflow / coalesced-resync path is exercised deterministically.
+  /// Test hook: when nonempty, debug_execute_delay_ms applies only to
+  /// queries whose SQL contains this substring — pins one pipelined
+  /// request slow so out-of-order completion is deterministic.
+  std::string debug_delay_substring;
+  /// Test hook: minimum interval (milliseconds) between delta-drain
+  /// passes for a connection — simulates a slow subscriber so the
+  /// engine-side queue overflow / coalesced-resync path is exercised
+  /// deterministically.
   uint64_t debug_push_delay_ms = 0;
 
   static BmoOptions DefaultSessionBmo() {

@@ -3,9 +3,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 namespace prefdb::server {
 
@@ -88,6 +91,97 @@ int AcceptClient(int listen_fd) {
     return kAcceptRetry;
   }
   return kAcceptClosed;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void FrameAssembler::Append(const char* data, size_t len) {
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+FrameAssembler::Next FrameAssembler::TryNext(Frame* frame,
+                                             uint32_t* oversized_len) {
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Next::kNeedMore;
+  unsigned char header[kFrameHeaderBytes];
+  std::memcpy(header, buf_.data() + pos_, kFrameHeaderBytes);
+  uint32_t len = DecodeFrameHeader(header, &frame->type);
+  if (len > max_payload_bytes_) {
+    // Consume the header (mirrors ReadFrame's "position is after the
+    // header" contract); the stream is no longer framable.
+    pos_ += kFrameHeaderBytes;
+    if (oversized_len != nullptr) *oversized_len = len;
+    return Next::kOversized;
+  }
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) return Next::kNeedMore;
+  frame->payload.assign(buf_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Next::kFrame;
+}
+
+IoStatus ReadAvailable(int fd, FrameAssembler* assembler) {
+  char chunk[65536];
+  for (;;) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      assembler->Append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus WriteSome(int fd, std::string* buf, size_t* offset) {
+  while (*offset < buf->size()) {
+    ssize_t n = send(fd, buf->data() + *offset, buf->size() - *offset,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      *offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoStatus::kWouldBlock;
+    }
+    return IoStatus::kError;
+  }
+  buf->clear();
+  *offset = 0;
+  return IoStatus::kOk;
+}
+
+int CreateWakeupFd() { return eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
+
+void SignalWakeup(int fd) {
+  uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = write(fd, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the counter is already at max — the wakeup is pending
+  // anyway, so dropping the increment is correct.
+}
+
+void DrainWakeup(int fd) {
+  uint64_t value = 0;
+  ssize_t n;
+  do {
+    n = read(fd, &value, sizeof(value));
+  } while (n < 0 && errno == EINTR);
 }
 
 }  // namespace prefdb::server

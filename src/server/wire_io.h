@@ -1,12 +1,20 @@
-// Blocking socket helpers shared by the server's session loop and the
-// client: full-frame reads/writes over a connected fd, with the frame
-// codec from protocol.h. POSIX sockets only (the library's only platform);
-// no external dependencies.
+// Socket helpers shared by the server's event loop and the client, with
+// the frame codec from protocol.h. Two tiers:
+//
+//   - blocking full-frame reads/writes (the client's transport), and
+//   - non-blocking edge-triggered primitives for the server's epoll loop:
+//     drain-to-EAGAIN reads feeding a FrameAssembler (partial-frame
+//     reassembly), offset-tracked buffered writes, and eventfd wakeups.
+//
+// POSIX sockets only (the library's only platform); no external
+// dependencies. Every raw byte-transfer syscall in the project lives in
+// wire_io.cc (enforced by prefdb-lint's raw-syscall invariant).
 
 #ifndef PREFDB_SERVER_WIRE_IO_H_
 #define PREFDB_SERVER_WIRE_IO_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "server/protocol.h"
@@ -57,6 +65,86 @@ inline constexpr int kAcceptClosed = -2;  // listener gone; stop accepting
 /// kAcceptClosed on any other error (the listening socket is unusable).
 /// The peer address is discarded — sessions are identified by fd.
 int AcceptClient(int listen_fd);
+
+// --- non-blocking primitives for the epoll event loop ----------------------
+
+/// Outcome of one non-blocking read or write pass.
+enum class IoStatus {
+  /// Write: the buffer was fully flushed. (Reads never return kOk — they
+  /// always end at kWouldBlock, kClosed, or kError.)
+  kOk,
+  /// Kernel buffers exhausted; retry on the next readiness event. Bytes
+  /// transferred before this are accounted for (appended / offset moved).
+  kWouldBlock,
+  /// Peer closed. Bytes read before the EOF are in the assembler.
+  kClosed,
+  /// Transport error.
+  kError,
+};
+
+/// Puts `fd` into non-blocking mode; false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// Incremental frame reassembly over arbitrary byte chunks: the server's
+/// per-connection read buffer. Append() whatever recv produced — a
+/// single byte, half a header, three frames and a tail — and TryNext()
+/// yields complete frames as they form. Never blocks, never copies more
+/// than once (consumed prefix is compacted on the next Append).
+class FrameAssembler {
+ public:
+  enum class Next {
+    kFrame,     ///< *frame holds the next complete frame.
+    kNeedMore,  ///< buffered bytes don't form a frame yet.
+    /// The next header declares a payload above the cap. The header is
+    /// consumed (mirrors ReadFrame); frame->type holds the frame's type
+    /// and `oversized_len` its declared length. The connection is no
+    /// longer framable.
+    kOversized,
+  };
+
+  explicit FrameAssembler(size_t max_payload_bytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Adds raw stream bytes to the buffer.
+  void Append(const char* data, size_t len);
+
+  /// Extracts the next complete frame, if any.
+  Next TryNext(Frame* frame, uint32_t* oversized_len = nullptr);
+
+  /// Bytes buffered but not yet consumed by TryNext.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix; compacted lazily by Append
+};
+
+/// Drains `fd` to EAGAIN (mandatory under edge-triggered epoll), feeding
+/// every byte read into `assembler`. Returns kWouldBlock when the socket
+/// is drained and still open, kClosed on EOF, kError on transport error.
+IoStatus ReadAvailable(int fd, FrameAssembler* assembler);
+
+/// Writes `buf` from `*offset` until done or the kernel buffer fills.
+/// On kOk the buffer was fully flushed (buf cleared, offset reset); on
+/// kWouldBlock `*offset` marks the resume point — arm EPOLLOUT and call
+/// again on the next writable event.
+IoStatus WriteSome(int fd, std::string* buf, size_t* offset);
+
+// --- eventfd wakeup ---------------------------------------------------------
+//
+// Worker threads and IVM subscription notifiers complete off the event
+// loop thread; they hand bytes to a connection's out-buffer and signal
+// this fd, which the loop keeps in its epoll set.
+
+/// Creates a non-blocking eventfd; -1 on failure.
+int CreateWakeupFd();
+
+/// Increments the eventfd counter (async-signal-safe, never blocks).
+void SignalWakeup(int fd);
+
+/// Zeroes the eventfd counter so the next epoll_wait sleeps again.
+void DrainWakeup(int fd);
 
 }  // namespace prefdb::server
 

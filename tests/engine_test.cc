@@ -21,6 +21,18 @@
 namespace prefdb {
 namespace {
 
+/// Legacy cold-execution reference: a throwaway Engine with both caches
+/// off reproduces exactly what the removed stateless wrappers did —
+/// parse, translate, optimize, compile and execute from scratch.
+psql::QueryResult ColdExecute(const std::string& sql,
+                              const psql::Catalog& catalog) {
+  EngineOptions options;
+  options.enable_plan_cache = false;
+  options.enable_exec_cache = false;
+  Engine engine(catalog, options);
+  return engine.Execute(sql);
+}
+
 Relation SmallCars() {
   Schema s({{"make", ValueType::kString},
             {"category", ValueType::kString},
@@ -63,7 +75,7 @@ TEST(EngineTest, RepeatedRunMatchesColdExecution) {
   Engine engine;
   engine.RegisterTable("car", car);
   for (const char* sql : kQueries) {
-    psql::QueryResult cold = psql::ExecuteQuery(sql, catalog);
+    psql::QueryResult cold = ColdExecute(sql, catalog);
     PreparedQuery prepared = engine.Prepare(sql);
     psql::QueryResult first = prepared.Run();
     psql::QueryResult second = prepared.Run();  // exec-cache hit
@@ -443,15 +455,15 @@ TEST(EngineTest, StatsAreMaintainedIncrementallyAcrossInserts) {
   EXPECT_EQ(engine.Stats("car")->rows, 1u);
 }
 
-TEST(EngineTest, DeprecatedWrappersStillMatchEngine) {
+TEST(EngineTest, CacheFreeExecutionMatchesCachedEngine) {
   Relation car = SmallCars();
   psql::Catalog catalog;
   catalog.Register("car", car);
   Engine engine(catalog);
   for (const char* sql : kQueries) {
-    psql::QueryResult wrapper = psql::ExecuteQuery(sql, catalog);
+    psql::QueryResult cold = ColdExecute(sql, catalog);
     psql::QueryResult direct = engine.Execute(sql);
-    EXPECT_EQ(wrapper.relation, direct.relation) << sql;
+    EXPECT_EQ(cold.relation, direct.relation) << sql;
   }
 }
 

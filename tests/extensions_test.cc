@@ -7,6 +7,7 @@
 #include "algebra/equivalence.h"
 #include "core/hierarchy.h"
 #include "datagen/cars.h"
+#include "engine/engine.h"
 #include "eval/bmo.h"
 #include "psql/executor.h"
 #include "relation/date.h"
@@ -16,6 +17,14 @@ namespace prefdb {
 namespace {
 
 using ::prefdb::testing::StringRelation;
+
+/// Runs one statement through a stateful Engine (the stateless
+/// psql::ExecuteQuery wrapper was removed).
+psql::QueryResult RunSql(const std::string& sql,
+                         const psql::Catalog& catalog) {
+  Engine engine(catalog);
+  return engine.Execute(sql);
+}
 
 // --- POS/NEG-GRAPHS ---
 
@@ -124,9 +133,9 @@ TEST(DateTest, RejectsGarbageAndInvalidDates) {
 TEST(PsqlExtensionTest, SkylineOfClause) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(300, 12));
-  auto skyline = psql::ExecuteQuery(
+  auto skyline = RunSql(
       "SELECT * FROM car SKYLINE OF price MIN, mileage MIN", catalog);
-  auto preferring = psql::ExecuteQuery(
+  auto preferring = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)",
       catalog);
   EXPECT_TRUE(skyline.relation.SameRows(preferring.relation));
@@ -135,7 +144,7 @@ TEST(PsqlExtensionTest, SkylineOfClause) {
 TEST(PsqlExtensionTest, SkylineOfMinMaxMixed) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(300, 13));
-  auto res = psql::ExecuteQuery(
+  auto res = RunSql(
       "SELECT * FROM car SKYLINE OF price MIN, horsepower MAX, mileage MIN",
       catalog);
   EXPECT_GE(res.relation.size(), 1u);
@@ -147,10 +156,10 @@ TEST(PsqlExtensionTest, SkylineOfSyntaxErrors) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(10, 14));
   EXPECT_THROW(
-      psql::ExecuteQuery("SELECT * FROM car SKYLINE price MIN", catalog),
+      RunSql("SELECT * FROM car SKYLINE price MIN", catalog),
       psql::SyntaxError);
   EXPECT_THROW(
-      psql::ExecuteQuery("SELECT * FROM car SKYLINE OF price", catalog),
+      RunSql("SELECT * FROM car SKYLINE OF price", catalog),
       psql::SyntaxError);
 }
 
@@ -165,7 +174,7 @@ TEST(PsqlExtensionTest, DateLiteralInAround) {
   trips.Add({"Oslo", *ParseDateOrdinal("2001/07/01")});
   psql::Catalog catalog;
   catalog.Register("trips", trips);
-  auto res = psql::ExecuteQuery(
+  auto res = RunSql(
       "SELECT * FROM trips PREFERRING start_date AROUND '2001/11/23'",
       catalog);
   // Crete and Rome are both 2 days away; Oslo is far off.
@@ -179,7 +188,7 @@ TEST(PsqlExtensionTest, DateLiteralInBetween) {
   trips.Add({*ParseDateOrdinal("2001/12/24")});
   psql::Catalog catalog;
   catalog.Register("trips", trips);
-  auto res = psql::ExecuteQuery(
+  auto res = RunSql(
       "SELECT * FROM trips PREFERRING start_date BETWEEN '2001/11/01' AND "
       "'2001/11/30'",
       catalog);
@@ -191,7 +200,7 @@ TEST(PsqlExtensionTest, NonDateStringWhereNumberExpectedThrows) {
   psql::Catalog catalog;
   catalog.Register("t", Relation(Schema{{"x", ValueType::kInt}}));
   EXPECT_THROW(
-      psql::ExecuteQuery("SELECT * FROM t PREFERRING x AROUND 'soon'",
+      RunSql("SELECT * FROM t PREFERRING x AROUND 'soon'",
                          catalog),
       psql::SyntaxError);
 }
@@ -199,14 +208,14 @@ TEST(PsqlExtensionTest, NonDateStringWhereNumberExpectedThrows) {
 TEST(PsqlExtensionTest, ExplainReportsOptimizerPlan) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(2000, 15));
-  auto res = psql::ExecuteQuery(
+  auto res = RunSql(
       "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) AND "
       "LOWEST(mileage)",
       catalog);
   EXPECT_NE(res.plan_details.find("algorithm:"), std::string::npos);
   EXPECT_NE(res.plan_details.find("preference:"), std::string::npos);
   // EXPLAIN still executes: the result is the normal BMO answer.
-  auto plain = psql::ExecuteQuery(
+  auto plain = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)",
       catalog);
   EXPECT_TRUE(res.relation.SameRows(plain.relation));
@@ -216,7 +225,7 @@ TEST(PsqlExtensionTest, ExplainShowsRewrites) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(1000, 16));
   // LOWEST(price) AND HIGHEST(price) is P (x) P^d == A<-> (Prop 3n).
-  auto res = psql::ExecuteQuery(
+  auto res = RunSql(
       "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) AND "
       "HIGHEST(price)",
       catalog);
@@ -233,7 +242,7 @@ TEST(PsqlExtensionTest, GroupingClauseMatchesDef16) {
   cars.Add({"BMW", 45000});
   psql::Catalog catalog;
   catalog.Register("car", cars);
-  auto grouped = psql::ExecuteQuery(
+  auto grouped = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make", catalog);
   Relation expected(s);
   expected.Add({"Audi", 30000});
@@ -249,14 +258,14 @@ TEST(PsqlExtensionTest, GroupingRequiresPreferring) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(10, 17));
   EXPECT_THROW(
-      psql::ExecuteQuery("SELECT * FROM car GROUPING make", catalog),
+      RunSql("SELECT * FROM car GROUPING make", catalog),
       psql::SyntaxError);
 }
 
 TEST(PsqlExtensionTest, GroupingMultipleAttributes) {
   psql::Catalog catalog;
   catalog.Register("car", GenerateCars(400, 18));
-  auto res = psql::ExecuteQuery(
+  auto res = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make, category",
       catalog);
   // One cheapest offer (possibly tied) per (make, category) group.

@@ -9,6 +9,14 @@
 namespace prefdb {
 namespace {
 
+/// Runs one statement through a stateful Engine (the stateless
+/// psql::ExecuteQuery wrapper was removed).
+psql::QueryResult RunSql(const std::string& sql,
+                         const psql::Catalog& catalog) {
+  Engine engine(catalog);
+  return engine.Execute(sql);
+}
+
 // Example 6 as a full scenario against a concrete car database.
 class PreferenceEngineeringScenario : public ::testing::Test {
  protected:
@@ -94,7 +102,7 @@ TEST(SqlVsCoreTest, SqlAndCoreApiAgree) {
   Relation cars = GenerateCars(400, 21);
   psql::Catalog catalog;
   catalog.Register("cars", cars);
-  psql::QueryResult sql = psql::ExecuteQuery(
+  psql::QueryResult sql = RunSql(
       "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)",
       catalog);
   Relation core = Bmo(cars, Pareto(Lowest("price"), Lowest("mileage")));
@@ -105,7 +113,7 @@ TEST(SqlVsCoreTest, CascadeEqualsPrioritizedTerm) {
   Relation cars = GenerateCars(300, 22);
   psql::Catalog catalog;
   catalog.Register("cars", cars);
-  psql::QueryResult sql = psql::ExecuteQuery(
+  psql::QueryResult sql = RunSql(
       "SELECT * FROM cars PREFERRING color = 'red' CASCADE LOWEST(price)",
       catalog);
   Relation core =
@@ -168,7 +176,7 @@ TEST(RankedIntegrationTest, TopKOverSqlResult) {
   Relation cars = GenerateCars(200, 41);
   psql::Catalog catalog;
   catalog.Register("cars", cars);
-  psql::QueryResult hard = psql::ExecuteQuery(
+  psql::QueryResult hard = RunSql(
       "SELECT * FROM cars WHERE category = 'passenger'", catalog);
   RankedResult ranked =
       TopK(hard.relation, RankWeightedSum({-1.0, -0.1},

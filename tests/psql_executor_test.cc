@@ -6,9 +6,18 @@
 #include <gtest/gtest.h>
 
 #include "datagen/cars.h"
+#include "engine/engine.h"
 
 namespace prefdb::psql {
 namespace {
+
+/// Every statement here runs through the stateful Engine — the only
+/// execution entry point since the stateless wrappers were removed.
+QueryResult RunSql(const std::string& sql, const Catalog& catalog,
+                const BmoOptions& options = {}) {
+  Engine engine(catalog);
+  return engine.Execute(sql, options);
+}
 
 Catalog CarCatalog() {
   Schema s({{"make", ValueType::kString},
@@ -30,31 +39,31 @@ Catalog CarCatalog() {
 
 TEST(ExecutorTest, HardSelectionOnly) {
   QueryResult res =
-      ExecuteQuery("SELECT * FROM car WHERE make = 'BMW'", CarCatalog());
+      RunSql("SELECT * FROM car WHERE make = 'BMW'", CarCatalog());
   ASSERT_EQ(res.relation.size(), 1u);
   EXPECT_EQ(res.relation.at(0)[0], Value("BMW"));
 }
 
 TEST(ExecutorTest, ProjectionAndLimit) {
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT make, price FROM car LIMIT 2", CarCatalog());
   EXPECT_EQ(res.relation.size(), 2u);
   EXPECT_EQ(res.relation.schema().size(), 2u);
 }
 
 TEST(ExecutorTest, UnknownTableThrows) {
-  EXPECT_THROW(ExecuteQuery("SELECT * FROM nothing", CarCatalog()),
+  EXPECT_THROW(RunSql("SELECT * FROM nothing", CarCatalog()),
                std::out_of_range);
 }
 
 TEST(ExecutorTest, UnknownAttributeThrows) {
   EXPECT_THROW(
-      ExecuteQuery("SELECT * FROM car WHERE wheels = 4", CarCatalog()),
+      RunSql("SELECT * FROM car WHERE wheels = 4", CarCatalog()),
       std::out_of_range);
 }
 
 TEST(ExecutorTest, PreferringSoftSelection) {
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price)", CarCatalog());
   ASSERT_EQ(res.relation.size(), 1u);
   EXPECT_EQ(res.relation.at(0)[3], Value(38000));
@@ -64,7 +73,7 @@ TEST(ExecutorTest, PreferringSoftSelection) {
 TEST(ExecutorTest, PaperUsedCarQuery) {
   // The §6.1 flagship query: hard make filter, Pareto block with an ELSE
   // layer, then two CASCADE levels.
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT * FROM car WHERE make = 'Opel' "
       "PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND "
       "price AROUND 40000 AND HIGHEST(power)) "
@@ -90,7 +99,7 @@ TEST(ExecutorTest, PaperUsedCarQuery) {
 
 TEST(ExecutorTest, EmptyResultImpossibleWithoutHardConstraints) {
   // A wish nothing matches exactly still returns the best alternatives.
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT * FROM car PREFERRING color = 'neon'", CarCatalog());
   EXPECT_EQ(res.relation.size(), 5u);  // everything is equally acceptable
 }
@@ -105,7 +114,7 @@ TEST(ExecutorTest, TripsButOnlyQuery) {
   trips.Add({"Mallorca", 57, 21});  // duration too far
   Catalog catalog;
   catalog.Register("trips", trips);
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT * FROM trips "
       "PREFERRING start_date AROUND 57 AND duration AROUND 14 "
       "BUT ONLY DISTANCE(start_date) <= 2 AND DISTANCE(duration) <= 2",
@@ -121,14 +130,14 @@ TEST(ExecutorTest, ButOnlyCanYieldEmptyResult) {
   t.Add({100});
   Catalog catalog;
   catalog.Register("t", t);
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT * FROM t PREFERRING x AROUND 0 BUT ONLY DISTANCE(x) <= 5",
       catalog);
   EXPECT_TRUE(res.relation.empty());
 }
 
 TEST(ExecutorTest, ButOnlyLevelFiltering) {
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT * FROM car WHERE category = 'passenger' "
       "PREFERRING color = 'red' BUT ONLY LEVEL(color) <= 1",
       CarCatalog());
@@ -139,21 +148,21 @@ TEST(ExecutorTest, ButOnlyLevelFiltering) {
 
 TEST(ExecutorTest, ButOnlyWithoutPreferringThrows) {
   EXPECT_THROW(
-      ExecuteQuery("SELECT * FROM car BUT ONLY LEVEL(color) <= 1",
+      RunSql("SELECT * FROM car BUT ONLY LEVEL(color) <= 1",
                    CarCatalog()),
       std::invalid_argument);
 }
 
 TEST(ExecutorTest, ButOnlyOnAttributeWithoutBasePreferenceThrows) {
   EXPECT_THROW(
-      ExecuteQuery("SELECT * FROM car PREFERRING LOWEST(price) "
+      RunSql("SELECT * FROM car PREFERRING LOWEST(price) "
                    "BUT ONLY LEVEL(color) <= 1",
                    CarCatalog()),
       std::invalid_argument);
 }
 
 TEST(ExecutorTest, PlanStringDescribesPipeline) {
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT make FROM car WHERE price < 50000 PREFERRING LOWEST(price) "
       "LIMIT 1",
       CarCatalog());
@@ -166,7 +175,7 @@ TEST(ExecutorTest, PlanStringDescribesPipeline) {
 TEST(ExecutorTest, ExplainGroupingEmitsPlanDetails) {
   // Regression: GROUP BY queries used to bypass the optimizer entirely, so
   // EXPLAIN returned empty plan_details and a plan without an algorithm.
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "EXPLAIN SELECT * FROM car PREFERRING LOWEST(price) GROUPING make",
       CarCatalog());
   EXPECT_FALSE(res.plan_details.empty());
@@ -178,11 +187,11 @@ TEST(ExecutorTest, ExplainGroupingEmitsPlanDetails) {
 
 TEST(ExecutorTest, GroupingAnswerUnchangedByOptimizerRouting) {
   Catalog catalog = CarCatalog();
-  QueryResult routed = ExecuteQuery(
+  QueryResult routed = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make", catalog);
   BmoOptions forced;  // explicit algorithm: skips the optimizer branch
   forced.algorithm = BmoAlgorithm::kBlockNestedLoop;
-  QueryResult direct = ExecuteQuery(
+  QueryResult direct = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make", catalog,
       forced);
   EXPECT_TRUE(routed.relation.SameRows(direct.relation));
@@ -190,10 +199,10 @@ TEST(ExecutorTest, GroupingAnswerUnchangedByOptimizerRouting) {
 
 TEST(ExecutorTest, CascadeOrderMatters) {
   Catalog catalog = CarCatalog();
-  QueryResult color_first = ExecuteQuery(
+  QueryResult color_first = RunSql(
       "SELECT * FROM car PREFERRING color = 'red' CASCADE LOWEST(price)",
       catalog);
-  QueryResult price_first = ExecuteQuery(
+  QueryResult price_first = RunSql(
       "SELECT * FROM car PREFERRING LOWEST(price) CASCADE color = 'red'",
       catalog);
   // color-first: best red with lowest price = red roadster at 38000.
@@ -207,7 +216,7 @@ TEST(ExecutorTest, CascadeOrderMatters) {
 TEST(ExecutorTest, WorksOnGeneratedCarDatabase) {
   Catalog catalog;
   catalog.Register("cars", GenerateCars(500, 42));
-  QueryResult res = ExecuteQuery(
+  QueryResult res = RunSql(
       "SELECT oid, price, mileage FROM cars "
       "PREFERRING LOWEST(price) AND LOWEST(mileage)",
       catalog);

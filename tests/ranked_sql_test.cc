@@ -253,11 +253,12 @@ TEST(RankedSqlTest, RankedResultsAreCachedAndInvalidated) {
   EXPECT_EQ(after.relation.at(0)[0], Value("Zero"));
 }
 
-TEST(RankedSqlTest, DeprecatedWrapperSupportsRanked) {
+TEST(RankedSqlTest, OneShotEngineSupportsRanked) {
   psql::Catalog catalog;
   catalog.Register("hotels", Hotels());
-  psql::QueryResult res = psql::ExecuteQuery(
-      "SELECT TOP 2 name FROM hotels PREFERRING LOWEST(price)", catalog);
+  Engine one_shot(catalog);
+  psql::QueryResult res = one_shot.Execute(
+      "SELECT TOP 2 name FROM hotels PREFERRING LOWEST(price)");
   ASSERT_EQ(res.relation.size(), 2u);
   EXPECT_EQ(res.utilities.size(), 2u);
 }

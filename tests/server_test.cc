@@ -468,8 +468,10 @@ TEST(ServerTest, SessionLimitTurnsAwayExtraConnections) {
   Client b = served.Connect();
   ASSERT_TRUE(a.Ping().ok);
   ASSERT_TRUE(b.Ping().ok);
+  // The rejection frame is written before any handshake, so connect as
+  // v1 (no hello) and read the raw error frame.
   Client c;
-  c.Connect(kHost, served.server_->port());
+  c.Connect(kHost, served.server_->port(), {.protocol_version = kProtocolV1});
   Frame reply = c.ReadResponse();
   ASSERT_EQ(reply.type, FrameType::kError);
   EXPECT_EQ(psql::DeserializeError(reply.payload).code,
