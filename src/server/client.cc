@@ -82,6 +82,12 @@ void Client::Connect(const std::string& host, uint16_t port,
       Close();
       throw psql::ServerError("connection closed during version handshake");
     }
+    if (reply.type == FrameType::kError) {
+      // A pre-v2 server answers the unknown 'V' frame with an error and
+      // keeps serving: fall back to plain v1 so default-config clients
+      // survive a rolling upgrade against old servers.
+      return;
+    }
     if (reply.type != FrameType::kHello) {
       Close();
       throw psql::ProtocolError("expected a hello response");

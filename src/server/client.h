@@ -59,7 +59,11 @@ struct ClientResponse {
 struct ConnectOptions {
   /// Highest protocol version to offer. kProtocolV2 performs the kHello
   /// handshake; kProtocolV1 skips it entirely (a v1 client never sends
-  /// frames a v1 server would not understand).
+  /// frames a v1 server would not understand). A pre-v2 server that
+  /// answers the hello with an error frame ("unknown frame type") is
+  /// treated as speaking v1 — the connection downgrades instead of
+  /// failing, so new clients work against old servers during a rolling
+  /// upgrade.
   uint32_t protocol_version = kProtocolV2;
 };
 

@@ -75,8 +75,10 @@ enum class FrameType : uint8_t {
   /// framing keeps the stream self-delimiting). The first delta is
   /// always a resync snapshot of the current result.
   kSubscribe = 'U',
-  /// Payload: empty. The server acknowledges with kOk and closes the
-  /// session.
+  /// Payload: empty. The server stops reading the session, lets every
+  /// request admitted before the goodbye complete and flush its
+  /// response, then acknowledges with kOk and closes — a pipelined
+  /// "send work, send goodbye" client never loses an answer.
   kGoodbye = 'X',
   /// Version negotiation. Client → server: highest protocol version the
   /// client speaks, in decimal; must be the FIRST frame on the

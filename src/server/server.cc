@@ -135,13 +135,16 @@ struct Connection {
   uint64_t id = 0;
   uint32_t version = kProtocolV1;
   bool saw_first_frame = false;
-  /// Goodbye acked / stream unframable: stop reading, close once the
-  /// out-buffer flushes.
+  /// Goodbye received / stream unframable: stop reading; close once
+  /// in-flight work drains and the out-buffer flushes.
   bool draining = false;
   /// Peer EOF seen: close once in-flight work drains and flushes.
   bool read_shut = false;
   bool torn_down = false;
   bool want_write = false;  // EPOLLOUT armed
+  /// Reading suspended: the out-buffer exceeded max_outbuf_bytes
+  /// (backpressure). FlushAndSettle lifts it once the client drains.
+  bool read_blocked = false;
   FrameAssembler assembler;
   SessionOptions options;
   std::unordered_map<uint64_t, PreparedQuery> handles;
@@ -170,7 +173,18 @@ struct Connection {
   size_t out_off = 0;
   /// Requests admitted to the worker pool and not yet answered.
   std::unordered_map<uint64_t, std::shared_ptr<Job>> inflight;
+  /// A goodbye was received but not yet acknowledged: the ack (tagged
+  /// with goodbye_request_id) is appended only once `inflight` empties,
+  /// so pipelined requests admitted before the goodbye keep their
+  /// responses.
+  bool goodbye_pending = false;
+  uint64_t goodbye_request_id = 0;
 };
+
+/// Fairness bound on bytes pulled off one connection per read pass: a
+/// single line-rate sender yields to the rest of the (single-threaded)
+/// event loop and resumes on the next iteration.
+constexpr size_t kMaxReadBytesPerPass = 256 * 1024;
 
 /// epoll_event.data.u64 tags for the two non-connection fds.
 constexpr uint64_t kListenerTag = 0;
@@ -199,6 +213,10 @@ struct Server::Impl {
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = kFirstConnId;
   bool shutdown_started_ = false;
+  /// Connections owed another read pass without an epoll edge to drive
+  /// it: a capped read left bytes in the kernel, or a flush lifted a
+  /// backpressure pause. Drained once per loop iteration.
+  std::vector<uint64_t> resume_reads_;
 
   /// Connections with fresh worker-completed bytes awaiting a flush;
   /// workers append ids here and signal the eventfd.
@@ -214,6 +232,7 @@ struct Server::Impl {
   std::atomic<uint64_t> queries_timeout_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> peak_queue_depth_{0};
+  std::atomic<uint64_t> read_pauses_{0};
   std::atomic<uint64_t> subscriptions_opened_{0};
   std::atomic<uint64_t> deltas_pushed_{0};
 
@@ -248,7 +267,15 @@ struct Server::Impl {
   /// every event-loop pass over a connection.
   void FlushAndSettle(const std::shared_ptr<Connection>& conn);
   void MaybeFinish(const std::shared_ptr<Connection>& conn);
-  /// Cancels subscriptions and abandons in-flight work (goodbye /
+  /// True while the connection's pending (unflushed) response bytes are
+  /// at or above the backpressure cap.
+  bool OutBufOverLimit(const std::shared_ptr<Connection>& conn);
+  /// kGoodbye: stop reading and pushing, but keep in-flight work — the
+  /// ack is deferred (MaybeFinish) until every admitted request has
+  /// answered and flushed, so a pipelined client loses nothing.
+  void BeginGoodbye(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id);
+  /// Cancels subscriptions and abandons in-flight work (protocol fault /
   /// unframable stream): nothing new will be appended after this.
   void StartDrain(const std::shared_ptr<Connection>& conn);
   void Teardown(const std::shared_ptr<Connection>& conn);
@@ -390,6 +417,17 @@ void Server::Impl::EventLoop() {
         if (it != conns_.end()) HandleConnEvent(it->second, flags);
       }
     }
+    // Reads owed without an epoll edge (capped pass / lifted
+    // backpressure): one round per iteration, so fresh events from other
+    // connections interleave with a hot sender's continuation.
+    if (!resume_reads_.empty()) {
+      std::vector<uint64_t> resumes;
+      resumes.swap(resume_reads_);
+      for (uint64_t id : resumes) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) ReadPass(it->second);
+      }
+    }
     now = Clock::now();
     HandlePendingSignals();
     DrainDeltas(now);
@@ -466,37 +504,60 @@ void Server::Impl::HandleConnEvent(const std::shared_ptr<Connection>& conn,
 }
 
 void Server::Impl::ReadPass(const std::shared_ptr<Connection>& conn) {
-  IoStatus status = IoStatus::kWouldBlock;
-  if (!conn->draining && !conn->read_shut) {
-    status = ReadAvailable(conn->fd, &conn->assembler);
-    for (;;) {
-      if (conn->draining || conn->torn_down) break;
-      Frame frame;
-      uint32_t oversized_len = 0;
-      FrameAssembler::Next next = conn->assembler.TryNext(&frame,
-                                                          &oversized_len);
-      if (next == FrameAssembler::Next::kNeedMore) break;
-      if (next == FrameAssembler::Next::kOversized) {
-        protocol_errors_.fetch_add(1);
-        AppendResponse(
-            conn, kNoRequestId,
-            ErrorFrame(psql::ErrorCode::kOversized,
-                       "frame of " + std::to_string(oversized_len) +
-                           " bytes exceeds the " +
-                           std::to_string(options.max_frame_bytes) +
-                           "-byte limit"));
-        StartDrain(conn);  // the unread payload cannot be resynchronized
-        break;
+  bool can_read = !conn->read_shut;
+  for (;;) {
+    if (conn->draining || conn->torn_down) break;
+    if (OutBufOverLimit(conn)) {
+      // Backpressure: the client owes us a drain of its responses before
+      // we consume more of its requests. Bytes already buffered (here
+      // and in the kernel) keep; FlushAndSettle resumes the read once
+      // the out-buffer empties below the cap.
+      if (!conn->read_blocked) {
+        conn->read_blocked = true;
+        read_pauses_.fetch_add(1);
       }
+      break;
+    }
+    Frame frame;
+    uint32_t oversized_len = 0;
+    FrameAssembler::Next next = conn->assembler.TryNext(&frame,
+                                                        &oversized_len);
+    if (next == FrameAssembler::Next::kFrame) {
       DispatchFrame(conn, std::move(frame));
+      continue;
+    }
+    if (next == FrameAssembler::Next::kOversized) {
+      protocol_errors_.fetch_add(1);
+      AppendResponse(
+          conn, kNoRequestId,
+          ErrorFrame(psql::ErrorCode::kOversized,
+                     "frame of " + std::to_string(oversized_len) +
+                         " bytes exceeds the " +
+                         std::to_string(options.max_frame_bytes) +
+                         "-byte limit"));
+      StartDrain(conn);  // the unread payload cannot be resynchronized
+      break;
+    }
+    // kNeedMore: pull more bytes, bounded per pass for loop fairness.
+    if (!can_read) break;
+    size_t bytes_read = 0;
+    IoStatus status = ReadAvailable(conn->fd, &conn->assembler,
+                                    kMaxReadBytesPerPass, &bytes_read);
+    if (status == IoStatus::kError) {
+      Teardown(conn);
+      return;
+    }
+    can_read = false;
+    if (status == IoStatus::kClosed) {
+      // Frames fully received before the EOF still dispatch below.
+      conn->read_shut = true;
+    } else if (bytes_read >= kMaxReadBytesPerPass) {
+      // Cap hit: edge-triggered epoll will not re-signal for bytes still
+      // queued in the kernel — continue on the next loop iteration.
+      resume_reads_.push_back(conn->id);
     }
   }
   if (conn->torn_down) return;
-  if (status == IoStatus::kError) {
-    Teardown(conn);
-    return;
-  }
-  if (status == IoStatus::kClosed) conn->read_shut = true;
   FlushAndSettle(conn);
 }
 
@@ -574,8 +635,7 @@ void Server::Impl::DispatchFrame(const std::shared_ptr<Connection>& conn,
       AppendResponse(conn, request_id, Frame{FrameType::kOk, "pong"});
       break;
     case FrameType::kGoodbye:
-      AppendResponse(conn, request_id, Frame{FrameType::kOk, "bye"});
-      StartDrain(conn);
+      BeginGoodbye(conn, request_id);
       break;
     case FrameType::kSet: {
       std::string err = conn->options.ApplyWire(frame.payload);
@@ -842,6 +902,11 @@ void Server::Impl::HandlePendingSignals() {
 void Server::Impl::DrainDeltas(Clock::time_point now) {
   for (const auto& conn : SnapshotConns()) {
     if (conn->torn_down || !conn->deltas_pending.load()) continue;
+    if (OutBufOverLimit(conn)) {
+      // Deferred until the client drains (the flag stays set; the
+      // engine-side max_pending_deltas coalescing bounds the backlog).
+      continue;
+    }
     if (options.debug_push_delay_ms > 0 && now < conn->next_delta_drain) {
       continue;  // paced; ComputeTimeoutMs schedules the retry
     }
@@ -897,6 +962,7 @@ void Server::Impl::ExpireDeadlines(Clock::time_point now) {
 }
 
 int Server::Impl::ComputeTimeoutMs(Clock::time_point now) {
+  if (!resume_reads_.empty()) return 0;  // a read pass is already owed
   Clock::time_point next = Clock::time_point::max();
   for (const auto& [id, conn] : conns_) {
     if (conn->torn_down) continue;
@@ -972,18 +1038,62 @@ void Server::Impl::FlushAndSettle(const std::shared_ptr<Connection>& conn) {
     Teardown(conn);
     return;
   }
+  if (conn->read_blocked && !OutBufOverLimit(conn)) {
+    // Backpressure lifted: resume reading on the next loop iteration.
+    // Settling waits for the resumed pass — requests still buffered may
+    // admit new work, so the connection is not finishable yet.
+    conn->read_blocked = false;
+    resume_reads_.push_back(conn->id);
+    return;
+  }
   MaybeFinish(conn);
 }
 
 void Server::Impl::MaybeFinish(const std::shared_ptr<Connection>& conn) {
   if (conn->torn_down) return;
+  bool ack_appended = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->goodbye_pending && conn->inflight.empty()) {
+      // Every request admitted before the goodbye has answered and its
+      // response sits in the out-buffer ahead of this ack.
+      conn->out_buf += EncodeForVersion(conn->version,
+                                        conn->goodbye_request_id,
+                                        Frame{FrameType::kOk, "bye"});
+      conn->goodbye_pending = false;
+      ack_appended = true;
+    }
+  }
+  if (ack_appended && FlushOut(conn) == FlushResult::kFailed) {
+    Teardown(conn);
+    return;
+  }
   bool done;
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     done = (conn->draining || conn->read_shut) && conn->inflight.empty() &&
-           conn->out_off >= conn->out_buf.size();
+           !conn->goodbye_pending && conn->out_off >= conn->out_buf.size();
   }
   if (done) Teardown(conn);
+}
+
+bool Server::Impl::OutBufOverLimit(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  return conn->out_buf.size() - conn->out_off >= options.max_outbuf_bytes;
+}
+
+void Server::Impl::BeginGoodbye(const std::shared_ptr<Connection>& conn,
+                                uint64_t request_id) {
+  conn->draining = true;
+  for (auto& sub : conn->subscriptions) {
+    sub.handle.SetNotifier(nullptr);
+    sub.handle.Cancel();
+  }
+  conn->subscriptions.clear();
+  conn->deltas_pending.store(false);
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  conn->goodbye_pending = true;
+  conn->goodbye_request_id = request_id;
 }
 
 void Server::Impl::StartDrain(const std::shared_ptr<Connection>& conn) {
@@ -997,6 +1107,9 @@ void Server::Impl::StartDrain(const std::shared_ptr<Connection>& conn) {
   std::lock_guard<std::mutex> lock(conn->out_mu);
   for (auto& [rid, job] : conn->inflight) job->abandoned.store(true);
   conn->inflight.clear();
+  // A fault drain supersedes a pending goodbye (the error frame and the
+  // close are the client's signal).
+  conn->goodbye_pending = false;
 }
 
 void Server::Impl::Teardown(const std::shared_ptr<Connection>& conn) {
@@ -1046,6 +1159,7 @@ ServerStats Server::stats() const {
   out.queries_timeout = impl_->queries_timeout_.load();
   out.protocol_errors = impl_->protocol_errors_.load();
   out.peak_queue_depth = impl_->peak_queue_depth_.load();
+  out.read_pauses = impl_->read_pauses_.load();
   out.subscriptions_opened = impl_->subscriptions_opened_.load();
   out.deltas_pushed = impl_->deltas_pushed_.load();
   return out;

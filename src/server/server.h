@@ -12,7 +12,14 @@
 //                   FrameAssembler (partial-frame reassembly), writes
 //                   drain a per-connection out-buffer (EPOLLOUT armed
 //                   only under backpressure) — so all writes on a
-//                   connection are serialized by construction. Sessions
+//                   connection are serialized by construction. Reads are
+//                   bounded both per pass (loop fairness: one line-rate
+//                   connection cannot pin the loop) and by the reader:
+//                   a connection whose out-buffer exceeds
+//                   max_outbuf_bytes is not read (and its delta drains
+//                   are deferred) until the client consumes what is
+//                   already owed, so a non-reading pipeliner cannot
+//                   grow server memory without bound. Sessions
 //                   (protocol version, SessionOptions, prepared handles,
 //                   subscriptions) are plain event-loop state: no
 //                   per-session thread, no per-session read stack, which
@@ -86,6 +93,13 @@ struct ServerOptions {
   /// the connection is closed (the remainder of the stream cannot be
   /// skipped cheaply).
   size_t max_frame_bytes = 1 << 20;
+  /// Per-connection cap on buffered-but-unsent response bytes. While a
+  /// connection's out-buffer holds at least this much, the server stops
+  /// reading its requests and defers its delta pushes until the client
+  /// drains — a pipelining client that never reads its socket cannot
+  /// grow server memory without bound. The cap bounds accumulation, not
+  /// a single frame: one response larger than it still buffers whole.
+  size_t max_outbuf_bytes = 8 << 20;
   /// Per-subscription bound on deltas queued server-side for a slow
   /// subscriber before the backlog is coalesced into one resync snapshot
   /// (0 = the engine's EngineOptions::max_pending_deltas default).
@@ -133,6 +147,9 @@ struct ServerStats {
   uint64_t protocol_errors = 0;
   /// High-water mark of the admission queue.
   uint64_t peak_queue_depth = 0;
+  /// Read passes suspended because a connection's out-buffer exceeded
+  /// max_outbuf_bytes (reading resumes once the client drains it).
+  uint64_t read_pauses = 0;
   /// Subscriptions accepted (kSubscribe answered with a handle).
   uint64_t subscriptions_opened = 0;
   /// kDelta frames pushed to clients (resyncs included).

@@ -130,19 +130,28 @@ FrameAssembler::Next FrameAssembler::TryNext(Frame* frame,
   return Next::kFrame;
 }
 
-IoStatus ReadAvailable(int fd, FrameAssembler* assembler) {
+IoStatus ReadAvailable(int fd, FrameAssembler* assembler, size_t max_bytes,
+                       size_t* bytes_read) {
   char chunk[65536];
-  for (;;) {
+  size_t total = 0;
+  IoStatus status = IoStatus::kWouldBlock;
+  while (total < max_bytes) {
     ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
       assembler->Append(chunk, static_cast<size_t>(n));
+      total += static_cast<size_t>(n);
       continue;
     }
-    if (n == 0) return IoStatus::kClosed;
+    if (n == 0) {
+      status = IoStatus::kClosed;
+      break;
+    }
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
-    return IoStatus::kError;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) status = IoStatus::kError;
+    break;
   }
+  if (bytes_read != nullptr) *bytes_read = total;
+  return status;
 }
 
 IoStatus WriteSome(int fd, std::string* buf, size_t* offset) {

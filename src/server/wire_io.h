@@ -120,10 +120,18 @@ class FrameAssembler {
   size_t pos_ = 0;  // consumed prefix; compacted lazily by Append
 };
 
-/// Drains `fd` to EAGAIN (mandatory under edge-triggered epoll), feeding
-/// every byte read into `assembler`. Returns kWouldBlock when the socket
-/// is drained and still open, kClosed on EOF, kError on transport error.
-IoStatus ReadAvailable(int fd, FrameAssembler* assembler);
+/// Drains `fd` toward EAGAIN (mandatory under edge-triggered epoll),
+/// feeding every byte read into `assembler`, but stops once at least
+/// `max_bytes` were consumed this pass — the fairness bound that keeps
+/// one line-rate connection from pinning a single-threaded event loop.
+/// Returns kWouldBlock both when the socket is drained and when the cap
+/// was hit; `*bytes_read` (when non-null) disambiguates: a value >=
+/// `max_bytes` means the kernel may still hold data that edge-triggered
+/// epoll will NOT re-signal for, so the caller must schedule another
+/// pass itself. kClosed on EOF, kError on transport error.
+IoStatus ReadAvailable(int fd, FrameAssembler* assembler,
+                       size_t max_bytes = SIZE_MAX,
+                       size_t* bytes_read = nullptr);
 
 /// Writes `buf` from `*offset` until done or the kernel buffer fills.
 /// On kOk the buffer was fully flushed (buf cleared, offset reset); on

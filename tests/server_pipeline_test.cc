@@ -133,6 +133,30 @@ TEST(FrameAssemblerTest, OversizedFrameConsumesHeaderAndReportsLength) {
   EXPECT_EQ(oversized_len, 100u);
 }
 
+TEST(ReadAvailableTest, CapsBytesPerPassAndDrainsOnTheNext) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(SetNonBlocking(fds[0]));
+  constexpr size_t kPayload = 160 * 1024;  // fits default socket buffers
+  ASSERT_TRUE(WriteFully(fds[1], std::string(kPayload, 'x')));
+  FrameAssembler assembler(1 << 20);
+  size_t bytes_read = 0;
+  // The capped pass stops once the fairness budget is consumed, well
+  // before EAGAIN — the event loop's guard against one hot connection.
+  EXPECT_EQ(ReadAvailable(fds[0], &assembler, 64 * 1024, &bytes_read),
+            IoStatus::kWouldBlock);
+  EXPECT_GE(bytes_read, 64 * 1024u);
+  EXPECT_LT(bytes_read, kPayload);
+  // An uncapped follow-up drains the remainder; nothing was lost.
+  size_t rest = 0;
+  EXPECT_EQ(ReadAvailable(fds[0], &assembler, SIZE_MAX, &rest),
+            IoStatus::kWouldBlock);
+  EXPECT_EQ(bytes_read + rest, kPayload);
+  EXPECT_EQ(assembler.buffered(), kPayload);
+  close(fds[0]);
+  close(fds[1]);
+}
+
 // --- version negotiation ---------------------------------------------------
 
 TEST_F(PipelineFixture, V1ClientSpeaksToV2ServerUnchanged) {
@@ -160,6 +184,58 @@ TEST_F(PipelineFixture, HelloNegotiatesDownToTheClientsVersion) {
   eager.Connect(kHost, server_->port(), {.protocol_version = 7});
   EXPECT_EQ(eager.protocol_version(), kProtocolV2);
   EXPECT_TRUE(eager.Ping().ok);
+}
+
+TEST(ClientFallbackTest, HelloErrorFromPreV2ServerDowngradesToV1) {
+  // A pre-v2 server answers the unknown 'V' frame with an error and
+  // keeps serving v1: a default-config (v2-offering) client must
+  // downgrade and continue, not fail — the rolling-upgrade path.
+  int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)),
+            0);
+  ASSERT_EQ(listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  uint16_t port = ntohs(addr.sin_port);
+
+  std::thread old_server([listen_fd] {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    Frame hello;
+    ASSERT_EQ(ReadFrame(fd, &hello, 1 << 20), ReadStatus::kOk);
+    ASSERT_EQ(hello.type, FrameType::kHello);
+    ASSERT_TRUE(WriteFrame(
+        fd,
+        Frame{FrameType::kError,
+              psql::SerializeError(psql::QueryError{
+                  psql::ErrorCode::kProtocol, "unknown frame type 'V'"})}));
+    Frame ping;
+    ASSERT_EQ(ReadFrame(fd, &ping, 1 << 20), ReadStatus::kOk);
+    EXPECT_EQ(ping.type, FrameType::kPing);
+    EXPECT_TRUE(ping.payload.empty());  // untagged: the client fell back
+    ASSERT_TRUE(WriteFrame(fd, Frame{FrameType::kOk, "pong"}));
+    Frame bye;
+    ASSERT_EQ(ReadFrame(fd, &bye, 1 << 20), ReadStatus::kOk);
+    EXPECT_EQ(bye.type, FrameType::kGoodbye);
+    ASSERT_TRUE(WriteFrame(fd, Frame{FrameType::kOk, "bye"}));
+    close(fd);
+  });
+
+  Client client;
+  client.Connect(kHost, port);  // offers v2 by default
+  EXPECT_EQ(client.protocol_version(), kProtocolV1);
+  ClientResponse pong = client.Ping();
+  ASSERT_TRUE(pong.ok) << pong.error.message;
+  EXPECT_EQ(pong.info, "pong");
+  EXPECT_TRUE(client.Goodbye().ok);
+  old_server.join();
+  close(listen_fd);
 }
 
 TEST_F(PipelineFixture, MalformedHelloClosesTheConnection) {
@@ -270,6 +346,98 @@ TEST_F(PipelineFixture, PipelinedSessionMixesQueriesAndSubscriptions) {
   ASSERT_TRUE(delta.has_value());
   EXPECT_EQ(delta->subscription, sub.handle);
   EXPECT_TRUE(client.Goodbye().ok);
+}
+
+// --- goodbye drains in-flight work -------------------------------------------
+
+class SlowWorkerFixture : public PipelineFixture {
+ protected:
+  ServerOptions Options() override {
+    ServerOptions options;
+    options.num_workers = 1;  // later inserts queue behind the first
+    options.debug_execute_delay_ms = 100;
+    return options;
+  }
+};
+
+TEST_F(SlowWorkerFixture, GoodbyeDrainsPipelinedInFlightRequests) {
+  Client client = Connect();
+  // Three slow inserts pipelined ahead of the goodbye: with one worker,
+  // the later two are still queued when the goodbye frame dispatches.
+  // Every one must execute and flush its ack before the bye — a "send
+  // work, send goodbye" client may never lose writes silently.
+  std::vector<Client::ResponseFuture> inserts;
+  for (int64_t i = 0; i < 3; ++i) {
+    inserts.push_back(client.SendInsert(
+        "car",
+        Tuple{Value(static_cast<int64_t>(2000000 + i)), Value("Ford"),
+              Value("roadster"), Value("red"), Value("manual"),
+              Value(static_cast<int64_t>(999000 + i)),
+              Value(static_cast<int64_t>(999999)),
+              Value(static_cast<int64_t>(90)),
+              Value(static_cast<int64_t>(2020)), Value(7.5),
+              Value(static_cast<int64_t>(3)),
+              Value(static_cast<int64_t>(500))}));
+  }
+  // Goodbye() pumps the socket: the insert acks route to their futures
+  // while it waits for the deferred bye.
+  ClientResponse bye = client.Goodbye();
+  ASSERT_TRUE(bye.ok) << bye.error.message;
+  EXPECT_EQ(bye.info, "bye");
+  for (auto& future : inserts) {
+    ASSERT_TRUE(future.ready());  // answered before, not instead of, the bye
+    EXPECT_TRUE(future.Get().ok);
+  }
+  // The inserts actually executed, not just got acked.
+  psql::QueryResult all =
+      engine_.Execute("SELECT oid FROM car WHERE price >= 999000",
+                      ServerOptions::DefaultSessionBmo());
+  EXPECT_EQ(all.relation.size(), 3u);
+}
+
+// --- out-buffer backpressure -------------------------------------------------
+
+class TinyOutBufFixture : public PipelineFixture {
+ protected:
+  ServerOptions Options() override {
+    ServerOptions options;
+    options.max_outbuf_bytes = 64 * 1024;
+    return options;
+  }
+};
+
+TEST_F(TinyOutBufFixture, NonReadingPipelinerPausesReadsAndLosesNothing) {
+  Client client = Connect();
+  // Full-table scans (~100 KB serialized each) pipelined in rounds while
+  // the client reads nothing back. Once the kernel socket buffers fill,
+  // pending responses pile up server-side past the 64 KiB cap, so a
+  // later round's read pass must find reading paused — bounded memory
+  // instead of an out-buffer growing with every unread response.
+  const char* sql = "SELECT * FROM car WHERE price >= 0 LIMIT 1000";
+  constexpr int kRounds = 30;
+  constexpr int kPerRound = 10;
+  std::vector<Client::ResponseFuture> futures;
+  futures.reserve(kRounds * kPerRound);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kPerRound; ++i) {
+      futures.push_back(client.SendQuery(sql));
+    }
+    // Let this round's responses land before the next round's requests,
+    // so a read pass observes the backlog.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(server_->stats().read_pauses, 0u);
+  // Backpressure deferred — not dropped — the paused requests: draining
+  // the socket releases every response intact.
+  psql::QueryResult expected = Reference(sql);
+  for (auto& future : futures) {
+    ClientResponse response = future.Get();
+    ASSERT_TRUE(response.ok) << response.error.message;
+    EXPECT_TRUE(response.relation == expected.relation);
+  }
+  EXPECT_TRUE(client.Goodbye().ok);
+  EXPECT_EQ(server_->stats().queries_ok,
+            static_cast<uint64_t>(kRounds * kPerRound));
 }
 
 // --- request-id protocol errors ---------------------------------------------
