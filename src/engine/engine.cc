@@ -60,6 +60,11 @@ struct Exec {
   PhysicalPlan plan;
   // BMO block path (ungrouped, non-decomposition): kernel inputs.
   bool block_path = false;
+  // Zero-copy compile: score_table was built straight off the snapshot's
+  // column buffers (no projection index; proj.values stays empty) and its
+  // row i is candidate-pool position i — maximal flags map back by
+  // identity.
+  bool zero_copy = false;
   ProjectionIndex proj;  // distinct projections over filtered_rows
   std::optional<ScoreTable> score_table;
   // GROUPING path (non-decomposition): per-group cached plans + compiled
@@ -121,14 +126,13 @@ std::string TopKText(size_t k) {
 std::vector<std::vector<size_t>> GroupPoolRows(
     const Relation& table, const std::vector<size_t>& cols, bool subset,
     const std::vector<size_t>& filtered_rows, size_t pool_size) {
-  std::vector<std::vector<size_t>> groups;
-  std::unordered_map<Tuple, size_t, TupleHash> group_of;
+  // Columnar equality coding instead of per-row Tuple::Project + hashing;
+  // codes come out in first-occurrence order, matching the old map.
+  GroupCoding coding =
+      ComputeGroupCoding(table, cols, subset ? &filtered_rows : nullptr);
+  std::vector<std::vector<size_t>> groups(coding.num_groups);
   for (size_t i = 0; i < pool_size; ++i) {
-    size_t row = subset ? filtered_rows[i] : i;
-    Tuple key = table.at(row).Project(cols);
-    auto [it, inserted] = group_of.emplace(std::move(key), groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(row);
+    groups[coding.codes[i]].push_back(subset ? filtered_rows[i] : i);
   }
   return groups;
 }
@@ -160,7 +164,7 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
   if (stmt.where) {
     auto pred = psql::CompileCondition(*stmt.where, table.schema());
     for (size_t i = 0; i < table.size(); ++i) {
-      if (pred(table.at(i))) exec->filtered_rows.push_back(i);
+      if (pred(table.RowAt(i))) exec->filtered_rows.push_back(i);
     }
     exec->use_row_subset = true;
     plan_str += " -> where[" + stmt.where->ToString() + "]";
@@ -197,7 +201,7 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
           exec->use_row_subset ? exec->filtered_rows.size() : table.size();
       for (size_t i = 0; i < n; ++i) {
         size_t row = exec->use_row_subset ? exec->filtered_rows[i] : i;
-        if (exec->but_only(table.at(row))) pool.push_back(row);
+        if (exec->but_only(table.RowAt(row))) pool.push_back(row);
       }
       exec->filtered_rows = std::move(pool);
       exec->use_row_subset = true;
@@ -263,14 +267,32 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
       // score table once; Run() then does only the kernel work.
       exec->block_path = true;
       t0 = Clock::now();
-      exec->proj = BuildProjectionIndex(
-          table, *exec_pref,
-          exec->use_row_subset ? &exec->filtered_rows : nullptr);
-      if (options.vectorize && !exec->proj.values.empty()) {
+      const std::vector<size_t>* pool_ptr =
+          exec->use_row_subset ? &exec->filtered_rows : nullptr;
+      // Zero-copy compile: numerical terms over NaN-free columns compile
+      // straight off the snapshot's column buffers, skipping the
+      // projection-index gather and dedup. Gated on a sampled
+      // distinctness probe — under heavy duplication the deduplicating
+      // gather shrinks the kernel input enough to win instead.
+      if (options.vectorize && pool_size > 0 &&
+          ScoreTable::CompilableColumnar(exec_pref, table) &&
+          LikelyMostlyDistinct(
+              table, table.ResolveColumns(exec_pref->attributes()),
+              pool_ptr)) {
         exec->score_table =
-            ScoreTable::Compile(exec_pref, exec->proj.proj_schema,
-                                exec->proj.values.data(),
-                                exec->proj.values.size());
+            ScoreTable::CompileColumnar(exec_pref, table, pool_ptr);
+        exec->zero_copy = exec->score_table.has_value();
+      }
+      if (exec->zero_copy) {
+        exec->proj.proj_schema = table.schema().Project(exec_pref->attributes());
+      } else {
+        exec->proj = BuildProjectionIndex(table, *exec_pref, pool_ptr);
+        if (options.vectorize && !exec->proj.values.empty()) {
+          exec->score_table =
+              ScoreTable::Compile(exec_pref, exec->proj.proj_schema,
+                                  exec->proj.values.data(),
+                                  exec->proj.values.size());
+        }
       }
       exec->compile_ns += ElapsedNs(t0, Clock::now());
       // Stage 2 — refine the costed plan with measured block statistics
@@ -392,6 +414,11 @@ std::shared_ptr<const Exec> BuildExec(const Plan& plan,
                 ", kernel=" + exec->kernel_variant + "]";
     if (stmt.explain && !exec->plan_details.empty()) {
       exec->plan_details += "kernel: " + exec->kernel_variant + "\n";
+      if (exec->block_path && exec->score_table) {
+        exec->plan_details += std::string("compile: ") +
+                              (exec->zero_copy ? "zero-copy" : "gather") +
+                              "\n";
+      }
     }
   }
 
@@ -440,9 +467,16 @@ psql::QueryResult ExecuteExec(const Plan& plan, const Exec& exec) {
     current = table.SelectRows(rows);
   } else if (plan.preference) {
     if (exec.block_path) {
-      const size_t m = exec.proj.values.size();
       std::vector<size_t> rows;
-      if (m > 0) {
+      if (exec.zero_copy) {
+        // Zero-copy table: row i is pool position i, no projection index.
+        std::vector<bool> maximal = internal::ExecuteBlockPlan(
+            nullptr, pool_size, exec.exec_pref, exec.proj.proj_schema,
+            &*exec.score_table, exec.plan);
+        for (size_t i = 0; i < pool_size; ++i) {
+          if (maximal[i]) rows.push_back(subset ? exec.filtered_rows[i] : i);
+        }
+      } else if (!exec.proj.values.empty()) {
         std::vector<bool> maximal = internal::ExecuteBlockPlan(
             exec.proj.values, exec.exec_pref, exec.proj.proj_schema,
             exec.score_table ? &*exec.score_table : nullptr, exec.plan);
@@ -709,7 +743,7 @@ size_t Engine::Delete(const std::string& name,
     std::vector<size_t> survivors;
     survivors.reserve(snapshot->size());
     for (size_t i = 0; i < snapshot->size(); ++i) {
-      if (!pred || pred(snapshot->at(i))) {
+      if (!pred || pred(snapshot->RowAt(i))) {
         deleted.push_back(i);
       } else {
         survivors.push_back(i);

@@ -45,14 +45,18 @@ ProjectionIndex BuildProjectionIndex(const Relation& r, const Preference& p,
   ProjectionIndex out;
   std::vector<size_t> cols = r.ResolveColumns(p.attributes());
   out.proj_schema = r.schema().Project(p.attributes());
-  const size_t n = rows ? rows->size() : r.size();
-  out.row_to_value.reserve(n);
-  std::unordered_map<Tuple, size_t, TupleHash> ids;
-  for (size_t i = 0; i < n; ++i) {
-    Tuple proj = r.at(rows ? (*rows)[i] : i).Project(cols);
-    auto [it, inserted] = ids.emplace(std::move(proj), out.values.size());
-    if (inserted) out.values.push_back(it->first);
-    out.row_to_value.push_back(it->second);
+  // Columnar dedup: per-column equality coding over the store's flat
+  // buffers instead of per-row Tuple::Project + hashing. Codes come out
+  // in first-occurrence order, matching the old hash-map assignment.
+  GroupCoding coding = ComputeGroupCoding(r, cols, rows);
+  out.row_to_value.assign(coding.codes.begin(), coding.codes.end());
+  out.values.reserve(coding.num_groups);
+  for (uint32_t rep : coding.group_rows) {
+    const size_t row = rows ? (*rows)[rep] : rep;
+    std::vector<Value> vals;
+    vals.reserve(cols.size());
+    for (size_t c : cols) vals.push_back(r.ValueAt(row, c));
+    out.values.emplace_back(std::move(vals));
   }
   return out;
 }
@@ -198,11 +202,21 @@ void Maxima2D(const ScoreMatrix& scores, std::vector<size_t>& idx,
     }
     return scores.row(a)[1] > scores.row(b)[1];
   });
+  bool has_best = false;
+  double best0 = 0.0;
   double best1 = -std::numeric_limits<double>::infinity();
   for (size_t i : idx) {
-    if (scores.row(i)[1] > best1) {
+    if (!has_best || scores.row(i)[1] > best1) {
       maximal[i] = true;
+      has_best = true;
+      best0 = scores.row(i)[0];
       best1 = scores.row(i)[1];
+    } else if (scores.row(i)[1] == best1 && scores.row(i)[0] == best0) {
+      // Exact duplicate of the current sweep maximum: equal rows never
+      // dominate each other (no strict coordinate), so it is maximal too.
+      // Reachable only from the zero-copy compile path, which skips
+      // duplicate elimination.
+      maximal[i] = true;
     }
   }
 }
@@ -446,20 +460,29 @@ std::vector<bool> ComputeMaximaBlock(const Tuple* values, size_t count,
   return MaximaBnlRange(values, count, p->Bind(proj_schema));
 }
 
-std::vector<bool> ExecuteBlockPlan(const std::vector<Tuple>& values,
+std::vector<bool> ExecuteBlockPlan(const Tuple* values, size_t count,
                                    const PrefPtr& p,
                                    const Schema& proj_schema,
                                    const ScoreTable* table,
                                    const PhysicalPlan& plan) {
   if (plan.algorithm == BmoAlgorithm::kParallel) {
-    return MaximaParallel(values, p, proj_schema, plan, table);
+    return MaximaParallel(values, count, p, proj_schema, plan, table);
   }
   if (table != nullptr) {
-    return table->MaximaRange(plan.algorithm, 0, values.size(), plan);
+    return table->MaximaRange(plan.algorithm, 0, count, plan);
   }
   PhysicalPlan closure_plan = plan;
   closure_plan.vectorize = false;  // compilation was already attempted
-  return ComputeMaximaBlock(values, p, proj_schema, closure_plan);
+  return ComputeMaximaBlock(values, count, p, proj_schema, closure_plan);
+}
+
+std::vector<bool> ExecuteBlockPlan(const std::vector<Tuple>& values,
+                                   const PrefPtr& p,
+                                   const Schema& proj_schema,
+                                   const ScoreTable* table,
+                                   const PhysicalPlan& plan) {
+  return ExecuteBlockPlan(values.data(), values.size(), p, proj_schema, table,
+                          plan);
 }
 
 }  // namespace internal
@@ -494,6 +517,25 @@ std::vector<size_t> BmoIndices(const Relation& r, const PrefPtr& p,
   if (r.empty()) return {};
   if (options.algorithm == BmoAlgorithm::kDecomposition) {
     return BmoDecompositionIndices(r, p);
+  }
+  // Zero-copy fast path: compile straight off the column buffers — no
+  // projection index, no dedup, identity row mapping. Gated on a sampled
+  // distinctness probe: with heavy duplication the deduplicating gather
+  // below shrinks the kernel input enough to win instead.
+  if (options.vectorize && ScoreTable::CompilableColumnar(p, r) &&
+      LikelyMostlyDistinct(r, r.ResolveColumns(p->attributes()))) {
+    if (auto table = ScoreTable::CompileColumnar(p, r)) {
+      Schema proj_schema = r.schema().Project(p->attributes());
+      PhysicalPlan plan =
+          PlanBlock(ProjectionIndex{}, p, &*table, r.size(), options);
+      std::vector<bool> maximal = internal::ExecuteBlockPlan(
+          nullptr, r.size(), p, proj_schema, &*table, plan);
+      std::vector<size_t> rows;
+      for (size_t i = 0; i < r.size(); ++i) {
+        if (maximal[i]) rows.push_back(i);
+      }
+      return rows;
+    }
   }
   ProjectionIndex proj = BuildProjectionIndex(r, *p);
   std::optional<ScoreTable> table;

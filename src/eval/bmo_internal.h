@@ -47,7 +47,14 @@ inline std::vector<bool> ComputeMaximaBlock(const std::vector<Tuple>& values,
 /// one dispatch every consumer shares: kParallel routes to the
 /// partition-and-merge engine (handing the table in), a compiled table
 /// runs its kernels directly, and a null table falls back to the closure
-/// path without re-attempting compilation.
+/// path without re-attempting compilation. `values` may be null when
+/// `table` is non-null (the zero-copy columnar compile has no
+/// materialized value block); every table-backed path reads only `count`.
+std::vector<bool> ExecuteBlockPlan(const Tuple* values, size_t count,
+                                   const PrefPtr& p, const Schema& proj_schema,
+                                   const ScoreTable* table,
+                                   const PhysicalPlan& plan);
+
 std::vector<bool> ExecuteBlockPlan(const std::vector<Tuple>& values,
                                    const PrefPtr& p, const Schema& proj_schema,
                                    const ScoreTable* table,

@@ -14,8 +14,7 @@ namespace {
 // Maxima of the union of two antichains (each the output of a prior
 // maxima pass, so within-list domination is impossible): only the
 // |a|*|b| cross-comparisons are needed, and no tuples are materialized.
-std::vector<size_t> MergeAntichains(const std::vector<Tuple>& values,
-                                    const LessFn& less,
+std::vector<size_t> MergeAntichains(const Tuple* values, const LessFn& less,
                                     const std::vector<size_t>& a,
                                     const std::vector<size_t>& b) {
   std::vector<size_t> out;
@@ -55,17 +54,25 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PrefPtr& p, const Schema& proj_schema,
                                  const PhysicalPlan& plan,
                                  const ScoreTable* precompiled) {
-  const size_t m = values.size();
+  return MaximaParallel(values.data(), values.size(), p, proj_schema, plan,
+                        precompiled);
+}
+
+std::vector<bool> MaximaParallel(const Tuple* values, size_t m,
+                                 const PrefPtr& p, const Schema& proj_schema,
+                                 const PhysicalPlan& plan,
+                                 const ScoreTable* precompiled) {
   std::vector<bool> maximal(m, false);
   if (m == 0) return maximal;
 
   // Compile once (unless the caller hands a cached table in); every
   // partition and merge round shares the immutable table (reads only, no
-  // synchronization needed).
+  // synchronization needed). A null `values` requires `precompiled`
+  // (header contract): every branch below then goes through the table.
   std::optional<ScoreTable> local_table;
   const ScoreTable* table = precompiled;
   if (table == nullptr && plan.vectorize) {
-    local_table = ScoreTable::Compile(p, proj_schema, values.data(), m);
+    local_table = ScoreTable::Compile(p, proj_schema, values, m);
     if (local_table) table = &*local_table;
   }
 
@@ -89,7 +96,7 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
     // Too small to split, or already on a pool worker (where blocking on
     // further pool tasks could deadlock): evaluate sequentially.
     if (table) return table->MaximaRange(algo, 0, m, plan);
-    return internal::ComputeMaximaBlock(values, p, proj_schema,
+    return internal::ComputeMaximaBlock(values, m, p, proj_schema,
                                         closure_plan);
   }
 
@@ -102,8 +109,8 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
           size_t c, size_t begin, size_t end) {
         std::vector<bool> flags =
             table ? table->MaximaRange(algo, begin, end, plan)
-                  : internal::ComputeMaximaBlock(values.data() + begin,
-                                                 end - begin, p, proj_schema,
+                  : internal::ComputeMaximaBlock(values + begin, end - begin,
+                                                 p, proj_schema,
                                                  closure_plan);
         for (size_t i = begin; i < end; ++i) {
           if (flags[i - begin]) local[c].push_back(i);

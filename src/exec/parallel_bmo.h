@@ -46,6 +46,15 @@ std::vector<bool> MaximaParallel(const std::vector<Tuple>& values,
                                  const PhysicalPlan& plan,
                                  const ScoreTable* precompiled);
 
+/// Raw-range core shared by both overloads. `values` may be null when
+/// `precompiled` is non-null: with a table every partition and merge pass
+/// runs off the compiled matrix, so the value block is never read (the
+/// zero-copy columnar compile path has none).
+std::vector<bool> MaximaParallel(const Tuple* values, size_t count,
+                                 const PrefPtr& p, const Schema& proj_schema,
+                                 const PhysicalPlan& plan,
+                                 const ScoreTable* precompiled);
+
 /// σ[P](R) row indices (ascending) evaluated with the parallel engine;
 /// same contract as BmoIndices().
 std::vector<size_t> ParallelBmoIndices(const Relation& r, const PrefPtr& p,

@@ -12,6 +12,7 @@
 #include "core/numeric_preferences.h"
 #include "eval/quality.h"
 #include "exec/hardware.h"
+#include "relation/relation.h"
 
 namespace prefdb {
 
@@ -126,10 +127,15 @@ bool CompilableRec(const PrefPtr& p0, bool dual) {
     p = p->children()[0];
   }
   if (p->kind() == PreferenceKind::kPareto ||
-      p->kind() == PreferenceKind::kPrioritized) {
-    // DUAL distributes over both accumulations (equality per side is
-    // value equality, which dual preserves), so the order flip is pushed
-    // to the leaves at descriptor build time.
+      p->kind() == PreferenceKind::kPrioritized ||
+      p->kind() == PreferenceKind::kIntersection ||
+      p->kind() == PreferenceKind::kDisjointUnion) {
+    // DUAL distributes over all four aggregations: over the accumulations
+    // because equality per side is value equality (which dual preserves),
+    // and over intersection/union because dual of a conjunction (resp.
+    // disjunction) of orders is the conjunction (disjunction) of the
+    // duals. So the order flip is pushed to the leaves at descriptor
+    // build time.
     auto kids = p->children();
     return CompilableRec(kids[0], dual) && CompilableRec(kids[1], dual);
   }
@@ -141,13 +147,21 @@ std::optional<size_t> TableKeyCount(const PrefPtr& p0) {
   PrefPtr p = p0;
   while (p->kind() == PreferenceKind::kDual) p = p->children()[0];
   switch (p->kind()) {
-    case PreferenceKind::kPareto: {
+    // Intersection keys like Pareto: x <(P<>Q) y implies both sides
+    // strictly improve, so the summed single-column-set key strictly
+    // improves too.
+    case PreferenceKind::kPareto:
+    case PreferenceKind::kIntersection: {
       auto kids = p->children();
       auto l = TableKeyCount(kids[0]);
       auto r = TableKeyCount(kids[1]);
       if (l && r && *l == 1 && *r == 1) return 1;
       return std::nullopt;
     }
+    // Disjoint union derives no key: x <(P+Q) y needs only one side to
+    // improve, and the other side's key may move the sum either way.
+    case PreferenceKind::kDisjointUnion:
+      return std::nullopt;
     case PreferenceKind::kPrioritized: {
       auto kids = p->children();
       auto l = TableKeyCount(kids[0]);
@@ -182,17 +196,96 @@ bool ScoreTable::HasStaticSortKeys(const PrefPtr& p) {
 // ---------------------------------------------------------------------------
 // Compilation
 
-namespace {
-
 // Per-column materialization state, assembled row-major afterwards.
-struct ColumnData {
+struct ScoreTable::ColumnData {
   std::vector<double> scores;
   std::vector<uint32_t> ids;
   bool use_ids = false;
   uint32_t classes = 0;  // equality classes (0 = injective fast path)
 };
 
-}  // namespace
+// Detects score ties across distinct equality classes (and NaN scores,
+// which compare unequal to themselves): such columns need the id test.
+// Sort-based: one double sort beats per-row hashing by a wide margin.
+void ScoreTable::DetectUseIds(ColumnData& col) {
+  const size_t n = col.scores.size();
+  for (double s : col.scores) {
+    if (std::isnan(s)) {
+      col.use_ids = true;
+      return;  // also keeps NaN out of the sort comparator below
+    }
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&col](uint32_t a, uint32_t b) {
+    return col.scores[a] < col.scores[b];
+  });
+  for (size_t i = 1; i < n; ++i) {
+    if (exec::ScoreEqNanFree(col.scores[order[i - 1]],
+                             col.scores[order[i]]) &&
+        col.ids[order[i - 1]] != col.ids[order[i]]) {
+      col.use_ids = true;
+      return;
+    }
+  }
+}
+
+void ScoreTable::Assemble(std::vector<ColumnData>&& columns, size_t count,
+                          bool has_pareto, bool has_prio, bool has_other) {
+  cols_ = columns.size();
+  prog_.cols = cols_;
+  // Intersection/union nodes have no flat-mode shortcut, so any such node
+  // anywhere in the descriptor forces the general node program.
+  prog_.mode =
+      has_other
+          ? simd::DominanceProgram::Mode::kGeneral
+          : has_prio ? (has_pareto ? simd::DominanceProgram::Mode::kGeneral
+                                   : simd::DominanceProgram::Mode::kFlatLex)
+                     : simd::DominanceProgram::Mode::kFlatPareto;
+
+  // Assemble the row-major matrix.
+  scores_.resize(count * cols_);
+  ids_.resize(count * cols_);
+  prog_.use_ids.resize(cols_);
+  col_distinct_.resize(cols_);
+  for (size_t c = 0; c < cols_; ++c) {
+    prog_.use_ids[c] = columns[c].use_ids ? 1 : 0;
+    col_distinct_[c] = columns[c].classes;
+    for (size_t r = 0; r < count; ++r) {
+      scores_[r * cols_ + c] = columns[c].scores[r];
+      ids_[r * cols_ + c] = columns[c].ids[r];
+    }
+  }
+
+  // Sort keys from the descriptor: leaf -> its column; prioritized ->
+  // concatenation; Pareto and intersection -> the sum of two
+  // single-column-set keys (both demand a strict improvement on each
+  // side, so the sum strictly improves); union -> none (one-sided strict
+  // improvement leaves the sum unordered).
+  std::function<std::optional<std::vector<std::vector<int>>>(int)> keys_of =
+      [this, &keys_of](int n) -> std::optional<std::vector<std::vector<int>>> {
+    const simd::DominanceProgram::Node& node = prog_.nodes[n];
+    if (node.kind == simd::DominanceProgram::Node::Kind::kLeaf) {
+      return std::vector<std::vector<int>>{{node.a}};
+    }
+    if (node.kind == simd::DominanceProgram::Node::Kind::kUnion) {
+      return std::nullopt;
+    }
+    auto l = keys_of(node.a);
+    auto r = keys_of(node.b);
+    if (!l || !r) return std::nullopt;
+    if (node.kind == simd::DominanceProgram::Node::Kind::kPrioritized) {
+      for (auto& k : *r) l->push_back(std::move(k));
+      return l;
+    }
+    if (l->size() != 1 || r->size() != 1) return std::nullopt;
+    for (int c : (*r)[0]) (*l)[0].push_back(c);
+    return l;
+  };
+  if (auto keys = keys_of(prog_.root)) {
+    sort_keys_ = std::move(*keys);
+  }
+}
 
 std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
                                               const Schema& proj_schema,
@@ -205,34 +298,9 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
   std::vector<ColumnData> columns;
   bool has_pareto = false;
   bool has_prio = false;
+  bool has_other = false;  // intersection/union: forces kGeneral
 
-  // Detects score ties across distinct equality classes (and NaN scores,
-  // which compare unequal to themselves): such columns need the id test.
-  // Sort-based: one double sort beats per-row hashing by a wide margin.
-  auto finish_column = [&columns]() {
-    ColumnData& col = columns.back();
-    const size_t n = col.scores.size();
-    for (double s : col.scores) {
-      if (std::isnan(s)) {
-        col.use_ids = true;
-        return;  // also keeps NaN out of the sort comparator below
-      }
-    }
-    std::vector<uint32_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(),
-              [&col](uint32_t a, uint32_t b) {
-                return col.scores[a] < col.scores[b];
-              });
-    for (size_t i = 1; i < n; ++i) {
-      if (exec::ScoreEqNanFree(col.scores[order[i - 1]],
-                               col.scores[order[i]]) &&
-          col.ids[order[i - 1]] != col.ids[order[i]]) {
-        col.use_ids = true;
-        return;
-      }
-    }
-  };
+  auto finish_column = [&columns]() { DetectUseIds(columns.back()); };
 
   // Materializes a leaf: equality-class ids by sorting row indices under a
   // total order whose ties coincide with value equality (Value::operator<
@@ -391,17 +459,33 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
       cur = cur->children()[0];
     }
     if (cur->kind() == PreferenceKind::kPareto ||
-        cur->kind() == PreferenceKind::kPrioritized) {
-      // A surrounding DUAL distributes over the accumulation: flip the
-      // order of every leaf below instead (score negation).
+        cur->kind() == PreferenceKind::kPrioritized ||
+        cur->kind() == PreferenceKind::kIntersection ||
+        cur->kind() == PreferenceKind::kDisjointUnion) {
+      // A surrounding DUAL distributes over every aggregation here: flip
+      // the order of every leaf below instead (score negation).
       auto kids = cur->children();
       int l = build(kids[0], dual);
       int r = build(kids[1], dual);
       simd::DominanceProgram::Node node;
-      node.kind = cur->kind() == PreferenceKind::kPareto
-                      ? simd::DominanceProgram::Node::Kind::kPareto
-                      : simd::DominanceProgram::Node::Kind::kPrioritized;
-      (cur->kind() == PreferenceKind::kPareto ? has_pareto : has_prio) = true;
+      switch (cur->kind()) {
+        case PreferenceKind::kPareto:
+          node.kind = simd::DominanceProgram::Node::Kind::kPareto;
+          has_pareto = true;
+          break;
+        case PreferenceKind::kPrioritized:
+          node.kind = simd::DominanceProgram::Node::Kind::kPrioritized;
+          has_prio = true;
+          break;
+        case PreferenceKind::kIntersection:
+          node.kind = simd::DominanceProgram::Node::Kind::kIntersect;
+          has_other = true;
+          break;
+        default:
+          node.kind = simd::DominanceProgram::Node::Kind::kUnion;
+          has_other = true;
+          break;
+      }
       node.a = l;
       node.b = r;
       table.prog_.nodes.push_back(node);
@@ -471,50 +555,254 @@ std::optional<ScoreTable> ScoreTable::Compile(const PrefPtr& p,
   };
 
   table.prog_.root = build(p, false);
-  table.cols_ = columns.size();
-  table.prog_.cols = table.cols_;
-  table.prog_.mode =
-      has_prio ? (has_pareto ? simd::DominanceProgram::Mode::kGeneral
-                             : simd::DominanceProgram::Mode::kFlatLex)
-               : simd::DominanceProgram::Mode::kFlatPareto;
+  table.Assemble(std::move(columns), count, has_pareto, has_prio, has_other);
+  return table;
+}
 
-  // Assemble the row-major matrix.
-  table.scores_.resize(count * table.cols_);
-  table.ids_.resize(count * table.cols_);
-  table.prog_.use_ids.resize(table.cols_);
-  table.col_distinct_.resize(table.cols_);
-  for (size_t c = 0; c < table.cols_; ++c) {
-    table.prog_.use_ids[c] = columns[c].use_ids ? 1 : 0;
-    table.col_distinct_[c] = columns[c].classes;
-    for (size_t r = 0; r < count; ++r) {
-      table.scores_[r * table.cols_ + c] = columns[c].scores[r];
-      table.ids_[r * table.cols_ + c] = columns[c].ids[r];
+// ---------------------------------------------------------------------------
+// Zero-copy (columnar) compilation
+
+namespace {
+
+bool ColumnarNumericColumn(const Relation& r, const std::string& name) {
+  auto idx = r.schema().IndexOf(name);
+  return idx && r.store().column(*idx).NumericNanFree();
+}
+
+bool ColumnarRec(const PrefPtr& p0, const Relation& r) {
+  PrefPtr p = p0;
+  while (p->kind() == PreferenceKind::kDual) p = p->children()[0];
+  if (p->kind() == PreferenceKind::kPareto ||
+      p->kind() == PreferenceKind::kPrioritized ||
+      p->kind() == PreferenceKind::kIntersection ||
+      p->kind() == PreferenceKind::kDisjointUnion) {
+    auto kids = p->children();
+    return ColumnarRec(kids[0], r) && ColumnarRec(kids[1], r);
+  }
+  if (IsScoredLeafKind(p->kind())) {
+    return dynamic_cast<const ScoredBasePreference*>(p.get()) != nullptr &&
+           ColumnarNumericColumn(r, p->attributes()[0]);
+  }
+  if (p->kind() == PreferenceKind::kRankF) {
+    if (!CompilableLeaf(p)) return false;
+    for (const auto& name : p->attributes()) {
+      if (!ColumnarNumericColumn(r, name)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ScoreTable::CompilableColumnar(const PrefPtr& p, const Relation& r) {
+  return ColumnarRec(p, r);
+}
+
+std::optional<ScoreTable> ScoreTable::CompileColumnar(
+    const PrefPtr& p, const Relation& r, const std::vector<size_t>* pool) {
+  if (!CompilableColumnar(p, r)) return std::nullopt;
+  const ColumnStore& store = r.store();
+  const size_t count = pool ? pool->size() : r.size();
+
+  ScoreTable table;
+  table.rows_ = count;
+  std::vector<ColumnData> columns;
+  bool has_pareto = false;
+  bool has_prio = false;
+  bool has_other = false;  // intersection/union: forces kGeneral
+
+  // Logical row i -> physical row in the column buffers. Identity when
+  // compiling a flat store without a pool — the common cold path — so the
+  // leaf loops read the column buffers with zero indirection.
+  std::vector<uint32_t> phys;
+  const bool identity = pool == nullptr && !store.IsView();
+  if (!identity) {
+    phys.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      phys[i] =
+          static_cast<uint32_t>(store.PhysicalRow(pool ? (*pool)[i] : i));
     }
   }
 
-  // Sort keys from the descriptor: leaf -> its column; prioritized ->
-  // concatenation; Pareto -> the sum of two single-column-set keys.
-  std::function<std::optional<std::vector<std::vector<int>>>(int)> keys_of =
-      [&](int n) -> std::optional<std::vector<std::vector<int>>> {
-    const simd::DominanceProgram::Node& node = table.prog_.nodes[n];
-    if (node.kind == simd::DominanceProgram::Node::Kind::kLeaf) {
-      return std::vector<std::vector<int>>{{node.a}};
-    }
-    auto l = keys_of(node.a);
-    auto r = keys_of(node.b);
-    if (!l || !r) return std::nullopt;
-    if (node.kind == simd::DominanceProgram::Node::Kind::kPrioritized) {
-      for (auto& k : *r) l->push_back(std::move(k));
-      return l;
-    }
-    if (l->size() != 1 || r->size() != 1) return std::nullopt;
-    for (int c : (*r)[0]) (*l)[0].push_back(c);
-    return l;
+  // Pool-ordered widened doubles of one column: borrows the column buffer
+  // outright in the identity case, gathers once otherwise.
+  std::vector<std::vector<double>> scratch;  // keeps gathered copies alive
+  auto leaf_nums = [&](size_t c) -> const double* {
+    const std::vector<double>& nums = store.column(c).nums;
+    if (identity) return nums.data();
+    scratch.emplace_back(count);
+    std::vector<double>& out = scratch.back();
+    for (size_t i = 0; i < count; ++i) out[i] = nums[phys[i]];
+    return out.data();
   };
-  if (auto keys = keys_of(table.prog_.root)) {
-    table.sort_keys_ = std::move(*keys);
-  }
 
+  // Sort-based id assignment over a raw double array; NaN-free by the
+  // eligibility check, so double equality is exactly value equality.
+  auto build_numeric_leaf = [&](const double* nums,
+                                const std::function<double(double)>&
+                                    score_of) {
+    columns.emplace_back();
+    ColumnData& out = columns.back();
+    out.scores.resize(count);
+    out.ids.resize(count);
+    std::vector<uint32_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [nums](uint32_t a, uint32_t b) { return nums[a] < nums[b]; });
+    uint32_t next_id = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0 &&
+          exec::ScoreEqNanFree(nums[order[i - 1]], nums[order[i]])) {
+        out.ids[order[i]] = out.ids[order[i - 1]];
+        out.scores[order[i]] = out.scores[order[i - 1]];
+      } else {
+        out.ids[order[i]] = next_id++;
+        out.scores[order[i]] = score_of(nums[order[i]]);
+      }
+    }
+    out.classes = next_id;
+    DetectUseIds(out);
+    return static_cast<int>(columns.size() - 1);
+  };
+
+  // rank(F): equality classes are the value combinations over the leaf's
+  // columns (lexicographic double sort); the utility reads rows through a
+  // Tuple, so one full-arity scratch tuple is reused, mutating only the
+  // leaf's cells — once per equality class, not per row.
+  auto build_rank_leaf = [&](const std::vector<size_t>& cols,
+                             const RankPreference* rank, double sign) {
+    std::vector<const double*> ptrs;
+    ptrs.reserve(cols.size());
+    for (size_t c : cols) ptrs.push_back(leaf_nums(c));
+    ScoreFn utility = rank->BindUtility(r.schema());
+    Tuple scratch{std::vector<Value>(r.schema().size())};
+    columns.emplace_back();
+    ColumnData& out = columns.back();
+    out.scores.resize(count);
+    out.ids.resize(count);
+    std::vector<uint32_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&ptrs](uint32_t a, uint32_t b) {
+                for (const double* col : ptrs) {
+                  if (col[a] < col[b]) return true;
+                  if (col[b] < col[a]) return false;
+                }
+                return false;
+              });
+    auto rows_eq = [&ptrs](uint32_t a, uint32_t b) {
+      for (const double* col : ptrs) {
+        if (!exec::ScoreEqNanFree(col[a], col[b])) return false;
+      }
+      return true;
+    };
+    uint32_t next_id = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t row = order[i];
+      if (i > 0 && rows_eq(order[i - 1], row)) {
+        out.ids[row] = out.ids[order[i - 1]];
+        out.scores[row] = out.scores[order[i - 1]];
+      } else {
+        out.ids[row] = next_id++;
+        for (size_t k = 0; k < cols.size(); ++k) {
+          scratch[cols[k]] = Value(ptrs[k][row]);
+        }
+        out.scores[row] = sign * utility(scratch);
+      }
+    }
+    out.classes = next_id;
+    DetectUseIds(out);
+    return static_cast<int>(columns.size() - 1);
+  };
+
+  std::function<int(const PrefPtr&, bool)> build = [&](const PrefPtr& p0,
+                                                       bool dual) -> int {
+    PrefPtr cur = p0;
+    while (cur->kind() == PreferenceKind::kDual) {
+      dual = !dual;
+      cur = cur->children()[0];
+    }
+    if (cur->kind() == PreferenceKind::kPareto ||
+        cur->kind() == PreferenceKind::kPrioritized ||
+        cur->kind() == PreferenceKind::kIntersection ||
+        cur->kind() == PreferenceKind::kDisjointUnion) {
+      auto kids = cur->children();
+      int l = build(kids[0], dual);
+      int rr = build(kids[1], dual);
+      simd::DominanceProgram::Node node;
+      switch (cur->kind()) {
+        case PreferenceKind::kPareto:
+          node.kind = simd::DominanceProgram::Node::Kind::kPareto;
+          has_pareto = true;
+          break;
+        case PreferenceKind::kPrioritized:
+          node.kind = simd::DominanceProgram::Node::Kind::kPrioritized;
+          has_prio = true;
+          break;
+        case PreferenceKind::kIntersection:
+          node.kind = simd::DominanceProgram::Node::Kind::kIntersect;
+          has_other = true;
+          break;
+        default:
+          node.kind = simd::DominanceProgram::Node::Kind::kUnion;
+          has_other = true;
+          break;
+      }
+      node.a = l;
+      node.b = rr;
+      table.prog_.nodes.push_back(node);
+      return static_cast<int>(table.prog_.nodes.size() - 1);
+    }
+
+    const double sign = dual ? -1.0 : 1.0;
+    int col = -1;
+    if (IsScoredLeafKind(cur->kind())) {
+      size_t c = ResolveColumnOrThrow(r.schema(), cur->attributes()[0]);
+      const auto* scored =
+          dynamic_cast<const ScoredBasePreference*>(cur.get());
+      if (cur->kind() == PreferenceKind::kLowest ||
+          cur->kind() == PreferenceKind::kHighest) {
+        // Strictly monotone score on an all-numeric column: injective by
+        // construction — a straight fill off the column buffer, no sort,
+        // no ids.
+        const std::vector<double>& nums = store.column(c).nums;
+        columns.emplace_back();
+        ColumnData& out = columns.back();
+        out.scores.resize(count);
+        out.ids.assign(count, 0);
+        if (identity) {
+          for (size_t i = 0; i < count; ++i) {
+            out.scores[i] = sign * scored->ScoreOf(Value(nums[i]));
+          }
+        } else {
+          for (size_t i = 0; i < count; ++i) {
+            out.scores[i] = sign * scored->ScoreOf(Value(nums[phys[i]]));
+          }
+        }
+        col = static_cast<int>(columns.size() - 1);
+      } else {
+        col = build_numeric_leaf(leaf_nums(c), [scored, sign](double v) {
+          return sign * scored->ScoreOf(Value(v));
+        });
+      }
+    } else {  // kRankF (guaranteed by CompilableColumnar)
+      std::vector<size_t> cols;
+      for (const auto& name : cur->attributes()) {
+        cols.push_back(ResolveColumnOrThrow(r.schema(), name));
+      }
+      col = build_rank_leaf(
+          cols, dynamic_cast<const RankPreference*>(cur.get()), sign);
+    }
+    simd::DominanceProgram::Node node;
+    node.kind = simd::DominanceProgram::Node::Kind::kLeaf;
+    node.a = col;
+    table.prog_.nodes.push_back(node);
+    return static_cast<int>(table.prog_.nodes.size() - 1);
+  };
+
+  table.prog_.root = build(p, false);
+  table.Assemble(std::move(columns), count, has_pareto, has_prio, has_other);
   return table;
 }
 
@@ -562,6 +850,12 @@ std::pair<bool, bool> ScoreTable::EvalNode(int n, const double* sx,
   auto [l2, e2] = EvalNode(node.b, sx, sy, ix, iy);
   if (node.kind == simd::DominanceProgram::Node::Kind::kPareto) {
     return {(l1 && (l2 || e2)) || (l2 && (l1 || e1)), e1 && e2};
+  }
+  if (node.kind == simd::DominanceProgram::Node::Kind::kIntersect) {
+    return {l1 && l2, e1 && e2};
+  }
+  if (node.kind == simd::DominanceProgram::Node::Kind::kUnion) {
+    return {l1 || l2, e1 && e2};
   }
   return {l1 || (e1 && l2), e1 && e2};
 }

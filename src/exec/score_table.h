@@ -15,15 +15,19 @@
 //  - anti-chains (Def. 3b): a constant column whose equality classes are
 //    the value combinations (this is what makes `A<-> & P` grouping terms
 //    compile);
-//  - arbitrary nesting of Pareto (Def. 8) and prioritized (Def. 9)
-//    accumulation on top, and DUAL of any of the above: DUAL distributes
-//    over both accumulations (dual(P ⊗ Q) = dual(P) ⊗ dual(Q), likewise
-//    for &, since equality per side is value equality either way), so the
-//    compiler pushes the order flip down to the leaves, where it is a
-//    score negation on the descriptor.
-// Everything else (SUBSET, LINEAR_SUM, INTERSECTION, DISJOINT_UNION,
-// non-weak-order EXPLICIT) does not compile and the caller falls back to
-// the closure-based path.
+//  - arbitrary nesting of Pareto (Def. 8), prioritized (Def. 9),
+//    intersection and disjoint-union (Def. 11) aggregation on top, and
+//    DUAL of any of the above: DUAL distributes over all four (dual(P ⊗ Q)
+//    = dual(P) ⊗ dual(Q), likewise for &, <> and +, since equality per
+//    side is value equality either way and dual of a conjunction resp.
+//    disjunction of orders is the conjunction/disjunction of the duals),
+//    so the compiler pushes the order flip down to the leaves, where it is
+//    a score negation on the descriptor. Intersection/union nodes have no
+//    flat evaluation mode and run the general node program; disjoint union
+//    compiles the *formula* l1 || l2 — the order-disjointness precondition
+//    (Def. 4) remains the caller's contract, exactly as in the closure.
+// Everything else (SUBSET, LINEAR_SUM, non-weak-order EXPLICIT) does not
+// compile and the caller falls back to the closure-based path.
 //
 // Def. 8/9 equality is *value* equality, not score equality: AROUND(10)
 // scores 5 and 15 identically although the values are incomparable. Each
@@ -51,6 +55,8 @@
 
 namespace prefdb {
 
+class Relation;
+
 class ScoreTable {
  public:
   /// Static (data-independent) compilability of a term. True iff Compile()
@@ -72,6 +78,25 @@ class ScoreTable {
   static std::optional<ScoreTable> Compile(const PrefPtr& p,
                                            const Schema& proj_schema,
                                            const Tuple* values, size_t count);
+
+  /// True when CompileColumnar() can compile `p` straight off `r`'s column
+  /// buffers: every leaf under the Pareto / prioritized / intersection /
+  /// disjoint-union nesting is a numerical scored leaf (LOWEST / HIGHEST /
+  /// AROUND / BETWEEN / SCORE) or rank(F), and every referenced column is
+  /// all-numeric and NaN-free (an O(attributes) check over the store's
+  /// running summary flags — no data scan).
+  static bool CompilableColumnar(const PrefPtr& p, const Relation& r);
+
+  /// Zero-copy compilation: builds the score matrix directly from the
+  /// relation's contiguous numeric column buffers — no projection-index
+  /// gather, no per-row Value materialization, no duplicate elimination.
+  /// Row i of the table is pool position i (`pool` null means all rows),
+  /// so maximal flags map back to rows by identity. Sound for duplicate
+  /// rows too (equal values share scores and equality ids); callers gate
+  /// on a distinctness heuristic purely for kernel-cost reasons.
+  static std::optional<ScoreTable> CompileColumnar(
+      const PrefPtr& p, const Relation& r,
+      const std::vector<size_t>* pool = nullptr);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -142,6 +167,19 @@ class ScoreTable {
 
  private:
   ScoreTable() = default;
+
+  struct ColumnData;  // per-column materialization state (score_table.cc)
+
+  /// Sets ColumnData::use_ids when score equality does not imply value
+  /// equality on the block (cross-class score ties or NaN scores).
+  static void DetectUseIds(ColumnData& col);
+
+  /// Shared tail of both compile paths: mode resolution, row-major matrix
+  /// assembly, per-column flags and sort-key derivation. Consumes
+  /// `columns`; prog_.nodes/root must already be built. `has_other` marks
+  /// intersection/union nodes, which force the general evaluation mode.
+  void Assemble(std::vector<ColumnData>&& columns, size_t count,
+                bool has_pareto, bool has_prio, bool has_other);
 
   const double* Row(size_t r) const { return scores_.data() + r * cols_; }
   const uint32_t* Ids(size_t r) const { return ids_.data() + r * cols_; }

@@ -128,6 +128,12 @@ NodeMasks EvalNode(const DominanceProgram& prog, int idx,
             (l.less_y & (r.less_y | r.eq)) | (r.less_y & (l.less_y | l.eq)),
             l.eq & r.eq};
   }
+  if (node.kind == DominanceProgram::Node::Kind::kIntersect) {
+    return {l.less_x & r.less_x, l.less_y & r.less_y, l.eq & r.eq};
+  }
+  if (node.kind == DominanceProgram::Node::Kind::kUnion) {
+    return {l.less_x | r.less_x, l.less_y | r.less_y, l.eq & r.eq};
+  }
   return {l.less_x | (l.eq & r.less_x), l.less_y | (l.eq & r.less_y),
           l.eq & r.eq};
 }

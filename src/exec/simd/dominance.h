@@ -46,7 +46,11 @@ struct DominanceProgram {
     kGeneral,     // arbitrary Pareto/prioritized nesting: node program
   };
   struct Node {
-    enum class Kind : uint8_t { kLeaf, kPareto, kPrioritized };
+    // kIntersect/kUnion are the Def. 11 aggregations (P1 <> P2 orders when
+    // both sides order; P1 + P2 when either does); both force kGeneral —
+    // they have no flat-mode equivalent.
+    enum class Kind : uint8_t { kLeaf, kPareto, kPrioritized, kIntersect,
+                                kUnion };
     Kind kind = Kind::kLeaf;
     int a = -1;  // kLeaf: column index; else: left child node index
     int b = -1;  // right child node index

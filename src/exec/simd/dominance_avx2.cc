@@ -75,6 +75,14 @@ NodeMasks EvalNode(const DominanceProgram& prog, int idx,
                 _mm256_and_pd(r.less_y, _mm256_or_pd(l.less_y, l.eq))),
             _mm256_and_pd(l.eq, r.eq)};
   }
+  if (node.kind == DominanceProgram::Node::Kind::kIntersect) {
+    return {_mm256_and_pd(l.less_x, r.less_x),
+            _mm256_and_pd(l.less_y, r.less_y), _mm256_and_pd(l.eq, r.eq)};
+  }
+  if (node.kind == DominanceProgram::Node::Kind::kUnion) {
+    return {_mm256_or_pd(l.less_x, r.less_x),
+            _mm256_or_pd(l.less_y, r.less_y), _mm256_and_pd(l.eq, r.eq)};
+  }
   return {_mm256_or_pd(l.less_x, _mm256_and_pd(l.eq, r.less_x)),
           _mm256_or_pd(l.less_y, _mm256_and_pd(l.eq, r.less_y)),
           _mm256_and_pd(l.eq, r.eq)};

@@ -111,7 +111,8 @@ TEST(ChooserTest, UnstructuredTermsFallBackToBnl) {
   no_vector.vectorize = false;
   EXPECT_EQ(ChooseAlgorithm(r, p, no_vector).algorithm,
             BmoAlgorithm::kBlockNestedLoop);
-  // Intersection aggregations never compile, vectorized or not.
+  // Intersection aggregations compile but derive no sort keys and are
+  // never flat-Pareto, so BNL is the only eligible kernel.
   PrefPtr hard = Intersection(Pos("color", {"red"}), Neg("color", {"blue"}));
   EXPECT_EQ(ChooseAlgorithm(r, hard).algorithm,
             BmoAlgorithm::kBlockNestedLoop);

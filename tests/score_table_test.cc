@@ -114,11 +114,63 @@ TEST(ScoreTableTest, CompilableTermCoverage) {
       Dual(Pareto(Lowest("a"), Lowest("b")))));
   EXPECT_TRUE(ScoreTable::CompilableTerm(
       Dual(Prioritized(Pos("a", {"x"}), Dual(Lowest("b"))))));
-  // Intersections, subsets: closure path.
-  EXPECT_FALSE(ScoreTable::CompilableTerm(
+  // Intersection / disjoint union compile as general descriptor nodes.
+  EXPECT_TRUE(ScoreTable::CompilableTerm(
       Intersection(Pos("a", {"x"}), Neg("a", {"y"}))));
+  EXPECT_TRUE(ScoreTable::CompilableTerm(
+      DisjointUnion(Pos("a", {"x"}), Neg("b", {"y"}))));
+  EXPECT_TRUE(ScoreTable::CompilableTerm(
+      Dual(Intersection(Around("a", 1.0), Lowest("a")))));
+  // Subsets: closure path.
   EXPECT_FALSE(ScoreTable::CompilableTerm(
       Subset(Lowest("a"), {Tuple({Value(1)})})));
+}
+
+TEST(ScoreTableTest, IntersectionTermsMatchClosure) {
+  Relation r = MixedRelation(400, 77);
+  // Intersections of strict partial orders are strict partial orders, so
+  // every kernel must agree (SFS/D&C degrade to BNL: intersection nodes
+  // derive no sort keys and never run flat-Pareto).
+  PrefPtr isect =
+      Intersection(Pos("color", {"red", "blue"}), Neg("color", {"black"}));
+  PrefPtr numeric_isect =
+      Intersection(Around("score", 5.0), Dual(Lowest("score")));
+  for (const PrefPtr& p :
+       {isect, numeric_isect, Dual(isect), Pareto(isect, Lowest("price")),
+        Prioritized(Lowest("price"), numeric_isect),
+        Prioritized(isect, Highest("score"))}) {
+    ASSERT_TRUE(ScoreTable::CompilableTerm(p)) << p->ToString();
+    std::vector<size_t> expected = BmoIndices(r, p, Closure());
+    for (BmoAlgorithm algo :
+         {BmoAlgorithm::kAuto, BmoAlgorithm::kBlockNestedLoop,
+          BmoAlgorithm::kSortFilter, BmoAlgorithm::kDivideConquer,
+          BmoAlgorithm::kNaive}) {
+      EXPECT_EQ(BmoIndices(r, p, Vectorized(algo)), expected)
+          << p->ToString() << " algo=" << BmoAlgorithmName(algo);
+    }
+  }
+}
+
+TEST(ScoreTableTest, DisjointUnionCompilesTheClosureFormula) {
+  Relation r = MixedRelation(400, 78);
+  // Order-disjointness (Def. 4) is the caller's contract and cannot hold
+  // for compilable pieces (weak orders have full range), so window
+  // algorithms are order-dependent here — exactly as with the closure.
+  // The compiled descriptor must still encode the same *formula*
+  // (l1 || l2), which the order-independent naive kernel checks exactly:
+  // row-by-row elimination depends only on the pairwise test.
+  PrefPtr uni =
+      DisjointUnion(Explicit("color", {{Value("red"), Value("blue")}}),
+                    Explicit("color", {{Value("green"), Value("black")}}));
+  for (const PrefPtr& p :
+       {uni, Dual(uni), Prioritized(uni, Highest("score")),
+        DisjointUnion(Lowest("price"), Around("score", 5.0)),
+        Intersection(uni, Pos("color", {"blue", "black"}))}) {
+    ASSERT_TRUE(ScoreTable::CompilableTerm(p)) << p->ToString();
+    EXPECT_EQ(BmoIndices(r, p, Vectorized(BmoAlgorithm::kNaive)),
+              BmoIndices(r, p, Closure(BmoAlgorithm::kNaive)))
+        << p->ToString();
+  }
 }
 
 TEST(ScoreTableTest, ExplicitGraphsCompileOnlyWhenLevelable) {

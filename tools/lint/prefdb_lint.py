@@ -33,6 +33,13 @@ each rule):
       Poll / Close). An engine- or server-side shortcut that pushes or
       drains the deque directly silently breaks the slow-subscriber
       resync contract.
+  prefdb-raw-store-mutation
+      No spelling of ColumnStore's mutating entry points (AppendRow /
+      MutableColumn) outside src/relation/ and the engine ingest path
+      (src/engine/engine.cc). Columns are copy-on-write and shared across
+      snapshots, views and zero-copy score tables; a stray mutation path
+      that skips the per-column clone corrupts every borrower. Everything
+      else mutates through Relation's API (Add / Delete / Update).
   prefdb-nolint-reason
       Every NOLINT must name its check(s) and carry an inline reason:
       "NOLINT(check): reason". All suppressions are counted and listed.
@@ -96,6 +103,7 @@ RULES = (
     "prefdb-foreign-throw",
     "prefdb-float-eq",
     "prefdb-raw-delta-queue",
+    "prefdb-raw-store-mutation",
     "prefdb-nolint-reason",
 )
 
@@ -357,6 +365,29 @@ def delta_queue_findings(src: SourceFile):
     return findings
 
 
+def store_mutation_findings(src: SourceFile):
+    """prefdb-raw-store-mutation, shared by both engines: the method names
+    are the syntactic markers (MutableColumn is private to ColumnStore and
+    AppendRow is the store's only public mutator, so any spelling outside
+    the allowed files is a friend-style bypass or a parallel copy of the
+    COW bookkeeping — both break the shared-column invariant the zero-copy
+    score tables borrow against)."""
+    findings = []
+    path = src.effective_path
+    if in_dir(path, "src/relation/") or path == "src/engine/engine.cc":
+        return findings
+    for line_no, text in enumerate(src.lines, 1):
+        for m in re.finditer(r"\b(AppendRow|MutableColumn)\b", text):
+            if not src.is_suppressed("prefdb-raw-store-mutation", line_no):
+                findings.append(Finding(
+                    path, line_no, "prefdb-raw-store-mutation",
+                    f"ColumnStore::{m.group(1)} touched outside "
+                    "src/relation/ and the engine ingest path; mutate "
+                    "through Relation (Add/Delete/Update) so per-column "
+                    "COW protects shared snapshots and zero-copy tables"))
+    return findings
+
+
 def fallback_lint(src: SourceFile):
     findings = []
     path = src.effective_path
@@ -442,6 +473,9 @@ def fallback_lint(src: SourceFile):
 
     # --- prefdb-raw-delta-queue (whole tree outside src/ivm/)
     findings.extend(delta_queue_findings(src))
+
+    # --- prefdb-raw-store-mutation (whole tree outside src/relation/)
+    findings.extend(store_mutation_findings(src))
 
     return findings
 
@@ -572,9 +606,10 @@ def clang_lint(src: SourceFile, extra_args):
                          "direct guard on the Engine mutex; acquire it via "
                          "Engine::Lock() so the contention counters count it")
 
-    # The delta-queue ownership rule is likewise a member-name marker —
-    # identical in both engines.
+    # The delta-queue and store-mutation ownership rules are likewise
+    # name-marker checks — identical in both engines.
     findings.extend(delta_queue_findings(src))
+    findings.extend(store_mutation_findings(src))
     return findings
 
 
